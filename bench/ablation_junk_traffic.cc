@@ -1,0 +1,141 @@
+// Ablation B — what actually removes the junk load from the roots?
+//
+// §2.2 shows >95% of root traffic is junk. Two mechanisms can absorb it:
+// resolver-side negative caching (bogus TLDs answered from the negative
+// cache) and the paper's proposal (answering from a local zone copy, so
+// nothing reaches the roots at all). This bench replays the same bogus-heavy
+// lookup stream through a resolver in four configurations and counts the
+// queries that still arrive at the root infrastructure.
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "resolver/recursive.h"
+#include "rootsrv/fleet.h"
+#include "rootsrv/tld_farm.h"
+#include "topo/deployment.h"
+#include "topo/geo_registry.h"
+#include "traffic/workload.h"
+#include "util/strings.h"
+#include "util/zipf.h"
+#include "zone/evolution.h"
+
+namespace {
+
+using namespace rootless;
+
+struct Row {
+  std::string config;
+  std::uint64_t root_queries = 0;
+  std::uint64_t negative_hits = 0;
+  std::uint64_t local_lookups = 0;
+  std::uint64_t nxdomain = 0;
+};
+
+// One day's worth (scaled) of lookups, 61% bogus like the DITL mix.
+std::vector<dns::Name> BuildLookups(const zone::Zone& root_zone, int count) {
+  std::vector<std::string> tlds;
+  for (const auto& child : root_zone.DelegatedChildren())
+    tlds.push_back(child.tld());
+  util::ZipfSampler zipf(tlds.size(), 0.95);
+  util::Rng rng(2018);
+  std::vector<dns::Name> lookups;
+  lookups.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    std::string host;
+    if (rng.Chance(0.61)) {
+      host = "device" + std::to_string(rng.Below(40)) + "." +
+             traffic::SampleBogusTld(rng) + ".";
+    } else {
+      host = "www.site" + std::to_string(rng.Below(800)) + "." +
+             tlds[zipf.Sample(rng)] + ".";
+    }
+    lookups.push_back(*dns::Name::Parse(host));
+  }
+  return lookups;
+}
+
+Row Run(resolver::RootMode mode, bool negative_cache,
+        const std::vector<dns::Name>& lookups,
+        std::shared_ptr<zone::Zone> root_zone) {
+  sim::Simulator sim;
+  sim::Network net(sim, 9);
+  topo::GeoRegistry registry;
+  net.set_latency_fn(registry.LatencyFn());
+  const topo::DeploymentModel deployment;
+  rootsrv::RootServerFleet fleet(net, registry, deployment, {2018, 4, 11},
+                                 root_zone);
+  rootsrv::TldFarm farm(net, registry, *root_zone, 5);
+
+  resolver::ResolverConfig config;
+  config.mode = mode;
+  config.seed = 4;
+  config.negative_cache = negative_cache;
+  const topo::GeoPoint where{52.52, 13.40};  // Berlin
+  resolver::RecursiveResolver r(sim, net, config, where);
+  registry.SetLocation(r.node(), where);
+  r.SetTldFarm(&farm);
+  if (mode == resolver::RootMode::kRootServers) {
+    r.SetRootFleet(&fleet);
+  } else {
+    r.SetLocalZone(root_zone);
+  }
+
+  for (const auto& name : lookups) {
+    r.Resolve(name, dns::RRType::kA, [](const auto&) {});
+    sim.Run();
+  }
+
+  Row row;
+  row.config = resolver::RootModeName(mode) +
+               (negative_cache ? " + negcache" : " (no negcache)");
+  row.root_queries = fleet.TotalStats().queries;
+  row.negative_hits = r.stats().negative_hits;
+  row.local_lookups = r.stats().local_root_lookups;
+  row.nxdomain = r.stats().nxdomain;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s",
+              analysis::Banner("Ablation B: who absorbs the junk? root load "
+                               "under negative caching vs a local root copy")
+                  .c_str());
+
+  const zone::RootZoneModel model;
+  auto root_zone =
+      std::make_shared<zone::Zone>(model.Snapshot({2018, 4, 11}));
+  const auto lookups = BuildLookups(*root_zone, 8000);
+
+  analysis::Table table({"configuration", "queries at roots", "negcache hits",
+                         "local lookups", "nxdomain answered"});
+  std::vector<Row> rows;
+  rows.push_back(Run(resolver::RootMode::kRootServers, false, lookups,
+                     root_zone));
+  rows.push_back(Run(resolver::RootMode::kRootServers, true, lookups,
+                     root_zone));
+  rows.push_back(Run(resolver::RootMode::kOnDemandZoneFile, true, lookups,
+                     root_zone));
+  rows.push_back(Run(resolver::RootMode::kCachePreload, true, lookups,
+                     root_zone));
+  for (const auto& row : rows) {
+    table.AddRow({row.config, std::to_string(row.root_queries),
+                  std::to_string(row.negative_hits),
+                  std::to_string(row.local_lookups),
+                  std::to_string(row.nxdomain)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  const double reduction =
+      1.0 - static_cast<double>(rows[1].root_queries) /
+                static_cast<double>(rows[0].root_queries);
+  std::printf("negative caching alone removes %s of root queries for this "
+              "stream; the local-copy modes remove 100%% — the paper's "
+              "answer to the 95%%-junk problem.\n",
+              util::FormatPercent(reduction).c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 1 — "Num. of records in the root zone over time."
+//
+// Samples the root-zone evolution model on the 15th of each month from
+// April 2009 through the end of 2019 and prints the RR-count series the
+// figure plots, plus the checkpoints the paper quotes in the text:
+//   * 317 TLDs on 2013-06-15 and 1,534 TLDs on 2017-06-15,
+//   * a >5x record-count increase between early 2014 and early 2017,
+//   * a plateau of roughly 22K records.
+#include <cstdio>
+#include <string>
+
+#include "analysis/report.h"
+#include "analysis/stats.h"
+#include "util/strings.h"
+#include "zone/evolution.h"
+
+int main() {
+  using namespace rootless;
+
+  std::printf("%s", analysis::Banner(
+                        "Figure 1: records in the root zone over time").c_str());
+
+  const zone::RootZoneModel model;
+  analysis::TimeSeries rr_series;
+  analysis::TimeSeries tld_series;
+
+  for (util::CivilDate date{2009, 5, 15}; date < util::CivilDate{2020, 1, 1};
+       date = util::AddMonths(date, 1)) {
+    const zone::Zone snapshot = model.Snapshot(date);
+    rr_series.Set(date, static_cast<double>(snapshot.record_count()));
+    tld_series.Set(date, static_cast<double>(model.TldCountOn(date)));
+  }
+
+  std::printf("%s\n",
+              analysis::RenderSeries(rr_series, "RRs in root zone (monthly, 15th)")
+                  .c_str());
+
+  analysis::Table table({"checkpoint", "paper", "measured"});
+  const int tlds_2013 = model.TldCountOn({2013, 6, 15});
+  const int tlds_2017 = model.TldCountOn({2017, 6, 15});
+  const auto rr_2014 = model.Snapshot({2014, 1, 15}).record_count();
+  const auto rr_2017 = model.Snapshot({2017, 2, 15}).record_count();
+  const auto rr_2019 = model.Snapshot({2019, 6, 15}).record_count();
+
+  table.AddRow({"TLDs on 2013-06-15", "317", std::to_string(tlds_2013)});
+  table.AddRow({"TLDs on 2017-06-15", "1,534", std::to_string(tlds_2017)});
+  table.AddRow({"RR growth 2014-01 -> 2017-02", ">5x",
+                util::FormatCount(static_cast<double>(rr_2017) /
+                                  static_cast<double>(rr_2014)) +
+                    "x"});
+  table.AddRow({"RRs at plateau (2019-06-15)", "~22K",
+                util::FormatCount(static_cast<double>(rr_2019))});
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 2 — "Root nameserver instances over time."
+//
+// Samples the deployment model on the 15th of each month from January 2015
+// through July 2019 and prints the total-instance series, the per-letter
+// breakdown at the 2019-05-15 anchor (985 instances per root-servers.org),
+// and the three discrete e-root/f-root jumps the paper calls out.
+#include <cstdio>
+#include <string>
+
+#include "analysis/report.h"
+#include "analysis/stats.h"
+#include "topo/deployment.h"
+
+int main() {
+  using namespace rootless;
+
+  std::printf("%s", analysis::Banner(
+                        "Figure 2: root nameserver instances over time").c_str());
+
+  const topo::DeploymentModel model;
+  analysis::TimeSeries series;
+  for (util::CivilDate date{2015, 1, 15}; date < util::CivilDate{2019, 8, 1};
+       date = util::AddMonths(date, 1)) {
+    series.Set(date, model.TotalInstancesOn(date));
+  }
+  std::printf("%s\n",
+              analysis::RenderSeries(series, "total instances (monthly, 15th)")
+                  .c_str());
+
+  analysis::Table per_letter({"letter", "operator", "instances 2015-03",
+                              "instances 2019-05"});
+  for (const auto& op : topo::RootOperators()) {
+    per_letter.AddRow({std::string(1, op.letter), op.organization,
+                       std::to_string(model.InstanceCountOn(op.letter,
+                                                            {2015, 3, 15})),
+                       std::to_string(model.InstanceCountOn(op.letter,
+                                                            {2019, 5, 15}))});
+  }
+  per_letter.AddSeparator();
+  per_letter.AddRow({"total", "",
+                     std::to_string(model.TotalInstancesOn({2015, 3, 15})),
+                     std::to_string(model.TotalInstancesOn({2019, 5, 15}))});
+  std::printf("%s\n", per_letter.Render().c_str());
+
+  analysis::Table jumps({"event", "paper", "measured"});
+  jumps.AddRow({"e-root Jan->Feb 2016", "+45",
+                "+" + std::to_string(model.InstanceCountOn('e', {2016, 2, 15}) -
+                                     model.InstanceCountOn('e', {2016, 1, 15}))});
+  jumps.AddRow({"f-root Apr->May 2017", "+81",
+                "+" + std::to_string(model.InstanceCountOn('f', {2017, 5, 15}) -
+                                     model.InstanceCountOn('f', {2017, 4, 15}))});
+  jumps.AddRow({"e-root Nov->Dec 2017", "+85",
+                "+" + std::to_string(model.InstanceCountOn('e', {2017, 12, 15}) -
+                                     model.InstanceCountOn('e', {2017, 11, 15}))});
+  jumps.AddRow({"f-root Nov->Dec 2017", "+43",
+                "+" + std::to_string(model.InstanceCountOn('f', {2017, 12, 15}) -
+                                     model.InstanceCountOn('f', {2017, 11, 15}))});
+  jumps.AddRow({"total on 2019-05-15", "985",
+                std::to_string(model.TotalInstancesOn({2019, 5, 15}))});
+  std::printf("%s\n", jumps.Render().c_str());
+  return 0;
+}

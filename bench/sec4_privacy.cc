@@ -1,0 +1,111 @@
+// §4 "Privacy" — what the root learns about end users.
+//
+// A query for "www.sensitive-domain.com" sent to a root nameserver reveals
+// the full target even though the root can only act on ".com". The paper
+// lists the mitigations in increasing strength: QNAME minimization
+// (RFC 7816) trims the name but still reveals *that* this resolver is
+// resolving under the TLD right now; the local root zone copy eliminates
+// the transaction entirely. This bench counts, for the same lookup stream:
+//   * root transactions observed on the wire,
+//   * transactions exposing the full qname,
+//   * transactions exposing the (resolver, TLD, time) tuple.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "resolver/recursive.h"
+#include "rootsrv/fleet.h"
+#include "rootsrv/tld_farm.h"
+#include "topo/deployment.h"
+#include "topo/geo_registry.h"
+#include "util/strings.h"
+#include "util/zipf.h"
+#include "zone/evolution.h"
+
+namespace {
+
+using namespace rootless;
+
+struct Row {
+  std::string config;
+  std::uint64_t root_transactions = 0;
+  std::uint64_t full_qname_exposures = 0;
+};
+
+Row Run(resolver::RootMode mode, bool qmin) {
+  sim::Simulator sim;
+  sim::Network net(sim, 2);
+  topo::GeoRegistry registry;
+  net.set_latency_fn(registry.LatencyFn());
+  const zone::RootZoneModel zone_model;
+  auto root_zone =
+      std::make_shared<zone::Zone>(zone_model.Snapshot({2019, 6, 7}));
+  const topo::DeploymentModel deployment;
+  rootsrv::RootServerFleet fleet(net, registry, deployment, {2019, 6, 7},
+                                 root_zone);
+  rootsrv::TldFarm farm(net, registry, *root_zone, 5);
+
+  resolver::ResolverConfig config;
+  config.mode = mode;
+  config.qname_minimization = qmin;
+  config.seed = 12;
+  const topo::GeoPoint where{51.51, -0.13};  // London
+  resolver::RecursiveResolver r(sim, net, config, where);
+  registry.SetLocation(r.node(), where);
+  r.SetTldFarm(&farm);
+  if (mode == resolver::RootMode::kRootServers) {
+    r.SetRootFleet(&fleet);
+  } else {
+    r.SetLocalZone(root_zone);
+  }
+
+  std::vector<std::string> tlds;
+  for (const auto& child : root_zone->DelegatedChildren())
+    tlds.push_back(child.tld());
+  util::ZipfSampler zipf(tlds.size(), 0.95);
+  util::Rng rng(8);
+  for (int i = 0; i < 3000; ++i) {
+    const std::string host = "user-secret-" + std::to_string(i) +
+                             ".sensitive." + tlds[zipf.Sample(rng)] + ".";
+    r.Resolve(*dns::Name::Parse(host), dns::RRType::kA, [](const auto&) {});
+    sim.Run();
+  }
+
+  Row row;
+  row.config = resolver::RootModeName(mode) +
+               (qmin ? " + qname-min" : "");
+  row.root_transactions = r.stats().root_transactions;
+  row.full_qname_exposures = r.stats().full_qname_exposures;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s",
+              analysis::Banner("Sec 4: privacy exposure to the root "
+                               "infrastructure (3000 lookups)")
+                  .c_str());
+
+  std::vector<Row> rows;
+  rows.push_back(Run(resolver::RootMode::kRootServers, false));
+  rows.push_back(Run(resolver::RootMode::kRootServers, true));
+  rows.push_back(Run(resolver::RootMode::kOnDemandZoneFile, false));
+
+  analysis::Table table({"configuration", "root transactions",
+                         "full-qname exposures",
+                         "(resolver,TLD,time) exposures"});
+  for (const auto& row : rows) {
+    table.AddRow({row.config, std::to_string(row.root_transactions),
+                  std::to_string(row.full_qname_exposures),
+                  std::to_string(row.root_transactions)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("QNAME minimization hides the hostname but every root "
+              "transaction still leaks which TLD this resolver's users are "
+              "visiting and when; the local copy leaks nothing (0 rows) — "
+              "the paper's privacy argument.\n");
+  return 0;
+}

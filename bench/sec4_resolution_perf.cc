@@ -1,0 +1,170 @@
+// §4 "Performance" — resolution latency with root servers vs a local copy.
+//
+// Drives the full simulated stack (anycast root fleet of the 2018-04-11
+// deployment, TLD farm, geographic latencies) with a Zipf-popular lookup
+// workload through four resolver configurations:
+//   classic root-hints, cache-preload, on-demand zone file, RFC 7706
+//   loopback.
+// Reports cold-start and steady-state latency distributions and how many
+// root transactions each mode needed. The paper's expectation — the local
+// copy wins exactly on the (rare) root-touching lookups, so the steady-state
+// advantage is modest because TLD referrals cache so well — is the shape to
+// look for.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "analysis/stats.h"
+#include "resolver/recursive.h"
+#include "rootsrv/fleet.h"
+#include "rootsrv/tld_farm.h"
+#include "topo/deployment.h"
+#include "topo/geo_registry.h"
+#include "util/strings.h"
+#include "util/zipf.h"
+#include "zone/evolution.h"
+
+namespace {
+
+using namespace rootless;
+
+struct ModeResult {
+  std::string mode;
+  analysis::Histogram cold{10, 1.25};    // us
+  analysis::Histogram steady{10, 1.25};  // us
+  std::uint64_t root_transactions = 0;
+  std::uint64_t local_lookups = 0;
+  double cache_hit_rate = 0;
+};
+
+ModeResult RunMode(resolver::RootMode mode, double extra_db_latency_us = 0) {
+  sim::Simulator sim;
+  sim::Network net(sim, 1);
+  topo::GeoRegistry registry;
+  net.set_latency_fn(registry.LatencyFn());
+
+  const zone::RootZoneModel zone_model;
+  auto root_zone =
+      std::make_shared<zone::Zone>(zone_model.Snapshot({2018, 4, 11}));
+  const topo::DeploymentModel deployment;
+  rootsrv::RootServerFleet fleet(net, registry, deployment, {2018, 4, 11},
+                                 root_zone);
+  rootsrv::TldFarm farm(net, registry, *root_zone, 5);
+
+  resolver::ResolverConfig config;
+  config.mode = mode;
+  config.seed = 42;
+  if (extra_db_latency_us > 0) {
+    config.db_lookup_latency = static_cast<sim::SimTime>(extra_db_latency_us);
+  }
+  const topo::GeoPoint where{48.85, 2.35};
+  resolver::RecursiveResolver r(sim, net, config, where);
+  registry.SetLocation(r.node(), where);
+  r.SetTldFarm(&farm);
+  std::unique_ptr<rootsrv::AuthServer> loopback;
+  switch (mode) {
+    case resolver::RootMode::kRootServers:
+      r.SetRootFleet(&fleet);
+      break;
+    case resolver::RootMode::kLoopbackAuth:
+      loopback = std::make_unique<rootsrv::AuthServer>(net, root_zone);
+      registry.SetLocation(loopback->node(), where);
+      r.SetLoopbackNode(loopback->node());
+      r.SetLocalZone(root_zone);
+      break;
+    default:
+      r.SetLocalZone(root_zone);
+      break;
+  }
+
+  // Workload: Zipf over TLDs, many names per TLD.
+  std::vector<std::string> tlds;
+  for (const auto& child : root_zone->DelegatedChildren()) {
+    tlds.push_back(child.tld());
+  }
+  util::ZipfSampler zipf(tlds.size(), 0.95);
+  util::Rng rng(7);
+
+  ModeResult result;
+  result.mode = resolver::RootModeName(mode);
+
+  const int kCold = 300;
+  const int kSteady = 3000;
+  for (int i = 0; i < kCold + kSteady; ++i) {
+    const std::string& tld = tlds[zipf.Sample(rng)];
+    const std::string host =
+        "host" + std::to_string(rng.Below(2000)) + ".example." + tld + ".";
+    auto name = dns::Name::Parse(host);
+    bool done = false;
+    sim::SimTime latency = 0;
+    r.Resolve(*name, dns::RRType::kA,
+              [&](const resolver::ResolutionResult& rr) {
+                done = true;
+                latency = rr.latency;
+              });
+    sim.Run();
+    if (!done) continue;
+    if (i < kCold) {
+      result.cold.Add(static_cast<double>(latency));
+    } else {
+      result.steady.Add(static_cast<double>(latency));
+    }
+  }
+  result.root_transactions = r.stats().root_transactions;
+  result.local_lookups = r.stats().local_root_lookups;
+  result.cache_hit_rate = r.cache().stats().hit_rate();
+  return result;
+}
+
+std::string Ms(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f ms", us / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s",
+              analysis::Banner("Sec 4: resolution latency, root servers vs "
+                               "local root zone copy")
+                  .c_str());
+
+  std::vector<ModeResult> results;
+  results.push_back(RunMode(resolver::RootMode::kRootServers));
+  results.push_back(RunMode(resolver::RootMode::kCachePreload));
+  results.push_back(RunMode(resolver::RootMode::kOnDemandZoneFile));
+  results.push_back(RunMode(resolver::RootMode::kLoopbackAuth));
+
+  analysis::Table table({"mode", "cold p50", "cold p90", "steady p50",
+                         "steady p90", "steady mean", "root txns",
+                         "local lookups"});
+  for (const auto& r : results) {
+    table.AddRow({r.mode, Ms(r.cold.Percentile(50)), Ms(r.cold.Percentile(90)),
+                  Ms(r.steady.Percentile(50)), Ms(r.steady.Percentile(90)),
+                  Ms(r.steady.mean()), std::to_string(r.root_transactions),
+                  std::to_string(r.local_lookups)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  const double classic = results[0].steady.mean();
+  const double preload = results[1].steady.mean();
+  std::printf("steady-state speedup of cache-preload over classic: %.2fx\n",
+              classic / preload);
+  std::printf("paper's expectation: modest steady-state benefit (2-day TLD "
+              "TTLs cache well), large benefit only on root-touching "
+              "lookups.\n\n");
+
+  // The naive on-demand variant the paper timed: a 37 ms compressed-file
+  // scan per root consultation instead of an indexed store.
+  ModeResult naive = RunMode(resolver::RootMode::kOnDemandZoneFile, 37000.0);
+  analysis::Table naive_table({"on-demand store", "steady mean", "cold p50"});
+  naive_table.AddRow({"indexed db (200 us)", Ms(results[2].steady.mean()),
+                      Ms(results[2].cold.Percentile(50))});
+  naive_table.AddRow({"compressed-file scan (37 ms, paper Sec 5.1)",
+                      Ms(naive.steady.mean()), Ms(naive.cold.Percentile(50))});
+  std::printf("%s\n", naive_table.Render().c_str());
+  return 0;
+}

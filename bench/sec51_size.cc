@@ -1,0 +1,163 @@
+// §5.1 "Size" — bootstrapping with the root zone instead of the root hints.
+//
+// Reproduces the three analyses:
+//   1. hints file (39 entries, ~3KB) vs root zone (~22K records, ~1.1MB
+//      compressed): the 581x increase the paper calls stark but manageable;
+//   2. the ICSI cache snapshot: a resolver cache of ~55K RRsets already
+//      holding ~20% of the TLDs grows only ~20% when the rest of the root
+//      zone is preloaded;
+//   3. the paper's timing test: extracting one random TLD's records from
+//      the *compressed* zone file (their Python script: ~37 ms ≈ an RTT),
+//      next to the indexed-store lookup that makes the cost negligible.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "resolver/cache.h"
+#include "resolver/zone_db.h"
+#include "util/strings.h"
+#include "zone/evolution.h"
+#include "zone/master_file.h"
+#include "zone/root_hints.h"
+#include "zone/rzc.h"
+
+int main() {
+  using namespace rootless;
+  using Clock = std::chrono::steady_clock;
+
+  std::printf("%s", analysis::Banner("Sec 5.1: bootstrap size analysis").c_str());
+
+  const zone::RootZoneModel model;
+  const zone::Zone root_zone = model.Snapshot({2019, 6, 7});
+  const zone::RootHints hints = zone::RootHints::Standard();
+
+  const std::string zone_text =
+      zone::SerializeMasterFile(root_zone.AllRecords());
+  const auto compressed = zone::RzcCompressText(zone_text);
+
+  analysis::Table sizes({"bootstrap file", "entries", "bytes"});
+  sizes.AddRow({"root hints", std::to_string(hints.entry_count()),
+                util::FormatBytes(static_cast<double>(hints.FileSizeBytes()))});
+  sizes.AddRow({"root zone (master text)",
+                std::to_string(root_zone.record_count()),
+                util::FormatBytes(static_cast<double>(zone_text.size()))});
+  sizes.AddRow({"root zone (RZC compressed)",
+                std::to_string(root_zone.record_count()),
+                util::FormatBytes(static_cast<double>(compressed.size()))});
+  sizes.AddSeparator();
+  char ratio[32];
+  std::snprintf(ratio, sizeof(ratio), "%.0fx",
+                static_cast<double>(root_zone.record_count()) /
+                    static_cast<double>(hints.entry_count()));
+  sizes.AddRow({"entry increase (paper: 581x)", ratio, ""});
+  std::printf("%s\n", sizes.Render().c_str());
+
+  // ---- ICSI-style cache snapshot --------------------------------------
+  // Build a synthetic resolver cache: ~55K RRsets, including the referral
+  // RRsets for 20% of the TLDs, the rest SLD/answer records.
+  resolver::DnsCache cache;
+  const auto children = root_zone.DelegatedChildren();
+  util::Rng rng(61);
+  std::size_t tlds_cached = 0;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (!rng.Chance(0.20)) continue;
+    ++tlds_cached;
+    // Cache exactly what a referral would have delivered.
+    const auto result = root_zone.Lookup(
+        *dns::Name::Parse("x." + children[i].tld() + "."), dns::RRType::kA);
+    for (const auto& s : result.authority) cache.Put(s, 0);
+    for (const auto& s : result.additional) cache.Put(s, 0);
+  }
+  const std::size_t tld_rrsets_before = cache.size();
+  while (cache.size() < 55000) {
+    dns::RRset filler;
+    filler.name = *dns::Name::Parse(
+        "h" + std::to_string(cache.size()) + ".example" +
+        std::to_string(rng.Below(5000)) + "." +
+        children[rng.Below(children.size())].tld() + ".");
+    filler.type = dns::RRType::kA;
+    filler.ttl = 300;
+    filler.rdatas.push_back(
+        dns::AData{dns::Ipv4{static_cast<std::uint32_t>(rng.Next())}});
+    cache.Put(filler, 0);
+  }
+  const std::size_t before = cache.size();
+  for (const auto& rrset : root_zone.AllRRsets()) cache.Put(rrset, 0);
+  const std::size_t after = cache.size();
+
+  analysis::Table icsi({"cache snapshot metric", "paper (ICSI)", "measured"});
+  icsi.AddRow({"RRsets cached before preload", "~55K",
+               util::FormatCount(static_cast<double>(before))});
+  icsi.AddRow({"TLDs already cached", "~20%",
+               util::FormatPercent(static_cast<double>(tlds_cached) /
+                                   static_cast<double>(children.size()))});
+  icsi.AddRow({"root zone RRsets", "~14K",
+               util::FormatCount(static_cast<double>(root_zone.rrset_count()))});
+  icsi.AddRow({"cache growth from preload", "~20%",
+               util::FormatPercent(static_cast<double>(after - before) /
+                                   static_cast<double>(before))});
+  icsi.AddRow({"referral RRsets already present", "-",
+               util::FormatCount(static_cast<double>(tld_rrsets_before))});
+  std::printf("%s\n", icsi.Render().c_str());
+
+  // ---- TLD extraction timing ------------------------------------------
+  // The paper's test: decompress the zone file and pull out every record
+  // for a random TLD, 1000 trials.
+  const int kTrials = 1000;
+  double scan_total_us = 0;
+  std::size_t found_records = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const std::string target = children[rng.Below(children.size())].tld();
+    const auto start = Clock::now();
+    auto text = zone::RzcDecompressText(compressed);
+    if (!text.ok()) return 1;
+    // Scan line-by-line for records whose owner mentions the TLD (the same
+    // grep-ish extraction the paper's Python script performs).
+    std::size_t count = 0;
+    const std::string needle_owner = target + ". ";
+    const std::string needle_sub = "." + target + ". ";
+    for (const auto line : util::Split(*text, '\n')) {
+      if (line.size() < needle_owner.size()) continue;
+      if (util::StartsWith(line, needle_owner) ||
+          line.find(needle_sub) != std::string_view::npos) {
+        ++count;
+      }
+    }
+    scan_total_us += std::chrono::duration<double, std::micro>(Clock::now() -
+                                                               start)
+                         .count();
+    found_records += count;
+  }
+  const double scan_mean_us = scan_total_us / kTrials;
+
+  // The indexed alternative (the paper: "loading the root zone into a
+  // database ... would make the process faster").
+  resolver::ZoneDb db(root_zone);
+  double db_total_us = 0;
+  for (int t = 0; t < kTrials * 100; ++t) {
+    const std::string target = children[rng.Below(children.size())].tld();
+    const auto start = Clock::now();
+    const auto* entry = db.Lookup(target);
+    db_total_us +=
+        std::chrono::duration<double, std::micro>(Clock::now() - start)
+            .count();
+    if (entry == nullptr) return 1;
+  }
+  const double db_mean_us = db_total_us / (kTrials * 100);
+
+  analysis::Table timing({"extraction path", "paper", "measured mean"});
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f ms", scan_mean_us / 1000.0);
+  timing.AddRow({"decompress + scan (1000 trials)", "37 ms (Python)", buf});
+  std::snprintf(buf, sizeof(buf), "%.2f us", db_mean_us);
+  timing.AddRow({"indexed ZoneDb lookup", "\"faster\"", buf});
+  std::snprintf(buf, sizeof(buf), "%.1f", found_records / double(kTrials));
+  timing.AddRow({"records extracted per trial", "-", buf});
+  std::printf("%s\n", timing.Render().c_str());
+  std::printf("paper's takeaway: even the naive scan is comparable to a "
+              "network RTT, so consulting the local zone never slows "
+              "lookups; an indexed store makes it negligible.\n");
+  return 0;
+}

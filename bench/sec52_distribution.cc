@@ -1,0 +1,133 @@
+// §5.2 "Distribution Load" — moving the root zone to every resolver.
+//
+// Reproduces three analyses:
+//   1. per-mechanism distribution cost at the full 4.1M-resolver population
+//      (HTTP mirrors, AXFR, rsync delta with *real* computed delta sizes,
+//      P2P swarm with a simulated chunk exchange);
+//   2. the staleness/reachability study: fraction of TLDs still reachable
+//      from a zone copy 1 day / 7 / 14 days / 1 month / 6 months / 1 year
+//      old (paper: 14d -> 100%, 1 month -> 99.6%, 1 year -> 96.7%);
+//   3. the TTL ablation: longer TTLs cut bytes/day but delay new-TLD
+//      visibility (ties to §5.3).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "distrib/mechanisms.h"
+#include "distrib/rsync.h"
+#include "util/strings.h"
+#include "zone/evolution.h"
+#include "zone/master_file.h"
+#include "zone/rzc.h"
+#include "zone/snapshot.h"
+
+int main() {
+  using namespace rootless;
+
+  std::printf("%s",
+              analysis::Banner("Sec 5.2: root zone distribution load").c_str());
+
+  const zone::RootZoneModel model;
+  const util::CivilDate day{2019, 6, 7};
+  const zone::Zone today = model.Snapshot(day);
+  const zone::Zone in_two_days = model.Snapshot(util::AddDays(day, 2));
+
+  const std::string text_today =
+      zone::SerializeMasterFile(today.AllRecords());
+  const auto compressed_today = zone::RzcCompressText(text_today);
+  const auto snapshot_today = zone::SerializeZone(today);
+  const auto snapshot_later = zone::SerializeZone(in_two_days);
+
+  std::printf("zone on %s: %zu records, %s raw, %s compressed\n\n",
+              util::FormatDate(day).c_str(), today.record_count(),
+              util::FormatBytes(static_cast<double>(text_today.size())).c_str(),
+              util::FormatBytes(static_cast<double>(compressed_today.size()))
+                  .c_str());
+
+  // ---- mechanism comparison -------------------------------------------
+  const std::uint64_t kResolvers = 4'100'000;  // the DITL population
+  const double kIntervalDays = 2.0;            // TLD TTLs
+
+  const auto signature = distrib::ComputeSignature(snapshot_today, 2048);
+  const auto delta = distrib::ComputeDelta(signature, snapshot_later);
+  distrib::SwarmConfig swarm_config;
+  swarm_config.file_bytes = compressed_today.size();
+  swarm_config.peer_count = 2000;  // simulated swarm, scaled to population
+  const auto swarm = distrib::SimulateSwarm(swarm_config);
+
+  std::vector<distrib::DistributionCost> costs = {
+      distrib::FullFileCost(compressed_today.size(), kIntervalDays, kResolvers,
+                            100),
+      distrib::AxfrCost(snapshot_today.size(), kIntervalDays, kResolvers, 100),
+      distrib::RsyncCost(signature.WireSize(), delta.WireSize(), kIntervalDays,
+                         kResolvers),
+      distrib::P2pCost(swarm, compressed_today.size(), kIntervalDays,
+                       kResolvers),
+  };
+
+  analysis::Table mech({"mechanism", "per-resolver/day", "aggregate/day",
+                        "origin-tier/day"});
+  for (const auto& c : costs) {
+    mech.AddRow({c.mechanism, util::FormatBytes(c.per_resolver_bytes_per_day),
+                 util::FormatBytes(c.total_bytes_per_day),
+                 util::FormatBytes(c.origin_bytes_per_day)});
+  }
+  std::printf("%s", mech.Render().c_str());
+  std::printf("(rsync: signature %s up + delta %s down per refresh; "
+              "paper's comparison point: ICSI pulls 3.1 GB/day of SpamHaus "
+              "blacklists)\n\n",
+              util::FormatBytes(static_cast<double>(signature.WireSize()))
+                  .c_str(),
+              util::FormatBytes(static_cast<double>(delta.WireSize())).c_str());
+
+  // ---- staleness / reachability ---------------------------------------
+  struct Window {
+    const char* label;
+    int days;
+    const char* paper;
+  };
+  const Window windows[] = {
+      {"1 day", 1, "-"},        {"7 days", 7, "-"},
+      {"14 days", 14, "100%"},  {"1 month", 30, "99.6%"},
+      {"6 months", 182, "-"},   {"1 year", 365, "96.7%"},
+  };
+  const util::CivilDate now{2019, 5, 1};
+
+  analysis::Table stale({"zone copy age", "paper", "TLDs reachable"});
+  for (const auto& w : windows) {
+    const util::CivilDate old_date = util::AddDays(now, -w.days);
+    int active = 0, reachable = 0;
+    for (const auto* tld : model.ActiveTlds(old_date)) {
+      if (!tld->ActiveOn(util::DaysFromCivil(now))) continue;
+      ++active;
+      reachable += model.TldReachableAcross(*tld, old_date, now);
+    }
+    stale.AddRow({w.label, w.paper,
+                  util::FormatPercent(static_cast<double>(reachable) /
+                                          static_cast<double>(active),
+                                      2) +
+                      " (" + std::to_string(active - reachable) + " of " +
+                      std::to_string(active) + " lost)"});
+  }
+  std::printf("%s\n", stale.Render().c_str());
+
+  // ---- TTL ablation -----------------------------------------------------
+  analysis::Table ttl({"TTL / refresh interval", "bytes per resolver per day",
+                       "aggregate/day (4.1M)", "mean new-TLD visibility lag"});
+  for (const double days : {1.0, 2.0, 7.0, 14.0}) {
+    const auto cost =
+        distrib::FullFileCost(compressed_today.size(), days, kResolvers, 100);
+    char lag[32];
+    std::snprintf(lag, sizeof(lag), "%.1f days", days / 2.0);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f days", days);
+    ttl.AddRow({label, util::FormatBytes(cost.per_resolver_bytes_per_day),
+                util::FormatBytes(cost.total_bytes_per_day), lag});
+  }
+  std::printf("%s", ttl.Render().c_str());
+  std::printf("(paper: raising TTLs to ~1 week is safe given zone stability, "
+              "halving-plus the distribution load at the price of slower "
+              "new-TLD visibility — see Sec 5.3 bench)\n");
+  return 0;
+}

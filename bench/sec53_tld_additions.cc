@@ -1,0 +1,96 @@
+// §5.3 "TLD Additions" — how urgently do resolvers need a fresh zone?
+//
+// Reproduces the ".llc" case study: the TLD was added 2018-02-23, 47 days
+// before the DITL collection, yet drew <0.0002% of j-root queries from
+// <0.1% of resolvers. Prints that analysis on the generated day, then an
+// adoption-lag model: for a TTL/refresh interval T, a resolver first learns
+// about a new TLD T/2 later on average — quantifying the §5.2 TTL trade-off
+// and the paper's "recent additions diff file" mitigation.
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "traffic/classify.h"
+#include "traffic/workload.h"
+#include "util/strings.h"
+#include "zone/evolution.h"
+#include "zone/snapshot.h"
+#include "zone/zone_diff.h"
+
+int main() {
+  using namespace rootless;
+
+  std::printf("%s",
+              analysis::Banner("Sec 5.3: new-TLD adoption (.llc)").c_str());
+
+  const zone::RootZoneModel model;
+  const zone::TldRecord* llc = model.FindTld("llc");
+  if (llc == nullptr) return 1;
+  const std::int64_t ditl_day = util::DaysFromCivil({2018, 4, 11});
+  std::printf("llc added %s, DITL collection %s: %lld days later\n\n",
+              util::FormatDate(util::CivilFromDays(llc->add_day)).c_str(),
+              "2018-04-11",
+              static_cast<long long>(ditl_day - llc->add_day));
+
+  std::vector<std::string> real_tlds;
+  for (const auto* tld : model.ActiveTlds({2018, 4, 11})) {
+    real_tlds.push_back(tld->label);
+  }
+  traffic::WorkloadConfig config;
+  config.scale = 0.001;
+  const traffic::Trace trace = traffic::GenerateDitlTrace(config, real_tlds);
+  const traffic::TldShare share = traffic::MeasureTldShare(trace, "llc");
+
+  analysis::Table table({"metric", "paper (DITL 2018)", "measured (scaled)"});
+  char buf[64];
+  table.AddRow({"queries for .llc", "6.5K of 5.7B",
+                std::to_string(share.queries) + " of " +
+                    std::to_string(trace.events.size())});
+  std::snprintf(buf, sizeof(buf), "%.5f%%", share.query_fraction * 100);
+  table.AddRow({"query share", "<0.0002%", buf});
+  table.AddRow({"resolvers querying .llc", "1,817 of 4.1M",
+                std::to_string(share.resolvers)});
+  std::snprintf(buf, sizeof(buf), "%.3f%%", share.resolver_fraction * 100);
+  table.AddRow({"resolver share", "<0.1%", buf});
+  std::printf("%s\n", table.Render().c_str());
+
+  // ---- adoption lag under TTL choices ---------------------------------
+  analysis::Table lag({"refresh interval", "mean lag until visible",
+                       "worst-case lag", "queries lost in lag window*"});
+  const double llc_qps = static_cast<double>(share.queries) / 86400.0;
+  for (const double days : {1.0, 2.0, 7.0, 14.0}) {
+    std::snprintf(buf, sizeof(buf), "%.1f days", days / 2.0);
+    char worst[32];
+    std::snprintf(worst, sizeof(worst), "%.0f days", days);
+    char lost[48];
+    std::snprintf(lost, sizeof(lost), "%.1f (of %llu/day observed)",
+                  llc_qps * 86400.0 * days / 2.0,
+                  static_cast<unsigned long long>(share.queries));
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f days", days);
+    lag.AddRow({label, buf, worst, lost});
+  }
+  std::printf("%s", lag.Render().c_str());
+  std::printf("(*scaled trace; the paper's point: demand for a 47-day-old "
+              "TLD is so small that even week-long TTLs cost almost "
+              "nothing)\n\n");
+
+  // ---- the "diffs file" mitigation ------------------------------------
+  // The paper suggests a small "recent additions" diff so resolvers learn
+  // about new TLDs cheaply between full refreshes.
+  const zone::Zone before = model.Snapshot({2018, 2, 22});
+  const zone::Zone after = model.Snapshot({2018, 2, 24});
+  const zone::ZoneDiff diff = DiffZones(before, after);
+  const auto diff_wire = zone::SerializeDiff(diff);
+  std::printf("additions-diff across the .llc add date: %zu RRset changes, "
+              "%s on the wire (vs %s for the full zone) — the paper's "
+              "cheap \"recent additions\" channel.\n",
+              diff.change_count(),
+              util::FormatBytes(static_cast<double>(diff_wire.size())).c_str(),
+              util::FormatBytes(static_cast<double>(
+                                    zone::SerializeZone(after).size()))
+                  .c_str());
+  return 0;
+}

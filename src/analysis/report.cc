@@ -1,0 +1,74 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rootless::analysis {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void Table::AddSeparator() { rows_.push_back(Row{{}, true}); }
+
+std::string Table::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto rule = [&]() {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = rule();
+  out += render_row(headers_);
+  out += rule();
+  for (const auto& row : rows_) {
+    out += row.separator ? rule() : render_row(row.cells);
+  }
+  out += rule();
+  return out;
+}
+
+std::string RenderSeries(const TimeSeries& series, const std::string& title,
+                         int bar_width) {
+  std::string out = title + "\n";
+  if (series.empty()) return out + "  (no data)\n";
+  const double max_value = std::max(series.MaxValue(), 1e-12);
+  char buf[64];
+  for (const auto& [date, value] : series.points()) {
+    const int bar =
+        static_cast<int>(value / max_value * static_cast<double>(bar_width));
+    std::snprintf(buf, sizeof(buf), "%12.1f ", value);
+    out += "  " + util::FormatDate(date) + " " + buf +
+           std::string(static_cast<std::size_t>(std::max(bar, 0)), '#') + "\n";
+  }
+  return out;
+}
+
+std::string Banner(const std::string& title) {
+  const std::string rule(title.size() + 4, '=');
+  return rule + "\n= " + title + " =\n" + rule + "\n";
+}
+
+}  // namespace rootless::analysis

@@ -1,0 +1,40 @@
+// Report formatting for the benchmark binaries: aligned ASCII tables and
+// simple textual series/sparkline plots, so every bench prints the same
+// rows/series the paper's tables and figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/stats.h"
+
+namespace rootless::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; cells beyond the header count are dropped, missing cells
+  // render empty.
+  void AddRow(std::vector<std::string> cells);
+  void AddSeparator();
+
+  std::string Render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+// Renders a time series as "date  value  bar" lines (a terminal Fig 1/2).
+std::string RenderSeries(const TimeSeries& series, const std::string& title,
+                         int bar_width = 50);
+
+// Section header used by the benches.
+std::string Banner(const std::string& title);
+
+}  // namespace rootless::analysis

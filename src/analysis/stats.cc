@@ -1,0 +1,86 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rootless::analysis {
+
+void Summary::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double Summary::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double first_bound, double growth)
+    : first_bound_(first_bound), growth_(growth) {
+  ROOTLESS_CHECK(first_bound > 0);
+  ROOTLESS_CHECK(growth > 1.0);
+}
+
+std::size_t Histogram::BucketFor(double value) const {
+  if (value <= first_bound_) return 0;
+  return static_cast<std::size_t>(
+             std::ceil(std::log(value / first_bound_) / std::log(growth_))) ;
+}
+
+void Histogram::Add(double value) {
+  summary_.Add(value);
+  const std::size_t bucket = BucketFor(value);
+  if (buckets_.size() <= bucket) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+  ++total_;
+}
+
+double Histogram::Percentile(double p) const {
+  if (total_ == 0) return 0;
+  const double target = p / 100.0 * static_cast<double>(total_);
+  std::uint64_t running = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    running += buckets_[b];
+    if (static_cast<double>(running) >= target) {
+      return first_bound_ * std::pow(growth_, static_cast<double>(b));
+    }
+  }
+  return first_bound_ * std::pow(growth_, static_cast<double>(buckets_.size()));
+}
+
+void TimeSeries::Set(const util::CivilDate& date, double value) {
+  points_[date] = value;
+}
+
+double TimeSeries::MaxValue() const {
+  double best = 0;
+  bool first = true;
+  for (const auto& [date, value] : points_) {
+    if (first || value > best) best = value;
+    first = false;
+  }
+  return best;
+}
+
+double TimeSeries::MinValue() const {
+  double best = 0;
+  bool first = true;
+  for (const auto& [date, value] : points_) {
+    if (first || value < best) best = value;
+    first = false;
+  }
+  return best;
+}
+
+}  // namespace rootless::analysis

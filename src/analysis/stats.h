@@ -1,0 +1,71 @@
+// Statistics utilities shared by benches: streaming summaries, log-bucketed
+// histograms with percentile queries, and date-keyed time series.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/civil_time.h"
+
+namespace rootless::analysis {
+
+// Streaming mean/min/max/variance (Welford).
+class Summary {
+ public:
+  void Add(double value);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Histogram with geometric buckets; supports approximate percentiles. Good
+// for latency distributions spanning microseconds to seconds.
+class Histogram {
+ public:
+  // Bucket boundaries grow by `growth` per bucket starting at `first_bound`.
+  explicit Histogram(double first_bound = 1.0, double growth = 1.3);
+
+  void Add(double value);
+  std::uint64_t count() const { return total_; }
+  // p in [0, 100]. Returns an upper bound of the containing bucket.
+  double Percentile(double p) const;
+  double mean() const { return summary_.mean(); }
+  const Summary& summary() const { return summary_; }
+
+ private:
+  std::size_t BucketFor(double value) const;
+
+  double first_bound_;
+  double growth_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  Summary summary_;
+};
+
+// Date-keyed series (the Fig 1 / Fig 2 "value on the 15th of each month").
+class TimeSeries {
+ public:
+  void Set(const util::CivilDate& date, double value);
+  const std::map<util::CivilDate, double>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  double MaxValue() const;
+  double MinValue() const;
+
+ private:
+  std::map<util::CivilDate, double> points_;
+};
+
+}  // namespace rootless::analysis

@@ -1,0 +1,116 @@
+// Zone transfer over the simulated datagram network (§3: "a public
+// recursive server may provide the root zone via DNS' own zone transfer
+// mechanism"). A deliberately simple chunked protocol in the TFTP family:
+//
+//   client -> REQ  (serial the client already holds)
+//   server -> META (serial, chunk size, chunk count)   | UPTODATE
+//   client -> GET  (chunk index)   [sliding window, retransmit on timeout]
+//   server -> DATA (index, bytes)
+//
+// The payload is the binary zone snapshot (zone/snapshot.h); the client
+// reassembles and deserializes it. Loss is handled by per-chunk timeouts,
+// so transfers complete exactly even on lossy paths — the property the
+// tests drive at 10% loss.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/result.h"
+#include "zone/zone.h"
+
+namespace rootless::distrib {
+
+struct AxfrServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t uptodate = 0;
+  std::uint64_t chunks_sent = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class AxfrServer {
+ public:
+  using ZoneProvider = std::function<std::shared_ptr<const zone::Zone>()>;
+
+  AxfrServer(sim::Network& network, ZoneProvider provider,
+             std::size_t chunk_size = 1200);
+
+  sim::NodeId node() const { return node_; }
+  const AxfrServerStats& stats() const { return stats_; }
+
+ private:
+  void HandleDatagram(const sim::Datagram& datagram);
+
+  sim::Network& network_;
+  ZoneProvider provider_;
+  std::size_t chunk_size_;
+  sim::NodeId node_;
+  // Serialized snapshot cache, keyed by serial (rebuilt when it changes).
+  std::uint32_t cached_serial_ = 0;
+  util::Bytes cached_snapshot_;
+  AxfrServerStats stats_;
+};
+
+struct AxfrClientStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t uptodate = 0;
+  std::uint64_t chunks_received = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t failures = 0;
+};
+
+class AxfrClient {
+ public:
+  // On success delivers the transferred zone; an up-to-date exchange
+  // delivers nullptr (the caller keeps its copy).
+  using TransferCallback =
+      std::function<void(util::Result<std::shared_ptr<const zone::Zone>>)>;
+
+  AxfrClient(sim::Simulator& sim, sim::Network& network, int window = 8,
+             sim::SimTime chunk_timeout = 2 * sim::kSecond,
+             int max_chunk_retries = 5);
+
+  sim::NodeId node() const { return node_; }
+  const AxfrClientStats& stats() const { return stats_; }
+
+  // Starts a transfer; one at a time per client.
+  void Fetch(sim::NodeId server, std::uint32_t have_serial,
+             TransferCallback callback);
+
+ private:
+  struct Transfer {
+    sim::NodeId server = 0;
+    TransferCallback callback;
+    std::uint32_t serial = 0;
+    std::size_t chunk_size = 0;
+    std::uint32_t chunk_count = 0;
+    std::map<std::uint32_t, util::Bytes> chunks;
+    std::uint32_t next_to_request = 0;
+    std::uint64_t generation = 0;
+    bool meta_received = false;
+    int meta_retries = 0;
+    std::map<std::uint32_t, int> retries;  // per outstanding chunk
+  };
+
+  void HandleDatagram(const sim::Datagram& datagram);
+  void SendRequest(std::uint32_t have_serial);
+  void RequestMoreChunks();
+  void RequestChunk(std::uint32_t index);
+  void ArmChunkTimeout(std::uint32_t index, std::uint64_t generation);
+  void FinishSuccess();
+  void FinishError(const std::string& message);
+
+  sim::Simulator& sim_;
+  sim::Network& network_;
+  int window_;
+  sim::SimTime chunk_timeout_;
+  int max_chunk_retries_;
+  sim::NodeId node_;
+  std::unique_ptr<Transfer> transfer_;
+  AxfrClientStats stats_;
+};
+
+}  // namespace rootless::distrib

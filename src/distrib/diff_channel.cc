@@ -1,0 +1,104 @@
+#include "distrib/diff_channel.h"
+
+#include "zone/snapshot.h"
+
+namespace rootless::distrib {
+
+using util::ByteReader;
+using util::Bytes;
+using util::ByteWriter;
+using util::Error;
+
+DiffPublisher::DiffPublisher(zone::Zone initial, std::size_t max_history)
+    : latest_(std::move(initial)), max_history_(max_history) {}
+
+std::size_t DiffPublisher::Publish(const zone::Zone& next) {
+  const zone::ZoneDiff diff = DiffZones(latest_, next);
+  Entry entry;
+  entry.from_serial = latest_.Serial();
+  entry.to_serial = next.Serial();
+  entry.diff_wire = zone::SerializeDiff(diff);
+  const std::size_t size = entry.diff_wire.size();
+  history_.push_back(std::move(entry));
+  while (history_.size() > max_history_) history_.pop_front();
+  latest_ = next;
+  return size;
+}
+
+DiffPublisher::Update DiffPublisher::UpdatesSince(
+    std::uint32_t have_serial) const {
+  Update update;
+  update.from_serial = have_serial;
+  update.to_serial = latest_serial();
+  if (have_serial == latest_serial()) {
+    update.kind = Update::Kind::kUpToDate;
+    return update;
+  }
+  // Find the chain start in retained history.
+  std::size_t start = history_.size();
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    if (history_[i].from_serial == have_serial) {
+      start = i;
+      break;
+    }
+  }
+  if (start == history_.size()) {
+    // Too far behind (or unknown serial): full zone.
+    update.kind = Update::Kind::kFullZone;
+    update.payload = zone::SerializeZone(latest_);
+    return update;
+  }
+  update.kind = Update::Kind::kDiffs;
+  ByteWriter w;
+  w.WriteVarint(history_.size() - start);
+  for (std::size_t i = start; i < history_.size(); ++i) {
+    w.WriteU32(history_[i].from_serial);
+    w.WriteU32(history_[i].to_serial);
+    w.WriteVarint(history_[i].diff_wire.size());
+    w.WriteBytes(history_[i].diff_wire);
+  }
+  update.payload = w.TakeData();
+  return update;
+}
+
+util::Status DiffSubscriber::Apply(const DiffPublisher::Update& update) {
+  switch (update.kind) {
+    case DiffPublisher::Update::Kind::kUpToDate:
+      return util::Status::Ok();
+    case DiffPublisher::Update::Kind::kFullZone: {
+      auto zone = zone::DeserializeZone(update.payload);
+      if (!zone.ok()) return Error(zone.error().message());
+      full_bytes_ += update.payload.size();
+      zone_ = std::move(*zone);
+      ++applied_;
+      return util::Status::Ok();
+    }
+    case DiffPublisher::Update::Kind::kDiffs: {
+      ByteReader r(update.payload);
+      std::uint64_t count = 0;
+      if (!r.ReadVarint(count)) return Error("diffchannel: truncated count");
+      for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint32_t from = 0, to = 0;
+        std::uint64_t size = 0;
+        if (!r.ReadU32(from) || !r.ReadU32(to) || !r.ReadVarint(size))
+          return Error("diffchannel: truncated entry");
+        std::span<const std::uint8_t> wire;
+        if (!r.ReadSpan(size, wire)) return Error("diffchannel: truncated diff");
+        if (from != zone_.Serial())
+          return Error("diffchannel: chain does not start at our serial");
+        auto diff = zone::DeserializeDiff(wire);
+        if (!diff.ok()) return Error(diff.error().message());
+        ROOTLESS_RETURN_IF_ERROR(ApplyDiff(zone_, *diff));
+        diff_bytes_ += size;
+        ++applied_;
+        if (zone_.Serial() != to)
+          return Error("diffchannel: serial mismatch after apply");
+      }
+      if (!r.at_end()) return Error("diffchannel: trailing bytes");
+      return util::Status::Ok();
+    }
+  }
+  return Error("diffchannel: unknown update kind");
+}
+
+}  // namespace rootless::distrib

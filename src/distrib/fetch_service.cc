@@ -1,0 +1,42 @@
+#include "distrib/fetch_service.h"
+
+#include "zone/snapshot.h"
+
+namespace rootless::distrib {
+
+void ZoneFetchService::Fetch(FetchCallback callback) {
+  ++stats_.fetches;
+  if (InOutage(sim_.now())) {
+    ++stats_.failures;
+    // Failure is detected after a timeout-ish delay.
+    sim_.Schedule(config_.base_latency * 4,
+                  [callback = std::move(callback)]() {
+                    callback(util::Error("fetch: service unavailable"));
+                  });
+    return;
+  }
+  std::shared_ptr<const zone::Zone> z = provider_();
+  const std::size_t size = SerializeZone(*z).size();
+  stats_.bytes_served += size;
+  const sim::SimTime transfer =
+      config_.base_latency +
+      static_cast<sim::SimTime>(static_cast<double>(size) /
+                                config_.bandwidth_bytes_per_sec * sim::kSecond);
+  const bool verify = config_.verify_signatures;
+  sim_.Schedule(transfer, [this, z = std::move(z), verify,
+                           callback = std::move(callback)]() {
+    if (verify) {
+      auto validated = crypto::ValidateZoneRRsets(
+          z->AllRRsets(), dnskey_, store_, config_.validation_now);
+      if (!validated.ok()) {
+        ++stats_.validation_failures;
+        callback(util::Error("fetch: validation failed: " +
+                             validated.error().message()));
+        return;
+      }
+    }
+    callback(z);
+  });
+}
+
+}  // namespace rootless::distrib

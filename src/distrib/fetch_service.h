@@ -1,0 +1,81 @@
+// Simulated zone-fetch service: the out-of-band channel a resolver uses to
+// obtain the root zone (mirror / rsync endpoint). Models transfer time
+// (latency + size/bandwidth), verification (DNSSEC-shaped zone validation),
+// and injectable outage windows for the §4 robustness experiments.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "crypto/dnssec.h"
+#include "sim/simulator.h"
+#include "util/result.h"
+#include "zone/zone.h"
+
+namespace rootless::distrib {
+
+struct FetchServiceConfig {
+  sim::SimTime base_latency = 50 * sim::kMillisecond;
+  double bandwidth_bytes_per_sec = 10e6;  // 10 MB/s effective
+  // If set, fetched zones are validated against this key before delivery.
+  bool verify_signatures = false;
+  std::uint32_t validation_now = 0;  // unix seconds for RRSIG windows
+};
+
+struct FetchServiceStats {
+  std::uint64_t fetches = 0;
+  std::uint64_t failures = 0;           // outage-window failures
+  std::uint64_t validation_failures = 0;
+  std::uint64_t bytes_served = 0;
+};
+
+class ZoneFetchService {
+ public:
+  using ZoneProvider = std::function<std::shared_ptr<const zone::Zone>()>;
+  using FetchResult = util::Result<std::shared_ptr<const zone::Zone>>;
+  using FetchCallback = std::function<void(FetchResult)>;
+
+  ZoneFetchService(sim::Simulator& sim, FetchServiceConfig config,
+                   ZoneProvider provider)
+      : sim_(sim), config_(config), provider_(std::move(provider)) {}
+
+  // Fetches fail while sim-time is inside any outage window.
+  void AddOutage(sim::SimTime from, sim::SimTime to) {
+    outages_.push_back({from, to});
+  }
+
+  // For verify_signatures: key material the validation should trust.
+  void SetTrust(dns::DnskeyData dnskey, crypto::KeyStore store) {
+    dnskey_ = std::move(dnskey);
+    store_ = std::move(store);
+  }
+
+  // Asynchronous fetch: the callback fires after the simulated transfer.
+  void Fetch(FetchCallback callback);
+
+  const FetchServiceStats& stats() const { return stats_; }
+
+ private:
+  struct Outage {
+    sim::SimTime from;
+    sim::SimTime to;
+  };
+
+  bool InOutage(sim::SimTime t) const {
+    for (const auto& o : outages_) {
+      if (t >= o.from && t < o.to) return true;
+    }
+    return false;
+  }
+
+  sim::Simulator& sim_;
+  FetchServiceConfig config_;
+  ZoneProvider provider_;
+  std::vector<Outage> outages_;
+  dns::DnskeyData dnskey_;
+  crypto::KeyStore store_;
+  FetchServiceStats stats_;
+};
+
+}  // namespace rootless::distrib

@@ -1,0 +1,150 @@
+#include "distrib/mechanisms.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rootless::distrib {
+
+DistributionCost FullFileCost(std::size_t compressed_zone_bytes,
+                              double refresh_interval_days,
+                              std::uint64_t resolver_count,
+                              unsigned mirror_count) {
+  ROOTLESS_CHECK(refresh_interval_days > 0);
+  DistributionCost cost;
+  cost.mechanism = "http-mirrors";
+  cost.per_resolver_bytes_per_day =
+      static_cast<double>(compressed_zone_bytes) / refresh_interval_days;
+  cost.total_bytes_per_day =
+      cost.per_resolver_bytes_per_day * static_cast<double>(resolver_count);
+  cost.origin_bytes_per_day =
+      cost.total_bytes_per_day / std::max(1u, mirror_count);
+  return cost;
+}
+
+DistributionCost RsyncCost(std::size_t signature_bytes,
+                           std::size_t delta_bytes,
+                           double refresh_interval_days,
+                           std::uint64_t resolver_count) {
+  ROOTLESS_CHECK(refresh_interval_days > 0);
+  DistributionCost cost;
+  cost.mechanism = "rsync-delta";
+  cost.per_resolver_bytes_per_day =
+      static_cast<double>(signature_bytes + delta_bytes) /
+      refresh_interval_days;
+  cost.total_bytes_per_day =
+      cost.per_resolver_bytes_per_day * static_cast<double>(resolver_count);
+  cost.origin_bytes_per_day = cost.total_bytes_per_day;
+  return cost;
+}
+
+DistributionCost AxfrCost(std::size_t snapshot_bytes,
+                          double refresh_interval_days,
+                          std::uint64_t resolver_count,
+                          unsigned server_count) {
+  ROOTLESS_CHECK(refresh_interval_days > 0);
+  DistributionCost cost;
+  cost.mechanism = "axfr";
+  cost.per_resolver_bytes_per_day =
+      static_cast<double>(snapshot_bytes) / refresh_interval_days;
+  cost.total_bytes_per_day =
+      cost.per_resolver_bytes_per_day * static_cast<double>(resolver_count);
+  cost.origin_bytes_per_day =
+      cost.total_bytes_per_day / std::max(1u, server_count);
+  return cost;
+}
+
+double SwarmResult::origin_bytes() const {
+  return static_cast<double>(origin_chunks) * 64.0 * 1024.0;
+}
+
+SwarmResult SimulateSwarm(const SwarmConfig& config) {
+  ROOTLESS_CHECK(config.peer_count > 0);
+  ROOTLESS_CHECK(config.chunk_bytes > 0);
+  util::Rng rng(config.seed);
+  const std::uint32_t chunk_count = static_cast<std::uint32_t>(
+      (config.file_bytes + config.chunk_bytes - 1) / config.chunk_bytes);
+
+  SwarmResult result;
+  result.per_peer_download_bytes = static_cast<double>(config.file_bytes);
+  if (chunk_count == 0) return result;
+
+  // have[p] = bitmap of chunks peer p holds. Peer 0 is the origin seed.
+  std::vector<std::vector<bool>> have(config.peer_count + 1,
+                                      std::vector<bool>(chunk_count, false));
+  std::vector<std::uint32_t> have_count(config.peer_count + 1, 0);
+  have[0].assign(chunk_count, true);
+  have_count[0] = chunk_count;
+
+  std::uint32_t completed = 0;
+  while (completed < config.peer_count) {
+    ++result.rounds;
+    ROOTLESS_CHECK(result.rounds < 100000);  // termination backstop
+    std::vector<std::uint32_t> upload_budget(config.peer_count + 1);
+    upload_budget[0] = config.seed_upload_per_round;
+    for (std::uint32_t p = 1; p <= config.peer_count; ++p) {
+      upload_budget[p] = config.peer_upload_per_round;
+    }
+
+    // Each incomplete peer contacts a few nodes and pulls missing chunks.
+    for (std::uint32_t p = 1; p <= config.peer_count; ++p) {
+      if (have_count[p] == chunk_count) continue;
+      for (std::uint32_t c = 0; c < config.contacts_per_round; ++c) {
+        // Contact the seed occasionally, otherwise a random peer.
+        const std::uint32_t peer =
+            rng.Chance(0.15) ? 0
+                             : 1 + static_cast<std::uint32_t>(
+                                       rng.Below(config.peer_count));
+        if (peer == p || upload_budget[peer] == 0) continue;
+        if (have_count[peer] == 0) continue;
+        // Pull one missing chunk this contact (start at a random index so
+        // different peers fetch different chunks — rarest-first-ish spread).
+        const std::uint32_t start =
+            static_cast<std::uint32_t>(rng.Below(chunk_count));
+        for (std::uint32_t k = 0; k < chunk_count; ++k) {
+          const std::uint32_t chunk = (start + k) % chunk_count;
+          if (!have[p][chunk] && have[peer][chunk]) {
+            have[p][chunk] = true;
+            ++have_count[p];
+            --upload_budget[peer];
+            if (peer == 0) {
+              ++result.origin_chunks;
+            } else {
+              ++result.peer_chunks;
+            }
+            break;
+          }
+        }
+        if (have_count[p] == chunk_count) {
+          ++completed;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+DistributionCost P2pCost(const SwarmResult& result, std::size_t file_bytes,
+                         double refresh_interval_days,
+                         std::uint64_t resolver_count) {
+  ROOTLESS_CHECK(refresh_interval_days > 0);
+  DistributionCost cost;
+  cost.mechanism = "p2p-swarm";
+  cost.per_resolver_bytes_per_day =
+      static_cast<double>(file_bytes) / refresh_interval_days;
+  cost.total_bytes_per_day =
+      cost.per_resolver_bytes_per_day * static_cast<double>(resolver_count);
+  // Origin only seeds; scale the simulated swarm's origin share to the
+  // population.
+  const double origin_fraction =
+      result.origin_chunks + result.peer_chunks == 0
+          ? 1.0
+          : static_cast<double>(result.origin_chunks) /
+                static_cast<double>(result.origin_chunks + result.peer_chunks);
+  cost.origin_bytes_per_day = cost.total_bytes_per_day * origin_fraction;
+  return cost;
+}
+
+}  // namespace rootless::distrib

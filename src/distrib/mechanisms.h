@@ -1,0 +1,81 @@
+// Root-zone distribution mechanisms and their cost accounting (§3, §5.2).
+//
+// The paper floats four delivery options: HTTP mirrors, DNS zone transfer,
+// peer-to-peer swarms, and rsync deltas. This module quantifies each: bytes
+// moved per day at the origin tier and per resolver, given the zone size,
+// delta sizes, refresh interval, and resolver population. The P2P option is
+// backed by an actual round-based chunk-swarm simulation rather than a
+// closed-form guess.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace rootless::distrib {
+
+struct DistributionCost {
+  std::string mechanism;
+  // Egress at the origin/mirror tier per day.
+  double origin_bytes_per_day = 0;
+  // Download per resolver per day.
+  double per_resolver_bytes_per_day = 0;
+  // Aggregate across the population per day.
+  double total_bytes_per_day = 0;
+};
+
+// Every resolver fetches the full (compressed) file every interval. Mirrors
+// split origin egress; the total moved is unchanged.
+DistributionCost FullFileCost(std::size_t compressed_zone_bytes,
+                              double refresh_interval_days,
+                              std::uint64_t resolver_count,
+                              unsigned mirror_count);
+
+// rsync: per refresh a resolver uploads its block signature and downloads
+// the delta (sizes from the real rsync implementation in rsync.h).
+DistributionCost RsyncCost(std::size_t signature_bytes,
+                           std::size_t delta_bytes,
+                           double refresh_interval_days,
+                           std::uint64_t resolver_count);
+
+// AXFR-style zone transfer of the uncompressed snapshot.
+DistributionCost AxfrCost(std::size_t snapshot_bytes,
+                          double refresh_interval_days,
+                          std::uint64_t resolver_count,
+                          unsigned server_count);
+
+// --- P2P swarm ---------------------------------------------------------
+
+struct SwarmConfig {
+  std::uint64_t seed = 7;
+  std::size_t file_bytes = 0;
+  std::size_t chunk_bytes = 64 * 1024;
+  std::uint32_t peer_count = 0;
+  // Chunks a peer can upload per round (uplink capacity); the origin seed
+  // uploads like `seed_upload_per_round`.
+  std::uint32_t peer_upload_per_round = 4;
+  std::uint32_t seed_upload_per_round = 50;
+  // Peers a node can learn chunk availability from per round.
+  std::uint32_t contacts_per_round = 8;
+};
+
+struct SwarmResult {
+  std::uint32_t rounds = 0;            // rounds until every peer completed
+  std::uint64_t origin_chunks = 0;     // chunks served by the origin seed
+  std::uint64_t peer_chunks = 0;       // chunks exchanged peer-to-peer
+  double origin_bytes() const;
+  double per_peer_download_bytes = 0;  // = file size, by construction
+};
+
+// Simulates a chunk swarm distributing one zone update. Rarest-first-ish:
+// each round, peers request chunks they lack from contacts that have them,
+// bounded by uploader capacity.
+SwarmResult SimulateSwarm(const SwarmConfig& config);
+
+// Converts a swarm run into per-day cost for the given refresh interval.
+DistributionCost P2pCost(const SwarmResult& result, std::size_t file_bytes,
+                         double refresh_interval_days,
+                         std::uint64_t resolver_count);
+
+}  // namespace rootless::distrib

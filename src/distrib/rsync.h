@@ -1,0 +1,93 @@
+// The rsync algorithm (Tridgell & Mackerras), implemented for real.
+//
+// The paper's §3/§5.2 propose rsync-style delta distribution so that "only
+// changes in the root zone file would need to propagate instead of the
+// entire file". This module implements the actual protocol mechanics:
+// the receiver summarizes its stale copy as per-block (rolling, strong)
+// checksums; the sender slides a window over the new file, matching blocks
+// via the O(1)-rollable weak checksum confirmed by the strong hash, and
+// emits a delta of block references and literal bytes; the receiver replays
+// the delta against its copy to reconstruct the new file byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace rootless::distrib {
+
+// Rolling checksum (rsync's Adler-32 variant, M = 2^16).
+class RollingChecksum {
+ public:
+  static std::uint32_t Compute(std::span<const std::uint8_t> block);
+
+  // Initializes over the first window.
+  void Init(std::span<const std::uint8_t> block);
+  // Slides the window one byte: removes `out`, appends `in`.
+  void Roll(std::uint8_t out, std::uint8_t in, std::size_t window);
+  std::uint32_t value() const { return (b_ << 16) | a_; }
+
+ private:
+  std::uint32_t a_ = 0;
+  std::uint32_t b_ = 0;
+};
+
+struct BlockSignature {
+  std::uint32_t rolling = 0;
+  std::uint64_t strong = 0;  // first 8 bytes of SHA-256 of the block
+};
+
+struct FileSignature {
+  std::size_t block_size = 0;
+  std::size_t file_size = 0;
+  std::vector<BlockSignature> blocks;
+
+  // Serialized size, for distribution accounting (the receiver uploads it).
+  std::size_t WireSize() const;
+};
+
+// Delta operations: either copy `count` consecutive blocks starting at
+// `block_index` from the old file, or insert literal bytes.
+struct CopyOp {
+  std::uint32_t block_index = 0;
+  std::uint32_t count = 1;
+};
+struct LiteralOp {
+  util::Bytes bytes;
+};
+using DeltaOp = std::variant<CopyOp, LiteralOp>;
+
+struct Delta {
+  std::size_t block_size = 0;
+  std::size_t old_file_size = 0;
+  std::vector<DeltaOp> ops;
+
+  std::size_t literal_bytes() const;
+  std::size_t copied_bytes() const;
+  // Serialized size, for distribution accounting (the sender downloads it).
+  std::size_t WireSize() const;
+};
+
+// Receiver side: summarize the stale copy.
+FileSignature ComputeSignature(std::span<const std::uint8_t> old_file,
+                               std::size_t block_size = 2048);
+
+// Sender side: compute the delta transforming old (as summarized by
+// `signature`) into `new_file`.
+Delta ComputeDelta(const FileSignature& signature,
+                   std::span<const std::uint8_t> new_file);
+
+// Receiver side: reconstruct the new file. Fails if the delta references
+// blocks beyond the old file.
+util::Result<util::Bytes> ApplyDelta(std::span<const std::uint8_t> old_file,
+                                     const Delta& delta);
+
+// Wire round trip for the delta (what actually crosses the network).
+util::Bytes SerializeDelta(const Delta& delta);
+util::Result<Delta> DeserializeDelta(std::span<const std::uint8_t> wire);
+
+}  // namespace rootless::distrib

@@ -1,0 +1,202 @@
+#include "dns/message.h"
+
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace rootless::dns {
+
+using util::Error;
+using util::Result;
+
+namespace {
+
+// Compression dictionary: maps a name suffix (canonical text) to its offset.
+class NameCompressor {
+ public:
+  void EncodeName(const Name& name, util::ByteWriter& w) {
+    const auto& labels = name.labels();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      const std::string suffix = SuffixKey(labels, i);
+      auto it = offsets_.find(suffix);
+      if (it != offsets_.end() && it->second <= 0x3FFF) {
+        w.WriteU16(static_cast<std::uint16_t>(0xC000 | it->second));
+        return;
+      }
+      if (w.size() <= 0x3FFF) offsets_.emplace(suffix, w.size());
+      w.WriteU8(static_cast<std::uint8_t>(labels[i].size()));
+      w.WriteString(labels[i]);
+    }
+    w.WriteU8(0);
+  }
+
+ private:
+  static std::string SuffixKey(const std::vector<std::string>& labels,
+                               std::size_t from) {
+    std::string key;
+    for (std::size_t i = from; i < labels.size(); ++i) {
+      key += util::ToLower(labels[i]);
+      key.push_back('.');
+    }
+    return key;
+  }
+
+  std::unordered_map<std::string, std::size_t> offsets_;
+};
+
+void EncodeHeader(const Header& h, std::uint16_t qd, std::uint16_t an,
+                  std::uint16_t ns, std::uint16_t ar, util::ByteWriter& w) {
+  w.WriteU16(h.id);
+  std::uint16_t flags = 0;
+  if (h.qr) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(h.opcode) & 0xF)
+           << 11;
+  if (h.aa) flags |= 0x0400;
+  if (h.tc) flags |= 0x0200;
+  if (h.rd) flags |= 0x0100;
+  if (h.ra) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(h.rcode) & 0xF);
+  w.WriteU16(flags);
+  w.WriteU16(qd);
+  w.WriteU16(an);
+  w.WriteU16(ns);
+  w.WriteU16(ar);
+}
+
+void EncodeRecord(const ResourceRecord& rr, NameCompressor& compressor,
+                  util::ByteWriter& w) {
+  compressor.EncodeName(rr.name, w);
+  w.WriteU16(static_cast<std::uint16_t>(rr.type));
+  w.WriteU16(static_cast<std::uint16_t>(rr.rrclass));
+  w.WriteU32(rr.ttl);
+  const std::size_t len_offset = w.size();
+  w.WriteU16(0);  // placeholder RDLENGTH
+  const std::size_t start = w.size();
+  EncodeRdata(rr.rdata, w);
+  w.PatchU16(len_offset, static_cast<std::uint16_t>(w.size() - start));
+}
+
+}  // namespace
+
+std::size_t Message::WireSize() const { return EncodeMessage(*this).size(); }
+
+util::Bytes EncodeMessage(const Message& m, std::size_t max_size) {
+  // First pass: encode everything; if it does not fit, re-encode dropping
+  // records section-by-section from the back and set TC.
+  auto encode = [&](std::size_t an, std::size_t ns, std::size_t ar,
+                    bool tc) -> util::Bytes {
+    util::ByteWriter w;
+    Header h = m.header;
+    h.tc = tc;
+    EncodeHeader(h, static_cast<std::uint16_t>(m.questions.size()),
+                 static_cast<std::uint16_t>(an), static_cast<std::uint16_t>(ns),
+                 static_cast<std::uint16_t>(ar), w);
+    NameCompressor compressor;
+    for (const auto& q : m.questions) {
+      compressor.EncodeName(q.name, w);
+      w.WriteU16(static_cast<std::uint16_t>(q.type));
+      w.WriteU16(static_cast<std::uint16_t>(q.rrclass));
+    }
+    for (std::size_t i = 0; i < an; ++i)
+      EncodeRecord(m.answers[i], compressor, w);
+    for (std::size_t i = 0; i < ns; ++i)
+      EncodeRecord(m.authority[i], compressor, w);
+    for (std::size_t i = 0; i < ar; ++i)
+      EncodeRecord(m.additional[i], compressor, w);
+    return w.TakeData();
+  };
+
+  util::Bytes wire =
+      encode(m.answers.size(), m.authority.size(), m.additional.size(), false);
+  if (max_size == 0 || wire.size() <= max_size) return wire;
+
+  // Drop additional, then authority, then answers until it fits.
+  std::size_t an = m.answers.size(), ns = m.authority.size(),
+              ar = m.additional.size();
+  while (an + ns + ar > 0) {
+    if (ar > 0) --ar;
+    else if (ns > 0) --ns;
+    else --an;
+    wire = encode(an, ns, ar, true);
+    if (wire.size() <= max_size) return wire;
+  }
+  return wire;  // header + questions only, TC set
+}
+
+Result<Message> DecodeMessage(std::span<const std::uint8_t> wire) {
+  util::ByteReader r(wire);
+  Message m;
+  std::uint16_t flags = 0, qd = 0, an = 0, ns = 0, ar = 0;
+  if (!r.ReadU16(m.header.id) || !r.ReadU16(flags) || !r.ReadU16(qd) ||
+      !r.ReadU16(an) || !r.ReadU16(ns) || !r.ReadU16(ar))
+    return Error("message: truncated header");
+  m.header.qr = flags & 0x8000;
+  m.header.opcode = static_cast<Opcode>((flags >> 11) & 0xF);
+  m.header.aa = flags & 0x0400;
+  m.header.tc = flags & 0x0200;
+  m.header.rd = flags & 0x0100;
+  m.header.ra = flags & 0x0080;
+  m.header.rcode = static_cast<RCode>(flags & 0xF);
+
+  for (int i = 0; i < qd; ++i) {
+    Question q;
+    auto name = Name::DecodeWire(r);
+    if (!name.ok()) return name.error();
+    q.name = std::move(*name);
+    std::uint16_t type = 0, cls = 0;
+    if (!r.ReadU16(type) || !r.ReadU16(cls))
+      return Error("message: truncated question");
+    q.type = static_cast<RRType>(type);
+    q.rrclass = static_cast<RRClass>(cls);
+    m.questions.push_back(std::move(q));
+  }
+
+  auto read_records = [&](int count,
+                          std::vector<ResourceRecord>& out) -> util::Status {
+    for (int i = 0; i < count; ++i) {
+      ResourceRecord rr;
+      auto name = Name::DecodeWire(r);
+      if (!name.ok()) return Error(name.error().message());
+      rr.name = std::move(*name);
+      std::uint16_t type = 0, cls = 0, rdlength = 0;
+      if (!r.ReadU16(type) || !r.ReadU16(cls) || !r.ReadU32(rr.ttl) ||
+          !r.ReadU16(rdlength))
+        return Error("message: truncated record header");
+      rr.type = static_cast<RRType>(type);
+      rr.rrclass = static_cast<RRClass>(cls);
+      auto rdata = DecodeRdata(rr.type, rdlength, r);
+      if (!rdata.ok()) return Error(rdata.error().message());
+      rr.rdata = std::move(*rdata);
+      out.push_back(std::move(rr));
+    }
+    return util::Status::Ok();
+  };
+
+  ROOTLESS_RETURN_IF_ERROR(read_records(an, m.answers));
+  ROOTLESS_RETURN_IF_ERROR(read_records(ns, m.authority));
+  ROOTLESS_RETURN_IF_ERROR(read_records(ar, m.additional));
+
+  if (!r.at_end()) return Error("message: trailing bytes");
+  return m;
+}
+
+Message MakeQuery(std::uint16_t id, const Name& name, RRType type,
+                  bool recursion_desired) {
+  Message m;
+  m.header.id = id;
+  m.header.rd = recursion_desired;
+  m.questions.push_back(Question{name, type, RRClass::kIN});
+  return m;
+}
+
+Message MakeResponse(const Message& query, RCode rcode) {
+  Message m;
+  m.header = query.header;
+  m.header.qr = true;
+  m.header.ra = false;
+  m.header.rcode = rcode;
+  m.questions = query.questions;
+  return m;
+}
+
+}  // namespace rootless::dns

@@ -1,0 +1,71 @@
+// DNS message (RFC 1035 §4) with wire codec.
+//
+// Encoding applies name compression to owner names (RDATA names are written
+// uncompressed, which is always legal and required for DNSSEC types).
+// Decoding is hardened against malformed input: forward pointers, truncation
+// and trailing garbage are all reported as errors, never undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "dns/types.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace rootless::dns {
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  // response flag
+  Opcode opcode = Opcode::kQuery;
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated
+  bool rd = false;  // recursion desired
+  bool ra = false;  // recursion available
+  RCode rcode = RCode::kNoError;
+
+  bool operator==(const Header&) const = default;
+};
+
+struct Question {
+  Name name;
+  RRType type = RRType::kA;
+  RRClass rrclass = RRClass::kIN;
+
+  bool operator==(const Question&) const = default;
+};
+
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authority;
+  std::vector<ResourceRecord> additional;
+
+  // Total RR count excluding questions.
+  std::size_t record_count() const {
+    return answers.size() + authority.size() + additional.size();
+  }
+
+  // Serialized size (convenience: encodes and measures).
+  std::size_t WireSize() const;
+
+  bool operator==(const Message&) const = default;
+};
+
+// Encodes with owner-name compression. `max_size` of 0 means unlimited;
+// otherwise the TC bit is set and records are dropped (whole RRs) to fit,
+// mimicking UDP truncation at 512 or an EDNS size.
+util::Bytes EncodeMessage(const Message& message, std::size_t max_size = 0);
+
+util::Result<Message> DecodeMessage(std::span<const std::uint8_t> wire);
+
+// Convenience builders.
+Message MakeQuery(std::uint16_t id, const Name& name, RRType type,
+                  bool recursion_desired = false);
+Message MakeResponse(const Message& query, RCode rcode);
+
+}  // namespace rootless::dns

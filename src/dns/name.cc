@@ -1,0 +1,231 @@
+#include "dns/name.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace rootless::dns {
+
+using util::Error;
+using util::Result;
+
+namespace {
+
+constexpr std::size_t kMaxLabelLength = 63;
+constexpr std::size_t kMaxNameLength = 255;
+
+std::size_t WireLengthOf(const std::vector<std::string>& labels) {
+  std::size_t n = 1;  // root length octet
+  for (const auto& l : labels) n += 1 + l.size();
+  return n;
+}
+
+}  // namespace
+
+Result<Name> Name::FromLabels(std::vector<std::string> labels) {
+  for (const auto& l : labels) {
+    if (l.empty()) return Error("name: empty label");
+    if (l.size() > kMaxLabelLength) return Error("name: label too long");
+  }
+  if (WireLengthOf(labels) > kMaxNameLength) return Error("name: name too long");
+  return Name(std::move(labels));
+}
+
+Result<Name> Name::Parse(std::string_view text) {
+  if (text.empty() || text == ".") return Name();
+  if (text.back() == '.') text.remove_suffix(1);
+  if (text.empty()) return Error("name: consecutive dots");
+
+  std::vector<std::string> labels;
+  std::string current;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\\') {
+      if (i + 1 >= text.size()) return Error("name: dangling escape");
+      const char next = text[i + 1];
+      if (next >= '0' && next <= '9') {
+        if (i + 3 >= text.size()) return Error("name: truncated \\DDD escape");
+        int value = 0;
+        for (int k = 1; k <= 3; ++k) {
+          const char d = text[i + k];
+          if (d < '0' || d > '9') return Error("name: bad \\DDD escape");
+          value = value * 10 + (d - '0');
+        }
+        if (value > 255) return Error("name: \\DDD escape out of range");
+        current.push_back(static_cast<char>(value));
+        i += 3;
+      } else {
+        current.push_back(next);
+        i += 1;
+      }
+    } else if (c == '.') {
+      if (current.empty()) return Error("name: empty label");
+      labels.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+    if (current.size() > kMaxLabelLength) return Error("name: label too long");
+  }
+  if (current.empty()) return Error("name: empty label");
+  labels.push_back(std::move(current));
+  return FromLabels(std::move(labels));
+}
+
+Result<Name> Name::DecodeWire(util::ByteReader& reader) {
+  std::vector<std::string> labels;
+  std::size_t total = 0;
+  // After following the first pointer the reader's final position is fixed.
+  bool followed_pointer = false;
+  std::size_t resume_offset = 0;
+  std::size_t position = reader.offset();
+  // Pointers must point strictly backwards, so each hop decreases `position`
+  // and the loop terminates.
+  for (;;) {
+    std::uint8_t len = 0;
+    if (!reader.PeekAt(position, len)) return Error("name: truncated");
+    if ((len & 0xC0) == 0xC0) {
+      std::uint8_t low = 0;
+      if (!reader.PeekAt(position + 1, low)) return Error("name: truncated pointer");
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3F) << 8) | low;
+      if (target >= position) return Error("name: forward compression pointer");
+      if (!followed_pointer) {
+        followed_pointer = true;
+        resume_offset = position + 2;
+      }
+      position = target;
+      continue;
+    }
+    if ((len & 0xC0) != 0) return Error("name: reserved label type");
+    if (len == 0) {
+      position += 1;
+      break;
+    }
+    std::string label;
+    label.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      std::uint8_t b = 0;
+      if (!reader.PeekAt(position + 1 + i, b)) return Error("name: truncated label");
+      label.push_back(static_cast<char>(b));
+    }
+    total += 1 + len;
+    if (total + 1 > kMaxNameLength) return Error("name: name too long");
+    labels.push_back(std::move(label));
+    position += 1 + len;
+  }
+  const std::size_t end = followed_pointer ? resume_offset : position;
+  if (!reader.Seek(end)) return Error("name: seek failed");
+  return Name(std::move(labels));
+}
+
+void Name::EncodeWire(util::ByteWriter& writer) const {
+  for (const auto& l : labels_) {
+    writer.WriteU8(static_cast<std::uint8_t>(l.size()));
+    writer.WriteString(l);
+  }
+  writer.WriteU8(0);
+}
+
+util::Bytes Name::CanonicalWire() const {
+  util::ByteWriter w;
+  for (const auto& l : labels_) {
+    w.WriteU8(static_cast<std::uint8_t>(l.size()));
+    w.WriteString(util::ToLower(l));
+  }
+  w.WriteU8(0);
+  return w.TakeData();
+}
+
+std::size_t Name::wire_length() const { return WireLengthOf(labels_); }
+
+std::string Name::tld() const {
+  if (labels_.empty()) return "";
+  return util::ToLower(labels_.back());
+}
+
+Name Name::Parent() const {
+  std::vector<std::string> labels(labels_.begin() + 1, labels_.end());
+  return Name(std::move(labels));
+}
+
+Result<Name> Name::Concat(const Name& suffix) const {
+  std::vector<std::string> labels = labels_;
+  labels.insert(labels.end(), suffix.labels_.begin(), suffix.labels_.end());
+  return FromLabels(std::move(labels));
+}
+
+bool Name::IsSubdomainOf(const Name& other) const {
+  if (other.labels_.size() > labels_.size()) return false;
+  auto mine = labels_.rbegin();
+  for (auto theirs = other.labels_.rbegin(); theirs != other.labels_.rend();
+       ++theirs, ++mine) {
+    if (!util::EqualsIgnoreCase(*mine, *theirs)) return false;
+  }
+  return true;
+}
+
+bool Name::operator==(const Name& other) const {
+  if (labels_.size() != other.labels_.size()) return false;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (!util::EqualsIgnoreCase(labels_[i], other.labels_[i])) return false;
+  }
+  return true;
+}
+
+std::weak_ordering Name::operator<=>(const Name& other) const {
+  // RFC 4034 §6.1: compare label sequences right to left.
+  auto a = labels_.rbegin();
+  auto b = other.labels_.rbegin();
+  for (; a != labels_.rend() && b != other.labels_.rend(); ++a, ++b) {
+    const std::size_t n = std::min(a->size(), b->size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const unsigned char ca =
+          static_cast<unsigned char>(util::AsciiToLower((*a)[i]));
+      const unsigned char cb =
+          static_cast<unsigned char>(util::AsciiToLower((*b)[i]));
+      if (ca != cb) return ca <=> cb;
+    }
+    if (a->size() != b->size()) return a->size() <=> b->size();
+  }
+  return labels_.size() <=> other.labels_.size();
+}
+
+std::string Name::ToString() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (const auto& l : labels_) {
+    for (char c : l) {
+      if (c == '.' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x21 ||
+                 static_cast<unsigned char>(c) > 0x7E) {
+        const auto b = static_cast<unsigned char>(c);
+        out.push_back('\\');
+        out.push_back(static_cast<char>('0' + b / 100));
+        out.push_back(static_cast<char>('0' + b / 10 % 10));
+        out.push_back(static_cast<char>('0' + b % 10));
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('.');
+  }
+  return out;
+}
+
+std::size_t Name::Hash() const {
+  // FNV-1a over the canonical (lowercased) label stream.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const auto& l : labels_) {
+    h = (h ^ l.size()) * 0x100000001B3ULL;
+    for (char c : l) {
+      h ^= static_cast<std::uint8_t>(util::AsciiToLower(c));
+      h *= 0x100000001B3ULL;
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace rootless::dns

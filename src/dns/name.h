@@ -1,0 +1,92 @@
+// DNS domain names (RFC 1034/1035).
+//
+// A Name is a sequence of labels, root-last ("www", "example", "com" for
+// www.example.com.). Names compare case-insensitively and are stored with the
+// original case preserved (useful for 0x20 encoding experiments); canonical
+// operations fold to lowercase. All names in this library are absolute.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace rootless::dns {
+
+class Name {
+ public:
+  // The root name ".".
+  Name() = default;
+
+  // Constructs from labels, left-most label first. Precondition: each label
+  // is 1..63 bytes and the total wire length is <= 255 (checked).
+  static util::Result<Name> FromLabels(std::vector<std::string> labels);
+
+  // Parses presentation format: "www.example.com." or "www.example.com"
+  // (a trailing dot is optional; "." or "" is the root). Supports the
+  // \DDD and \X escapes of RFC 1035 §5.1.
+  static util::Result<Name> Parse(std::string_view text);
+
+  // Decodes a (possibly compressed) name from a DNS message. `reader` must be
+  // positioned at the name; on success it is positioned after it. Pointer
+  // chains are validated: they must strictly decrease to guarantee
+  // termination.
+  static util::Result<Name> DecodeWire(util::ByteReader& reader);
+
+  // Encodes without compression (used for rdata names and canonical forms).
+  void EncodeWire(util::ByteWriter& writer) const;
+
+  // Canonical (lowercase) uncompressed wire form, for DNSSEC signing and
+  // ordering (RFC 4034 §6).
+  util::Bytes CanonicalWire() const;
+
+  std::size_t label_count() const { return labels_.size(); }
+  bool is_root() const { return labels_.empty(); }
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  // Length of the uncompressed wire encoding (labels + length octets + root).
+  std::size_t wire_length() const;
+
+  // The last label, lowercase — "com" for www.example.com. Empty for root.
+  std::string tld() const;
+
+  // Parent name with the left-most label removed. Precondition: !is_root().
+  Name Parent() const;
+
+  // Appends `suffix`'s labels after this name's labels
+  // ("www" + "example.com" = "www.example.com").
+  util::Result<Name> Concat(const Name& suffix) const;
+
+  // True if this name equals `other` or is beneath it ("a.b.com" is a
+  // subdomain of "com" and of "."), case-insensitive.
+  bool IsSubdomainOf(const Name& other) const;
+
+  // Case-insensitive equality.
+  bool operator==(const Name& other) const;
+  bool operator!=(const Name& other) const { return !(*this == other); }
+
+  // Canonical DNS ordering (RFC 4034 §6.1): by reversed label sequence,
+  // case-insensitive, shorter label sets first.
+  std::weak_ordering operator<=>(const Name& other) const;
+
+  // Presentation format with trailing dot; "." for root.
+  std::string ToString() const;
+
+  // Stable case-insensitive hash (for unordered containers).
+  std::size_t Hash() const;
+
+ private:
+  explicit Name(std::vector<std::string> labels) : labels_(std::move(labels)) {}
+
+  std::vector<std::string> labels_;
+};
+
+struct NameHash {
+  std::size_t operator()(const Name& n) const { return n.Hash(); }
+};
+
+}  // namespace rootless::dns

@@ -1,0 +1,154 @@
+// Typed RDATA for the record types the root zone and the resolver use.
+//
+// Each alternative knows its wire encoding (RFC 1035/4034) and its
+// presentation format (master-file field syntax). Unknown types round-trip as
+// RawData (RFC 3597 \# syntax).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/types.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace rootless::dns {
+
+// IPv4 address, network order.
+struct Ipv4 {
+  std::uint32_t addr = 0;
+
+  static util::Result<Ipv4> Parse(std::string_view text);
+  std::string ToString() const;
+  bool operator==(const Ipv4&) const = default;
+  auto operator<=>(const Ipv4&) const = default;
+};
+
+// IPv6 address, 16 bytes network order.
+struct Ipv6 {
+  std::array<std::uint8_t, 16> addr{};
+
+  static util::Result<Ipv6> Parse(std::string_view text);
+  std::string ToString() const;  // RFC 5952 canonical form
+  bool operator==(const Ipv6&) const = default;
+  auto operator<=>(const Ipv6&) const = default;
+};
+
+struct AData {
+  Ipv4 address;
+  bool operator==(const AData&) const = default;
+};
+
+struct AaaaData {
+  Ipv6 address;
+  bool operator==(const AaaaData&) const = default;
+};
+
+struct NsData {
+  Name nameserver;
+  bool operator==(const NsData&) const = default;
+};
+
+struct CnameData {
+  Name target;
+  bool operator==(const CnameData&) const = default;
+};
+
+struct SoaData {
+  Name mname;
+  Name rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 0;
+  std::uint32_t retry = 0;
+  std::uint32_t expire = 0;
+  std::uint32_t minimum = 0;
+  bool operator==(const SoaData&) const = default;
+};
+
+struct MxData {
+  std::uint16_t preference = 0;
+  Name exchange;
+  bool operator==(const MxData&) const = default;
+};
+
+struct TxtData {
+  std::vector<std::string> strings;  // each <= 255 bytes on the wire
+  bool operator==(const TxtData&) const = default;
+};
+
+struct DsData {
+  std::uint16_t key_tag = 0;
+  std::uint8_t algorithm = 0;
+  std::uint8_t digest_type = 0;
+  util::Bytes digest;
+  bool operator==(const DsData&) const = default;
+};
+
+struct DnskeyData {
+  std::uint16_t flags = 0;  // 256 = ZSK, 257 = KSK
+  std::uint8_t protocol = 3;
+  std::uint8_t algorithm = 0;
+  util::Bytes public_key;
+  bool operator==(const DnskeyData&) const = default;
+
+  bool is_ksk() const { return (flags & 0x0001) != 0 && (flags & 0x0100) != 0; }
+};
+
+struct RrsigData {
+  RRType type_covered = RRType::kA;
+  std::uint8_t algorithm = 0;
+  std::uint8_t labels = 0;
+  std::uint32_t original_ttl = 0;
+  std::uint32_t expiration = 0;  // unix seconds
+  std::uint32_t inception = 0;   // unix seconds
+  std::uint16_t key_tag = 0;
+  Name signer;
+  util::Bytes signature;
+  bool operator==(const RrsigData&) const = default;
+};
+
+struct NsecData {
+  Name next;
+  std::vector<RRType> types;  // sorted ascending
+  bool operator==(const NsecData&) const = default;
+};
+
+// Fallback for types without a typed representation.
+struct RawData {
+  util::Bytes bytes;
+  bool operator==(const RawData&) const = default;
+};
+
+using Rdata = std::variant<AData, AaaaData, NsData, CnameData, SoaData, MxData,
+                           TxtData, DsData, DnskeyData, RrsigData, NsecData,
+                           RawData>;
+
+// Wire encoding of the RDATA only (no RDLENGTH prefix). Names inside RDATA
+// are never compressed (safe for all types, required for DNSSEC types).
+void EncodeRdata(const Rdata& rdata, util::ByteWriter& writer);
+
+// Decodes `rdlength` bytes of RDATA of the given type. Name fields inside
+// RDATA may be compressed in the surrounding message, so the reader is the
+// full-message reader positioned at the RDATA start.
+util::Result<Rdata> DecodeRdata(RRType type, std::size_t rdlength,
+                                util::ByteReader& reader);
+
+// Presentation format of the RDATA fields, e.g. "198.41.0.4" or
+// "a.root-servers.net." Matches what the master-file parser accepts.
+std::string RdataToString(const Rdata& rdata);
+
+// Parses presentation fields for the given type. `fields` are the
+// whitespace-split tokens after the type name. Name fields not ending in '.'
+// are taken relative to `origin` (master-file convention).
+util::Result<Rdata> RdataFromFields(RRType type,
+                                    const std::vector<std::string_view>& fields,
+                                    const Name& origin = Name());
+
+// True if the Rdata alternative matches the RR type code.
+bool RdataMatchesType(const Rdata& rdata, RRType type);
+
+}  // namespace rootless::dns

@@ -1,0 +1,85 @@
+// Resource records and RRsets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rdata.h"
+#include "dns/types.h"
+
+namespace rootless::dns {
+
+// A single resource record.
+struct ResourceRecord {
+  Name name;
+  RRType type = RRType::kA;
+  RRClass rrclass = RRClass::kIN;
+  std::uint32_t ttl = 0;
+  Rdata rdata = AData{};
+
+  bool operator==(const ResourceRecord& other) const {
+    return name == other.name && type == other.type &&
+           rrclass == other.rrclass && ttl == other.ttl &&
+           rdata == other.rdata;
+  }
+
+  // "<name> <ttl> <class> <type> <rdata>" — one master-file line.
+  std::string ToString() const;
+};
+
+// Key identifying an RRset: (owner, type, class).
+struct RRsetKey {
+  Name name;
+  RRType type = RRType::kA;
+  RRClass rrclass = RRClass::kIN;
+
+  bool operator==(const RRsetKey& other) const {
+    return type == other.type && rrclass == other.rrclass &&
+           name == other.name;
+  }
+  std::weak_ordering operator<=>(const RRsetKey& other) const {
+    if (auto c = name <=> other.name; c != 0) return c;
+    if (auto c = type <=> other.type; c != 0) return c;
+    return rrclass <=> other.rrclass;
+  }
+};
+
+struct RRsetKeyHash {
+  std::size_t operator()(const RRsetKey& k) const {
+    std::size_t h = k.name.Hash();
+    h ^= static_cast<std::size_t>(k.type) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<std::size_t>(k.rrclass) * 0xC2B2AE3D27D4EB4FULL;
+    return h;
+  }
+};
+
+// All records sharing (owner, type, class). The TTL applies to the whole set
+// (RFC 2181 §5.2).
+struct RRset {
+  Name name;
+  RRType type = RRType::kA;
+  RRClass rrclass = RRClass::kIN;
+  std::uint32_t ttl = 0;
+  std::vector<Rdata> rdatas;
+
+  RRsetKey key() const { return RRsetKey{name, type, rrclass}; }
+  bool empty() const { return rdatas.empty(); }
+  std::size_t size() const { return rdatas.size(); }
+
+  // Expands to individual records.
+  std::vector<ResourceRecord> ToRecords() const;
+
+  bool operator==(const RRset& other) const {
+    return name == other.name && type == other.type &&
+           rrclass == other.rrclass && ttl == other.ttl &&
+           rdatas == other.rdatas;
+  }
+};
+
+// Groups a flat record list into RRsets (keeping first-seen order; the TTL of
+// the set is the minimum of the member TTLs per RFC 2181 guidance).
+std::vector<RRset> GroupIntoRRsets(const std::vector<ResourceRecord>& records);
+
+}  // namespace rootless::dns

@@ -1,0 +1,73 @@
+#include "dns/types.h"
+
+#include <utility>
+
+#include "util/strings.h"
+
+namespace rootless::dns {
+
+namespace {
+
+constexpr std::pair<RRType, std::string_view> kTypeNames[] = {
+    {RRType::kA, "A"},         {RRType::kNS, "NS"},
+    {RRType::kCNAME, "CNAME"}, {RRType::kSOA, "SOA"},
+    {RRType::kPTR, "PTR"},     {RRType::kMX, "MX"},
+    {RRType::kTXT, "TXT"},     {RRType::kAAAA, "AAAA"},
+    {RRType::kOPT, "OPT"},     {RRType::kDS, "DS"},
+    {RRType::kRRSIG, "RRSIG"}, {RRType::kNSEC, "NSEC"},
+    {RRType::kDNSKEY, "DNSKEY"}, {RRType::kANY, "ANY"},
+};
+
+constexpr std::pair<RRClass, std::string_view> kClassNames[] = {
+    {RRClass::kIN, "IN"},
+    {RRClass::kCH, "CH"},
+    {RRClass::kANY, "ANY"},
+};
+
+}  // namespace
+
+std::string RRTypeToString(RRType type) {
+  for (const auto& [t, name] : kTypeNames) {
+    if (t == type) return std::string(name);
+  }
+  return "TYPE" + std::to_string(static_cast<std::uint16_t>(type));
+}
+
+util::Result<RRType> RRTypeFromString(std::string_view text) {
+  for (const auto& [t, name] : kTypeNames) {
+    if (util::EqualsIgnoreCase(text, name)) return t;
+  }
+  if (util::StartsWith(text, "TYPE")) {
+    auto v = util::ParseU32(text.substr(4));
+    if (v.ok() && *v <= 0xFFFF) return static_cast<RRType>(*v);
+  }
+  return util::Error("unknown RR type: " + std::string(text));
+}
+
+std::string RRClassToString(RRClass cls) {
+  for (const auto& [c, name] : kClassNames) {
+    if (c == cls) return std::string(name);
+  }
+  return "CLASS" + std::to_string(static_cast<std::uint16_t>(cls));
+}
+
+util::Result<RRClass> RRClassFromString(std::string_view text) {
+  for (const auto& [c, name] : kClassNames) {
+    if (util::EqualsIgnoreCase(text, name)) return c;
+  }
+  return util::Error("unknown RR class: " + std::string(text));
+}
+
+std::string RCodeToString(RCode rcode) {
+  switch (rcode) {
+    case RCode::kNoError: return "NOERROR";
+    case RCode::kFormErr: return "FORMERR";
+    case RCode::kServFail: return "SERVFAIL";
+    case RCode::kNXDomain: return "NXDOMAIN";
+    case RCode::kNotImp: return "NOTIMP";
+    case RCode::kRefused: return "REFUSED";
+  }
+  return "RCODE" + std::to_string(static_cast<int>(rcode));
+}
+
+}  // namespace rootless::dns

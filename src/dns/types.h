@@ -1,0 +1,60 @@
+// DNS enumerations: RR types, classes, opcodes, response codes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace rootless::dns {
+
+enum class RRType : std::uint16_t {
+  kA = 1,
+  kNS = 2,
+  kCNAME = 5,
+  kSOA = 6,
+  kPTR = 12,
+  kMX = 15,
+  kTXT = 16,
+  kAAAA = 28,
+  kOPT = 41,
+  kDS = 43,
+  kRRSIG = 46,
+  kNSEC = 47,
+  kDNSKEY = 48,
+  kANY = 255,
+};
+
+enum class RRClass : std::uint16_t {
+  kIN = 1,
+  kCH = 3,
+  kANY = 255,
+};
+
+enum class Opcode : std::uint8_t {
+  kQuery = 0,
+  kNotify = 4,
+  kUpdate = 5,
+};
+
+enum class RCode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNXDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+// Presentation names ("A", "NS", ...; unknown types as "TYPE1234" per
+// RFC 3597).
+std::string RRTypeToString(RRType type);
+util::Result<RRType> RRTypeFromString(std::string_view text);
+
+std::string RRClassToString(RRClass cls);
+util::Result<RRClass> RRClassFromString(std::string_view text);
+
+std::string RCodeToString(RCode rcode);
+
+}  // namespace rootless::dns

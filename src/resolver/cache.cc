@@ -1,0 +1,91 @@
+#include "resolver/cache.h"
+
+namespace rootless::resolver {
+
+const dns::RRset* DnsCache::Get(const dns::RRsetKey& key, sim::SimTime now) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second.expiry <= now) {
+    ++stats_.expired;
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    return nullptr;
+  }
+  ++stats_.hits;
+  Touch(it->second, key);
+  return &it->second.rrset;
+}
+
+void DnsCache::Put(const dns::RRset& rrset, sim::SimTime now) {
+  PutWithExpiry(rrset, now + static_cast<sim::SimTime>(rrset.ttl) * sim::kSecond,
+                now);
+}
+
+void DnsCache::PutWithExpiry(const dns::RRset& rrset, sim::SimTime expiry,
+                             sim::SimTime now) {
+  (void)now;
+  const dns::RRsetKey key = rrset.key();
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.rrset = rrset;
+    it->second.expiry = expiry;
+    Touch(it->second, key);
+    return;
+  }
+  ++stats_.insertions;
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{rrset, expiry, lru_.begin()});
+  EvictIfNeeded();
+}
+
+std::size_t DnsCache::PurgeExpired(sim::SimTime now) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expiry <= now) {
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+bool DnsCache::Contains(const dns::RRsetKey& key, sim::SimTime now) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && it->second.expiry > now;
+}
+
+void DnsCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+std::size_t DnsCache::TldRRsetCount() const {
+  std::size_t count = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (key.name.label_count() == 1) ++count;
+  }
+  return count;
+}
+
+void DnsCache::Touch(Entry& entry, const dns::RRsetKey& key) {
+  lru_.erase(entry.lru_it);
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+}
+
+void DnsCache::EvictIfNeeded() {
+  while (capacity_ != 0 && entries_.size() > capacity_) {
+    const dns::RRsetKey& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace rootless::resolver

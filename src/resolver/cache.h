@@ -1,0 +1,76 @@
+// Recursive resolver cache: RRsets with absolute expiry, LRU eviction under
+// a capacity bound, and the statistics the paper's cache-capacity argument
+// (§4, §5.1) turns on.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "dns/rr.h"
+#include "sim/simulator.h"
+
+namespace rootless::resolver {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t expired = 0;    // lookups that found only a stale entry
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;  // capacity evictions (LRU)
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses + expired;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class DnsCache {
+ public:
+  // capacity = maximum number of RRsets held (0 = unlimited).
+  explicit DnsCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  // Looks up an unexpired RRset, refreshing its LRU position. Returns
+  // nullptr on miss/expiry (expired entries are erased).
+  const dns::RRset* Get(const dns::RRsetKey& key, sim::SimTime now);
+
+  // Inserts or replaces; expiry = now + ttl seconds.
+  void Put(const dns::RRset& rrset, sim::SimTime now);
+
+  // Inserts with an explicit expiry (used by zone preloading).
+  void PutWithExpiry(const dns::RRset& rrset, sim::SimTime expiry,
+                     sim::SimTime now);
+
+  // Drops expired entries eagerly; returns how many were removed.
+  std::size_t PurgeExpired(sim::SimTime now);
+
+  bool Contains(const dns::RRsetKey& key, sim::SimTime now) const;
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+  void Clear();
+
+  // Number of cached RRsets whose owner is a TLD (single non-root label) —
+  // the §5.1 "fraction of TLDs already cached" measurement.
+  std::size_t TldRRsetCount() const;
+
+ private:
+  struct Entry {
+    dns::RRset rrset;
+    sim::SimTime expiry;
+    std::list<dns::RRsetKey>::iterator lru_it;
+  };
+
+  void Touch(Entry& entry, const dns::RRsetKey& key);
+  void EvictIfNeeded();
+
+  std::size_t capacity_;
+  std::unordered_map<dns::RRsetKey, Entry, dns::RRsetKeyHash> entries_;
+  std::list<dns::RRsetKey> lru_;  // front = most recent
+  CacheStats stats_;
+};
+
+}  // namespace rootless::resolver

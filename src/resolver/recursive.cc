@@ -1,0 +1,448 @@
+#include "resolver/recursive.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace rootless::resolver {
+
+using dns::Message;
+using dns::Name;
+using dns::RRset;
+using dns::RRsetKey;
+using dns::RRType;
+
+std::string RootModeName(RootMode mode) {
+  switch (mode) {
+    case RootMode::kRootServers: return "root-servers";
+    case RootMode::kCachePreload: return "cache-preload";
+    case RootMode::kOnDemandZoneFile: return "on-demand-zone";
+    case RootMode::kLoopbackAuth: return "loopback-auth";
+  }
+  return "unknown";
+}
+
+RecursiveResolver::RecursiveResolver(sim::Simulator& sim,
+                                     sim::Network& network,
+                                     ResolverConfig config,
+                                     topo::GeoPoint location)
+    : sim_(sim),
+      network_(network),
+      config_(config),
+      location_(location),
+      cache_(config.cache_capacity),
+      selector_(config.seed ^ 0x5E1EC7),
+      rng_(config.seed) {
+  node_ = network_.AddNode(
+      [this](const sim::Datagram& d) { HandleDatagram(d); });
+}
+
+void RecursiveResolver::SetLocalZone(
+    std::shared_ptr<const zone::Zone> root_zone) {
+  local_zone_ = std::move(root_zone);
+  db_.Load(*local_zone_);
+  if (config_.mode == RootMode::kCachePreload) {
+    const sim::SimTime now = sim_.now();
+    for (const auto& rrset : local_zone_->AllRRsets()) {
+      cache_.Put(rrset, now);
+    }
+  }
+}
+
+void RecursiveResolver::Resolve(const Name& qname, RRType qtype,
+                                ResolveCallback cb) {
+  ++stats_.resolutions;
+  const std::uint16_t id = next_id_;
+  // Skip 0 and ids still in flight.
+  do {
+    next_id_ = static_cast<std::uint16_t>(next_id_ + 1);
+    if (next_id_ == 0) next_id_ = 1;
+  } while (pending_.count(next_id_) > 0);
+
+  Pending pending;
+  pending.qname = qname;
+  pending.qtype = qtype;
+  pending.callback = std::move(cb);
+  pending.start = sim_.now();
+  pending.retries_left = config_.max_retries;
+  pending_.emplace(id, std::move(pending));
+  StartResolution(id);
+}
+
+void RecursiveResolver::StartResolution(std::uint16_t id) {
+  Pending& pending = pending_.at(id);
+
+  // Fast path: the answer itself is cached.
+  if (const RRset* hit = cache_.Get(
+          RRsetKey{pending.qname, pending.qtype, dns::RRClass::kIN},
+          sim_.now())) {
+    ++stats_.answered_from_cache;
+    Finish(id, dns::RCode::kNoError, {*hit});
+    return;
+  }
+
+  // Negative cache: a TLD recently proven nonexistent.
+  if (config_.negative_cache && NegativeCached(pending.qname.tld())) {
+    ++stats_.negative_hits;
+    ++stats_.nxdomain;
+    Finish(id, dns::RCode::kNXDomain, {});
+    return;
+  }
+
+  // Referral path: do we know the TLD's servers?
+  if (ReferralCached(pending.qname.tld())) {
+    AskTld(id);
+    return;
+  }
+  AskRoot(id);
+}
+
+bool RecursiveResolver::NegativeCached(const std::string& tld) const {
+  auto it = negative_.find(tld);
+  return it != negative_.end() && it->second > sim_.now();
+}
+
+void RecursiveResolver::CacheNegative(
+    const std::string& tld,
+    const std::vector<dns::ResourceRecord>& authority) {
+  if (!config_.negative_cache) return;
+  // RFC 2308: negative TTL = min(SOA.minimum, SOA TTL), capped.
+  sim::SimTime ttl = config_.max_negative_ttl;
+  for (const auto& rr : authority) {
+    if (rr.type != RRType::kSOA) continue;
+    const auto& soa = std::get<dns::SoaData>(rr.rdata);
+    ttl = std::min<sim::SimTime>(
+        config_.max_negative_ttl,
+        static_cast<sim::SimTime>(std::min(soa.minimum, rr.ttl)) *
+            sim::kSecond);
+    break;
+  }
+  negative_[tld] = sim_.now() + ttl;
+}
+
+void RecursiveResolver::RetryAfterBadResponse(std::uint16_t id) {
+  Pending& pending = pending_.at(id);
+  if (pending.retries_left <= 0) {
+    ++stats_.failures;
+    Finish(id, dns::RCode::kServFail, {}, true);
+    return;
+  }
+  --pending.retries_left;
+  if (pending.stage == Pending::Stage::kRoot) {
+    if (config_.mode == RootMode::kRootServers) {
+      pending.root_letter = selector_.PickRetryLetter(pending.root_letter);
+    }
+    AskRoot(id);
+  } else {
+    AskTld(id);
+  }
+}
+
+bool RecursiveResolver::ReferralCached(const std::string& tld) {
+  if (tld.empty()) return false;
+  auto name = Name::Parse(tld + ".");
+  if (!name.ok()) return false;
+  const RRset* ns =
+      cache_.Get(RRsetKey{*name, RRType::kNS, dns::RRClass::kIN}, sim_.now());
+  return ns != nullptr;
+}
+
+void RecursiveResolver::AskRoot(std::uint16_t id) {
+  Pending& pending = pending_.at(id);
+  pending.stage = Pending::Stage::kRoot;
+  pending.used_root = true;
+  switch (config_.mode) {
+    case RootMode::kRootServers:
+    case RootMode::kLoopbackAuth:
+      AskRootServers(id);
+      return;
+    case RootMode::kCachePreload:
+    case RootMode::kOnDemandZoneFile:
+      AskLocalStore(id);
+      return;
+  }
+}
+
+void RecursiveResolver::AskRootServers(std::uint16_t id) {
+  Pending& pending = pending_.at(id);
+  sim::NodeId target = 0;
+  if (config_.mode == RootMode::kLoopbackAuth) {
+    ROOTLESS_CHECK(has_loopback_);
+    target = loopback_;
+  } else {
+    ROOTLESS_CHECK(fleet_ != nullptr);
+    pending.root_letter = selector_.PickLetter();
+    target = fleet_->InstanceFor(pending.root_letter, location_);
+  }
+
+  // QNAME minimization sends only the TLD (as an NS query) to the root.
+  Name question_name = pending.qname;
+  RRType question_type = pending.qtype;
+  if (config_.qname_minimization && pending.qname.label_count() > 1) {
+    auto tld = Name::Parse(pending.qname.tld() + ".");
+    if (tld.ok()) {
+      question_name = *tld;
+      question_type = RRType::kNS;
+    }
+  }
+  if (question_name.label_count() > 1) ++stats_.full_qname_exposures;
+  const Message query = MakeQuery(id, question_name, question_type);
+  ++pending.transactions;
+  ++stats_.root_transactions;
+  pending.last_send = sim_.now();
+  SendDnsQuery(target, query);
+  ArmTimeout(id);
+}
+
+void RecursiveResolver::AskLocalStore(std::uint16_t id) {
+  // Consulting the local store costs db_lookup_latency (zero-ish for the
+  // preloaded cache, configurable for the on-demand DB).
+  ++stats_.local_root_lookups;
+  const sim::SimTime cost = config_.mode == RootMode::kOnDemandZoneFile
+                                ? config_.db_lookup_latency
+                                : 0;
+  sim_.Schedule(cost, [this, id]() {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    Pending& pending = it->second;
+    const std::string tld = pending.qname.tld();
+    const TldEntry* entry = db_.Lookup(tld);
+    if (entry == nullptr) {
+      // Local equivalent of a root NXDOMAIN.
+      ++stats_.nxdomain;
+      if (local_zone_ != nullptr && local_zone_->soa() != nullptr) {
+        CacheNegative(tld, local_zone_->soa()->ToRecords());
+      } else {
+        CacheNegative(tld, {});
+      }
+      Finish(id, dns::RCode::kNXDomain, {});
+      return;
+    }
+    const sim::SimTime now = sim_.now();
+    cache_.Put(entry->ns, now);
+    for (const auto& g : entry->glue) cache_.Put(g, now);
+    for (const auto& d : entry->ds) cache_.Put(d, now);
+    AskTld(id);
+  });
+}
+
+bool RecursiveResolver::TldNodeFor(const Name& qname, sim::NodeId& node,
+                                   bool& extra_hop) {
+  ROOTLESS_CHECK(farm_ != nullptr);
+  extra_hop = false;
+  const std::string tld = qname.tld();
+  auto tld_name = Name::Parse(tld + ".");
+  if (!tld_name.ok()) return false;
+
+  // Prefer a glue address from the cached referral.
+  const RRset* ns = cache_.Get(
+      RRsetKey{*tld_name, RRType::kNS, dns::RRClass::kIN}, sim_.now());
+  if (ns != nullptr) {
+    for (const auto& rd : ns->rdatas) {
+      const Name& host = std::get<dns::NsData>(rd).nameserver;
+      const RRset* a = cache_.Get(RRsetKey{host, RRType::kA, dns::RRClass::kIN},
+                                  sim_.now());
+      if (a == nullptr || a->rdatas.empty()) continue;
+      const auto& addr = std::get<dns::AData>(a->rdatas.front()).address;
+      if (farm_->FindByAddress(addr, node)) return true;
+    }
+  }
+  // No usable glue: the nameserver names are out-of-bailiwick. Resolving
+  // them is an extra transaction (modelled as one extra RTT to the farm).
+  if (farm_->FindTldNode(tld, node)) {
+    extra_hop = true;
+    return true;
+  }
+  return false;
+}
+
+void RecursiveResolver::AskTld(std::uint16_t id) {
+  Pending& pending = pending_.at(id);
+  pending.stage = Pending::Stage::kTld;
+
+  sim::NodeId target = 0;
+  bool extra_hop = false;
+  if (!TldNodeFor(pending.qname, target, extra_hop)) {
+    ++stats_.failures;
+    Finish(id, dns::RCode::kServFail, {}, true);
+    return;
+  }
+  const Message query = MakeQuery(id, pending.qname, pending.qtype);
+  ++pending.transactions;
+  ++stats_.tld_transactions;
+  sim::SimTime extra_delay = 0;
+  if (extra_hop) {
+    // One extra round trip to resolve the out-of-bailiwick NS name first.
+    ++pending.transactions;
+    extra_delay = 2 * network_.LatencyBetween(node_, target);
+  }
+  SendDnsQuery(target, query, extra_delay);
+  ArmTimeout(id);
+}
+
+void RecursiveResolver::SendDnsQuery(sim::NodeId target,
+                                     const Message& query,
+                                     sim::SimTime extra_delay) {
+  sim::SimTime delay = extra_delay;
+  if (config_.encrypted_transport && sessions_.insert(target).second) {
+    // TCP + TLS session establishment: two round trips before the query.
+    ++stats_.handshakes;
+    delay += 4 * network_.LatencyBetween(node_, target);
+  }
+  auto wire = dns::EncodeMessage(query, 1232);
+  if (delay == 0) {
+    network_.Send(node_, target, std::move(wire));
+    return;
+  }
+  sim_.Schedule(delay, [this, target, wire = std::move(wire)]() {
+    network_.Send(node_, target, wire);
+  });
+}
+
+void RecursiveResolver::ArmTimeout(std::uint16_t id) {
+  Pending& pending = pending_.at(id);
+  pending.generation = next_generation_++;
+  const std::uint64_t generation = pending.generation;
+  sim_.Schedule(config_.query_timeout,
+                [this, id, generation]() { HandleTimeout(id, generation); });
+}
+
+void RecursiveResolver::HandleTimeout(std::uint16_t id,
+                                      std::uint64_t generation) {
+  auto it = pending_.find(id);
+  if (it == pending_.end() || it->second.generation != generation) return;
+  Pending& pending = it->second;
+  ++stats_.timeouts;
+  if (pending.stage == Pending::Stage::kRoot &&
+      config_.mode == RootMode::kRootServers) {
+    selector_.ReportTimeout(pending.root_letter);
+  }
+  if (pending.retries_left <= 0) {
+    ++stats_.failures;
+    Finish(id, dns::RCode::kServFail, {}, true);
+    return;
+  }
+  --pending.retries_left;
+  if (pending.stage == Pending::Stage::kRoot) {
+    if (config_.mode == RootMode::kRootServers) {
+      // Fail over to another letter.
+      pending.root_letter = selector_.PickRetryLetter(pending.root_letter);
+    }
+    AskRoot(id);
+  } else {
+    AskTld(id);
+  }
+}
+
+void RecursiveResolver::HandleDatagram(const sim::Datagram& datagram) {
+  auto response = dns::DecodeMessage(datagram.payload);
+  if (!response.ok() || !response->header.qr) return;
+  const std::uint16_t id = response->header.id;
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // late or duplicate response
+  Pending& pending = it->second;
+  // Invalidate the armed timeout.
+  pending.generation = next_generation_++;
+
+  if (pending.stage == Pending::Stage::kRoot) {
+    HandleRootResponse(id, pending, *response);
+  } else {
+    HandleTldResponse(id, pending, *response);
+  }
+}
+
+void RecursiveResolver::CacheRecords(
+    const std::vector<dns::ResourceRecord>& records) {
+  const sim::SimTime now = sim_.now();
+  for (const auto& rrset : GroupIntoRRsets(records)) {
+    cache_.Put(rrset, now);
+  }
+}
+
+void RecursiveResolver::HandleRootResponse(std::uint16_t id, Pending& pending,
+                                           const Message& response) {
+  if (config_.mode == RootMode::kRootServers) {
+    const sim::SimTime rtt = sim_.now() - pending.last_send;
+    selector_.ReportRtt(pending.root_letter, rtt);
+  }
+  if (response.header.rcode == dns::RCode::kNXDomain) {
+    // Bogus TLD. With DNSSEC validation on, the denial must be *proven*
+    // (covering NSEC + valid RRSIG) before it is believed — the defence
+    // against the root-manipulation attack of Sec 4.
+    if (config_.validate_denials && has_trust_) {
+      auto denial = crypto::ValidateDenial(
+          pending.qname, GroupIntoRRsets(response.authority), trust_dnskey_,
+          trust_store_, config_.validation_now);
+      if (!denial.ok()) {
+        ++stats_.manipulation_detected;
+        RetryAfterBadResponse(id);
+        return;
+      }
+    }
+    ++stats_.nxdomain;
+    CacheNegative(pending.qname.tld(), response.authority);
+    Finish(id, dns::RCode::kNXDomain, {});
+    return;
+  }
+  if (response.header.rcode != dns::RCode::kNoError) {
+    ++stats_.failures;
+    Finish(id, dns::RCode::kServFail, {}, true);
+    return;
+  }
+  // Referral: cache authority (NS/DS) + additional (glue). With QNAME
+  // minimization the NS data may arrive in the answer section.
+  CacheRecords(response.authority);
+  CacheRecords(response.additional);
+  CacheRecords(response.answers);
+  if (!ReferralCached(pending.qname.tld())) {
+    // The root answered NOERROR but gave us nothing usable (e.g. NODATA for
+    // a TLD with no delegation).
+    ++stats_.failures;
+    Finish(id, dns::RCode::kServFail, {}, true);
+    return;
+  }
+  AskTld(id);
+}
+
+void RecursiveResolver::HandleTldResponse(std::uint16_t id, Pending& pending,
+                                          const Message& response) {
+  if (response.header.rcode == dns::RCode::kNXDomain) {
+    ++stats_.nxdomain;
+    Finish(id, dns::RCode::kNXDomain, {});
+    return;
+  }
+  if (response.header.rcode != dns::RCode::kNoError ||
+      response.answers.empty()) {
+    ++stats_.failures;
+    Finish(id, dns::RCode::kServFail, {}, true);
+    return;
+  }
+  CacheRecords(response.answers);
+  // Collect the RRsets matching the question.
+  std::vector<RRset> answers;
+  for (const auto& rrset : GroupIntoRRsets(response.answers)) {
+    if (rrset.name == pending.qname && rrset.type == pending.qtype) {
+      answers.push_back(rrset);
+    }
+  }
+  (void)pending;
+  Finish(id, dns::RCode::kNoError, std::move(answers));
+}
+
+void RecursiveResolver::Finish(std::uint16_t id, dns::RCode rcode,
+                               std::vector<RRset> answers, bool failed) {
+  auto it = pending_.find(id);
+  ROOTLESS_CHECK(it != pending_.end());
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+
+  ResolutionResult result;
+  result.rcode = rcode;
+  result.answers = std::move(answers);
+  result.latency = sim_.now() - pending.start;
+  result.transactions = pending.transactions;
+  result.used_root = pending.used_root;
+  result.failed = failed;
+  if (pending.callback) pending.callback(result);
+}
+
+}  // namespace rootless::resolver

@@ -1,0 +1,223 @@
+// Recursive resolver over the simulated network.
+//
+// Implements the paper's four bootstrap configurations:
+//   kRootServers     — classic: root hints + anycast root fleet + RTT-based
+//                      root selection (the baseline being argued against).
+//   kCachePreload    — §3 option 1: read the whole root zone into the cache.
+//   kOnDemandZoneFile— §3 option 2: consult a local root-zone store whenever
+//                      a root query would have been sent (ZoneDb lookup with
+//                      a configurable access latency).
+//   kLoopbackAuth    — §3 option 3 / RFC 7706: a local authoritative root
+//                      instance reached over loopback.
+//
+// Resolution is asynchronous: Resolve() returns immediately and the callback
+// fires when the simulated lookup completes (including retries/timeouts).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "crypto/dnssec.h"
+#include "dns/message.h"
+#include "resolver/cache.h"
+#include "resolver/root_selector.h"
+#include "resolver/zone_db.h"
+#include "rootsrv/fleet.h"
+#include "rootsrv/tld_farm.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "topo/geo.h"
+
+namespace rootless::resolver {
+
+enum class RootMode {
+  kRootServers,
+  kCachePreload,
+  kOnDemandZoneFile,
+  kLoopbackAuth,
+};
+
+std::string RootModeName(RootMode mode);
+
+struct ResolverConfig {
+  RootMode mode = RootMode::kRootServers;
+  // QNAME minimization (RFC 7816): send only the TLD to the root.
+  bool qname_minimization = false;
+  sim::SimTime query_timeout = 2 * sim::kSecond;
+  int max_retries = 3;
+  std::size_t cache_capacity = 0;  // RRsets; 0 = unlimited
+  // Local-store access latency for kOnDemandZoneFile (an indexed DB; the
+  // paper's naive compressed-file scan would be ~37 ms).
+  sim::SimTime db_lookup_latency = 200;  // 200 us
+  // RFC 2308 negative caching of NXDOMAIN (bogus-TLD) answers.
+  bool negative_cache = true;
+  sim::SimTime max_negative_ttl = 3600 * sim::kSecond;
+  // Encrypted transport (DoT/DoH-style): the first query to each server
+  // pays a connection+TLS handshake (2 extra RTTs); later queries reuse the
+  // session. The paper's Sec 4 contrasts encrypting root transactions with
+  // eliminating them.
+  bool encrypted_transport = false;
+  // DNSSEC: validate NXDOMAIN denials from the root against the trust
+  // anchor installed via SetTrustAnchor (requires a signed root zone with
+  // an NSEC chain). Spoofed denials then count as manipulation and are
+  // retried instead of believed.
+  bool validate_denials = false;
+  std::uint32_t validation_now = 1000;  // unix time for RRSIG windows
+  std::uint64_t seed = 1;
+};
+
+struct ResolutionResult {
+  dns::RCode rcode = dns::RCode::kServFail;
+  std::vector<dns::RRset> answers;
+  sim::SimTime latency = 0;
+  int transactions = 0;   // network round trips issued
+  bool used_root = false; // a root transaction (or local equivalent) occurred
+  bool failed = false;    // retries exhausted
+};
+
+struct ResolverStats {
+  std::uint64_t resolutions = 0;
+  std::uint64_t answered_from_cache = 0;
+  std::uint64_t root_transactions = 0;       // packets to root servers
+  std::uint64_t local_root_lookups = 0;      // local-zone consultations
+  std::uint64_t tld_transactions = 0;
+  // Privacy accounting (Sec 4): root queries that exposed more of the qname
+  // than the TLD the root can act on (QNAME minimization avoids these;
+  // local-root modes never expose anything).
+  std::uint64_t full_qname_exposures = 0;
+  std::uint64_t handshakes = 0;  // encrypted-transport session setups
+  std::uint64_t nxdomain = 0;
+  std::uint64_t negative_hits = 0;          // NXDOMAIN answered from cache
+  std::uint64_t manipulation_detected = 0;  // denials failing validation
+  std::uint64_t timeouts = 0;
+  std::uint64_t failures = 0;
+};
+
+class RecursiveResolver {
+ public:
+  using ResolveCallback = std::function<void(const ResolutionResult&)>;
+
+  RecursiveResolver(sim::Simulator& sim, sim::Network& network,
+                    ResolverConfig config, topo::GeoPoint location);
+
+  sim::NodeId node() const { return node_; }
+  const topo::GeoPoint& location() const { return location_; }
+
+  // --- wiring ---------------------------------------------------------
+  // kRootServers mode: the anycast fleet to query.
+  void SetRootFleet(const rootsrv::RootServerFleet* fleet) { fleet_ = fleet; }
+  // All modes: the TLD servers referrals point at.
+  void SetTldFarm(const rootsrv::TldFarm* farm) { farm_ = farm; }
+  // Local-root modes: installs/updates the local root zone copy. Preload
+  // mode loads every RRset into the cache; on-demand mode (re)builds the
+  // ZoneDb.
+  void SetLocalZone(std::shared_ptr<const zone::Zone> root_zone);
+  // kLoopbackAuth: node of the local root instance (an AuthServer whose
+  // location equals this resolver's).
+  void SetLoopbackNode(sim::NodeId node) {
+    loopback_ = node;
+    has_loopback_ = true;
+  }
+  // Trust anchor for validate_denials (the resolver's copy of the root
+  // DNSKEY; the KeyStore plays the public-key math, see crypto/dnssec.h).
+  void SetTrustAnchor(dns::DnskeyData dnskey, crypto::KeyStore store) {
+    trust_dnskey_ = std::move(dnskey);
+    trust_store_ = std::move(store);
+    has_trust_ = true;
+  }
+
+  // --- operation ------------------------------------------------------
+  void Resolve(const dns::Name& qname, dns::RRType qtype, ResolveCallback cb);
+
+  DnsCache& cache() { return cache_; }
+  const DnsCache& cache() const { return cache_; }
+  const ResolverStats& stats() const { return stats_; }
+  const RootSelector& root_selector() const { return selector_; }
+  const ResolverConfig& config() const { return config_; }
+  const ZoneDb& zone_db() const { return db_; }
+
+ private:
+  struct Pending {
+    dns::Name qname;
+    dns::RRType qtype = dns::RRType::kA;
+    ResolveCallback callback;
+    sim::SimTime start = 0;
+    int transactions = 0;
+    bool used_root = false;
+    // In-flight transaction bookkeeping.
+    enum class Stage { kRoot, kTld } stage = Stage::kRoot;
+    char root_letter = 0;
+    int retries_left = 0;
+    sim::SimTime last_send = 0;
+    std::uint64_t generation = 0;  // invalidates stale timeout events
+  };
+
+  void StartResolution(std::uint16_t id);
+  // Consults the configured root source for the TLD referral.
+  void AskRoot(std::uint16_t id);
+  void AskRootServers(std::uint16_t id);
+  void AskLocalStore(std::uint16_t id);
+  // Queries the TLD server once referral data is cached.
+  void AskTld(std::uint16_t id);
+  // Referral data for the TLD is in cache? (NS + usable address)
+  bool ReferralCached(const std::string& tld);
+
+  void HandleDatagram(const sim::Datagram& datagram);
+  void HandleRootResponse(std::uint16_t id, Pending& pending,
+                          const dns::Message& response);
+  void HandleTldResponse(std::uint16_t id, Pending& pending,
+                         const dns::Message& response);
+  void HandleTimeout(std::uint16_t id, std::uint64_t generation);
+  void ArmTimeout(std::uint16_t id);
+
+  void Finish(std::uint16_t id, dns::RCode rcode,
+              std::vector<dns::RRset> answers, bool failed = false);
+  void CacheRecords(const std::vector<dns::ResourceRecord>& records);
+  // Negative cache (RFC 2308), keyed by TLD label.
+  bool NegativeCached(const std::string& tld) const;
+  void CacheNegative(const std::string& tld,
+                     const std::vector<dns::ResourceRecord>& authority);
+  // Retry or fail after a bad (unvalidatable) response.
+  void RetryAfterBadResponse(std::uint16_t id);
+  // Sends a query datagram, modelling the encrypted-transport handshake on
+  // first contact with a server and any extra pre-send delay.
+  void SendDnsQuery(sim::NodeId target, const dns::Message& query,
+                    sim::SimTime extra_delay = 0);
+
+  // Picks the network node for the current TLD target; false if the TLD's
+  // servers cannot be located (treated as SERVFAIL).
+  bool TldNodeFor(const dns::Name& qname, sim::NodeId& node, bool& extra_hop);
+
+  sim::Simulator& sim_;
+  sim::Network& network_;
+  ResolverConfig config_;
+  topo::GeoPoint location_;
+  sim::NodeId node_;
+
+  const rootsrv::RootServerFleet* fleet_ = nullptr;
+  const rootsrv::TldFarm* farm_ = nullptr;
+  std::shared_ptr<const zone::Zone> local_zone_;
+  sim::NodeId loopback_ = 0;
+  bool has_loopback_ = false;
+  dns::DnskeyData trust_dnskey_;
+  crypto::KeyStore trust_store_;
+  bool has_trust_ = false;
+  std::unordered_map<std::string, sim::SimTime> negative_;
+  std::unordered_set<sim::NodeId> sessions_;  // encrypted sessions
+
+  DnsCache cache_;
+  ZoneDb db_;
+  RootSelector selector_;
+  util::Rng rng_;
+  ResolverStats stats_;
+
+  std::unordered_map<std::uint16_t, Pending> pending_;
+  std::uint16_t next_id_ = 1;
+  std::uint64_t next_generation_ = 1;
+};
+
+}  // namespace rootless::resolver

@@ -1,0 +1,54 @@
+#include "resolver/refresh_daemon.h"
+
+#include "util/check.h"
+
+namespace rootless::resolver {
+
+RefreshDaemon::RefreshDaemon(sim::Simulator& sim, RefreshConfig config,
+                             FetchFn fetch, ApplyFn apply)
+    : sim_(sim),
+      config_(config),
+      fetch_(std::move(fetch)),
+      apply_(std::move(apply)) {
+  ROOTLESS_CHECK(config_.refresh_lead < config_.zone_validity);
+  ROOTLESS_CHECK(config_.retry_interval > 0);
+}
+
+void RefreshDaemon::Start(std::shared_ptr<const zone::Zone> initial) {
+  expiry_ = sim_.now() + config_.zone_validity;
+  apply_(std::move(initial));
+  ScheduleNextAttempt(config_.zone_validity - config_.refresh_lead);
+}
+
+void RefreshDaemon::ScheduleNextAttempt(sim::SimTime delay) {
+  sim_.Schedule(delay, [this]() { Attempt(); });
+}
+
+void RefreshDaemon::Attempt() {
+  ++stats_.fetch_attempts;
+  fetch_([this](FetchResult result) { OnFetched(std::move(result)); });
+}
+
+void RefreshDaemon::OnFetched(FetchResult result) {
+  if (!result.ok()) {
+    ++stats_.fetch_failures;
+    if (sim_.now() >= expiry_ && lapsed_since_ < 0) {
+      // The copy lapsed while we were still failing to refresh: the §4
+      // scenario where the out-of-band process ran out of runway.
+      ++stats_.expirations;
+      lapsed_since_ = expiry_;
+    }
+    ScheduleNextAttempt(config_.retry_interval);
+    return;
+  }
+  if (lapsed_since_ >= 0) {
+    stats_.stale_time += sim_.now() - lapsed_since_;
+    lapsed_since_ = -1;
+  }
+  ++stats_.refreshes;
+  expiry_ = sim_.now() + config_.zone_validity;
+  apply_(std::move(*result));
+  ScheduleNextAttempt(config_.zone_validity - config_.refresh_lead);
+}
+
+}  // namespace rootless::resolver

@@ -1,0 +1,68 @@
+// Root-zone refresh daemon — the §4 robustness mechanism.
+//
+// A fetched zone copy is valid for the records' TTL (two days for TLD NS
+// sets). The daemon re-fetches with a lead window before expiry (the paper's
+// example: try at X+42h, leaving 6 hours of retries before the copy expires
+// and lookups are actually impacted), retrying periodically on failure and
+// recording whether the zone ever lapsed.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/simulator.h"
+#include "util/result.h"
+#include "zone/zone.h"
+
+namespace rootless::resolver {
+
+struct RefreshConfig {
+  // How long a fetched copy remains usable (TLD record TTLs).
+  sim::SimTime zone_validity = 48 * sim::kHour;
+  // Start refreshing this long before expiry.
+  sim::SimTime refresh_lead = 6 * sim::kHour;
+  // Retry cadence while a refresh attempt keeps failing.
+  sim::SimTime retry_interval = 1 * sim::kHour;
+};
+
+struct RefreshStats {
+  std::uint64_t fetch_attempts = 0;
+  std::uint64_t fetch_failures = 0;
+  std::uint64_t refreshes = 0;    // successful applies
+  std::uint64_t expirations = 0;  // times the copy lapsed before a refresh
+  sim::SimTime stale_time = 0;    // total simulated time spent expired
+};
+
+class RefreshDaemon {
+ public:
+  // Fetch is asynchronous: call the continuation with a new zone or an
+  // error. Apply installs a fetched zone into the resolver.
+  using FetchResult = util::Result<std::shared_ptr<const zone::Zone>>;
+  using FetchFn = std::function<void(std::function<void(FetchResult)>)>;
+  using ApplyFn = std::function<void(std::shared_ptr<const zone::Zone>)>;
+
+  RefreshDaemon(sim::Simulator& sim, RefreshConfig config, FetchFn fetch,
+                ApplyFn apply);
+
+  // Installs the initial copy (fetched out of band) and schedules refreshes.
+  void Start(std::shared_ptr<const zone::Zone> initial);
+
+  bool zone_valid() const { return sim_.now() < expiry_; }
+  sim::SimTime expiry() const { return expiry_; }
+  const RefreshStats& stats() const { return stats_; }
+
+ private:
+  void ScheduleNextAttempt(sim::SimTime delay);
+  void Attempt();
+  void OnFetched(FetchResult result);
+
+  sim::Simulator& sim_;
+  RefreshConfig config_;
+  FetchFn fetch_;
+  ApplyFn apply_;
+  sim::SimTime expiry_ = 0;
+  sim::SimTime lapsed_since_ = -1;  // >= 0 while running expired
+  RefreshStats stats_;
+};
+
+}  // namespace rootless::resolver

@@ -1,0 +1,62 @@
+#include "resolver/root_selector.h"
+
+namespace rootless::resolver {
+
+char RootSelector::PickLetter() {
+  // Probe every letter once before settling.
+  for (int i = 0; i < topo::kRootLetterCount; ++i) {
+    const int candidate = (next_probe_ + i) % topo::kRootLetterCount;
+    if (!probed_[candidate]) {
+      next_probe_ = (candidate + 1) % topo::kRootLetterCount;
+      return topo::LetterForIndex(candidate);
+    }
+  }
+  if (rng_.Chance(explore_probability_)) {
+    return topo::LetterForIndex(
+        static_cast<int>(rng_.Below(topo::kRootLetterCount)));
+  }
+  return BestLetter();
+}
+
+char RootSelector::PickRetryLetter(char avoid) {
+  char best = 0;
+  sim::SimTime best_srtt = 0;
+  for (int i = 0; i < topo::kRootLetterCount; ++i) {
+    const char letter = topo::LetterForIndex(i);
+    if (letter == avoid) continue;
+    const sim::SimTime value = probed_[i] ? srtt_[i] : 0;  // prefer unprobed
+    if (best == 0 || value < best_srtt) {
+      best = letter;
+      best_srtt = value;
+    }
+  }
+  return best == 0 ? avoid : best;
+}
+
+void RootSelector::ReportRtt(char letter, sim::SimTime rtt) {
+  const int i = topo::IndexForLetter(letter);
+  if (!probed_[i]) {
+    probed_[i] = true;
+    srtt_[i] = rtt;
+    return;
+  }
+  // EWMA with alpha = 1/4 (Van Jacobson style smoothing).
+  srtt_[i] = (srtt_[i] * 3 + rtt) / 4;
+}
+
+void RootSelector::ReportTimeout(char letter) {
+  const int i = topo::IndexForLetter(letter);
+  probed_[i] = true;
+  // Penalize heavily so failover sticks until a success re-lowers it.
+  srtt_[i] = srtt_[i] * 2 + 500 * sim::kMillisecond;
+}
+
+char RootSelector::BestLetter() const {
+  int best = 0;
+  for (int i = 1; i < topo::kRootLetterCount; ++i) {
+    if (srtt_[i] < srtt_[best]) best = i;
+  }
+  return topo::LetterForIndex(best);
+}
+
+}  // namespace rootless::resolver

@@ -1,0 +1,51 @@
+// Root nameserver selection — the piece of resolver complexity the paper's
+// §4 says disappears under the proposal.
+//
+// Models the BIND-style strategy: keep a smoothed RTT per root letter,
+// usually query the lowest-SRTT letter, but keep probing others so the
+// estimates stay fresh; on timeout, penalize the letter and fail over.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/simulator.h"
+#include "topo/deployment.h"
+#include "util/rng.h"
+
+namespace rootless::resolver {
+
+class RootSelector {
+ public:
+  explicit RootSelector(std::uint64_t seed, double explore_probability = 0.05)
+      : rng_(seed), explore_probability_(explore_probability) {}
+
+  // Picks a letter to query: unprobed letters first (round-robin), then the
+  // best SRTT with occasional exploration.
+  char PickLetter();
+
+  // Picks a letter different from `avoid` (retry path).
+  char PickRetryLetter(char avoid);
+
+  // Feedback.
+  void ReportRtt(char letter, sim::SimTime rtt);
+  void ReportTimeout(char letter);
+
+  sim::SimTime srtt(char letter) const {
+    return srtt_[topo::IndexForLetter(letter)];
+  }
+  bool probed(char letter) const {
+    return probed_[topo::IndexForLetter(letter)];
+  }
+
+ private:
+  char BestLetter() const;
+
+  util::Rng rng_;
+  double explore_probability_;
+  std::array<sim::SimTime, topo::kRootLetterCount> srtt_{};
+  std::array<bool, topo::kRootLetterCount> probed_{};
+  int next_probe_ = 0;
+};
+
+}  // namespace rootless::resolver

@@ -1,0 +1,48 @@
+#include "resolver/zone_db.h"
+
+#include "util/strings.h"
+
+namespace rootless::resolver {
+
+using dns::Name;
+using dns::RRType;
+
+void ZoneDb::Load(const zone::Zone& root_zone) {
+  entries_.clear();
+  serial_ = root_zone.Serial();
+  for (const auto& child : root_zone.DelegatedChildren()) {
+    TldEntry entry;
+    const dns::RRset* ns = root_zone.Find(child, RRType::kNS);
+    if (ns == nullptr) continue;
+    entry.ns = *ns;
+    for (const auto& rd : ns->rdatas) {
+      const Name& host = std::get<dns::NsData>(rd).nameserver;
+      if (const dns::RRset* a = root_zone.Find(host, RRType::kA)) {
+        entry.glue.push_back(*a);
+      }
+      if (const dns::RRset* aaaa = root_zone.Find(host, RRType::kAAAA)) {
+        entry.glue.push_back(*aaaa);
+      }
+    }
+    if (const dns::RRset* ds = root_zone.Find(child, RRType::kDS)) {
+      entry.ds.push_back(*ds);
+    }
+    entries_.emplace(child.tld(), std::move(entry));
+  }
+}
+
+const TldEntry* ZoneDb::Lookup(const std::string& tld) const {
+  auto it = entries_.find(util::ToLower(tld));
+  if (it == entries_.end()) return nullptr;
+  return &it->second;
+}
+
+std::size_t ZoneDb::rrset_count() const {
+  std::size_t count = 0;
+  for (const auto& [tld, entry] : entries_) {
+    count += 1 + entry.glue.size() + entry.ds.size();
+  }
+  return count;
+}
+
+}  // namespace rootless::resolver

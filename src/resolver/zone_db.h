@@ -1,0 +1,48 @@
+// Indexed local root-zone store — the §3 "load the root zone into a
+// database" option, and the fast path the paper's §5.1 suggests beyond
+// scanning the compressed file.
+//
+// Maps TLD label -> the RRsets a root referral for that TLD would carry
+// (NS + glue + DS), so the on-demand local-root mode can answer "which
+// servers handle .com?" in O(1) without polluting the resolver cache.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/rr.h"
+#include "zone/zone.h"
+
+namespace rootless::resolver {
+
+struct TldEntry {
+  dns::RRset ns;                    // delegation NS RRset
+  std::vector<dns::RRset> glue;     // A/AAAA for in-bailiwick nameservers
+  std::vector<dns::RRset> ds;       // DS RRset(s), if the TLD is signed
+};
+
+class ZoneDb {
+ public:
+  ZoneDb() = default;
+  explicit ZoneDb(const zone::Zone& root_zone) { Load(root_zone); }
+
+  // (Re)builds the index from a root zone snapshot.
+  void Load(const zone::Zone& root_zone);
+
+  // Looks up a TLD (lowercase label without dot). Returns nullptr for
+  // unknown TLDs — the local equivalent of a root NXDOMAIN.
+  const TldEntry* Lookup(const std::string& tld) const;
+
+  std::size_t tld_count() const { return entries_.size(); }
+  std::uint32_t serial() const { return serial_; }
+
+  // Total RRsets indexed (NS + glue + DS across all TLDs).
+  std::size_t rrset_count() const;
+
+ private:
+  std::unordered_map<std::string, TldEntry> entries_;
+  std::uint32_t serial_ = 0;
+};
+
+}  // namespace rootless::resolver

@@ -1,0 +1,81 @@
+#include "rootsrv/auth_server.h"
+
+namespace rootless::rootsrv {
+
+using dns::Message;
+using zone::LookupDisposition;
+
+AuthServer::AuthServer(sim::Network& network,
+                       std::shared_ptr<const zone::Zone> zone,
+                       bool include_dnssec, std::size_t max_udp_size)
+    : network_(network),
+      zone_(std::move(zone)),
+      include_dnssec_(include_dnssec),
+      max_udp_size_(max_udp_size) {
+  node_ = network_.AddNode(
+      [this](const sim::Datagram& d) { HandleDatagram(d); });
+}
+
+Message AuthServer::Answer(const Message& query) {
+  ++stats_.queries;
+  if (query.questions.size() != 1) {
+    ++stats_.malformed;
+    Message response = MakeResponse(query, dns::RCode::kFormErr);
+    return response;
+  }
+  const dns::Question& q = query.questions.front();
+  const zone::LookupResult result =
+      zone_->Lookup(q.name, q.type, include_dnssec_);
+
+  dns::RCode rcode = dns::RCode::kNoError;
+  switch (result.disposition) {
+    case LookupDisposition::kAnswer:
+      ++stats_.answers;
+      break;
+    case LookupDisposition::kReferral:
+      ++stats_.referrals;
+      break;
+    case LookupDisposition::kNoData:
+      ++stats_.nodata;
+      break;
+    case LookupDisposition::kNxDomain:
+      ++stats_.nxdomain;
+      rcode = dns::RCode::kNXDomain;
+      break;
+    case LookupDisposition::kOutOfZone:
+      ++stats_.refused;
+      rcode = dns::RCode::kRefused;
+      break;
+  }
+
+  Message response = MakeResponse(query, rcode);
+  response.header.aa = result.disposition == LookupDisposition::kAnswer ||
+                       result.disposition == LookupDisposition::kNoData ||
+                       result.disposition == LookupDisposition::kNxDomain;
+  auto append = [](const std::vector<dns::RRset>& sets,
+                   std::vector<dns::ResourceRecord>& out) {
+    for (const auto& s : sets) {
+      for (auto&& rr : s.ToRecords()) out.push_back(std::move(rr));
+    }
+  };
+  append(result.answers, response.answers);
+  append(result.authority, response.authority);
+  append(result.additional, response.additional);
+  return response;
+}
+
+void AuthServer::HandleDatagram(const sim::Datagram& datagram) {
+  stats_.bytes_in += datagram.payload.size();
+  auto query = dns::DecodeMessage(datagram.payload);
+  if (!query.ok() || query->header.qr) {
+    ++stats_.queries;
+    ++stats_.malformed;
+    return;  // drop garbage, as real servers do
+  }
+  const Message response = Answer(*query);
+  auto wire = dns::EncodeMessage(response, max_udp_size_);
+  stats_.bytes_out += wire.size();
+  network_.Send(node_, datagram.src, std::move(wire));
+}
+
+}  // namespace rootless::rootsrv

@@ -1,0 +1,57 @@
+// Authoritative DNS server bound to a Zone, attached to the simulated
+// network. Decodes queries, applies the zone's lookup logic, and answers
+// with referrals / answers / NXDOMAIN exactly as a root or TLD server would.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dns/message.h"
+#include "sim/network.h"
+#include "zone/zone.h"
+
+namespace rootless::rootsrv {
+
+struct AuthServerStats {
+  std::uint64_t queries = 0;
+  std::uint64_t answers = 0;
+  std::uint64_t referrals = 0;
+  std::uint64_t nxdomain = 0;
+  std::uint64_t nodata = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+class AuthServer {
+ public:
+  // The zone is shared between anycast instances; it must outlive them.
+  AuthServer(sim::Network& network, std::shared_ptr<const zone::Zone> zone,
+             bool include_dnssec = false, std::size_t max_udp_size = 1232);
+
+  sim::NodeId node() const { return node_; }
+  const AuthServerStats& stats() const { return stats_; }
+  const zone::Zone& zone() const { return *zone_; }
+
+  // Swaps in a new zone version (e.g. the daily root zone update).
+  void SetZone(std::shared_ptr<const zone::Zone> zone) {
+    zone_ = std::move(zone);
+  }
+
+  // Builds the response message for a query (exposed for tests and for the
+  // local-root path, which answers without the network round trip).
+  dns::Message Answer(const dns::Message& query);
+
+ private:
+  void HandleDatagram(const sim::Datagram& datagram);
+
+  sim::Network& network_;
+  std::shared_ptr<const zone::Zone> zone_;
+  bool include_dnssec_;
+  std::size_t max_udp_size_;
+  sim::NodeId node_;
+  AuthServerStats stats_;
+};
+
+}  // namespace rootless::rootsrv

@@ -1,0 +1,80 @@
+#include "rootsrv/fleet.h"
+
+#include "util/check.h"
+
+namespace rootless::rootsrv {
+
+RootServerFleet::RootServerFleet(sim::Network& network,
+                                 topo::GeoRegistry& registry,
+                                 const topo::DeploymentModel& deployment,
+                                 const util::CivilDate& date,
+                                 std::shared_ptr<const zone::Zone> root_zone,
+                                 bool include_dnssec) {
+  for (const auto& instance : deployment.AllInstancesOn(date)) {
+    auto server = std::make_unique<AuthServer>(network, root_zone,
+                                               include_dnssec);
+    registry.SetLocation(server->node(), instance.location);
+    by_letter_[topo::IndexForLetter(instance.letter)].push_back(
+        instances_.size());
+    instances_.push_back(
+        InstanceInfo{instance.letter, instance.location, std::move(server)});
+  }
+}
+
+sim::NodeId RootServerFleet::InstanceFor(char letter,
+                                         const topo::GeoPoint& location) const {
+  const auto& candidates = by_letter_[topo::IndexForLetter(letter)];
+  ROOTLESS_CHECK(!candidates.empty());
+  std::size_t best = candidates[0];
+  double best_km = topo::GreatCircleKm(instances_[best].location, location);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const double km =
+        topo::GreatCircleKm(instances_[candidates[i]].location, location);
+    if (km < best_km) {
+      best_km = km;
+      best = candidates[i];
+    }
+  }
+  return instances_[best].server->node();
+}
+
+void RootServerFleet::SetZone(std::shared_ptr<const zone::Zone> root_zone) {
+  for (auto& instance : instances_) instance.server->SetZone(root_zone);
+}
+
+AuthServerStats RootServerFleet::TotalStats() const {
+  AuthServerStats total;
+  for (const auto& instance : instances_) {
+    const auto& s = instance.server->stats();
+    total.queries += s.queries;
+    total.answers += s.answers;
+    total.referrals += s.referrals;
+    total.nxdomain += s.nxdomain;
+    total.nodata += s.nodata;
+    total.refused += s.refused;
+    total.malformed += s.malformed;
+    total.bytes_in += s.bytes_in;
+    total.bytes_out += s.bytes_out;
+  }
+  return total;
+}
+
+AuthServerStats RootServerFleet::LetterStats(char letter) const {
+  AuthServerStats total;
+  for (const auto& instance : instances_) {
+    if (instance.letter != letter) continue;
+    const auto& s = instance.server->stats();
+    total.queries += s.queries;
+    total.answers += s.answers;
+    total.referrals += s.referrals;
+    total.nxdomain += s.nxdomain;
+    total.nodata += s.nodata;
+    total.refused += s.refused;
+    total.malformed += s.malformed;
+    total.bytes_in += s.bytes_in;
+    total.bytes_out += s.bytes_out;
+  }
+  return total;
+}
+
+}  // namespace rootless::rootsrv

@@ -1,0 +1,56 @@
+// The root nameserver fleet: 13 letters, each replicated via anycast across
+// the sites the deployment model places for a given date. All instances of
+// all letters serve the same (shared) root zone.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "rootsrv/auth_server.h"
+#include "sim/network.h"
+#include "topo/deployment.h"
+#include "topo/geo_registry.h"
+#include "util/civil_time.h"
+#include "zone/zone.h"
+
+namespace rootless::rootsrv {
+
+class RootServerFleet {
+ public:
+  // Creates one AuthServer node per instance the deployment model reports
+  // for `date`, registering each node's location in `registry`.
+  RootServerFleet(sim::Network& network, topo::GeoRegistry& registry,
+                  const topo::DeploymentModel& deployment,
+                  const util::CivilDate& date,
+                  std::shared_ptr<const zone::Zone> root_zone,
+                  bool include_dnssec = false);
+
+  std::size_t instance_count() const { return instances_.size(); }
+
+  // Anycast: the node a client at `location` reaches when querying `letter`
+  // (the nearest instance of that letter).
+  sim::NodeId InstanceFor(char letter, const topo::GeoPoint& location) const;
+
+  // Instance servers (for stats aggregation).
+  struct InstanceInfo {
+    char letter;
+    topo::GeoPoint location;
+    std::unique_ptr<AuthServer> server;
+  };
+  const std::vector<InstanceInfo>& instances() const { return instances_; }
+
+  // Swap the zone every instance serves (daily update).
+  void SetZone(std::shared_ptr<const zone::Zone> root_zone);
+
+  // Aggregate stats.
+  AuthServerStats TotalStats() const;
+  AuthServerStats LetterStats(char letter) const;
+
+ private:
+  std::vector<InstanceInfo> instances_;
+  // Per-letter index into instances_ for the catchment search.
+  std::array<std::vector<std::size_t>, topo::kRootLetterCount> by_letter_;
+};
+
+}  // namespace rootless::rootsrv

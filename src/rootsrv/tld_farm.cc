@@ -1,0 +1,104 @@
+#include "rootsrv/tld_farm.h"
+
+#include "util/strings.h"
+
+namespace rootless::rootsrv {
+
+using dns::Message;
+using dns::Name;
+using dns::RRType;
+
+TldFarm::TldFarm(sim::Network& network, topo::GeoRegistry& registry,
+                 const zone::Zone& root_zone, std::uint64_t seed)
+    : network_(network), registry_(registry), placement_rng_(seed) {
+  for (const auto& child : root_zone.DelegatedChildren()) {
+    EnsureTld(child.tld());
+  }
+  RefreshAddresses(root_zone);
+}
+
+void TldFarm::EnsureTld(const std::string& tld) {
+  if (by_tld_.count(tld) > 0) return;
+  // Capture by value: the handler needs the tld and its own node id.
+  const sim::NodeId node = network_.AddNode(nullptr);
+  network_.SetHandler(node, [this, node, tld](const sim::Datagram& d) {
+    HandleQuery(node, tld, d);
+  });
+  registry_.SetLocation(node, topo::SamplePopulationPoint(placement_rng_));
+  by_tld_.emplace(tld, node);
+}
+
+void TldFarm::RefreshAddresses(const zone::Zone& root_zone) {
+  by_address_.clear();
+  for (const auto& child : root_zone.DelegatedChildren()) {
+    const std::string tld = child.tld();
+    EnsureTld(tld);
+    auto it = by_tld_.find(tld);
+    if (it == by_tld_.end()) continue;
+    const dns::RRset* ns_set = root_zone.Find(child, RRType::kNS);
+    if (ns_set == nullptr) continue;
+    for (const auto& rd : ns_set->rdatas) {
+      const Name& host = std::get<dns::NsData>(rd).nameserver;
+      if (const dns::RRset* a = root_zone.Find(host, RRType::kA)) {
+        for (const auto& ard : a->rdatas) {
+          by_address_[std::get<dns::AData>(ard).address.addr] = it->second;
+        }
+      }
+    }
+  }
+}
+
+bool TldFarm::FindTldNode(const std::string& tld, sim::NodeId& node) const {
+  auto it = by_tld_.find(util::ToLower(tld));
+  if (it == by_tld_.end()) return false;
+  node = it->second;
+  return true;
+}
+
+bool TldFarm::FindByAddress(const dns::Ipv4& address,
+                            sim::NodeId& node) const {
+  auto it = by_address_.find(address.addr);
+  if (it == by_address_.end()) return false;
+  node = it->second;
+  return true;
+}
+
+void TldFarm::HandleQuery(sim::NodeId node, const std::string& tld,
+                          const sim::Datagram& datagram) {
+  ++*queries_;
+  auto query = dns::DecodeMessage(datagram.payload);
+  if (!query.ok() || query->header.qr || query->questions.size() != 1) return;
+  const dns::Question& q = query->questions.front();
+
+  Message response = MakeResponse(*query, dns::RCode::kNoError);
+  response.header.aa = true;
+  if (q.name.tld() != tld) {
+    response.header.rcode = dns::RCode::kRefused;
+  } else {
+    // Deterministic synthetic answer standing in for the full subtree.
+    const std::uint64_t h = q.name.Hash();
+    switch (q.type) {
+      case RRType::kA:
+        response.answers.push_back(
+            {q.name, RRType::kA, dns::RRClass::kIN, 300,
+             dns::AData{dns::Ipv4{0x0A000000u |
+                                  static_cast<std::uint32_t>(h & 0xFFFFFF)}}});
+        break;
+      case RRType::kAAAA: {
+        dns::Ipv6 v6;
+        v6.addr = {0x20, 0x01, 0x0d, 0xb8, 0xFF};
+        for (int k = 0; k < 8; ++k)
+          v6.addr[8 + k] = static_cast<std::uint8_t>(h >> (8 * k));
+        response.answers.push_back({q.name, RRType::kAAAA, dns::RRClass::kIN,
+                                    300, dns::AaaaData{v6}});
+        break;
+      }
+      default:
+        // NODATA for other types.
+        break;
+    }
+  }
+  network_.Send(node, datagram.src, dns::EncodeMessage(response, 1232));
+}
+
+}  // namespace rootless::rootsrv

@@ -1,0 +1,61 @@
+// TLD nameserver farm: one synthetic authoritative server per TLD delegated
+// in a root-zone snapshot.
+//
+// SUBSTITUTION (DESIGN.md §2): below the TLD cut the real DNS has millions of
+// second-level zones; for the resolution-latency experiments only the path
+// *to* the TLD matters (the paper's proposal changes nothing below it). Each
+// farm server therefore answers any in-domain query authoritatively with a
+// deterministic address, standing in for the whole subtree.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.h"
+#include "sim/network.h"
+#include "topo/geo_registry.h"
+#include "util/rng.h"
+#include "zone/zone.h"
+
+namespace rootless::rootsrv {
+
+class TldFarm {
+ public:
+  // Builds one server node per TLD delegated in `root_zone`, registers the
+  // TLD's glue addresses to that node, and places it at a population-
+  // weighted location.
+  TldFarm(sim::Network& network, topo::GeoRegistry& registry,
+          const zone::Zone& root_zone, std::uint64_t seed);
+
+  // Node serving a TLD ("" lookups fail). Returns false if unknown.
+  bool FindTldNode(const std::string& tld, sim::NodeId& node) const;
+
+  // Node owning a glue address from the root zone (how a resolver "routes"
+  // to an address it learned from a referral).
+  bool FindByAddress(const dns::Ipv4& address, sim::NodeId& node) const;
+
+  std::size_t tld_count() const { return by_tld_.size(); }
+  std::uint64_t queries_served() const { return *queries_; }
+
+  // Re-registers addressing from a newer root zone snapshot (rotating TLD
+  // addresses move; the nodes stay) and creates servers for TLDs delegated
+  // since construction (new-TLD additions, §5.3).
+  void RefreshAddresses(const zone::Zone& root_zone);
+
+ private:
+  void HandleQuery(sim::NodeId node, const std::string& tld,
+                   const sim::Datagram& datagram);
+  // Creates the server node for a TLD if it does not exist yet.
+  void EnsureTld(const std::string& tld);
+
+  sim::Network& network_;
+  topo::GeoRegistry& registry_;
+  util::Rng placement_rng_;
+  std::unordered_map<std::string, sim::NodeId> by_tld_;
+  std::unordered_map<std::uint32_t, sim::NodeId> by_address_;
+  std::shared_ptr<std::uint64_t> queries_ = std::make_shared<std::uint64_t>(0);
+};
+
+}  // namespace rootless::rootsrv

@@ -1,0 +1,3 @@
+#include "sim/simulator.h"
+#include "sim/network.h"
+// Header-only module; this TU anchors the library target.

@@ -1,0 +1,90 @@
+// Discrete-event simulator.
+//
+// Simulation time is in microseconds; nothing reads the wall clock, so every
+// run is deterministic for a given seed. Events scheduled at equal times fire
+// in scheduling order (a strict FIFO tiebreak keeps runs reproducible).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rootless::sim {
+
+// Microseconds of simulated time.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * 1000;
+inline constexpr SimTime kMinute = 60 * kSecond;
+inline constexpr SimTime kHour = 60 * kMinute;
+inline constexpr SimTime kDay = 24 * kHour;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run `delay` from now. Precondition: delay >= 0.
+  void Schedule(SimTime delay, std::function<void()> fn) {
+    ROOTLESS_CHECK(delay >= 0);
+    queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  }
+
+  // Schedules at an absolute time >= now().
+  void ScheduleAt(SimTime when, std::function<void()> fn) {
+    ROOTLESS_CHECK(when >= now_);
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+
+  // Runs a single event; returns false if none remain.
+  bool Step() {
+    if (queue_.empty()) return false;
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = e.when;
+    e.fn();
+    return true;
+  }
+
+  // Runs until the queue drains.
+  void Run() {
+    while (Step()) {
+    }
+  }
+
+  // Runs events with time <= deadline; leaves later events queued and
+  // advances the clock to the deadline.
+  void RunUntil(SimTime deadline) {
+    while (!queue_.empty() && queue_.top().when <= deadline) Step();
+    if (now_ < deadline) now_ = deadline;
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace rootless::sim

@@ -1,0 +1,154 @@
+#include "topo/deployment.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rootless::topo {
+
+using util::CivilDate;
+using util::DaysFromCivil;
+
+namespace {
+
+// Anchor dates used across letters.
+const std::int64_t kStart = DaysFromCivil({2015, 1, 15});
+const std::int64_t kMar15 = DaysFromCivil({2015, 3, 15});
+const std::int64_t kJan16 = DaysFromCivil({2016, 1, 15});
+const std::int64_t kFeb16 = DaysFromCivil({2016, 2, 15});
+const std::int64_t kApr17 = DaysFromCivil({2017, 4, 15});
+const std::int64_t kMay17 = DaysFromCivil({2017, 5, 15});
+const std::int64_t kNov17 = DaysFromCivil({2017, 11, 15});
+const std::int64_t kDec17 = DaysFromCivil({2017, 12, 15});
+const std::int64_t kMay19 = DaysFromCivil({2019, 5, 15});
+const std::int64_t kEnd = DaysFromCivil({2020, 12, 15});
+
+}  // namespace
+
+const std::array<RootOperator, kRootLetterCount>& RootOperators() {
+  static const std::array<RootOperator, kRootLetterCount> kOps = {{
+      {'a', "Verisign"},
+      {'b', "USC-ISI"},
+      {'c', "Cogent"},
+      {'d', "University of Maryland"},
+      {'e', "NASA Ames"},
+      {'f', "ISC"},
+      {'g', "US DoD NIC"},
+      {'h', "US Army Research Lab"},
+      {'i', "Netnod"},
+      {'j', "Verisign"},
+      {'k', "RIPE NCC"},
+      {'l', "ICANN"},
+      {'m', "WIDE Project"},
+  }};
+  return kOps;
+}
+
+DeploymentModel::DeploymentModel(std::uint64_t seed) {
+  auto line = [](int start_count, int end_count) {
+    return std::vector<Anchor>{{kStart, start_count},
+                               {kMar15, start_count},
+                               {kMay19, end_count},
+                               {kEnd, end_count}};
+  };
+
+  anchors_[IndexForLetter('a')] = line(5, 16);
+  anchors_[IndexForLetter('b')] = line(2, 6);
+  anchors_[IndexForLetter('c')] = line(8, 8);
+  anchors_[IndexForLetter('d')] = line(60, 140);
+  // e-root: slow growth plus the two documented jumps (+45, +85).
+  anchors_[IndexForLetter('e')] = {{kStart, 12}, {kJan16, 16}, {kFeb16, 61},
+                                   {kNov17, 75}, {kDec17, 160}, {kMay19, 160},
+                                   {kEnd, 160}};
+  // f-root: the +81 and +43 jumps.
+  anchors_[IndexForLetter('f')] = {{kStart, 58},  {kApr17, 95}, {kMay17, 176},
+                                   {kNov17, 183}, {kDec17, 226}, {kMay19, 226},
+                                   {kEnd, 226}};
+  anchors_[IndexForLetter('g')] = line(6, 6);
+  anchors_[IndexForLetter('h')] = line(2, 6);
+  anchors_[IndexForLetter('i')] = line(45, 60);
+  anchors_[IndexForLetter('j')] = line(90, 160);
+  anchors_[IndexForLetter('k')] = line(35, 67);
+  anchors_[IndexForLetter('l')] = line(120, 124);
+  anchors_[IndexForLetter('m')] = line(5, 6);
+
+  // Pre-generate stable site locations per letter (population-weighted: root
+  // operators deploy where the users are).
+  util::Rng rng(seed);
+  for (int i = 0; i < kRootLetterCount; ++i) {
+    int max_count = 0;
+    for (const auto& a : anchors_[i]) max_count = std::max(max_count, a.count);
+    util::Rng letter_rng = rng.Fork();
+    sites_[i].reserve(max_count);
+    for (int k = 0; k < max_count; ++k) {
+      sites_[i].push_back(SamplePopulationPoint(letter_rng));
+    }
+  }
+}
+
+int DeploymentModel::InstanceCountOn(char letter,
+                                     const CivilDate& date) const {
+  const int idx = IndexForLetter(letter);
+  ROOTLESS_CHECK(idx >= 0 && idx < kRootLetterCount);
+  const auto& anchors = anchors_[idx];
+  const std::int64_t day = DaysFromCivil(date);
+  if (day <= anchors.front().day) return anchors.front().count;
+  if (day >= anchors.back().day) return anchors.back().count;
+  for (std::size_t k = 1; k < anchors.size(); ++k) {
+    if (day <= anchors[k].day) {
+      const auto& lo = anchors[k - 1];
+      const auto& hi = anchors[k];
+      const double t = static_cast<double>(day - lo.day) /
+                       static_cast<double>(hi.day - lo.day);
+      return lo.count +
+             static_cast<int>(t * static_cast<double>(hi.count - lo.count));
+    }
+  }
+  return anchors.back().count;
+}
+
+int DeploymentModel::TotalInstancesOn(const CivilDate& date) const {
+  int total = 0;
+  for (int i = 0; i < kRootLetterCount; ++i) {
+    total += InstanceCountOn(LetterForIndex(i), date);
+  }
+  return total;
+}
+
+std::vector<GeoPoint> DeploymentModel::SitesOn(char letter,
+                                               const CivilDate& date) const {
+  const int count = InstanceCountOn(letter, date);
+  const auto& all = sites_[IndexForLetter(letter)];
+  return std::vector<GeoPoint>(all.begin(), all.begin() + count);
+}
+
+std::vector<DeploymentModel::Instance> DeploymentModel::AllInstancesOn(
+    const CivilDate& date) const {
+  std::vector<Instance> out;
+  for (int i = 0; i < kRootLetterCount; ++i) {
+    const char letter = LetterForIndex(i);
+    const auto sites = SitesOn(letter, date);
+    for (std::size_t k = 0; k < sites.size(); ++k) {
+      out.push_back(Instance{letter, static_cast<int>(k), sites[k]});
+    }
+  }
+  return out;
+}
+
+std::size_t NearestInstance(
+    const std::vector<DeploymentModel::Instance>& instances,
+    const GeoPoint& client) {
+  ROOTLESS_CHECK(!instances.empty());
+  std::size_t best = 0;
+  double best_km = GreatCircleKm(instances[0].location, client);
+  for (std::size_t i = 1; i < instances.size(); ++i) {
+    const double km = GreatCircleKm(instances[i].location, client);
+    if (km < best_km) {
+      best_km = km;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace rootless::topo

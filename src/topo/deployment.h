@@ -1,0 +1,78 @@
+// Root nameserver deployment model — the substitute for root-servers.org's
+// instance history (Fig 2; see DESIGN.md §2).
+//
+// Thirteen letters, each with its operator's replication strategy: per-letter
+// anchor counts interpolated month-to-month, plus the three discrete jumps
+// the paper attributes to e-root and f-root:
+//   (i)   e-root +45 between Jan and Feb 2016,
+//   (ii)  f-root +81 between Apr and May 2017,
+//   (iii) e-root +85 and f-root +43 between Nov and Dec 2017.
+// Totals are calibrated to the published shape: ~450 instances in March 2015
+// rising to 985 on 2019-05-15, with b/g/h/m staying at <= 6 instances and
+// d/e/f/j/l exceeding 100.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/geo.h"
+#include "util/civil_time.h"
+
+namespace rootless::topo {
+
+inline constexpr int kRootLetterCount = 13;
+
+// Index 0..12 <-> letter 'a'..'m'.
+inline char LetterForIndex(int index) { return static_cast<char>('a' + index); }
+inline int IndexForLetter(char letter) { return letter - 'a'; }
+
+struct RootOperator {
+  char letter;
+  const char* organization;
+};
+
+// The twelve operating organizations (Verisign runs both a and j).
+const std::array<RootOperator, kRootLetterCount>& RootOperators();
+
+class DeploymentModel {
+ public:
+  explicit DeploymentModel(std::uint64_t seed = 2019);
+
+  // Instances of one letter on a date.
+  int InstanceCountOn(char letter, const util::CivilDate& date) const;
+  // Total across all letters.
+  int TotalInstancesOn(const util::CivilDate& date) const;
+
+  // Site coordinates for every instance of a letter on a date. Sites are
+  // stable: growing a deployment appends sites, it does not move old ones.
+  std::vector<GeoPoint> SitesOn(char letter, const util::CivilDate& date) const;
+
+  // All instances on a date with their letters, for anycast catchments.
+  struct Instance {
+    char letter;
+    int index;  // per-letter instance index
+    GeoPoint location;
+  };
+  std::vector<Instance> AllInstancesOn(const util::CivilDate& date) const;
+
+ private:
+  struct Anchor {
+    std::int64_t day;
+    int count;
+  };
+  // Per-letter anchors, ascending by day; counts interpolate linearly and
+  // jumps are encoded as adjacent anchors one month apart.
+  std::array<std::vector<Anchor>, kRootLetterCount> anchors_;
+  // Per-letter pre-generated site list (max size); SitesOn takes a prefix.
+  std::array<std::vector<GeoPoint>, kRootLetterCount> sites_;
+};
+
+// Nearest-instance anycast catchment: index into `instances` minimizing
+// great-circle distance from `client`. Precondition: !instances.empty().
+std::size_t NearestInstance(
+    const std::vector<DeploymentModel::Instance>& instances,
+    const GeoPoint& client);
+
+}  // namespace rootless::topo

@@ -1,0 +1,81 @@
+#include "topo/geo.h"
+
+#include <cmath>
+
+namespace rootless::topo {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kEarthRadiusKm = 6371.0;
+
+// Population centres approximating where resolvers and root instances live.
+struct Region {
+  GeoPoint centre;
+  double spread_deg;
+  double weight;
+};
+
+constexpr Region kRegions[] = {
+    {{40.0, -100.0}, 12.0, 0.22},  // North America
+    {{50.0, 10.0}, 9.0, 0.24},     // Europe
+    {{30.0, 114.0}, 10.0, 0.26},   // East Asia
+    {{20.0, 78.0}, 8.0, 0.12},     // South Asia
+    {{-15.0, -55.0}, 10.0, 0.08},  // South America
+    {{-28.0, 140.0}, 9.0, 0.04},   // Oceania
+    {{5.0, 20.0}, 12.0, 0.04},     // Africa
+};
+
+double DegToRad(double deg) { return deg * kPi / 180.0; }
+
+}  // namespace
+
+double GreatCircleKm(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = DegToRad(a.latitude_deg);
+  const double lat2 = DegToRad(b.latitude_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = DegToRad(b.longitude_deg - a.longitude_deg);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+sim::SimTime LatencyForDistanceKm(double km) {
+  // ~5 us/km through fiber (2/3 c), x1.5 routing inflation, +2 ms base.
+  const double one_way_us = 2000.0 + km * 5.0 * 1.5;
+  return static_cast<sim::SimTime>(one_way_us);
+}
+
+GeoPoint SamplePopulationPoint(util::Rng& rng) {
+  double pick = rng.UnitDouble();
+  const Region* region = &kRegions[0];
+  for (const auto& r : kRegions) {
+    if (pick < r.weight) {
+      region = &r;
+      break;
+    }
+    pick -= r.weight;
+  }
+  GeoPoint p;
+  p.latitude_deg =
+      region->centre.latitude_deg + rng.Normal(0, region->spread_deg);
+  p.longitude_deg =
+      region->centre.longitude_deg + rng.Normal(0, region->spread_deg * 1.5);
+  // Clamp/wrap.
+  if (p.latitude_deg > 85) p.latitude_deg = 85;
+  if (p.latitude_deg < -85) p.latitude_deg = -85;
+  while (p.longitude_deg >= 180) p.longitude_deg -= 360;
+  while (p.longitude_deg < -180) p.longitude_deg += 360;
+  return p;
+}
+
+GeoPoint SampleUniformPoint(util::Rng& rng) {
+  GeoPoint p;
+  // Uniform on the sphere: lat = asin(2u-1).
+  p.latitude_deg = std::asin(2 * rng.UnitDouble() - 1) * 180.0 / kPi;
+  p.longitude_deg = rng.UnitDouble() * 360.0 - 180.0;
+  return p;
+}
+
+}  // namespace rootless::topo

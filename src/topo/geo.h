@@ -1,0 +1,35 @@
+// Geographic coordinates and latency-from-distance model used to place root
+// server instances and resolvers on a sphere and derive realistic RTTs.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace rootless::topo {
+
+struct GeoPoint {
+  double latitude_deg = 0;   // [-90, 90]
+  double longitude_deg = 0;  // [-180, 180)
+
+  bool operator==(const GeoPoint&) const = default;
+};
+
+// Great-circle distance (haversine), kilometres.
+double GreatCircleKm(const GeoPoint& a, const GeoPoint& b);
+
+// One-way network latency for a path of the given great-circle distance:
+// base processing/last-mile delay plus distance at ~2/3 c with a routing
+// inflation factor.
+sim::SimTime LatencyForDistanceKm(double km);
+
+// Samples a point with population-weighted clustering: most of the Internet
+// sits in a few dense regions, so instances placed "globally" still leave
+// some clients far away. Deterministic given the RNG stream.
+GeoPoint SamplePopulationPoint(util::Rng& rng);
+
+// Uniform point on the sphere (for adversarially remote clients).
+GeoPoint SampleUniformPoint(util::Rng& rng);
+
+}  // namespace rootless::topo

@@ -1,0 +1,44 @@
+// Maps simulated network nodes to geographic locations and derives pairwise
+// latency — install its Latency() as the sim::Network latency function.
+#pragma once
+
+#include <vector>
+
+#include "sim/network.h"
+#include "topo/geo.h"
+
+namespace rootless::topo {
+
+class GeoRegistry {
+ public:
+  // Loopback latency for co-located endpoints (RFC 7706's "on loopback").
+  static constexpr sim::SimTime kLoopbackLatency = 150;  // 150 us
+
+  void SetLocation(sim::NodeId node, const GeoPoint& location) {
+    if (locations_.size() <= node) locations_.resize(node + 1);
+    locations_[node] = location;
+  }
+
+  GeoPoint LocationOf(sim::NodeId node) const {
+    return node < locations_.size() ? locations_[node] : GeoPoint{};
+  }
+
+  sim::SimTime Latency(sim::NodeId a, sim::NodeId b) const {
+    if (a == b) return kLoopbackLatency;
+    const GeoPoint pa = LocationOf(a);
+    const GeoPoint pb = LocationOf(b);
+    if (pa == pb) return kLoopbackLatency;
+    return LatencyForDistanceKm(GreatCircleKm(pa, pb));
+  }
+
+  // Convenience: a latency function bound to this registry. The registry
+  // must outlive the network.
+  sim::Network::LatencyFn LatencyFn() const {
+    return [this](sim::NodeId a, sim::NodeId b) { return Latency(a, b); };
+  }
+
+ private:
+  std::vector<GeoPoint> locations_;
+};
+
+}  // namespace rootless::topo

@@ -1,0 +1,56 @@
+// Query trace representation for the DITL-style experiments.
+//
+// A trace is a day (or any window) of root-directed queries: timestamp,
+// originating resolver, and the TLD of the query name (the only part of the
+// qname the §2.2 analysis consumes). TLD labels are interned to keep
+// multi-million-query traces compact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace rootless::traffic {
+
+using TldId = std::uint32_t;
+
+class TldTable {
+ public:
+  TldId Intern(const std::string& label);
+  const std::string& LabelOf(TldId id) const { return labels_.at(id); }
+  std::size_t size() const { return labels_.size(); }
+
+ private:
+  std::unordered_map<std::string, TldId> index_;
+  std::vector<std::string> labels_;
+};
+
+struct QueryEvent {
+  std::uint32_t time_sec = 0;     // seconds into the collection window
+  std::uint32_t resolver_id = 0;  // anonymized resolver identity
+  TldId tld = 0;
+};
+
+struct Trace {
+  TldTable tlds;
+  std::vector<QueryEvent> events;  // ascending by time_sec
+
+  std::size_t query_count() const { return events.size(); }
+};
+
+}  // namespace rootless::traffic
+
+namespace rootless::traffic {
+
+// Binary trace file format (magic | tld table | events with delta-encoded
+// timestamps) so generated days can be archived and replayed, the way DITL
+// captures are.
+util::Bytes SerializeTrace(const Trace& trace);
+util::Result<Trace> DeserializeTrace(std::span<const std::uint8_t> wire);
+
+}  // namespace rootless::traffic

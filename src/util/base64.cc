@@ -1,0 +1,113 @@
+#include "util/base64.h"
+
+#include <array>
+
+namespace rootless::util {
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<std::int8_t, 256> BuildDecodeTable() {
+  std::array<std::int8_t, 256> t{};
+  for (auto& v : t) v = -1;
+  for (int i = 0; i < 64; ++i) {
+    t[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return t;
+}
+
+constexpr auto kDecode = BuildDecodeTable();
+
+constexpr char kHex[] = "0123456789abcdef";
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string Base64Encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16 |
+                            static_cast<std::uint32_t>(data[i + 1]) << 8 |
+                            data[i + 2];
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back(kAlphabet[n & 63]);
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16 |
+                            static_cast<std::uint32_t>(data[i + 1]) << 8;
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> Base64Decode(std::string_view text) {
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  std::size_t pad = 0;
+  for (char c : text) {
+    if (c == '\n' || c == '\r' || c == ' ') continue;
+    if (c == '=') {
+      ++pad;
+      continue;
+    }
+    if (pad > 0) return Error("base64: data after padding");
+    const std::int8_t v = kDecode[static_cast<unsigned char>(c)];
+    if (v < 0) return Error("base64: invalid character");
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>(acc >> bits));
+    }
+  }
+  if (pad > 2) return Error("base64: too much padding");
+  return out;
+}
+
+std::string HexEncode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 15]);
+  }
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> HexDecode(std::string_view text) {
+  if (text.size() % 2 != 0) return Error("hex: odd length");
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 2);
+  for (std::size_t i = 0; i < text.size(); i += 2) {
+    const int hi = HexNibble(text[i]);
+    const int lo = HexNibble(text[i + 1]);
+    if (hi < 0 || lo < 0) return Error("hex: invalid character");
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+}  // namespace rootless::util

@@ -1,0 +1,23 @@
+// Base64 (RFC 4648) — used for the presentation format of DNSKEY public keys
+// and RRSIG signatures in zone master files.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace rootless::util {
+
+std::string Base64Encode(std::span<const std::uint8_t> data);
+
+Result<std::vector<std::uint8_t>> Base64Decode(std::string_view text);
+
+// Hex, for DS digests and debugging.
+std::string HexEncode(std::span<const std::uint8_t> data);
+Result<std::vector<std::uint8_t>> HexDecode(std::string_view text);
+
+}  // namespace rootless::util

@@ -1,0 +1,24 @@
+// Contract checking. A failed CHECK is a programming error and throws
+// std::logic_error; it is not part of normal error handling (see result.h).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace rootless::util {
+
+[[noreturn]] inline void CheckFailed(std::string_view condition,
+                                     std::string_view file, int line) {
+  std::ostringstream os;
+  os << "CHECK failed: " << condition << " at " << file << ":" << line;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace rootless::util
+
+#define ROOTLESS_CHECK(cond)                                       \
+  do {                                                             \
+    if (!(cond))                                                   \
+      ::rootless::util::CheckFailed(#cond, __FILE__, __LINE__);    \
+  } while (0)

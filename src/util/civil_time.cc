@@ -1,0 +1,77 @@
+#include "util/civil_time.h"
+
+#include <cstdio>
+
+namespace rootless::util {
+
+std::int64_t DaysFromCivil(const CivilDate& d) {
+  std::int64_t y = d.year;
+  const int m = d.month;
+  const int day = d.day;
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);           // [0,399]
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + day - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;          // [0,146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate CivilFromDays(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);        // [0,146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;           // [0,399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);        // [0,365]
+  const unsigned mp = (5 * doy + 2) / 153;                             // [0,11]
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;                   // [1,31]
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));   // [1,12]
+  return CivilDate{static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+                   static_cast<int>(day)};
+}
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return 0;
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+bool IsValidDate(const CivilDate& d) {
+  return d.month >= 1 && d.month <= 12 && d.day >= 1 &&
+         d.day <= DaysInMonth(d.year, d.month);
+}
+
+CivilDate AddMonths(const CivilDate& d, int n) {
+  int months = (d.year * 12 + (d.month - 1)) + n;
+  CivilDate out;
+  out.year = months / 12;
+  out.month = months % 12 + 1;
+  if (out.month <= 0) {  // handle negative modulo
+    out.month += 12;
+    out.year -= 1;
+  }
+  out.day = d.day;
+  const int dim = DaysInMonth(out.year, out.month);
+  if (out.day > dim) out.day = dim;
+  return out;
+}
+
+CivilDate AddDays(const CivilDate& d, std::int64_t n) {
+  return CivilFromDays(DaysFromCivil(d) + n);
+}
+
+std::string FormatDate(const CivilDate& d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+}  // namespace rootless::util

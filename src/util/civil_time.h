@@ -1,0 +1,42 @@
+// Civil (calendar) time without the C locale machinery.
+//
+// The paper's figures are sampled "on the 15th of each month"; the zone
+// evolution model and deployment timeline need exact calendar arithmetic
+// (days since epoch, month iteration) that is reproducible everywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rootless::util {
+
+struct CivilDate {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+
+  bool operator==(const CivilDate&) const = default;
+  auto operator<=>(const CivilDate&) const = default;
+};
+
+// Days since 1970-01-01 (proleptic Gregorian; Howard Hinnant's algorithm).
+std::int64_t DaysFromCivil(const CivilDate& d);
+CivilDate CivilFromDays(std::int64_t days);
+
+// Unix seconds at midnight UTC of the given date.
+inline std::int64_t UnixSecondsFromCivil(const CivilDate& d) {
+  return DaysFromCivil(d) * 86400;
+}
+
+bool IsLeapYear(int year);
+int DaysInMonth(int year, int month);
+bool IsValidDate(const CivilDate& d);
+
+// Advances by n months keeping the day clamped to the month length.
+CivilDate AddMonths(const CivilDate& d, int n);
+CivilDate AddDays(const CivilDate& d, std::int64_t n);
+
+// "YYYY-MM-DD".
+std::string FormatDate(const CivilDate& d);
+
+}  // namespace rootless::util

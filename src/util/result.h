@@ -1,0 +1,89 @@
+// Lightweight Status/Result error handling.
+//
+// Parsing and I/O paths in this library treat malformed input as data, not as
+// a programming error, so they report failures by value instead of throwing.
+// Exceptions are reserved for contract violations (see CHECK in check.h).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rootless::util {
+
+// A failure description. Cheap to move, comparable for tests.
+class Error {
+ public:
+  Error() = default;
+  explicit Error(std::string message) : message_(std::move(message)) {}
+
+  const std::string& message() const { return message_; }
+
+  bool operator==(const Error& other) const = default;
+
+ private:
+  std::string message_;
+};
+
+// Status: success or an Error.
+class Status {
+ public:
+  Status() = default;  // ok
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT: implicit by design
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  const Error& error() const { return *error_; }
+  std::string message() const { return error_ ? error_->message() : "ok"; }
+
+ private:
+  std::optional<Error> error_;
+};
+
+// Result<T>: a value or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}      // NOLINT: implicit by design
+  Result(Error error) : value_(std::move(error)) {}  // NOLINT: implicit by design
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  // Precondition: ok().
+  T& value() & { return std::get<T>(value_); }
+  const T& value() const& { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Precondition: !ok().
+  const Error& error() const { return std::get<Error>(value_); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return Status(error());
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+}  // namespace rootless::util
+
+// Propagate an error from an expression yielding Result<T> or Status.
+#define ROOTLESS_RETURN_IF_ERROR(expr)                      \
+  do {                                                      \
+    auto rootless_status_ = (expr);                         \
+    if (!rootless_status_.ok())                             \
+      return ::rootless::util::Error(rootless_status_.message()); \
+  } while (0)

@@ -1,0 +1,130 @@
+// Deterministic pseudo-random number generation.
+//
+// Every simulation component takes an explicit seed so that benches and tests
+// are reproducible; nothing in the library reads the wall clock or
+// std::random_device.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rootless::util {
+
+// SplitMix64: used for seeding and cheap hashing.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256**: the library's workhorse generator. Satisfies
+// UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDULL) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t Below(std::uint64_t bound) {
+    ROOTLESS_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // = 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t Between(std::int64_t lo, std::int64_t hi) {
+    ROOTLESS_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    Below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double UnitDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability p (clamped to [0,1]).
+  bool Chance(double p) {
+    if (p <= 0) return false;
+    if (p >= 1) return true;
+    return UnitDouble() < p;
+  }
+
+  // Exponential with given mean. Precondition: mean > 0.
+  double Exponential(double mean) {
+    ROOTLESS_CHECK(mean > 0);
+    double u = UnitDouble();
+    if (u <= 0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  // Normal via Box–Muller (no cached spare; simple and deterministic).
+  double Normal(double mean, double stddev) {
+    double u1 = UnitDouble();
+    double u2 = UnitDouble();
+    if (u1 <= 0) u1 = 0x1.0p-53;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(6.283185307179586 * u2);
+  }
+
+  // Poisson (Knuth for small lambda, normal approximation for large).
+  std::uint64_t Poisson(double lambda) {
+    ROOTLESS_CHECK(lambda >= 0);
+    if (lambda == 0) return 0;
+    if (lambda > 64) {
+      const double v = Normal(lambda, std::sqrt(lambda));
+      return v <= 0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-lambda);
+    double prod = 1.0;
+    std::uint64_t n = 0;
+    do {
+      prod *= UnitDouble();
+      ++n;
+    } while (prod > limit);
+    return n - 1;
+  }
+
+  // Derive an independent child generator (for per-entity streams).
+  Rng Fork() {
+    return Rng(Next() ^ 0xA3EC4E6C62BDB5ULL);
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace rootless::util

@@ -1,0 +1,42 @@
+// ASCII string helpers shared across modules. DNS is ASCII-case-insensitive
+// (RFC 1034 §3.1), so lowercase folding here is deliberately ASCII-only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace rootless::util {
+
+inline char AsciiToLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+std::string ToLower(std::string_view s);
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+// Splits on runs of spaces/tabs; drops empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view s);
+
+std::string_view TrimWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Strict unsigned parse of the entire string; fails on junk or overflow.
+Result<std::uint64_t> ParseU64(std::string_view s);
+Result<std::uint32_t> ParseU32(std::string_view s);
+
+// Human-readable quantities for reports: "5.70B", "1.1 MB", "61.0%".
+std::string FormatCount(double v);
+std::string FormatBytes(double bytes);
+std::string FormatPercent(double fraction, int decimals = 1);
+
+}  // namespace rootless::util

@@ -1,0 +1,35 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rootless::util {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+  ROOTLESS_CHECK(n > 0);
+  ROOTLESS_CHECK(s >= 0);
+  cdf_.resize(n);
+  double sum = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = sum;
+  }
+  total_ = sum;
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.UnitDouble() * total_;
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(std::size_t rank) const {
+  ROOTLESS_CHECK(rank < cdf_.size());
+  const double w = 1.0 / std::pow(static_cast<double>(rank + 1), s_);
+  return w / total_;
+}
+
+}  // namespace rootless::util

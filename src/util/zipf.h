@@ -1,0 +1,37 @@
+// Zipf-distributed sampling over ranks 0..n-1.
+//
+// DNS query popularity is famously heavy-tailed; the traffic module uses this
+// to model TLD popularity at the roots (a handful of TLDs such as com/net/org
+// dominate, with a long tail of rarely queried ones).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rootless::util {
+
+// Inverse-CDF Zipf sampler with precomputed cumulative weights.
+// weight(rank r) ∝ 1 / (r+1)^s. O(log n) per sample.
+class ZipfSampler {
+ public:
+  // Precondition: n > 0, s >= 0 (s == 0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+  // Returns a rank in [0, n).
+  std::size_t Sample(Rng& rng) const;
+
+  // Probability mass of a given rank (for tests/analysis).
+  double Pmf(std::size_t rank) const;
+
+ private:
+  double s_;
+  double total_;
+  std::vector<double> cdf_;  // cdf_[i] = sum of weights of ranks 0..i
+};
+
+}  // namespace rootless::util

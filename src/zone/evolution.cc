@@ -1,0 +1,446 @@
+#include "zone/evolution.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace rootless::zone {
+
+using dns::Name;
+using dns::ResourceRecord;
+using dns::RRClass;
+using dns::RRType;
+using util::CivilDate;
+using util::DaysFromCivil;
+
+namespace {
+
+// Real legacy gTLDs plus well-known ccTLDs seed the roster; the remainder of
+// the legacy set is two-letter codes.
+constexpr const char* kLegacySeed[] = {
+    "com", "net",  "org", "edu", "gov", "mil", "int",  "arpa", "aero",
+    "biz", "coop", "info", "museum", "name", "pro", "asia", "cat", "jobs",
+    "mobi", "tel", "travel", "post", "xxx"};
+
+// Real new-gTLD labels to sprinkle into the ramp (includes §5.3's ".llc").
+constexpr const char* kNewGtldSeed[] = {
+    "xyz",    "top",    "shop",   "online", "app",   "dev",    "site",
+    "club",   "vip",    "work",   "live",   "store", "tech",   "blog",
+    "cloud",  "design", "email",  "world",  "life",  "news",   "space",
+    "agency", "digital", "today", "zone",   "media", "network", "systems",
+    "center", "company"};
+
+// Deterministic hash chain helpers.
+std::uint64_t Mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+  return util::SplitMix64(s);
+}
+
+std::string SyntheticLabel(util::Rng& rng) {
+  static constexpr const char* kOnsets[] = {"b",  "br", "c",  "cl", "d",  "f",
+                                            "g",  "gr", "h",  "k",  "l",  "m",
+                                            "n",  "p",  "pl", "r",  "s",  "st",
+                                            "t",  "tr", "v",  "w",  "z"};
+  static constexpr const char* kVowels[] = {"a", "e", "i", "o", "u", "ai",
+                                            "ea", "io", "oo"};
+  static constexpr const char* kCodas[] = {"",  "n", "r", "s",  "t", "x",
+                                           "ck", "l", "m", "nd", "st"};
+  std::string label;
+  const int syllables = 2 + static_cast<int>(rng.Below(2));
+  for (int i = 0; i < syllables; ++i) {
+    label += kOnsets[rng.Below(std::size(kOnsets))];
+    label += kVowels[rng.Below(std::size(kVowels))];
+  }
+  label += kCodas[rng.Below(std::size(kCodas))];
+  return label;
+}
+
+}  // namespace
+
+RootZoneModel::RootZoneModel(EvolutionConfig config)
+    : config_(std::move(config)) {
+  ROOTLESS_CHECK(config_.legacy_tld_count > 0);
+  ROOTLESS_CHECK(config_.peak_tld_count >= config_.legacy_tld_count);
+  ROOTLESS_CHECK(config_.min_ns >= 1 && config_.max_ns >= config_.min_ns);
+  BuildRoster();
+  BuildChurn();
+}
+
+void RootZoneModel::BuildRoster() {
+  util::Rng rng(config_.seed);
+  std::set<std::string> used;
+
+  auto add_tld = [&](std::string label, std::int64_t add_day) {
+    TldRecord tld;
+    tld.label = std::move(label);
+    tld.add_day = add_day;
+    tld.ns_count = static_cast<int>(
+        rng.Between(config_.min_ns, config_.max_ns));
+    tld.has_ds = rng.Chance(config_.signed_fraction);
+    tld.salt = Mix(config_.seed, rng.Next());
+    roster_.push_back(std::move(tld));
+  };
+
+  const std::int64_t legacy_day = DaysFromCivil({2000, 1, 1});
+
+  // Legacy set: seed labels then two-letter country codes.
+  for (const char* label : kLegacySeed) {
+    if (static_cast<int>(roster_.size()) >= config_.legacy_tld_count) break;
+    if (used.insert(label).second) add_tld(label, legacy_day);
+  }
+  for (char a = 'a'; a <= 'z' && static_cast<int>(roster_.size()) <
+                                     config_.legacy_tld_count; ++a) {
+    for (char b = 'a'; b <= 'z' && static_cast<int>(roster_.size()) <
+                                       config_.legacy_tld_count; ++b) {
+      std::string label{a, b};
+      if (used.insert(label).second) add_tld(label, legacy_day);
+    }
+  }
+
+  // New-gTLD ramp: linear interpolation of add days across the ramp window.
+  const std::int64_t ramp_start = DaysFromCivil(config_.ramp_start);
+  const std::int64_t ramp_end = DaysFromCivil(config_.ramp_end);
+  const int ramp_count = config_.peak_tld_count - config_.legacy_tld_count;
+  std::size_t new_seed_used = 0;
+  for (int i = 0; i < ramp_count; ++i) {
+    std::string label;
+    if (new_seed_used < std::size(kNewGtldSeed)) {
+      label = kNewGtldSeed[new_seed_used++];
+      if (!used.insert(label).second) {
+        --i;
+        continue;
+      }
+    } else {
+      do {
+        label = SyntheticLabel(rng);
+      } while (!used.insert(label).second);
+    }
+    const std::int64_t add_day =
+        ramp_start +
+        static_cast<std::int64_t>(
+            (static_cast<double>(i) + rng.UnitDouble()) / ramp_count *
+            static_cast<double>(ramp_end - ramp_start));
+    add_tld(std::move(label), add_day);
+  }
+
+  // Post-ramp trickle: a few additions per year through 2020, including the
+  // paper's ".llc" on its real add date, and a few removals of ramp TLDs.
+  add_tld("llc", DaysFromCivil({2018, 2, 23}));
+  used.insert("llc");
+  const std::int64_t llc_day = DaysFromCivil({2018, 2, 23});
+  const std::int64_t trickle_end = DaysFromCivil({2020, 6, 15});
+  for (std::int64_t day = ramp_end; day < trickle_end;) {
+    day += static_cast<std::int64_t>(
+        rng.Exponential(365.0 / std::max(1, config_.post_ramp_additions_per_year)));
+    if (day >= trickle_end) break;
+    // Keep ".llc" the most recent addition through the DITL-2018 collection
+    // (the paper: no TLD added between 2018-02-23 and 2018-04-11).
+    if (day >= llc_day && day < DaysFromCivil({2018, 6, 1})) continue;
+    std::string label;
+    do {
+      label = SyntheticLabel(rng);
+    } while (!used.insert(label).second);
+    add_tld(std::move(label), day);
+  }
+  // Removals: pick ramp TLDs (never legacy, never "llc") and retire them.
+  // One removal is pinned inside April 2019 to mirror the paper's §5.2 note
+  // ("one was deleted during the month").
+  std::vector<std::size_t> removable;
+  for (std::size_t i = 0; i < roster_.size(); ++i) {
+    // Only ramp-era TLDs that are long established by 2019 are candidates.
+    if (roster_[i].add_day > legacy_day &&
+        roster_[i].add_day < DaysFromCivil({2017, 1, 1}) &&
+        roster_[i].label != "llc") {
+      removable.push_back(i);
+    }
+  }
+  if (!removable.empty()) {
+    roster_[removable[rng.Below(removable.size())]].remove_day =
+        DaysFromCivil({2019, 4, 18});
+    const int total_removals =
+        config_.post_ramp_removals_per_year * 3;  // 2017-2020
+    for (int k = 0; k < total_removals; ++k) {
+      TldRecord& victim = roster_[removable[rng.Below(removable.size())]];
+      if (victim.remove_day != INT64_MAX) continue;
+      const std::int64_t day =
+          ramp_end + static_cast<std::int64_t>(rng.Below(
+                         static_cast<std::uint64_t>(trickle_end - ramp_end)));
+      // Keep April 2019 clean except for the pinned removal above.
+      const CivilDate d = util::CivilFromDays(day);
+      if (d.year == 2019 && d.month == 4) continue;
+      victim.remove_day = std::max(day, victim.add_day + 30);
+    }
+  }
+
+  // Rotating TLDs: pick from the ramp set (the NeuStar labels were new
+  // gTLDs) and force all their nameservers in-bailiwick so rotation is
+  // visible in the zone's glue.
+  int assigned = 0;
+  for (std::size_t i = 0; i < roster_.size() &&
+                          assigned < config_.rotating_tld_count; ++i) {
+    TldRecord& tld = roster_[i];
+    if (tld.add_day > legacy_day && tld.remove_day == INT64_MAX &&
+        tld.label != "llc" && tld.add_day < DaysFromCivil({2016, 1, 1})) {
+      tld.rotating = true;
+      ++assigned;
+    }
+  }
+
+  // Renumbering events for ordinary TLDs: Poisson at the configured yearly
+  // rate across the modelled period.
+  const std::int64_t model_start = DaysFromCivil({2009, 1, 1});
+  const std::int64_t model_end = DaysFromCivil({2021, 1, 1});
+  for (auto& tld : roster_) {
+    if (tld.rotating) continue;
+    util::Rng tld_rng(Mix(tld.salt, 0x7E9A));
+    std::int64_t day = std::max(model_start, tld.add_day);
+    for (;;) {
+      const double gap_days =
+          tld_rng.Exponential(365.0 / std::max(config_.renumber_rate_per_year,
+                                               1e-9));
+      day += static_cast<std::int64_t>(gap_days) + 1;
+      if (day >= std::min(model_end, tld.remove_day)) break;
+      tld.renumber_days.push_back(day);
+    }
+  }
+
+  // Keep the roster sorted by label for stable iteration.
+  std::sort(roster_.begin(), roster_.end(),
+            [](const TldRecord& a, const TldRecord& b) {
+              return a.label < b.label;
+            });
+}
+
+void RootZoneModel::BuildChurn() {
+  // Daily small churn: Poisson(daily_churn_events) single-glue changes per
+  // day, assigned to (tld, ns) pairs by hash. Precomputed per TLD so
+  // ChurnVersion is a binary count.
+  churn_.assign(roster_.size(), {});
+  const std::int64_t start = DaysFromCivil({2009, 1, 1});
+  const std::int64_t end = DaysFromCivil({2021, 1, 1});
+  for (std::int64_t day = start; day < end; ++day) {
+    util::Rng day_rng(Mix(config_.seed, static_cast<std::uint64_t>(day)));
+    const std::uint64_t events = day_rng.Poisson(config_.daily_churn_events);
+    for (std::uint64_t e = 0; e < events; ++e) {
+      const std::size_t tld_index = day_rng.Below(roster_.size());
+      const TldRecord& tld = roster_[tld_index];
+      if (!tld.ActiveOn(day) || tld.rotating) continue;
+      const int ns_index = static_cast<int>(day_rng.Below(
+          static_cast<std::uint64_t>(tld.ns_count)));
+      churn_[tld_index].push_back(ChurnEvent{day, ns_index});
+    }
+  }
+}
+
+std::vector<const TldRecord*> RootZoneModel::ActiveTlds(
+    const CivilDate& date) const {
+  const std::int64_t day = DaysFromCivil(date);
+  std::vector<const TldRecord*> out;
+  out.reserve(roster_.size());
+  for (const auto& tld : roster_) {
+    if (tld.ActiveOn(day)) out.push_back(&tld);
+  }
+  return out;
+}
+
+int RootZoneModel::TldCountOn(const CivilDate& date) const {
+  const std::int64_t day = DaysFromCivil(date);
+  int count = 0;
+  for (const auto& tld : roster_) count += tld.ActiveOn(day);
+  return count;
+}
+
+std::uint64_t RootZoneModel::RenumberEpoch(const TldRecord& tld,
+                                           std::int64_t day) const {
+  return static_cast<std::uint64_t>(
+      std::upper_bound(tld.renumber_days.begin(), tld.renumber_days.end(),
+                       day) -
+      tld.renumber_days.begin());
+}
+
+std::uint64_t RootZoneModel::RotationEpoch(const TldRecord& tld, int j,
+                                           std::int64_t day) const {
+  const int period = config_.rotation_period_days;
+  // Staggered per-nameserver rotation: each NS rotates on its own phase, so
+  // short staleness windows always leave some NS addresses unchanged.
+  const std::int64_t phase = j * period / std::max(1, tld.ns_count);
+  return static_cast<std::uint64_t>((day + phase) / period);
+}
+
+std::size_t RootZoneModel::ChurnVersion(std::size_t tld_index, int j,
+                                        std::int64_t day) const {
+  const auto& events = churn_[tld_index];
+  std::size_t version = 0;
+  for (const auto& e : events) {
+    if (e.day > day) break;
+    if (e.ns_index == j) ++version;
+  }
+  return version;
+}
+
+RootZoneModel::NsIdentity RootZoneModel::NameserverOn(std::size_t tld_index,
+                                                      int j,
+                                                      std::int64_t day) const {
+  const TldRecord& tld = roster_[tld_index];
+  NsIdentity out;
+
+  const std::uint64_t renumber = RenumberEpoch(tld, day);
+  const std::uint64_t identity = Mix(tld.salt, Mix(renumber, j));
+
+  // In-bailiwick decision is part of the nameserver's identity.
+  out.in_bailiwick =
+      tld.rotating ||
+      (identity % 1000) < static_cast<std::uint64_t>(
+                              config_.in_bailiwick_fraction * 1000);
+  out.has_aaaa = ((identity >> 10) % 1000) <
+                 static_cast<std::uint64_t>(config_.glue_aaaa_fraction * 1000);
+
+  const std::string host_label =
+      "ns" + std::to_string(j + 1) +
+      (renumber > 0 ? "v" + std::to_string(renumber) : "");
+  if (out.in_bailiwick) {
+    out.hostname = *Name::Parse(host_label + ".nic." + tld.label + ".");
+  } else {
+    const std::uint64_t op = identity % 40;
+    out.hostname =
+        *Name::Parse(host_label + ".op" + std::to_string(op) + ".dns-infra.net.");
+  }
+
+  // Address version: renumber epoch + rotation epoch + churn count.
+  std::uint64_t version = Mix(identity, 0xADD4);
+  if (tld.rotating) {
+    version = Mix(version, RotationEpoch(tld, j, day));
+  } else {
+    version = Mix(version, ChurnVersion(tld_index, j, day));
+  }
+  // 198.0.0.0/8-ish synthetic space keeps addresses plausible and distinct.
+  out.ipv4.addr = 0xC6000000u | static_cast<std::uint32_t>(version % 0x00FFFFFF);
+  out.ipv6.addr = {0x20, 0x01, 0x0d, 0xb8};
+  for (int k = 0; k < 8; ++k) {
+    out.ipv6.addr[8 + k] = static_cast<std::uint8_t>(version >> (8 * (7 - k)));
+  }
+  return out;
+}
+
+Zone RootZoneModel::Snapshot(const CivilDate& date) const {
+  const std::int64_t day = DaysFromCivil(date);
+  Zone zone;
+
+  // Apex SOA.
+  dns::SoaData soa;
+  soa.mname = *Name::Parse("a.root-servers.net.");
+  soa.rname = *Name::Parse("nstld.verisign-grs.com.");
+  soa.serial = SerialFor(date);
+  soa.refresh = 1800;
+  soa.retry = 900;
+  soa.expire = 604800;
+  soa.minimum = 86400;
+  (void)zone.AddRecord(
+      ResourceRecord{Name(), RRType::kSOA, RRClass::kIN, 86400, soa});
+
+  // Apex NS + root server glue (the root zone carries both).
+  for (char letter = 'a'; letter <= 'm'; ++letter) {
+    const Name host =
+        *Name::Parse(std::string(1, letter) + ".root-servers.net.");
+    (void)zone.AddRecord(ResourceRecord{Name(), RRType::kNS, RRClass::kIN,
+                                        518400, dns::NsData{host}});
+    const std::uint64_t v = Mix(config_.seed, static_cast<std::uint64_t>(letter));
+    dns::Ipv4 v4{0xC6290000u | static_cast<std::uint32_t>(letter)};
+    dns::Ipv6 v6;
+    v6.addr = {0x20, 0x01, 0x05, 0x03};
+    for (int k = 0; k < 4; ++k)
+      v6.addr[12 + k] = static_cast<std::uint8_t>(v >> (8 * k));
+    (void)zone.AddRecord(
+        ResourceRecord{host, RRType::kA, RRClass::kIN, 518400, dns::AData{v4}});
+    (void)zone.AddRecord(ResourceRecord{host, RRType::kAAAA, RRClass::kIN,
+                                        518400, dns::AaaaData{v6}});
+  }
+
+  // Per-TLD delegations.
+  for (std::size_t i = 0; i < roster_.size(); ++i) {
+    const TldRecord& tld = roster_[i];
+    if (!tld.ActiveOn(day)) continue;
+    const Name owner = *Name::Parse(tld.label + ".");
+    for (int j = 0; j < tld.ns_count; ++j) {
+      const NsIdentity ns = NameserverOn(i, j, day);
+      (void)zone.AddRecord(ResourceRecord{owner, RRType::kNS, RRClass::kIN,
+                                          config_.tld_ttl,
+                                          dns::NsData{ns.hostname}});
+      if (ns.in_bailiwick) {
+        (void)zone.AddRecord(ResourceRecord{ns.hostname, RRType::kA,
+                                            RRClass::kIN, config_.tld_ttl,
+                                            dns::AData{ns.ipv4}});
+        if (ns.has_aaaa) {
+          (void)zone.AddRecord(ResourceRecord{ns.hostname, RRType::kAAAA,
+                                              RRClass::kIN, config_.tld_ttl,
+                                              dns::AaaaData{ns.ipv6}});
+        }
+      }
+    }
+    if (tld.has_ds) {
+      dns::DsData ds;
+      ds.key_tag = static_cast<std::uint16_t>(Mix(tld.salt, 0xD5) & 0xFFFF);
+      ds.algorithm = 8;
+      ds.digest_type = 2;
+      ds.digest.resize(32);
+      const std::uint64_t base = Mix(tld.salt, RenumberEpoch(tld, day));
+      for (int k = 0; k < 32; ++k) {
+        ds.digest[k] = static_cast<std::uint8_t>(Mix(base, k));
+      }
+      (void)zone.AddRecord(
+          ResourceRecord{owner, RRType::kDS, RRClass::kIN, 86400, ds});
+    }
+  }
+  return zone;
+}
+
+const TldRecord* RootZoneModel::LastAddedBefore(const CivilDate& date) const {
+  const std::int64_t day = DaysFromCivil(date);
+  const TldRecord* best = nullptr;
+  for (const auto& tld : roster_) {
+    if (tld.add_day <= day && tld.ActiveOn(day)) {
+      if (best == nullptr || tld.add_day > best->add_day) best = &tld;
+    }
+  }
+  return best;
+}
+
+const TldRecord* RootZoneModel::FindTld(std::string_view label) const {
+  for (const auto& tld : roster_) {
+    if (tld.label == label) return &tld;
+  }
+  return nullptr;
+}
+
+bool RootZoneModel::TldReachableAcross(const TldRecord& tld,
+                                       const CivilDate& old_date,
+                                       const CivilDate& new_date) const {
+  const std::int64_t old_day = DaysFromCivil(old_date);
+  const std::int64_t new_day = DaysFromCivil(new_date);
+  if (!tld.ActiveOn(old_day) || !tld.ActiveOn(new_day)) return false;
+
+  const std::size_t index =
+      static_cast<std::size_t>(&tld - roster_.data());
+  for (int j = 0; j < tld.ns_count; ++j) {
+    const NsIdentity then = NameserverOn(index, j, old_day);
+    const NsIdentity now = NameserverOn(index, j, new_day);
+    if (!(then.hostname == now.hostname)) continue;
+    if (then.in_bailiwick) {
+      if (then.ipv4 == now.ipv4) return true;
+    } else {
+      // Out-of-bailiwick nameservers resolve through their own zone; the
+      // root-zone NS record alone keeps the TLD reachable.
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint32_t RootZoneModel::SerialFor(const CivilDate& date) {
+  return static_cast<std::uint32_t>(date.year) * 1000000u +
+         static_cast<std::uint32_t>(date.month) * 10000u +
+         static_cast<std::uint32_t>(date.day) * 100u;
+}
+
+}  // namespace rootless::zone

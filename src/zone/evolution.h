@@ -1,0 +1,149 @@
+// Root-zone evolution model — the substitute for a decade of daily root-zone
+// snapshots (see DESIGN.md §2).
+//
+// The model deterministically generates, from a seed, a TLD roster and a
+// change history that reproduce the published shape of the root zone:
+//   * ~300 legacy TLDs stable through 2013 (317 on 2013-06-15),
+//   * the new-gTLD ramp to 1,534 TLDs by early 2017 (Fig 1's 5x RR growth),
+//   * a ~22K-record plateau thereafter, with a trickle of additions
+//     (".llc" on 2018-02-23, the paper's §5.3 case study) and rare removals,
+//   * five "rotating" TLDs whose nameserver addresses cycle on a ~4-week
+//     staggered schedule (the paper's NeuStar case: unreachable from a
+//     1-month-old zone, reachable from a ≤14-day-old one),
+//   * rare whole-set renumbering events for ordinary TLDs (operator
+//     switches) calibrated so ~3% of TLDs lose year-over-year reachability,
+//   * small daily glue churn that drives realistic zone diffs (§5.2 rsync).
+//
+// Snapshot(date) materializes the full zone for any date; snapshots of
+// nearby dates share unchanged records, which is what the distribution and
+// staleness experiments measure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/civil_time.h"
+#include "util/rng.h"
+#include "zone/zone.h"
+
+namespace rootless::zone {
+
+struct EvolutionConfig {
+  std::uint64_t seed = 2019;
+
+  // TLD-count shape (dates from the paper).
+  int legacy_tld_count = 317;              // count through mid-2013
+  int peak_tld_count = 1534;               // mid-2017
+  util::CivilDate ramp_start{2013, 10, 15};
+  util::CivilDate ramp_end{2017, 2, 15};
+
+  // Post-ramp trickle of additions (per year) and removals (per year).
+  int post_ramp_additions_per_year = 4;
+  int post_ramp_removals_per_year = 3;
+
+  // Rotating-address TLDs (the NeuStar case).
+  int rotating_tld_count = 5;
+  int rotation_period_days = 28;
+
+  // Ordinary-TLD whole-set renumbering rate (operator switches).
+  double renumber_rate_per_year = 0.022;
+
+  // Per-TLD record composition.
+  int min_ns = 4;
+  int max_ns = 8;
+  double in_bailiwick_fraction = 0.70;  // NS with A glue in the root zone
+  double glue_aaaa_fraction = 0.80;     // of in-bailiwick NS, also AAAA
+  double signed_fraction = 0.90;        // TLDs with a DS record
+
+  // Small daily record churn (single glue address changes per day).
+  double daily_churn_events = 8.0;
+
+  // TTL of TLD NS/glue records (the paper: two days).
+  std::uint32_t tld_ttl = 172800;
+};
+
+// One TLD's lifetime and identity in the model.
+struct TldRecord {
+  std::string label;
+  std::int64_t add_day = 0;                      // days since epoch
+  std::int64_t remove_day = INT64_MAX;
+  int ns_count = 6;
+  bool rotating = false;
+  bool has_ds = true;
+  std::uint64_t salt = 0;
+  // Days on which the TLD's whole NS set was replaced, ascending.
+  std::vector<std::int64_t> renumber_days;
+
+  bool ActiveOn(std::int64_t day) const {
+    return day >= add_day && day < remove_day;
+  }
+};
+
+class RootZoneModel {
+ public:
+  explicit RootZoneModel(EvolutionConfig config = {});
+
+  const EvolutionConfig& config() const { return config_; }
+  const std::vector<TldRecord>& roster() const { return roster_; }
+
+  // TLDs active on a date (pointers into roster(), stable for the model's
+  // lifetime).
+  std::vector<const TldRecord*> ActiveTlds(const util::CivilDate& date) const;
+  int TldCountOn(const util::CivilDate& date) const;
+
+  // Materializes the complete root zone for a date (apex SOA/NS/DNSKEY +
+  // per-TLD NS/glue/DS). Deterministic: equal dates yield equal zones.
+  Zone Snapshot(const util::CivilDate& date) const;
+
+  // The most recently added TLD on or before `date` (nullptr if none) —
+  // the ".llc" of §5.3.
+  const TldRecord* LastAddedBefore(const util::CivilDate& date) const;
+  // Looks a TLD up by label.
+  const TldRecord* FindTld(std::string_view label) const;
+
+  // True if a resolver holding Snapshot(old_date) can still reach the TLD
+  // on new_date: some nameserver is unchanged by (hostname, address)
+  // between the two snapshots (§5.2's reachability criterion).
+  bool TldReachableAcross(const TldRecord& tld, const util::CivilDate& old_date,
+                          const util::CivilDate& new_date) const;
+
+  // SOA serial used for `date` (YYYYMMDD00-style).
+  static std::uint32_t SerialFor(const util::CivilDate& date);
+
+ private:
+  struct ChurnEvent {
+    std::int64_t day;
+    int ns_index;
+  };
+
+  void BuildRoster();
+  void BuildChurn();
+
+  // Identity of TLD nameserver `j` on `day`: renumber epoch, hostname,
+  // address-version inputs.
+  std::uint64_t RenumberEpoch(const TldRecord& tld, std::int64_t day) const;
+  std::uint64_t RotationEpoch(const TldRecord& tld, int j,
+                              std::int64_t day) const;
+  std::size_t ChurnVersion(std::size_t tld_index, int j,
+                           std::int64_t day) const;
+
+  // Per-nameserver derived facts.
+  struct NsIdentity {
+    dns::Name hostname;
+    bool in_bailiwick = false;
+    bool has_aaaa = false;
+    dns::Ipv4 ipv4;
+    dns::Ipv6 ipv6;
+  };
+  NsIdentity NameserverOn(std::size_t tld_index, int j,
+                          std::int64_t day) const;
+
+  EvolutionConfig config_;
+  std::vector<TldRecord> roster_;
+  // Cumulative churn events per TLD index, ascending by day.
+  std::vector<std::vector<ChurnEvent>> churn_;
+};
+
+}  // namespace rootless::zone

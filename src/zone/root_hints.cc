@@ -1,0 +1,122 @@
+#include "zone/root_hints.h"
+
+#include <map>
+
+#include "util/strings.h"
+#include "zone/master_file.h"
+
+namespace rootless::zone {
+
+using dns::Ipv4;
+using dns::Ipv6;
+using dns::Name;
+using dns::ResourceRecord;
+using dns::RRType;
+using util::Error;
+
+namespace {
+
+struct StandardEntry {
+  char letter;
+  const char* v4;
+  const char* v6;
+};
+
+// The production root server addresses (IANA named.root, 2019).
+constexpr StandardEntry kStandard[] = {
+    {'a', "198.41.0.4", "2001:503:ba3e::2:30"},
+    {'b', "199.9.14.201", "2001:500:200::b"},
+    {'c', "192.33.4.12", "2001:500:2::c"},
+    {'d', "199.7.91.13", "2001:500:2d::d"},
+    {'e', "192.203.230.10", "2001:500:a8::e"},
+    {'f', "192.5.5.241", "2001:500:2f::f"},
+    {'g', "192.112.36.4", "2001:500:12::d0d"},
+    {'h', "198.97.190.53", "2001:500:1::53"},
+    {'i', "192.36.148.17", "2001:7fe::53"},
+    {'j', "192.58.128.30", "2001:503:c27::2:30"},
+    {'k', "193.0.14.129", "2001:7fd::1"},
+    {'l', "199.7.83.42", "2001:500:9f::42"},
+    {'m', "202.12.27.33", "2001:dc3::35"},
+};
+
+Name ServerName(char letter) {
+  auto n = Name::Parse(std::string(1, letter) + ".root-servers.net.");
+  return *n;
+}
+
+}  // namespace
+
+RootHints RootHints::Standard() {
+  RootHints hints;
+  for (const auto& e : kStandard) {
+    RootServerEntry entry;
+    entry.letter = e.letter;
+    entry.hostname = ServerName(e.letter);
+    entry.ipv4 = *Ipv4::Parse(e.v4);
+    entry.ipv6 = *Ipv6::Parse(e.v6);
+    hints.servers_.push_back(std::move(entry));
+  }
+  return hints;
+}
+
+util::Result<RootHints> RootHints::FromRecords(
+    const std::vector<ResourceRecord>& records) {
+  std::map<std::string, RootServerEntry> by_host;
+  for (const auto& rr : records) {
+    if (rr.type == RRType::kNS && rr.name.is_root()) {
+      const Name& host = std::get<dns::NsData>(rr.rdata).nameserver;
+      const std::string key = util::ToLower(host.ToString());
+      auto& entry = by_host[key];
+      entry.hostname = host;
+      if (host.label_count() == 3 && host.labels()[0].size() == 1) {
+        entry.letter = util::AsciiToLower(host.labels()[0][0]);
+      }
+    }
+  }
+  for (const auto& rr : records) {
+    const std::string key = util::ToLower(rr.name.ToString());
+    auto it = by_host.find(key);
+    if (it == by_host.end()) continue;
+    if (rr.type == RRType::kA) {
+      it->second.ipv4 = std::get<dns::AData>(rr.rdata).address;
+    } else if (rr.type == RRType::kAAAA) {
+      it->second.ipv6 = std::get<dns::AaaaData>(rr.rdata).address;
+    }
+  }
+  if (by_host.empty()) return Error("hints: no root NS records");
+  RootHints hints;
+  for (auto& [key, entry] : by_host) {
+    if (entry.ipv4.addr == 0) return Error("hints: missing A for " + key);
+    hints.servers_.push_back(std::move(entry));
+  }
+  return hints;
+}
+
+const RootServerEntry* RootHints::FindByLetter(char letter) const {
+  for (const auto& e : servers_) {
+    if (e.letter == util::AsciiToLower(letter)) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<ResourceRecord> RootHints::ToRecords() const {
+  std::vector<ResourceRecord> out;
+  out.reserve(servers_.size() * 3);
+  for (const auto& e : servers_) {
+    out.push_back(ResourceRecord{Name(), RRType::kNS, dns::RRClass::kIN,
+                                 kRootHintsTtl, dns::NsData{e.hostname}});
+  }
+  for (const auto& e : servers_) {
+    out.push_back(ResourceRecord{e.hostname, RRType::kA, dns::RRClass::kIN,
+                                 kRootHintsTtl, dns::AData{e.ipv4}});
+    out.push_back(ResourceRecord{e.hostname, RRType::kAAAA, dns::RRClass::kIN,
+                                 kRootHintsTtl, dns::AaaaData{e.ipv6}});
+  }
+  return out;
+}
+
+std::size_t RootHints::FileSizeBytes() const {
+  return SerializeMasterFile(ToRecords()).size();
+}
+
+}  // namespace rootless::zone

@@ -1,0 +1,53 @@
+// The root hints file: the 13 named root servers with their v4/v6 addresses
+// (39 records total, as the paper counts them — 13 NS + 13 A + 13 AAAA).
+// This is the bootstrapping file our proposal replaces with the root zone.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/rdata.h"
+#include "dns/rr.h"
+#include "util/result.h"
+
+namespace rootless::zone {
+
+// TTL used in the real hints file: 3.6M seconds (~42 days).
+inline constexpr std::uint32_t kRootHintsTtl = 3600000;
+
+struct RootServerEntry {
+  char letter = 'a';          // 'a'..'m'
+  dns::Name hostname;         // a.root-servers.net.
+  dns::Ipv4 ipv4;
+  dns::Ipv6 ipv6;
+};
+
+class RootHints {
+ public:
+  // The production hints as of the paper's writing (named.root contents).
+  static RootHints Standard();
+
+  // Builds from records (NS at the root + A/AAAA per server). Fails if the
+  // records do not describe a consistent 13-server set.
+  static util::Result<RootHints> FromRecords(
+      const std::vector<dns::ResourceRecord>& records);
+
+  const std::vector<RootServerEntry>& servers() const { return servers_; }
+
+  const RootServerEntry* FindByLetter(char letter) const;
+
+  // The 39 records of the hints file.
+  std::vector<dns::ResourceRecord> ToRecords() const;
+
+  // Approximate master-file size in bytes (the paper quotes ~3KB).
+  std::size_t FileSizeBytes() const;
+
+  std::size_t entry_count() const { return servers_.size() * 3; }
+
+ private:
+  std::vector<RootServerEntry> servers_;
+};
+
+}  // namespace rootless::zone

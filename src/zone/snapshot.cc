@@ -1,0 +1,82 @@
+#include "zone/snapshot.h"
+
+namespace rootless::zone {
+
+using util::ByteReader;
+using util::Bytes;
+using util::ByteWriter;
+using util::Error;
+
+namespace {
+constexpr std::uint32_t kSnapshotMagic = 0x525A4F4E;  // "RZON"
+}
+
+void WriteRRsetWire(const dns::RRset& s, ByteWriter& w) {
+  s.name.EncodeWire(w);
+  w.WriteU16(static_cast<std::uint16_t>(s.type));
+  w.WriteU16(static_cast<std::uint16_t>(s.rrclass));
+  w.WriteU32(s.ttl);
+  w.WriteVarint(s.rdatas.size());
+  for (const auto& rd : s.rdatas) {
+    ByteWriter rw;
+    dns::EncodeRdata(rd, rw);
+    w.WriteVarint(rw.size());
+    w.WriteBytes(rw.span());
+  }
+}
+
+util::Result<dns::RRset> ReadRRsetWire(ByteReader& r) {
+  dns::RRset s;
+  auto name = dns::Name::DecodeWire(r);
+  if (!name.ok()) return name.error();
+  s.name = std::move(*name);
+  std::uint16_t type = 0, rrclass = 0;
+  if (!r.ReadU16(type) || !r.ReadU16(rrclass) || !r.ReadU32(s.ttl))
+    return Error("rrset: truncated header");
+  s.type = static_cast<dns::RRType>(type);
+  s.rrclass = static_cast<dns::RRClass>(rrclass);
+  std::uint64_t count = 0;
+  if (!r.ReadVarint(count)) return Error("rrset: truncated rdata count");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t len = 0;
+    if (!r.ReadVarint(len)) return Error("rrset: truncated rdata length");
+    auto rdata = dns::DecodeRdata(s.type, len, r);
+    if (!rdata.ok()) return rdata.error();
+    s.rdatas.push_back(std::move(*rdata));
+  }
+  return s;
+}
+
+Bytes SerializeZone(const Zone& zone) {
+  ByteWriter w;
+  w.WriteU32(kSnapshotMagic);
+  zone.apex().EncodeWire(w);
+  w.WriteU32(zone.Serial());
+  const auto rrsets = zone.AllRRsets();
+  w.WriteVarint(rrsets.size());
+  for (const auto& s : rrsets) WriteRRsetWire(s, w);
+  return w.TakeData();
+}
+
+util::Result<Zone> DeserializeZone(std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  std::uint32_t magic = 0;
+  if (!r.ReadU32(magic) || magic != kSnapshotMagic)
+    return Error("snapshot: bad magic");
+  auto apex = dns::Name::DecodeWire(r);
+  if (!apex.ok()) return apex.error();
+  std::uint32_t serial = 0;
+  if (!r.ReadU32(serial)) return Error("snapshot: truncated serial");
+  std::uint64_t count = 0;
+  if (!r.ReadVarint(count)) return Error("snapshot: truncated count");
+  Zone zone(std::move(*apex));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto rrset = ReadRRsetWire(r);
+    if (!rrset.ok()) return rrset.error();
+    ROOTLESS_RETURN_IF_ERROR(zone.AddRRset(*rrset));
+  }
+  if (!r.at_end()) return Error("snapshot: trailing bytes");
+  return zone;
+}
+
+}  // namespace rootless::zone

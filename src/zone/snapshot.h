@@ -1,0 +1,23 @@
+// Binary zone snapshot format (AXFR-like) shared by the diff format and the
+// distribution mechanisms: magic | apex | serial | rrset-count | rrsets,
+// with each RRset as owner | type | class | ttl | rdata-count | (len rdata)*.
+#pragma once
+
+#include <span>
+
+#include "dns/rr.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "zone/zone.h"
+
+namespace rootless::zone {
+
+// Low-level RRset wire helpers (no compression; rdata names uncompressed).
+void WriteRRsetWire(const dns::RRset& rrset, util::ByteWriter& writer);
+util::Result<dns::RRset> ReadRRsetWire(util::ByteReader& reader);
+
+// Whole-zone snapshot.
+util::Bytes SerializeZone(const Zone& zone);
+util::Result<Zone> DeserializeZone(std::span<const std::uint8_t> wire);
+
+}  // namespace rootless::zone

@@ -1,0 +1,44 @@
+// Structural diff between two zone snapshots — the basis of the §5.2
+// incremental-distribution analysis (rsync-style deltas, IXFR-like updates)
+// and the staleness experiments.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dns/rr.h"
+#include "util/result.h"
+#include "zone/zone.h"
+
+namespace rootless::zone {
+
+struct ZoneDiff {
+  // RRsets present only in the new zone.
+  std::vector<dns::RRset> added;
+  // RRset keys present only in the old zone.
+  std::vector<dns::RRsetKey> removed;
+  // RRsets whose key exists in both but whose content (ttl/rdatas) changed;
+  // carries the new content.
+  std::vector<dns::RRset> changed;
+
+  bool empty() const {
+    return added.empty() && removed.empty() && changed.empty();
+  }
+  std::size_t change_count() const {
+    return added.size() + removed.size() + changed.size();
+  }
+};
+
+// Computes new - old.
+ZoneDiff DiffZones(const Zone& old_zone, const Zone& new_zone);
+
+// Applies a diff in place. Fails if a removed/changed key is absent.
+util::Status ApplyDiff(Zone& zone, const ZoneDiff& diff);
+
+// Compact binary serialization of a diff (the "diffs file" the paper floats
+// in §5.3 as a cheap way to learn about new TLDs).
+util::Bytes SerializeDiff(const ZoneDiff& diff);
+util::Result<ZoneDiff> DeserializeDiff(std::span<const std::uint8_t> wire);
+
+}  // namespace rootless::zone

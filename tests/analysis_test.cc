@@ -1,0 +1,90 @@
+// Tests for the stats/report utilities.
+#include <gtest/gtest.h>
+
+#include "analysis/report.h"
+#include "analysis/stats.h"
+#include "util/rng.h"
+
+namespace rootless::analysis {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, PercentilesAreOrdered) {
+  Histogram h;
+  util::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.Exponential(100.0));
+  EXPECT_LE(h.Percentile(50), h.Percentile(90));
+  EXPECT_LE(h.Percentile(90), h.Percentile(99));
+  // Median of Exp(100) is ~69; buckets are coarse, allow slack.
+  EXPECT_GT(h.Percentile(50), 40.0);
+  EXPECT_LT(h.Percentile(50), 110.0);
+  EXPECT_NEAR(h.mean(), 100.0, 5.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.Percentile(100), 42.0);
+}
+
+TEST(TimeSeries, OrderedByDate) {
+  TimeSeries series;
+  series.Set({2016, 5, 15}, 2.0);
+  series.Set({2015, 3, 15}, 1.0);
+  series.Set({2019, 5, 15}, 3.0);
+  ASSERT_EQ(series.points().size(), 3u);
+  EXPECT_EQ(series.points().begin()->first.year, 2015);
+  EXPECT_DOUBLE_EQ(series.MaxValue(), 3.0);
+  EXPECT_DOUBLE_EQ(series.MinValue(), 1.0);
+}
+
+TEST(Table, RendersAligned) {
+  Table table({"tld", "queries"});
+  table.AddRow({"com", "12345"});
+  table.AddRow({"verylongtldname", "1"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| tld             |"), std::string::npos);
+  EXPECT_NE(out.find("| com             |"), std::string::npos);
+  EXPECT_NE(out.find("verylongtldname"), std::string::npos);
+  // Missing cells render empty rather than crashing.
+  Table short_row({"a", "b"});
+  short_row.AddRow({"only"});
+  EXPECT_FALSE(short_row.Render().empty());
+}
+
+TEST(RenderSeries, ContainsDatesAndBars) {
+  TimeSeries series;
+  series.Set({2015, 3, 15}, 10);
+  series.Set({2019, 5, 15}, 100);
+  const std::string out = RenderSeries(series, "instances");
+  EXPECT_NE(out.find("2015-03-15"), std::string::npos);
+  EXPECT_NE(out.find("####"), std::string::npos);
+  // The larger value has the longer bar.
+  const auto first_bar = out.find('#');
+  ASSERT_NE(first_bar, std::string::npos);
+}
+
+TEST(Banner, WrapsTitle) {
+  const std::string out = Banner("Figure 1");
+  EXPECT_NE(out.find("= Figure 1 ="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rootless::analysis

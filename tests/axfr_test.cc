@@ -1,0 +1,131 @@
+// Tests for the AXFR-style zone transfer protocol over the simulated
+// network, including lossy-path retransmission and serial short-circuits.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "distrib/axfr.h"
+#include "topo/geo_registry.h"
+#include "zone/evolution.h"
+
+namespace rootless::distrib {
+namespace {
+
+struct Env {
+  sim::Simulator sim;
+  sim::Network net{sim, 55};
+  topo::GeoRegistry registry;
+  zone::RootZoneModel model{[] {
+    zone::EvolutionConfig config;
+    config.seed = 8;
+    config.legacy_tld_count = 60;
+    config.peak_tld_count = 120;
+    return config;
+  }()};
+  std::shared_ptr<const zone::Zone> current;
+  std::unique_ptr<AxfrServer> server;
+  std::unique_ptr<AxfrClient> client;
+
+  Env() {
+    net.set_latency_fn(registry.LatencyFn());
+    current = std::make_shared<const zone::Zone>(
+        model.Snapshot({2019, 6, 7}));
+    server = std::make_unique<AxfrServer>(net, [this]() { return current; });
+    client = std::make_unique<AxfrClient>(sim, net);
+    registry.SetLocation(server->node(), {40, -74});
+    registry.SetLocation(client->node(), {48, 2});
+  }
+
+  util::Result<std::shared_ptr<const zone::Zone>> FetchSync(
+      std::uint32_t have_serial) {
+    util::Result<std::shared_ptr<const zone::Zone>> out =
+        util::Error("not completed");
+    client->Fetch(server->node(), have_serial,
+                  [&](util::Result<std::shared_ptr<const zone::Zone>> result) {
+                    out = std::move(result);
+                  });
+    sim.RunUntil(sim.now() + 10 * sim::kMinute);
+    return out;
+  }
+};
+
+TEST(Axfr, TransfersZoneExactly) {
+  Env env;
+  auto result = env.FetchSync(0);
+  ASSERT_TRUE(result.ok()) << result.error().message();
+  ASSERT_NE(*result, nullptr);
+  EXPECT_TRUE(**result == *env.current);
+  EXPECT_EQ(env.client->stats().transfers, 1u);
+  EXPECT_EQ(env.client->stats().failures, 0u);
+  EXPECT_GT(env.server->stats().chunks_sent, 10u);
+}
+
+TEST(Axfr, UpToDateShortCircuits) {
+  Env env;
+  auto result = env.FetchSync(env.current->Serial());
+  ASSERT_TRUE(result.ok()) << result.error().message();
+  EXPECT_EQ(*result, nullptr);  // keep the copy you have
+  EXPECT_EQ(env.client->stats().uptodate, 1u);
+  EXPECT_EQ(env.server->stats().uptodate, 1u);
+  EXPECT_EQ(env.server->stats().chunks_sent, 0u);
+}
+
+TEST(Axfr, SurvivesLossyPath) {
+  Env env;
+  env.net.set_loss_rate(0.10);
+  auto result = env.FetchSync(0);
+  ASSERT_TRUE(result.ok()) << result.error().message();
+  ASSERT_NE(*result, nullptr);
+  EXPECT_TRUE(**result == *env.current);
+  // Loss must have forced retransmissions, and they must have healed.
+  EXPECT_GT(env.client->stats().retransmits, 0u);
+  EXPECT_EQ(env.client->stats().failures, 0u);
+}
+
+TEST(Axfr, TotalOutageFailsCleanly) {
+  Env env;
+  env.net.set_loss_rate(1.0);
+  auto result = env.FetchSync(0);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(env.client->stats().failures, 1u);
+}
+
+TEST(Axfr, ServerTracksZoneUpdates) {
+  Env env;
+  auto first = env.FetchSync(0);
+  ASSERT_TRUE(first.ok());
+  const std::uint32_t serial1 = (*first)->Serial();
+
+  // Publish a newer zone; the next transfer must deliver it.
+  env.current = std::make_shared<const zone::Zone>(
+      env.model.Snapshot({2019, 6, 9}));
+  auto second = env.FetchSync(serial1);
+  ASSERT_TRUE(second.ok()) << second.error().message();
+  ASSERT_NE(*second, nullptr);
+  EXPECT_EQ((*second)->Serial(), env.current->Serial());
+  EXPECT_NE((*second)->Serial(), serial1);
+}
+
+TEST(Axfr, BackToBackTransfers) {
+  Env env;
+  for (int i = 0; i < 3; ++i) {
+    auto result = env.FetchSync(0);
+    ASSERT_TRUE(result.ok()) << i;
+    EXPECT_TRUE(**result == *env.current);
+  }
+  EXPECT_EQ(env.client->stats().transfers, 3u);
+}
+
+TEST(Axfr, IgnoresGarbageDatagrams) {
+  Env env;
+  const sim::NodeId stranger = env.net.AddNode(nullptr);
+  env.net.Send(stranger, env.server->node(), util::Bytes{1, 2, 3});
+  env.net.Send(stranger, env.client->node(), util::Bytes{4, 5, 6});
+  env.sim.Run();
+  // And a normal transfer still works afterwards.
+  auto result = env.FetchSync(0);
+  ASSERT_TRUE(result.ok());
+}
+
+}  // namespace
+}  // namespace rootless::distrib

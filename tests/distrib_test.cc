@@ -1,0 +1,354 @@
+// Tests for the distribution mechanisms: snapshot format, the real rsync
+// algorithm, cost models, swarm simulation, and the fetch service.
+#include <gtest/gtest.h>
+
+#include "distrib/fetch_service.h"
+#include "distrib/mechanisms.h"
+#include "distrib/rsync.h"
+#include "util/rng.h"
+#include "zone/evolution.h"
+#include "zone/snapshot.h"
+
+namespace rootless::distrib {
+namespace {
+
+util::Bytes RandomBytes(util::Rng& rng, std::size_t n) {
+  util::Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.Below(256));
+  return out;
+}
+
+// ---------------------------------------------------------------- snapshot
+
+TEST(Snapshot, ZoneRoundTrip) {
+  const zone::RootZoneModel model;
+  const zone::Zone original = model.Snapshot({2019, 4, 1});
+  const auto wire = zone::SerializeZone(original);
+  auto decoded = zone::DeserializeZone(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message();
+  EXPECT_TRUE(*decoded == original);
+}
+
+TEST(Snapshot, RejectsCorruption) {
+  const zone::RootZoneModel model;
+  auto wire = zone::SerializeZone(model.Snapshot({2019, 4, 1}));
+  EXPECT_FALSE(zone::DeserializeZone(util::Bytes{9, 9, 9, 9}).ok());
+  wire.resize(wire.size() / 2);
+  EXPECT_FALSE(zone::DeserializeZone(wire).ok());
+}
+
+// ------------------------------------------------------------------ rsync
+
+TEST(Rsync, RollingChecksumRolls) {
+  util::Rng rng(1);
+  const util::Bytes data = RandomBytes(rng, 300);
+  const std::size_t window = 64;
+  RollingChecksum rolling;
+  rolling.Init(std::span(data).subspan(0, window));
+  for (std::size_t i = 0; i + window < data.size(); ++i) {
+    rolling.Roll(data[i], data[i + window], window);
+    EXPECT_EQ(rolling.value(), RollingChecksum::Compute(
+                                   std::span(data).subspan(i + 1, window)))
+        << i;
+  }
+}
+
+TEST(Rsync, IdenticalFilesProduceCopyOnlyDelta) {
+  util::Rng rng(2);
+  const util::Bytes file = RandomBytes(rng, 10000);
+  const auto sig = ComputeSignature(file, 1024);
+  const Delta delta = ComputeDelta(sig, file);
+  EXPECT_EQ(delta.literal_bytes(), 0u);
+  auto rebuilt = ApplyDelta(file, delta);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(*rebuilt, file);
+  // A copy-only delta is tiny compared to the file.
+  EXPECT_LT(delta.WireSize(), 100u);
+}
+
+TEST(Rsync, SmallEditProducesSmallDelta) {
+  util::Rng rng(3);
+  util::Bytes old_file = RandomBytes(rng, 200000);
+  util::Bytes new_file = old_file;
+  // A 100-byte splice in the middle (insertion shifts everything after).
+  const util::Bytes insert = RandomBytes(rng, 100);
+  new_file.insert(new_file.begin() + 100000, insert.begin(), insert.end());
+
+  const auto sig = ComputeSignature(old_file, 2048);
+  const Delta delta = ComputeDelta(sig, new_file);
+  auto rebuilt = ApplyDelta(old_file, delta);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(*rebuilt, new_file);
+  // The delta must be a small fraction of the file: literals are the splice
+  // plus at most one block of misalignment.
+  EXPECT_LT(delta.literal_bytes(), 4096u);
+  EXPECT_LT(delta.WireSize(), new_file.size() / 10);
+}
+
+TEST(Rsync, CompletelyDifferentFilesFallBackToLiterals) {
+  util::Rng rng(4);
+  const util::Bytes old_file = RandomBytes(rng, 50000);
+  const util::Bytes new_file = RandomBytes(rng, 50000);
+  const auto sig = ComputeSignature(old_file, 2048);
+  const Delta delta = ComputeDelta(sig, new_file);
+  auto rebuilt = ApplyDelta(old_file, delta);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(*rebuilt, new_file);
+  EXPECT_GT(delta.literal_bytes(), 49000u);
+}
+
+TEST(Rsync, ShortTailHandled) {
+  util::Rng rng(5);
+  // File sizes not divisible by the block size.
+  const util::Bytes old_file = RandomBytes(rng, 10240 + 137);
+  util::Bytes new_file = old_file;
+  new_file[5000] ^= 0xFF;
+  const auto sig = ComputeSignature(old_file, 1024);
+  const Delta delta = ComputeDelta(sig, new_file);
+  auto rebuilt = ApplyDelta(old_file, delta);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(*rebuilt, new_file);
+}
+
+TEST(Rsync, EmptyFiles) {
+  const util::Bytes empty;
+  const auto sig = ComputeSignature(empty, 1024);
+  EXPECT_TRUE(sig.blocks.empty());
+  util::Rng rng(6);
+  const util::Bytes new_file = RandomBytes(rng, 500);
+  const Delta delta = ComputeDelta(sig, new_file);
+  auto rebuilt = ApplyDelta(empty, delta);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(*rebuilt, new_file);
+}
+
+TEST(Rsync, DeltaSerializationRoundTrip) {
+  util::Rng rng(7);
+  const util::Bytes old_file = RandomBytes(rng, 30000);
+  util::Bytes new_file = old_file;
+  new_file.resize(29000);
+  new_file[100] ^= 1;
+  const auto sig = ComputeSignature(old_file, 2048);
+  const Delta delta = ComputeDelta(sig, new_file);
+  const auto wire = SerializeDelta(delta);
+  auto decoded = DeserializeDelta(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message();
+  auto rebuilt = ApplyDelta(old_file, *decoded);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(*rebuilt, new_file);
+  EXPECT_FALSE(DeserializeDelta(util::Bytes{1, 2, 3}).ok());
+}
+
+TEST(Rsync, ApplyRejectsWrongBase) {
+  util::Rng rng(8);
+  const util::Bytes old_file = RandomBytes(rng, 10000);
+  const auto sig = ComputeSignature(old_file, 1024);
+  const Delta delta = ComputeDelta(sig, old_file);
+  const util::Bytes other = RandomBytes(rng, 9999);
+  EXPECT_FALSE(ApplyDelta(other, delta).ok());
+}
+
+// Property: random mutations of a zone file always reconstruct exactly.
+TEST(RsyncProperty, RandomZoneMutationsReconstruct) {
+  util::Rng rng(9);
+  const zone::RootZoneModel model;
+  const auto base = zone::SerializeZone(model.Snapshot({2019, 4, 1}));
+  for (int trial = 0; trial < 20; ++trial) {
+    util::Bytes mutated = base;
+    const int edits = 1 + static_cast<int>(rng.Below(20));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.Below(mutated.size());
+      switch (rng.Below(3)) {
+        case 0:
+          mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.Below(255));
+          break;
+        case 1:
+          mutated.insert(mutated.begin() + pos,
+                         static_cast<std::uint8_t>(rng.Below(256)));
+          break;
+        default:
+          mutated.erase(mutated.begin() + pos);
+      }
+    }
+    const auto sig = ComputeSignature(base, 2048);
+    const Delta delta = ComputeDelta(sig, mutated);
+    auto rebuilt = ApplyDelta(base, delta);
+    ASSERT_TRUE(rebuilt.ok());
+    EXPECT_EQ(*rebuilt, mutated) << trial;
+  }
+}
+
+TEST(Rsync, DailyZoneDeltaIsTinyVersusFullFile) {
+  // The §5.2 claim in miniature: consecutive daily snapshots differ little,
+  // so the rsync delta is a small fraction of the full file.
+  const zone::RootZoneModel model;
+  const auto day1 = zone::SerializeZone(model.Snapshot({2019, 4, 1}));
+  const auto day2 = zone::SerializeZone(model.Snapshot({2019, 4, 2}));
+  const auto sig = ComputeSignature(day1, 2048);
+  const Delta delta = ComputeDelta(sig, day2);
+  auto rebuilt = ApplyDelta(day1, delta);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(*rebuilt, day2);
+  EXPECT_LT(delta.WireSize() + sig.WireSize(), day2.size() / 4);
+}
+
+// ------------------------------------------------------------- mechanisms
+
+TEST(Mechanisms, FullFileCostScalesWithPopulation) {
+  const auto cost = FullFileCost(1'100'000, 2.0, 1000, 10);
+  EXPECT_DOUBLE_EQ(cost.per_resolver_bytes_per_day, 550'000.0);
+  EXPECT_DOUBLE_EQ(cost.total_bytes_per_day, 550'000.0 * 1000);
+  EXPECT_DOUBLE_EQ(cost.origin_bytes_per_day, 550'000.0 * 100);
+}
+
+TEST(Mechanisms, RsyncBeatsFullFileForSmallDeltas) {
+  const auto full = FullFileCost(1'100'000, 2.0, 1000, 1);
+  const auto rsync = RsyncCost(13'000, 20'000, 2.0, 1000);
+  EXPECT_LT(rsync.total_bytes_per_day, full.total_bytes_per_day / 10);
+}
+
+TEST(Mechanisms, LongerTtlReducesLoad) {
+  const auto two_days = FullFileCost(1'100'000, 2.0, 1000, 1);
+  const auto week = FullFileCost(1'100'000, 7.0, 1000, 1);
+  EXPECT_LT(week.total_bytes_per_day, two_days.total_bytes_per_day);
+}
+
+TEST(Swarm, AllPeersComplete) {
+  SwarmConfig config;
+  config.file_bytes = 1'100'000;
+  config.peer_count = 200;
+  const SwarmResult result = SimulateSwarm(config);
+  EXPECT_GT(result.rounds, 0u);
+  // Every chunk each peer holds was transferred exactly once to it.
+  const std::uint64_t chunk_count = (config.file_bytes + config.chunk_bytes - 1) /
+                                    config.chunk_bytes;
+  EXPECT_EQ(result.origin_chunks + result.peer_chunks,
+            chunk_count * config.peer_count);
+}
+
+TEST(Swarm, OriginServesSmallFraction) {
+  SwarmConfig config;
+  config.file_bytes = 1'100'000;
+  config.peer_count = 500;
+  const SwarmResult result = SimulateSwarm(config);
+  const double origin_fraction =
+      static_cast<double>(result.origin_chunks) /
+      static_cast<double>(result.origin_chunks + result.peer_chunks);
+  // The swarm carries most of the load — the paper's point about P2P.
+  EXPECT_LT(origin_fraction, 0.25);
+
+  const auto cost = P2pCost(result, config.file_bytes, 2.0, 500);
+  EXPECT_LT(cost.origin_bytes_per_day, cost.total_bytes_per_day * 0.25);
+}
+
+TEST(Swarm, ZeroByteFile) {
+  SwarmConfig config;
+  config.file_bytes = 0;
+  config.peer_count = 10;
+  const SwarmResult result = SimulateSwarm(config);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+// ----------------------------------------------------------- fetch service
+
+TEST(FetchService, DeliversZoneAfterTransferTime) {
+  sim::Simulator sim;
+  const zone::RootZoneModel model;
+  auto zone_ptr =
+      std::make_shared<const zone::Zone>(model.Snapshot({2019, 4, 1}));
+  FetchServiceConfig config;
+  ZoneFetchService service(sim, config, [&]() { return zone_ptr; });
+
+  bool delivered = false;
+  service.Fetch([&](ZoneFetchService::FetchResult result) {
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ((*result)->Serial(), zone_ptr->Serial());
+    delivered = true;
+  });
+  sim.Run();
+  EXPECT_TRUE(delivered);
+  // Transfer took base latency + size/bandwidth > 50 ms.
+  EXPECT_GT(sim.now(), 50 * sim::kMillisecond);
+  EXPECT_EQ(service.stats().fetches, 1u);
+  EXPECT_GT(service.stats().bytes_served, 0u);
+}
+
+TEST(FetchService, OutageWindowFails) {
+  sim::Simulator sim;
+  auto zone_ptr = std::make_shared<const zone::Zone>();
+  ZoneFetchService service(sim, {}, [&]() { return zone_ptr; });
+  service.AddOutage(0, sim::kHour);
+
+  bool failed = false;
+  service.Fetch([&](ZoneFetchService::FetchResult result) {
+    failed = !result.ok();
+  });
+  sim.Run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(service.stats().failures, 1u);
+
+  // After the outage, fetches succeed.
+  sim::Simulator sim2;
+  ZoneFetchService service2(sim2, {}, [&]() { return zone_ptr; });
+  service2.AddOutage(sim::kHour, 2 * sim::kHour);
+  bool ok = false;
+  service2.Fetch(
+      [&](ZoneFetchService::FetchResult result) { ok = result.ok(); });
+  sim2.Run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(FetchService, ValidatesSignedZone) {
+  sim::Simulator sim;
+  util::Rng rng(31);
+  const crypto::SigningKey zsk = crypto::GenerateKey(crypto::kZskFlags, rng);
+  crypto::KeyStore store;
+  store.AddKey(zsk);
+
+  // Sign a small zone.
+  const zone::RootZoneModel model(
+      [] {
+        zone::EvolutionConfig config;
+        config.legacy_tld_count = 20;
+        config.peak_tld_count = 30;
+        return config;
+      }());
+  const zone::Zone plain = model.Snapshot({2019, 4, 1});
+  auto signed_zone = std::make_shared<zone::Zone>(plain.apex());
+  for (const auto& rrset :
+       crypto::SignZoneRRsets(plain.AllRRsets(), zsk, dns::Name(), 0, 1000)) {
+    ASSERT_TRUE(signed_zone->AddRRset(rrset).ok());
+  }
+
+  FetchServiceConfig config;
+  config.verify_signatures = true;
+  config.validation_now = 500;
+  ZoneFetchService service(
+      sim, config,
+      [&]() -> std::shared_ptr<const zone::Zone> { return signed_zone; });
+  service.SetTrust(zsk.dnskey, store);
+
+  bool ok = false;
+  service.Fetch(
+      [&](ZoneFetchService::FetchResult result) { ok = result.ok(); });
+  sim.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(service.stats().validation_failures, 0u);
+
+  // A tampered (unsigned extra RRset) zone fails validation.
+  ASSERT_TRUE(signed_zone
+                  ->AddRecord({*dns::Name::Parse("evil."), dns::RRType::kNS,
+                               dns::RRClass::kIN, 60,
+                               dns::NsData{*dns::Name::Parse("ns.evil.")}})
+                  .ok());
+  bool second_ok = true;
+  service.Fetch([&](ZoneFetchService::FetchResult result) {
+    second_ok = result.ok();
+  });
+  sim.Run();
+  EXPECT_FALSE(second_ok);
+  EXPECT_EQ(service.stats().validation_failures, 1u);
+}
+
+}  // namespace
+}  // namespace rootless::distrib

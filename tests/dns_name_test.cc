@@ -1,0 +1,224 @@
+// Tests for DNS names: parsing, wire codec, compression decode, ordering.
+#include <gtest/gtest.h>
+
+#include "dns/name.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace rootless::dns {
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::Bytes;
+
+Name MustParse(std::string_view s) {
+  auto n = Name::Parse(s);
+  EXPECT_TRUE(n.ok()) << s << ": " << (n.ok() ? "" : n.error().message());
+  return *n;
+}
+
+TEST(Name, ParseRoot) {
+  EXPECT_TRUE(MustParse(".").is_root());
+  EXPECT_TRUE(MustParse("").is_root());
+  EXPECT_EQ(MustParse(".").ToString(), ".");
+}
+
+TEST(Name, ParseSimple) {
+  const Name n = MustParse("www.example.com.");
+  ASSERT_EQ(n.label_count(), 3u);
+  EXPECT_EQ(n.labels()[0], "www");
+  EXPECT_EQ(n.labels()[2], "com");
+  EXPECT_EQ(n.ToString(), "www.example.com.");
+}
+
+TEST(Name, TrailingDotOptional) {
+  EXPECT_EQ(MustParse("example.com"), MustParse("example.com."));
+}
+
+TEST(Name, CaseInsensitiveEquality) {
+  EXPECT_EQ(MustParse("WWW.Example.COM"), MustParse("www.example.com"));
+  EXPECT_NE(MustParse("a.com"), MustParse("b.com"));
+}
+
+TEST(Name, HashIsCaseInsensitive) {
+  EXPECT_EQ(MustParse("ORG").Hash(), MustParse("org").Hash());
+}
+
+TEST(Name, RejectsBadNames) {
+  EXPECT_FALSE(Name::Parse("a..b").ok());
+  EXPECT_FALSE(Name::Parse(".a").ok());
+  // 64-byte label
+  EXPECT_FALSE(Name::Parse(std::string(64, 'x') + ".com").ok());
+  // Total > 255 bytes
+  std::string long_name;
+  for (int i = 0; i < 50; ++i) long_name += "abcdef.";
+  EXPECT_FALSE(Name::Parse(long_name).ok());
+}
+
+TEST(Name, MaxLabelAccepted) {
+  EXPECT_TRUE(Name::Parse(std::string(63, 'x') + ".com").ok());
+}
+
+TEST(Name, EscapesRoundTrip) {
+  const Name n = MustParse("a\\.b.com");
+  ASSERT_EQ(n.label_count(), 2u);
+  EXPECT_EQ(n.labels()[0], "a.b");
+  EXPECT_EQ(n.ToString(), "a\\.b.com.");
+  EXPECT_EQ(MustParse(n.ToString()), n);
+}
+
+TEST(Name, DecimalEscape) {
+  const Name n = MustParse("a\\032b.com");  // embedded space
+  ASSERT_EQ(n.label_count(), 2u);
+  EXPECT_EQ(n.labels()[0], "a b");
+  EXPECT_EQ(MustParse(n.ToString()), n);
+}
+
+TEST(Name, Tld) {
+  EXPECT_EQ(MustParse("www.example.COM").tld(), "com");
+  EXPECT_EQ(MustParse(".").tld(), "");
+}
+
+TEST(Name, Parent) {
+  EXPECT_EQ(MustParse("www.example.com").Parent(), MustParse("example.com"));
+  EXPECT_TRUE(MustParse("com").Parent().is_root());
+}
+
+TEST(Name, Concat) {
+  auto n = MustParse("www").Concat(MustParse("example.com"));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, MustParse("www.example.com"));
+}
+
+TEST(Name, IsSubdomainOf) {
+  EXPECT_TRUE(MustParse("a.b.com").IsSubdomainOf(MustParse("com")));
+  EXPECT_TRUE(MustParse("a.b.com").IsSubdomainOf(MustParse("B.COM")));
+  EXPECT_TRUE(MustParse("a.b.com").IsSubdomainOf(Name()));
+  EXPECT_TRUE(MustParse("com").IsSubdomainOf(MustParse("com")));
+  EXPECT_FALSE(MustParse("com").IsSubdomainOf(MustParse("a.com")));
+  EXPECT_FALSE(MustParse("xcom").IsSubdomainOf(MustParse("com")));
+}
+
+TEST(Name, WireRoundTrip) {
+  const Name n = MustParse("a.root-servers.net");
+  ByteWriter w;
+  n.EncodeWire(w);
+  EXPECT_EQ(w.size(), n.wire_length());
+  ByteReader r(w.span());
+  auto decoded = Name::DecodeWire(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, n);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Name, WireRootIsSingleZero) {
+  ByteWriter w;
+  Name().EncodeWire(w);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.data()[0], 0);
+}
+
+TEST(Name, DecodeCompressedPointer) {
+  // Build: "example.com" at offset 0, then "www" + pointer to offset 0.
+  ByteWriter w;
+  MustParse("example.com").EncodeWire(w);
+  const std::size_t second = w.size();
+  w.WriteU8(3);
+  w.WriteString("www");
+  w.WriteU16(0xC000);  // pointer to offset 0
+  ByteReader r(w.span());
+  ASSERT_TRUE(r.Seek(second));
+  auto decoded = Name::DecodeWire(r);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message();
+  EXPECT_EQ(*decoded, MustParse("www.example.com"));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Name, DecodeRejectsForwardPointer) {
+  ByteWriter w;
+  w.WriteU16(0xC002);  // points at itself/forward
+  w.WriteU8(0);
+  ByteReader r(w.span());
+  EXPECT_FALSE(Name::DecodeWire(r).ok());
+}
+
+TEST(Name, DecodeRejectsPointerLoop) {
+  // Two pointers pointing at each other cannot occur (forward check), but a
+  // self-pointer at offset 0 is the classic loop case.
+  Bytes wire = {0xC0, 0x00};
+  ByteReader r(wire);
+  EXPECT_FALSE(Name::DecodeWire(r).ok());
+}
+
+TEST(Name, DecodeRejectsTruncation) {
+  Bytes wire = {5, 'a', 'b'};  // label claims 5 bytes, only 2 present
+  ByteReader r(wire);
+  EXPECT_FALSE(Name::DecodeWire(r).ok());
+}
+
+TEST(Name, DecodeRejectsReservedLabelType) {
+  Bytes wire = {0x80, 0x01, 0x00};
+  ByteReader r(wire);
+  EXPECT_FALSE(Name::DecodeWire(r).ok());
+}
+
+TEST(Name, CanonicalWireLowercases) {
+  const Name n = MustParse("WwW.CoM");
+  const Bytes canon = n.CanonicalWire();
+  const Bytes expected = {3, 'w', 'w', 'w', 3, 'c', 'o', 'm', 0};
+  EXPECT_EQ(canon, expected);
+}
+
+TEST(Name, CanonicalOrdering) {
+  // RFC 4034 §6.1 example ordering.
+  const char* ordered[] = {".",       "example.",        "a.example.",
+                           "yljkjljk.a.example.", "z.a.example.",
+                           "zabc.a.example.",     "z.example."};
+  for (int i = 0; i + 1 < 7; ++i) {
+    const Name a = MustParse(ordered[i]);
+    const Name b = MustParse(ordered[i + 1]);
+    EXPECT_TRUE(a < b) << ordered[i] << " < " << ordered[i + 1];
+    EXPECT_FALSE(b < a);
+  }
+}
+
+TEST(Name, OrderingIsCaseInsensitive) {
+  EXPECT_EQ(MustParse("A.com") <=> MustParse("a.COM"),
+            std::weak_ordering::equivalent);
+}
+
+// Property test: random names round-trip through text and wire formats.
+TEST(NameProperty, RandomRoundTrips) {
+  util::Rng rng(2019);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::string> labels;
+    const std::size_t count = 1 + rng.Below(5);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string label;
+      const std::size_t len = 1 + rng.Below(12);
+      for (std::size_t k = 0; k < len; ++k) {
+        label.push_back(static_cast<char>(rng.Below(256)));
+      }
+      labels.push_back(std::move(label));
+    }
+    auto name = Name::FromLabels(labels);
+    ASSERT_TRUE(name.ok());
+
+    // Text round trip.
+    auto reparsed = Name::Parse(name->ToString());
+    ASSERT_TRUE(reparsed.ok()) << name->ToString();
+    EXPECT_EQ(*reparsed, *name);
+
+    // Wire round trip.
+    ByteWriter w;
+    name->EncodeWire(w);
+    ByteReader r(w.span());
+    auto decoded = Name::DecodeWire(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, *name);
+  }
+}
+
+}  // namespace
+}  // namespace rootless::dns

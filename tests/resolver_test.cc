@@ -1,0 +1,476 @@
+// Tests for the resolver stack: cache, root selection, zone DB, the
+// recursive engine in all four root modes, and the refresh daemon.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "resolver/cache.h"
+#include "resolver/recursive.h"
+#include "resolver/refresh_daemon.h"
+#include "resolver/root_selector.h"
+#include "resolver/zone_db.h"
+#include "rootsrv/fleet.h"
+#include "rootsrv/tld_farm.h"
+#include "topo/deployment.h"
+#include "zone/evolution.h"
+
+namespace rootless::resolver {
+namespace {
+
+using dns::Name;
+using dns::RRClass;
+using dns::RRset;
+using dns::RRType;
+
+Name N(std::string_view s) { return *Name::Parse(s); }
+
+RRset MakeNsSet(std::string_view owner, std::string_view target,
+                std::uint32_t ttl = 172800) {
+  RRset s;
+  s.name = N(owner);
+  s.type = RRType::kNS;
+  s.ttl = ttl;
+  s.rdatas.push_back(dns::NsData{N(target)});
+  return s;
+}
+
+// ------------------------------------------------------------------ cache
+
+TEST(Cache, HitAndMiss) {
+  DnsCache cache;
+  cache.Put(MakeNsSet("com.", "a.gtld-servers.net."), 0);
+  EXPECT_NE(cache.Get({N("com."), RRType::kNS, RRClass::kIN}, 1), nullptr);
+  EXPECT_EQ(cache.Get({N("org."), RRType::kNS, RRClass::kIN}, 1), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, TtlExpiry) {
+  DnsCache cache;
+  cache.Put(MakeNsSet("com.", "ns.", 10), 0);  // expires at t=10s
+  EXPECT_NE(cache.Get({N("com."), RRType::kNS, RRClass::kIN},
+                      9 * sim::kSecond),
+            nullptr);
+  EXPECT_EQ(cache.Get({N("com."), RRType::kNS, RRClass::kIN},
+                      10 * sim::kSecond),
+            nullptr);
+  EXPECT_EQ(cache.stats().expired, 1u);
+  EXPECT_EQ(cache.size(), 0u);  // expired entry erased
+}
+
+TEST(Cache, LruEvictionUnderCapacity) {
+  DnsCache cache(2);
+  cache.Put(MakeNsSet("a.", "ns."), 0);
+  cache.Put(MakeNsSet("b.", "ns."), 0);
+  // Touch a. so b. becomes LRU.
+  EXPECT_NE(cache.Get({N("a."), RRType::kNS, RRClass::kIN}, 1), nullptr);
+  cache.Put(MakeNsSet("c.", "ns."), 0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.Get({N("a."), RRType::kNS, RRClass::kIN}, 1), nullptr);
+  EXPECT_EQ(cache.Get({N("b."), RRType::kNS, RRClass::kIN}, 1), nullptr);
+  EXPECT_NE(cache.Get({N("c."), RRType::kNS, RRClass::kIN}, 1), nullptr);
+}
+
+TEST(Cache, ReplaceRefreshes) {
+  DnsCache cache;
+  cache.Put(MakeNsSet("com.", "ns1.", 10), 0);
+  cache.Put(MakeNsSet("com.", "ns2.", 100), 5 * sim::kSecond);
+  const RRset* got =
+      cache.Get({N("com."), RRType::kNS, RRClass::kIN}, 50 * sim::kSecond);
+  ASSERT_NE(got, nullptr);
+  EXPECT_TRUE(std::get<dns::NsData>(got->rdatas[0]).nameserver == N("ns2."));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Cache, PurgeExpired) {
+  DnsCache cache;
+  cache.Put(MakeNsSet("a.", "ns.", 10), 0);
+  cache.Put(MakeNsSet("b.", "ns.", 1000), 0);
+  EXPECT_EQ(cache.PurgeExpired(500 * sim::kSecond), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Cache, TldRRsetCount) {
+  DnsCache cache;
+  cache.Put(MakeNsSet("com.", "ns."), 0);
+  cache.Put(MakeNsSet("org.", "ns."), 0);
+  cache.Put(MakeNsSet("example.com.", "ns."), 0);
+  EXPECT_EQ(cache.TldRRsetCount(), 2u);
+}
+
+// --------------------------------------------------------------- selector
+
+TEST(RootSelector, ProbesAllLettersFirst) {
+  RootSelector selector(1);
+  std::set<char> seen;
+  for (int i = 0; i < 13; ++i) {
+    const char letter = selector.PickLetter();
+    seen.insert(letter);
+    selector.ReportRtt(letter, (letter - 'a' + 1) * sim::kMillisecond);
+  }
+  EXPECT_EQ(seen.size(), 13u);
+}
+
+TEST(RootSelector, ConvergesToFastestLetter) {
+  RootSelector selector(1, /*explore=*/0.0);
+  for (int i = 0; i < 13; ++i) {
+    const char letter = selector.PickLetter();
+    selector.ReportRtt(letter, (letter - 'a' + 1) * sim::kMillisecond);
+  }
+  // 'a' has the lowest RTT.
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(selector.PickLetter(), 'a');
+}
+
+TEST(RootSelector, TimeoutTriggersFailover) {
+  RootSelector selector(1, 0.0);
+  for (int i = 0; i < 13; ++i) {
+    const char letter = selector.PickLetter();
+    selector.ReportRtt(letter, (letter - 'a' + 1) * sim::kMillisecond);
+  }
+  selector.ReportTimeout('a');
+  EXPECT_EQ(selector.PickLetter(), 'b');
+  EXPECT_NE(selector.PickRetryLetter('b'), 'b');
+}
+
+TEST(RootSelector, EwmaSmoothing) {
+  RootSelector selector(1);
+  selector.ReportRtt('a', 100);
+  selector.ReportRtt('a', 200);
+  EXPECT_EQ(selector.srtt('a'), 125);  // (100*3 + 200) / 4
+}
+
+// ---------------------------------------------------------------- zone db
+
+TEST(ZoneDb, IndexesDelegations) {
+  const zone::RootZoneModel model;
+  const zone::Zone snapshot = model.Snapshot({2018, 4, 11});
+  ZoneDb db(snapshot);
+  EXPECT_EQ(db.tld_count(), snapshot.DelegatedChildren().size());
+  EXPECT_EQ(db.serial(), snapshot.Serial());
+
+  const TldEntry* com = db.Lookup("com");
+  ASSERT_NE(com, nullptr);
+  EXPECT_EQ(com->ns.type, RRType::kNS);
+  EXPECT_FALSE(com->ns.rdatas.empty());
+  EXPECT_FALSE(com->glue.empty());
+
+  EXPECT_EQ(db.Lookup("definitely-bogus"), nullptr);
+  // Case-insensitive.
+  EXPECT_NE(db.Lookup("COM"), nullptr);
+}
+
+// ------------------------------------------------- end-to-end resolution
+
+struct E2E {
+  sim::Simulator sim;
+  sim::Network net{sim, 21};
+  topo::GeoRegistry registry;
+  zone::RootZoneModel model;
+  std::shared_ptr<zone::Zone> root_zone;
+  topo::DeploymentModel deployment;
+  std::unique_ptr<rootsrv::RootServerFleet> fleet;
+  std::unique_ptr<rootsrv::TldFarm> farm;
+  std::unique_ptr<rootsrv::AuthServer> loopback;
+
+  E2E() {
+    net.set_latency_fn(registry.LatencyFn());
+    root_zone =
+        std::make_shared<zone::Zone>(model.Snapshot({2018, 4, 11}));
+    fleet = std::make_unique<rootsrv::RootServerFleet>(
+        net, registry, deployment, util::CivilDate{2018, 4, 11}, root_zone);
+    farm = std::make_unique<rootsrv::TldFarm>(net, registry, *root_zone, 5);
+  }
+
+  std::unique_ptr<RecursiveResolver> MakeResolver(RootMode mode,
+                                                  topo::GeoPoint where = {48.85,
+                                                                          2.35}) {
+    ResolverConfig config;
+    config.mode = mode;
+    config.seed = 77;
+    auto r = std::make_unique<RecursiveResolver>(sim, net, config, where);
+    registry.SetLocation(r->node(), where);
+    r->SetTldFarm(farm.get());
+    switch (mode) {
+      case RootMode::kRootServers:
+        r->SetRootFleet(fleet.get());
+        break;
+      case RootMode::kCachePreload:
+      case RootMode::kOnDemandZoneFile:
+        r->SetLocalZone(root_zone);
+        break;
+      case RootMode::kLoopbackAuth:
+        loopback = std::make_unique<rootsrv::AuthServer>(net, root_zone);
+        registry.SetLocation(loopback->node(), where);
+        r->SetLoopbackNode(loopback->node());
+        r->SetLocalZone(root_zone);  // loopback operators still hold a copy
+        break;
+    }
+    return r;
+  }
+
+  ResolutionResult ResolveSync(RecursiveResolver& r, std::string_view name,
+                               RRType type = RRType::kA) {
+    ResolutionResult out;
+    bool done = false;
+    r.Resolve(N(name), type, [&](const ResolutionResult& result) {
+      out = result;
+      done = true;
+    });
+    sim.Run();
+    EXPECT_TRUE(done);
+    return out;
+  }
+};
+
+TEST(Recursive, ClassicModeResolvesViaRootAndTld) {
+  E2E e2e;
+  auto r = e2e.MakeResolver(RootMode::kRootServers);
+  const auto result = e2e.ResolveSync(*r, "www.example.com.");
+  EXPECT_EQ(result.rcode, dns::RCode::kNoError);
+  ASSERT_EQ(result.answers.size(), 1u);
+  EXPECT_EQ(result.answers[0].type, RRType::kA);
+  EXPECT_TRUE(result.used_root);
+  EXPECT_GE(result.transactions, 2);  // root + TLD
+  EXPECT_GT(result.latency, 0);
+  EXPECT_EQ(e2e.fleet->TotalStats().referrals, 1u);
+}
+
+TEST(Recursive, SecondLookupUsesCachedReferral) {
+  E2E e2e;
+  auto r = e2e.MakeResolver(RootMode::kRootServers);
+  (void)e2e.ResolveSync(*r, "www.example.com.");
+  const auto second = e2e.ResolveSync(*r, "other.example.com.");
+  EXPECT_EQ(second.rcode, dns::RCode::kNoError);
+  EXPECT_FALSE(second.used_root);  // TLD referral was cached
+  EXPECT_EQ(e2e.fleet->TotalStats().queries, 1u);
+}
+
+TEST(Recursive, ExactAnswerCacheHitIsInstant) {
+  E2E e2e;
+  auto r = e2e.MakeResolver(RootMode::kRootServers);
+  (void)e2e.ResolveSync(*r, "www.example.com.");
+  const auto again = e2e.ResolveSync(*r, "www.example.com.");
+  EXPECT_EQ(again.latency, 0);
+  EXPECT_EQ(again.transactions, 0);
+  EXPECT_EQ(r->stats().answered_from_cache, 1u);
+}
+
+TEST(Recursive, BogusTldYieldsNxdomainFromRoot) {
+  E2E e2e;
+  auto r = e2e.MakeResolver(RootMode::kRootServers);
+  const auto result = e2e.ResolveSync(*r, "foo.bogus-tld-xyz.");
+  EXPECT_EQ(result.rcode, dns::RCode::kNXDomain);
+  EXPECT_EQ(e2e.fleet->TotalStats().nxdomain, 1u);
+}
+
+TEST(Recursive, CachePreloadNeverTouchesRoots) {
+  E2E e2e;
+  auto r = e2e.MakeResolver(RootMode::kCachePreload);
+  const auto result = e2e.ResolveSync(*r, "www.example.com.");
+  EXPECT_EQ(result.rcode, dns::RCode::kNoError);
+  EXPECT_EQ(e2e.fleet->TotalStats().queries, 0u);
+  // Preloading put the whole zone in the cache.
+  EXPECT_GE(r->cache().size(), e2e.root_zone->rrset_count());
+}
+
+TEST(Recursive, OnDemandModeResolvesLocallyWithDbLatency) {
+  E2E e2e;
+  auto r = e2e.MakeResolver(RootMode::kOnDemandZoneFile);
+  const auto result = e2e.ResolveSync(*r, "www.example.com.");
+  EXPECT_EQ(result.rcode, dns::RCode::kNoError);
+  EXPECT_EQ(e2e.fleet->TotalStats().queries, 0u);
+  EXPECT_EQ(r->stats().local_root_lookups, 1u);
+  // Cache holds only what was needed, not the whole zone.
+  EXPECT_LT(r->cache().size(), 100u);
+}
+
+TEST(Recursive, LocalModesAnswerBogusTldLocally) {
+  E2E e2e;
+  auto preload = e2e.MakeResolver(RootMode::kCachePreload);
+  const auto result = e2e.ResolveSync(*preload, "foo.bogus-tld-xyz.");
+  EXPECT_EQ(result.rcode, dns::RCode::kNXDomain);
+  EXPECT_EQ(result.latency, 0);  // no network transaction at all
+  EXPECT_EQ(e2e.fleet->TotalStats().queries, 0u);
+}
+
+TEST(Recursive, LoopbackModeUsesLoopbackServer) {
+  E2E e2e;
+  auto r = e2e.MakeResolver(RootMode::kLoopbackAuth);
+  const auto result = e2e.ResolveSync(*r, "www.example.com.");
+  EXPECT_EQ(result.rcode, dns::RCode::kNoError);
+  EXPECT_EQ(e2e.fleet->TotalStats().queries, 0u);
+  EXPECT_EQ(e2e.loopback->stats().queries, 1u);
+  // The root leg cost loopback latency instead of a WAN RTT, so the total
+  // must beat the classic mode resolving the same name cold.
+  auto classic = e2e.MakeResolver(RootMode::kRootServers);
+  const auto classic_result = e2e.ResolveSync(*classic, "www.example.com.");
+  EXPECT_LT(result.latency, classic_result.latency);
+}
+
+TEST(Recursive, LocalModesBeatClassicOnColdLookups) {
+  E2E e2e;
+  auto classic = e2e.MakeResolver(RootMode::kRootServers);
+  auto preload = e2e.MakeResolver(RootMode::kCachePreload);
+  const auto classic_result = e2e.ResolveSync(*classic, "www.example.com.");
+  const auto preload_result = e2e.ResolveSync(*preload, "www.example.com.");
+  EXPECT_LT(preload_result.latency, classic_result.latency);
+}
+
+TEST(Recursive, QnameMinimizationSendsOnlyTldToRoot) {
+  E2E e2e;
+  ResolverConfig config;
+  config.mode = RootMode::kRootServers;
+  config.qname_minimization = true;
+  config.seed = 3;
+  const topo::GeoPoint where{48.85, 2.35};
+  RecursiveResolver r(e2e.sim, e2e.net, config, where);
+  e2e.registry.SetLocation(r.node(), where);
+  r.SetTldFarm(e2e.farm.get());
+  r.SetRootFleet(e2e.fleet.get());
+
+  bool done = false;
+  r.Resolve(N("www.secret-host.example.com."), RRType::kA,
+            [&](const ResolutionResult& result) {
+              done = true;
+              EXPECT_EQ(result.rcode, dns::RCode::kNoError);
+            });
+  e2e.sim.Run();
+  EXPECT_TRUE(done);
+  // The root saw an answerable NS query for com. (a referral in our zone
+  // semantics), never the full qname.
+  EXPECT_EQ(e2e.fleet->TotalStats().queries, 1u);
+}
+
+TEST(Recursive, TimeoutRetriesAnotherLetter) {
+  E2E e2e;
+  e2e.net.set_loss_rate(0.9);  // heavy loss forces retries
+  ResolverConfig config;
+  config.mode = RootMode::kRootServers;
+  config.seed = 5;
+  config.max_retries = 10;
+  const topo::GeoPoint where{48.85, 2.35};
+  RecursiveResolver r(e2e.sim, e2e.net, config, where);
+  e2e.registry.SetLocation(r.node(), where);
+  r.SetTldFarm(e2e.farm.get());
+  r.SetRootFleet(e2e.fleet.get());
+
+  bool done = false;
+  dns::RCode rcode = dns::RCode::kServFail;
+  r.Resolve(N("www.example.com."), RRType::kA,
+            [&](const ResolutionResult& result) {
+              done = true;
+              rcode = result.rcode;
+            });
+  e2e.sim.Run();
+  EXPECT_TRUE(done);
+  // With 10 retries at 90% loss the lookup usually succeeds; either way the
+  // resolver must have recorded timeouts and never hung.
+  EXPECT_GT(r.stats().timeouts, 0u);
+}
+
+TEST(Recursive, ExhaustedRetriesFail) {
+  E2E e2e;
+  e2e.net.set_loss_rate(1.0);  // nothing gets through
+  ResolverConfig config;
+  config.mode = RootMode::kRootServers;
+  config.seed = 5;
+  config.max_retries = 2;
+  const topo::GeoPoint where{48.85, 2.35};
+  RecursiveResolver r(e2e.sim, e2e.net, config, where);
+  e2e.registry.SetLocation(r.node(), where);
+  r.SetTldFarm(e2e.farm.get());
+  r.SetRootFleet(e2e.fleet.get());
+
+  ResolutionResult out;
+  bool done = false;
+  r.Resolve(N("www.example.com."), RRType::kA,
+            [&](const ResolutionResult& result) {
+              out = result;
+              done = true;
+            });
+  e2e.sim.Run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(out.failed);
+  EXPECT_EQ(out.rcode, dns::RCode::kServFail);
+  EXPECT_EQ(r.stats().failures, 1u);
+}
+
+// ---------------------------------------------------------------- daemon
+
+TEST(RefreshDaemon, RefreshesBeforeExpiry) {
+  sim::Simulator sim;
+  int fetches = 0, applies = 0;
+  RefreshDaemon daemon(
+      sim, RefreshConfig{},
+      [&](std::function<void(RefreshDaemon::FetchResult)> done) {
+        ++fetches;
+        sim.Schedule(sim::kMinute, [done = std::move(done)]() {
+          done(std::make_shared<const zone::Zone>());
+        });
+      },
+      [&](std::shared_ptr<const zone::Zone>) { ++applies; });
+  daemon.Start(std::make_shared<const zone::Zone>());
+  EXPECT_EQ(applies, 1);
+  sim.RunUntil(10 * sim::kDay);
+  // Every ~42h a refresh: ~5-6 refreshes in 10 days.
+  EXPECT_GE(daemon.stats().refreshes, 5u);
+  EXPECT_EQ(daemon.stats().expirations, 0u);
+  EXPECT_TRUE(daemon.zone_valid());
+  EXPECT_EQ(fetches, static_cast<int>(daemon.stats().fetch_attempts));
+}
+
+TEST(RefreshDaemon, RetriesDuringOutageWithoutExpiring) {
+  sim::Simulator sim;
+  // Outage between hour 40 and hour 45 (fetch window opens at hour 42).
+  auto in_outage = [&sim]() {
+    return sim.now() >= 40 * sim::kHour && sim.now() < 45 * sim::kHour;
+  };
+  RefreshDaemon daemon(
+      sim, RefreshConfig{},
+      [&](std::function<void(RefreshDaemon::FetchResult)> done) {
+        if (in_outage()) {
+          done(util::Error("outage"));
+        } else {
+          done(std::make_shared<const zone::Zone>());
+        }
+      },
+      [](std::shared_ptr<const zone::Zone>) {});
+  daemon.Start(std::make_shared<const zone::Zone>());
+  sim.RunUntil(3 * sim::kDay);
+  // The paper's point: with a 6h lead there is room to retry through a
+  // short outage with no impact on lookups.
+  EXPECT_GT(daemon.stats().fetch_failures, 0u);
+  EXPECT_EQ(daemon.stats().expirations, 0u);
+  EXPECT_GE(daemon.stats().refreshes, 1u);
+}
+
+TEST(RefreshDaemon, LongOutageExpiresZone) {
+  sim::Simulator sim;
+  // Outage from hour 40 to hour 80: expiry at 48h passes while failing.
+  auto in_outage = [&sim]() {
+    return sim.now() >= 40 * sim::kHour && sim.now() < 80 * sim::kHour;
+  };
+  RefreshDaemon daemon(
+      sim, RefreshConfig{},
+      [&](std::function<void(RefreshDaemon::FetchResult)> done) {
+        if (in_outage()) {
+          done(util::Error("outage"));
+        } else {
+          done(std::make_shared<const zone::Zone>());
+        }
+      },
+      [](std::shared_ptr<const zone::Zone>) {});
+  daemon.Start(std::make_shared<const zone::Zone>());
+  sim.RunUntil(48 * sim::kHour - 1);
+  EXPECT_TRUE(daemon.zone_valid());
+  sim.RunUntil(50 * sim::kHour);
+  EXPECT_FALSE(daemon.zone_valid());
+  sim.RunUntil(5 * sim::kDay);
+  EXPECT_EQ(daemon.stats().expirations, 1u);
+  EXPECT_TRUE(daemon.zone_valid());  // recovered after the outage
+  EXPECT_GT(daemon.stats().stale_time, 0);
+}
+
+}  // namespace
+}  // namespace rootless::resolver

@@ -1,0 +1,262 @@
+// Tests for the authoritative server, root fleet, and TLD farm.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rootsrv/auth_server.h"
+#include "rootsrv/fleet.h"
+#include "rootsrv/tld_farm.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "topo/deployment.h"
+#include "topo/geo_registry.h"
+#include "zone/evolution.h"
+
+namespace rootless::rootsrv {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+Name N(std::string_view s) { return *Name::Parse(s); }
+
+struct Fixture {
+  sim::Simulator sim;
+  sim::Network net{sim, 11};
+  topo::GeoRegistry registry;
+  std::shared_ptr<zone::Zone> root_zone = std::make_shared<zone::Zone>();
+
+  Fixture() {
+    net.set_latency_fn(registry.LatencyFn());
+    dns::SoaData soa;
+    soa.mname = N("a.root-servers.net.");
+    soa.serial = 2018041100;
+    EXPECT_TRUE(root_zone
+                    ->AddRecord({Name(), RRType::kSOA, dns::RRClass::kIN,
+                                 86400, soa})
+                    .ok());
+    EXPECT_TRUE(root_zone
+                    ->AddRecord({N("com."), RRType::kNS, dns::RRClass::kIN,
+                                 172800, dns::NsData{N("ns.nic.com.")}})
+                    .ok());
+    EXPECT_TRUE(root_zone
+                    ->AddRecord({N("ns.nic.com."), RRType::kA,
+                                 dns::RRClass::kIN, 172800,
+                                 dns::AData{*dns::Ipv4::Parse("192.0.2.1")}})
+                    .ok());
+  }
+};
+
+TEST(AuthServer, AnswersReferral) {
+  Fixture f;
+  AuthServer server(f.net, f.root_zone);
+  const auto query = dns::MakeQuery(7, N("www.example.com."), RRType::kA);
+  const auto response = server.Answer(query);
+  EXPECT_EQ(response.header.rcode, dns::RCode::kNoError);
+  EXPECT_FALSE(response.header.aa);
+  ASSERT_FALSE(response.authority.empty());
+  EXPECT_EQ(response.authority[0].type, RRType::kNS);
+  ASSERT_FALSE(response.additional.empty());  // glue
+  EXPECT_EQ(server.stats().referrals, 1u);
+}
+
+TEST(AuthServer, AnswersNxdomainForBogusTld) {
+  Fixture f;
+  AuthServer server(f.net, f.root_zone);
+  const auto response =
+      server.Answer(dns::MakeQuery(8, N("foo.bogus-junk."), RRType::kA));
+  EXPECT_EQ(response.header.rcode, dns::RCode::kNXDomain);
+  EXPECT_TRUE(response.header.aa);
+  ASSERT_FALSE(response.authority.empty());
+  EXPECT_EQ(response.authority[0].type, RRType::kSOA);
+  EXPECT_EQ(server.stats().nxdomain, 1u);
+}
+
+TEST(AuthServer, RespondsOverNetwork) {
+  Fixture f;
+  AuthServer server(f.net, f.root_zone);
+  dns::Message got;
+  const sim::NodeId client = f.net.AddNode([&](const sim::Datagram& d) {
+    auto m = dns::DecodeMessage(d.payload);
+    ASSERT_TRUE(m.ok());
+    got = *m;
+  });
+  f.registry.SetLocation(client, {40, -74});
+  f.registry.SetLocation(server.node(), {51, 0});
+  f.net.Send(client, server.node(),
+             dns::EncodeMessage(dns::MakeQuery(9, N("x.com."), RRType::kA)));
+  f.sim.Run();
+  EXPECT_TRUE(got.header.qr);
+  EXPECT_EQ(got.header.id, 9);
+  EXPECT_GT(f.sim.now(), 2 * 20 * sim::kMillisecond);  // a real RTT elapsed
+  EXPECT_EQ(server.stats().bytes_out, f.net.bytes_sent() -
+                                          /* query bytes */ server.stats().bytes_in);
+}
+
+TEST(AuthServer, DropsMalformedQueries) {
+  Fixture f;
+  AuthServer server(f.net, f.root_zone);
+  const sim::NodeId client = f.net.AddNode(nullptr);
+  f.net.Send(client, server.node(), util::Bytes{1, 2, 3});
+  f.sim.Run();
+  EXPECT_EQ(server.stats().malformed, 1u);
+}
+
+TEST(AuthServer, ZoneSwapTakesEffect) {
+  Fixture f;
+  AuthServer server(f.net, f.root_zone);
+  auto new_zone = std::make_shared<zone::Zone>(*f.root_zone);
+  ASSERT_TRUE(new_zone
+                  ->AddRecord({N("dev."), RRType::kNS, dns::RRClass::kIN,
+                               172800, dns::NsData{N("ns.nic.dev.")}})
+                  .ok());
+  EXPECT_EQ(server.Answer(dns::MakeQuery(1, N("a.dev."), RRType::kA))
+                .header.rcode,
+            dns::RCode::kNXDomain);
+  server.SetZone(new_zone);
+  EXPECT_EQ(server.Answer(dns::MakeQuery(2, N("a.dev."), RRType::kA))
+                .header.rcode,
+            dns::RCode::kNoError);
+}
+
+TEST(Fleet, InstanceCountMatchesDeployment) {
+  Fixture f;
+  topo::DeploymentModel deployment;
+  RootServerFleet fleet(f.net, f.registry, deployment, {2018, 4, 11},
+                        f.root_zone);
+  EXPECT_EQ(fleet.instance_count(),
+            static_cast<std::size_t>(
+                deployment.TotalInstancesOn({2018, 4, 11})));
+}
+
+TEST(Fleet, AnycastPrefersNearbyInstance) {
+  Fixture f;
+  topo::DeploymentModel deployment;
+  RootServerFleet fleet(f.net, f.registry, deployment, {2018, 4, 11},
+                        f.root_zone);
+  // Large letters (many instances) should land closer than small ones on
+  // average; at minimum the chosen instance must be the nearest of its
+  // letter.
+  const topo::GeoPoint client{48.85, 2.35};  // Paris
+  const sim::NodeId node = fleet.InstanceFor('f', client);
+  double chosen_km = -1;
+  double best_km = 1e18;
+  for (const auto& instance : fleet.instances()) {
+    if (instance.letter != 'f') continue;
+    const double km = topo::GreatCircleKm(instance.location, client);
+    best_km = std::min(best_km, km);
+    if (instance.server->node() == node) chosen_km = km;
+  }
+  EXPECT_NEAR(chosen_km, best_km, 1e-9);
+}
+
+TEST(Fleet, StatsAggregate) {
+  Fixture f;
+  topo::DeploymentModel deployment;
+  RootServerFleet fleet(f.net, f.registry, deployment, {2018, 4, 11},
+                        f.root_zone);
+  const sim::NodeId client = f.net.AddNode(nullptr);
+  f.registry.SetLocation(client, {40, -74});
+  for (int i = 0; i < 5; ++i) {
+    f.net.Send(client, fleet.InstanceFor('j', {40, -74}),
+               dns::EncodeMessage(
+                   dns::MakeQuery(static_cast<std::uint16_t>(i),
+                                  N("foo.bogus."), RRType::kA)));
+  }
+  f.sim.Run();
+  EXPECT_EQ(fleet.TotalStats().queries, 5u);
+  EXPECT_EQ(fleet.LetterStats('j').queries, 5u);
+  EXPECT_EQ(fleet.LetterStats('a').queries, 0u);
+  EXPECT_EQ(fleet.TotalStats().nxdomain, 5u);
+}
+
+TEST(TldFarm, BuildsFromRootZoneAndAnswers) {
+  sim::Simulator sim;
+  sim::Network net(sim, 3);
+  topo::GeoRegistry registry;
+  net.set_latency_fn(registry.LatencyFn());
+
+  const zone::RootZoneModel model;
+  const zone::Zone root_zone = model.Snapshot({2018, 4, 11});
+  TldFarm farm(net, registry, root_zone, 99);
+  EXPECT_EQ(farm.tld_count(), root_zone.DelegatedChildren().size());
+
+  sim::NodeId com_node = 0;
+  ASSERT_TRUE(farm.FindTldNode("com", com_node));
+
+  // Query the com server for an A record.
+  dns::Message got;
+  const sim::NodeId client = net.AddNode([&](const sim::Datagram& d) {
+    auto m = dns::DecodeMessage(d.payload);
+    ASSERT_TRUE(m.ok());
+    got = *m;
+  });
+  net.Send(client, com_node,
+           dns::EncodeMessage(
+               dns::MakeQuery(5, N("www.example.com."), RRType::kA)));
+  sim.Run();
+  EXPECT_TRUE(got.header.aa);
+  ASSERT_EQ(got.answers.size(), 1u);
+  EXPECT_EQ(got.answers[0].type, RRType::kA);
+  EXPECT_EQ(farm.queries_served(), 1u);
+
+  // Determinism: the same name resolves to the same address.
+  const auto a1 = std::get<dns::AData>(got.answers[0].rdata);
+  net.Send(client, com_node,
+           dns::EncodeMessage(
+               dns::MakeQuery(6, N("www.example.com."), RRType::kA)));
+  sim.Run();
+  EXPECT_EQ(std::get<dns::AData>(got.answers[0].rdata), a1);
+}
+
+TEST(TldFarm, FindsNodeByGlueAddress) {
+  sim::Simulator sim;
+  sim::Network net(sim, 3);
+  topo::GeoRegistry registry;
+  const zone::RootZoneModel model;
+  const zone::Zone root_zone = model.Snapshot({2018, 4, 11});
+  TldFarm farm(net, registry, root_zone, 99);
+
+  // Take com's first glue address from the zone and look it up.
+  const auto* ns = root_zone.Find(N("com."), RRType::kNS);
+  ASSERT_NE(ns, nullptr);
+  bool found_any = false;
+  for (const auto& rd : ns->rdatas) {
+    const Name& host = std::get<dns::NsData>(rd).nameserver;
+    if (const auto* a = root_zone.Find(host, RRType::kA)) {
+      sim::NodeId via_addr = 0, via_tld = 0;
+      ASSERT_TRUE(farm.FindByAddress(
+          std::get<dns::AData>(a->rdatas.front()).address, via_addr));
+      ASSERT_TRUE(farm.FindTldNode("com", via_tld));
+      EXPECT_EQ(via_addr, via_tld);
+      found_any = true;
+    }
+  }
+  EXPECT_TRUE(found_any);
+}
+
+TEST(TldFarm, RefusesOutOfDomainQuery) {
+  sim::Simulator sim;
+  sim::Network net(sim, 3);
+  topo::GeoRegistry registry;
+  const zone::RootZoneModel model;
+  const zone::Zone root_zone = model.Snapshot({2018, 4, 11});
+  TldFarm farm(net, registry, root_zone, 99);
+
+  sim::NodeId com_node = 0;
+  ASSERT_TRUE(farm.FindTldNode("com", com_node));
+  dns::Message got;
+  const sim::NodeId client = net.AddNode([&](const sim::Datagram& d) {
+    auto m = dns::DecodeMessage(d.payload);
+    ASSERT_TRUE(m.ok());
+    got = *m;
+  });
+  net.Send(client, com_node,
+           dns::EncodeMessage(dns::MakeQuery(5, N("www.example.org."),
+                                             RRType::kA)));
+  sim.Run();
+  EXPECT_EQ(got.header.rcode, dns::RCode::kRefused);
+}
+
+}  // namespace
+}  // namespace rootless::rootsrv

@@ -1,0 +1,170 @@
+// Tests for geography, anycast catchments, and the Fig-2 deployment model.
+#include <gtest/gtest.h>
+
+#include "topo/deployment.h"
+#include "topo/geo.h"
+#include "topo/geo_registry.h"
+
+namespace rootless::topo {
+namespace {
+
+TEST(Geo, GreatCircleKnownDistances) {
+  // New York <-> London is ~5,570 km.
+  const GeoPoint nyc{40.71, -74.0};
+  const GeoPoint london{51.51, -0.13};
+  const double km = GreatCircleKm(nyc, london);
+  EXPECT_GT(km, 5300);
+  EXPECT_LT(km, 5800);
+
+  EXPECT_NEAR(GreatCircleKm(nyc, nyc), 0.0, 1e-9);
+  // Antipodal points: half the circumference, ~20,000 km.
+  const double anti = GreatCircleKm({0, 0}, {0, 180});
+  EXPECT_NEAR(anti, 20015, 50);
+}
+
+TEST(Geo, LatencyGrowsWithDistance) {
+  EXPECT_LT(LatencyForDistanceKm(100), LatencyForDistanceKm(5000));
+  // Base latency even at zero distance.
+  EXPECT_GT(LatencyForDistanceKm(0), 0);
+  // Transatlantic one-way should be tens of milliseconds.
+  const sim::SimTime t = LatencyForDistanceKm(5600);
+  EXPECT_GT(t, 20 * sim::kMillisecond);
+  EXPECT_LT(t, 80 * sim::kMillisecond);
+}
+
+TEST(Geo, SampledPointsAreValid) {
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const GeoPoint p = SamplePopulationPoint(rng);
+    EXPECT_GE(p.latitude_deg, -90);
+    EXPECT_LE(p.latitude_deg, 90);
+    EXPECT_GE(p.longitude_deg, -180);
+    EXPECT_LT(p.longitude_deg, 180);
+    const GeoPoint u = SampleUniformPoint(rng);
+    EXPECT_GE(u.latitude_deg, -90);
+    EXPECT_LE(u.latitude_deg, 90);
+  }
+}
+
+TEST(GeoRegistry, LoopbackForSameNode) {
+  GeoRegistry registry;
+  registry.SetLocation(0, {10, 20});
+  EXPECT_EQ(registry.Latency(0, 0), GeoRegistry::kLoopbackLatency);
+}
+
+TEST(GeoRegistry, ColocatedNodesGetLoopback) {
+  GeoRegistry registry;
+  registry.SetLocation(0, {10, 20});
+  registry.SetLocation(1, {10, 20});
+  EXPECT_EQ(registry.Latency(0, 1), GeoRegistry::kLoopbackLatency);
+}
+
+TEST(GeoRegistry, DistanceDrivesLatency) {
+  GeoRegistry registry;
+  registry.SetLocation(0, {40.71, -74.0});
+  registry.SetLocation(1, {51.51, -0.13});
+  registry.SetLocation(2, {40.8, -74.1});
+  EXPECT_GT(registry.Latency(0, 1), registry.Latency(0, 2));
+}
+
+TEST(Deployment, OperatorsMatchPaper) {
+  const auto& ops = RootOperators();
+  EXPECT_EQ(ops.size(), 13u);
+  // Verisign operates both a-root and j-root (the paper's footnote 1).
+  EXPECT_STREQ(ops[IndexForLetter('a')].organization, "Verisign");
+  EXPECT_STREQ(ops[IndexForLetter('j')].organization, "Verisign");
+}
+
+TEST(Deployment, TotalMatchesPaperAnchors) {
+  const DeploymentModel model;
+  // root-servers.org reported 985 instances on 2019-05-15.
+  EXPECT_EQ(model.TotalInstancesOn({2019, 5, 15}), 985);
+  // Roughly 450 in March 2015 (start of Fig 2).
+  const int start = model.TotalInstancesOn({2015, 3, 15});
+  EXPECT_GT(start, 400);
+  EXPECT_LT(start, 500);
+}
+
+TEST(Deployment, GrowthIsMonotonicOverall) {
+  const DeploymentModel model;
+  int prev = 0;
+  for (int year = 2015; year <= 2019; ++year) {
+    const int count = model.TotalInstancesOn({year, 3, 15});
+    EXPECT_GE(count, prev) << year;
+    prev = count;
+  }
+}
+
+TEST(Deployment, SmallLettersStaySmall) {
+  // Paper: at most six instances for b, g, h, m-root.
+  const DeploymentModel model;
+  for (char letter : {'b', 'g', 'h', 'm'}) {
+    EXPECT_LE(model.InstanceCountOn(letter, {2019, 5, 15}), 6) << letter;
+  }
+}
+
+TEST(Deployment, LargeLettersExceed100) {
+  // Paper: over 100 instances for d, e, f, j, l-root.
+  const DeploymentModel model;
+  for (char letter : {'d', 'e', 'f', 'j', 'l'}) {
+    EXPECT_GT(model.InstanceCountOn(letter, {2019, 5, 15}), 100) << letter;
+  }
+}
+
+TEST(Deployment, ERootJumpJan2016) {
+  const DeploymentModel model;
+  const int before = model.InstanceCountOn('e', {2016, 1, 15});
+  const int after = model.InstanceCountOn('e', {2016, 2, 15});
+  EXPECT_EQ(after - before, 45);  // the paper's documented jump
+}
+
+TEST(Deployment, FRootJumpApr2017) {
+  const DeploymentModel model;
+  const int before = model.InstanceCountOn('f', {2017, 4, 15});
+  const int after = model.InstanceCountOn('f', {2017, 5, 15});
+  EXPECT_EQ(after - before, 81);
+}
+
+TEST(Deployment, NovDec2017Jumps) {
+  const DeploymentModel model;
+  EXPECT_EQ(model.InstanceCountOn('e', {2017, 12, 15}) -
+                model.InstanceCountOn('e', {2017, 11, 15}),
+            85);
+  EXPECT_EQ(model.InstanceCountOn('f', {2017, 12, 15}) -
+                model.InstanceCountOn('f', {2017, 11, 15}),
+            43);
+}
+
+TEST(Deployment, SitesAreStablePrefixes) {
+  const DeploymentModel model;
+  const auto early = model.SitesOn('f', {2016, 6, 15});
+  const auto late = model.SitesOn('f', {2019, 5, 15});
+  ASSERT_LT(early.size(), late.size());
+  for (std::size_t i = 0; i < early.size(); ++i) {
+    EXPECT_EQ(early[i], late[i]) << i;
+  }
+}
+
+TEST(Deployment, AllInstancesMatchesTotals) {
+  const DeploymentModel model;
+  const util::CivilDate date{2018, 4, 11};
+  EXPECT_EQ(model.AllInstancesOn(date).size(),
+            static_cast<std::size_t>(model.TotalInstancesOn(date)));
+}
+
+TEST(Deployment, NearestInstancePicksCloseSite) {
+  const DeploymentModel model;
+  const auto instances = model.AllInstancesOn({2019, 5, 15});
+  util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const GeoPoint client = SamplePopulationPoint(rng);
+    const std::size_t best = NearestInstance(instances, client);
+    const double best_km = GreatCircleKm(instances[best].location, client);
+    for (std::size_t k = 0; k < instances.size(); k += 17) {
+      EXPECT_LE(best_km, GreatCircleKm(instances[k].location, client) + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rootless::topo

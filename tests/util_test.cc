@@ -1,0 +1,384 @@
+// Unit tests for the util module: bytes, rng, zipf, strings, base64, time.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/base64.h"
+#include "util/bytes.h"
+#include "util/civil_time.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/zipf.h"
+
+namespace rootless::util {
+namespace {
+
+// ---------------------------------------------------------------- Result
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Error("boom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().message(), "boom");
+  EXPECT_FALSE(r.status().ok());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+// ----------------------------------------------------------------- bytes
+
+TEST(Bytes, RoundTripFixedWidth) {
+  ByteWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0102030405060708ULL);
+  ByteReader r(w.span());
+  std::uint8_t a = 0;
+  std::uint16_t b = 0;
+  std::uint32_t c = 0;
+  std::uint64_t d = 0;
+  ASSERT_TRUE(r.ReadU8(a));
+  ASSERT_TRUE(r.ReadU16(b));
+  ASSERT_TRUE(r.ReadU32(c));
+  ASSERT_TRUE(r.ReadU64(d));
+  EXPECT_EQ(a, 0xAB);
+  EXPECT_EQ(b, 0x1234);
+  EXPECT_EQ(c, 0xDEADBEEF);
+  EXPECT_EQ(d, 0x0102030405060708ULL);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, BigEndianLayout) {
+  ByteWriter w;
+  w.WriteU16(0x0102);
+  ASSERT_EQ(w.data().size(), 2u);
+  EXPECT_EQ(w.data()[0], 0x01);
+  EXPECT_EQ(w.data()[1], 0x02);
+}
+
+TEST(Bytes, ReadPastEndFails) {
+  ByteWriter w;
+  w.WriteU8(1);
+  ByteReader r(w.span());
+  std::uint32_t v = 0;
+  EXPECT_FALSE(r.ReadU32(v));
+  // Failed read must not consume.
+  std::uint8_t b = 0;
+  EXPECT_TRUE(r.ReadU8(b));
+  EXPECT_EQ(b, 1);
+}
+
+TEST(Bytes, VarintRoundTrip) {
+  const std::uint64_t values[] = {0, 1, 127, 128, 300, 16384,
+                                  0xFFFFFFFFULL, ~0ULL};
+  for (std::uint64_t v : values) {
+    ByteWriter w;
+    w.WriteVarint(v);
+    ByteReader r(w.span());
+    std::uint64_t out = 0;
+    ASSERT_TRUE(r.ReadVarint(out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(Bytes, VarintSmallValuesAreOneByte) {
+  ByteWriter w;
+  w.WriteVarint(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.WriteVarint(128);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(Bytes, PatchU16) {
+  ByteWriter w;
+  w.WriteU16(0);
+  w.WriteU8(9);
+  w.PatchU16(0, 0xBEEF);
+  ByteReader r(w.span());
+  std::uint16_t v = 0;
+  ASSERT_TRUE(r.ReadU16(v));
+  EXPECT_EQ(v, 0xBEEF);
+}
+
+TEST(Bytes, PeekAtDoesNotAdvance) {
+  Bytes data = {1, 2, 3};
+  ByteReader r(data);
+  std::uint8_t v = 0;
+  ASSERT_TRUE(r.PeekAt(2, v));
+  EXPECT_EQ(v, 3);
+  EXPECT_EQ(r.offset(), 0u);
+  EXPECT_FALSE(r.PeekAt(3, v));
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(13), 13u);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  int counts[10] = {};
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.Below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kN / 10 * 0.9);
+    EXPECT_LT(c, kN / 10 * 1.1);
+  }
+}
+
+TEST(Rng, UnitDoubleInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UnitDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.Exponential(3.0);
+  EXPECT_NEAR(sum / kN, 3.0, 0.05);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(19);
+  double sum = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.Poisson(4.5));
+  EXPECT_NEAR(sum / kN, 4.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeLambdaUsesNormalApprox) {
+  Rng rng(23);
+  double sum = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.Poisson(500.0));
+  EXPECT_NEAR(sum / kN, 500.0, 5.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(29);
+  EXPECT_FALSE(rng.Chance(0.0));
+  EXPECT_TRUE(rng.Chance(1.0));
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+// ------------------------------------------------------------------ zipf
+
+TEST(Zipf, RanksInRange) {
+  Rng rng(37);
+  ZipfSampler zipf(100, 1.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(rng), 100u);
+}
+
+TEST(Zipf, SkewFavorsLowRanks) {
+  Rng rng(41);
+  ZipfSampler zipf(1000, 1.0);
+  int rank0 = 0, rank500 = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const std::size_t r = zipf.Sample(rng);
+    if (r == 0) ++rank0;
+    if (r == 500) ++rank500;
+  }
+  EXPECT_GT(rank0, 50 * std::max(rank500, 1));
+}
+
+TEST(Zipf, ZeroSkewIsUniform) {
+  Rng rng(43);
+  ZipfSampler zipf(10, 0.0);
+  int counts[10] = {};
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, kN / 10 * 0.9);
+    EXPECT_LT(c, kN / 10 * 1.1);
+  }
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfSampler zipf(500, 1.2);
+  double sum = 0;
+  for (std::size_t r = 0; r < 500; ++r) sum += zipf.Pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, EmpiricalMatchesPmf) {
+  Rng rng(47);
+  ZipfSampler zipf(50, 0.9);
+  std::map<std::size_t, int> counts;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.Sample(rng)];
+  for (std::size_t r = 0; r < 5; ++r) {
+    const double expected = zipf.Pmf(r) * kN;
+    EXPECT_NEAR(counts[r], expected, expected * 0.1) << "rank " << r;
+  }
+}
+
+// --------------------------------------------------------------- strings
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(ToLower("MiXeD.Case"), "mixed.case");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(Strings, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("COM", "com"));
+  EXPECT_FALSE(EqualsIgnoreCase("com", "org"));
+  EXPECT_FALSE(EqualsIgnoreCase("com", "comm"));
+}
+
+TEST(Strings, Split) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitWhitespace) {
+  const auto parts = SplitWhitespace("  foo\t bar  baz ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(Strings, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  x \r\n"), "x");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+}
+
+TEST(Strings, ParseU64) {
+  EXPECT_EQ(*ParseU64("12345"), 12345u);
+  EXPECT_EQ(*ParseU64("18446744073709551615"), ~0ULL);
+  EXPECT_FALSE(ParseU64("18446744073709551616").ok());
+  EXPECT_FALSE(ParseU64("12a").ok());
+  EXPECT_FALSE(ParseU64("").ok());
+  EXPECT_FALSE(ParseU64("-1").ok());
+}
+
+TEST(Strings, ParseU32Overflow) {
+  EXPECT_EQ(*ParseU32("4294967295"), 0xFFFFFFFFu);
+  EXPECT_FALSE(ParseU32("4294967296").ok());
+}
+
+TEST(Strings, Formatters) {
+  EXPECT_EQ(FormatCount(5.7e9), "5.70B");
+  EXPECT_EQ(FormatCount(4.1e6), "4.10M");
+  EXPECT_EQ(FormatPercent(0.61), "61.0%");
+  EXPECT_EQ(FormatBytes(1.1 * 1024 * 1024), "1.10 MB");
+}
+
+// ---------------------------------------------------------------- base64
+
+TEST(Base64, RoundTrip) {
+  const std::string inputs[] = {"", "f", "fo", "foo", "foob", "fooba",
+                                "foobar"};
+  const std::string expected[] = {"",     "Zg==", "Zm8=",     "Zm9v",
+                                  "Zm9vYg==", "Zm9vYmE=", "Zm9vYmFy"};
+  for (int i = 0; i < 7; ++i) {
+    std::vector<std::uint8_t> bytes(inputs[i].begin(), inputs[i].end());
+    EXPECT_EQ(Base64Encode(bytes), expected[i]);
+    auto decoded = Base64Decode(expected[i]);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, bytes);
+  }
+}
+
+TEST(Base64, RejectsInvalid) {
+  EXPECT_FALSE(Base64Decode("a!b").ok());
+  EXPECT_FALSE(Base64Decode("====a").ok());
+}
+
+TEST(Hex, RoundTrip) {
+  std::vector<std::uint8_t> bytes = {0x00, 0xFF, 0x12, 0xAB};
+  EXPECT_EQ(HexEncode(bytes), "00ff12ab");
+  auto decoded = HexDecode("00FF12ab");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, bytes);
+  EXPECT_FALSE(HexDecode("abc").ok());
+  EXPECT_FALSE(HexDecode("zz").ok());
+}
+
+// ------------------------------------------------------------ civil time
+
+TEST(CivilTime, EpochIsZero) {
+  EXPECT_EQ(DaysFromCivil({1970, 1, 1}), 0);
+  EXPECT_EQ(CivilFromDays(0), (CivilDate{1970, 1, 1}));
+}
+
+TEST(CivilTime, KnownDates) {
+  // The paper's DITL collection day.
+  EXPECT_EQ(DaysFromCivil({2018, 4, 11}), 17632);
+  EXPECT_EQ(CivilFromDays(17632), (CivilDate{2018, 4, 11}));
+}
+
+TEST(CivilTime, RoundTripRange) {
+  for (std::int64_t d = -100000; d <= 100000; d += 37) {
+    EXPECT_EQ(DaysFromCivil(CivilFromDays(d)), d);
+  }
+}
+
+TEST(CivilTime, LeapYears) {
+  EXPECT_TRUE(IsLeapYear(2000));
+  EXPECT_TRUE(IsLeapYear(2016));
+  EXPECT_FALSE(IsLeapYear(1900));
+  EXPECT_FALSE(IsLeapYear(2019));
+  EXPECT_EQ(DaysInMonth(2016, 2), 29);
+  EXPECT_EQ(DaysInMonth(2019, 2), 28);
+}
+
+TEST(CivilTime, AddMonthsClampsDay) {
+  EXPECT_EQ(AddMonths({2019, 1, 31}, 1), (CivilDate{2019, 2, 28}));
+  EXPECT_EQ(AddMonths({2019, 12, 15}, 1), (CivilDate{2020, 1, 15}));
+  EXPECT_EQ(AddMonths({2019, 1, 15}, -1), (CivilDate{2018, 12, 15}));
+}
+
+TEST(CivilTime, AddDays) {
+  EXPECT_EQ(AddDays({2018, 2, 23}, 47), (CivilDate{2018, 4, 11}));
+}
+
+TEST(CivilTime, Format) {
+  EXPECT_EQ(FormatDate({2019, 11, 14}), "2019-11-14");
+}
+
+TEST(CivilTime, IsValidDate) {
+  EXPECT_TRUE(IsValidDate({2019, 2, 28}));
+  EXPECT_FALSE(IsValidDate({2019, 2, 29}));
+  EXPECT_FALSE(IsValidDate({2019, 13, 1}));
+  EXPECT_FALSE(IsValidDate({2019, 0, 1}));
+}
+
+}  // namespace
+}  // namespace rootless::util

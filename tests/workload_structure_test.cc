@@ -1,0 +1,141 @@
+// Structural tests of the workload generator beyond the headline mix:
+// diurnal shape, per-pair burst structure, scaling behaviour, and the
+// separation between bogus-only and regular resolvers.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "traffic/classify.h"
+#include "traffic/workload.h"
+#include "zone/evolution.h"
+
+namespace rootless::traffic {
+namespace {
+
+const std::vector<std::string>& RealTlds() {
+  static const std::vector<std::string>* tlds = [] {
+    const zone::RootZoneModel model;
+    auto* out = new std::vector<std::string>();
+    for (const auto* tld : model.ActiveTlds({2018, 4, 11}))
+      out->push_back(tld->label);
+    return out;
+  }();
+  return *tlds;
+}
+
+const std::set<std::string>& TldSet() {
+  static const std::set<std::string>* s = [] {
+    auto* out = new std::set<std::string>();
+    for (const auto& t : RealTlds()) out->insert(t);
+    return out;
+  }();
+  return *s;
+}
+
+WorkloadConfig Config(double scale) {
+  WorkloadConfig config;
+  config.scale = scale;
+  return config;
+}
+
+TEST(WorkloadStructure, QueryCountScalesLinearly) {
+  const auto small = GenerateDitlTrace(Config(0.0001), RealTlds());
+  const auto large = GenerateDitlTrace(Config(0.0002), RealTlds());
+  const double ratio = static_cast<double>(large.events.size()) /
+                       static_cast<double>(small.events.size());
+  EXPECT_NEAR(ratio, 2.0, 0.1);
+}
+
+TEST(WorkloadStructure, DiurnalShapeIsPresent) {
+  const auto trace = GenerateDitlTrace(Config(0.0003), RealTlds());
+  // Split the day into 8 bins; max/min bin ratio should show the swing but
+  // stay bounded (the generator uses a 0.75 +/- 0.25 acceptance curve).
+  std::uint64_t bins[8] = {};
+  for (const auto& e : trace.events) ++bins[e.time_sec / (86400 / 8)];
+  std::uint64_t lo = bins[0], hi = bins[0];
+  for (auto b : bins) {
+    lo = std::min(lo, b);
+    hi = std::max(hi, b);
+  }
+  EXPECT_GT(static_cast<double>(hi) / lo, 1.15);
+  EXPECT_LT(static_cast<double>(hi) / lo, 3.0);
+}
+
+TEST(WorkloadStructure, BogusOnlyResolversNeverQueryRealTlds) {
+  WorkloadSummary summary;
+  const auto trace = GenerateDitlTrace(Config(0.0002), RealTlds(), &summary);
+  // Resolver ids below bogus_only count are the junk-only population.
+  for (const auto& e : trace.events) {
+    if (e.resolver_id < summary.bogus_only_resolvers) {
+      EXPECT_EQ(TldSet().count(trace.tlds.LabelOf(e.tld)), 0u)
+          << trace.tlds.LabelOf(e.tld);
+    }
+  }
+}
+
+TEST(WorkloadStructure, ValidPairsAreBursty) {
+  // The §2.2 numbers require per-(resolver,TLD) queries concentrated in few
+  // 15-minute slots: mean slots-per-pair must be near the configured 6.6,
+  // far below the mean queries-per-pair (~78).
+  const auto trace = GenerateDitlTrace(Config(0.0005), RealTlds());
+  std::map<std::uint64_t, std::set<std::uint32_t>> slots;
+  std::map<std::uint64_t, std::uint64_t> counts;
+  for (const auto& e : trace.events) {
+    if (TldSet().count(trace.tlds.LabelOf(e.tld)) == 0) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(e.resolver_id) << 20) | e.tld;
+    slots[key].insert(e.time_sec / 900);
+    ++counts[key];
+  }
+  double slot_sum = 0, count_sum = 0;
+  for (const auto& [key, s] : slots) slot_sum += static_cast<double>(s.size());
+  for (const auto& [key, c] : counts) count_sum += static_cast<double>(c);
+  const double mean_slots = slot_sum / static_cast<double>(slots.size());
+  const double mean_queries = count_sum / static_cast<double>(counts.size());
+  EXPECT_NEAR(mean_slots, 6.6, 1.5);
+  EXPECT_GT(mean_queries, 8 * mean_slots);
+}
+
+TEST(WorkloadStructure, DifferentSeedsDifferButCalibrationHolds) {
+  WorkloadConfig a = Config(0.0003);
+  WorkloadConfig b = Config(0.0003);
+  b.seed = 777;
+  const auto trace_a = GenerateDitlTrace(a, RealTlds());
+  const auto trace_b = GenerateDitlTrace(b, RealTlds());
+  // Different event streams...
+  bool any_diff = trace_a.events.size() != trace_b.events.size();
+  for (std::size_t i = 0; !any_diff && i < trace_a.events.size(); i += 1009) {
+    any_diff = trace_a.events[i].time_sec != trace_b.events[i].time_sec;
+  }
+  EXPECT_TRUE(any_diff);
+  // ...same calibrated mix.
+  const auto is_real = [&](const std::string& t) {
+    return TldSet().count(t) > 0;
+  };
+  const auto report_a = ClassifyTrace(trace_a, is_real);
+  const auto report_b = ClassifyTrace(trace_b, is_real);
+  EXPECT_NEAR(report_a.bogus_fraction(), report_b.bogus_fraction(), 0.01);
+  EXPECT_NEAR(report_a.valid_budget_fraction(),
+              report_b.valid_budget_fraction(), 0.01);
+}
+
+TEST(WorkloadStructure, CustomMixParametersRespected) {
+  WorkloadConfig config = Config(0.0002);
+  config.bogus_query_fraction = 0.30;
+  const auto trace = GenerateDitlTrace(config, RealTlds());
+  const auto report = ClassifyTrace(trace, [&](const std::string& t) {
+    return TldSet().count(t) > 0;
+  });
+  EXPECT_NEAR(report.bogus_fraction(), 0.30, 0.02);
+}
+
+TEST(WorkloadStructure, WindowParameterBoundsTimestamps) {
+  WorkloadConfig config = Config(0.0001);
+  config.window_sec = 3600;
+  const auto trace = GenerateDitlTrace(config, RealTlds());
+  for (const auto& e : trace.events) EXPECT_LT(e.time_sec, 3600u);
+}
+
+}  // namespace
+}  // namespace rootless::traffic
