@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_junk_traffic.dir/ablation_junk_traffic.cc.o"
+  "CMakeFiles/ablation_junk_traffic.dir/ablation_junk_traffic.cc.o.d"
+  "ablation_junk_traffic"
+  "ablation_junk_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_junk_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

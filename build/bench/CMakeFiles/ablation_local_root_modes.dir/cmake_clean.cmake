@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_local_root_modes.dir/ablation_local_root_modes.cc.o"
+  "CMakeFiles/ablation_local_root_modes.dir/ablation_local_root_modes.cc.o.d"
+  "ablation_local_root_modes"
+  "ablation_local_root_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_local_root_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

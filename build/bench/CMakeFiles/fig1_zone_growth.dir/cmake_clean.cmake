@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_zone_growth.dir/fig1_zone_growth.cc.o"
+  "CMakeFiles/fig1_zone_growth.dir/fig1_zone_growth.cc.o.d"
+  "fig1_zone_growth"
+  "fig1_zone_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_zone_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

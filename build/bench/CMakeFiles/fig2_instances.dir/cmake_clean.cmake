@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_instances.dir/fig2_instances.cc.o"
+  "CMakeFiles/fig2_instances.dir/fig2_instances.cc.o.d"
+  "fig2_instances"
+  "fig2_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec22_traffic_mix.dir/sec22_traffic_mix.cc.o"
+  "CMakeFiles/sec22_traffic_mix.dir/sec22_traffic_mix.cc.o.d"
+  "sec22_traffic_mix"
+  "sec22_traffic_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec22_traffic_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_deployment.dir/sec3_deployment.cc.o"
+  "CMakeFiles/sec3_deployment.dir/sec3_deployment.cc.o.d"
+  "sec3_deployment"
+  "sec3_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_privacy.dir/sec4_privacy.cc.o"
+  "CMakeFiles/sec4_privacy.dir/sec4_privacy.cc.o.d"
+  "sec4_privacy"
+  "sec4_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

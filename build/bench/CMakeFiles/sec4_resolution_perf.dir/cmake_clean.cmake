@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_resolution_perf.dir/sec4_resolution_perf.cc.o"
+  "CMakeFiles/sec4_resolution_perf.dir/sec4_resolution_perf.cc.o.d"
+  "sec4_resolution_perf"
+  "sec4_resolution_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_resolution_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

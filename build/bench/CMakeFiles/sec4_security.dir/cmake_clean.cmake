@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_security.dir/sec4_security.cc.o"
+  "CMakeFiles/sec4_security.dir/sec4_security.cc.o.d"
+  "sec4_security"
+  "sec4_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

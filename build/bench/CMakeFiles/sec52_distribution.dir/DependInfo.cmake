@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec52_distribution.cc" "bench/CMakeFiles/sec52_distribution.dir/sec52_distribution.cc.o" "gcc" "bench/CMakeFiles/sec52_distribution.dir/sec52_distribution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rootless_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_rootsrv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_distrib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

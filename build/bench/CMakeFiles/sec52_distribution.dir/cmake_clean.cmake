@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_distribution.dir/sec52_distribution.cc.o"
+  "CMakeFiles/sec52_distribution.dir/sec52_distribution.cc.o.d"
+  "sec52_distribution"
+  "sec52_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_tld_additions.dir/sec53_tld_additions.cc.o"
+  "CMakeFiles/sec53_tld_additions.dir/sec53_tld_additions.cc.o.d"
+  "sec53_tld_additions"
+  "sec53_tld_additions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_tld_additions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

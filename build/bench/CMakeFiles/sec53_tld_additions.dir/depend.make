@@ -1,0 +1,2 @@
+# Empty dependencies file for sec53_tld_additions.
+# This may be replaced when dependencies are built.

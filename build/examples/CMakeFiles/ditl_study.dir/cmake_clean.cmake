@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditl_study.dir/ditl_study.cc.o"
+  "CMakeFiles/ditl_study.dir/ditl_study.cc.o.d"
+  "ditl_study"
+  "ditl_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditl_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_root_resolver.dir/local_root_resolver.cc.o"
+  "CMakeFiles/local_root_resolver.dir/local_root_resolver.cc.o.d"
+  "local_root_resolver"
+  "local_root_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_root_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootless_dig.dir/rootless_dig.cc.o"
+  "CMakeFiles/rootless_dig.dir/rootless_dig.cc.o.d"
+  "rootless_dig"
+  "rootless_dig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootless_dig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

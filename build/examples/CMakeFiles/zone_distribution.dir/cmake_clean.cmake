@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_distribution.dir/zone_distribution.cc.o"
+  "CMakeFiles/zone_distribution.dir/zone_distribution.cc.o.d"
+  "zone_distribution"
+  "zone_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

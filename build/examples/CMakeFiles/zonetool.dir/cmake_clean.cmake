@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zonetool.dir/zonetool.cc.o"
+  "CMakeFiles/zonetool.dir/zonetool.cc.o.d"
+  "zonetool"
+  "zonetool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zonetool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootless_analysis.dir/analysis/report.cc.o"
+  "CMakeFiles/rootless_analysis.dir/analysis/report.cc.o.d"
+  "CMakeFiles/rootless_analysis.dir/analysis/stats.cc.o"
+  "CMakeFiles/rootless_analysis.dir/analysis/stats.cc.o.d"
+  "librootless_analysis.a"
+  "librootless_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootless_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

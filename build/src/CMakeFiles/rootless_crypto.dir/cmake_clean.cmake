@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootless_crypto.dir/crypto/dnssec.cc.o"
+  "CMakeFiles/rootless_crypto.dir/crypto/dnssec.cc.o.d"
+  "CMakeFiles/rootless_crypto.dir/crypto/sha256.cc.o"
+  "CMakeFiles/rootless_crypto.dir/crypto/sha256.cc.o.d"
+  "librootless_crypto.a"
+  "librootless_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootless_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distrib/axfr.cc" "src/CMakeFiles/rootless_distrib.dir/distrib/axfr.cc.o" "gcc" "src/CMakeFiles/rootless_distrib.dir/distrib/axfr.cc.o.d"
+  "/root/repo/src/distrib/diff_channel.cc" "src/CMakeFiles/rootless_distrib.dir/distrib/diff_channel.cc.o" "gcc" "src/CMakeFiles/rootless_distrib.dir/distrib/diff_channel.cc.o.d"
+  "/root/repo/src/distrib/fetch_service.cc" "src/CMakeFiles/rootless_distrib.dir/distrib/fetch_service.cc.o" "gcc" "src/CMakeFiles/rootless_distrib.dir/distrib/fetch_service.cc.o.d"
+  "/root/repo/src/distrib/mechanisms.cc" "src/CMakeFiles/rootless_distrib.dir/distrib/mechanisms.cc.o" "gcc" "src/CMakeFiles/rootless_distrib.dir/distrib/mechanisms.cc.o.d"
+  "/root/repo/src/distrib/rsync.cc" "src/CMakeFiles/rootless_distrib.dir/distrib/rsync.cc.o" "gcc" "src/CMakeFiles/rootless_distrib.dir/distrib/rsync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rootless_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootless_distrib.dir/distrib/axfr.cc.o"
+  "CMakeFiles/rootless_distrib.dir/distrib/axfr.cc.o.d"
+  "CMakeFiles/rootless_distrib.dir/distrib/diff_channel.cc.o"
+  "CMakeFiles/rootless_distrib.dir/distrib/diff_channel.cc.o.d"
+  "CMakeFiles/rootless_distrib.dir/distrib/fetch_service.cc.o"
+  "CMakeFiles/rootless_distrib.dir/distrib/fetch_service.cc.o.d"
+  "CMakeFiles/rootless_distrib.dir/distrib/mechanisms.cc.o"
+  "CMakeFiles/rootless_distrib.dir/distrib/mechanisms.cc.o.d"
+  "CMakeFiles/rootless_distrib.dir/distrib/rsync.cc.o"
+  "CMakeFiles/rootless_distrib.dir/distrib/rsync.cc.o.d"
+  "librootless_distrib.a"
+  "librootless_distrib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootless_distrib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

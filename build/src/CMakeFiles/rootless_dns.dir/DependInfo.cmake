@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/message.cc" "src/CMakeFiles/rootless_dns.dir/dns/message.cc.o" "gcc" "src/CMakeFiles/rootless_dns.dir/dns/message.cc.o.d"
+  "/root/repo/src/dns/name.cc" "src/CMakeFiles/rootless_dns.dir/dns/name.cc.o" "gcc" "src/CMakeFiles/rootless_dns.dir/dns/name.cc.o.d"
+  "/root/repo/src/dns/rdata.cc" "src/CMakeFiles/rootless_dns.dir/dns/rdata.cc.o" "gcc" "src/CMakeFiles/rootless_dns.dir/dns/rdata.cc.o.d"
+  "/root/repo/src/dns/rr.cc" "src/CMakeFiles/rootless_dns.dir/dns/rr.cc.o" "gcc" "src/CMakeFiles/rootless_dns.dir/dns/rr.cc.o.d"
+  "/root/repo/src/dns/types.cc" "src/CMakeFiles/rootless_dns.dir/dns/types.cc.o" "gcc" "src/CMakeFiles/rootless_dns.dir/dns/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rootless_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

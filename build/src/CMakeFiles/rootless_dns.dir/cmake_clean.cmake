@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootless_dns.dir/dns/message.cc.o"
+  "CMakeFiles/rootless_dns.dir/dns/message.cc.o.d"
+  "CMakeFiles/rootless_dns.dir/dns/name.cc.o"
+  "CMakeFiles/rootless_dns.dir/dns/name.cc.o.d"
+  "CMakeFiles/rootless_dns.dir/dns/rdata.cc.o"
+  "CMakeFiles/rootless_dns.dir/dns/rdata.cc.o.d"
+  "CMakeFiles/rootless_dns.dir/dns/rr.cc.o"
+  "CMakeFiles/rootless_dns.dir/dns/rr.cc.o.d"
+  "CMakeFiles/rootless_dns.dir/dns/types.cc.o"
+  "CMakeFiles/rootless_dns.dir/dns/types.cc.o.d"
+  "librootless_dns.a"
+  "librootless_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootless_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

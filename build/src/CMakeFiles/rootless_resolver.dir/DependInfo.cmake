@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resolver/cache.cc" "src/CMakeFiles/rootless_resolver.dir/resolver/cache.cc.o" "gcc" "src/CMakeFiles/rootless_resolver.dir/resolver/cache.cc.o.d"
+  "/root/repo/src/resolver/recursive.cc" "src/CMakeFiles/rootless_resolver.dir/resolver/recursive.cc.o" "gcc" "src/CMakeFiles/rootless_resolver.dir/resolver/recursive.cc.o.d"
+  "/root/repo/src/resolver/refresh_daemon.cc" "src/CMakeFiles/rootless_resolver.dir/resolver/refresh_daemon.cc.o" "gcc" "src/CMakeFiles/rootless_resolver.dir/resolver/refresh_daemon.cc.o.d"
+  "/root/repo/src/resolver/root_selector.cc" "src/CMakeFiles/rootless_resolver.dir/resolver/root_selector.cc.o" "gcc" "src/CMakeFiles/rootless_resolver.dir/resolver/root_selector.cc.o.d"
+  "/root/repo/src/resolver/zone_db.cc" "src/CMakeFiles/rootless_resolver.dir/resolver/zone_db.cc.o" "gcc" "src/CMakeFiles/rootless_resolver.dir/resolver/zone_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rootless_rootsrv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

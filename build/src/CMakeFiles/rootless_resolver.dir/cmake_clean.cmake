@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootless_resolver.dir/resolver/cache.cc.o"
+  "CMakeFiles/rootless_resolver.dir/resolver/cache.cc.o.d"
+  "CMakeFiles/rootless_resolver.dir/resolver/recursive.cc.o"
+  "CMakeFiles/rootless_resolver.dir/resolver/recursive.cc.o.d"
+  "CMakeFiles/rootless_resolver.dir/resolver/refresh_daemon.cc.o"
+  "CMakeFiles/rootless_resolver.dir/resolver/refresh_daemon.cc.o.d"
+  "CMakeFiles/rootless_resolver.dir/resolver/root_selector.cc.o"
+  "CMakeFiles/rootless_resolver.dir/resolver/root_selector.cc.o.d"
+  "CMakeFiles/rootless_resolver.dir/resolver/zone_db.cc.o"
+  "CMakeFiles/rootless_resolver.dir/resolver/zone_db.cc.o.d"
+  "librootless_resolver.a"
+  "librootless_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootless_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootless_rootsrv.dir/rootsrv/auth_server.cc.o"
+  "CMakeFiles/rootless_rootsrv.dir/rootsrv/auth_server.cc.o.d"
+  "CMakeFiles/rootless_rootsrv.dir/rootsrv/fleet.cc.o"
+  "CMakeFiles/rootless_rootsrv.dir/rootsrv/fleet.cc.o.d"
+  "CMakeFiles/rootless_rootsrv.dir/rootsrv/tld_farm.cc.o"
+  "CMakeFiles/rootless_rootsrv.dir/rootsrv/tld_farm.cc.o.d"
+  "librootless_rootsrv.a"
+  "librootless_rootsrv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootless_rootsrv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

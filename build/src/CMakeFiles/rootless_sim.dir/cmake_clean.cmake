@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootless_sim.dir/sim/sim.cc.o"
+  "CMakeFiles/rootless_sim.dir/sim/sim.cc.o.d"
+  "librootless_sim.a"
+  "librootless_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootless_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

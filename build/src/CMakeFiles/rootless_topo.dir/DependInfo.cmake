@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/deployment.cc" "src/CMakeFiles/rootless_topo.dir/topo/deployment.cc.o" "gcc" "src/CMakeFiles/rootless_topo.dir/topo/deployment.cc.o.d"
+  "/root/repo/src/topo/geo.cc" "src/CMakeFiles/rootless_topo.dir/topo/geo.cc.o" "gcc" "src/CMakeFiles/rootless_topo.dir/topo/geo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rootless_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootless_topo.dir/topo/deployment.cc.o"
+  "CMakeFiles/rootless_topo.dir/topo/deployment.cc.o.d"
+  "CMakeFiles/rootless_topo.dir/topo/geo.cc.o"
+  "CMakeFiles/rootless_topo.dir/topo/geo.cc.o.d"
+  "librootless_topo.a"
+  "librootless_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootless_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

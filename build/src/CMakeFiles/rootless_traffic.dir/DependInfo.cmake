@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/classify.cc" "src/CMakeFiles/rootless_traffic.dir/traffic/classify.cc.o" "gcc" "src/CMakeFiles/rootless_traffic.dir/traffic/classify.cc.o.d"
+  "/root/repo/src/traffic/trace.cc" "src/CMakeFiles/rootless_traffic.dir/traffic/trace.cc.o" "gcc" "src/CMakeFiles/rootless_traffic.dir/traffic/trace.cc.o.d"
+  "/root/repo/src/traffic/workload.cc" "src/CMakeFiles/rootless_traffic.dir/traffic/workload.cc.o" "gcc" "src/CMakeFiles/rootless_traffic.dir/traffic/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rootless_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

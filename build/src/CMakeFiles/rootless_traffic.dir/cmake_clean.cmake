@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootless_traffic.dir/traffic/classify.cc.o"
+  "CMakeFiles/rootless_traffic.dir/traffic/classify.cc.o.d"
+  "CMakeFiles/rootless_traffic.dir/traffic/trace.cc.o"
+  "CMakeFiles/rootless_traffic.dir/traffic/trace.cc.o.d"
+  "CMakeFiles/rootless_traffic.dir/traffic/workload.cc.o"
+  "CMakeFiles/rootless_traffic.dir/traffic/workload.cc.o.d"
+  "librootless_traffic.a"
+  "librootless_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootless_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/base64.cc" "src/CMakeFiles/rootless_util.dir/util/base64.cc.o" "gcc" "src/CMakeFiles/rootless_util.dir/util/base64.cc.o.d"
+  "/root/repo/src/util/civil_time.cc" "src/CMakeFiles/rootless_util.dir/util/civil_time.cc.o" "gcc" "src/CMakeFiles/rootless_util.dir/util/civil_time.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/rootless_util.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/rootless_util.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/zipf.cc" "src/CMakeFiles/rootless_util.dir/util/zipf.cc.o" "gcc" "src/CMakeFiles/rootless_util.dir/util/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

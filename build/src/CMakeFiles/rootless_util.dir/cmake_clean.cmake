@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootless_util.dir/util/base64.cc.o"
+  "CMakeFiles/rootless_util.dir/util/base64.cc.o.d"
+  "CMakeFiles/rootless_util.dir/util/civil_time.cc.o"
+  "CMakeFiles/rootless_util.dir/util/civil_time.cc.o.d"
+  "CMakeFiles/rootless_util.dir/util/strings.cc.o"
+  "CMakeFiles/rootless_util.dir/util/strings.cc.o.d"
+  "CMakeFiles/rootless_util.dir/util/zipf.cc.o"
+  "CMakeFiles/rootless_util.dir/util/zipf.cc.o.d"
+  "librootless_util.a"
+  "librootless_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootless_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zone/evolution.cc" "src/CMakeFiles/rootless_zone.dir/zone/evolution.cc.o" "gcc" "src/CMakeFiles/rootless_zone.dir/zone/evolution.cc.o.d"
+  "/root/repo/src/zone/master_file.cc" "src/CMakeFiles/rootless_zone.dir/zone/master_file.cc.o" "gcc" "src/CMakeFiles/rootless_zone.dir/zone/master_file.cc.o.d"
+  "/root/repo/src/zone/root_hints.cc" "src/CMakeFiles/rootless_zone.dir/zone/root_hints.cc.o" "gcc" "src/CMakeFiles/rootless_zone.dir/zone/root_hints.cc.o.d"
+  "/root/repo/src/zone/rzc.cc" "src/CMakeFiles/rootless_zone.dir/zone/rzc.cc.o" "gcc" "src/CMakeFiles/rootless_zone.dir/zone/rzc.cc.o.d"
+  "/root/repo/src/zone/sign.cc" "src/CMakeFiles/rootless_zone.dir/zone/sign.cc.o" "gcc" "src/CMakeFiles/rootless_zone.dir/zone/sign.cc.o.d"
+  "/root/repo/src/zone/snapshot.cc" "src/CMakeFiles/rootless_zone.dir/zone/snapshot.cc.o" "gcc" "src/CMakeFiles/rootless_zone.dir/zone/snapshot.cc.o.d"
+  "/root/repo/src/zone/zone.cc" "src/CMakeFiles/rootless_zone.dir/zone/zone.cc.o" "gcc" "src/CMakeFiles/rootless_zone.dir/zone/zone.cc.o.d"
+  "/root/repo/src/zone/zone_diff.cc" "src/CMakeFiles/rootless_zone.dir/zone/zone_diff.cc.o" "gcc" "src/CMakeFiles/rootless_zone.dir/zone/zone_diff.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rootless_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rootless_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

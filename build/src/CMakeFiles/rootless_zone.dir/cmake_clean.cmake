@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootless_zone.dir/zone/evolution.cc.o"
+  "CMakeFiles/rootless_zone.dir/zone/evolution.cc.o.d"
+  "CMakeFiles/rootless_zone.dir/zone/master_file.cc.o"
+  "CMakeFiles/rootless_zone.dir/zone/master_file.cc.o.d"
+  "CMakeFiles/rootless_zone.dir/zone/root_hints.cc.o"
+  "CMakeFiles/rootless_zone.dir/zone/root_hints.cc.o.d"
+  "CMakeFiles/rootless_zone.dir/zone/rzc.cc.o"
+  "CMakeFiles/rootless_zone.dir/zone/rzc.cc.o.d"
+  "CMakeFiles/rootless_zone.dir/zone/sign.cc.o"
+  "CMakeFiles/rootless_zone.dir/zone/sign.cc.o.d"
+  "CMakeFiles/rootless_zone.dir/zone/snapshot.cc.o"
+  "CMakeFiles/rootless_zone.dir/zone/snapshot.cc.o.d"
+  "CMakeFiles/rootless_zone.dir/zone/zone.cc.o"
+  "CMakeFiles/rootless_zone.dir/zone/zone.cc.o.d"
+  "CMakeFiles/rootless_zone.dir/zone/zone_diff.cc.o"
+  "CMakeFiles/rootless_zone.dir/zone/zone_diff.cc.o.d"
+  "librootless_zone.a"
+  "librootless_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootless_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

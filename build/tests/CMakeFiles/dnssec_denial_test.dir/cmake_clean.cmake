@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnssec_denial_test.dir/dnssec_denial_test.cc.o"
+  "CMakeFiles/dnssec_denial_test.dir/dnssec_denial_test.cc.o.d"
+  "dnssec_denial_test"
+  "dnssec_denial_test.pdb"
+  "dnssec_denial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnssec_denial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

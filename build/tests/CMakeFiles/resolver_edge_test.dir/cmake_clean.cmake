@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolver_edge_test.dir/resolver_edge_test.cc.o"
+  "CMakeFiles/resolver_edge_test.dir/resolver_edge_test.cc.o.d"
+  "resolver_edge_test"
+  "resolver_edge_test.pdb"
+  "resolver_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolver_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

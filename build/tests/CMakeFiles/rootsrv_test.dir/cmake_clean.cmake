@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootsrv_test.dir/rootsrv_test.cc.o"
+  "CMakeFiles/rootsrv_test.dir/rootsrv_test.cc.o.d"
+  "rootsrv_test"
+  "rootsrv_test.pdb"
+  "rootsrv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootsrv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/axfr_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/diff_channel_test[1]_include.cmake")
+include("/root/repo/build/tests/distrib_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_message_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_name_test[1]_include.cmake")
+include("/root/repo/build/tests/dnssec_denial_test[1]_include.cmake")
+include("/root/repo/build/tests/evolution_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/resolver_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/resolver_test[1]_include.cmake")
+include("/root/repo/build/tests/rootsrv_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_test[1]_include.cmake")
+include("/root/repo/build/tests/traffic_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_structure_test[1]_include.cmake")
+include("/root/repo/build/tests/zone_test[1]_include.cmake")
