@@ -11,37 +11,38 @@ using util::Result;
 
 namespace {
 
-// Compression dictionary: maps a name suffix (canonical text) to its offset.
+// Compression dictionary: maps a name suffix (canonical flattened bytes) to
+// its offset. Keys are views over a lowered copy of the name's flat buffer,
+// so lookups never allocate; only first-seen suffixes are materialized.
 class NameCompressor {
  public:
   void EncodeName(const Name& name, util::ByteWriter& w) {
-    const auto& labels = name.labels();
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      const std::string suffix = SuffixKey(labels, i);
+    const auto flat = name.flat();
+    // One lowered copy per name; every suffix key is a view into it.
+    char lowered[Name::kMaxFlatBytes];
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      lowered[i] = util::AsciiToLower(static_cast<char>(flat[i]));
+    }
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < name.label_count(); ++i) {
+      const std::string_view suffix(lowered + offset, flat.size() - offset);
       auto it = offsets_.find(suffix);
       if (it != offsets_.end() && it->second <= 0x3FFF) {
         w.WriteU16(static_cast<std::uint16_t>(0xC000 | it->second));
         return;
       }
       if (w.size() <= 0x3FFF) offsets_.emplace(suffix, w.size());
-      w.WriteU8(static_cast<std::uint8_t>(labels[i].size()));
-      w.WriteString(labels[i]);
+      const std::size_t len = flat[offset];
+      w.WriteBytes(flat.subspan(offset, 1 + len));
+      offset += 1 + len;
     }
     w.WriteU8(0);
   }
 
  private:
-  static std::string SuffixKey(const std::vector<std::string>& labels,
-                               std::size_t from) {
-    std::string key;
-    for (std::size_t i = from; i < labels.size(); ++i) {
-      key += util::ToLower(labels[i]);
-      key.push_back('.');
-    }
-    return key;
-  }
-
-  std::unordered_map<std::string, std::size_t> offsets_;
+  std::unordered_map<std::string, std::size_t, util::TransparentStringHash,
+                     util::TransparentStringEqual>
+      offsets_;
 };
 
 void EncodeHeader(const Header& h, std::uint16_t qd, std::uint16_t an,

@@ -12,23 +12,37 @@ using util::Result;
 namespace {
 
 constexpr std::size_t kMaxLabelLength = 63;
-constexpr std::size_t kMaxNameLength = 255;
+constexpr std::size_t kMaxLabels = 127;  // 254 flat bytes / 2 minimum each
 
-std::size_t WireLengthOf(const std::vector<std::string>& labels) {
-  std::size_t n = 1;  // root length octet
-  for (const auto& l : labels) n += 1 + l.size();
-  return n;
-}
+// Scratch space for building a flattened name on the stack before the final
+// (possibly inline) buffer is adopted.
+struct FlatBuilder {
+  std::uint8_t bytes[Name::kMaxFlatBytes];
+  std::size_t size = 0;
+  std::size_t labels = 0;
+
+  // Appends one label; false if it would exceed the name/label limits.
+  bool Append(const char* data, std::size_t len) {
+    if (len == 0 || len > kMaxLabelLength) return false;
+    if (size + 1 + len > Name::kMaxFlatBytes) return false;
+    bytes[size++] = static_cast<std::uint8_t>(len);
+    std::memcpy(bytes + size, data, len);
+    size += len;
+    ++labels;
+    return true;
+  }
+};
 
 }  // namespace
 
 Result<Name> Name::FromLabels(std::vector<std::string> labels) {
+  FlatBuilder b;
   for (const auto& l : labels) {
     if (l.empty()) return Error("name: empty label");
     if (l.size() > kMaxLabelLength) return Error("name: label too long");
+    if (!b.Append(l.data(), l.size())) return Error("name: name too long");
   }
-  if (WireLengthOf(labels) > kMaxNameLength) return Error("name: name too long");
-  return Name(std::move(labels));
+  return Name(b.bytes, b.size, b.labels);
 }
 
 Result<Name> Name::Parse(std::string_view text) {
@@ -36,10 +50,18 @@ Result<Name> Name::Parse(std::string_view text) {
   if (text.back() == '.') text.remove_suffix(1);
   if (text.empty()) return Error("name: consecutive dots");
 
-  std::vector<std::string> labels;
-  std::string current;
+  FlatBuilder b;
+  char current[kMaxLabelLength];
+  std::size_t current_len = 0;
   for (std::size_t i = 0; i < text.size(); ++i) {
     const char c = text[i];
+    if (c == '.') {
+      if (current_len == 0) return Error("name: empty label");
+      if (!b.Append(current, current_len)) return Error("name: name too long");
+      current_len = 0;
+      continue;
+    }
+    char decoded = c;
     if (c == '\\') {
       if (i + 1 >= text.size()) return Error("name: dangling escape");
       const char next = text[i + 1];
@@ -52,29 +74,23 @@ Result<Name> Name::Parse(std::string_view text) {
           value = value * 10 + (d - '0');
         }
         if (value > 255) return Error("name: \\DDD escape out of range");
-        current.push_back(static_cast<char>(value));
+        decoded = static_cast<char>(value);
         i += 3;
       } else {
-        current.push_back(next);
+        decoded = next;
         i += 1;
       }
-    } else if (c == '.') {
-      if (current.empty()) return Error("name: empty label");
-      labels.push_back(std::move(current));
-      current.clear();
-    } else {
-      current.push_back(c);
     }
-    if (current.size() > kMaxLabelLength) return Error("name: label too long");
+    if (current_len >= kMaxLabelLength) return Error("name: label too long");
+    current[current_len++] = decoded;
   }
-  if (current.empty()) return Error("name: empty label");
-  labels.push_back(std::move(current));
-  return FromLabels(std::move(labels));
+  if (current_len == 0) return Error("name: empty label");
+  if (!b.Append(current, current_len)) return Error("name: name too long");
+  return Name(b.bytes, b.size, b.labels);
 }
 
 Result<Name> Name::DecodeWire(util::ByteReader& reader) {
-  std::vector<std::string> labels;
-  std::size_t total = 0;
+  FlatBuilder b;
   // After following the first pointer the reader's final position is fixed.
   bool followed_pointer = false;
   std::size_t resume_offset = 0;
@@ -102,100 +118,181 @@ Result<Name> Name::DecodeWire(util::ByteReader& reader) {
       position += 1;
       break;
     }
-    std::string label;
-    label.reserve(len);
+    if (b.size + 1 + len > kMaxFlatBytes) return Error("name: name too long");
+    if (b.labels >= kMaxLabels) return Error("name: name too long");
+    b.bytes[b.size] = len;
     for (std::size_t i = 0; i < len; ++i) {
-      std::uint8_t b = 0;
-      if (!reader.PeekAt(position + 1 + i, b)) return Error("name: truncated label");
-      label.push_back(static_cast<char>(b));
+      std::uint8_t byte = 0;
+      if (!reader.PeekAt(position + 1 + i, byte))
+        return Error("name: truncated label");
+      b.bytes[b.size + 1 + i] = byte;
     }
-    total += 1 + len;
-    if (total + 1 > kMaxNameLength) return Error("name: name too long");
-    labels.push_back(std::move(label));
+    b.size += 1 + len;
+    ++b.labels;
     position += 1 + len;
   }
   const std::size_t end = followed_pointer ? resume_offset : position;
   if (!reader.Seek(end)) return Error("name: seek failed");
-  return Name(std::move(labels));
+  return Name(b.bytes, b.size, b.labels);
 }
 
 void Name::EncodeWire(util::ByteWriter& writer) const {
-  for (const auto& l : labels_) {
-    writer.WriteU8(static_cast<std::uint8_t>(l.size()));
-    writer.WriteString(l);
-  }
+  writer.WriteBytes(flat());
   writer.WriteU8(0);
 }
 
 util::Bytes Name::CanonicalWire() const {
-  util::ByteWriter w;
-  for (const auto& l : labels_) {
-    w.WriteU8(static_cast<std::uint8_t>(l.size()));
-    w.WriteString(util::ToLower(l));
+  util::Bytes out(size_ + std::size_t{1});
+  const std::uint8_t* p = data();
+  // Length octets are <= 63 and thus outside 'A'..'Z': lowering the whole
+  // buffer blindly is safe and branch-light.
+  for (std::size_t i = 0; i < size_; ++i) {
+    out[i] = static_cast<std::uint8_t>(
+        util::AsciiToLower(static_cast<char>(p[i])));
   }
-  w.WriteU8(0);
-  return w.TakeData();
+  out[size_] = 0;
+  return out;
 }
 
-std::size_t Name::wire_length() const { return WireLengthOf(labels_); }
-
-std::string Name::tld() const {
-  if (labels_.empty()) return "";
-  return util::ToLower(labels_.back());
+std::size_t Name::LabelOffsets(std::uint8_t* offsets) const {
+  const std::uint8_t* p = data();
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < label_count_; ++i) {
+    offsets[i] = static_cast<std::uint8_t>(offset);
+    offset += 1 + p[offset];
+  }
+  return label_count_;
 }
+
+std::string_view Name::label(std::size_t i) const {
+  const std::uint8_t* p = data();
+  std::size_t offset = 0;
+  for (std::size_t skipped = 0; skipped < i; ++skipped) {
+    offset += 1 + p[offset];
+  }
+  return {reinterpret_cast<const char*>(p + offset + 1), p[offset]};
+}
+
+std::vector<std::string_view> Name::labels() const {
+  std::vector<std::string_view> out;
+  out.reserve(label_count_);
+  const std::uint8_t* p = data();
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < label_count_; ++i) {
+    out.emplace_back(reinterpret_cast<const char*>(p + offset + 1),
+                     p[offset]);
+    offset += 1 + p[offset];
+  }
+  return out;
+}
+
+std::string_view Name::tld_view() const {
+  if (label_count_ == 0) return {};
+  return label(label_count_ - 1);
+}
+
+std::string Name::tld() const { return util::ToLower(tld_view()); }
 
 Name Name::Parent() const {
-  std::vector<std::string> labels(labels_.begin() + 1, labels_.end());
-  return Name(std::move(labels));
+  const std::uint8_t* p = data();
+  const std::size_t skip = 1 + std::size_t{p[0]};
+  return Name(p + skip, size_ - skip, label_count_ - std::size_t{1});
+}
+
+Name Name::Suffix(std::size_t n) const {
+  if (n >= label_count_) return *this;
+  const std::uint8_t* p = data();
+  std::size_t offset = 0;
+  for (std::size_t skipped = label_count_ - n; skipped > 0; --skipped) {
+    offset += 1 + p[offset];
+  }
+  return Name(p + offset, size_ - offset, n);
 }
 
 Result<Name> Name::Concat(const Name& suffix) const {
-  std::vector<std::string> labels = labels_;
-  labels.insert(labels.end(), suffix.labels_.begin(), suffix.labels_.end());
-  return FromLabels(std::move(labels));
+  const std::size_t total = size_ + std::size_t{suffix.size_};
+  if (total > kMaxFlatBytes) return Error("name: name too long");
+  std::uint8_t combined[kMaxFlatBytes];
+  std::memcpy(combined, data(), size_);
+  std::memcpy(combined + size_, suffix.data(), suffix.size_);
+  return Name(combined, total,
+              label_count_ + std::size_t{suffix.label_count_});
 }
 
 bool Name::IsSubdomainOf(const Name& other) const {
-  if (other.labels_.size() > labels_.size()) return false;
-  auto mine = labels_.rbegin();
-  for (auto theirs = other.labels_.rbegin(); theirs != other.labels_.rend();
-       ++theirs, ++mine) {
-    if (!util::EqualsIgnoreCase(*mine, *theirs)) return false;
+  if (other.label_count_ > label_count_) return false;
+  if (other.label_count_ == 0) return true;
+  // Align at a label boundary: skip our leading labels, then compare the
+  // remaining byte run case-insensitively (length octets are < 'A' so the
+  // blind fold below never corrupts them).
+  const std::uint8_t* p = data();
+  std::size_t offset = 0;
+  for (std::size_t skip = label_count_ - other.label_count_; skip > 0;
+       --skip) {
+    offset += 1 + p[offset];
+  }
+  if (size_ - offset != other.size_) return false;
+  const std::uint8_t* q = other.data();
+  for (std::size_t i = 0; i < other.size_; ++i) {
+    if (util::AsciiToLower(static_cast<char>(p[offset + i])) !=
+        util::AsciiToLower(static_cast<char>(q[i]))) {
+      return false;
+    }
   }
   return true;
 }
 
 bool Name::operator==(const Name& other) const {
-  if (labels_.size() != other.labels_.size()) return false;
-  for (std::size_t i = 0; i < labels_.size(); ++i) {
-    if (!util::EqualsIgnoreCase(labels_[i], other.labels_[i])) return false;
+  if (size_ != other.size_ || label_count_ != other.label_count_)
+    return false;
+  if (hash_ != 0 && other.hash_ != 0 && hash_ != other.hash_) return false;
+  const std::uint8_t* a = data();
+  const std::uint8_t* b = other.data();
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (util::AsciiToLower(static_cast<char>(a[i])) !=
+        util::AsciiToLower(static_cast<char>(b[i]))) {
+      return false;
+    }
   }
   return true;
 }
 
 std::weak_ordering Name::operator<=>(const Name& other) const {
   // RFC 4034 §6.1: compare label sequences right to left.
-  auto a = labels_.rbegin();
-  auto b = other.labels_.rbegin();
-  for (; a != labels_.rend() && b != other.labels_.rend(); ++a, ++b) {
-    const std::size_t n = std::min(a->size(), b->size());
+  std::uint8_t my_offsets[kMaxLabels];
+  std::uint8_t their_offsets[kMaxLabels];
+  LabelOffsets(my_offsets);
+  other.LabelOffsets(their_offsets);
+  const std::uint8_t* a = data();
+  const std::uint8_t* b = other.data();
+  const std::size_t common = std::min<std::size_t>(label_count_,
+                                                   other.label_count_);
+  for (std::size_t k = 1; k <= common; ++k) {
+    const std::uint8_t* la = a + my_offsets[label_count_ - k];
+    const std::uint8_t* lb = b + their_offsets[other.label_count_ - k];
+    const std::size_t n = std::min<std::size_t>(la[0], lb[0]);
     for (std::size_t i = 0; i < n; ++i) {
-      const unsigned char ca =
-          static_cast<unsigned char>(util::AsciiToLower((*a)[i]));
-      const unsigned char cb =
-          static_cast<unsigned char>(util::AsciiToLower((*b)[i]));
+      const auto ca = static_cast<unsigned char>(
+          util::AsciiToLower(static_cast<char>(la[1 + i])));
+      const auto cb = static_cast<unsigned char>(
+          util::AsciiToLower(static_cast<char>(lb[1 + i])));
       if (ca != cb) return ca <=> cb;
     }
-    if (a->size() != b->size()) return a->size() <=> b->size();
+    if (la[0] != lb[0]) return la[0] <=> lb[0];
   }
-  return labels_.size() <=> other.labels_.size();
+  return label_count_ <=> other.label_count_;
 }
 
 std::string Name::ToString() const {
-  if (labels_.empty()) return ".";
+  if (label_count_ == 0) return ".";
   std::string out;
-  for (const auto& l : labels_) {
-    for (char c : l) {
+  out.reserve(size_);
+  const std::uint8_t* p = data();
+  std::size_t offset = 0;
+  for (std::size_t l = 0; l < label_count_; ++l) {
+    const std::size_t len = p[offset];
+    for (std::size_t i = 0; i < len; ++i) {
+      const char c = static_cast<char>(p[offset + 1 + i]);
       if (c == '.' || c == '\\') {
         out.push_back('\\');
         out.push_back(c);
@@ -211,21 +308,23 @@ std::string Name::ToString() const {
       }
     }
     out.push_back('.');
+    offset += 1 + len;
   }
   return out;
 }
 
-std::size_t Name::Hash() const {
-  // FNV-1a over the canonical (lowercased) label stream.
+std::uint64_t Name::ComputeHash() const {
+  // FNV-1a over the canonical (lowercased) label stream. The flattened
+  // buffer interleaves length octets exactly where the previous
+  // representation mixed in l.size(), so values match the historical ones.
   std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (const auto& l : labels_) {
-    h = (h ^ l.size()) * 0x100000001B3ULL;
-    for (char c : l) {
-      h ^= static_cast<std::uint8_t>(util::AsciiToLower(c));
-      h *= 0x100000001B3ULL;
-    }
+  const std::uint8_t* p = data();
+  for (std::size_t i = 0; i < size_; ++i) {
+    h ^= static_cast<std::uint8_t>(
+        util::AsciiToLower(static_cast<char>(p[i])));
+    h *= 0x100000001B3ULL;
   }
-  return static_cast<std::size_t>(h);
+  return h == 0 ? 1 : h;
 }
 
 }  // namespace rootless::dns

@@ -4,9 +4,18 @@
 // www.example.com.). Names compare case-insensitively and are stored with the
 // original case preserved (useful for 0x20 encoding experiments); canonical
 // operations fold to lowercase. All names in this library are absolute.
+//
+// Representation: one flattened buffer of (length octet, label bytes) pairs —
+// the uncompressed wire form minus the trailing root octet — held inline for
+// names up to kInlineCapacity bytes (which covers essentially all real query
+// names) and heap-allocated beyond that. The case-insensitive hash is
+// computed lazily on first use and cached, so the per-lookup cost of keying
+// caches and zone tables by Name is a single load after warm-up. A Name never
+// allocates per label, and short names never allocate at all.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 #include <string_view>
@@ -19,8 +28,35 @@ namespace rootless::dns {
 
 class Name {
  public:
+  // Longest possible flattened buffer: 255-byte wire form minus the root
+  // length octet.
+  static constexpr std::size_t kMaxFlatBytes = 254;
+  // Names at most this many flattened bytes are stored inline (no heap).
+  static constexpr std::size_t kInlineCapacity = 38;
+
   // The root name ".".
   Name() = default;
+
+  ~Name() {
+    if (!is_inline()) delete[] rep_.heap;
+  }
+
+  Name(const Name& other) { CopyFrom(other); }
+  Name& operator=(const Name& other) {
+    if (this != &other) {
+      if (!is_inline()) delete[] rep_.heap;
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  Name(Name&& other) noexcept { MoveFrom(other); }
+  Name& operator=(Name&& other) noexcept {
+    if (this != &other) {
+      if (!is_inline()) delete[] rep_.heap;
+      MoveFrom(other);
+    }
+    return *this;
+  }
 
   // Constructs from labels, left-most label first. Precondition: each label
   // is 1..63 bytes and the total wire length is <= 255 (checked).
@@ -44,18 +80,38 @@ class Name {
   // ordering (RFC 4034 §6).
   util::Bytes CanonicalWire() const;
 
-  std::size_t label_count() const { return labels_.size(); }
-  bool is_root() const { return labels_.empty(); }
-  const std::vector<std::string>& labels() const { return labels_; }
+  std::size_t label_count() const { return label_count_; }
+  bool is_root() const { return label_count_ == 0; }
+
+  // The i-th label (0 = left-most), original case. Precondition: i is in
+  // range. O(label_count), which is at most 127 and typically <= 4.
+  std::string_view label(std::size_t i) const;
+
+  // All labels as views into this Name's buffer; the views are invalidated
+  // by destroying or assigning the Name. Materializes a vector — hot paths
+  // should iterate with label()/label_count() or the flat data() instead.
+  std::vector<std::string_view> labels() const;
+
+  // The flattened (length, bytes)* buffer — the uncompressed wire form
+  // without the trailing root octet.
+  std::span<const std::uint8_t> flat() const { return {data(), size_}; }
 
   // Length of the uncompressed wire encoding (labels + length octets + root).
-  std::size_t wire_length() const;
+  std::size_t wire_length() const { return size_ + std::size_t{1}; }
 
   // The last label, lowercase — "com" for www.example.com. Empty for root.
   std::string tld() const;
 
+  // The last label with original case, as a view into this Name (no
+  // allocation). Empty for root.
+  std::string_view tld_view() const;
+
   // Parent name with the left-most label removed. Precondition: !is_root().
   Name Parent() const;
+
+  // The name formed by the last `n` labels ("example.com" for
+  // www.example.com with n=2). n >= label_count() returns a copy.
+  Name Suffix(std::size_t n) const;
 
   // Appends `suffix`'s labels after this name's labels
   // ("www" + "example.com" = "www.example.com").
@@ -76,13 +132,79 @@ class Name {
   // Presentation format with trailing dot; "." for root.
   std::string ToString() const;
 
-  // Stable case-insensitive hash (for unordered containers).
-  std::size_t Hash() const;
+  // Stable case-insensitive hash (for unordered containers). Computed once
+  // per Name and cached; copies carry the cached value.
+  std::size_t Hash() const {
+    if (hash_ == 0) hash_ = ComputeHash();
+    return static_cast<std::size_t>(hash_);
+  }
 
  private:
-  explicit Name(std::vector<std::string> labels) : labels_(std::move(labels)) {}
+  // Builds a Name from an already-validated flattened buffer.
+  Name(const std::uint8_t* flat, std::size_t size, std::size_t label_count) {
+    AdoptBuffer(flat, size, label_count);
+  }
 
-  std::vector<std::string> labels_;
+  bool is_inline() const { return size_ <= kInlineCapacity; }
+  const std::uint8_t* data() const {
+    return is_inline() ? rep_.inline_buf : rep_.heap;
+  }
+
+  void AdoptBuffer(const std::uint8_t* flat, std::size_t size,
+                   std::size_t label_count) {
+    size_ = static_cast<std::uint8_t>(size);
+    label_count_ = static_cast<std::uint8_t>(label_count);
+    hash_ = 0;
+    if (size <= kInlineCapacity) {
+      std::memcpy(rep_.inline_buf, flat, size);
+    } else {
+      rep_.heap = new std::uint8_t[size];
+      std::memcpy(rep_.heap, flat, size);
+    }
+  }
+
+  void CopyFrom(const Name& other) {
+    size_ = other.size_;
+    label_count_ = other.label_count_;
+    hash_ = other.hash_;
+    if (other.is_inline()) {
+      std::memcpy(rep_.inline_buf, other.rep_.inline_buf, other.size_);
+    } else {
+      rep_.heap = new std::uint8_t[other.size_];
+      std::memcpy(rep_.heap, other.rep_.heap, other.size_);
+    }
+  }
+
+  void MoveFrom(Name& other) noexcept {
+    size_ = other.size_;
+    label_count_ = other.label_count_;
+    hash_ = other.hash_;
+    if (other.is_inline()) {
+      std::memcpy(rep_.inline_buf, other.rep_.inline_buf, other.size_);
+    } else {
+      rep_.heap = other.rep_.heap;
+      // Leave `other` as a valid root name that owns nothing.
+      other.size_ = 0;
+      other.label_count_ = 0;
+      other.hash_ = 0;
+    }
+  }
+
+  std::uint64_t ComputeHash() const;
+
+  // Writes the offset of every length octet into `offsets` (capacity must be
+  // >= label_count_); returns label_count_.
+  std::size_t LabelOffsets(std::uint8_t* offsets) const;
+
+  union Rep {
+    std::uint8_t inline_buf[kInlineCapacity];
+    std::uint8_t* heap;
+  } rep_ = {};
+  std::uint8_t size_ = 0;         // flattened bytes used
+  std::uint8_t label_count_ = 0;  // cached label count
+  // Cached case-insensitive hash; 0 = not yet computed (a computed hash of
+  // 0 is remapped to 1, costing nothing but a vanishingly rare extra mix).
+  mutable std::uint64_t hash_ = 0;
 };
 
 struct NameHash {

@@ -46,12 +46,42 @@ struct RRsetKey {
   }
 };
 
+// Borrowed key for heterogeneous hash-map probes: lets a cache lookup hash
+// and compare against stored RRsetKeys without copying the Name.
+struct RRsetKeyView {
+  const Name* name;
+  RRType type = RRType::kA;
+  RRClass rrclass = RRClass::kIN;
+};
+
 struct RRsetKeyHash {
+  using is_transparent = void;
   std::size_t operator()(const RRsetKey& k) const {
-    std::size_t h = k.name.Hash();
-    h ^= static_cast<std::size_t>(k.type) * 0x9E3779B97F4A7C15ULL;
-    h ^= static_cast<std::size_t>(k.rrclass) * 0xC2B2AE3D27D4EB4FULL;
+    return Mix(k.name, k.type, k.rrclass);
+  }
+  std::size_t operator()(const RRsetKeyView& k) const {
+    return Mix(*k.name, k.type, k.rrclass);
+  }
+
+ private:
+  static std::size_t Mix(const Name& name, RRType type, RRClass rrclass) {
+    std::size_t h = name.Hash();
+    h ^= static_cast<std::size_t>(type) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<std::size_t>(rrclass) * 0xC2B2AE3D27D4EB4FULL;
     return h;
+  }
+};
+
+struct RRsetKeyEqual {
+  using is_transparent = void;
+  bool operator()(const RRsetKey& a, const RRsetKey& b) const {
+    return a == b;
+  }
+  bool operator()(const RRsetKeyView& a, const RRsetKey& b) const {
+    return a.type == b.type && a.rrclass == b.rrclass && *a.name == b.name;
+  }
+  bool operator()(const RRsetKey& a, const RRsetKeyView& b) const {
+    return (*this)(b, a);
   }
 };
 

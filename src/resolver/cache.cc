@@ -1,22 +1,42 @@
 #include "resolver/cache.h"
 
+#include "util/check.h"
+
 namespace rootless::resolver {
 
-const dns::RRset* DnsCache::Get(const dns::RRsetKey& key, sim::SimTime now) {
+namespace {
+// Entries examined by the lazy expiry sweep per insertion. Two per Put keeps
+// the steady-state fraction of dead entries bounded while adding a couple of
+// pointer chases to the insert path.
+constexpr int kSweepPerPut = 2;
+}  // namespace
+
+template <typename KeyLike>
+const dns::RRset* DnsCache::GetImpl(const KeyLike& key, sim::SimTime now) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
     return nullptr;
   }
-  if (it->second.expiry <= now) {
+  Entry& entry = it->second;
+  if (entry.expiry <= now) {
     ++stats_.expired;
-    lru_.erase(it->second.lru_it);
+    Unlink(entry);
     entries_.erase(it);
     return nullptr;
   }
   ++stats_.hits;
-  Touch(it->second, key);
-  return &it->second.rrset;
+  MoveToFront(entry);
+  return &entry.rrset;
+}
+
+const dns::RRset* DnsCache::Get(const dns::RRsetKey& key, sim::SimTime now) {
+  return GetImpl(key, now);
+}
+
+const dns::RRset* DnsCache::Get(const dns::Name& name, dns::RRType type,
+                                sim::SimTime now) {
+  return GetImpl(dns::RRsetKeyView{&name, type, dns::RRClass::kIN}, now);
 }
 
 void DnsCache::Put(const dns::RRset& rrset, sim::SimTime now) {
@@ -26,26 +46,55 @@ void DnsCache::Put(const dns::RRset& rrset, sim::SimTime now) {
 
 void DnsCache::PutWithExpiry(const dns::RRset& rrset, sim::SimTime expiry,
                              sim::SimTime now) {
-  (void)now;
-  const dns::RRsetKey key = rrset.key();
-  auto it = entries_.find(key);
+  const dns::RRsetKeyView probe{&rrset.name, rrset.type, rrset.rrclass};
+  auto it = entries_.find(probe);
   if (it != entries_.end()) {
-    it->second.rrset = rrset;
-    it->second.expiry = expiry;
-    Touch(it->second, key);
+    Entry& entry = it->second;
+    entry.rrset = rrset;
+    entry.expiry = expiry;
+    MoveToFront(entry);
     return;
   }
   ++stats_.insertions;
-  lru_.push_front(key);
-  entries_.emplace(key, Entry{rrset, expiry, lru_.begin()});
+  if (capacity_ != 0 && entries_.size() >= capacity_ && lru_tail_ != nullptr) {
+    // At capacity a new key means insert+evict. Recycle the LRU tail's map
+    // node instead: copy-assign the key and RRset into the extracted node so
+    // its label buffer and rdata capacity are reused, then hang it back on
+    // the table — no pool traffic, no rdata reallocation in steady state.
+    Entry* victim = lru_tail_;
+    Unlink(*victim);
+    auto node = entries_.extract(*victim->key);
+    ++stats_.evictions;
+    node.key().name = rrset.name;
+    node.key().type = rrset.type;
+    node.key().rrclass = rrset.rrclass;
+    Entry& entry = node.mapped();
+    entry.rrset = rrset;
+    entry.expiry = expiry;
+    // entry.key still points at this node's key slot, which just changed
+    // value but not address.
+    auto result = entries_.insert(std::move(node));
+    ROOTLESS_CHECK(result.inserted);
+    PushFront(result.position->second);
+    SweepStep(now);
+    return;
+  }
+  auto [slot, inserted] = entries_.try_emplace(rrset.key());
+  ROOTLESS_CHECK(inserted);
+  Entry& entry = slot->second;
+  entry.rrset = rrset;
+  entry.expiry = expiry;
+  entry.key = &slot->first;
+  PushFront(entry);
   EvictIfNeeded();
+  SweepStep(now);
 }
 
 std::size_t DnsCache::PurgeExpired(sim::SimTime now) {
   std::size_t removed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.expiry <= now) {
-      lru_.erase(it->second.lru_it);
+      Unlink(it->second);
       it = entries_.erase(it);
       ++removed;
     } else {
@@ -62,7 +111,7 @@ bool DnsCache::Contains(const dns::RRsetKey& key, sim::SimTime now) const {
 
 void DnsCache::Clear() {
   entries_.clear();
-  lru_.clear();
+  lru_head_ = lru_tail_ = sweep_cursor_ = nullptr;
 }
 
 std::size_t DnsCache::TldRRsetCount() const {
@@ -73,18 +122,60 @@ std::size_t DnsCache::TldRRsetCount() const {
   return count;
 }
 
-void DnsCache::Touch(Entry& entry, const dns::RRsetKey& key) {
-  lru_.erase(entry.lru_it);
-  lru_.push_front(key);
-  entry.lru_it = lru_.begin();
+void DnsCache::PushFront(Entry& entry) {
+  entry.lru_prev = nullptr;
+  entry.lru_next = lru_head_;
+  if (lru_head_ != nullptr) lru_head_->lru_prev = &entry;
+  lru_head_ = &entry;
+  if (lru_tail_ == nullptr) lru_tail_ = &entry;
+}
+
+void DnsCache::Unlink(Entry& entry) {
+  if (sweep_cursor_ == &entry) sweep_cursor_ = entry.lru_prev;
+  if (entry.lru_prev != nullptr) {
+    entry.lru_prev->lru_next = entry.lru_next;
+  } else {
+    lru_head_ = entry.lru_next;
+  }
+  if (entry.lru_next != nullptr) {
+    entry.lru_next->lru_prev = entry.lru_prev;
+  } else {
+    lru_tail_ = entry.lru_prev;
+  }
+  entry.lru_prev = entry.lru_next = nullptr;
+}
+
+void DnsCache::MoveToFront(Entry& entry) {
+  if (lru_head_ == &entry) return;
+  // Unlink hops the sweep cursor to the predecessor if it sat on `entry`,
+  // preserving the tail-to-head walk.
+  Unlink(entry);
+  PushFront(entry);
+}
+
+void DnsCache::EraseEntry(Entry& entry) {
+  const dns::RRsetKey* key = entry.key;
+  Unlink(entry);
+  entries_.erase(*key);
 }
 
 void DnsCache::EvictIfNeeded() {
   while (capacity_ != 0 && entries_.size() > capacity_) {
-    const dns::RRsetKey& victim = lru_.back();
-    entries_.erase(victim);
-    lru_.pop_back();
+    EraseEntry(*lru_tail_);
     ++stats_.evictions;
+  }
+}
+
+void DnsCache::SweepStep(sim::SimTime now) {
+  for (int i = 0; i < kSweepPerPut; ++i) {
+    if (sweep_cursor_ == nullptr) sweep_cursor_ = lru_tail_;
+    if (sweep_cursor_ == nullptr) return;
+    Entry* entry = sweep_cursor_;
+    sweep_cursor_ = entry->lru_prev;  // advance toward the head
+    if (entry->expiry <= now) {
+      EraseEntry(*entry);
+      ++stats_.swept;
+    }
   }
 }
 

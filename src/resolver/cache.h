@@ -1,15 +1,22 @@
 // Recursive resolver cache: RRsets with absolute expiry, LRU eviction under
 // a capacity bound, and the statistics the paper's cache-capacity argument
 // (§4, §5.1) turns on.
+//
+// The LRU list is intrusive: the prev/next links live inside the map entry,
+// so Get/Put cost a single hash probe and zero allocations beyond the map
+// node itself (the old std::list kept a second heap node per entry and a
+// second key copy). Expired entries are reclaimed lazily: lookups erase what
+// they touch, and every Put advances a small roving sweep over the LRU chain
+// so a quiescent cache cannot pin an unbounded amount of dead data.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <optional>
+#include <functional>
 #include <unordered_map>
 
 #include "dns/rr.h"
 #include "sim/simulator.h"
+#include "util/pool_allocator.h"
 
 namespace rootless::resolver {
 
@@ -19,6 +26,7 @@ struct CacheStats {
   std::uint64_t expired = 0;    // lookups that found only a stale entry
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;  // capacity evictions (LRU)
+  std::uint64_t swept = 0;      // stale entries removed by the lazy sweep
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses + expired;
@@ -34,6 +42,9 @@ class DnsCache {
   // Looks up an unexpired RRset, refreshing its LRU position. Returns
   // nullptr on miss/expiry (expired entries are erased).
   const dns::RRset* Get(const dns::RRsetKey& key, sim::SimTime now);
+  // Heterogeneous probe: same semantics, no RRsetKey (and thus Name) copy.
+  const dns::RRset* Get(const dns::Name& name, dns::RRType type,
+                        sim::SimTime now);
 
   // Inserts or replaces; expiry = now + ttl seconds.
   void Put(const dns::RRset& rrset, sim::SimTime now);
@@ -60,16 +71,39 @@ class DnsCache {
  private:
   struct Entry {
     dns::RRset rrset;
-    sim::SimTime expiry;
-    std::list<dns::RRsetKey>::iterator lru_it;
+    sim::SimTime expiry = 0;
+    // Intrusive LRU links (head = most recent) and a pointer back to the
+    // owning map node's key for O(1) eviction. unordered_map nodes are
+    // address-stable, so both stay valid across rehashes.
+    Entry* lru_prev = nullptr;
+    Entry* lru_next = nullptr;
+    const dns::RRsetKey* key = nullptr;
   };
+  // Map nodes come from a pool: at capacity every Put is an insert+erase
+  // pair, which the pool turns from malloc+free into two list operations.
+  // Transparent hash/equal admit RRsetKeyView probes (no Name copy).
+  using Map = std::unordered_map<
+      dns::RRsetKey, Entry, dns::RRsetKeyHash, dns::RRsetKeyEqual,
+      util::PoolAllocator<std::pair<const dns::RRsetKey, Entry>>>;
 
-  void Touch(Entry& entry, const dns::RRsetKey& key);
+  // Shared lookup body for key and key-view probes (instantiated in the .cc).
+  template <typename KeyLike>
+  const dns::RRset* GetImpl(const KeyLike& key, sim::SimTime now);
+
+  void PushFront(Entry& entry);
+  void Unlink(Entry& entry);
+  void MoveToFront(Entry& entry);
+  // Unlinks and erases; invalidates `entry`.
+  void EraseEntry(Entry& entry);
   void EvictIfNeeded();
+  // Advances the roving expiry sweep by a constant number of entries.
+  void SweepStep(sim::SimTime now);
 
   std::size_t capacity_;
-  std::unordered_map<dns::RRsetKey, Entry, dns::RRsetKeyHash> entries_;
-  std::list<dns::RRsetKey> lru_;  // front = most recent
+  Map entries_;
+  Entry* lru_head_ = nullptr;  // most recent
+  Entry* lru_tail_ = nullptr;  // least recent
+  Entry* sweep_cursor_ = nullptr;
   CacheStats stats_;
 };
 

@@ -49,8 +49,36 @@ void RecursiveResolver::SetLocalZone(
 }
 
 void RecursiveResolver::Resolve(const Name& qname, RRType qtype,
-                                ResolveCallback cb) {
+                                const ResolveCallback& cb) {
   ++stats_.resolutions;
+
+  // Fast path: the answer itself is cached. Completes synchronously with no
+  // transaction state — no id, no Pending node, no callback copy. The scratch
+  // vector (and its one retained element) is recycled across hits, so in
+  // steady state answering from cache allocates nothing: copy-assigning the
+  // RRset reuses the previous hit's rdata capacity.
+  if (const RRset* hit = cache_.Get(qname, qtype, sim_.now())) {
+    ++stats_.answered_from_cache;
+    ResolutionResult result;
+    result.rcode = dns::RCode::kNoError;
+    result.answers = std::move(answer_scratch_);
+    result.answers.resize(1);
+    result.answers.front() = *hit;
+    if (cb) cb(result);
+    answer_scratch_ = std::move(result.answers);
+    return;
+  }
+
+  // Negative cache: a TLD recently proven nonexistent.
+  if (config_.negative_cache && NegativeCached(qname.tld_view())) {
+    ++stats_.negative_hits;
+    ++stats_.nxdomain;
+    ResolutionResult result;
+    result.rcode = dns::RCode::kNXDomain;
+    if (cb) cb(result);
+    return;
+  }
+
   const std::uint16_t id = next_id_;
   // Skip 0 and ids still in flight.
   do {
@@ -61,48 +89,29 @@ void RecursiveResolver::Resolve(const Name& qname, RRType qtype,
   Pending pending;
   pending.qname = qname;
   pending.qtype = qtype;
-  pending.callback = std::move(cb);
+  pending.callback = cb;
   pending.start = sim_.now();
   pending.retries_left = config_.max_retries;
-  pending_.emplace(id, std::move(pending));
-  StartResolution(id);
+  auto [it, inserted] = pending_.emplace(id, std::move(pending));
+  StartResolution(id, it->second);
 }
 
-void RecursiveResolver::StartResolution(std::uint16_t id) {
-  Pending& pending = pending_.at(id);
-
-  // Fast path: the answer itself is cached.
-  if (const RRset* hit = cache_.Get(
-          RRsetKey{pending.qname, pending.qtype, dns::RRClass::kIN},
-          sim_.now())) {
-    ++stats_.answered_from_cache;
-    Finish(id, dns::RCode::kNoError, {*hit});
-    return;
-  }
-
-  // Negative cache: a TLD recently proven nonexistent.
-  if (config_.negative_cache && NegativeCached(pending.qname.tld())) {
-    ++stats_.negative_hits;
-    ++stats_.nxdomain;
-    Finish(id, dns::RCode::kNXDomain, {});
-    return;
-  }
-
+void RecursiveResolver::StartResolution(std::uint16_t id, Pending& pending) {
   // Referral path: do we know the TLD's servers?
-  if (ReferralCached(pending.qname.tld())) {
+  if (ReferralCached(pending.qname)) {
     AskTld(id);
     return;
   }
   AskRoot(id);
 }
 
-bool RecursiveResolver::NegativeCached(const std::string& tld) const {
+bool RecursiveResolver::NegativeCached(std::string_view tld) const {
   auto it = negative_.find(tld);
   return it != negative_.end() && it->second > sim_.now();
 }
 
 void RecursiveResolver::CacheNegative(
-    const std::string& tld,
+    std::string_view tld,
     const std::vector<dns::ResourceRecord>& authority) {
   if (!config_.negative_cache) return;
   // RFC 2308: negative TTL = min(SOA.minimum, SOA TTL), capped.
@@ -116,7 +125,13 @@ void RecursiveResolver::CacheNegative(
             sim::kSecond);
     break;
   }
-  negative_[tld] = sim_.now() + ttl;
+  const sim::SimTime until = sim_.now() + ttl;
+  auto it = negative_.find(tld);
+  if (it != negative_.end()) {
+    it->second = until;
+  } else {
+    negative_.emplace(std::string(tld), until);
+  }
 }
 
 void RecursiveResolver::RetryAfterBadResponse(std::uint16_t id) {
@@ -137,13 +152,10 @@ void RecursiveResolver::RetryAfterBadResponse(std::uint16_t id) {
   }
 }
 
-bool RecursiveResolver::ReferralCached(const std::string& tld) {
-  if (tld.empty()) return false;
-  auto name = Name::Parse(tld + ".");
-  if (!name.ok()) return false;
-  const RRset* ns =
-      cache_.Get(RRsetKey{*name, RRType::kNS, dns::RRClass::kIN}, sim_.now());
-  return ns != nullptr;
+bool RecursiveResolver::ReferralCached(const Name& qname) {
+  if (qname.is_root()) return false;
+  const Name tld = qname.Suffix(1);
+  return cache_.Get(tld, RRType::kNS, sim_.now()) != nullptr;
 }
 
 void RecursiveResolver::AskRoot(std::uint16_t id) {
@@ -178,11 +190,8 @@ void RecursiveResolver::AskRootServers(std::uint16_t id) {
   Name question_name = pending.qname;
   RRType question_type = pending.qtype;
   if (config_.qname_minimization && pending.qname.label_count() > 1) {
-    auto tld = Name::Parse(pending.qname.tld() + ".");
-    if (tld.ok()) {
-      question_name = *tld;
-      question_type = RRType::kNS;
-    }
+    question_name = pending.qname.Suffix(1);
+    question_type = RRType::kNS;
   }
   if (question_name.label_count() > 1) ++stats_.full_qname_exposures;
   const Message query = MakeQuery(id, question_name, question_type);
@@ -204,7 +213,7 @@ void RecursiveResolver::AskLocalStore(std::uint16_t id) {
     auto it = pending_.find(id);
     if (it == pending_.end()) return;
     Pending& pending = it->second;
-    const std::string tld = pending.qname.tld();
+    const std::string_view tld = pending.qname.tld_view();
     const TldEntry* entry = db_.Lookup(tld);
     if (entry == nullptr) {
       // Local equivalent of a root NXDOMAIN.
@@ -229,18 +238,15 @@ bool RecursiveResolver::TldNodeFor(const Name& qname, sim::NodeId& node,
                                    bool& extra_hop) {
   ROOTLESS_CHECK(farm_ != nullptr);
   extra_hop = false;
-  const std::string tld = qname.tld();
-  auto tld_name = Name::Parse(tld + ".");
-  if (!tld_name.ok()) return false;
+  if (qname.is_root()) return false;
 
   // Prefer a glue address from the cached referral.
-  const RRset* ns = cache_.Get(
-      RRsetKey{*tld_name, RRType::kNS, dns::RRClass::kIN}, sim_.now());
+  const Name tld = qname.Suffix(1);
+  const RRset* ns = cache_.Get(tld, RRType::kNS, sim_.now());
   if (ns != nullptr) {
     for (const auto& rd : ns->rdatas) {
       const Name& host = std::get<dns::NsData>(rd).nameserver;
-      const RRset* a = cache_.Get(RRsetKey{host, RRType::kA, dns::RRClass::kIN},
-                                  sim_.now());
+      const RRset* a = cache_.Get(host, RRType::kA, sim_.now());
       if (a == nullptr || a->rdatas.empty()) continue;
       const auto& addr = std::get<dns::AData>(a->rdatas.front()).address;
       if (farm_->FindByAddress(addr, node)) return true;
@@ -248,7 +254,7 @@ bool RecursiveResolver::TldNodeFor(const Name& qname, sim::NodeId& node,
   }
   // No usable glue: the nameserver names are out-of-bailiwick. Resolving
   // them is an extra transaction (modelled as one extra RTT to the farm).
-  if (farm_->FindTldNode(tld, node)) {
+  if (farm_->FindTldNode(qname.tld_view(), node)) {
     extra_hop = true;
     return true;
   }
@@ -379,7 +385,7 @@ void RecursiveResolver::HandleRootResponse(std::uint16_t id, Pending& pending,
       }
     }
     ++stats_.nxdomain;
-    CacheNegative(pending.qname.tld(), response.authority);
+    CacheNegative(pending.qname.tld_view(), response.authority);
     Finish(id, dns::RCode::kNXDomain, {});
     return;
   }
@@ -393,7 +399,7 @@ void RecursiveResolver::HandleRootResponse(std::uint16_t id, Pending& pending,
   CacheRecords(response.authority);
   CacheRecords(response.additional);
   CacheRecords(response.answers);
-  if (!ReferralCached(pending.qname.tld())) {
+  if (!ReferralCached(pending.qname)) {
     // The root answered NOERROR but gave us nothing usable (e.g. NODATA for
     // a TLD with no delegation).
     ++stats_.failures;
@@ -443,6 +449,11 @@ void RecursiveResolver::Finish(std::uint16_t id, dns::RCode rcode,
   result.used_root = pending.used_root;
   result.failed = failed;
   if (pending.callback) pending.callback(result);
+  // Recycle the answers buffer for the cache-hit fast path (which resizes it
+  // to a single element before use, so leftover contents don't matter).
+  if (result.answers.capacity() > answer_scratch_.capacity()) {
+    answer_scratch_ = std::move(result.answers);
+  }
 }
 
 }  // namespace rootless::resolver

@@ -18,10 +18,13 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "crypto/dnssec.h"
+#include "util/pool_allocator.h"
+#include "util/strings.h"
 #include "dns/message.h"
 #include "resolver/cache.h"
 #include "resolver/root_selector.h"
@@ -131,7 +134,8 @@ class RecursiveResolver {
   }
 
   // --- operation ------------------------------------------------------
-  void Resolve(const dns::Name& qname, dns::RRType qtype, ResolveCallback cb);
+  void Resolve(const dns::Name& qname, dns::RRType qtype,
+               const ResolveCallback& cb);
 
   DnsCache& cache() { return cache_; }
   const DnsCache& cache() const { return cache_; }
@@ -156,15 +160,15 @@ class RecursiveResolver {
     std::uint64_t generation = 0;  // invalidates stale timeout events
   };
 
-  void StartResolution(std::uint16_t id);
+  void StartResolution(std::uint16_t id, Pending& pending);
   // Consults the configured root source for the TLD referral.
   void AskRoot(std::uint16_t id);
   void AskRootServers(std::uint16_t id);
   void AskLocalStore(std::uint16_t id);
   // Queries the TLD server once referral data is cached.
   void AskTld(std::uint16_t id);
-  // Referral data for the TLD is in cache? (NS + usable address)
-  bool ReferralCached(const std::string& tld);
+  // Referral data for qname's TLD is in cache? (NS + usable address)
+  bool ReferralCached(const dns::Name& qname);
 
   void HandleDatagram(const sim::Datagram& datagram);
   void HandleRootResponse(std::uint16_t id, Pending& pending,
@@ -177,9 +181,10 @@ class RecursiveResolver {
   void Finish(std::uint16_t id, dns::RCode rcode,
               std::vector<dns::RRset> answers, bool failed = false);
   void CacheRecords(const std::vector<dns::ResourceRecord>& records);
-  // Negative cache (RFC 2308), keyed by TLD label.
-  bool NegativeCached(const std::string& tld) const;
-  void CacheNegative(const std::string& tld,
+  // Negative cache (RFC 2308), keyed by TLD label (case-insensitive;
+  // lookups take views straight out of the qname).
+  bool NegativeCached(std::string_view tld) const;
+  void CacheNegative(std::string_view tld,
                      const std::vector<dns::ResourceRecord>& authority);
   // Retry or fail after a bad (unvalidatable) response.
   void RetryAfterBadResponse(std::uint16_t id);
@@ -206,7 +211,9 @@ class RecursiveResolver {
   dns::DnskeyData trust_dnskey_;
   crypto::KeyStore trust_store_;
   bool has_trust_ = false;
-  std::unordered_map<std::string, sim::SimTime> negative_;
+  std::unordered_map<std::string, sim::SimTime, util::CaseInsensitiveHash,
+                     util::CaseInsensitiveEqual>
+      negative_;
   std::unordered_set<sim::NodeId> sessions_;  // encrypted sessions
 
   DnsCache cache_;
@@ -215,9 +222,17 @@ class RecursiveResolver {
   util::Rng rng_;
   ResolverStats stats_;
 
-  std::unordered_map<std::uint16_t, Pending> pending_;
+  // One node alloc/free per resolution without the pool; with it the node
+  // comes back from a free list (see util/pool_allocator.h).
+  std::unordered_map<std::uint16_t, Pending, std::hash<std::uint16_t>,
+                     std::equal_to<std::uint16_t>,
+                     util::PoolAllocator<std::pair<const std::uint16_t,
+                                                   Pending>>>
+      pending_;
   std::uint16_t next_id_ = 1;
   std::uint64_t next_generation_ = 1;
+  // Capacity-recycled buffer for the cache-hit fast path (see Finish).
+  std::vector<dns::RRset> answer_scratch_;
 };
 
 }  // namespace rootless::resolver

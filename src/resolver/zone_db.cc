@@ -31,8 +31,8 @@ void ZoneDb::Load(const zone::Zone& root_zone) {
   }
 }
 
-const TldEntry* ZoneDb::Lookup(const std::string& tld) const {
-  auto it = entries_.find(util::ToLower(tld));
+const TldEntry* ZoneDb::Lookup(std::string_view tld) const {
+  auto it = entries_.find(tld);
   if (it == entries_.end()) return nullptr;
   return &it->second;
 }

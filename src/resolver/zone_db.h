@@ -8,10 +8,12 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "dns/rr.h"
+#include "util/strings.h"
 #include "zone/zone.h"
 
 namespace rootless::resolver {
@@ -30,9 +32,11 @@ class ZoneDb {
   // (Re)builds the index from a root zone snapshot.
   void Load(const zone::Zone& root_zone);
 
-  // Looks up a TLD (lowercase label without dot). Returns nullptr for
-  // unknown TLDs — the local equivalent of a root NXDOMAIN.
-  const TldEntry* Lookup(const std::string& tld) const;
+  // Looks up a TLD label (without dot, any case; matching is ASCII
+  // case-insensitive so a view straight out of dns::Name::tld_view() works
+  // without building a temporary string). Returns nullptr for unknown TLDs
+  // — the local equivalent of a root NXDOMAIN.
+  const TldEntry* Lookup(std::string_view tld) const;
 
   std::size_t tld_count() const { return entries_.size(); }
   std::uint32_t serial() const { return serial_; }
@@ -41,7 +45,9 @@ class ZoneDb {
   std::size_t rrset_count() const;
 
  private:
-  std::unordered_map<std::string, TldEntry> entries_;
+  std::unordered_map<std::string, TldEntry, util::CaseInsensitiveHash,
+                     util::CaseInsensitiveEqual>
+      entries_;
   std::uint32_t serial_ = 0;
 };
 

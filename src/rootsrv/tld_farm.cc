@@ -48,8 +48,8 @@ void TldFarm::RefreshAddresses(const zone::Zone& root_zone) {
   }
 }
 
-bool TldFarm::FindTldNode(const std::string& tld, sim::NodeId& node) const {
-  auto it = by_tld_.find(util::ToLower(tld));
+bool TldFarm::FindTldNode(std::string_view tld, sim::NodeId& node) const {
+  auto it = by_tld_.find(tld);
   if (it == by_tld_.end()) return false;
   node = it->second;
   return true;

@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "sim/network.h"
 #include "topo/geo_registry.h"
 #include "util/rng.h"
+#include "util/strings.h"
 #include "zone/zone.h"
 
 namespace rootless::rootsrv {
@@ -29,8 +31,9 @@ class TldFarm {
   TldFarm(sim::Network& network, topo::GeoRegistry& registry,
           const zone::Zone& root_zone, std::uint64_t seed);
 
-  // Node serving a TLD ("" lookups fail). Returns false if unknown.
-  bool FindTldNode(const std::string& tld, sim::NodeId& node) const;
+  // Node serving a TLD ("" lookups fail; matching is case-insensitive).
+  // Returns false if unknown.
+  bool FindTldNode(std::string_view tld, sim::NodeId& node) const;
 
   // Node owning a glue address from the root zone (how a resolver "routes"
   // to an address it learned from a referral).
@@ -53,7 +56,9 @@ class TldFarm {
   sim::Network& network_;
   topo::GeoRegistry& registry_;
   util::Rng placement_rng_;
-  std::unordered_map<std::string, sim::NodeId> by_tld_;
+  std::unordered_map<std::string, sim::NodeId, util::CaseInsensitiveHash,
+                     util::CaseInsensitiveEqual>
+      by_tld_;
   std::unordered_map<std::uint32_t, sim::NodeId> by_address_;
   std::shared_ptr<std::uint64_t> queries_ = std::make_shared<std::uint64_t>(0);
 };

@@ -1,0 +1,314 @@
+// Priority queues for simulator events.
+//
+// The ordering structures never touch callables: they order EventRef — a
+// trivially-copyable {when, seq, slot} triple — while the EventFn bodies sit
+// in a slot pool owned by EventQueue. A callable is moved exactly twice
+// (into its slot on push, out on pop); sift operations copy 24-byte PODs.
+//
+// Two interchangeable ordering policies behind EventQueue:
+//
+//  * EventHeap — a binary min-heap over a flat vector with hole-based
+//    sifting. Unlike std::priority_queue it can legitimately move the top
+//    element out on pop (priority_queue::top() returns const&, which forced
+//    a const_cast + move-from in the old Simulator::Step — UB-adjacent and
+//    easy to get wrong).
+//
+//  * CalendarQueue — a two-level calendar (bucket) queue. Level 0 is a ring
+//    of ~1 ms buckets spanning ~4.2 s; level 1 a ring of ~4.2 s buckets
+//    spanning ~4.8 h; anything beyond parks in an overflow list that is
+//    re-binned as the calendar advances. Insert and pop are O(1) amortized
+//    when event times are dense (million-event replays), versus O(log n)
+//    for the heap. Events inside one bucket are ordered exactly like the
+//    heap — by (when, seq) — so both policies produce identical execution
+//    order, including the FIFO tiebreak for equal times.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/event.h"
+#include "util/check.h"
+
+namespace rootless::sim {
+
+// Microseconds of simulated time (mirrored in simulator.h).
+using SimTime = std::int64_t;
+
+// Handle ordered by the queues; `slot` indexes EventQueue's callable pool.
+struct EventRef {
+  SimTime when = 0;
+  std::uint64_t seq = 0;  // global schedule order; FIFO tiebreak
+  std::uint32_t slot = 0;
+};
+
+// What Simulator::Step consumes.
+struct Event {
+  SimTime when = 0;
+  std::uint64_t seq = 0;
+  EventFn fn;
+};
+
+inline bool EarlierThan(const EventRef& a, const EventRef& b) {
+  if (a.when != b.when) return a.when < b.when;
+  return a.seq < b.seq;
+}
+
+// Binary min-heap ordered by (when, seq), hole-based sifting.
+class EventHeap {
+ public:
+  bool empty() const { return v_.empty(); }
+  std::size_t size() const { return v_.size(); }
+  const EventRef& top() const { return v_.front(); }
+
+  void push(EventRef e) {
+    v_.push_back(e);
+    std::size_t i = v_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!EarlierThan(e, v_[parent])) break;
+      v_[i] = v_[parent];
+      i = parent;
+    }
+    v_[i] = e;
+  }
+
+  EventRef pop() {
+    const EventRef out = v_.front();
+    const EventRef last = v_.back();
+    v_.pop_back();
+    if (!v_.empty()) {
+      // Sift the hole at the root down, then drop `last` in.
+      std::size_t i = 0;
+      const std::size_t n = v_.size();
+      for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n) break;
+        if (child + 1 < n && EarlierThan(v_[child + 1], v_[child])) ++child;
+        if (!EarlierThan(v_[child], last)) break;
+        v_[i] = v_[child];
+        i = child;
+      }
+      v_[i] = last;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<EventRef> v_;
+};
+
+// Two-level calendar queue. Bucket geometry:
+//   level 0: 2^kL0Shift us (~1 ms) wide, 2^kL0IndexBits (4096) buckets
+//   level 1: one bucket = the whole level-0 span (~4.2 s), 4096 buckets
+//   overflow: > ~4.8 h ahead of the cursor
+// Invariants (b0 = when >> kL0Shift, b1 = when >> kL1Shift):
+//   current_  holds events with b0 <= cur_b0_ (a proper (when,seq) heap)
+//   l0_       holds events with b0 >  cur_b0_ in the same level-1 bucket
+//   l1_       holds events with b1 in (cur_b1, cur_b1 + kL1Buckets)
+//   overflow_ holds the rest; re-binned when the window reaches them
+class CalendarQueue {
+ public:
+  static constexpr std::uint64_t kL0Shift = 10;  // 1024 us buckets
+  static constexpr std::uint64_t kL0IndexBits = 12;
+  static constexpr std::uint64_t kL0Buckets = 1ull << kL0IndexBits;
+  static constexpr std::uint64_t kL1Shift = kL0Shift + kL0IndexBits;
+  static constexpr std::uint64_t kL1Buckets = 4096;
+
+  CalendarQueue() : l0_(kL0Buckets), l1_(kL1Buckets) {}
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push(EventRef e) {
+    ROOTLESS_CHECK(e.when >= 0);
+    const std::uint64_t b0 = Bucket0(e.when);
+    if (b0 <= cur_b0_) {
+      // At or before the cursor (possible after a RunUntil peek advanced the
+      // cursor past now): earlier than everything binned, so the heap is the
+      // right home.
+      current_.push(e);
+    } else if ((b0 >> kL0IndexBits) == (cur_b0_ >> kL0IndexBits)) {
+      l0_[b0 & (kL0Buckets - 1)].push_back(e);
+      ++l0_count_;
+    } else if (const std::uint64_t b1 = Bucket1(e.when);
+               b1 < (cur_b0_ >> kL0IndexBits) + kL1Buckets) {
+      l1_[b1 % kL1Buckets].push_back(e);
+      ++l1_count_;
+    } else {
+      if (overflow_.empty() || b1 < overflow_min_b1_) overflow_min_b1_ = b1;
+      overflow_.push_back(e);
+    }
+    ++size_;
+  }
+
+  // Time of the earliest event. Precondition: !empty().
+  SimTime MinTime() {
+    EnsureCurrent();
+    return current_.top().when;
+  }
+
+  EventRef pop() {
+    EnsureCurrent();
+    --size_;
+    return current_.pop();
+  }
+
+ private:
+  static std::uint64_t Bucket0(SimTime when) {
+    return static_cast<std::uint64_t>(when) >> kL0Shift;
+  }
+  static std::uint64_t Bucket1(SimTime when) {
+    return static_cast<std::uint64_t>(when) >> kL1Shift;
+  }
+
+  // Advances the cursor until current_ holds the earliest remaining events.
+  void EnsureCurrent() {
+    while (current_.empty()) {
+      ROOTLESS_CHECK(size_ > 0);
+      if (l0_count_ > 0) {
+        // Next non-empty ~1 ms bucket within the current level-1 bucket.
+        do {
+          ++cur_b0_;
+        } while (l0_[cur_b0_ & (kL0Buckets - 1)].empty());
+        auto& bucket = l0_[cur_b0_ & (kL0Buckets - 1)];
+        l0_count_ -= bucket.size();
+        for (const EventRef& e : bucket) current_.push(e);
+        bucket.clear();  // keeps capacity for reuse
+      } else if (l1_count_ > 0) {
+        std::uint64_t b1 = cur_b0_ >> kL0IndexBits;
+        do {
+          ++b1;
+        } while (l1_[b1 % kL1Buckets].empty());
+        AdmitOverflow(b1);
+        PourLevel1(b1);
+      } else {
+        RebaseFromOverflow();
+      }
+    }
+  }
+
+  // Moving the window to level-1 bucket `new_b1` admits overflow events with
+  // b1 < new_b1 + kL1Buckets; bin them into l1_ (including new_b1 itself,
+  // which the caller is about to pour).
+  void AdmitOverflow(std::uint64_t new_b1) {
+    if (overflow_.empty() || overflow_min_b1_ >= new_b1 + kL1Buckets) return;
+    std::size_t kept = 0;
+    std::uint64_t min_b1 = ~0ull;
+    for (const EventRef& e : overflow_) {
+      const std::uint64_t b1 = Bucket1(e.when);
+      if (b1 < new_b1 + kL1Buckets) {
+        l1_[b1 % kL1Buckets].push_back(e);
+        ++l1_count_;
+      } else {
+        if (b1 < min_b1) min_b1 = b1;
+        overflow_[kept++] = e;
+      }
+    }
+    overflow_.resize(kept);
+    overflow_min_b1_ = min_b1;
+  }
+
+  // Spreads level-1 bucket `b1` over the level-0 ring and positions the
+  // cursor just before it (EnsureCurrent then scans forward normally).
+  void PourLevel1(std::uint64_t b1) {
+    auto& bucket = l1_[b1 % kL1Buckets];
+    l1_count_ -= bucket.size();
+    for (const EventRef& e : bucket) {
+      l0_[Bucket0(e.when) & (kL0Buckets - 1)].push_back(e);
+      ++l0_count_;
+    }
+    bucket.clear();
+    cur_b0_ = (b1 << kL0IndexBits) - 1;  // b1 >= 1: the cursor started at 0
+  }
+
+  // Everything lives beyond the level-1 horizon: jump the window to the
+  // earliest overflow event and re-bin.
+  void RebaseFromOverflow() {
+    ROOTLESS_CHECK(!overflow_.empty());
+    SimTime min_when = overflow_.front().when;
+    for (const EventRef& e : overflow_) {
+      if (e.when < min_when) min_when = e.when;
+    }
+    // Overflow admission guarantees Bucket1(min_when) >= kL1Buckets > 0.
+    cur_b0_ = (Bucket1(min_when) << kL0IndexBits) - 1;
+    AdmitOverflow(Bucket1(min_when));
+  }
+
+  EventHeap current_;
+  std::vector<std::vector<EventRef>> l0_;
+  std::vector<std::vector<EventRef>> l1_;
+  std::vector<EventRef> overflow_;
+  std::uint64_t overflow_min_b1_ = ~0ull;
+  std::size_t l0_count_ = 0;
+  std::size_t l1_count_ = 0;
+  std::uint64_t cur_b0_ = 0;
+  std::size_t size_ = 0;
+};
+
+// Which ordering structure a Simulator uses. The binary heap is the safe
+// default; kCalendar is O(1) amortized for dense schedules (big replays).
+enum class QueuePolicy {
+  kBinaryHeap,
+  kCalendar,
+};
+
+// Facade: owns the callable slot pool and dispatches ordering to the policy
+// chosen at construction. Both policies order events identically.
+class EventQueue {
+ public:
+  explicit EventQueue(QueuePolicy policy) : policy_(policy) {
+    if (policy_ == QueuePolicy::kCalendar) calendar_.emplace();
+  }
+
+  bool empty() const { return size() == 0; }
+  std::size_t size() const {
+    return policy_ == QueuePolicy::kBinaryHeap ? heap_.size()
+                                               : calendar_->size();
+  }
+
+  void push(SimTime when, std::uint64_t seq, EventFn fn) {
+    const EventRef ref{when, seq, AllocSlot(std::move(fn))};
+    if (policy_ == QueuePolicy::kBinaryHeap) {
+      heap_.push(ref);
+    } else {
+      calendar_->push(ref);
+    }
+  }
+
+  // Time of the earliest event. Precondition: !empty().
+  SimTime MinTime() {
+    return policy_ == QueuePolicy::kBinaryHeap ? heap_.top().when
+                                               : calendar_->MinTime();
+  }
+
+  Event pop() {
+    const EventRef ref =
+        policy_ == QueuePolicy::kBinaryHeap ? heap_.pop() : calendar_->pop();
+    Event e{ref.when, ref.seq, std::move(slots_[ref.slot])};
+    free_slots_.push_back(ref.slot);
+    return e;
+  }
+
+ private:
+  std::uint32_t AllocSlot(EventFn fn) {
+    if (free_slots_.empty()) {
+      slots_.push_back(std::move(fn));
+      return static_cast<std::uint32_t>(slots_.size() - 1);
+    }
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+    return slot;
+  }
+
+  QueuePolicy policy_;
+  EventHeap heap_;
+  std::optional<CalendarQueue> calendar_;  // rings allocated only if used
+  std::vector<EventFn> slots_;             // callable bodies, slot-indexed
+  std::vector<std::uint32_t> free_slots_;
+};
+
+}  // namespace rootless::sim

@@ -3,19 +3,22 @@
 // Simulation time is in microseconds; nothing reads the wall clock, so every
 // run is deterministic for a given seed. Events scheduled at equal times fire
 // in scheduling order (a strict FIFO tiebreak keeps runs reproducible).
+//
+// Callbacks are EventFn (sim/event.h): a move-only callable with 48 bytes of
+// inline storage, so scheduling a typical network delivery does not allocate.
+// The event queue (sim/event_queue.h) is either a binary heap — whose pop
+// moves the top element out legitimately, unlike std::priority_queue — or an
+// optional two-level calendar queue for dense million-event runs; both yield
+// the same execution order.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
+#include "sim/event.h"
+#include "sim/event_queue.h"
 #include "util/check.h"
 
 namespace rootless::sim {
-
-// Microseconds of simulated time.
-using SimTime = std::int64_t;
 
 inline constexpr SimTime kMicrosecond = 1;
 inline constexpr SimTime kMillisecond = 1000;
@@ -26,22 +29,23 @@ inline constexpr SimTime kDay = 24 * kHour;
 
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(QueuePolicy policy = QueuePolicy::kBinaryHeap)
+      : queue_(policy) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return now_; }
 
   // Schedules `fn` to run `delay` from now. Precondition: delay >= 0.
-  void Schedule(SimTime delay, std::function<void()> fn) {
+  void Schedule(SimTime delay, EventFn fn) {
     ROOTLESS_CHECK(delay >= 0);
-    queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+    queue_.push(now_ + delay, next_seq_++, std::move(fn));
   }
 
   // Schedules at an absolute time >= now().
-  void ScheduleAt(SimTime when, std::function<void()> fn) {
+  void ScheduleAt(SimTime when, EventFn fn) {
     ROOTLESS_CHECK(when >= now_);
-    queue_.push(Event{when, next_seq_++, std::move(fn)});
+    queue_.push(when, next_seq_++, std::move(fn));
   }
 
   bool empty() const { return queue_.empty(); }
@@ -50,8 +54,7 @@ class Simulator {
   // Runs a single event; returns false if none remain.
   bool Step() {
     if (queue_.empty()) return false;
-    Event e = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    Event e = queue_.pop();
     now_ = e.when;
     e.fn();
     return true;
@@ -66,23 +69,12 @@ class Simulator {
   // Runs events with time <= deadline; leaves later events queued and
   // advances the clock to the deadline.
   void RunUntil(SimTime deadline) {
-    while (!queue_.empty() && queue_.top().when <= deadline) Step();
+    while (!queue_.empty() && queue_.MinTime() <= deadline) Step();
     if (now_ < deadline) now_ = deadline;
   }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    std::function<void()> fn;
-
-    bool operator>(const Event& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
-    }
-  };
-
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
 };

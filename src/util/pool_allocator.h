@@ -1,0 +1,141 @@
+// Fixed-block pool allocator for node-based containers.
+//
+// std::unordered_map allocates one node per element; in a bounded LRU cache
+// every insert at capacity is an insert+erase pair, i.e. a malloc and a free
+// on the hot path. PoolAllocator intercepts single-object allocations and
+// serves them from per-size free lists backed by slab chunks; freed nodes go
+// back on the list instead of to the heap, so a cache running at capacity
+// stops allocating entirely. Array allocations (the bucket table) pass
+// through to operator new.
+//
+// Rebound copies (as containers create internally) share one pool via a
+// shared_ptr, so any copy can free what another allocated. Not thread-safe —
+// this codebase's simulator is single-threaded by design. Slab memory is
+// returned to the heap only when the last allocator copy dies.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace rootless::util {
+
+namespace detail {
+
+class PoolState {
+ public:
+  void* Allocate(std::size_t bytes) {
+    const std::size_t block = RoundUp(bytes);
+    Bin* bin = FindOrAddBin(block);
+    if (bin == nullptr) return ::operator new(block);  // bin table full
+    if (bin->free_head != nullptr) {
+      void* p = bin->free_head;
+      bin->free_head = *static_cast<void**>(p);
+      return p;
+    }
+    return CarveSlab(*bin, block);
+  }
+
+  void Free(void* p, std::size_t bytes) {
+    const std::size_t block = RoundUp(bytes);
+    Bin* bin = FindBin(block);
+    if (bin == nullptr) {
+      ::operator delete(p);
+      return;
+    }
+    *static_cast<void**>(p) = bin->free_head;
+    bin->free_head = p;
+  }
+
+ private:
+  struct Bin {
+    std::size_t block = 0;
+    void* free_head = nullptr;
+  };
+  static constexpr std::size_t kMaxBins = 4;
+  static constexpr std::size_t kBlocksPerSlab = 256;
+
+  static std::size_t RoundUp(std::size_t bytes) {
+    constexpr std::size_t kAlign = alignof(std::max_align_t);
+    const std::size_t floor = bytes < sizeof(void*) ? sizeof(void*) : bytes;
+    return (floor + kAlign - 1) / kAlign * kAlign;
+  }
+
+  Bin* FindBin(std::size_t block) {
+    for (std::size_t i = 0; i < bin_count_; ++i) {
+      if (bins_[i].block == block) return &bins_[i];
+    }
+    return nullptr;
+  }
+
+  // A size that arrives once the table is full falls back to the heap, in
+  // both Allocate and Free (a bin is never created on the Free path), so the
+  // two sides always agree.
+  Bin* FindOrAddBin(std::size_t block) {
+    if (Bin* bin = FindBin(block)) return bin;
+    if (bin_count_ == kMaxBins) return nullptr;
+    bins_[bin_count_] = Bin{block, nullptr};
+    return &bins_[bin_count_++];
+  }
+
+  void* CarveSlab(Bin& bin, std::size_t block) {
+    slabs_.push_back(std::make_unique<std::byte[]>(block * kBlocksPerSlab));
+    std::byte* base = slabs_.back().get();
+    for (std::size_t i = 1; i < kBlocksPerSlab; ++i) {
+      void* p = base + i * block;
+      *static_cast<void**>(p) = bin.free_head;
+      bin.free_head = p;
+    }
+    return base;
+  }
+
+  Bin bins_[kMaxBins];
+  std::size_t bin_count_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+};
+
+}  // namespace detail
+
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  PoolAllocator() : state_(std::make_shared<detail::PoolState>()) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other) noexcept  // NOLINT: rebind
+      : state_(other.state_) {}
+
+  T* allocate(std::size_t n) {
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "over-aligned types are not supported");
+    if (n == 1) return static_cast<T*>(state_->Allocate(sizeof(T)));
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n == 1) {
+      state_->Free(p, sizeof(T));
+    } else {
+      ::operator delete(p);
+    }
+  }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>& other) const noexcept {
+    return state_ == other.state_;
+  }
+  template <typename U>
+  bool operator!=(const PoolAllocator<U>& other) const noexcept {
+    return state_ != other.state_;
+  }
+
+ private:
+  template <typename U>
+  friend class PoolAllocator;
+
+  std::shared_ptr<detail::PoolState> state_;
+};
+
+}  // namespace rootless::util

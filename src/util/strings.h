@@ -19,6 +19,42 @@ std::string ToLower(std::string_view s);
 
 bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
+// Transparent hash/equality for std::string-keyed unordered containers so
+// lookups can take std::string_view without materializing a std::string.
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+struct TransparentStringEqual {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
+
+// Case-insensitive transparent hash/equality (ASCII fold), for TLD-keyed
+// tables that must accept mixed-case views straight out of a dns::Name.
+struct CaseInsensitiveHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    // FNV-1a over the lowered bytes.
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (char c : s) {
+      h ^= static_cast<std::uint8_t>(AsciiToLower(c));
+      h *= 0x100000001B3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+struct CaseInsensitiveEqual {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return EqualsIgnoreCase(a, b);
+  }
+};
+
 // Splits on a single character; keeps empty fields.
 std::vector<std::string_view> Split(std::string_view s, char sep);
 

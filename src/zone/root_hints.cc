@@ -68,8 +68,8 @@ util::Result<RootHints> RootHints::FromRecords(
       const std::string key = util::ToLower(host.ToString());
       auto& entry = by_host[key];
       entry.hostname = host;
-      if (host.label_count() == 3 && host.labels()[0].size() == 1) {
-        entry.letter = util::AsciiToLower(host.labels()[0][0]);
+      if (host.label_count() == 3 && host.label(0).size() == 1) {
+        entry.letter = util::AsciiToLower(host.label(0)[0]);
       }
     }
   }

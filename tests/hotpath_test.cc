@@ -1,0 +1,439 @@
+// Hot-path regression tests: flattened Name invariants, the intrusive-LRU
+// cache against a reference model, the EventFn small-buffer callable, and
+// differential checks that both simulator queue policies (binary heap and
+// two-level calendar) execute events in exactly the same deterministic order.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cctype>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "resolver/cache.h"
+#include "sim/event.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace rootless {
+namespace {
+
+using dns::Name;
+using dns::RRset;
+using dns::RRType;
+
+Name N(std::string_view s) { return *Name::Parse(s); }
+
+// ------------------------------------------------------------ Name property
+
+// Random names built from raw labels (including bytes that need escaping and
+// bytes that mimic wire length octets) survive every representation change:
+// text, wire, copies across the inline/heap boundary.
+TEST(NameHotPath, RandomLabelsRoundTripAllRepresentations) {
+  util::Rng rng(2024);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<std::string> labels;
+    std::size_t flat = 0;
+    const std::size_t want = 1 + rng.Below(6);
+    while (labels.size() < want) {
+      std::string label;
+      const std::size_t len = 1 + rng.Below(20);
+      for (std::size_t i = 0; i < len; ++i) {
+        label.push_back(static_cast<char>(rng.Below(256)));
+      }
+      if (flat + 1 + label.size() > Name::kMaxFlatBytes) break;
+      flat += 1 + label.size();
+      labels.push_back(std::move(label));
+    }
+    auto name = Name::FromLabels(labels);
+    ASSERT_TRUE(name.ok());
+    ASSERT_EQ(name->label_count(), labels.size());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      EXPECT_EQ(name->label(i), labels[i]);
+    }
+
+    // Text round trip (escapes: \DDD and \X).
+    auto reparsed = Name::Parse(name->ToString());
+    ASSERT_TRUE(reparsed.ok()) << name->ToString();
+    EXPECT_EQ(*reparsed, *name);
+    EXPECT_EQ(reparsed->Hash(), name->Hash());
+
+    // Wire round trip.
+    util::ByteWriter w;
+    name->EncodeWire(w);
+    util::ByteReader r(w.span());
+    auto decoded = Name::DecodeWire(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, *name);
+
+    // Copy and move across the small-buffer boundary.
+    Name copy = *name;
+    EXPECT_EQ(copy, *name);
+    Name moved = std::move(copy);
+    EXPECT_EQ(moved, *name);
+    EXPECT_EQ(moved.Hash(), name->Hash());
+  }
+}
+
+// Case variants agree on equality, ordering, and hash; different names
+// disagree on equality.
+TEST(NameHotPath, CaseVariantsAgreeEverywhere) {
+  util::Rng rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string text;
+    const std::size_t nlabels = 1 + rng.Below(4);
+    for (std::size_t l = 0; l < nlabels; ++l) {
+      if (l > 0) text.push_back('.');
+      const std::size_t len = 1 + rng.Below(12);
+      for (std::size_t i = 0; i < len; ++i) {
+        text.push_back("abcdefghijklmnopqrstuvwxyz0123456789-"[rng.Below(37)]);
+      }
+    }
+    std::string upper = text;
+    for (char& c : upper) c = static_cast<char>(std::toupper(c));
+    const Name a = N(text);
+    const Name b = N(upper);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.Hash(), b.Hash());
+    EXPECT_EQ(a <=> b, std::weak_ordering::equivalent);
+    EXPECT_EQ(a.CanonicalWire(), b.CanonicalWire());
+
+    const Name other = N("x" + text);
+    EXPECT_NE(a, other);
+  }
+}
+
+TEST(NameHotPath, LabelAndWireLimits) {
+  const std::string label63(63, 'a');
+  EXPECT_TRUE(Name::Parse(label63 + ".com").ok());
+  EXPECT_FALSE(Name::Parse(std::string(64, 'a') + ".com").ok());
+
+  // Four 63-byte labels need 4*64 = 256 wire bytes incl. the root octet:
+  // one over the RFC 1035 limit of 255.
+  const std::string too_long =
+      label63 + "." + label63 + "." + label63 + "." + label63;
+  EXPECT_FALSE(Name::Parse(too_long).ok());
+  // 61+63+63+63 labels = 255 wire bytes (62+64+64+64+root): at the limit.
+  const std::string at_limit =
+      std::string(61, 'a') + "." + label63 + "." + label63 + "." + label63;
+  auto name = Name::Parse(at_limit);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->wire_length(), 255u);
+  EXPECT_EQ(*Name::Parse(name->ToString()), *name);
+}
+
+TEST(NameHotPath, InlineHeapBoundaryBehavesIdentically) {
+  // Names straddling kInlineCapacity flat bytes (inline vs heap storage).
+  for (std::size_t len : {Name::kInlineCapacity - 2, Name::kInlineCapacity - 1,
+                          Name::kInlineCapacity, Name::kInlineCapacity + 1,
+                          Name::kInlineCapacity + 2}) {
+    const std::string label(len - 1, 'x');  // flat size = 1 + label bytes
+    auto name = Name::Parse(label);
+    ASSERT_TRUE(name.ok());
+    ASSERT_EQ(name->flat().size(), len);
+    Name copy = *name;
+    Name moved_to;
+    moved_to = std::move(copy);
+    EXPECT_EQ(moved_to, *name);
+    EXPECT_EQ(moved_to.ToString(), name->ToString());
+    EXPECT_EQ(moved_to.tld_view(), name->tld_view());
+  }
+}
+
+TEST(NameHotPath, SuffixAndTldViewsMatchSlowPath) {
+  const Name name = N("a.b.c.example.ORG");
+  EXPECT_EQ(name.tld_view(), "ORG");
+  EXPECT_EQ(name.tld(), "org");  // tld() lowercases, the view does not
+  EXPECT_EQ(name.Suffix(1), N("org"));
+  EXPECT_EQ(name.Suffix(2), N("example.org"));
+  EXPECT_EQ(name.Suffix(0), Name());
+  EXPECT_EQ(name.Parent(), N("b.c.example.org"));
+  EXPECT_TRUE(name.IsSubdomainOf(N("EXAMPLE.org")));
+  EXPECT_FALSE(N("example.org").IsSubdomainOf(name));
+}
+
+// ----------------------------------------------------------------- cache
+
+RRset MakeA(std::string_view owner, std::uint32_t ttl, std::uint32_t addr) {
+  RRset s;
+  s.name = N(owner);
+  s.type = RRType::kA;
+  s.ttl = ttl;
+  s.rdatas.push_back(dns::AData{dns::Ipv4{addr}});
+  return s;
+}
+
+TEST(CacheHotPath, ExactEvictionOrder) {
+  resolver::DnsCache cache(4);
+  const sim::SimTime t = 0;
+  for (const char* o : {"a.test", "b.test", "c.test", "d.test"}) {
+    cache.Put(MakeA(o, 3600, 1), t);
+  }
+  // Touch a: LRU order (old->new) becomes b, c, d, a.
+  EXPECT_NE(cache.Get(MakeA("a.test", 0, 0).key(), t), nullptr);
+  cache.Put(MakeA("e.test", 3600, 1), t);  // evicts b
+  EXPECT_FALSE(cache.Contains(MakeA("b.test", 0, 0).key(), t));
+  EXPECT_TRUE(cache.Contains(MakeA("c.test", 0, 0).key(), t));
+  cache.Put(MakeA("f.test", 3600, 1), t);  // evicts c
+  EXPECT_FALSE(cache.Contains(MakeA("c.test", 0, 0).key(), t));
+  for (const char* o : {"d.test", "a.test", "e.test", "f.test"}) {
+    EXPECT_TRUE(cache.Contains(MakeA(o, 0, 0).key(), t)) << o;
+  }
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(CacheHotPath, ExpiredEntriesLoseToLiveOnesViaSweep) {
+  resolver::DnsCache cache(100);
+  // Two entries that expire at t=10s, then a stream of live Puts. The lazy
+  // sweep must reclaim the dead ones without evicting anything live.
+  cache.Put(MakeA("dead1.test", 10, 1), 0);
+  cache.Put(MakeA("dead2.test", 10, 1), 0);
+  const sim::SimTime later = 20 * sim::kSecond;
+  for (int i = 0; i < 50; ++i) {
+    cache.Put(MakeA("live" + std::to_string(i) + ".test", 3600, 1), later);
+  }
+  EXPECT_EQ(cache.stats().swept, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(
+        cache.Contains(MakeA("live" + std::to_string(i) + ".test", 0, 0).key(),
+                       later));
+  }
+}
+
+TEST(CacheHotPath, ExpiryBeatsRecency) {
+  resolver::DnsCache cache(10);
+  cache.Put(MakeA("gone.test", 1, 1), 0);
+  // Keep it most-recently-used right up to expiry.
+  EXPECT_NE(cache.Get(MakeA("gone.test", 0, 0).key(), sim::kSecond - 1),
+            nullptr);
+  // Recency does not save an expired entry.
+  EXPECT_EQ(cache.Get(MakeA("gone.test", 0, 0).key(), 2 * sim::kSecond),
+            nullptr);
+  EXPECT_EQ(cache.stats().expired, 1u);
+  EXPECT_FALSE(cache.Contains(MakeA("gone.test", 0, 0).key(), 0));
+}
+
+TEST(CacheHotPath, TldCountTracksEviction) {
+  resolver::DnsCache cache(3);
+  cache.Put(MakeA("com", 3600, 1), 0);
+  cache.Put(MakeA("org", 3600, 1), 0);
+  cache.Put(MakeA("www.example.com", 3600, 1), 0);
+  EXPECT_EQ(cache.TldRRsetCount(), 2u);
+  cache.Put(MakeA("net", 3600, 1), 0);  // evicts "com" (LRU)
+  EXPECT_EQ(cache.TldRRsetCount(), 2u);
+  EXPECT_FALSE(cache.Contains(MakeA("com", 0, 0).key(), 0));
+}
+
+// Model-based stress: the intrusive-LRU cache against a textbook
+// list+map implementation, including keys that collide in the hash table
+// (single-letter owners across two RR types keep bucket chains busy).
+TEST(CacheHotPath, MatchesReferenceModelUnderStress) {
+  constexpr std::size_t kCapacity = 32;
+  resolver::DnsCache cache(kCapacity);
+
+  struct Model {
+    std::list<dns::RRsetKey> lru;  // front = most recent
+    std::unordered_map<dns::RRsetKey, std::list<dns::RRsetKey>::iterator,
+                       dns::RRsetKeyHash>
+        pos;
+    void Touch(const dns::RRsetKey& key) {
+      lru.splice(lru.begin(), lru, pos[key]);
+    }
+    void Put(const dns::RRsetKey& key) {
+      if (auto it = pos.find(key); it != pos.end()) {
+        Touch(key);
+        return;
+      }
+      lru.push_front(key);
+      pos[key] = lru.begin();
+      if (pos.size() > kCapacity) {
+        pos.erase(lru.back());
+        lru.pop_back();
+      }
+    }
+  } model;
+
+  util::Rng rng(99);
+  std::vector<RRset> pool;
+  for (char c = 'a'; c <= 'z'; ++c) {
+    pool.push_back(MakeA(std::string(1, c) + ".test", 3600, 1));
+    RRset ns;
+    ns.name = N(std::string(1, c) + ".test");
+    ns.type = RRType::kNS;
+    ns.ttl = 3600;
+    ns.rdatas.push_back(dns::NsData{N("ns." + std::string(1, c) + ".test")});
+    pool.push_back(ns);
+  }
+  for (int step = 0; step < 20000; ++step) {
+    const RRset& r = pool[rng.Below(pool.size())];
+    if (rng.Below(2) == 0) {
+      cache.Put(r, 0);
+      model.Put(r.key());
+    } else {
+      const bool hit = cache.Get(r.key(), 0) != nullptr;
+      const bool model_hit = model.pos.count(r.key()) > 0;
+      ASSERT_EQ(hit, model_hit) << "step " << step;
+      if (model_hit) model.Touch(r.key());
+    }
+  }
+  ASSERT_EQ(cache.size(), model.pos.size());
+  for (const auto& key : model.lru) {
+    EXPECT_TRUE(cache.Contains(key, 0));
+  }
+}
+
+// ----------------------------------------------------------------- EventFn
+
+TEST(EventFn, InvokesInlineAndHeapCallables) {
+  int hits = 0;
+  sim::EventFn small([&hits]() { ++hits; });
+  small();
+  EXPECT_EQ(hits, 1);
+
+  // Oversized capture (> kInlineSize) exercises the heap path.
+  std::array<std::uint64_t, 16> big{};
+  big[15] = 7;
+  int got = 0;
+  sim::EventFn large([big, &got]() { got = static_cast<int>(big[15]); });
+  large();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(EventFn, DestroysCaptureOnceAndOnlyOnce) {
+  auto token = std::make_shared<int>(42);
+  EXPECT_EQ(token.use_count(), 1);
+  {
+    sim::EventFn fn([token]() {});
+    EXPECT_EQ(token.use_count(), 2);
+    sim::EventFn moved = std::move(fn);
+    EXPECT_EQ(token.use_count(), 2);  // moved, not copied
+    EXPECT_FALSE(static_cast<bool>(fn));
+    EXPECT_TRUE(static_cast<bool>(moved));
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventFn, MoveAssignReleasesPreviousCapture) {
+  auto first = std::make_shared<int>(1);
+  auto second = std::make_shared<int>(2);
+  sim::EventFn fn([first]() {});
+  fn = sim::EventFn([second]() {});
+  EXPECT_EQ(first.use_count(), 1);  // old capture destroyed on assignment
+  EXPECT_EQ(second.use_count(), 2);
+}
+
+// ------------------------------------------------------------ event queues
+
+// Regression for the determinism guarantee (and the old const_cast-move-from
+// priority_queue::top()): a large batch of same-timestamp events must fire in
+// exact scheduling order under both queue policies.
+TEST(SimQueues, FifoTiebreakAtScale) {
+  for (sim::QueuePolicy policy :
+       {sim::QueuePolicy::kBinaryHeap, sim::QueuePolicy::kCalendar}) {
+    sim::Simulator sim(policy);
+    std::vector<int> order;
+    order.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      sim.Schedule(500, [&order, i]() { order.push_back(i); });
+    }
+    sim.Run();
+    ASSERT_EQ(order.size(), 10000u);
+    for (int i = 0; i < 10000; ++i) {
+      ASSERT_EQ(order[i], i) << "policy " << static_cast<int>(policy);
+    }
+  }
+}
+
+// Differential: the heap policy, the calendar policy, and a stable sort of
+// the schedule must all agree on execution order. Time spread covers the
+// calendar's level-0 ring, level-1 ring, overflow list, and rebase path.
+TEST(SimQueues, HeapAndCalendarAgreeOnRandomSchedules) {
+  auto run = [](sim::QueuePolicy policy, sim::SimTime* end) {
+    sim::Simulator sim(policy);
+    std::vector<int> order;
+    util::Rng rng(4242);
+    constexpr int kTop = 600;
+    for (int i = 0; i < kTop; ++i) {
+      sim::SimTime when = 0;
+      switch (rng.Below(5)) {
+        case 0:  // dense: within the current ~1 ms bucket
+          when = static_cast<sim::SimTime>(rng.Below(1000));
+          break;
+        case 1:  // level-0 ring
+          when = static_cast<sim::SimTime>(rng.Below(4 * sim::kSecond));
+          break;
+        case 2:  // level-1 ring
+          when = static_cast<sim::SimTime>(rng.Below(4 * sim::kHour));
+          break;
+        case 3:  // overflow + rebase
+          when = 5 * sim::kHour +
+                 static_cast<sim::SimTime>(rng.Below(10 * sim::kDay));
+          break;
+        default:  // duplicates: exercise the FIFO tiebreak
+          when = 777;
+          break;
+      }
+      // Some events schedule follow-ups relative to their own firing time.
+      const bool chain = rng.Below(4) == 0;
+      const auto extra = static_cast<sim::SimTime>(rng.Below(2 * sim::kSecond));
+      sim.ScheduleAt(when, [&sim, &order, i, chain, extra]() {
+        order.push_back(i);
+        if (chain) {
+          sim.Schedule(extra, [&order, i]() { order.push_back(10000 + i); });
+        }
+      });
+    }
+    sim.Run();
+    *end = sim.now();
+    return order;
+  };
+  sim::SimTime heap_end = 0;
+  sim::SimTime cal_end = 0;
+  const std::vector<int> heap_order =
+      run(sim::QueuePolicy::kBinaryHeap, &heap_end);
+  const std::vector<int> cal_order = run(sim::QueuePolicy::kCalendar, &cal_end);
+  ASSERT_EQ(heap_order.size(), cal_order.size());
+  EXPECT_EQ(heap_order, cal_order);
+  EXPECT_EQ(heap_end, cal_end);
+}
+
+// RunUntil across calendar bucket boundaries: the clock parks exactly at the
+// deadline and pending events stay queued, even when they live hours or days
+// ahead (level-1 and overflow territory).
+TEST(SimQueues, CalendarRunUntilAcrossLevels) {
+  sim::Simulator sim(sim::QueuePolicy::kCalendar);
+  std::vector<int> fired;
+  sim.ScheduleAt(2 * sim::kSecond, [&]() { fired.push_back(1); });
+  sim.ScheduleAt(1 * sim::kHour, [&]() { fired.push_back(2); });
+  sim.ScheduleAt(3 * sim::kDay, [&]() { fired.push_back(3); });
+
+  sim.RunUntil(sim::kSecond);
+  EXPECT_TRUE(fired.empty());
+  EXPECT_EQ(sim.now(), sim::kSecond);
+  EXPECT_EQ(sim.pending_events(), 3u);
+
+  sim.RunUntil(2 * sim::kHour);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+
+  // Scheduling "behind" the peeked cursor but at/after now() still works.
+  sim.Schedule(0, [&]() { fired.push_back(4); });
+  sim.RunUntil(4 * sim::kDay);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 4, 3}));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimQueues, CalendarNegativeDelayStillThrows) {
+  sim::Simulator sim(sim::QueuePolicy::kCalendar);
+  EXPECT_THROW(sim.Schedule(-1, []() {}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rootless
