@@ -60,7 +60,7 @@ std::vector<dns::Name> BuildLookups(const zone::Zone& root_zone, int count) {
 
 Row Run(resolver::RootMode mode, bool negative_cache,
         const std::vector<dns::Name>& lookups,
-        std::shared_ptr<zone::Zone> root_zone) {
+        zone::SnapshotPtr root_zone) {
   sim::Simulator sim;
   sim::Network net(sim, 9);
   topo::GeoRegistry registry;
@@ -108,9 +108,10 @@ int main() {
                   .c_str());
 
   const zone::RootZoneModel model;
-  auto root_zone =
-      std::make_shared<zone::Zone>(model.Snapshot({2018, 4, 11}));
-  const auto lookups = BuildLookups(*root_zone, 8000);
+  const zone::Zone master = model.Snapshot({2018, 4, 11});
+  const auto lookups = BuildLookups(master, 8000);
+  // One immutable snapshot shared across all four configurations.
+  auto root_zone = zone::ZoneSnapshot::Build(master);
 
   analysis::Table table({"configuration", "queries at roots", "negcache hits",
                          "local lookups", "nxdomain answered"});

@@ -43,10 +43,11 @@ Row Run(resolver::RootMode mode, std::size_t capacity) {
   const zone::RootZoneModel zone_model;
   auto root_zone =
       std::make_shared<zone::Zone>(zone_model.Snapshot({2018, 4, 11}));
+  const zone::SnapshotPtr root_snapshot = zone::ZoneSnapshot::Build(*root_zone);
   const topo::DeploymentModel deployment;
   rootsrv::RootServerFleet fleet(net, registry, deployment, {2018, 4, 11},
-                                 root_zone);
-  rootsrv::TldFarm farm(net, registry, *root_zone, 5);
+                                 root_snapshot);
+  rootsrv::TldFarm farm(net, registry, *root_snapshot, 5);
 
   resolver::ResolverConfig config;
   config.mode = mode;
@@ -60,12 +61,12 @@ Row Run(resolver::RootMode mode, std::size_t capacity) {
   if (mode == resolver::RootMode::kRootServers) {
     r.SetRootFleet(&fleet);
   } else if (mode == resolver::RootMode::kLoopbackAuth) {
-    loopback = std::make_unique<rootsrv::AuthServer>(net, root_zone);
+    loopback = std::make_unique<rootsrv::AuthServer>(net, root_snapshot);
     registry.SetLocation(loopback->node(), where);
     r.SetLoopbackNode(loopback->node());
-    r.SetLocalZone(root_zone);
+    r.SetLocalZone(root_snapshot);
   } else {
-    r.SetLocalZone(root_zone);
+    r.SetLocalZone(root_snapshot);
   }
 
   std::vector<std::string> tlds;

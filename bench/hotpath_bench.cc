@@ -26,6 +26,7 @@
 #include "resolver/cache.h"
 #include "resolver/recursive.h"
 #include "resolver/zone_db.h"
+#include "rootsrv/auth_server.h"
 #include "rootsrv/tld_farm.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -33,6 +34,35 @@
 #include "traffic/workload.h"
 #include "util/rng.h"
 #include "zone/evolution.h"
+#include "zone/zone_diff.h"
+#include "zone/zone_snapshot.h"
+
+// Allocation counter for the referral-build comparison: every global new is
+// one tick. Single-threaded harness, so a plain counter suffices.
+namespace {
+std::uint64_t g_allocs = 0;
+}  // namespace
+
+// GCC pairs the malloc-backed replacement new with the free-backed delete
+// across inlining and reports a spurious mismatch; the pairing is correct.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  ++g_allocs;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocs;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -175,6 +205,117 @@ double BenchCachePut() {
   });
 }
 
+// ------------------------------------------------ snapshot-layer benches
+
+// Referral assembly through the authoritative server, comparing the
+// zero-copy view path (Lookup into borrowed RRsetViews, wire encoding
+// straight from the arena) against the materializing path (expand views
+// into owned ResourceRecords, then encode). Also reports allocations per
+// query for both, counted via the global operator-new hook above.
+struct ReferralBenchResult {
+  double view_ns = 0;
+  double copy_ns = 0;
+  double view_allocs = 0;
+  double copy_allocs = 0;
+};
+
+ReferralBenchResult BenchReferralBuild() {
+  sim::Simulator sim;
+  sim::Network net(sim, 3);
+  const zone::SnapshotPtr snapshot = zone::ZoneSnapshot::Build(RootZone());
+  rootsrv::AuthServer server(net, snapshot);
+
+  // Query pool: referrals across the delegated TLDs.
+  std::vector<dns::Message> queries;
+  {
+    const auto children = snapshot->DelegatedChildren();
+    queries.reserve(256);
+    for (std::size_t i = 0; i < 256; ++i) {
+      dns::Message q;
+      q.header.id = static_cast<std::uint16_t>(i);
+      auto name =
+          dns::Name::Parse("www.example." + children[i % children.size()].tld() + ".");
+      q.questions.push_back(
+          {name.ok() ? *name : dns::Name(), dns::RRType::kA, dns::RRClass::kIN});
+      queries.push_back(std::move(q));
+    }
+  }
+
+  ReferralBenchResult result;
+  std::size_t sink = 0;
+  result.view_ns = MeasureNsPerOp([&](std::uint64_t iters) {
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      sink += server.AnswerWire(queries[i & 255]).size();
+    }
+  });
+  // The materializing path the view refactor replaced: build an owned
+  // Message (one ResourceRecord per rdata), then encode it.
+  result.copy_ns = MeasureNsPerOp([&](std::uint64_t iters) {
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      sink += dns::EncodeMessage(server.Answer(queries[i & 255]), 1232).size();
+    }
+  });
+  if (sink == 1) std::printf("impossible\n");
+
+  constexpr std::uint64_t kAllocIters = 20000;
+  std::uint64_t before = g_allocs;
+  for (std::uint64_t i = 0; i < kAllocIters; ++i) {
+    (void)server.AnswerWire(queries[i & 255]);
+  }
+  result.view_allocs =
+      static_cast<double>(g_allocs - before) / static_cast<double>(kAllocIters);
+  before = g_allocs;
+  for (std::uint64_t i = 0; i < kAllocIters; ++i) {
+    (void)dns::EncodeMessage(server.Answer(queries[i & 255]), 1232);
+  }
+  result.copy_allocs =
+      static_cast<double>(g_allocs - before) / static_cast<double>(kAllocIters);
+  return result;
+}
+
+// Daily refresh, two ways: rebuilding a snapshot from scratch versus
+// ZoneSnapshot::Apply of the structural day-to-day diff. Apply touches only
+// the changed RRsets (one delta page + an index merge), so its cost tracks
+// the diff size, not the zone size.
+struct ZoneSwapBenchResult {
+  double apply_ns = 0;
+  double build_ns = 0;
+  std::size_t shared_pages = 0;
+  std::size_t delta_rrsets = 0;
+  std::size_t total_rrsets = 0;
+};
+
+ZoneSwapBenchResult BenchZoneSwap() {
+  zone::EvolutionConfig config;
+  const zone::RootZoneModel model(config);
+  const zone::Zone today = model.Snapshot({2018, 4, 11});
+  const zone::Zone tomorrow = model.Snapshot({2018, 4, 12});
+  const zone::SnapshotPtr base = zone::ZoneSnapshot::Build(today);
+  const zone::ZoneDiff diff = zone::DiffZones(today, tomorrow);
+
+  ZoneSwapBenchResult result;
+  result.apply_ns = MeasureNsPerOp([&](std::uint64_t iters) {
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      auto next = zone::ZoneSnapshot::Apply(base, diff);
+      if (!next.ok()) std::printf("apply failed: %s\n",
+                                  next.error().message().c_str());
+    }
+  });
+  result.build_ns = MeasureNsPerOp([&](std::uint64_t iters) {
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      auto built = zone::ZoneSnapshot::Build(tomorrow);
+      if (built->rrset_count() == 0) std::printf("impossible\n");
+    }
+  });
+  auto next = zone::ZoneSnapshot::Apply(base, diff);
+  if (next.ok()) {
+    result.shared_pages = (*next)->SharedPageCount(*base);
+    result.delta_rrsets = (*next)->newest_page_rrset_count();
+    result.total_rrsets = (*next)->rrset_count();
+  }
+  return result;
+}
+
 // A self-sustaining cascade: each event schedules a copy of itself, so the
 // measured cost is schedule + queue + dispatch per event. A plain struct
 // (not std::function) mirrors how call sites hand lambdas to Schedule.
@@ -264,9 +405,9 @@ ReplayResult ReplayOnce(const zone::RootZoneModel& zone_model,
   sim::Network net(sim, 21);
   topo::GeoRegistry registry;
   net.set_latency_fn(registry.LatencyFn());
-  auto root_zone =
-      std::make_shared<zone::Zone>(zone_model.Snapshot({2018, 4, 11}));
-  rootsrv::TldFarm farm(net, registry, *root_zone, 5);
+  const zone::SnapshotPtr root_snapshot =
+      zone::ZoneSnapshot::Build(zone_model.Snapshot({2018, 4, 11}));
+  rootsrv::TldFarm farm(net, registry, *root_snapshot, 5);
 
   resolver::ResolverConfig rconfig;
   rconfig.mode = resolver::RootMode::kOnDemandZoneFile;
@@ -275,7 +416,7 @@ ReplayResult ReplayOnce(const zone::RootZoneModel& zone_model,
   resolver::RecursiveResolver r(sim, net, rconfig, where);
   registry.SetLocation(r.node(), where);
   r.SetTldFarm(&farm);
-  r.SetLocalZone(root_zone);
+  r.SetLocalZone(root_snapshot);
 
   std::size_t next = 0;
   std::uint64_t done = 0;
@@ -405,6 +546,17 @@ int main(int argc, char** argv) {
   run("sim_queue_500k_ns", BenchSimQueueMillion(sim::QueuePolicy::kBinaryHeap));
   run("sim_queue_500k_cal_ns",
       BenchSimQueueMillion(sim::QueuePolicy::kCalendar));
+  const ReferralBenchResult referral = BenchReferralBuild();
+  run("referral_build_ns", referral.view_ns);
+  run("referral_build_copy_ns", referral.copy_ns);
+  run("referral_build_allocs", referral.view_allocs);
+  run("referral_build_copy_allocs", referral.copy_allocs);
+  const ZoneSwapBenchResult swap = BenchZoneSwap();
+  run("zone_swap_ns", swap.apply_ns);
+  run("zone_build_ns", swap.build_ns);
+  std::printf("zone_swap: %zu/%zu rrsets in delta page, %zu pages shared "
+              "with base\n",
+              swap.delta_rrsets, swap.total_rrsets, swap.shared_pages);
   const ReplayResult replay = BenchTrafficReplay();
   run("replay_qps", replay.qps);
 

@@ -34,6 +34,7 @@ int main() {
   const zone::RootZoneModel model;
   auto root_zone =
       std::make_shared<zone::Zone>(model.Snapshot({2019, 6, 7}));
+  const zone::SnapshotPtr root_snapshot = zone::ZoneSnapshot::Build(*root_zone);
 
   const int kResolvers = 40;
   const int kLookupsEach = 150;
@@ -48,8 +49,8 @@ int main() {
     net.set_latency_fn(registry.LatencyFn());
     const topo::DeploymentModel deployment;
     rootsrv::RootServerFleet fleet(net, registry, deployment, {2019, 6, 7},
-                                   root_zone);
-    rootsrv::TldFarm farm(net, registry, *root_zone, 5);
+                                   root_snapshot);
+    rootsrv::TldFarm farm(net, registry, *root_snapshot, 5);
 
     std::vector<std::string> tlds;
     for (const auto& child : root_zone->DelegatedChildren())
@@ -70,7 +71,7 @@ int main() {
       registry.SetLocation(r->node(), where);
       r->SetTldFarm(&farm);
       if (local) {
-        r->SetLocalZone(root_zone);
+        r->SetLocalZone(root_snapshot);
       } else {
         r->SetRootFleet(&fleet);
       }

@@ -42,10 +42,11 @@ Row Run(resolver::RootMode mode, bool qmin) {
   const zone::RootZoneModel zone_model;
   auto root_zone =
       std::make_shared<zone::Zone>(zone_model.Snapshot({2019, 6, 7}));
+  const zone::SnapshotPtr root_snapshot = zone::ZoneSnapshot::Build(*root_zone);
   const topo::DeploymentModel deployment;
   rootsrv::RootServerFleet fleet(net, registry, deployment, {2019, 6, 7},
-                                 root_zone);
-  rootsrv::TldFarm farm(net, registry, *root_zone, 5);
+                                 root_snapshot);
+  rootsrv::TldFarm farm(net, registry, *root_snapshot, 5);
 
   resolver::ResolverConfig config;
   config.mode = mode;
@@ -58,7 +59,7 @@ Row Run(resolver::RootMode mode, bool qmin) {
   if (mode == resolver::RootMode::kRootServers) {
     r.SetRootFleet(&fleet);
   } else {
-    r.SetLocalZone(root_zone);
+    r.SetLocalZone(root_snapshot);
   }
 
   std::vector<std::string> tlds;

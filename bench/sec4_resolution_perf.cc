@@ -48,10 +48,11 @@ ModeResult RunMode(resolver::RootMode mode, double extra_db_latency_us = 0) {
   const zone::RootZoneModel zone_model;
   auto root_zone =
       std::make_shared<zone::Zone>(zone_model.Snapshot({2018, 4, 11}));
+  const zone::SnapshotPtr root_snapshot = zone::ZoneSnapshot::Build(*root_zone);
   const topo::DeploymentModel deployment;
   rootsrv::RootServerFleet fleet(net, registry, deployment, {2018, 4, 11},
-                                 root_zone);
-  rootsrv::TldFarm farm(net, registry, *root_zone, 5);
+                                 root_snapshot);
+  rootsrv::TldFarm farm(net, registry, *root_snapshot, 5);
 
   resolver::ResolverConfig config;
   config.mode = mode;
@@ -69,13 +70,13 @@ ModeResult RunMode(resolver::RootMode mode, double extra_db_latency_us = 0) {
       r.SetRootFleet(&fleet);
       break;
     case resolver::RootMode::kLoopbackAuth:
-      loopback = std::make_unique<rootsrv::AuthServer>(net, root_zone);
+      loopback = std::make_unique<rootsrv::AuthServer>(net, root_snapshot);
       registry.SetLocation(loopback->node(), where);
       r.SetLoopbackNode(loopback->node());
-      r.SetLocalZone(root_zone);
+      r.SetLocalZone(root_snapshot);
       break;
     default:
-      r.SetLocalZone(root_zone);
+      r.SetLocalZone(root_snapshot);
       break;
   }
 

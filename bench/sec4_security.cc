@@ -53,10 +53,11 @@ Outcome Run(resolver::RootMode mode, bool validate) {
   auto root_zone = std::make_shared<zone::Zone>(zone::SignZone(
       zone_model.Snapshot({2019, 6, 7}), zsk, {0, 2'000'000'000}));
 
+  const zone::SnapshotPtr root_snapshot = zone::ZoneSnapshot::Build(*root_zone);
   const topo::DeploymentModel deployment;
   rootsrv::RootServerFleet fleet(net, registry, deployment, {2019, 6, 7},
-                                 root_zone, /*include_dnssec=*/true);
-  rootsrv::TldFarm farm(net, registry, *root_zone, 5);
+                                 root_snapshot, /*include_dnssec=*/true);
+  rootsrv::TldFarm farm(net, registry, *root_snapshot, 5);
 
   // The censor: spoof NXDOMAIN for any root-bound query about .com.
   std::unordered_set<sim::NodeId> root_nodes;
@@ -92,7 +93,7 @@ Outcome Run(resolver::RootMode mode, bool validate) {
   if (mode == resolver::RootMode::kRootServers) {
     r.SetRootFleet(&fleet);
   } else {
-    r.SetLocalZone(root_zone);
+    r.SetLocalZone(root_snapshot);
   }
   if (validate) r.SetTrustAnchor(zsk.dnskey, trust);
 

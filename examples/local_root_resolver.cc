@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
   const zone::RootZoneModel zone_model;
   auto root_zone =
       std::make_shared<zone::Zone>(zone_model.Snapshot({2019, 6, 7}));
+  // One immutable snapshot shared (zero-copy) by the fleet, the farm, the
+  // loopback servers, and the local-root resolvers.
+  const zone::SnapshotPtr root_snapshot = zone::ZoneSnapshot::Build(*root_zone);
   const topo::DeploymentModel deployment;
 
   std::printf("root zone %s: %zu records, %zu TLDs; fleet of %d instances\n\n",
@@ -41,8 +44,8 @@ int main(int argc, char** argv) {
     topo::GeoRegistry registry;
     net.set_latency_fn(registry.LatencyFn());
     rootsrv::RootServerFleet fleet(net, registry, deployment, {2019, 6, 7},
-                                   root_zone);
-    rootsrv::TldFarm farm(net, registry, *root_zone, 5);
+                                   root_snapshot);
+    rootsrv::TldFarm farm(net, registry, *root_snapshot, 5);
 
     resolver::ResolverConfig config;
     config.mode = mode;
@@ -55,12 +58,12 @@ int main(int argc, char** argv) {
     if (mode == resolver::RootMode::kRootServers) {
       r.SetRootFleet(&fleet);
     } else if (mode == resolver::RootMode::kLoopbackAuth) {
-      loopback = std::make_unique<rootsrv::AuthServer>(net, root_zone);
+      loopback = std::make_unique<rootsrv::AuthServer>(net, root_snapshot);
       registry.SetLocation(loopback->node(), where);
       r.SetLoopbackNode(loopback->node());
-      r.SetLocalZone(root_zone);
+      r.SetLocalZone(root_snapshot);
     } else {
-      r.SetLocalZone(root_zone);
+      r.SetLocalZone(root_snapshot);
     }
 
     std::vector<std::string> tlds;

@@ -16,6 +16,7 @@
 #include "util/base64.h"
 #include "zone/master_file.h"
 #include "zone/zone.h"
+#include "zone/zone_snapshot.h"
 
 int main() {
   using namespace rootless;
@@ -82,15 +83,17 @@ ns1.nic.org. 172800 IN A 192.0.2.20
   sim::Network net(sim, 1);
   topo::GeoRegistry registry;
   net.set_latency_fn(registry.LatencyFn());
-  auto shared_zone = std::make_shared<zone::Zone>(root_zone);
-  rootsrv::TldFarm farm(net, registry, *shared_zone, 2);
+  // Freeze the zone into an immutable snapshot: every consumer below shares
+  // this one arena-backed copy by refcounted pointer.
+  zone::SnapshotPtr root_snapshot = zone::ZoneSnapshot::Build(root_zone);
+  rootsrv::TldFarm farm(net, registry, *root_snapshot, 2);
 
   resolver::ResolverConfig config;
   config.mode = resolver::RootMode::kOnDemandZoneFile;
   resolver::RecursiveResolver resolver(sim, net, config, {48.85, 2.35});
   registry.SetLocation(resolver.node(), {48.85, 2.35});
   resolver.SetTldFarm(&farm);
-  resolver.SetLocalZone(shared_zone);
+  resolver.SetLocalZone(root_snapshot);
 
   resolver.Resolve(*dns::Name::Parse("www.sigcomm.org."), dns::RRType::kA,
                    [](const resolver::ResolutionResult& result) {

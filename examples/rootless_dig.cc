@@ -82,9 +82,10 @@ int main(int argc, char** argv) {
   net.set_latency_fn(registry.LatencyFn());
   const zone::RootZoneModel model;
   auto root_zone = std::make_shared<zone::Zone>(model.Snapshot(date));
+  const zone::SnapshotPtr root_snapshot = zone::ZoneSnapshot::Build(*root_zone);
   const topo::DeploymentModel deployment;
   std::unique_ptr<rootsrv::RootServerFleet> fleet;
-  rootsrv::TldFarm farm(net, registry, *root_zone, 2);
+  rootsrv::TldFarm farm(net, registry, *root_snapshot, 2);
 
   resolver::ResolverConfig config;
   config.mode = mode;
@@ -97,15 +98,15 @@ int main(int argc, char** argv) {
   std::unique_ptr<rootsrv::AuthServer> loopback;
   if (mode == resolver::RootMode::kRootServers) {
     fleet = std::make_unique<rootsrv::RootServerFleet>(
-        net, registry, deployment, date, root_zone);
+        net, registry, deployment, date, root_snapshot);
     r.SetRootFleet(fleet.get());
   } else if (mode == resolver::RootMode::kLoopbackAuth) {
-    loopback = std::make_unique<rootsrv::AuthServer>(net, root_zone);
+    loopback = std::make_unique<rootsrv::AuthServer>(net, root_snapshot);
     registry.SetLocation(loopback->node(), where);
     r.SetLoopbackNode(loopback->node());
-    r.SetLocalZone(root_zone);
+    r.SetLocalZone(root_snapshot);
   } else {
-    r.SetLocalZone(root_zone);
+    r.SetLocalZone(root_snapshot);
   }
 
   std::printf("; rootless_dig %s %s  mode=%s qmin=%d tls=%d zone=%s (%zu "

@@ -74,14 +74,14 @@ int main() {
     sim::Simulator axfr_sim;
     sim::Network axfr_net(axfr_sim, 3);
     axfr_net.set_loss_rate(0.05);
-    auto served = std::make_shared<const zone::Zone>(today);
+    auto served = zone::ZoneSnapshot::Build(today);
     distrib::AxfrServer server(axfr_net, [&]() { return served; });
     distrib::AxfrClient client(axfr_sim, axfr_net);
     bool exact = false;
     client.Fetch(server.node(), 0,
-                 [&](util::Result<std::shared_ptr<const zone::Zone>> result) {
+                 [&](util::Result<zone::SnapshotPtr> result) {
                    exact = result.ok() && *result != nullptr &&
-                           **result == today;
+                           (*result)->SameContent(*served);
                  });
     axfr_sim.RunUntil(10 * sim::kMinute);
     std::printf("axfr over 5%% loss: %u chunks, %u retransmits, zone %s\n",
@@ -92,7 +92,7 @@ int main() {
 
   // 5. Refresh daemon riding through an outage (paper §4 robustness).
   sim::Simulator sim;
-  auto provider = std::make_shared<const zone::Zone>(today);
+  auto provider = zone::ZoneSnapshot::Build(today);
   distrib::FetchServiceConfig fetch_config;
   distrib::ZoneFetchService service(sim, fetch_config,
                                     [&]() { return provider; });
@@ -104,12 +104,12 @@ int main() {
       [&](std::function<void(resolver::RefreshDaemon::FetchResult)> done) {
         service.Fetch(std::move(done));
       },
-      [&](std::shared_ptr<const zone::Zone> z) {
+      [&](zone::SnapshotPtr z) {
         std::printf("  [t=%5.1f h] applied zone serial %u\n",
                     static_cast<double>(sim.now()) / sim::kHour, z->Serial());
       });
   std::printf("refresh daemon with a 42h..47h fetch outage:\n");
-  daemon.Start(std::make_shared<const zone::Zone>(yesterday));
+  daemon.Start(zone::ZoneSnapshot::Build(yesterday));
   sim.RunUntil(4 * sim::kDay);
   std::printf("  attempts %llu, failures %llu, refreshes %llu, "
               "expirations %llu (zone stayed valid: %s)\n",

@@ -50,7 +50,7 @@ void AxfrServer::HandleDatagram(const sim::Datagram& datagram) {
     ++stats_.requests;
     std::uint32_t have_serial = 0;
     if (!r.ReadU32(have_serial)) return;
-    std::shared_ptr<const zone::Zone> current = provider_();
+    zone::SnapshotPtr current = provider_();
     if (current->Serial() == have_serial) {
       ++stats_.uptodate;
       ByteWriter w;
@@ -60,7 +60,7 @@ void AxfrServer::HandleDatagram(const sim::Datagram& datagram) {
       return;
     }
     if (current->Serial() != cached_serial_) {
-      cached_snapshot_ = zone::SerializeZone(*current);
+      cached_snapshot_ = zone::SerializeSnapshot(*current);
       cached_serial_ = current->Serial();
     }
     const std::uint32_t chunk_count = static_cast<std::uint32_t>(
@@ -117,23 +117,23 @@ void AxfrClient::Fetch(sim::NodeId server, std::uint32_t have_serial,
 
   // META timeout: retry the request a few times.
   const std::uint64_t generation = ++transfer_->generation;
-  auto arm_meta_timeout = std::make_shared<std::function<void()>>();
-  *arm_meta_timeout = [this, have_serial, generation, arm_meta_timeout]() {
-    sim_.Schedule(chunk_timeout_, [this, have_serial, generation,
-                                   arm_meta_timeout]() {
-      if (transfer_ == nullptr || transfer_->meta_received ||
-          transfer_->generation != generation)
-        return;
-      if (++transfer_->meta_retries > max_chunk_retries_) {
-        FinishError("axfr: no response to transfer request");
-        return;
-      }
-      ++stats_.retransmits;
-      SendRequest(have_serial);
-      (*arm_meta_timeout)();
-    });
-  };
-  (*arm_meta_timeout)();
+  ArmMetaTimeout(have_serial, generation);
+}
+
+void AxfrClient::ArmMetaTimeout(std::uint32_t have_serial,
+                                std::uint64_t generation) {
+  sim_.Schedule(chunk_timeout_, [this, have_serial, generation]() {
+    if (transfer_ == nullptr || transfer_->meta_received ||
+        transfer_->generation != generation)
+      return;
+    if (++transfer_->meta_retries > max_chunk_retries_) {
+      FinishError("axfr: no response to transfer request");
+      return;
+    }
+    ++stats_.retransmits;
+    SendRequest(have_serial);
+    ArmMetaTimeout(have_serial, generation);
+  });
 }
 
 void AxfrClient::SendRequest(std::uint32_t have_serial) {
@@ -196,7 +196,7 @@ void AxfrClient::HandleDatagram(const sim::Datagram& datagram) {
     ++stats_.uptodate;
     auto callback = std::move(t.callback);
     transfer_.reset();
-    callback(std::shared_ptr<const zone::Zone>(nullptr));
+    callback(zone::SnapshotPtr(nullptr));
     return;
   }
 
@@ -245,13 +245,13 @@ void AxfrClient::FinishSuccess() {
   auto callback = std::move(t.callback);
   transfer_.reset();
   ++stats_.transfers;
-  auto zone = zone::DeserializeZone(snapshot);
+  auto zone = zone::DeserializeSnapshot(snapshot);
   if (!zone.ok()) {
     ++stats_.failures;
     callback(zone.error());
     return;
   }
-  callback(std::make_shared<const zone::Zone>(std::move(*zone)));
+  callback(std::move(*zone));
 }
 
 void AxfrClient::FinishError(const std::string& message) {

@@ -20,7 +20,7 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "util/result.h"
-#include "zone/zone.h"
+#include "zone/zone_snapshot.h"
 
 namespace rootless::distrib {
 
@@ -33,7 +33,7 @@ struct AxfrServerStats {
 
 class AxfrServer {
  public:
-  using ZoneProvider = std::function<std::shared_ptr<const zone::Zone>()>;
+  using ZoneProvider = std::function<zone::SnapshotPtr()>;
 
   AxfrServer(sim::Network& network, ZoneProvider provider,
              std::size_t chunk_size = 1200);
@@ -64,10 +64,10 @@ struct AxfrClientStats {
 
 class AxfrClient {
  public:
-  // On success delivers the transferred zone; an up-to-date exchange
-  // delivers nullptr (the caller keeps its copy).
+  // On success delivers the transferred zone snapshot; an up-to-date
+  // exchange delivers nullptr (the caller keeps its copy).
   using TransferCallback =
-      std::function<void(util::Result<std::shared_ptr<const zone::Zone>>)>;
+      std::function<void(util::Result<zone::SnapshotPtr>)>;
 
   AxfrClient(sim::Simulator& sim, sim::Network& network, int window = 8,
              sim::SimTime chunk_timeout = 2 * sim::kSecond,
@@ -100,6 +100,7 @@ class AxfrClient {
   void RequestMoreChunks();
   void RequestChunk(std::uint32_t index);
   void ArmChunkTimeout(std::uint32_t index, std::uint64_t generation);
+  void ArmMetaTimeout(std::uint32_t have_serial, std::uint64_t generation);
   void FinishSuccess();
   void FinishError(const std::string& message);
 

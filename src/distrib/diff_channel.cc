@@ -9,19 +9,20 @@ using util::Bytes;
 using util::ByteWriter;
 using util::Error;
 
-DiffPublisher::DiffPublisher(zone::Zone initial, std::size_t max_history)
+DiffPublisher::DiffPublisher(zone::SnapshotPtr initial,
+                             std::size_t max_history)
     : latest_(std::move(initial)), max_history_(max_history) {}
 
-std::size_t DiffPublisher::Publish(const zone::Zone& next) {
-  const zone::ZoneDiff diff = DiffZones(latest_, next);
+std::size_t DiffPublisher::Publish(zone::SnapshotPtr next) {
+  const zone::ZoneDiff diff = DiffSnapshots(*latest_, *next);
   Entry entry;
-  entry.from_serial = latest_.Serial();
-  entry.to_serial = next.Serial();
+  entry.from_serial = latest_->Serial();
+  entry.to_serial = next->Serial();
   entry.diff_wire = zone::SerializeDiff(diff);
   const std::size_t size = entry.diff_wire.size();
   history_.push_back(std::move(entry));
   while (history_.size() > max_history_) history_.pop_front();
-  latest_ = next;
+  latest_ = std::move(next);
   return size;
 }
 
@@ -45,7 +46,7 @@ DiffPublisher::Update DiffPublisher::UpdatesSince(
   if (start == history_.size()) {
     // Too far behind (or unknown serial): full zone.
     update.kind = Update::Kind::kFullZone;
-    update.payload = zone::SerializeZone(latest_);
+    update.payload = zone::SerializeSnapshot(*latest_);
     return update;
   }
   update.kind = Update::Kind::kDiffs;
@@ -66,10 +67,10 @@ util::Status DiffSubscriber::Apply(const DiffPublisher::Update& update) {
     case DiffPublisher::Update::Kind::kUpToDate:
       return util::Status::Ok();
     case DiffPublisher::Update::Kind::kFullZone: {
-      auto zone = zone::DeserializeZone(update.payload);
-      if (!zone.ok()) return Error(zone.error().message());
+      auto snapshot = zone::DeserializeSnapshot(update.payload);
+      if (!snapshot.ok()) return Error(snapshot.error().message());
       full_bytes_ += update.payload.size();
-      zone_ = std::move(*zone);
+      snapshot_ = std::move(*snapshot);
       ++applied_;
       return util::Status::Ok();
     }
@@ -84,14 +85,16 @@ util::Status DiffSubscriber::Apply(const DiffPublisher::Update& update) {
           return Error("diffchannel: truncated entry");
         std::span<const std::uint8_t> wire;
         if (!r.ReadSpan(size, wire)) return Error("diffchannel: truncated diff");
-        if (from != zone_.Serial())
+        if (from != snapshot_->Serial())
           return Error("diffchannel: chain does not start at our serial");
         auto diff = zone::DeserializeDiff(wire);
         if (!diff.ok()) return Error(diff.error().message());
-        ROOTLESS_RETURN_IF_ERROR(ApplyDiff(zone_, *diff));
+        auto next = zone::ZoneSnapshot::Apply(snapshot_, *diff);
+        if (!next.ok()) return Error(next.error().message());
+        snapshot_ = std::move(*next);
         diff_bytes_ += size;
         ++applied_;
-        if (zone_.Serial() != to)
+        if (snapshot_->Serial() != to)
           return Error("diffchannel: serial mismatch after apply");
       }
       if (!r.at_end()) return Error("diffchannel: trailing bytes");

@@ -3,6 +3,11 @@
 // a subscriber at serial S asks for "updates since S" and receives either
 // nothing (up to date), a chain of diffs (cheap, the common case), or a
 // full-zone fallback when it is too far behind for the retained history.
+//
+// Both ends hold immutable snapshots: the publisher diffs consecutive
+// snapshots without materializing zones, and the subscriber applies diff
+// chains via ZoneSnapshot::Apply, so each update allocates only the changed
+// RRsets and shares every untouched arena page with the previous version.
 #pragma once
 
 #include <cstdint>
@@ -10,8 +15,8 @@
 
 #include "util/bytes.h"
 #include "util/result.h"
-#include "zone/zone.h"
 #include "zone/zone_diff.h"
+#include "zone/zone_snapshot.h"
 
 namespace rootless::distrib {
 
@@ -27,14 +32,21 @@ class DiffPublisher {
 
   // Retains at most `max_history` consecutive diffs before falling back to
   // full-zone answers for older subscribers.
-  DiffPublisher(zone::Zone initial, std::size_t max_history = 64);
+  DiffPublisher(zone::SnapshotPtr initial, std::size_t max_history = 64);
+  // Convenience: snapshots the zone once, then publishes as above.
+  explicit DiffPublisher(const zone::Zone& initial,
+                         std::size_t max_history = 64)
+      : DiffPublisher(zone::ZoneSnapshot::Build(initial), max_history) {}
 
   // Publishes a new version (serial must advance). Returns the diff size in
   // bytes for accounting.
-  std::size_t Publish(const zone::Zone& next);
+  std::size_t Publish(zone::SnapshotPtr next);
+  std::size_t Publish(const zone::Zone& next) {
+    return Publish(zone::ZoneSnapshot::Build(next));
+  }
 
-  std::uint32_t latest_serial() const { return latest_.Serial(); }
-  const zone::Zone& latest() const { return latest_; }
+  std::uint32_t latest_serial() const { return latest_->Serial(); }
+  const zone::SnapshotPtr& latest() const { return latest_; }
 
   // Builds the update for a subscriber currently at `have_serial`.
   Update UpdatesSince(std::uint32_t have_serial) const;
@@ -46,20 +58,25 @@ class DiffPublisher {
     util::Bytes diff_wire;
   };
 
-  zone::Zone latest_;
+  zone::SnapshotPtr latest_;
   std::size_t max_history_;
   std::deque<Entry> history_;
 };
 
 class DiffSubscriber {
  public:
-  explicit DiffSubscriber(zone::Zone initial) : zone_(std::move(initial)) {}
+  explicit DiffSubscriber(zone::SnapshotPtr initial)
+      : snapshot_(std::move(initial)) {}
+  explicit DiffSubscriber(const zone::Zone& initial)
+      : snapshot_(zone::ZoneSnapshot::Build(initial)) {}
 
-  const zone::Zone& zone() const { return zone_; }
-  std::uint32_t serial() const { return zone_.Serial(); }
+  const zone::SnapshotPtr& snapshot() const { return snapshot_; }
+  std::uint32_t serial() const { return snapshot_->Serial(); }
 
   // Applies an update from the publisher. Rejects diff chains that do not
-  // start at the subscriber's serial (protects against replay/gaps).
+  // start at the subscriber's serial (protects against replay/gaps). Diff
+  // application swaps in a new snapshot that structurally shares all
+  // unchanged pages with the old one.
   util::Status Apply(const DiffPublisher::Update& update);
 
   // Accounting for the §5.2/§5.3 cost comparison.
@@ -68,7 +85,7 @@ class DiffSubscriber {
   std::uint64_t updates_applied() const { return applied_; }
 
  private:
-  zone::Zone zone_;
+  zone::SnapshotPtr snapshot_;
   std::uint64_t diff_bytes_ = 0;
   std::uint64_t full_bytes_ = 0;
   std::uint64_t applied_ = 0;

@@ -15,8 +15,8 @@ void ZoneFetchService::Fetch(FetchCallback callback) {
                   });
     return;
   }
-  std::shared_ptr<const zone::Zone> z = provider_();
-  const std::size_t size = SerializeZone(*z).size();
+  zone::SnapshotPtr z = provider_();
+  const std::size_t size = SerializeSnapshot(*z).size();
   stats_.bytes_served += size;
   const sim::SimTime transfer =
       config_.base_latency +

@@ -11,7 +11,7 @@
 #include "crypto/dnssec.h"
 #include "sim/simulator.h"
 #include "util/result.h"
-#include "zone/zone.h"
+#include "zone/zone_snapshot.h"
 
 namespace rootless::distrib {
 
@@ -32,8 +32,8 @@ struct FetchServiceStats {
 
 class ZoneFetchService {
  public:
-  using ZoneProvider = std::function<std::shared_ptr<const zone::Zone>()>;
-  using FetchResult = util::Result<std::shared_ptr<const zone::Zone>>;
+  using ZoneProvider = std::function<zone::SnapshotPtr()>;
+  using FetchResult = util::Result<zone::SnapshotPtr>;
   using FetchCallback = std::function<void(FetchResult)>;
 
   ZoneFetchService(sim::Simulator& sim, FetchServiceConfig config,

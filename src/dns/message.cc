@@ -1,6 +1,6 @@
 #include "dns/message.h"
 
-#include <unordered_map>
+#include <array>
 
 #include "util/strings.h"
 
@@ -11,27 +11,28 @@ using util::Result;
 
 namespace {
 
-// Compression dictionary: maps a name suffix (canonical flattened bytes) to
-// its offset. Keys are views over a lowered copy of the name's flat buffer,
-// so lookups never allocate; only first-seen suffixes are materialized.
+// Compression dictionary with zero heap use: the candidate set is the wire
+// offsets where a name's encoding starts (every label position we have
+// emitted), and matching compares the query suffix against the bytes already
+// written — following compression pointers — instead of storing keys. The
+// dictionary contents, first-match-wins order, and therefore the produced
+// bytes are identical to a map keyed by flattened lowered suffixes; this
+// form just never allocates, which keeps the zero-copy AnswerWire path at
+// O(1) allocations per response.
 class NameCompressor {
  public:
   void EncodeName(const Name& name, util::ByteWriter& w) {
     const auto flat = name.flat();
-    // One lowered copy per name; every suffix key is a view into it.
-    char lowered[Name::kMaxFlatBytes];
-    for (std::size_t i = 0; i < flat.size(); ++i) {
-      lowered[i] = util::AsciiToLower(static_cast<char>(flat[i]));
-    }
     std::size_t offset = 0;
     for (std::size_t i = 0; i < name.label_count(); ++i) {
-      const std::string_view suffix(lowered + offset, flat.size() - offset);
-      auto it = offsets_.find(suffix);
-      if (it != offsets_.end() && it->second <= 0x3FFF) {
-        w.WriteU16(static_cast<std::uint16_t>(0xC000 | it->second));
+      const std::size_t match = FindSuffix(w.span(), flat, offset);
+      if (match != kNoMatch) {
+        w.WriteU16(static_cast<std::uint16_t>(0xC000 | match));
         return;
       }
-      if (w.size() <= 0x3FFF) offsets_.emplace(suffix, w.size());
+      if (w.size() <= 0x3FFF && count_ < kMaxStarts) {
+        starts_[count_++] = static_cast<std::uint16_t>(w.size());
+      }
       const std::size_t len = flat[offset];
       w.WriteBytes(flat.subspan(offset, 1 + len));
       offset += 1 + len;
@@ -40,9 +41,52 @@ class NameCompressor {
   }
 
  private:
-  std::unordered_map<std::string, std::size_t, util::TransparentStringHash,
-                     util::TransparentStringEqual>
-      offsets_;
+  static constexpr std::size_t kNoMatch = static_cast<std::size_t>(-1);
+  // More starts than any response holds; overflow just means later names
+  // compress a little less (never triggered by DNS-sized messages).
+  static constexpr std::size_t kMaxStarts = 192;
+
+  // True iff the name encoded in `wire` at `at` equals the suffix of `flat`
+  // beginning at `from` (label content ASCII case-insensitive). Encodings
+  // still being written simply run out of bytes and fail the match.
+  static bool WireMatches(std::span<const std::uint8_t> wire, std::size_t at,
+                          std::span<const std::uint8_t> flat,
+                          std::size_t from) {
+    for (;;) {
+      if (at >= wire.size()) return false;
+      const std::uint8_t len = wire[at];
+      if ((len & 0xC0) == 0xC0) {
+        if (at + 1 >= wire.size()) return false;
+        at = static_cast<std::size_t>(len & 0x3F) << 8 | wire[at + 1];
+        continue;
+      }
+      if (len == 0) return from == flat.size();
+      if (from >= flat.size() || flat[from] != len ||
+          at + 1 + len > wire.size()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < len; ++i) {
+        if (util::AsciiToLower(static_cast<char>(wire[at + 1 + i])) !=
+            util::AsciiToLower(static_cast<char>(flat[from + 1 + i]))) {
+          return false;
+        }
+      }
+      at += 1 + len;
+      from += 1 + len;
+    }
+  }
+
+  std::size_t FindSuffix(std::span<const std::uint8_t> wire,
+                         std::span<const std::uint8_t> flat,
+                         std::size_t from) const {
+    for (std::size_t k = 0; k < count_; ++k) {
+      if (WireMatches(wire, starts_[k], flat, from)) return starts_[k];
+    }
+    return kNoMatch;
+  }
+
+  std::array<std::uint16_t, kMaxStarts> starts_;
+  std::size_t count_ = 0;
 };
 
 void EncodeHeader(const Header& h, std::uint16_t qd, std::uint16_t an,
@@ -77,6 +121,41 @@ void EncodeRecord(const ResourceRecord& rr, NameCompressor& compressor,
   w.PatchU16(len_offset, static_cast<std::uint16_t>(w.size() - start));
 }
 
+// Same wire bytes as EncodeRecord on the expanded ResourceRecord, but reads
+// name/ttl/rdata straight out of borrowed storage.
+void EncodeViewRecord(const RRsetView& set, const Rdata& rdata,
+                      NameCompressor& compressor, util::ByteWriter& w) {
+  compressor.EncodeName(*set.name, w);
+  w.WriteU16(static_cast<std::uint16_t>(set.type));
+  w.WriteU16(static_cast<std::uint16_t>(set.rrclass));
+  w.WriteU32(set.ttl);
+  const std::size_t len_offset = w.size();
+  w.WriteU16(0);  // placeholder RDLENGTH
+  const std::size_t start = w.size();
+  EncodeRdata(rdata, w);
+  w.PatchU16(len_offset, static_cast<std::uint16_t>(w.size() - start));
+}
+
+// Emits the first `limit` records of a section of RRset views (each view
+// expands to one record per rdata, in rdata order).
+void EncodeViewSection(const std::vector<RRsetView>& sets, std::size_t limit,
+                       NameCompressor& compressor, util::ByteWriter& w) {
+  std::size_t emitted = 0;
+  for (const auto& set : sets) {
+    for (const auto& rd : set.rdatas) {
+      if (emitted == limit) return;
+      EncodeViewRecord(set, rd, compressor, w);
+      ++emitted;
+    }
+  }
+}
+
+std::size_t SectionRecordCount(const std::vector<RRsetView>& sets) {
+  std::size_t n = 0;
+  for (const auto& set : sets) n += set.size();
+  return n;
+}
+
 }  // namespace
 
 std::size_t Message::WireSize() const { return EncodeMessage(*this).size(); }
@@ -87,6 +166,7 @@ util::Bytes EncodeMessage(const Message& m, std::size_t max_size) {
   auto encode = [&](std::size_t an, std::size_t ns, std::size_t ar,
                     bool tc) -> util::Bytes {
     util::ByteWriter w;
+    w.Reserve(max_size ? max_size : 512);
     Header h = m.header;
     h.tc = tc;
     EncodeHeader(h, static_cast<std::uint16_t>(m.questions.size()),
@@ -114,6 +194,47 @@ util::Bytes EncodeMessage(const Message& m, std::size_t max_size) {
   // Drop additional, then authority, then answers until it fits.
   std::size_t an = m.answers.size(), ns = m.authority.size(),
               ar = m.additional.size();
+  while (an + ns + ar > 0) {
+    if (ar > 0) --ar;
+    else if (ns > 0) --ns;
+    else --an;
+    wire = encode(an, ns, ar, true);
+    if (wire.size() <= max_size) return wire;
+  }
+  return wire;  // header + questions only, TC set
+}
+
+util::Bytes EncodeMessage(const MessageView& m, std::size_t max_size) {
+  // Mirrors the owning-Message overload: encode everything, then drop whole
+  // records back-to-front (additional → authority → answers) with TC set
+  // until the datagram fits.
+  auto encode = [&](std::size_t an, std::size_t ns, std::size_t ar,
+                    bool tc) -> util::Bytes {
+    util::ByteWriter w;
+    w.Reserve(max_size ? max_size : 512);
+    Header h = m.header;
+    h.tc = tc;
+    EncodeHeader(h, static_cast<std::uint16_t>(m.questions.size()),
+                 static_cast<std::uint16_t>(an), static_cast<std::uint16_t>(ns),
+                 static_cast<std::uint16_t>(ar), w);
+    NameCompressor compressor;
+    for (const auto& q : m.questions) {
+      compressor.EncodeName(q.name, w);
+      w.WriteU16(static_cast<std::uint16_t>(q.type));
+      w.WriteU16(static_cast<std::uint16_t>(q.rrclass));
+    }
+    EncodeViewSection(m.answers, an, compressor, w);
+    EncodeViewSection(m.authority, ns, compressor, w);
+    EncodeViewSection(m.additional, ar, compressor, w);
+    return w.TakeData();
+  };
+
+  std::size_t an = SectionRecordCount(m.answers);
+  std::size_t ns = SectionRecordCount(m.authority);
+  std::size_t ar = SectionRecordCount(m.additional);
+  util::Bytes wire = encode(an, ns, ar, false);
+  if (max_size == 0 || wire.size() <= max_size) return wire;
+
   while (an + ns + ar > 0) {
     if (ar > 0) --ar;
     else if (ns > 0) --ns;

@@ -61,6 +61,31 @@ struct Message {
 // mimicking UDP truncation at 512 or an EDNS size.
 util::Bytes EncodeMessage(const Message& message, std::size_t max_size = 0);
 
+// Borrowed message: sections are RRset views over storage owned elsewhere
+// (typically a zone::ZoneSnapshot arena). Lets an authoritative server go
+// from lookup straight to wire with zero per-query RRset copies. The vectors
+// are plain members so a server can reuse one MessageView as scratch across
+// queries (clear + refill, capacity retained).
+struct MessageView {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<RRsetView> answers;
+  std::vector<RRsetView> authority;
+  std::vector<RRsetView> additional;
+
+  void clear() {
+    questions.clear();
+    answers.clear();
+    authority.clear();
+    additional.clear();
+  }
+};
+
+// Encodes a borrowed message. Byte-identical to EncodeMessage on the
+// equivalent expanded Message (same compression dictionary growth, same
+// back-to-front whole-record truncation).
+util::Bytes EncodeMessage(const MessageView& message, std::size_t max_size = 0);
+
 util::Result<Message> DecodeMessage(std::span<const std::uint8_t> wire);
 
 // Convenience builders.

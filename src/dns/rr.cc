@@ -20,6 +20,16 @@ std::vector<ResourceRecord> RRset::ToRecords() const {
   return out;
 }
 
+RRset RRsetView::Materialize() const {
+  RRset out;
+  out.name = *name;
+  out.type = type;
+  out.rrclass = rrclass;
+  out.ttl = ttl;
+  out.rdatas.assign(rdatas.begin(), rdatas.end());
+  return out;
+}
+
 std::vector<RRset> GroupIntoRRsets(const std::vector<ResourceRecord>& records) {
   std::vector<RRset> sets;
   std::unordered_map<RRsetKey, std::size_t, RRsetKeyHash> index;

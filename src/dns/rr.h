@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -111,5 +112,28 @@ struct RRset {
 // Groups a flat record list into RRsets (keeping first-seen order; the TTL of
 // the set is the minimum of the member TTLs per RFC 2181 guidance).
 std::vector<RRset> GroupIntoRRsets(const std::vector<ResourceRecord>& records);
+
+// Borrowed RRset: points at a Name and a contiguous run of Rdata owned by
+// someone else (a zone::ZoneSnapshot arena page, or a plain RRset). The view
+// is only valid while its backing storage is alive — consumers that outlive
+// the source (e.g. a cache) must Materialize().
+struct RRsetView {
+  const Name* name = nullptr;
+  RRType type = RRType::kA;
+  RRClass rrclass = RRClass::kIN;
+  std::uint32_t ttl = 0;
+  std::span<const Rdata> rdatas;
+
+  bool empty() const { return rdatas.empty(); }
+  std::size_t size() const { return rdatas.size(); }
+
+  static RRsetView Of(const RRset& set) {
+    return RRsetView{&set.name, set.type, set.rrclass, set.ttl,
+                     std::span<const Rdata>(set.rdatas)};
+  }
+
+  // Deep-copies into an owning RRset.
+  RRset Materialize() const;
+};
 
 }  // namespace rootless::dns

@@ -9,6 +9,19 @@ namespace {
 // the steady-state fraction of dead entries bounded while adding a couple of
 // pointer chases to the insert path.
 constexpr int kSweepPerPut = 2;
+
+// Adapters letting PutImpl treat owning RRsets and borrowed RRsetViews
+// uniformly.
+inline const dns::Name& OwnerOf(const dns::RRset& s) { return s.name; }
+inline const dns::Name& OwnerOf(const dns::RRsetView& s) { return *s.name; }
+inline void AssignSet(dns::RRset& dst, const dns::RRset& src) { dst = src; }
+inline void AssignSet(dns::RRset& dst, const dns::RRsetView& src) {
+  dst.name = *src.name;
+  dst.type = src.type;
+  dst.rrclass = src.rrclass;
+  dst.ttl = src.ttl;
+  dst.rdatas.assign(src.rdatas.begin(), src.rdatas.end());
+}
 }  // namespace
 
 template <typename KeyLike>
@@ -40,49 +53,68 @@ const dns::RRset* DnsCache::Get(const dns::Name& name, dns::RRType type,
 }
 
 void DnsCache::Put(const dns::RRset& rrset, sim::SimTime now) {
-  PutWithExpiry(rrset, now + static_cast<sim::SimTime>(rrset.ttl) * sim::kSecond,
-                now);
+  PutImpl(rrset, now + static_cast<sim::SimTime>(rrset.ttl) * sim::kSecond,
+          now);
+}
+
+void DnsCache::Put(const dns::RRsetView& rrset, sim::SimTime now) {
+  PutImpl(rrset, now + static_cast<sim::SimTime>(rrset.ttl) * sim::kSecond,
+          now);
 }
 
 void DnsCache::PutWithExpiry(const dns::RRset& rrset, sim::SimTime expiry,
                              sim::SimTime now) {
-  const dns::RRsetKeyView probe{&rrset.name, rrset.type, rrset.rrclass};
+  PutImpl(rrset, expiry, now);
+}
+
+void DnsCache::PutWithExpiry(const dns::RRsetView& rrset, sim::SimTime expiry,
+                             sim::SimTime now) {
+  PutImpl(rrset, expiry, now);
+}
+
+template <typename SetLike>
+void DnsCache::PutImpl(const SetLike& rrset, sim::SimTime expiry,
+                       sim::SimTime now) {
+  const dns::RRsetKeyView probe{&OwnerOf(rrset), rrset.type, rrset.rrclass};
   auto it = entries_.find(probe);
   if (it != entries_.end()) {
     Entry& entry = it->second;
-    entry.rrset = rrset;
+    AssignSet(entry.rrset, rrset);
     entry.expiry = expiry;
     MoveToFront(entry);
     return;
   }
   ++stats_.insertions;
   if (capacity_ != 0 && entries_.size() >= capacity_ && lru_tail_ != nullptr) {
-    // At capacity a new key means insert+evict. Recycle the LRU tail's map
-    // node instead: copy-assign the key and RRset into the extracted node so
-    // its label buffer and rdata capacity are reused, then hang it back on
-    // the table — no pool traffic, no rdata reallocation in steady state.
+    // At capacity a new key means insert+evict. Salvage the victim's RRset
+    // buffers before erasing, so the new entry reuses its rdata capacity;
+    // the erased node goes on the pool free list and try_emplace takes it
+    // straight back — no heap traffic in steady state. (Deliberately not
+    // extract()/insert(node): libstdc++ < 14 never destroys the allocator
+    // copy a node handle holds once insertion empties it, which leaks the
+    // pool's shared state — GCC PR 114401.)
     Entry* victim = lru_tail_;
     Unlink(*victim);
-    auto node = entries_.extract(*victim->key);
+    dns::RRset recycled = std::move(victim->rrset);
+    entries_.erase(*victim->key);
     ++stats_.evictions;
-    node.key().name = rrset.name;
-    node.key().type = rrset.type;
-    node.key().rrclass = rrset.rrclass;
-    Entry& entry = node.mapped();
-    entry.rrset = rrset;
+    auto [slot, inserted] = entries_.try_emplace(
+        dns::RRsetKey{OwnerOf(rrset), rrset.type, rrset.rrclass});
+    ROOTLESS_CHECK(inserted);
+    Entry& entry = slot->second;
+    entry.rrset = std::move(recycled);
+    AssignSet(entry.rrset, rrset);
     entry.expiry = expiry;
-    // entry.key still points at this node's key slot, which just changed
-    // value but not address.
-    auto result = entries_.insert(std::move(node));
-    ROOTLESS_CHECK(result.inserted);
-    PushFront(result.position->second);
+    entry.key = &slot->first;
+    PushFront(entry);
     SweepStep(now);
     return;
   }
-  auto [slot, inserted] = entries_.try_emplace(rrset.key());
+  auto [slot, inserted] = entries_.try_emplace(
+      dns::RRsetKey{OwnerOf(rrset), rrset.type, rrset.rrclass});
   ROOTLESS_CHECK(inserted);
   Entry& entry = slot->second;
-  entry.rrset = rrset;
+  AssignSet(entry.rrset, rrset);
   entry.expiry = expiry;
   entry.key = &slot->first;
   PushFront(entry);

@@ -48,9 +48,15 @@ class DnsCache {
 
   // Inserts or replaces; expiry = now + ttl seconds.
   void Put(const dns::RRset& rrset, sim::SimTime now);
+  // Same, from a borrowed view (e.g. a zone::ZoneSnapshot arena): the cache
+  // owns its entries, so the view is deep-copied exactly once, straight into
+  // the map node — no intermediate RRset.
+  void Put(const dns::RRsetView& rrset, sim::SimTime now);
 
   // Inserts with an explicit expiry (used by zone preloading).
   void PutWithExpiry(const dns::RRset& rrset, sim::SimTime expiry,
+                     sim::SimTime now);
+  void PutWithExpiry(const dns::RRsetView& rrset, sim::SimTime expiry,
                      sim::SimTime now);
 
   // Drops expired entries eagerly; returns how many were removed.
@@ -89,6 +95,10 @@ class DnsCache {
   // Shared lookup body for key and key-view probes (instantiated in the .cc).
   template <typename KeyLike>
   const dns::RRset* GetImpl(const KeyLike& key, sim::SimTime now);
+
+  // Shared insert body for owning RRsets and borrowed RRsetViews.
+  template <typename SetLike>
+  void PutImpl(const SetLike& rrset, sim::SimTime expiry, sim::SimTime now);
 
   void PushFront(Entry& entry);
   void Unlink(Entry& entry);

@@ -36,15 +36,12 @@ RecursiveResolver::RecursiveResolver(sim::Simulator& sim,
       [this](const sim::Datagram& d) { HandleDatagram(d); });
 }
 
-void RecursiveResolver::SetLocalZone(
-    std::shared_ptr<const zone::Zone> root_zone) {
-  local_zone_ = std::move(root_zone);
-  db_.Load(*local_zone_);
+void RecursiveResolver::SetLocalZone(zone::SnapshotPtr root_zone) {
+  db_.Load(std::move(root_zone));
   if (config_.mode == RootMode::kCachePreload) {
     const sim::SimTime now = sim_.now();
-    for (const auto& rrset : local_zone_->AllRRsets()) {
-      cache_.Put(rrset, now);
-    }
+    db_.snapshot()->ForEachRRset(
+        [&](const dns::RRsetView& rrset) { cache_.Put(rrset, now); });
   }
 }
 
@@ -218,8 +215,10 @@ void RecursiveResolver::AskLocalStore(std::uint16_t id) {
     if (entry == nullptr) {
       // Local equivalent of a root NXDOMAIN.
       ++stats_.nxdomain;
-      if (local_zone_ != nullptr && local_zone_->soa() != nullptr) {
-        CacheNegative(tld, local_zone_->soa()->ToRecords());
+      std::optional<dns::RRsetView> soa;
+      if (db_.snapshot() != nullptr) soa = db_.snapshot()->soa();
+      if (soa.has_value()) {
+        CacheNegative(tld, soa->Materialize().ToRecords());
       } else {
         CacheNegative(tld, {});
       }

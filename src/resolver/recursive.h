@@ -115,10 +115,12 @@ class RecursiveResolver {
   void SetRootFleet(const rootsrv::RootServerFleet* fleet) { fleet_ = fleet; }
   // All modes: the TLD servers referrals point at.
   void SetTldFarm(const rootsrv::TldFarm* farm) { farm_ = farm; }
-  // Local-root modes: installs/updates the local root zone copy. Preload
-  // mode loads every RRset into the cache; on-demand mode (re)builds the
-  // ZoneDb.
-  void SetLocalZone(std::shared_ptr<const zone::Zone> root_zone);
+  // Local-root modes: installs/updates the local root zone copy as an
+  // immutable snapshot — the same SnapshotPtr a RefreshDaemon fetches and a
+  // whole fleet can share. Swapping is atomic: the ZoneDb index is rebuilt
+  // over the new snapshot (pointers only, no RRset copies); preload mode
+  // additionally loads every RRset into the cache.
+  void SetLocalZone(zone::SnapshotPtr root_zone);
   // kLoopbackAuth: node of the local root instance (an AuthServer whose
   // location equals this resolver's).
   void SetLoopbackNode(sim::NodeId node) {
@@ -205,7 +207,6 @@ class RecursiveResolver {
 
   const rootsrv::RootServerFleet* fleet_ = nullptr;
   const rootsrv::TldFarm* farm_ = nullptr;
-  std::shared_ptr<const zone::Zone> local_zone_;
   sim::NodeId loopback_ = 0;
   bool has_loopback_ = false;
   dns::DnskeyData trust_dnskey_;

@@ -14,7 +14,7 @@ RefreshDaemon::RefreshDaemon(sim::Simulator& sim, RefreshConfig config,
   ROOTLESS_CHECK(config_.retry_interval > 0);
 }
 
-void RefreshDaemon::Start(std::shared_ptr<const zone::Zone> initial) {
+void RefreshDaemon::Start(zone::SnapshotPtr initial) {
   expiry_ = sim_.now() + config_.zone_validity;
   apply_(std::move(initial));
   ScheduleNextAttempt(config_.zone_validity - config_.refresh_lead);

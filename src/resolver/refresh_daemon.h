@@ -12,7 +12,7 @@
 
 #include "sim/simulator.h"
 #include "util/result.h"
-#include "zone/zone.h"
+#include "zone/zone_snapshot.h"
 
 namespace rootless::resolver {
 
@@ -35,17 +35,19 @@ struct RefreshStats {
 
 class RefreshDaemon {
  public:
-  // Fetch is asynchronous: call the continuation with a new zone or an
-  // error. Apply installs a fetched zone into the resolver.
-  using FetchResult = util::Result<std::shared_ptr<const zone::Zone>>;
+  // Fetch is asynchronous: call the continuation with a new snapshot or an
+  // error. Apply installs a fetched snapshot into the resolver — the same
+  // zone::SnapshotPtr RecursiveResolver::SetLocalZone takes, so a refresh is
+  // an atomic pointer swap end-to-end.
+  using FetchResult = util::Result<zone::SnapshotPtr>;
   using FetchFn = std::function<void(std::function<void(FetchResult)>)>;
-  using ApplyFn = std::function<void(std::shared_ptr<const zone::Zone>)>;
+  using ApplyFn = std::function<void(zone::SnapshotPtr)>;
 
   RefreshDaemon(sim::Simulator& sim, RefreshConfig config, FetchFn fetch,
                 ApplyFn apply);
 
   // Installs the initial copy (fetched out of band) and schedules refreshes.
-  void Start(std::shared_ptr<const zone::Zone> initial);
+  void Start(zone::SnapshotPtr initial);
 
   bool zone_valid() const { return sim_.now() < expiry_; }
   sim::SimTime expiry() const { return expiry_; }

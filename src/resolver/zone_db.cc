@@ -5,29 +5,54 @@
 namespace rootless::resolver {
 
 using dns::Name;
+using dns::RRsetView;
 using dns::RRType;
 
-void ZoneDb::Load(const zone::Zone& root_zone) {
+void ZoneDb::Load(zone::SnapshotPtr snapshot) {
+  snapshot_ = std::move(snapshot);
   entries_.clear();
-  serial_ = root_zone.Serial();
-  for (const auto& child : root_zone.DelegatedChildren()) {
-    TldEntry entry;
-    const dns::RRset* ns = root_zone.Find(child, RRType::kNS);
-    if (ns == nullptr) continue;
-    entry.ns = *ns;
-    for (const auto& rd : ns->rdatas) {
+  views_.clear();
+  serial_ = snapshot_->Serial();
+
+  // Phase 1: collect each delegation's views. views_ may reallocate while
+  // growing, so entries record offsets and the spans are fixed up after.
+  struct PendingEntry {
+    RRsetView ns;
+    std::size_t glue_offset = 0, glue_count = 0;
+    std::size_t ds_offset = 0, ds_count = 0;
+  };
+  std::vector<PendingEntry> pending;
+  const Name& apex = snapshot_->apex();
+  snapshot_->ForEachRRset([&](const RRsetView& v) {
+    if (v.type != RRType::kNS || *v.name == apex) return;
+    PendingEntry entry;
+    entry.ns = v;
+    entry.glue_offset = views_.size();
+    for (const auto& rd : v.rdatas) {
       const Name& host = std::get<dns::NsData>(rd).nameserver;
-      if (const dns::RRset* a = root_zone.Find(host, RRType::kA)) {
-        entry.glue.push_back(*a);
-      }
-      if (const dns::RRset* aaaa = root_zone.Find(host, RRType::kAAAA)) {
-        entry.glue.push_back(*aaaa);
+      if (auto a = snapshot_->Find(host, RRType::kA)) views_.push_back(*a);
+      if (auto aaaa = snapshot_->Find(host, RRType::kAAAA)) {
+        views_.push_back(*aaaa);
       }
     }
-    if (const dns::RRset* ds = root_zone.Find(child, RRType::kDS)) {
-      entry.ds.push_back(*ds);
-    }
-    entries_.emplace(child.tld(), std::move(entry));
+    entry.glue_count = views_.size() - entry.glue_offset;
+    entry.ds_offset = views_.size();
+    if (auto ds = snapshot_->Find(*v.name, RRType::kDS)) views_.push_back(*ds);
+    entry.ds_count = views_.size() - entry.ds_offset;
+    pending.push_back(entry);
+  });
+
+  // Phase 2: views_ is final; hand out spans and key by the snapshot-owned
+  // name's TLD label.
+  entries_.reserve(pending.size());
+  for (const auto& p : pending) {
+    entries_.emplace(
+        p.ns.name->tld_view(),
+        TldEntry{p.ns,
+                 std::span<const RRsetView>(views_.data() + p.glue_offset,
+                                            p.glue_count),
+                 std::span<const RRsetView>(views_.data() + p.ds_offset,
+                                            p.ds_count)});
   }
 }
 
@@ -35,14 +60,6 @@ const TldEntry* ZoneDb::Lookup(std::string_view tld) const {
   auto it = entries_.find(tld);
   if (it == entries_.end()) return nullptr;
   return &it->second;
-}
-
-std::size_t ZoneDb::rrset_count() const {
-  std::size_t count = 0;
-  for (const auto& [tld, entry] : entries_) {
-    count += 1 + entry.glue.size() + entry.ds.size();
-  }
-  return count;
 }
 
 }  // namespace rootless::resolver

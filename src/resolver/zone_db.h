@@ -2,12 +2,15 @@
 // database" option, and the fast path the paper's §5.1 suggests beyond
 // scanning the compressed file.
 //
-// Maps TLD label -> the RRsets a root referral for that TLD would carry
-// (NS + glue + DS), so the on-demand local-root mode can answer "which
-// servers handle .com?" in O(1) without polluting the resolver cache.
+// The db is an index *over* an immutable zone::ZoneSnapshot, not a copy of
+// it: each TLD entry holds borrowed views (NS + glue + DS) into the
+// snapshot's arena, and the map is keyed by string_views into the
+// snapshot-owned owner names. Loading a new snapshot rebuilds only the index
+// (pointers), never the RRset data, and a fleet of resolvers can share one
+// snapshot with per-resolver ZoneDb indexes.
 #pragma once
 
-#include <string>
+#include <span>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -15,22 +18,28 @@
 #include "dns/rr.h"
 #include "util/strings.h"
 #include "zone/zone.h"
+#include "zone/zone_snapshot.h"
 
 namespace rootless::resolver {
 
 struct TldEntry {
-  dns::RRset ns;                    // delegation NS RRset
-  std::vector<dns::RRset> glue;     // A/AAAA for in-bailiwick nameservers
-  std::vector<dns::RRset> ds;       // DS RRset(s), if the TLD is signed
+  dns::RRsetView ns;                       // delegation NS RRset
+  std::span<const dns::RRsetView> glue;    // A/AAAA for in-bailiwick servers
+  std::span<const dns::RRsetView> ds;      // DS RRset(s), if the TLD is signed
 };
 
 class ZoneDb {
  public:
   ZoneDb() = default;
-  explicit ZoneDb(const zone::Zone& root_zone) { Load(root_zone); }
+  explicit ZoneDb(zone::SnapshotPtr snapshot) { Load(std::move(snapshot)); }
+  // Convenience for hand-built zones (tests): snapshots the zone first.
+  explicit ZoneDb(const zone::Zone& root_zone) {
+    Load(zone::ZoneSnapshot::Build(root_zone));
+  }
 
-  // (Re)builds the index from a root zone snapshot.
-  void Load(const zone::Zone& root_zone);
+  // (Re)builds the index over `snapshot`. The snapshot is retained (it backs
+  // every view handed out); the previous one is released.
+  void Load(zone::SnapshotPtr snapshot);
 
   // Looks up a TLD label (without dot, any case; matching is ASCII
   // case-insensitive so a view straight out of dns::Name::tld_view() works
@@ -42,10 +51,18 @@ class ZoneDb {
   std::uint32_t serial() const { return serial_; }
 
   // Total RRsets indexed (NS + glue + DS across all TLDs).
-  std::size_t rrset_count() const;
+  std::size_t rrset_count() const { return entries_.size() + views_.size(); }
+
+  // The snapshot backing the index (nullptr before the first Load).
+  const zone::SnapshotPtr& snapshot() const { return snapshot_; }
 
  private:
-  std::unordered_map<std::string, TldEntry, util::CaseInsensitiveHash,
+  zone::SnapshotPtr snapshot_;
+  // Flat pool of glue/DS views; TldEntry spans point into it.
+  std::vector<dns::RRsetView> views_;
+  // Keys are tld_view()s of snapshot-owned names — alive as long as
+  // snapshot_ is.
+  std::unordered_map<std::string_view, TldEntry, util::CaseInsensitiveHash,
                      util::CaseInsensitiveEqual>
       entries_;
   std::uint32_t serial_ = 0;

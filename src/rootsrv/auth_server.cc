@@ -5,30 +5,25 @@ namespace rootless::rootsrv {
 using dns::Message;
 using zone::LookupDisposition;
 
-AuthServer::AuthServer(sim::Network& network,
-                       std::shared_ptr<const zone::Zone> zone,
+AuthServer::AuthServer(sim::Network& network, zone::SnapshotPtr snapshot,
                        bool include_dnssec, std::size_t max_udp_size)
     : network_(network),
-      zone_(std::move(zone)),
+      snapshot_(std::move(snapshot)),
       include_dnssec_(include_dnssec),
       max_udp_size_(max_udp_size) {
   node_ = network_.AddNode(
       [this](const sim::Datagram& d) { HandleDatagram(d); });
 }
 
-Message AuthServer::Answer(const Message& query) {
-  ++stats_.queries;
-  if (query.questions.size() != 1) {
-    ++stats_.malformed;
-    Message response = MakeResponse(query, dns::RCode::kFormErr);
-    return response;
-  }
-  const dns::Question& q = query.questions.front();
-  const zone::LookupResult result =
-      zone_->Lookup(q.name, q.type, include_dnssec_);
+AuthServer::AuthServer(sim::Network& network,
+                       std::shared_ptr<const zone::Zone> zone,
+                       bool include_dnssec, std::size_t max_udp_size)
+    : AuthServer(network, zone::ZoneSnapshot::Build(*zone), include_dnssec,
+                 max_udp_size) {}
 
+dns::RCode AuthServer::Classify(LookupDisposition disposition, bool& aa) {
   dns::RCode rcode = dns::RCode::kNoError;
-  switch (result.disposition) {
+  switch (disposition) {
     case LookupDisposition::kAnswer:
       ++stats_.answers;
       break;
@@ -47,21 +42,65 @@ Message AuthServer::Answer(const Message& query) {
       rcode = dns::RCode::kRefused;
       break;
   }
+  aa = disposition == LookupDisposition::kAnswer ||
+       disposition == LookupDisposition::kNoData ||
+       disposition == LookupDisposition::kNxDomain;
+  return rcode;
+}
 
+Message AuthServer::Answer(const Message& query) {
+  ++stats_.queries;
+  if (query.questions.size() != 1) {
+    ++stats_.malformed;
+    Message response = MakeResponse(query, dns::RCode::kFormErr);
+    return response;
+  }
+  const dns::Question& q = query.questions.front();
+  snapshot_->Lookup(q.name, q.type, include_dnssec_, lookup_scratch_);
+
+  bool aa = false;
+  const dns::RCode rcode = Classify(lookup_scratch_.disposition, aa);
   Message response = MakeResponse(query, rcode);
-  response.header.aa = result.disposition == LookupDisposition::kAnswer ||
-                       result.disposition == LookupDisposition::kNoData ||
-                       result.disposition == LookupDisposition::kNxDomain;
-  auto append = [](const std::vector<dns::RRset>& sets,
+  response.header.aa = aa;
+  auto append = [](const std::vector<dns::RRsetView>& sets,
                    std::vector<dns::ResourceRecord>& out) {
     for (const auto& s : sets) {
-      for (auto&& rr : s.ToRecords()) out.push_back(std::move(rr));
+      for (const auto& rd : s.rdatas) {
+        out.push_back(
+            dns::ResourceRecord{*s.name, s.type, s.rrclass, s.ttl, rd});
+      }
     }
   };
-  append(result.answers, response.answers);
-  append(result.authority, response.authority);
-  append(result.additional, response.additional);
+  append(lookup_scratch_.answers, response.answers);
+  append(lookup_scratch_.authority, response.authority);
+  append(lookup_scratch_.additional, response.additional);
   return response;
+}
+
+util::Bytes AuthServer::AnswerWire(const Message& query) {
+  ++stats_.queries;
+  if (query.questions.size() != 1) {
+    ++stats_.malformed;
+    return dns::EncodeMessage(MakeResponse(query, dns::RCode::kFormErr),
+                              max_udp_size_);
+  }
+  const dns::Question& q = query.questions.front();
+  snapshot_->Lookup(q.name, q.type, include_dnssec_, lookup_scratch_);
+
+  bool aa = false;
+  const dns::RCode rcode = Classify(lookup_scratch_.disposition, aa);
+  dns::MessageView& response = response_scratch_;
+  response.clear();
+  response.header = query.header;
+  response.header.qr = true;
+  response.header.ra = false;
+  response.header.rcode = rcode;
+  response.header.aa = aa;
+  response.questions.push_back(q);
+  response.answers = lookup_scratch_.answers;
+  response.authority = lookup_scratch_.authority;
+  response.additional = lookup_scratch_.additional;
+  return dns::EncodeMessage(response, max_udp_size_);
 }
 
 void AuthServer::HandleDatagram(const sim::Datagram& datagram) {
@@ -72,8 +111,7 @@ void AuthServer::HandleDatagram(const sim::Datagram& datagram) {
     ++stats_.malformed;
     return;  // drop garbage, as real servers do
   }
-  const Message response = Answer(*query);
-  auto wire = dns::EncodeMessage(response, max_udp_size_);
+  auto wire = AnswerWire(*query);
   stats_.bytes_out += wire.size();
   network_.Send(node_, datagram.src, std::move(wire));
 }

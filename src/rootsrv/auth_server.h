@@ -1,6 +1,13 @@
-// Authoritative DNS server bound to a Zone, attached to the simulated
-// network. Decodes queries, applies the zone's lookup logic, and answers
-// with referrals / answers / NXDOMAIN exactly as a root or TLD server would.
+// Authoritative DNS server bound to an immutable zone snapshot, attached to
+// the simulated network. Decodes queries, applies the zone's lookup logic,
+// and answers with referrals / answers / NXDOMAIN exactly as a root or TLD
+// server would.
+//
+// The serving path is zero-copy: a query is answered by assembling borrowed
+// RRset views out of the shared zone::ZoneSnapshot arena and encoding them
+// straight to the wire (AnswerWire), reusing per-server scratch buffers — no
+// RRset is copied per query. Anycast instances share one SnapshotPtr, so a
+// fleet costs one zone copy total, and a zone update is a pointer swap.
 #pragma once
 
 #include <cstdint>
@@ -8,7 +15,9 @@
 
 #include "dns/message.h"
 #include "sim/network.h"
+#include "util/bytes.h"
 #include "zone/zone.h"
+#include "zone/zone_snapshot.h"
 
 namespace rootless::rootsrv {
 
@@ -26,32 +35,51 @@ struct AuthServerStats {
 
 class AuthServer {
  public:
-  // The zone is shared between anycast instances; it must outlive them.
+  // The snapshot is shared between anycast instances (refcounted).
+  AuthServer(sim::Network& network, zone::SnapshotPtr snapshot,
+             bool include_dnssec = false, std::size_t max_udp_size = 1232);
+  // Convenience for hand-built zones (tests, single-server setups):
+  // snapshots the zone first. Fleets should build one snapshot and share it.
   AuthServer(sim::Network& network, std::shared_ptr<const zone::Zone> zone,
              bool include_dnssec = false, std::size_t max_udp_size = 1232);
 
   sim::NodeId node() const { return node_; }
   const AuthServerStats& stats() const { return stats_; }
-  const zone::Zone& zone() const { return *zone_; }
+  const zone::SnapshotPtr& snapshot() const { return snapshot_; }
 
-  // Swaps in a new zone version (e.g. the daily root zone update).
+  // Swaps in a new zone version (e.g. the daily root zone update) — an
+  // atomic pointer swap; in-flight views into the old snapshot stay valid
+  // as long as someone holds its refcount.
+  void SetZone(zone::SnapshotPtr snapshot) { snapshot_ = std::move(snapshot); }
   void SetZone(std::shared_ptr<const zone::Zone> zone) {
-    zone_ = std::move(zone);
+    snapshot_ = zone::ZoneSnapshot::Build(*zone);
   }
 
   // Builds the response message for a query (exposed for tests and for the
   // local-root path, which answers without the network round trip).
+  // Materializes owning records; the datagram path uses AnswerWire instead.
   dns::Message Answer(const dns::Message& query);
+
+  // Zero-copy serving path: lookup → borrowed views → wire bytes, with TC
+  // truncation at max_udp_size. Byte-identical to encoding Answer()'s
+  // message; reuses this server's scratch buffers (not reentrant).
+  util::Bytes AnswerWire(const dns::Message& query);
 
  private:
   void HandleDatagram(const sim::Datagram& datagram);
+  // Updates per-disposition stats; returns the response rcode and whether
+  // the answer is authoritative.
+  dns::RCode Classify(zone::LookupDisposition disposition, bool& aa);
 
   sim::Network& network_;
-  std::shared_ptr<const zone::Zone> zone_;
+  zone::SnapshotPtr snapshot_;
   bool include_dnssec_;
   std::size_t max_udp_size_;
   sim::NodeId node_;
   AuthServerStats stats_;
+  // Per-query scratch (capacity retained across queries).
+  zone::LookupView lookup_scratch_;
+  dns::MessageView response_scratch_;
 };
 
 }  // namespace rootless::rootsrv

@@ -8,7 +8,7 @@ RootServerFleet::RootServerFleet(sim::Network& network,
                                  topo::GeoRegistry& registry,
                                  const topo::DeploymentModel& deployment,
                                  const util::CivilDate& date,
-                                 std::shared_ptr<const zone::Zone> root_zone,
+                                 zone::SnapshotPtr root_zone,
                                  bool include_dnssec) {
   for (const auto& instance : deployment.AllInstancesOn(date)) {
     auto server = std::make_unique<AuthServer>(network, root_zone,
@@ -20,6 +20,15 @@ RootServerFleet::RootServerFleet(sim::Network& network,
         InstanceInfo{instance.letter, instance.location, std::move(server)});
   }
 }
+
+RootServerFleet::RootServerFleet(sim::Network& network,
+                                 topo::GeoRegistry& registry,
+                                 const topo::DeploymentModel& deployment,
+                                 const util::CivilDate& date,
+                                 std::shared_ptr<const zone::Zone> root_zone,
+                                 bool include_dnssec)
+    : RootServerFleet(network, registry, deployment, date,
+                      zone::ZoneSnapshot::Build(*root_zone), include_dnssec) {}
 
 sim::NodeId RootServerFleet::InstanceFor(char letter,
                                          const topo::GeoPoint& location) const {
@@ -38,7 +47,7 @@ sim::NodeId RootServerFleet::InstanceFor(char letter,
   return instances_[best].server->node();
 }
 
-void RootServerFleet::SetZone(std::shared_ptr<const zone::Zone> root_zone) {
+void RootServerFleet::SetZone(zone::SnapshotPtr root_zone) {
   for (auto& instance : instances_) instance.server->SetZone(root_zone);
 }
 

@@ -19,7 +19,14 @@ namespace rootless::rootsrv {
 class RootServerFleet {
  public:
   // Creates one AuthServer node per instance the deployment model reports
-  // for `date`, registering each node's location in `registry`.
+  // for `date`, registering each node's location in `registry`. Every
+  // instance serves the same refcounted snapshot — the whole fleet holds one
+  // zone copy regardless of its size.
+  RootServerFleet(sim::Network& network, topo::GeoRegistry& registry,
+                  const topo::DeploymentModel& deployment,
+                  const util::CivilDate& date, zone::SnapshotPtr root_zone,
+                  bool include_dnssec = false);
+  // Convenience: snapshots the zone once, then shares it as above.
   RootServerFleet(sim::Network& network, topo::GeoRegistry& registry,
                   const topo::DeploymentModel& deployment,
                   const util::CivilDate& date,
@@ -40,8 +47,12 @@ class RootServerFleet {
   };
   const std::vector<InstanceInfo>& instances() const { return instances_; }
 
-  // Swap the zone every instance serves (daily update).
-  void SetZone(std::shared_ptr<const zone::Zone> root_zone);
+  // Swap the zone every instance serves (daily update): one pointer swap
+  // per instance.
+  void SetZone(zone::SnapshotPtr root_zone);
+  void SetZone(std::shared_ptr<const zone::Zone> root_zone) {
+    SetZone(zone::ZoneSnapshot::Build(*root_zone));
+  }
 
   // Aggregate stats.
   AuthServerStats TotalStats() const;

@@ -17,6 +17,15 @@ TldFarm::TldFarm(sim::Network& network, topo::GeoRegistry& registry,
   RefreshAddresses(root_zone);
 }
 
+TldFarm::TldFarm(sim::Network& network, topo::GeoRegistry& registry,
+                 const zone::ZoneSnapshot& root_zone, std::uint64_t seed)
+    : network_(network), registry_(registry), placement_rng_(seed) {
+  for (const auto& child : root_zone.DelegatedChildren()) {
+    EnsureTld(child.tld());
+  }
+  RefreshAddresses(root_zone);
+}
+
 void TldFarm::EnsureTld(const std::string& tld) {
   if (by_tld_.count(tld) > 0) return;
   // Capture by value: the handler needs the tld and its own node id.
@@ -40,6 +49,26 @@ void TldFarm::RefreshAddresses(const zone::Zone& root_zone) {
     for (const auto& rd : ns_set->rdatas) {
       const Name& host = std::get<dns::NsData>(rd).nameserver;
       if (const dns::RRset* a = root_zone.Find(host, RRType::kA)) {
+        for (const auto& ard : a->rdatas) {
+          by_address_[std::get<dns::AData>(ard).address.addr] = it->second;
+        }
+      }
+    }
+  }
+}
+
+void TldFarm::RefreshAddresses(const zone::ZoneSnapshot& root_zone) {
+  by_address_.clear();
+  for (const auto& child : root_zone.DelegatedChildren()) {
+    const std::string tld = child.tld();
+    EnsureTld(tld);
+    auto it = by_tld_.find(tld);
+    if (it == by_tld_.end()) continue;
+    auto ns_set = root_zone.Find(child, RRType::kNS);
+    if (!ns_set.has_value()) continue;
+    for (const auto& rd : ns_set->rdatas) {
+      const Name& host = std::get<dns::NsData>(rd).nameserver;
+      if (auto a = root_zone.Find(host, RRType::kA)) {
         for (const auto& ard : a->rdatas) {
           by_address_[std::get<dns::AData>(ard).address.addr] = it->second;
         }

@@ -20,6 +20,7 @@
 #include "util/rng.h"
 #include "util/strings.h"
 #include "zone/zone.h"
+#include "zone/zone_snapshot.h"
 
 namespace rootless::rootsrv {
 
@@ -30,6 +31,9 @@ class TldFarm {
   // weighted location.
   TldFarm(sim::Network& network, topo::GeoRegistry& registry,
           const zone::Zone& root_zone, std::uint64_t seed);
+  // Same, reading delegations/glue out of an immutable snapshot.
+  TldFarm(sim::Network& network, topo::GeoRegistry& registry,
+          const zone::ZoneSnapshot& root_zone, std::uint64_t seed);
 
   // Node serving a TLD ("" lookups fail; matching is case-insensitive).
   // Returns false if unknown.
@@ -42,10 +46,11 @@ class TldFarm {
   std::size_t tld_count() const { return by_tld_.size(); }
   std::uint64_t queries_served() const { return *queries_; }
 
-  // Re-registers addressing from a newer root zone snapshot (rotating TLD
+  // Re-registers addressing from a newer root zone version (rotating TLD
   // addresses move; the nodes stay) and creates servers for TLDs delegated
   // since construction (new-TLD additions, §5.3).
   void RefreshAddresses(const zone::Zone& root_zone);
+  void RefreshAddresses(const zone::ZoneSnapshot& root_zone);
 
  private:
   void HandleQuery(sim::NodeId node, const std::string& tld,

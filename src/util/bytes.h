@@ -128,6 +128,7 @@ class ByteWriter {
   std::size_t size() const { return data_.size(); }
   const Bytes& data() const& { return data_; }
   Bytes&& TakeData() { return std::move(data_); }
+  void Reserve(std::size_t n) { data_.reserve(n); }
   std::span<const std::uint8_t> span() const { return data_; }
 
   void WriteU8(std::uint8_t v) { data_.push_back(v); }

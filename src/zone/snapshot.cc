@@ -25,6 +25,20 @@ void WriteRRsetWire(const dns::RRset& s, ByteWriter& w) {
   }
 }
 
+void WriteRRsetWire(const dns::RRsetView& s, ByteWriter& w) {
+  s.name->EncodeWire(w);
+  w.WriteU16(static_cast<std::uint16_t>(s.type));
+  w.WriteU16(static_cast<std::uint16_t>(s.rrclass));
+  w.WriteU32(s.ttl);
+  w.WriteVarint(s.rdatas.size());
+  for (const auto& rd : s.rdatas) {
+    ByteWriter rw;
+    dns::EncodeRdata(rd, rw);
+    w.WriteVarint(rw.size());
+    w.WriteBytes(rw.span());
+  }
+}
+
 util::Result<dns::RRset> ReadRRsetWire(ByteReader& r) {
   dns::RRset s;
   auto name = dns::Name::DecodeWire(r);
@@ -77,6 +91,24 @@ util::Result<Zone> DeserializeZone(std::span<const std::uint8_t> wire) {
   }
   if (!r.at_end()) return Error("snapshot: trailing bytes");
   return zone;
+}
+
+Bytes SerializeSnapshot(const ZoneSnapshot& snapshot) {
+  ByteWriter w;
+  w.WriteU32(kSnapshotMagic);
+  snapshot.apex().EncodeWire(w);
+  w.WriteU32(snapshot.Serial());
+  w.WriteVarint(snapshot.rrset_count());
+  snapshot.ForEachRRset(
+      [&](const dns::RRsetView& s) { WriteRRsetWire(s, w); });
+  return w.TakeData();
+}
+
+util::Result<SnapshotPtr> DeserializeSnapshot(
+    std::span<const std::uint8_t> wire) {
+  auto zone = DeserializeZone(wire);
+  if (!zone.ok()) return zone.error();
+  return ZoneSnapshot::Build(*zone);
 }
 
 }  // namespace rootless::zone

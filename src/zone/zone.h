@@ -73,6 +73,13 @@ class Zone {
   // Flat record list in canonical order.
   std::vector<dns::ResourceRecord> AllRecords() const;
 
+  // Read-only view of the canonical (owner, type, class) → RRset map. Lets
+  // ZoneSnapshot::Build fill its arena in one ordered pass without the
+  // intermediate deep copy AllRRsets() would make.
+  const std::map<dns::RRsetKey, dns::RRset>& rrset_map() const {
+    return rrsets_;
+  }
+
   std::size_t rrset_count() const { return rrsets_.size(); }
   std::size_t record_count() const;
 

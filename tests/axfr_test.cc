@@ -22,26 +22,23 @@ struct Env {
     config.peak_tld_count = 120;
     return config;
   }()};
-  std::shared_ptr<const zone::Zone> current;
+  zone::SnapshotPtr current;
   std::unique_ptr<AxfrServer> server;
   std::unique_ptr<AxfrClient> client;
 
   Env() {
     net.set_latency_fn(registry.LatencyFn());
-    current = std::make_shared<const zone::Zone>(
-        model.Snapshot({2019, 6, 7}));
+    current = zone::ZoneSnapshot::Build(model.Snapshot({2019, 6, 7}));
     server = std::make_unique<AxfrServer>(net, [this]() { return current; });
     client = std::make_unique<AxfrClient>(sim, net);
     registry.SetLocation(server->node(), {40, -74});
     registry.SetLocation(client->node(), {48, 2});
   }
 
-  util::Result<std::shared_ptr<const zone::Zone>> FetchSync(
-      std::uint32_t have_serial) {
-    util::Result<std::shared_ptr<const zone::Zone>> out =
-        util::Error("not completed");
+  util::Result<zone::SnapshotPtr> FetchSync(std::uint32_t have_serial) {
+    util::Result<zone::SnapshotPtr> out = util::Error("not completed");
     client->Fetch(server->node(), have_serial,
-                  [&](util::Result<std::shared_ptr<const zone::Zone>> result) {
+                  [&](util::Result<zone::SnapshotPtr> result) {
                     out = std::move(result);
                   });
     sim.RunUntil(sim.now() + 10 * sim::kMinute);
@@ -54,7 +51,7 @@ TEST(Axfr, TransfersZoneExactly) {
   auto result = env.FetchSync(0);
   ASSERT_TRUE(result.ok()) << result.error().message();
   ASSERT_NE(*result, nullptr);
-  EXPECT_TRUE(**result == *env.current);
+  EXPECT_TRUE((*result)->SameContent(*env.current));
   EXPECT_EQ(env.client->stats().transfers, 1u);
   EXPECT_EQ(env.client->stats().failures, 0u);
   EXPECT_GT(env.server->stats().chunks_sent, 10u);
@@ -76,7 +73,7 @@ TEST(Axfr, SurvivesLossyPath) {
   auto result = env.FetchSync(0);
   ASSERT_TRUE(result.ok()) << result.error().message();
   ASSERT_NE(*result, nullptr);
-  EXPECT_TRUE(**result == *env.current);
+  EXPECT_TRUE((*result)->SameContent(*env.current));
   // Loss must have forced retransmissions, and they must have healed.
   EXPECT_GT(env.client->stats().retransmits, 0u);
   EXPECT_EQ(env.client->stats().failures, 0u);
@@ -97,8 +94,7 @@ TEST(Axfr, ServerTracksZoneUpdates) {
   const std::uint32_t serial1 = (*first)->Serial();
 
   // Publish a newer zone; the next transfer must deliver it.
-  env.current = std::make_shared<const zone::Zone>(
-      env.model.Snapshot({2019, 6, 9}));
+  env.current = zone::ZoneSnapshot::Build(env.model.Snapshot({2019, 6, 9}));
   auto second = env.FetchSync(serial1);
   ASSERT_TRUE(second.ok()) << second.error().message();
   ASSERT_NE(*second, nullptr);
@@ -111,7 +107,7 @@ TEST(Axfr, BackToBackTransfers) {
   for (int i = 0; i < 3; ++i) {
     auto result = env.FetchSync(0);
     ASSERT_TRUE(result.ok()) << i;
-    EXPECT_TRUE(**result == *env.current);
+    EXPECT_TRUE((*result)->SameContent(*env.current));
   }
   EXPECT_EQ(env.client->stats().transfers, 3u);
 }

@@ -37,7 +37,7 @@ TEST(DiffChannel, SubscriberFollowsDailyPublishes) {
   ASSERT_EQ(update.kind, DiffPublisher::Update::Kind::kDiffs);
   ASSERT_TRUE(subscriber.Apply(update).ok());
   EXPECT_EQ(subscriber.serial(), publisher.latest_serial());
-  EXPECT_TRUE(subscriber.zone() == publisher.latest());
+  EXPECT_TRUE(subscriber.snapshot()->SameContent(*publisher.latest()));
   EXPECT_EQ(subscriber.updates_applied(), 20u);
   EXPECT_EQ(subscriber.full_bytes_received(), 0u);
   EXPECT_GT(subscriber.diff_bytes_received(), 0u);
@@ -52,7 +52,7 @@ TEST(DiffChannel, DiffsAreFarSmallerThanFullZone) {
   }
   const auto update = publisher.UpdatesSince(subscriber.serial());
   ASSERT_TRUE(subscriber.Apply(update).ok());
-  const std::size_t full = zone::SerializeZone(publisher.latest()).size();
+  const std::size_t full = zone::SerializeSnapshot(*publisher.latest()).size();
   EXPECT_LT(subscriber.diff_bytes_received(), full / 4);
 }
 
@@ -66,7 +66,7 @@ TEST(DiffChannel, HistoryMissFallsBackToFullZone) {
   const auto update = publisher.UpdatesSince(subscriber.serial());
   ASSERT_EQ(update.kind, DiffPublisher::Update::Kind::kFullZone);
   ASSERT_TRUE(subscriber.Apply(update).ok());
-  EXPECT_TRUE(subscriber.zone() == publisher.latest());
+  EXPECT_TRUE(subscriber.snapshot()->SameContent(*publisher.latest()));
   EXPECT_GT(subscriber.full_bytes_received(), 0u);
 }
 
@@ -103,9 +103,9 @@ TEST(DiffChannel, NewTldArrivesThroughChannel) {
   }
   ASSERT_TRUE(subscriber.Apply(publisher.UpdatesSince(subscriber.serial())).ok());
   // ".llc" was added 2018-02-23 and must now be visible locally.
-  EXPECT_NE(subscriber.zone().Find(*dns::Name::Parse("llc."),
-                                   dns::RRType::kNS),
-            nullptr);
+  EXPECT_TRUE(subscriber.snapshot()
+                  ->Find(*dns::Name::Parse("llc."), dns::RRType::kNS)
+                  .has_value());
 }
 
 }  // namespace

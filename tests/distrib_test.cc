@@ -254,8 +254,7 @@ TEST(Swarm, ZeroByteFile) {
 TEST(FetchService, DeliversZoneAfterTransferTime) {
   sim::Simulator sim;
   const zone::RootZoneModel model;
-  auto zone_ptr =
-      std::make_shared<const zone::Zone>(model.Snapshot({2019, 4, 1}));
+  auto zone_ptr = zone::ZoneSnapshot::Build(model.Snapshot({2019, 4, 1}));
   FetchServiceConfig config;
   ZoneFetchService service(sim, config, [&]() { return zone_ptr; });
 
@@ -275,7 +274,7 @@ TEST(FetchService, DeliversZoneAfterTransferTime) {
 
 TEST(FetchService, OutageWindowFails) {
   sim::Simulator sim;
-  auto zone_ptr = std::make_shared<const zone::Zone>();
+  auto zone_ptr = zone::ZoneSnapshot::Build(zone::Zone());
   ZoneFetchService service(sim, {}, [&]() { return zone_ptr; });
   service.AddOutage(0, sim::kHour);
 
@@ -325,7 +324,7 @@ TEST(FetchService, ValidatesSignedZone) {
   config.validation_now = 500;
   ZoneFetchService service(
       sim, config,
-      [&]() -> std::shared_ptr<const zone::Zone> { return signed_zone; });
+      [&]() { return zone::ZoneSnapshot::Build(*signed_zone); });
   service.SetTrust(zsk.dnskey, store);
 
   bool ok = false;

@@ -182,16 +182,19 @@ struct AttackEnv {
   topo::GeoRegistry registry;
   SignedEnv keys;
   std::shared_ptr<zone::Zone> signed_zone;
+  zone::SnapshotPtr signed_snapshot;
   std::unique_ptr<rootsrv::AuthServer> root;
   std::unique_ptr<rootsrv::TldFarm> farm;
 
   AttackEnv() {
     net.set_latency_fn(registry.LatencyFn());
     signed_zone = std::make_shared<zone::Zone>(keys.signed_zone);
-    root = std::make_unique<rootsrv::AuthServer>(net, signed_zone,
+    signed_snapshot = zone::ZoneSnapshot::Build(*signed_zone);
+    root = std::make_unique<rootsrv::AuthServer>(net, signed_snapshot,
                                                  /*include_dnssec=*/true);
     registry.SetLocation(root->node(), {40, -74});
-    farm = std::make_unique<rootsrv::TldFarm>(net, registry, *signed_zone, 9);
+    farm = std::make_unique<rootsrv::TldFarm>(net, registry, *signed_snapshot,
+                                              9);
   }
 
   std::unique_ptr<resolver::RecursiveResolver> MakeResolver(bool validate) {
@@ -205,7 +208,7 @@ struct AttackEnv {
     registry.SetLocation(r->node(), {48, 2});
     r->SetTldFarm(farm.get());
     r->SetLoopbackNode(root->node());
-    r->SetLocalZone(signed_zone);
+    r->SetLocalZone(signed_snapshot);
     if (validate) r->SetTrustAnchor(keys.zsk.dnskey, keys.store);
     return r;
   }
@@ -322,7 +325,7 @@ TEST(ResolverValidation, LocalRootModeIsImmuneToOnPathCensor) {
                                 topo::GeoPoint{48, 2});
   env.registry.SetLocation(r.node(), {48, 2});
   r.SetTldFarm(env.farm.get());
-  r.SetLocalZone(env.signed_zone);
+  r.SetLocalZone(env.signed_snapshot);
 
   dns::RCode rcode = dns::RCode::kServFail;
   r.Resolve(N("www.example.com."), RRType::kA,

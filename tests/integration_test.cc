@@ -53,7 +53,7 @@ TEST(Integration, SignedZoneDistributedAndServedLocally) {
   // 2019-06-01; sim-time day N = that date + N.
   const util::CivilDate start_date{2019, 6, 1};
   auto publish = [&](const util::CivilDate& date) {
-    return std::make_shared<const zone::Zone>(
+    return zone::ZoneSnapshot::Build(
         zone::SignZone(model.Snapshot(date), zsk, {0, 2'000'000'000}));
   };
 
@@ -85,7 +85,7 @@ TEST(Integration, SignedZoneDistributedAndServedLocally) {
       [&](std::function<void(resolver::RefreshDaemon::FetchResult)> done) {
         service.Fetch(std::move(done));
       },
-      [&](std::shared_ptr<const zone::Zone> z) {
+      [&](zone::SnapshotPtr z) {
         resolver.SetLocalZone(z);
         farm.RefreshAddresses(*z);
       });
@@ -182,8 +182,7 @@ TEST(Integration, RefreshDaemonOverAxfrTransport) {
   net.set_loss_rate(0.05);
 
   const util::CivilDate start_date{2019, 6, 1};
-  auto current = std::make_shared<const zone::Zone>(
-      model.Snapshot(start_date));
+  auto current = zone::ZoneSnapshot::Build(model.Snapshot(start_date));
   distrib::AxfrServer server(net, [&]() { return current; });
   distrib::AxfrClient client(sim, net);
   registry.SetLocation(server.node(), {40, -74});
@@ -195,8 +194,7 @@ TEST(Integration, RefreshDaemonOverAxfrTransport) {
       [&](std::function<void(resolver::RefreshDaemon::FetchResult)> done) {
         client.Fetch(server.node(), applied_serial,
                      [done = std::move(done), &current](
-                         util::Result<std::shared_ptr<const zone::Zone>>
-                             result) {
+                         util::Result<zone::SnapshotPtr> result) {
                        if (!result.ok()) {
                          done(result.error());
                        } else if (*result == nullptr) {
@@ -206,16 +204,14 @@ TEST(Integration, RefreshDaemonOverAxfrTransport) {
                        }
                      });
       },
-      [&](std::shared_ptr<const zone::Zone> z) {
-        applied_serial = z->Serial();
-      });
+      [&](zone::SnapshotPtr z) { applied_serial = z->Serial(); });
   daemon.Start(current);
   EXPECT_EQ(applied_serial, current->Serial());
 
   // Publisher moves forward each simulated day.
   for (int day = 1; day <= 6; ++day) {
     sim.RunUntil(static_cast<sim::SimTime>(day) * sim::kDay);
-    current = std::make_shared<const zone::Zone>(
+    current = zone::ZoneSnapshot::Build(
         model.Snapshot(util::AddDays(start_date, day)));
   }
   sim.RunUntil(7 * sim::kDay);

@@ -490,11 +490,11 @@ TEST_P(RefreshLeadProperty, OutageShorterThanLeadNeverExpires) {
         if (sim.now() >= outage_start && sim.now() < outage_end) {
           done(util::Error("outage"));
         } else {
-          done(std::make_shared<const zone::Zone>());
+          done(zone::ZoneSnapshot::Build(zone::Zone()));
         }
       },
-      [](std::shared_ptr<const zone::Zone>) {});
-  daemon.Start(std::make_shared<const zone::Zone>());
+      [](zone::SnapshotPtr) {});
+  daemon.Start(zone::ZoneSnapshot::Build(zone::Zone()));
   sim.RunUntil(4 * sim::kDay);
   EXPECT_EQ(daemon.stats().expirations, 0u) << lead_hours;
   EXPECT_GE(daemon.stats().refreshes, 1u);

@@ -49,14 +49,16 @@ struct Env {
   sim::Network net{sim, 77};
   topo::GeoRegistry registry;
   std::shared_ptr<zone::Zone> root_zone = TinyRoot();
+  zone::SnapshotPtr root_snapshot = zone::ZoneSnapshot::Build(*root_zone);
   std::unique_ptr<rootsrv::AuthServer> root;
   std::unique_ptr<rootsrv::TldFarm> farm;
 
   Env() {
     net.set_latency_fn(registry.LatencyFn());
-    root = std::make_unique<rootsrv::AuthServer>(net, root_zone);
+    root = std::make_unique<rootsrv::AuthServer>(net, root_snapshot);
     registry.SetLocation(root->node(), {40, -74});
-    farm = std::make_unique<rootsrv::TldFarm>(net, registry, *root_zone, 3);
+    farm = std::make_unique<rootsrv::TldFarm>(net, registry, *root_snapshot,
+                                              3);
   }
 
   std::unique_ptr<RecursiveResolver> MakeResolver(RootMode mode) {
@@ -69,9 +71,9 @@ struct Env {
     r->SetTldFarm(farm.get());
     if (mode == RootMode::kLoopbackAuth) {
       r->SetLoopbackNode(root->node());
-      r->SetLocalZone(root_zone);
+      r->SetLocalZone(root_snapshot);
     } else {
-      r->SetLocalZone(root_zone);
+      r->SetLocalZone(root_snapshot);
     }
     return r;
   }
@@ -134,8 +136,9 @@ TEST(ResolverEdge, ZoneUpdateChangesAnswers) {
                                172800,
                                dns::AData{*dns::Ipv4::Parse("192.0.2.99")}})
                   .ok());
-  r->SetLocalZone(updated);
-  env.farm->RefreshAddresses(*updated);
+  auto updated_snapshot = zone::ZoneSnapshot::Build(*updated);
+  r->SetLocalZone(updated_snapshot);
+  env.farm->RefreshAddresses(*updated_snapshot);
   // Note: negative cache would keep answering NXDOMAIN until its TTL; a new
   // name avoids that here (the TTL interplay is tested separately).
   env.sim.RunUntil(env.sim.now() + 2 * sim::kHour);
@@ -239,7 +242,7 @@ TEST(ResolverEdge, EncryptedTransportPaysHandshakeOnce) {
   env.registry.SetLocation(r.node(), {48, 2});
   r.SetTldFarm(env.farm.get());
   r.SetLoopbackNode(env.root->node());
-  r.SetLocalZone(env.root_zone);
+  r.SetLocalZone(env.root_snapshot);
 
   auto resolve = [&](std::string_view name) {
     ResolutionResult out;
@@ -271,7 +274,7 @@ TEST(ResolverEdge, EncryptedTransportSlowerThanUdpWhenCold) {
                                                  topo::GeoPoint{48, 2});
     env.registry.SetLocation(r->node(), {48, 2});
     r->SetTldFarm(env.farm.get());
-    r->SetLocalZone(env.root_zone);
+    r->SetLocalZone(env.root_snapshot);
     return r;
   };
   auto udp = MakeWith(false);

@@ -160,6 +160,49 @@ TEST(ZoneDb, IndexesDelegations) {
   EXPECT_NE(db.Lookup("COM"), nullptr);
 }
 
+TEST(ZoneDb, LookupAcceptsTldViewWithoutCopy) {
+  const zone::RootZoneModel model;
+  ZoneDb db(model.Snapshot({2018, 4, 11}));
+  // A view straight out of Name::tld_view() — no temporary std::string, and
+  // case-insensitive regardless of the query's spelling.
+  const Name upper = N("WWW.EXAMPLE.COM.");
+  const TldEntry* entry = db.Lookup(upper.tld_view());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->ns.type, RRType::kNS);
+  EXPECT_EQ(db.Lookup(N("www.example.com.").tld_view()), entry);
+}
+
+TEST(ZoneDb, ReloadBumpsSerialAndRebindsViews) {
+  const zone::RootZoneModel model;
+  const auto old_snapshot =
+      zone::ZoneSnapshot::Build(model.Snapshot({2018, 4, 11}));
+  const auto new_snapshot =
+      zone::ZoneSnapshot::Build(model.Snapshot({2018, 4, 12}));
+  ASSERT_GT(new_snapshot->Serial(), old_snapshot->Serial());
+
+  ZoneDb db(old_snapshot);
+  EXPECT_EQ(db.serial(), old_snapshot->Serial());
+  db.Load(new_snapshot);
+  EXPECT_EQ(db.serial(), new_snapshot->Serial());
+  EXPECT_EQ(db.snapshot().get(), new_snapshot.get());
+  // Entries now borrow from the new snapshot's arena.
+  const TldEntry* com = db.Lookup("com");
+  ASSERT_NE(com, nullptr);
+  const auto backing = new_snapshot->Find(N("com."), RRType::kNS);
+  ASSERT_TRUE(backing.has_value());
+  EXPECT_EQ(com->ns.rdatas.data(), backing->rdatas.data());
+}
+
+TEST(ZoneDb, UnknownTldIsLocalNxDomain) {
+  const zone::RootZoneModel model;
+  ZoneDb db(model.Snapshot({2018, 4, 11}));
+  // The local equivalent of a root NXDOMAIN: nullptr, no fallback.
+  EXPECT_EQ(db.Lookup("local"), nullptr);
+  EXPECT_EQ(db.Lookup("belkin"), nullptr);
+  EXPECT_EQ(db.Lookup(""), nullptr);
+  EXPECT_EQ(db.Lookup(N("printer.local.").tld_view()), nullptr);
+}
+
 // ------------------------------------------------- end-to-end resolution
 
 struct E2E {
@@ -168,6 +211,7 @@ struct E2E {
   topo::GeoRegistry registry;
   zone::RootZoneModel model;
   std::shared_ptr<zone::Zone> root_zone;
+  zone::SnapshotPtr root_snapshot;
   topo::DeploymentModel deployment;
   std::unique_ptr<rootsrv::RootServerFleet> fleet;
   std::unique_ptr<rootsrv::TldFarm> farm;
@@ -177,9 +221,14 @@ struct E2E {
     net.set_latency_fn(registry.LatencyFn());
     root_zone =
         std::make_shared<zone::Zone>(model.Snapshot({2018, 4, 11}));
+    // One immutable snapshot serves the fleet, the TLD farm, the loopback
+    // server, and every local-root resolver in the fixture.
+    root_snapshot = zone::ZoneSnapshot::Build(*root_zone);
     fleet = std::make_unique<rootsrv::RootServerFleet>(
-        net, registry, deployment, util::CivilDate{2018, 4, 11}, root_zone);
-    farm = std::make_unique<rootsrv::TldFarm>(net, registry, *root_zone, 5);
+        net, registry, deployment, util::CivilDate{2018, 4, 11},
+        root_snapshot);
+    farm = std::make_unique<rootsrv::TldFarm>(net, registry, *root_snapshot,
+                                              5);
   }
 
   std::unique_ptr<RecursiveResolver> MakeResolver(RootMode mode,
@@ -197,13 +246,13 @@ struct E2E {
         break;
       case RootMode::kCachePreload:
       case RootMode::kOnDemandZoneFile:
-        r->SetLocalZone(root_zone);
+        r->SetLocalZone(root_snapshot);
         break;
       case RootMode::kLoopbackAuth:
-        loopback = std::make_unique<rootsrv::AuthServer>(net, root_zone);
+        loopback = std::make_unique<rootsrv::AuthServer>(net, root_snapshot);
         registry.SetLocation(loopback->node(), where);
         r->SetLoopbackNode(loopback->node());
-        r->SetLocalZone(root_zone);  // loopback operators still hold a copy
+        r->SetLocalZone(root_snapshot);  // loopback operators hold a copy
         break;
     }
     return r;
@@ -406,11 +455,11 @@ TEST(RefreshDaemon, RefreshesBeforeExpiry) {
       [&](std::function<void(RefreshDaemon::FetchResult)> done) {
         ++fetches;
         sim.Schedule(sim::kMinute, [done = std::move(done)]() {
-          done(std::make_shared<const zone::Zone>());
+          done(zone::ZoneSnapshot::Build(zone::Zone()));
         });
       },
-      [&](std::shared_ptr<const zone::Zone>) { ++applies; });
-  daemon.Start(std::make_shared<const zone::Zone>());
+      [&](zone::SnapshotPtr) { ++applies; });
+  daemon.Start(zone::ZoneSnapshot::Build(zone::Zone()));
   EXPECT_EQ(applies, 1);
   sim.RunUntil(10 * sim::kDay);
   // Every ~42h a refresh: ~5-6 refreshes in 10 days.
@@ -432,11 +481,11 @@ TEST(RefreshDaemon, RetriesDuringOutageWithoutExpiring) {
         if (in_outage()) {
           done(util::Error("outage"));
         } else {
-          done(std::make_shared<const zone::Zone>());
+          done(zone::ZoneSnapshot::Build(zone::Zone()));
         }
       },
-      [](std::shared_ptr<const zone::Zone>) {});
-  daemon.Start(std::make_shared<const zone::Zone>());
+      [](zone::SnapshotPtr) {});
+  daemon.Start(zone::ZoneSnapshot::Build(zone::Zone()));
   sim.RunUntil(3 * sim::kDay);
   // The paper's point: with a 6h lead there is room to retry through a
   // short outage with no impact on lookups.
@@ -457,11 +506,11 @@ TEST(RefreshDaemon, LongOutageExpiresZone) {
         if (in_outage()) {
           done(util::Error("outage"));
         } else {
-          done(std::make_shared<const zone::Zone>());
+          done(zone::ZoneSnapshot::Build(zone::Zone()));
         }
       },
-      [](std::shared_ptr<const zone::Zone>) {});
-  daemon.Start(std::make_shared<const zone::Zone>());
+      [](zone::SnapshotPtr) {});
+  daemon.Start(zone::ZoneSnapshot::Build(zone::Zone()));
   sim.RunUntil(48 * sim::kHour - 1);
   EXPECT_TRUE(daemon.zone_valid());
   sim.RunUntil(50 * sim::kHour);

@@ -1,0 +1,272 @@
+// Tests for the immutable arena-backed zone snapshot layer: lookup parity
+// with zone::Zone, structural sharing under Apply, serialization parity,
+// DiffSnapshots equivalence, and the zero-copy MessageView wire path.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/dnssec.h"
+#include "dns/message.h"
+#include "zone/evolution.h"
+#include "zone/sign.h"
+#include "zone/snapshot.h"
+#include "zone/zone_diff.h"
+#include "zone/zone_snapshot.h"
+
+namespace rootless::zone {
+namespace {
+
+using dns::Name;
+using dns::RRset;
+using dns::RRType;
+
+Name N(std::string_view s) { return *Name::Parse(s); }
+
+// Materializes both sides of a lookup and compares section by section.
+void ExpectLookupParity(const Zone& zone, const ZoneSnapshot& snapshot,
+                        const Name& qname, RRType qtype,
+                        bool include_dnssec = false) {
+  const LookupResult want = zone.Lookup(qname, qtype, include_dnssec);
+  const LookupResult got =
+      snapshot.Lookup(qname, qtype, include_dnssec).Materialize();
+  SCOPED_TRACE(qname.ToString());
+  EXPECT_EQ(got.disposition, want.disposition);
+  EXPECT_EQ(got.answers, want.answers);
+  EXPECT_EQ(got.authority, want.authority);
+  EXPECT_EQ(got.additional, want.additional);
+}
+
+TEST(ZoneSnapshot, BuildPreservesContent) {
+  const RootZoneModel model;
+  const Zone master = model.Snapshot({2019, 6, 7});
+  const SnapshotPtr snapshot = ZoneSnapshot::Build(master);
+
+  EXPECT_EQ(snapshot->apex(), master.apex());
+  EXPECT_EQ(snapshot->Serial(), master.Serial());
+  EXPECT_EQ(snapshot->rrset_count(), master.rrset_count());
+  EXPECT_EQ(snapshot->record_count(), master.record_count());
+  EXPECT_EQ(snapshot->page_count(), 1u);
+  EXPECT_TRUE(snapshot->SameContent(*snapshot));
+
+  // Round-trip through the mutable form is lossless.
+  const Zone back = snapshot->ToZone();
+  EXPECT_EQ(SerializeZone(back), SerializeZone(master));
+
+  // Canonical iteration matches AllRRsets.
+  std::vector<RRset> visited;
+  snapshot->ForEachRRset(
+      [&](const dns::RRsetView& v) { visited.push_back(v.Materialize()); });
+  EXPECT_EQ(visited, snapshot->AllRRsets());
+}
+
+TEST(ZoneSnapshot, LookupParityPlain) {
+  const RootZoneModel model;
+  const Zone master = model.Snapshot({2019, 6, 7});
+  const SnapshotPtr snapshot = ZoneSnapshot::Build(master);
+
+  // Apex answers, referrals (with glue), NODATA, NXDOMAIN, out-of-zone.
+  ExpectLookupParity(master, *snapshot, N("."), RRType::kSOA);
+  ExpectLookupParity(master, *snapshot, N("."), RRType::kNS);
+  ExpectLookupParity(master, *snapshot, N("."), RRType::kTXT);
+  ExpectLookupParity(master, *snapshot, N("com."), RRType::kNS);
+  ExpectLookupParity(master, *snapshot, N("com."), RRType::kDS);
+  ExpectLookupParity(master, *snapshot, N("com."), RRType::kA);
+  ExpectLookupParity(master, *snapshot, N("www.example.com."), RRType::kA);
+  ExpectLookupParity(master, *snapshot, N("no-such-tld-xyzzy."), RRType::kA);
+  ExpectLookupParity(master, *snapshot, N("a.b.no-such-tld-xyzzy."),
+                     RRType::kAAAA);
+
+  // Every delegated child, both NS (referral/answer path) and A.
+  for (const Name& child : master.DelegatedChildren()) {
+    ExpectLookupParity(master, *snapshot, child, RRType::kNS);
+    ExpectLookupParity(master, *snapshot, child, RRType::kA);
+  }
+  EXPECT_EQ(snapshot->DelegatedChildren(), master.DelegatedChildren());
+}
+
+TEST(ZoneSnapshot, LookupParitySigned) {
+  const RootZoneModel model;
+  util::Rng rng(7);
+  const crypto::SigningKey zsk = crypto::GenerateKey(crypto::kZskFlags, rng);
+  const Zone signed_zone =
+      SignZone(model.Snapshot({2019, 6, 7}), zsk, {0, 2'000'000'000});
+  const SnapshotPtr snapshot = ZoneSnapshot::Build(signed_zone);
+
+  for (const bool dnssec : {false, true}) {
+    SCOPED_TRACE(dnssec ? "dnssec" : "plain");
+    ExpectLookupParity(signed_zone, *snapshot, N("."), RRType::kSOA, dnssec);
+    ExpectLookupParity(signed_zone, *snapshot, N("."), RRType::kDNSKEY,
+                       dnssec);
+    ExpectLookupParity(signed_zone, *snapshot, N("com."), RRType::kNS,
+                       dnssec);
+    ExpectLookupParity(signed_zone, *snapshot, N("com."), RRType::kDS,
+                       dnssec);
+    // NXDOMAIN must carry the covering NSEC (+RRSIG) when dnssec is on.
+    ExpectLookupParity(signed_zone, *snapshot, N("no-such-tld-xyzzy."),
+                       RRType::kA, dnssec);
+    ExpectLookupParity(signed_zone, *snapshot, N("zzz-not-there."),
+                       RRType::kNS, dnssec);
+  }
+}
+
+TEST(ZoneSnapshot, ApplyMatchesApplyDiffAndSharesPages) {
+  const RootZoneModel model;
+  const Zone today = model.Snapshot({2018, 4, 11});
+  const Zone tomorrow = model.Snapshot({2018, 4, 12});
+  const ZoneDiff diff = DiffZones(today, tomorrow);
+  ASSERT_FALSE(diff.empty());
+
+  const SnapshotPtr base = ZoneSnapshot::Build(today);
+  auto applied = ZoneSnapshot::Apply(base, diff);
+  ASSERT_TRUE(applied.ok());
+
+  // Content identical to rebuilding from the new day's zone.
+  const SnapshotPtr rebuilt = ZoneSnapshot::Build(tomorrow);
+  EXPECT_TRUE((*applied)->SameContent(*rebuilt));
+  EXPECT_EQ((*applied)->Serial(), tomorrow.Serial());
+
+  // Structural sharing: one new delta page, every base page shared, and the
+  // delta page holds exactly the added+changed RRsets.
+  EXPECT_EQ((*applied)->page_count(), base->page_count() + 1);
+  EXPECT_EQ((*applied)->SharedPageCount(*base), base->page_count());
+  EXPECT_EQ((*applied)->newest_page_rrset_count(),
+            diff.added.size() + diff.changed.size());
+
+  // Chained Apply keeps sharing the original page.
+  const Zone day3 = model.Snapshot({2018, 4, 13});
+  auto applied2 = ZoneSnapshot::Apply(*applied, DiffZones(tomorrow, day3));
+  ASSERT_TRUE(applied2.ok());
+  EXPECT_TRUE((*applied2)->SameContent(*ZoneSnapshot::Build(day3)));
+  EXPECT_EQ((*applied2)->SharedPageCount(*base), base->page_count());
+}
+
+TEST(ZoneSnapshot, ApplyLeavesUnchangedViewsAliasingBaseArena) {
+  const RootZoneModel model;
+  const Zone today = model.Snapshot({2018, 4, 11});
+  const Zone tomorrow = model.Snapshot({2018, 4, 12});
+  const ZoneDiff diff = DiffZones(today, tomorrow);
+
+  // Pick an RRset untouched by the diff.
+  std::set<std::string> touched;
+  for (const auto& s : diff.added) touched.insert(s.name.ToString());
+  for (const auto& k : diff.removed) touched.insert(k.name.ToString());
+  for (const auto& s : diff.changed) touched.insert(s.name.ToString());
+  Name untouched = N(".");
+  bool found = false;
+  for (const Name& child : today.DelegatedChildren()) {
+    if (!touched.count(child.ToString())) {
+      untouched = child;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  const SnapshotPtr base = ZoneSnapshot::Build(today);
+  auto applied = ZoneSnapshot::Apply(base, diff);
+  ASSERT_TRUE(applied.ok());
+
+  const auto before = base->Find(untouched, RRType::kNS);
+  const auto after = (*applied)->Find(untouched, RRType::kNS);
+  ASSERT_TRUE(before.has_value());
+  ASSERT_TRUE(after.has_value());
+  // Zero-copy: the derived snapshot serves the very same arena memory.
+  EXPECT_EQ(after->rdatas.data(), before->rdatas.data());
+  EXPECT_EQ(after->name, before->name);
+}
+
+TEST(ZoneSnapshot, ApplyRejectsBadDiffLikeApplyDiff) {
+  const RootZoneModel model;
+  const SnapshotPtr base = ZoneSnapshot::Build(model.Snapshot({2019, 6, 7}));
+
+  ZoneDiff bad;
+  bad.removed.push_back(
+      {N("definitely-not-present."), RRType::kNS, dns::RRClass::kIN});
+  EXPECT_FALSE(ZoneSnapshot::Apply(base, bad).ok());
+
+  ZoneDiff bad_change;
+  RRset ghost;
+  ghost.name = N("definitely-not-present.");
+  ghost.type = RRType::kNS;
+  ghost.rdatas.push_back(dns::NsData{N("ns.example.")});
+  bad_change.changed.push_back(ghost);
+  EXPECT_FALSE(ZoneSnapshot::Apply(base, bad_change).ok());
+}
+
+TEST(ZoneSnapshot, SerializationParityWithZone) {
+  const RootZoneModel model;
+  const Zone master = model.Snapshot({2019, 6, 7});
+  const SnapshotPtr snapshot = ZoneSnapshot::Build(master);
+
+  const util::Bytes from_zone = SerializeZone(master);
+  const util::Bytes from_snapshot = SerializeSnapshot(*snapshot);
+  EXPECT_EQ(from_snapshot, from_zone);
+
+  auto restored = DeserializeSnapshot(from_snapshot);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE((*restored)->SameContent(*snapshot));
+}
+
+TEST(ZoneSnapshot, DiffSnapshotsMatchesDiffZones) {
+  const RootZoneModel model;
+  const Zone today = model.Snapshot({2018, 4, 11});
+  const Zone tomorrow = model.Snapshot({2018, 4, 12});
+
+  const ZoneDiff want = DiffZones(today, tomorrow);
+  const ZoneDiff got = DiffSnapshots(*ZoneSnapshot::Build(today),
+                                     *ZoneSnapshot::Build(tomorrow));
+  EXPECT_EQ(got.added, want.added);
+  EXPECT_EQ(got.removed, want.removed);
+  EXPECT_EQ(got.changed, want.changed);
+  EXPECT_EQ(SerializeDiff(got), SerializeDiff(want));
+
+  // And across an Apply chain (page structure differs, content does not).
+  auto applied =
+      ZoneSnapshot::Apply(ZoneSnapshot::Build(today), want);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_TRUE(
+      DiffSnapshots(*ZoneSnapshot::Build(tomorrow), **applied).empty());
+}
+
+TEST(ZoneSnapshot, MessageViewEncodesByteIdenticalToMessage) {
+  const RootZoneModel model;
+  const Zone master = model.Snapshot({2019, 6, 7});
+  const SnapshotPtr snapshot = ZoneSnapshot::Build(master);
+
+  const Name qname = N("www.example.com.");
+  LookupView view = snapshot->Lookup(qname, RRType::kA);
+  ASSERT_EQ(view.disposition, LookupDisposition::kReferral);
+
+  dns::MessageView borrowed;
+  borrowed.header.id = 0x1234;
+  borrowed.header.qr = true;
+  borrowed.questions.push_back({qname, RRType::kA, dns::RRClass::kIN});
+  borrowed.answers = view.answers;
+  borrowed.authority = view.authority;
+  borrowed.additional = view.additional;
+
+  dns::Message owned;
+  owned.header = borrowed.header;
+  owned.questions = borrowed.questions;
+  const LookupResult materialized = view.Materialize();
+  for (const auto& s : materialized.answers)
+    for (auto& rr : s.ToRecords()) owned.answers.push_back(rr);
+  for (const auto& s : materialized.authority)
+    for (auto& rr : s.ToRecords()) owned.authority.push_back(rr);
+  for (const auto& s : materialized.additional)
+    for (auto& rr : s.ToRecords()) owned.additional.push_back(rr);
+
+  // Unlimited and truncating encodes are both byte-identical.
+  EXPECT_EQ(dns::EncodeMessage(borrowed), dns::EncodeMessage(owned));
+  for (const std::size_t max : {512u, 256u, 64u}) {
+    EXPECT_EQ(dns::EncodeMessage(borrowed, max),
+              dns::EncodeMessage(owned, max))
+        << "max_size=" << max;
+  }
+}
+
+}  // namespace
+}  // namespace rootless::zone
