@@ -21,6 +21,7 @@
 #include "util/strings.h"
 #include "util/zipf.h"
 #include "zone/evolution.h"
+#include "obs/export.h"
 
 namespace {
 
@@ -100,6 +101,10 @@ int main() {
                                "eliminating them")
                   .c_str());
 
+  const rootless::obs::RunInfo run_info{"ablation_encrypted_transport", 23,
+                                       "lookups=2000 modes=plain,encrypted,local-root"};
+  std::printf("%s", rootless::obs::RunHeader(run_info).c_str());
+
   std::vector<Row> rows;
   rows.push_back(Run(resolver::RootMode::kRootServers, false));
   rows.push_back(Run(resolver::RootMode::kRootServers, true));
@@ -119,5 +124,6 @@ int main() {
               "transaction (plus handshake warm-up and the metadata the "
               "server still sees); the local copy removes the transactions "
               "altogether — the paper's Sec 4 comparison.\n");
+  rootless::obs::ExportRun(run_info);
   return 0;
 }

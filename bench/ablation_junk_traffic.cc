@@ -22,6 +22,7 @@
 #include "util/strings.h"
 #include "util/zipf.h"
 #include "zone/evolution.h"
+#include "obs/export.h"
 
 namespace {
 
@@ -107,6 +108,10 @@ int main() {
                                "under negative caching vs a local root copy")
                   .c_str());
 
+  const rootless::obs::RunInfo run_info{"ablation_junk_traffic", 4,
+                                       "junk-mix=ditl negative-cache=on/off local-root=on"};
+  std::printf("%s", rootless::obs::RunHeader(run_info).c_str());
+
   const zone::RootZoneModel model;
   const zone::Zone master = model.Snapshot({2018, 4, 11});
   const auto lookups = BuildLookups(master, 8000);
@@ -138,5 +143,6 @@ int main() {
               "stream; the local-copy modes remove 100%% — the paper's "
               "answer to the 95%%-junk problem.\n",
               util::FormatPercent(reduction).c_str());
+  rootless::obs::ExportRun(run_info);
   return 0;
 }

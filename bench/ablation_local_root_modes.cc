@@ -20,6 +20,7 @@
 #include "util/strings.h"
 #include "util/zipf.h"
 #include "zone/evolution.h"
+#include "obs/export.h"
 
 namespace {
 
@@ -118,6 +119,10 @@ int main() {
                   "cache")
                   .c_str());
 
+  const rootless::obs::RunInfo run_info{"ablation_local_root_modes", 99,
+                                       "cache-capacities=sweep modes=preload,on-demand,loopback"};
+  std::printf("%s", rootless::obs::RunHeader(run_info).c_str());
+
   for (const std::size_t capacity : {5000ul, 20000ul}) {
     std::printf("cache capacity: %zu RRsets\n", capacity);
     analysis::Table table({"mode", "cache RRsets", "TLD-owner RRsets",
@@ -142,5 +147,6 @@ int main() {
               "evictions); on-demand keeps the cache clean; both beat "
               "classic on latency; loopback matches on-demand without "
               "resolver changes.\n");
+  rootless::obs::ExportRun(run_info);
   return 0;
 }

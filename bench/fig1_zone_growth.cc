@@ -13,12 +13,17 @@
 #include "analysis/stats.h"
 #include "util/strings.h"
 #include "zone/evolution.h"
+#include "obs/export.h"
 
 int main() {
   using namespace rootless;
 
   std::printf("%s", analysis::Banner(
                         "Figure 1: records in the root zone over time").c_str());
+
+  const rootless::obs::RunInfo run_info{"fig1_zone_growth", 0,
+                                       "model=RootZoneModel 1998-2019"};
+  std::printf("%s", rootless::obs::RunHeader(run_info).c_str());
 
   const zone::RootZoneModel model;
   analysis::TimeSeries rr_series;
@@ -51,5 +56,6 @@ int main() {
   table.AddRow({"RRs at plateau (2019-06-15)", "~22K",
                 util::FormatCount(static_cast<double>(rr_2019))});
   std::printf("%s\n", table.Render().c_str());
+  rootless::obs::ExportRun(run_info);
   return 0;
 }

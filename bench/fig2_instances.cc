@@ -10,12 +10,17 @@
 #include "analysis/report.h"
 #include "analysis/stats.h"
 #include "topo/deployment.h"
+#include "obs/export.h"
 
 int main() {
   using namespace rootless;
 
   std::printf("%s", analysis::Banner(
                         "Figure 2: root nameserver instances over time").c_str());
+
+  const rootless::obs::RunInfo run_info{"fig2_instances", 0,
+                                       "model=DeploymentModel 1998-2019"};
+  std::printf("%s", rootless::obs::RunHeader(run_info).c_str());
 
   const topo::DeploymentModel model;
   analysis::TimeSeries series;
@@ -58,5 +63,6 @@ int main() {
   jumps.AddRow({"total on 2019-05-15", "985",
                 std::to_string(model.TotalInstancesOn({2019, 5, 15}))});
   std::printf("%s\n", jumps.Render().c_str());
+  rootless::obs::ExportRun(run_info);
   return 0;
 }

@@ -4,10 +4,13 @@
 
 #include <memory>
 
+#include <cstdio>
+
 #include "crypto/dnssec.h"
 #include "crypto/sha256.h"
 #include "distrib/rsync.h"
 #include "dns/message.h"
+#include "obs/export.h"
 #include "resolver/cache.h"
 #include "resolver/zone_db.h"
 #include "util/rng.h"
@@ -187,4 +190,17 @@ BENCHMARK(BM_RsyncDeltaDailyZone);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with the standardized run header/export around
+// the google-benchmark harness (cache/resolver fixtures above register their
+// counters in the default registry, so the export reflects this run).
+int main(int argc, char** argv) {
+  const rootless::obs::RunInfo run_info{"micro_benchmarks", 0,
+                                        "harness=google-benchmark"};
+  std::printf("%s", rootless::obs::RunHeader(run_info).c_str());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  rootless::obs::ExportRun(run_info);
+  return 0;
+}

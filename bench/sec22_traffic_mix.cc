@@ -20,6 +20,7 @@
 #include "traffic/workload.h"
 #include "util/strings.h"
 #include "zone/evolution.h"
+#include "obs/export.h"
 
 int main() {
   using namespace rootless;
@@ -27,6 +28,10 @@ int main() {
   std::printf("%s",
               analysis::Banner("Sec 2.2: DITL j-root traffic decomposition")
                   .c_str());
+
+  const rootless::obs::RunInfo run_info{"sec22_traffic_mix", 0,
+                                       "workload=ditl-jroot"};
+  std::printf("%s", rootless::obs::RunHeader(run_info).c_str());
 
   const zone::RootZoneModel zone_model;
   std::vector<std::string> real_tlds;
@@ -122,5 +127,6 @@ int main() {
                util::FormatPercent(static_cast<double>(max_load) /
                                    static_cast<double>(trace.events.size()))});
   std::printf("%s\n", load.Render().c_str());
+  rootless::obs::ExportRun(run_info);
   return 0;
 }

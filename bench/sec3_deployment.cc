@@ -22,6 +22,7 @@
 #include "util/strings.h"
 #include "util/zipf.h"
 #include "zone/evolution.h"
+#include "obs/export.h"
 
 int main() {
   using namespace rootless;
@@ -30,6 +31,10 @@ int main() {
               analysis::Banner("Sec 3: gradual adoption — root load vs "
                                "fraction of local-root resolvers")
                   .c_str());
+
+  const rootless::obs::RunInfo run_info{"sec3_deployment", 100,
+                                       "adoption-sweep=0..100% seed-base=100"};
+  std::printf("%s", rootless::obs::RunHeader(run_info).c_str());
 
   const zone::RootZoneModel model;
   auto root_zone =
@@ -113,5 +118,6 @@ int main() {
               "the remaining share dwindles (the paper also notes the "
               "resulting performance decay itself nudges holdouts to "
               "switch).\n");
+  rootless::obs::ExportRun(run_info);
   return 0;
 }

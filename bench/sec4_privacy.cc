@@ -23,6 +23,7 @@
 #include "util/strings.h"
 #include "util/zipf.h"
 #include "zone/evolution.h"
+#include "obs/export.h"
 
 namespace {
 
@@ -90,6 +91,10 @@ int main() {
                                "infrastructure (3000 lookups)")
                   .c_str());
 
+  const rootless::obs::RunInfo run_info{"sec4_privacy", 12,
+                                       "lookups=3000 modes=root,qmin,local-root"};
+  std::printf("%s", rootless::obs::RunHeader(run_info).c_str());
+
   std::vector<Row> rows;
   rows.push_back(Run(resolver::RootMode::kRootServers, false));
   rows.push_back(Run(resolver::RootMode::kRootServers, true));
@@ -108,5 +113,6 @@ int main() {
               "transaction still leaks which TLD this resolver's users are "
               "visiting and when; the local copy leaks nothing (0 rows) — "
               "the paper's privacy argument.\n");
+  rootless::obs::ExportRun(run_info);
   return 0;
 }

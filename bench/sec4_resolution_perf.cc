@@ -25,6 +25,7 @@
 #include "util/strings.h"
 #include "util/zipf.h"
 #include "zone/evolution.h"
+#include "obs/export.h"
 
 namespace {
 
@@ -133,6 +134,10 @@ int main() {
                                "local root zone copy")
                   .c_str());
 
+  const rootless::obs::RunInfo run_info{"sec4_resolution_perf", 42,
+                                       "modes=root-servers,preload,on-demand,loopback"};
+  std::printf("%s", rootless::obs::RunHeader(run_info).c_str());
+
   std::vector<ModeResult> results;
   results.push_back(RunMode(resolver::RootMode::kRootServers));
   results.push_back(RunMode(resolver::RootMode::kCachePreload));
@@ -167,5 +172,6 @@ int main() {
   naive_table.AddRow({"compressed-file scan (37 ms, paper Sec 5.1)",
                       Ms(naive.steady.mean()), Ms(naive.cold.Percentile(50))});
   std::printf("%s\n", naive_table.Render().c_str());
+  rootless::obs::ExportRun(run_info);
   return 0;
 }

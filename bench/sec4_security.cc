@@ -24,6 +24,7 @@
 #include "util/strings.h"
 #include "zone/evolution.h"
 #include "zone/sign.h"
+#include "obs/export.h"
 
 namespace {
 
@@ -132,6 +133,10 @@ int main() {
                                "of .com) vs resolver configuration")
                   .c_str());
 
+  const rootless::obs::RunInfo run_info{"sec4_security", 7,
+                                       "attack=censor-com configs=4"};
+  std::printf("%s", rootless::obs::RunHeader(run_info).c_str());
+
   std::vector<Outcome> outcomes;
   outcomes.push_back(Run(resolver::RootMode::kRootServers, false));
   outcomes.push_back(Run(resolver::RootMode::kRootServers, true));
@@ -151,5 +156,6 @@ int main() {
       "the paper's point: DNSSEC can only convert a hijack into an outage "
       "(fail closed); eliminating root transactions removes the attacker's "
       "opportunities entirely (0 shots for the local-copy resolver).\n");
+  rootless::obs::ExportRun(run_info);
   return 0;
 }

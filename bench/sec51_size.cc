@@ -22,12 +22,17 @@
 #include "zone/master_file.h"
 #include "zone/root_hints.h"
 #include "zone/rzc.h"
+#include "obs/export.h"
 
 int main() {
   using namespace rootless;
   using Clock = std::chrono::steady_clock;
 
   std::printf("%s", analysis::Banner("Sec 5.1: bootstrap size analysis").c_str());
+
+  const rootless::obs::RunInfo run_info{"sec51_size", 0,
+                                       "zone=2019-06-07 compression=rzc"};
+  std::printf("%s", rootless::obs::RunHeader(run_info).c_str());
 
   const zone::RootZoneModel model;
   const zone::Zone root_zone = model.Snapshot({2019, 6, 7});
@@ -159,5 +164,6 @@ int main() {
   std::printf("paper's takeaway: even the naive scan is comparable to a "
               "network RTT, so consulting the local zone never slows "
               "lookups; an indexed store makes it negligible.\n");
+  rootless::obs::ExportRun(run_info);
   return 0;
 }

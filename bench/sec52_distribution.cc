@@ -21,12 +21,17 @@
 #include "zone/master_file.h"
 #include "zone/rzc.h"
 #include "zone/snapshot.h"
+#include "obs/export.h"
 
 int main() {
   using namespace rootless;
 
   std::printf("%s",
               analysis::Banner("Sec 5.2: root zone distribution load").c_str());
+
+  const rootless::obs::RunInfo run_info{"sec52_distribution", 0,
+                                       "resolvers=4.1M interval-days=2"};
+  std::printf("%s", rootless::obs::RunHeader(run_info).c_str());
 
   const zone::RootZoneModel model;
   const util::CivilDate day{2019, 6, 7};
@@ -129,5 +134,6 @@ int main() {
   std::printf("(paper: raising TTLs to ~1 week is safe given zone stability, "
               "halving-plus the distribution load at the price of slower "
               "new-TLD visibility — see Sec 5.3 bench)\n");
+  rootless::obs::ExportRun(run_info);
   return 0;
 }

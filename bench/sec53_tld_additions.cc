@@ -18,12 +18,17 @@
 #include "zone/evolution.h"
 #include "zone/snapshot.h"
 #include "zone/zone_diff.h"
+#include "obs/export.h"
 
 int main() {
   using namespace rootless;
 
   std::printf("%s",
               analysis::Banner("Sec 5.3: new-TLD adoption (.llc)").c_str());
+
+  const rootless::obs::RunInfo run_info{"sec53_tld_additions", 0,
+                                       "tld=.llc ttl-sweep=1,2,7,14d"};
+  std::printf("%s", rootless::obs::RunHeader(run_info).c_str());
 
   const zone::RootZoneModel model;
   const zone::TldRecord* llc = model.FindTld("llc");
@@ -92,5 +97,6 @@ int main() {
               util::FormatBytes(static_cast<double>(
                                     zone::SerializeZone(after).size()))
                   .c_str());
+  rootless::obs::ExportRun(run_info);
   return 0;
 }

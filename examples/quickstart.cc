@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "crypto/dnssec.h"
+#include "obs/export.h"
 #include "resolver/recursive.h"
 #include "rootsrv/tld_farm.h"
 #include "topo/geo_registry.h"
@@ -116,5 +117,9 @@ ns1.nic.org. 172800 IN A 192.0.2.20
                                  result.transactions);
                    });
   sim.Run();
+
+  // 6. Everything above recorded into the process-wide metrics registry as
+  //    a side effect; dump the aggregated table.
+  std::printf("\n%s", obs::RenderMetricsTable().c_str());
   return 0;
 }

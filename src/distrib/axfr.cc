@@ -39,6 +39,12 @@ AxfrServer::AxfrServer(sim::Network& network, ZoneProvider provider,
       chunk_size_(chunk_size) {
   node_ = network_.AddNode(
       [this](const sim::Datagram& d) { HandleDatagram(d); });
+  obs::Registry& reg = obs::Registry::Default();
+  const obs::Labels labels{reg.NextInstance("distrib.axfr.server"), "", ""};
+  requests_ = reg.counter("distrib.axfr.server.requests", labels);
+  uptodate_ = reg.counter("distrib.axfr.server.uptodate", labels);
+  chunks_sent_ = reg.counter("distrib.axfr.server.chunks_sent", labels);
+  bytes_sent_ = reg.counter("distrib.axfr.server.bytes_sent", labels);
 }
 
 void AxfrServer::HandleDatagram(const sim::Datagram& datagram) {
@@ -47,12 +53,12 @@ void AxfrServer::HandleDatagram(const sim::Datagram& datagram) {
   if (!ReadHeader(r, tag)) return;
 
   if (tag == kReq) {
-    ++stats_.requests;
+    requests_.Inc();
     std::uint32_t have_serial = 0;
     if (!r.ReadU32(have_serial)) return;
     zone::SnapshotPtr current = provider_();
     if (current->Serial() == have_serial) {
-      ++stats_.uptodate;
+      uptodate_.Inc();
       ByteWriter w;
       WriteHeader(kUpToDate, w);
       w.WriteU32(have_serial);
@@ -89,8 +95,8 @@ void AxfrServer::HandleDatagram(const sim::Datagram& datagram) {
     w.WriteU32(index);
     w.WriteVarint(len);
     w.WriteBytes(std::span(cached_snapshot_).subspan(offset, len));
-    ++stats_.chunks_sent;
-    stats_.bytes_sent += len;
+    chunks_sent_.Inc();
+    bytes_sent_.Inc(len);
     network_.Send(node_, datagram.src, w.TakeData());
   }
 }
@@ -106,6 +112,13 @@ AxfrClient::AxfrClient(sim::Simulator& sim, sim::Network& network, int window,
       max_chunk_retries_(max_chunk_retries) {
   node_ = network_.AddNode(
       [this](const sim::Datagram& d) { HandleDatagram(d); });
+  obs::Registry& reg = obs::Registry::Default();
+  const obs::Labels labels{reg.NextInstance("distrib.axfr.client"), "", ""};
+  transfers_ = reg.counter("distrib.axfr.client.transfers", labels);
+  uptodate_ = reg.counter("distrib.axfr.client.uptodate", labels);
+  chunks_received_ = reg.counter("distrib.axfr.client.chunks_received", labels);
+  retransmits_ = reg.counter("distrib.axfr.client.retransmits", labels);
+  failures_ = reg.counter("distrib.axfr.client.failures", labels);
 }
 
 void AxfrClient::Fetch(sim::NodeId server, std::uint32_t have_serial,
@@ -130,7 +143,7 @@ void AxfrClient::ArmMetaTimeout(std::uint32_t have_serial,
       FinishError("axfr: no response to transfer request");
       return;
     }
-    ++stats_.retransmits;
+    retransmits_.Inc();
     SendRequest(have_serial);
     ArmMetaTimeout(have_serial, generation);
   });
@@ -175,7 +188,7 @@ void AxfrClient::ArmChunkTimeout(std::uint32_t index,
       FinishError("axfr: chunk " + std::to_string(index) + " lost");
       return;
     }
-    ++stats_.retransmits;
+    retransmits_.Inc();
     ByteWriter w;
     WriteHeader(kGet, w);
     w.WriteU32(t.serial);
@@ -193,7 +206,7 @@ void AxfrClient::HandleDatagram(const sim::Datagram& datagram) {
   Transfer& t = *transfer_;
 
   if (tag == kUpToDate) {
-    ++stats_.uptodate;
+    uptodate_.Inc();
     auto callback = std::move(t.callback);
     transfer_.reset();
     callback(zone::SnapshotPtr(nullptr));
@@ -225,7 +238,7 @@ void AxfrClient::HandleDatagram(const sim::Datagram& datagram) {
     Bytes bytes;
     if (!r.ReadBytes(len, bytes)) return;
     if (t.chunks.emplace(index, std::move(bytes)).second) {
-      ++stats_.chunks_received;
+      chunks_received_.Inc();
     }
     t.retries.erase(index);
     if (t.chunks.size() == t.chunk_count) {
@@ -244,10 +257,10 @@ void AxfrClient::FinishSuccess() {
   }
   auto callback = std::move(t.callback);
   transfer_.reset();
-  ++stats_.transfers;
+  transfers_.Inc();
   auto zone = zone::DeserializeSnapshot(snapshot);
   if (!zone.ok()) {
-    ++stats_.failures;
+    failures_.Inc();
     callback(zone.error());
     return;
   }
@@ -255,7 +268,7 @@ void AxfrClient::FinishSuccess() {
 }
 
 void AxfrClient::FinishError(const std::string& message) {
-  ++stats_.failures;
+  failures_.Inc();
   auto callback = std::move(transfer_->callback);
   transfer_.reset();
   callback(util::Error(message));

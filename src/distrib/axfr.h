@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 
+#include "obs/metrics.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "util/result.h"
@@ -24,6 +25,8 @@
 
 namespace rootless::distrib {
 
+// Snapshot view of the server's registry-backed counters (module
+// "distrib.axfr.server"); assembled by stats().
 struct AxfrServerStats {
   std::uint64_t requests = 0;
   std::uint64_t uptodate = 0;
@@ -39,7 +42,11 @@ class AxfrServer {
              std::size_t chunk_size = 1200);
 
   sim::NodeId node() const { return node_; }
-  const AxfrServerStats& stats() const { return stats_; }
+  // Snapshot of the registry-backed counters.
+  AxfrServerStats stats() const {
+    return AxfrServerStats{requests_.value(), uptodate_.value(),
+                           chunks_sent_.value(), bytes_sent_.value()};
+  }
 
  private:
   void HandleDatagram(const sim::Datagram& datagram);
@@ -51,9 +58,15 @@ class AxfrServer {
   // Serialized snapshot cache, keyed by serial (rebuilt when it changes).
   std::uint32_t cached_serial_ = 0;
   util::Bytes cached_snapshot_;
-  AxfrServerStats stats_;
+  // Registry handles (module "distrib.axfr.server").
+  obs::Counter requests_;
+  obs::Counter uptodate_;
+  obs::Counter chunks_sent_;
+  obs::Counter bytes_sent_;
 };
 
+// Snapshot view of the client's registry-backed counters (module
+// "distrib.axfr.client"); assembled by stats().
 struct AxfrClientStats {
   std::uint64_t transfers = 0;
   std::uint64_t uptodate = 0;
@@ -74,7 +87,12 @@ class AxfrClient {
              int max_chunk_retries = 5);
 
   sim::NodeId node() const { return node_; }
-  const AxfrClientStats& stats() const { return stats_; }
+  // Snapshot of the registry-backed counters.
+  AxfrClientStats stats() const {
+    return AxfrClientStats{transfers_.value(), uptodate_.value(),
+                           chunks_received_.value(), retransmits_.value(),
+                           failures_.value()};
+  }
 
   // Starts a transfer; one at a time per client.
   void Fetch(sim::NodeId server, std::uint32_t have_serial,
@@ -111,7 +129,12 @@ class AxfrClient {
   int max_chunk_retries_;
   sim::NodeId node_;
   std::unique_ptr<Transfer> transfer_;
-  AxfrClientStats stats_;
+  // Registry handles (module "distrib.axfr.client").
+  obs::Counter transfers_;
+  obs::Counter uptodate_;
+  obs::Counter chunks_received_;
+  obs::Counter retransmits_;
+  obs::Counter failures_;
 };
 
 }  // namespace rootless::distrib

@@ -4,37 +4,60 @@
 
 namespace rootless::distrib {
 
+ZoneFetchService::ZoneFetchService(sim::Simulator& sim,
+                                   FetchServiceConfig config,
+                                   ZoneProvider provider,
+                                   obs::Registry* registry)
+    : sim_(sim), config_(config), provider_(std::move(provider)) {
+  obs::Registry& reg = registry ? *registry : obs::Registry::Default();
+  const obs::Labels labels{reg.NextInstance("distrib.fetch"), "", ""};
+  fetches_ = reg.counter("distrib.fetch.fetches", labels);
+  failures_ = reg.counter("distrib.fetch.failures", labels);
+  validation_failures_ = reg.counter("distrib.fetch.validation_failures",
+                                     labels);
+  bytes_served_ = reg.counter("distrib.fetch.bytes_served", labels);
+}
+
 void ZoneFetchService::Fetch(FetchCallback callback) {
-  ++stats_.fetches;
+  fetches_.Inc();
+  // Distribution-lifecycle span: fetch → (verify) → delivery.
+  const obs::SpanId span =
+      ROOTLESS_SPAN_START(sim_.tracer(), "distrib.fetch", obs::kNoSpan);
   if (InOutage(sim_.now())) {
-    ++stats_.failures;
+    failures_.Inc();
     // Failure is detected after a timeout-ish delay.
     sim_.Schedule(config_.base_latency * 4,
-                  [callback = std::move(callback)]() {
+                  [this, span, callback = std::move(callback)]() {
+                    ROOTLESS_SPAN_END(sim_.tracer(), span);
                     callback(util::Error("fetch: service unavailable"));
                   });
     return;
   }
   zone::SnapshotPtr z = provider_();
   const std::size_t size = SerializeSnapshot(*z).size();
-  stats_.bytes_served += size;
+  bytes_served_.Inc(size);
   const sim::SimTime transfer =
       config_.base_latency +
       static_cast<sim::SimTime>(static_cast<double>(size) /
                                 config_.bandwidth_bytes_per_sec * sim::kSecond);
   const bool verify = config_.verify_signatures;
-  sim_.Schedule(transfer, [this, z = std::move(z), verify,
+  sim_.Schedule(transfer, [this, z = std::move(z), verify, span,
                            callback = std::move(callback)]() {
     if (verify) {
+      const obs::SpanId vspan =
+          ROOTLESS_SPAN_START(sim_.tracer(), "distrib.verify", span);
       auto validated = crypto::ValidateZoneRRsets(
           z->AllRRsets(), dnskey_, store_, config_.validation_now);
+      ROOTLESS_SPAN_END(sim_.tracer(), vspan);
       if (!validated.ok()) {
-        ++stats_.validation_failures;
+        validation_failures_.Inc();
+        ROOTLESS_SPAN_END(sim_.tracer(), span);
         callback(util::Error("fetch: validation failed: " +
                              validated.error().message()));
         return;
       }
     }
+    ROOTLESS_SPAN_END(sim_.tracer(), span);
     callback(z);
   });
 }

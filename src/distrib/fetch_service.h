@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "crypto/dnssec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "util/result.h"
 #include "zone/zone_snapshot.h"
@@ -23,6 +25,8 @@ struct FetchServiceConfig {
   std::uint32_t validation_now = 0;  // unix seconds for RRSIG windows
 };
 
+// Snapshot view of the service's registry-backed counters (module
+// "distrib.fetch"); assembled by stats().
 struct FetchServiceStats {
   std::uint64_t fetches = 0;
   std::uint64_t failures = 0;           // outage-window failures
@@ -37,8 +41,7 @@ class ZoneFetchService {
   using FetchCallback = std::function<void(FetchResult)>;
 
   ZoneFetchService(sim::Simulator& sim, FetchServiceConfig config,
-                   ZoneProvider provider)
-      : sim_(sim), config_(config), provider_(std::move(provider)) {}
+                   ZoneProvider provider, obs::Registry* registry = nullptr);
 
   // Fetches fail while sim-time is inside any outage window.
   void AddOutage(sim::SimTime from, sim::SimTime to) {
@@ -54,7 +57,12 @@ class ZoneFetchService {
   // Asynchronous fetch: the callback fires after the simulated transfer.
   void Fetch(FetchCallback callback);
 
-  const FetchServiceStats& stats() const { return stats_; }
+  // Snapshot of the registry-backed counters.
+  FetchServiceStats stats() const {
+    return FetchServiceStats{fetches_.value(), failures_.value(),
+                             validation_failures_.value(),
+                             bytes_served_.value()};
+  }
 
  private:
   struct Outage {
@@ -75,7 +83,11 @@ class ZoneFetchService {
   std::vector<Outage> outages_;
   dns::DnskeyData dnskey_;
   crypto::KeyStore store_;
-  FetchServiceStats stats_;
+  // Registry handles (module "distrib.fetch").
+  obs::Counter fetches_;
+  obs::Counter failures_;
+  obs::Counter validation_failures_;
+  obs::Counter bytes_served_;
 };
 
 }  // namespace rootless::distrib

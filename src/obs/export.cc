@@ -1,0 +1,276 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <tuple>
+
+#include "analysis/report.h"
+
+namespace rootless::obs {
+
+namespace {
+
+// An aggregated metric: all instances of one (name, cls, bucket) merged.
+struct Aggregate {
+  Kind kind = Kind::kCounter;
+  std::uint64_t counter = 0;
+  std::int64_t gauge = 0;
+  HistogramData hist;
+  std::size_t instances = 0;
+};
+
+using AggregateKey = std::tuple<std::string, std::string, std::string>;
+
+void Merge(HistogramData& into, const HistogramData& from) {
+  if (from.count == 0) return;
+  for (int i = 0; i < HistogramData::kBucketCount; ++i) {
+    into.buckets[i] += from.buckets[i];
+  }
+  if (into.count == 0) {
+    into.min = from.min;
+    into.max = from.max;
+  } else {
+    into.min = std::min(into.min, from.min);
+    into.max = std::max(into.max, from.max);
+  }
+  into.count += from.count;
+  into.sum += from.sum;
+}
+
+std::map<AggregateKey, Aggregate> Aggregated(const Registry& registry) {
+  std::map<AggregateKey, Aggregate> out;
+  for (const Sample& s : registry.Snapshot()) {
+    Aggregate& agg = out[{s.name, s.labels.cls, s.labels.bucket}];
+    agg.kind = s.kind;
+    ++agg.instances;
+    switch (s.kind) {
+      case Kind::kCounter:
+        agg.counter += s.counter;
+        break;
+      case Kind::kGauge:
+        agg.gauge += s.gauge;
+        break;
+      case Kind::kHistogram:
+        Merge(agg.hist, *s.hist);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string LabelSuffix(const std::string& cls, const std::string& bucket) {
+  Labels l;
+  l.cls = cls;
+  l.bucket = bucket;
+  return l.Render();
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void AppendJsonEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
+std::string GitDescribe() {
+#ifdef ROOTLESS_GIT_DESCRIBE
+  return ROOTLESS_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string RunHeader(const RunInfo& info) {
+  std::string out = "[run] bench=";
+  out += info.bench;
+  out += " seed=";
+  out += std::to_string(info.seed);
+  out += " git=";
+  out += GitDescribe();
+  if (!info.config.empty()) {
+    out += " config=\"";
+    out += info.config;
+    out += '"';
+  }
+  out += '\n';
+  return out;
+}
+
+std::string RenderMetricsTable(const Registry& registry,
+                               bool aggregate_instances) {
+  analysis::Table table({"metric", "kind", "value", "detail"});
+  auto add_histogram_row = [&table](const std::string& name,
+                                    const HistogramData& h,
+                                    const std::string& detail_prefix) {
+    char detail[160];
+    std::snprintf(detail, sizeof(detail),
+                  "%smean=%s min=%" PRIu64 " p50=%" PRIu64 " p90=%" PRIu64
+                  " p99=%" PRIu64 " max=%" PRIu64,
+                  detail_prefix.c_str(), FormatDouble(h.mean()).c_str(), h.min,
+                  h.Percentile(50), h.Percentile(90), h.Percentile(99), h.max);
+    table.AddRow({name, "histogram", std::to_string(h.count), detail});
+  };
+
+  if (aggregate_instances) {
+    for (const auto& [key, agg] : Aggregated(registry)) {
+      const std::string name =
+          std::get<0>(key) + LabelSuffix(std::get<1>(key), std::get<2>(key));
+      const std::string detail =
+          agg.instances > 1
+              ? "across " + std::to_string(agg.instances) + " instances"
+              : "";
+      switch (agg.kind) {
+        case Kind::kCounter:
+          table.AddRow({name, "counter", std::to_string(agg.counter), detail});
+          break;
+        case Kind::kGauge:
+          table.AddRow({name, "gauge", std::to_string(agg.gauge), detail});
+          break;
+        case Kind::kHistogram:
+          add_histogram_row(name, agg.hist,
+                            detail.empty() ? "" : detail + " ");
+          break;
+      }
+    }
+    return table.Render();
+  }
+
+  for (const Sample& s : registry.Snapshot()) {
+    const std::string name = s.name + s.labels.Render();
+    switch (s.kind) {
+      case Kind::kCounter:
+        table.AddRow({name, "counter", std::to_string(s.counter), ""});
+        break;
+      case Kind::kGauge:
+        table.AddRow({name, "gauge", std::to_string(s.gauge), ""});
+        break;
+      case Kind::kHistogram:
+        add_histogram_row(name, *s.hist, "");
+        break;
+    }
+  }
+  return table.Render();
+}
+
+std::string MetricsJson(const RunInfo& info, const Registry& registry,
+                        bool aggregate_instances) {
+  std::string out = "{\n  \"schema\": \"rootless-obs-v1\",\n  \"bench\": \"";
+  AppendJsonEscaped(out, info.bench);
+  out += "\",\n  \"seed\": " + std::to_string(info.seed);
+  out += ",\n  \"git\": \"";
+  AppendJsonEscaped(out, GitDescribe());
+  out += "\",\n  \"config\": \"";
+  AppendJsonEscaped(out, info.config);
+  out += "\",\n  \"metrics\": [";
+
+  bool first = true;
+  auto open_metric = [&](const std::string& name, const std::string& cls,
+                         const std::string& bucket, const char* kind,
+                         std::size_t instances) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"";
+    AppendJsonEscaped(out, name);
+    out += "\"";
+    if (!cls.empty()) {
+      out += ", \"cls\": \"";
+      AppendJsonEscaped(out, cls);
+      out += "\"";
+    }
+    if (!bucket.empty()) {
+      out += ", \"bucket\": \"";
+      AppendJsonEscaped(out, bucket);
+      out += "\"";
+    }
+    out += ", \"kind\": \"";
+    out += kind;
+    out += "\"";
+    if (instances > 1) {
+      out += ", \"instances\": " + std::to_string(instances);
+    }
+  };
+  auto close_histogram = [&](const HistogramData& h) {
+    out += ", \"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + std::to_string(h.sum);
+    out += ", \"mean\": " + FormatDouble(h.mean());
+    out += ", \"min\": " + std::to_string(h.min);
+    out += ", \"p50\": " + std::to_string(h.Percentile(50));
+    out += ", \"p90\": " + std::to_string(h.Percentile(90));
+    out += ", \"p99\": " + std::to_string(h.Percentile(99));
+    out += ", \"max\": " + std::to_string(h.max);
+    out += "}";
+  };
+
+  if (aggregate_instances) {
+    for (const auto& [key, agg] : Aggregated(registry)) {
+      switch (agg.kind) {
+        case Kind::kCounter:
+          open_metric(std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                      "counter", agg.instances);
+          out += ", \"value\": " + std::to_string(agg.counter) + "}";
+          break;
+        case Kind::kGauge:
+          open_metric(std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                      "gauge", agg.instances);
+          out += ", \"value\": " + std::to_string(agg.gauge) + "}";
+          break;
+        case Kind::kHistogram:
+          open_metric(std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                      "histogram", agg.instances);
+          close_histogram(agg.hist);
+          break;
+      }
+    }
+  } else {
+    for (const Sample& s : registry.Snapshot()) {
+      // Per-instance dumps keep the instance label inline in the name so the
+      // schema stays the same.
+      const std::string name = s.name + s.labels.Render();
+      switch (s.kind) {
+        case Kind::kCounter:
+          open_metric(name, "", "", "counter", 1);
+          out += ", \"value\": " + std::to_string(s.counter) + "}";
+          break;
+        case Kind::kGauge:
+          open_metric(name, "", "", "gauge", 1);
+          out += ", \"value\": " + std::to_string(s.gauge) + "}";
+          break;
+        case Kind::kHistogram:
+          open_metric(name, "", "", "histogram", 1);
+          close_histogram(*s.hist);
+          break;
+      }
+    }
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string ExportRun(const RunInfo& info, const Registry& registry,
+                      const std::string& json_path) {
+  std::printf("%s", analysis::Banner("observability export").c_str());
+  std::printf("%s", RunHeader(info).c_str());
+  std::printf("%s", RenderMetricsTable(registry).c_str());
+  const std::string path =
+      json_path.empty() ? info.bench + ".obs.json" : json_path;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+    return "";
+  }
+  out << MetricsJson(info, registry);
+  std::printf("wrote %s\n", path.c_str());
+  return path;
+}
+
+}  // namespace rootless::obs

@@ -1,0 +1,46 @@
+// Shared export for every bench: one standardized run header (bench name,
+// seed, git describe, config), one ASCII rendering of the metrics registry
+// (via analysis::Table), and one machine-readable JSON artifact, so all
+// bench runs are diffable and comparable.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace rootless::obs {
+
+// Identifies one bench run. `config` is a free-form "key=value ..." summary
+// of whatever knobs the bench varied.
+struct RunInfo {
+  std::string bench;
+  std::uint64_t seed = 0;
+  std::string config;
+};
+
+// The git describe string baked in at configure time ("unknown" outside a
+// git checkout).
+std::string GitDescribe();
+
+// One-line, grep/diff-friendly: "[run] bench=... seed=... git=... config=...".
+std::string RunHeader(const RunInfo& info);
+
+// Aggregated ASCII table of every metric in the registry. Instances of the
+// same metric (same name/cls/bucket, different instance label) are summed
+// and the instance count reported, so a 1000-server fleet stays readable.
+std::string RenderMetricsTable(const Registry& registry = Registry::Default(),
+                               bool aggregate_instances = true);
+
+// JSON document with the run header fields and the aggregated metrics.
+std::string MetricsJson(const RunInfo& info,
+                        const Registry& registry = Registry::Default(),
+                        bool aggregate_instances = true);
+
+// Prints the metrics table to stdout and writes MetricsJson to
+// "<bench>.obs.json" (or `json_path` when non-empty). Returns the path
+// written, or "" on failure.
+std::string ExportRun(const RunInfo& info,
+                      const Registry& registry = Registry::Default(),
+                      const std::string& json_path = "");
+
+}  // namespace rootless::obs

@@ -1,0 +1,181 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace rootless::obs {
+
+std::string Labels::Render() const {
+  if (instance.empty() && cls.empty() && bucket.empty()) return {};
+  std::string out = "{";
+  auto append = [&out](const char* key, const std::string& value) {
+    if (value.empty()) return;
+    if (out.size() > 1) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  };
+  append("instance", instance);
+  append("cls", cls);
+  append("bucket", bucket);
+  out += '}';
+  return out;
+}
+
+int HistogramData::BucketFor(std::uint64_t v) {
+  if (v < kLinearCutoff) return static_cast<int>(v);
+  const int msb = std::bit_width(v) - 1;  // >= 4 here
+  const int sub = static_cast<int>((v >> (msb - 2)) & 3);
+  return kLinearCutoff + (msb - 4) * kSubBuckets + sub;
+}
+
+std::uint64_t HistogramData::BucketUpperBound(int bucket) {
+  if (bucket < kLinearCutoff) return static_cast<std::uint64_t>(bucket);
+  const int rel = bucket - kLinearCutoff;
+  const int msb = 4 + rel / kSubBuckets;
+  const int sub = rel % kSubBuckets;
+  // Upper bound of [2^msb + sub*2^(msb-2), 2^msb + (sub+1)*2^(msb-2)).
+  const std::uint64_t base = std::uint64_t{1} << msb;
+  const std::uint64_t step = base >> 2;
+  return base + step * static_cast<std::uint64_t>(sub + 1) - 1;
+}
+
+void HistogramData::Record(std::uint64_t v) {
+  ++buckets[BucketFor(v)];
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+}
+
+std::uint64_t HistogramData::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  const double rank = p / 100.0 * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets[i];
+    if (static_cast<double>(seen) >= rank && seen > 0) {
+      return std::min(BucketUpperBound(i), max);
+    }
+  }
+  return max;
+}
+
+void HistogramData::Reset() { *this = HistogramData{}; }
+
+HistogramData& Histogram::sink() {
+  static HistogramData data;
+  return data;
+}
+
+Registry& Registry::Default() {
+  static Registry registry;
+  return registry;
+}
+
+namespace {
+std::string KeyOf(std::string_view name, const Labels& labels) {
+  std::string key;
+  key.reserve(name.size() + labels.instance.size() + labels.cls.size() +
+              labels.bucket.size() + 3);
+  key += name;
+  key += '\x1f';
+  key += labels.instance;
+  key += '\x1f';
+  key += labels.cls;
+  key += '\x1f';
+  key += labels.bucket;
+  return key;
+}
+}  // namespace
+
+std::size_t* Registry::FindOrAdd(std::string_view name, const Labels& labels,
+                                 Kind kind) {
+  auto [it, inserted] = index_.try_emplace(KeyOf(name, labels), 0);
+  if (!inserted) {
+    Entry& entry = entries_[it->second];
+    // A re-registration must agree on the kind; returning a counter slot as
+    // a gauge would silently alias unrelated state.
+    if (entry.kind != kind) return nullptr;
+    return &entry.slot;
+  }
+  std::size_t slot = 0;
+  switch (kind) {
+    case Kind::kCounter:
+      slot = counters_.size();
+      counters_.push_back(0);
+      break;
+    case Kind::kGauge:
+      slot = gauges_.size();
+      gauges_.push_back(0);
+      break;
+    case Kind::kHistogram:
+      slot = histograms_.size();
+      histograms_.emplace_back();
+      break;
+  }
+  it->second = entries_.size();
+  entries_.push_back(Entry{std::string(name), labels, kind, slot});
+  return &entries_.back().slot;
+}
+
+Counter Registry::counter(std::string_view name, const Labels& labels) {
+  std::size_t* slot = FindOrAdd(name, labels, Kind::kCounter);
+  return slot ? Counter(&counters_[*slot]) : Counter();
+}
+
+Gauge Registry::gauge(std::string_view name, const Labels& labels) {
+  std::size_t* slot = FindOrAdd(name, labels, Kind::kGauge);
+  return slot ? Gauge(&gauges_[*slot]) : Gauge();
+}
+
+Histogram Registry::histogram(std::string_view name, const Labels& labels) {
+  std::size_t* slot = FindOrAdd(name, labels, Kind::kHistogram);
+  return slot ? Histogram(&histograms_[*slot]) : Histogram();
+}
+
+std::string Registry::NextInstance(std::string_view module) {
+  return std::to_string(instance_counters_[std::string(module)]++);
+}
+
+void Registry::ResetAll() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  std::fill(gauges_.begin(), gauges_.end(), 0);
+  for (auto& h : histograms_) h.Reset();
+}
+
+std::vector<Sample> Registry::Snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    Sample s;
+    s.name = entry.name;
+    s.labels = entry.labels;
+    s.kind = entry.kind;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        s.counter = counters_[entry.slot];
+        break;
+      case Kind::kGauge:
+        s.gauge = gauges_[entry.slot];
+        break;
+      case Kind::kHistogram:
+        s.hist = &histograms_[entry.slot];
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const Sample& a, const Sample& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.labels < b.labels;
+  });
+  return out;
+}
+
+}  // namespace rootless::obs

@@ -1,0 +1,184 @@
+// Deterministic metrics registry: named counters, gauges, and geometric
+// histograms with low-cardinality labels (module, instance, query class, TLD
+// bucket).
+//
+// Design constraints, in order:
+//   1. Hot-path cost: a counter bump is one 64-bit add through a pointer
+//      resolved at registration time — no lookup, no branch, no atomic RMW
+//      (the stack is single-threaded by design; determinism depends on it).
+//   2. Determinism: instance ids are assigned in construction order and
+//      exports are sorted, so two runs with the same seed produce
+//      byte-identical dumps. Nothing here reads the wall clock.
+//   3. Stability: slots live in deques owned by the registry, so handles
+//      stay valid for the registry's lifetime regardless of how many other
+//      metrics register later.
+//
+// A default-constructed handle points at a process-wide sink slot, so an
+// unwired handle can be bumped safely (writes go nowhere).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rootless::obs {
+
+// Fixed low-cardinality label keys. Empty values are omitted from exports.
+struct Labels {
+  std::string instance;  // per-object id, usually auto-assigned
+  std::string cls;       // query class / disposition / mechanism
+  std::string bucket;    // TLD bucket or similar coarse partition
+
+  bool operator==(const Labels&) const = default;
+  bool operator<(const Labels& o) const {
+    if (instance != o.instance) return instance < o.instance;
+    if (cls != o.cls) return cls < o.cls;
+    return bucket < o.bucket;
+  }
+  // "{instance=3,cls=tcp}" or "" when all labels are empty.
+  std::string Render() const;
+};
+
+namespace internal {
+inline std::uint64_t counter_sink = 0;
+inline std::int64_t gauge_sink = 0;
+}  // namespace internal
+
+class Counter {
+ public:
+  Counter() = default;
+  void Inc(std::uint64_t n = 1) { *slot_ += n; }
+  void Reset() { *slot_ = 0; }
+  std::uint64_t value() const { return *slot_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::uint64_t* slot) : slot_(slot) {}
+  std::uint64_t* slot_ = &internal::counter_sink;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void Set(std::int64_t v) { *slot_ = v; }
+  void Add(std::int64_t d) { *slot_ += d; }
+  void Reset() { *slot_ = 0; }
+  std::int64_t value() const { return *slot_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::int64_t* slot) : slot_(slot) {}
+  std::int64_t* slot_ = &internal::gauge_sink;
+};
+
+// Geometric-bucket histogram over unsigned 64-bit samples (sim-time
+// latencies in microseconds, byte counts, ...). Buckets are powers of two
+// refined into 4 linear sub-buckets, so Record() is a bit-scan plus two
+// adds — no floating point, no loop.
+struct HistogramData {
+  static constexpr int kSubBuckets = 4;          // per power of two
+  static constexpr int kLinearCutoff = 16;       // identity buckets below
+  static constexpr int kBucketCount =
+      kLinearCutoff + (64 - 4) * kSubBuckets;    // 256
+
+  std::uint64_t buckets[kBucketCount] = {};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+
+  static int BucketFor(std::uint64_t v);
+  // Inclusive upper bound of a bucket (what Percentile reports).
+  static std::uint64_t BucketUpperBound(int bucket);
+
+  void Record(std::uint64_t v);
+  double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0;
+  }
+  // p in [0, 100]; returns the upper bound of the containing bucket.
+  std::uint64_t Percentile(double p) const;
+  void Reset();
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void Record(std::uint64_t v) { data_->Record(v); }
+  void Reset() { data_->Reset(); }
+  const HistogramData& data() const { return *data_; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(HistogramData* data) : data_(data) {}
+  static HistogramData& sink();
+  HistogramData* data_ = &sink();
+};
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+// One registered metric, as read back by Snapshot(). `counter`/`gauge`/
+// `hist` are valid according to `kind`.
+struct Sample {
+  std::string name;
+  Labels labels;
+  Kind kind = Kind::kCounter;
+  std::uint64_t counter = 0;
+  std::int64_t gauge = 0;
+  const HistogramData* hist = nullptr;
+};
+
+// Owns every slot. Handles returned by counter()/gauge()/histogram() remain
+// valid for the registry's lifetime; registering the same (name, labels)
+// twice returns a handle to the same slot. Not thread-safe (see header
+// comment: the simulation stack is single-threaded and deterministic).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // The process-wide registry the simulation stack registers into.
+  static Registry& Default();
+
+  Counter counter(std::string_view name, const Labels& labels = {});
+  Gauge gauge(std::string_view name, const Labels& labels = {});
+  Histogram histogram(std::string_view name, const Labels& labels = {});
+
+  // Auto-assigned per-module instance label: "0", "1", ... in construction
+  // order (deterministic for a deterministic program).
+  std::string NextInstance(std::string_view module);
+
+  // Zeroes every slot (counters, gauges, histograms). Registrations are
+  // kept, so existing handles stay live.
+  void ResetAll();
+
+  std::size_t metric_count() const { return index_.size(); }
+
+  // All metrics, sorted by (name, labels) for stable diffable output.
+  std::vector<Sample> Snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    Kind kind;
+    std::size_t slot;  // index into the kind's deque
+  };
+
+  std::size_t* FindOrAdd(std::string_view name, const Labels& labels,
+                         Kind kind);
+
+  // deques: stable addresses as metrics accumulate.
+  std::deque<std::uint64_t> counters_;
+  std::deque<std::int64_t> gauges_;
+  std::deque<HistogramData> histograms_;
+  std::vector<Entry> entries_;
+  // "name\x1finstance\x1fcls\x1fbucket" -> index into entries_.
+  std::unordered_map<std::string, std::size_t> index_;
+  std::unordered_map<std::string, std::uint64_t> instance_counters_;
+};
+
+}  // namespace rootless::obs

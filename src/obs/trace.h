@@ -1,0 +1,106 @@
+// Sim-time trace spans for the resolution lifecycle (query → cache / local
+// zone / root → TLD → answer) and the distribution lifecycle (fetch →
+// verify → swap).
+//
+// A Tracer is bound to the simulator's clock (a pointer to its `now`), so
+// every timestamp is simulated time — no wall clock anywhere, and a traced
+// run is as deterministic as an untraced one. Spans carry an id, a parent
+// id, a static name, and start/end SimTimes; components stamp them only
+// when a tracer is attached and enabled.
+//
+// Cost model:
+//   - compiled out  (ROOTLESS_OBS_TRACE=0): the macros expand to constants;
+//     zero code, zero data, provably free.
+//   - compiled in, no tracer attached: one pointer test per site.
+//   - enabled: one vector push per span plus two clock reads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rootless::obs {
+
+// Mirrors sim::SimTime (microseconds) without depending on the sim module:
+// sim links against obs, not the other way around.
+using SimTime = std::int64_t;
+
+using SpanId = std::uint32_t;
+inline constexpr SpanId kNoSpan = 0;
+
+struct Span {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  const char* name = "";  // static string supplied by the call site
+  SimTime start = 0;
+  SimTime end = -1;  // -1 while open
+};
+
+class Tracer {
+ public:
+  // `clock` must outlive the tracer (it is the simulator's `now`).
+  explicit Tracer(const SimTime* clock) : clock_(clock) {}
+
+  // Tracers start disabled so an attached-but-unwanted tracer costs one
+  // boolean test per site.
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  // Opens a span at the current sim time. Returns kNoSpan when disabled.
+  SpanId Start(const char* name, SpanId parent = kNoSpan) {
+    if (!enabled_) return kNoSpan;
+    const SpanId id = static_cast<SpanId>(spans_.size() + 1);
+    spans_.push_back(Span{id, parent, name, *clock_, -1});
+    return id;
+  }
+
+  // Closes a span at the current sim time. kNoSpan is ignored, so call
+  // sites never need to branch on whether Start was live.
+  void End(SpanId id) {
+    if (id == kNoSpan || id > spans_.size()) return;
+    spans_[id - 1].end = *clock_;
+  }
+
+  // A zero-duration marker (e.g. the atomic snapshot swap).
+  SpanId Instant(const char* name, SpanId parent = kNoSpan) {
+    const SpanId id = Start(name, parent);
+    End(id);
+    return id;
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  void Clear() { spans_.clear(); }
+
+ private:
+  const SimTime* clock_;
+  bool enabled_ = false;
+  std::vector<Span> spans_;
+};
+
+}  // namespace rootless::obs
+
+// Span macros: the only sanctioned way for library code to stamp spans, so
+// a build with ROOTLESS_OBS_TRACE=0 contains no tracing code at all.
+// `tracer` is an obs::Tracer* (may be null).
+#ifndef ROOTLESS_OBS_TRACE
+#define ROOTLESS_OBS_TRACE 1
+#endif
+
+#if ROOTLESS_OBS_TRACE
+#define ROOTLESS_SPAN_START(tracer, name, parent)                     \
+  ((tracer) != nullptr ? (tracer)->Start((name), (parent))            \
+                       : rootless::obs::kNoSpan)
+#define ROOTLESS_SPAN_END(tracer, id) \
+  ((tracer) != nullptr ? (tracer)->End(id) : (void)0)
+#define ROOTLESS_SPAN_INSTANT(tracer, name, parent)                   \
+  ((tracer) != nullptr ? (void)(tracer)->Instant((name), (parent))    \
+                       : (void)0)
+#else
+// sizeof keeps the operands syntactically alive (no unused warnings) without
+// evaluating them, so a disabled build pays nothing — not even the
+// tracer-pointer load.
+#define ROOTLESS_SPAN_START(tracer, name, parent) \
+  ((void)sizeof(tracer), rootless::obs::kNoSpan)
+#define ROOTLESS_SPAN_END(tracer, id) \
+  ((void)sizeof(tracer), (void)sizeof(id))
+#define ROOTLESS_SPAN_INSTANT(tracer, name, parent) ((void)sizeof(tracer))
+#endif

@@ -24,21 +24,33 @@ inline void AssignSet(dns::RRset& dst, const dns::RRsetView& src) {
 }
 }  // namespace
 
+DnsCache::DnsCache(std::size_t capacity, obs::Registry* registry)
+    : capacity_(capacity) {
+  obs::Registry& reg = registry ? *registry : obs::Registry::Default();
+  const obs::Labels labels{reg.NextInstance("resolver.cache"), "", ""};
+  hits_ = reg.counter("resolver.cache.hits", labels);
+  misses_ = reg.counter("resolver.cache.misses", labels);
+  expired_ = reg.counter("resolver.cache.expired", labels);
+  insertions_ = reg.counter("resolver.cache.insertions", labels);
+  evictions_ = reg.counter("resolver.cache.evictions", labels);
+  swept_ = reg.counter("resolver.cache.swept", labels);
+}
+
 template <typename KeyLike>
 const dns::RRset* DnsCache::GetImpl(const KeyLike& key, sim::SimTime now) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
-    ++stats_.misses;
+    misses_.Inc();
     return nullptr;
   }
   Entry& entry = it->second;
   if (entry.expiry <= now) {
-    ++stats_.expired;
+    expired_.Inc();
     Unlink(entry);
     entries_.erase(it);
     return nullptr;
   }
-  ++stats_.hits;
+  hits_.Inc();
   MoveToFront(entry);
   return &entry.rrset;
 }
@@ -84,7 +96,7 @@ void DnsCache::PutImpl(const SetLike& rrset, sim::SimTime expiry,
     MoveToFront(entry);
     return;
   }
-  ++stats_.insertions;
+  insertions_.Inc();
   if (capacity_ != 0 && entries_.size() >= capacity_ && lru_tail_ != nullptr) {
     // At capacity a new key means insert+evict. Salvage the victim's RRset
     // buffers before erasing, so the new entry reuses its rdata capacity;
@@ -97,7 +109,7 @@ void DnsCache::PutImpl(const SetLike& rrset, sim::SimTime expiry,
     Unlink(*victim);
     dns::RRset recycled = std::move(victim->rrset);
     entries_.erase(*victim->key);
-    ++stats_.evictions;
+    evictions_.Inc();
     auto [slot, inserted] = entries_.try_emplace(
         dns::RRsetKey{OwnerOf(rrset), rrset.type, rrset.rrclass});
     ROOTLESS_CHECK(inserted);
@@ -194,7 +206,7 @@ void DnsCache::EraseEntry(Entry& entry) {
 void DnsCache::EvictIfNeeded() {
   while (capacity_ != 0 && entries_.size() > capacity_) {
     EraseEntry(*lru_tail_);
-    ++stats_.evictions;
+    evictions_.Inc();
   }
 }
 
@@ -206,7 +218,7 @@ void DnsCache::SweepStep(sim::SimTime now) {
     sweep_cursor_ = entry->lru_prev;  // advance toward the head
     if (entry->expiry <= now) {
       EraseEntry(*entry);
-      ++stats_.swept;
+      swept_.Inc();
     }
   }
 }

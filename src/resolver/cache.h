@@ -15,11 +15,16 @@
 #include <unordered_map>
 
 #include "dns/rr.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "util/pool_allocator.h"
 
 namespace rootless::resolver {
 
+// Snapshot view of the cache's registry-backed counters (module
+// "resolver.cache"). The counters themselves live in the obs::Registry; this
+// struct is what stats() assembles for callers, so existing call sites and
+// tests keep reading plain fields.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -36,8 +41,11 @@ struct CacheStats {
 
 class DnsCache {
  public:
-  // capacity = maximum number of RRsets held (0 = unlimited).
-  explicit DnsCache(std::size_t capacity = 0) : capacity_(capacity) {}
+  // capacity = maximum number of RRsets held (0 = unlimited). Counters
+  // register in `registry` (default: obs::Registry::Default()) under
+  // "resolver.cache.*" with an auto-assigned instance label.
+  explicit DnsCache(std::size_t capacity = 0,
+                    obs::Registry* registry = nullptr);
 
   // Looks up an unexpired RRset, refreshing its LRU position. Returns
   // nullptr on miss/expiry (expired entries are erased).
@@ -66,8 +74,20 @@ class DnsCache {
 
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
-  const CacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = CacheStats{}; }
+  // Snapshot of the registry-backed counters (cheap: six slot reads).
+  CacheStats stats() const {
+    return CacheStats{hits_.value(),       misses_.value(),
+                      expired_.value(),    insertions_.value(),
+                      evictions_.value(),  swept_.value()};
+  }
+  void ResetStats() {
+    hits_.Reset();
+    misses_.Reset();
+    expired_.Reset();
+    insertions_.Reset();
+    evictions_.Reset();
+    swept_.Reset();
+  }
   void Clear();
 
   // Number of cached RRsets whose owner is a TLD (single non-root label) —
@@ -114,7 +134,14 @@ class DnsCache {
   Entry* lru_head_ = nullptr;  // most recent
   Entry* lru_tail_ = nullptr;  // least recent
   Entry* sweep_cursor_ = nullptr;
-  CacheStats stats_;
+  // Pre-resolved registry handles: a stats bump on the hot path is one
+  // 64-bit add through the handle's pointer.
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter expired_;
+  obs::Counter insertions_;
+  obs::Counter evictions_;
+  obs::Counter swept_;
 };
 
 }  // namespace rootless::resolver

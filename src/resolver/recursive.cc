@@ -34,6 +34,23 @@ RecursiveResolver::RecursiveResolver(sim::Simulator& sim,
       rng_(config.seed) {
   node_ = network_.AddNode(
       [this](const sim::Datagram& d) { HandleDatagram(d); });
+  obs::Registry& reg = obs::Registry::Default();
+  const obs::Labels labels{reg.NextInstance("resolver"), "", ""};
+  c_.resolutions = reg.counter("resolver.resolutions", labels);
+  c_.answered_from_cache = reg.counter("resolver.answered_from_cache", labels);
+  c_.root_transactions = reg.counter("resolver.root_transactions", labels);
+  c_.local_root_lookups = reg.counter("resolver.local_root_lookups", labels);
+  c_.tld_transactions = reg.counter("resolver.tld_transactions", labels);
+  c_.full_qname_exposures =
+      reg.counter("resolver.full_qname_exposures", labels);
+  c_.handshakes = reg.counter("resolver.handshakes", labels);
+  c_.nxdomain = reg.counter("resolver.nxdomain", labels);
+  c_.negative_hits = reg.counter("resolver.negative_hits", labels);
+  c_.manipulation_detected =
+      reg.counter("resolver.manipulation_detected", labels);
+  c_.timeouts = reg.counter("resolver.timeouts", labels);
+  c_.failures = reg.counter("resolver.failures", labels);
+  latency_us_ = reg.histogram("resolver.resolution_latency_us", labels);
 }
 
 void RecursiveResolver::SetLocalZone(zone::SnapshotPtr root_zone) {
@@ -47,7 +64,11 @@ void RecursiveResolver::SetLocalZone(zone::SnapshotPtr root_zone) {
 
 void RecursiveResolver::Resolve(const Name& qname, RRType qtype,
                                 const ResolveCallback& cb) {
-  ++stats_.resolutions;
+  c_.resolutions.Inc();
+  // Lifecycle span: query → answer. Synchronous paths (cache hit, negative
+  // hit) close it immediately; async paths park it in the Pending node.
+  const obs::SpanId span =
+      ROOTLESS_SPAN_START(sim_.tracer(), "resolve", obs::kNoSpan);
 
   // Fast path: the answer itself is cached. Completes synchronously with no
   // transaction state — no id, no Pending node, no callback copy. The scratch
@@ -55,7 +76,9 @@ void RecursiveResolver::Resolve(const Name& qname, RRType qtype,
   // steady state answering from cache allocates nothing: copy-assigning the
   // RRset reuses the previous hit's rdata capacity.
   if (const RRset* hit = cache_.Get(qname, qtype, sim_.now())) {
-    ++stats_.answered_from_cache;
+    c_.answered_from_cache.Inc();
+    ROOTLESS_SPAN_INSTANT(sim_.tracer(), "cache-hit", span);
+    ROOTLESS_SPAN_END(sim_.tracer(), span);
     ResolutionResult result;
     result.rcode = dns::RCode::kNoError;
     result.answers = std::move(answer_scratch_);
@@ -68,8 +91,10 @@ void RecursiveResolver::Resolve(const Name& qname, RRType qtype,
 
   // Negative cache: a TLD recently proven nonexistent.
   if (config_.negative_cache && NegativeCached(qname.tld_view())) {
-    ++stats_.negative_hits;
-    ++stats_.nxdomain;
+    c_.negative_hits.Inc();
+    c_.nxdomain.Inc();
+    ROOTLESS_SPAN_INSTANT(sim_.tracer(), "negative-hit", span);
+    ROOTLESS_SPAN_END(sim_.tracer(), span);
     ResolutionResult result;
     result.rcode = dns::RCode::kNXDomain;
     if (cb) cb(result);
@@ -89,6 +114,7 @@ void RecursiveResolver::Resolve(const Name& qname, RRType qtype,
   pending.callback = cb;
   pending.start = sim_.now();
   pending.retries_left = config_.max_retries;
+  pending.span = span;
   auto [it, inserted] = pending_.emplace(id, std::move(pending));
   StartResolution(id, it->second);
 }
@@ -134,7 +160,7 @@ void RecursiveResolver::CacheNegative(
 void RecursiveResolver::RetryAfterBadResponse(std::uint16_t id) {
   Pending& pending = pending_.at(id);
   if (pending.retries_left <= 0) {
-    ++stats_.failures;
+    c_.failures.Inc();
     Finish(id, dns::RCode::kServFail, {}, true);
     return;
   }
@@ -173,6 +199,9 @@ void RecursiveResolver::AskRoot(std::uint16_t id) {
 
 void RecursiveResolver::AskRootServers(std::uint16_t id) {
   Pending& pending = pending_.at(id);
+  ROOTLESS_SPAN_END(sim_.tracer(), pending.stage_span);
+  pending.stage_span =
+      ROOTLESS_SPAN_START(sim_.tracer(), "root", pending.span);
   sim::NodeId target = 0;
   if (config_.mode == RootMode::kLoopbackAuth) {
     ROOTLESS_CHECK(has_loopback_);
@@ -190,10 +219,10 @@ void RecursiveResolver::AskRootServers(std::uint16_t id) {
     question_name = pending.qname.Suffix(1);
     question_type = RRType::kNS;
   }
-  if (question_name.label_count() > 1) ++stats_.full_qname_exposures;
+  if (question_name.label_count() > 1) c_.full_qname_exposures.Inc();
   const Message query = MakeQuery(id, question_name, question_type);
   ++pending.transactions;
-  ++stats_.root_transactions;
+  c_.root_transactions.Inc();
   pending.last_send = sim_.now();
   SendDnsQuery(target, query);
   ArmTimeout(id);
@@ -202,7 +231,13 @@ void RecursiveResolver::AskRootServers(std::uint16_t id) {
 void RecursiveResolver::AskLocalStore(std::uint16_t id) {
   // Consulting the local store costs db_lookup_latency (zero-ish for the
   // preloaded cache, configurable for the on-demand DB).
-  ++stats_.local_root_lookups;
+  c_.local_root_lookups.Inc();
+  {
+    Pending& pending = pending_.at(id);
+    ROOTLESS_SPAN_END(sim_.tracer(), pending.stage_span);
+    pending.stage_span =
+        ROOTLESS_SPAN_START(sim_.tracer(), "local-root", pending.span);
+  }
   const sim::SimTime cost = config_.mode == RootMode::kOnDemandZoneFile
                                 ? config_.db_lookup_latency
                                 : 0;
@@ -214,7 +249,7 @@ void RecursiveResolver::AskLocalStore(std::uint16_t id) {
     const TldEntry* entry = db_.Lookup(tld);
     if (entry == nullptr) {
       // Local equivalent of a root NXDOMAIN.
-      ++stats_.nxdomain;
+      c_.nxdomain.Inc();
       std::optional<dns::RRsetView> soa;
       if (db_.snapshot() != nullptr) soa = db_.snapshot()->soa();
       if (soa.has_value()) {
@@ -263,17 +298,19 @@ bool RecursiveResolver::TldNodeFor(const Name& qname, sim::NodeId& node,
 void RecursiveResolver::AskTld(std::uint16_t id) {
   Pending& pending = pending_.at(id);
   pending.stage = Pending::Stage::kTld;
+  ROOTLESS_SPAN_END(sim_.tracer(), pending.stage_span);
+  pending.stage_span = ROOTLESS_SPAN_START(sim_.tracer(), "tld", pending.span);
 
   sim::NodeId target = 0;
   bool extra_hop = false;
   if (!TldNodeFor(pending.qname, target, extra_hop)) {
-    ++stats_.failures;
+    c_.failures.Inc();
     Finish(id, dns::RCode::kServFail, {}, true);
     return;
   }
   const Message query = MakeQuery(id, pending.qname, pending.qtype);
   ++pending.transactions;
-  ++stats_.tld_transactions;
+  c_.tld_transactions.Inc();
   sim::SimTime extra_delay = 0;
   if (extra_hop) {
     // One extra round trip to resolve the out-of-bailiwick NS name first.
@@ -290,7 +327,7 @@ void RecursiveResolver::SendDnsQuery(sim::NodeId target,
   sim::SimTime delay = extra_delay;
   if (config_.encrypted_transport && sessions_.insert(target).second) {
     // TCP + TLS session establishment: two round trips before the query.
-    ++stats_.handshakes;
+    c_.handshakes.Inc();
     delay += 4 * network_.LatencyBetween(node_, target);
   }
   auto wire = dns::EncodeMessage(query, 1232);
@@ -316,13 +353,13 @@ void RecursiveResolver::HandleTimeout(std::uint16_t id,
   auto it = pending_.find(id);
   if (it == pending_.end() || it->second.generation != generation) return;
   Pending& pending = it->second;
-  ++stats_.timeouts;
+  c_.timeouts.Inc();
   if (pending.stage == Pending::Stage::kRoot &&
       config_.mode == RootMode::kRootServers) {
     selector_.ReportTimeout(pending.root_letter);
   }
   if (pending.retries_left <= 0) {
-    ++stats_.failures;
+    c_.failures.Inc();
     Finish(id, dns::RCode::kServFail, {}, true);
     return;
   }
@@ -378,18 +415,18 @@ void RecursiveResolver::HandleRootResponse(std::uint16_t id, Pending& pending,
           pending.qname, GroupIntoRRsets(response.authority), trust_dnskey_,
           trust_store_, config_.validation_now);
       if (!denial.ok()) {
-        ++stats_.manipulation_detected;
+        c_.manipulation_detected.Inc();
         RetryAfterBadResponse(id);
         return;
       }
     }
-    ++stats_.nxdomain;
+    c_.nxdomain.Inc();
     CacheNegative(pending.qname.tld_view(), response.authority);
     Finish(id, dns::RCode::kNXDomain, {});
     return;
   }
   if (response.header.rcode != dns::RCode::kNoError) {
-    ++stats_.failures;
+    c_.failures.Inc();
     Finish(id, dns::RCode::kServFail, {}, true);
     return;
   }
@@ -401,7 +438,7 @@ void RecursiveResolver::HandleRootResponse(std::uint16_t id, Pending& pending,
   if (!ReferralCached(pending.qname)) {
     // The root answered NOERROR but gave us nothing usable (e.g. NODATA for
     // a TLD with no delegation).
-    ++stats_.failures;
+    c_.failures.Inc();
     Finish(id, dns::RCode::kServFail, {}, true);
     return;
   }
@@ -411,13 +448,13 @@ void RecursiveResolver::HandleRootResponse(std::uint16_t id, Pending& pending,
 void RecursiveResolver::HandleTldResponse(std::uint16_t id, Pending& pending,
                                           const Message& response) {
   if (response.header.rcode == dns::RCode::kNXDomain) {
-    ++stats_.nxdomain;
+    c_.nxdomain.Inc();
     Finish(id, dns::RCode::kNXDomain, {});
     return;
   }
   if (response.header.rcode != dns::RCode::kNoError ||
       response.answers.empty()) {
-    ++stats_.failures;
+    c_.failures.Inc();
     Finish(id, dns::RCode::kServFail, {}, true);
     return;
   }
@@ -439,11 +476,14 @@ void RecursiveResolver::Finish(std::uint16_t id, dns::RCode rcode,
   ROOTLESS_CHECK(it != pending_.end());
   Pending pending = std::move(it->second);
   pending_.erase(it);
+  ROOTLESS_SPAN_END(sim_.tracer(), pending.stage_span);
+  ROOTLESS_SPAN_END(sim_.tracer(), pending.span);
 
   ResolutionResult result;
   result.rcode = rcode;
   result.answers = std::move(answers);
   result.latency = sim_.now() - pending.start;
+  latency_us_.Record(static_cast<std::uint64_t>(result.latency));
   result.transactions = pending.transactions;
   result.used_root = pending.used_root;
   result.failed = failed;

@@ -23,6 +23,8 @@
 #include <unordered_set>
 
 #include "crypto/dnssec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/pool_allocator.h"
 #include "util/strings.h"
 #include "dns/message.h"
@@ -82,6 +84,8 @@ struct ResolutionResult {
   bool failed = false;    // retries exhausted
 };
 
+// Snapshot view of the resolver's registry-backed counters (module
+// "resolver"); assembled by stats(), which existing call sites keep using.
 struct ResolverStats {
   std::uint64_t resolutions = 0;
   std::uint64_t answered_from_cache = 0;
@@ -141,7 +145,16 @@ class RecursiveResolver {
 
   DnsCache& cache() { return cache_; }
   const DnsCache& cache() const { return cache_; }
-  const ResolverStats& stats() const { return stats_; }
+  // Snapshot of the registry-backed counters.
+  ResolverStats stats() const {
+    return ResolverStats{
+        c_.resolutions.value(),       c_.answered_from_cache.value(),
+        c_.root_transactions.value(), c_.local_root_lookups.value(),
+        c_.tld_transactions.value(),  c_.full_qname_exposures.value(),
+        c_.handshakes.value(),        c_.nxdomain.value(),
+        c_.negative_hits.value(),     c_.manipulation_detected.value(),
+        c_.timeouts.value(),          c_.failures.value()};
+  }
   const RootSelector& root_selector() const { return selector_; }
   const ResolverConfig& config() const { return config_; }
   const ZoneDb& zone_db() const { return db_; }
@@ -160,6 +173,10 @@ class RecursiveResolver {
     int retries_left = 0;
     sim::SimTime last_send = 0;
     std::uint64_t generation = 0;  // invalidates stale timeout events
+    // Resolution-lifecycle trace spans (kNoSpan when the sim has no tracer):
+    // `span` covers query → answer, `stage_span` the current root/TLD leg.
+    obs::SpanId span = obs::kNoSpan;
+    obs::SpanId stage_span = obs::kNoSpan;
   };
 
   void StartResolution(std::uint16_t id, Pending& pending);
@@ -221,7 +238,27 @@ class RecursiveResolver {
   ZoneDb db_;
   RootSelector selector_;
   util::Rng rng_;
-  ResolverStats stats_;
+  // Pre-resolved registry handles (module "resolver", one instance label per
+  // resolver): a stats bump is one 64-bit add through a pointer.
+  struct Counters {
+    obs::Counter resolutions;
+    obs::Counter answered_from_cache;
+    obs::Counter root_transactions;
+    obs::Counter local_root_lookups;
+    obs::Counter tld_transactions;
+    obs::Counter full_qname_exposures;
+    obs::Counter handshakes;
+    obs::Counter nxdomain;
+    obs::Counter negative_hits;
+    obs::Counter manipulation_detected;
+    obs::Counter timeouts;
+    obs::Counter failures;
+  };
+  Counters c_;
+  // Latency distribution of resolutions that left the resolver (cache and
+  // negative hits complete synchronously at latency 0 and are counted, not
+  // recorded, so the fast path stays allocation- and histogram-free).
+  obs::Histogram latency_us_;
 
   // One node alloc/free per resolution without the pool; with it the node
   // comes back from a free list (see util/pool_allocator.h).

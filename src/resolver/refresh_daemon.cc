@@ -5,13 +5,21 @@
 namespace rootless::resolver {
 
 RefreshDaemon::RefreshDaemon(sim::Simulator& sim, RefreshConfig config,
-                             FetchFn fetch, ApplyFn apply)
+                             FetchFn fetch, ApplyFn apply,
+                             obs::Registry* registry)
     : sim_(sim),
       config_(config),
       fetch_(std::move(fetch)),
       apply_(std::move(apply)) {
   ROOTLESS_CHECK(config_.refresh_lead < config_.zone_validity);
   ROOTLESS_CHECK(config_.retry_interval > 0);
+  obs::Registry& reg = registry ? *registry : obs::Registry::Default();
+  const obs::Labels labels{reg.NextInstance("resolver.refresh"), "", ""};
+  fetch_attempts_ = reg.counter("resolver.refresh.fetch_attempts", labels);
+  fetch_failures_ = reg.counter("resolver.refresh.fetch_failures", labels);
+  refreshes_ = reg.counter("resolver.refresh.refreshes", labels);
+  expirations_ = reg.counter("resolver.refresh.expirations", labels);
+  stale_time_ = reg.gauge("resolver.refresh.stale_time_us", labels);
 }
 
 void RefreshDaemon::Start(zone::SnapshotPtr initial) {
@@ -25,29 +33,40 @@ void RefreshDaemon::ScheduleNextAttempt(sim::SimTime delay) {
 }
 
 void RefreshDaemon::Attempt() {
-  ++stats_.fetch_attempts;
+  fetch_attempts_.Inc();
+  // Distribution lifecycle: one "distrib.refresh" span per attempt chain;
+  // an already-open span (a failed attempt being retried) keeps running
+  // until a fetch finally lands or fails terminally.
+  if (fetch_span_ == obs::kNoSpan) {
+    fetch_span_ =
+        ROOTLESS_SPAN_START(sim_.tracer(), "distrib.refresh", obs::kNoSpan);
+  }
   fetch_([this](FetchResult result) { OnFetched(std::move(result)); });
 }
 
 void RefreshDaemon::OnFetched(FetchResult result) {
   if (!result.ok()) {
-    ++stats_.fetch_failures;
+    fetch_failures_.Inc();
     if (sim_.now() >= expiry_ && lapsed_since_ < 0) {
       // The copy lapsed while we were still failing to refresh: the §4
       // scenario where the out-of-band process ran out of runway.
-      ++stats_.expirations;
+      expirations_.Inc();
       lapsed_since_ = expiry_;
     }
     ScheduleNextAttempt(config_.retry_interval);
     return;
   }
   if (lapsed_since_ >= 0) {
-    stats_.stale_time += sim_.now() - lapsed_since_;
+    stale_time_.Add(sim_.now() - lapsed_since_);
     lapsed_since_ = -1;
   }
-  ++stats_.refreshes;
+  refreshes_.Inc();
   expiry_ = sim_.now() + config_.zone_validity;
+  // The swap is atomic in sim time: mark it as an instant inside the span.
+  ROOTLESS_SPAN_INSTANT(sim_.tracer(), "distrib.swap", fetch_span_);
   apply_(std::move(*result));
+  ROOTLESS_SPAN_END(sim_.tracer(), fetch_span_);
+  fetch_span_ = obs::kNoSpan;
   ScheduleNextAttempt(config_.zone_validity - config_.refresh_lead);
 }
 

@@ -10,6 +10,8 @@
 #include <functional>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "util/result.h"
 #include "zone/zone_snapshot.h"
@@ -25,6 +27,8 @@ struct RefreshConfig {
   sim::SimTime retry_interval = 1 * sim::kHour;
 };
 
+// Snapshot view of the daemon's registry-backed metrics (module
+// "resolver.refresh"); assembled by stats().
 struct RefreshStats {
   std::uint64_t fetch_attempts = 0;
   std::uint64_t fetch_failures = 0;
@@ -44,14 +48,19 @@ class RefreshDaemon {
   using ApplyFn = std::function<void(zone::SnapshotPtr)>;
 
   RefreshDaemon(sim::Simulator& sim, RefreshConfig config, FetchFn fetch,
-                ApplyFn apply);
+                ApplyFn apply, obs::Registry* registry = nullptr);
 
   // Installs the initial copy (fetched out of band) and schedules refreshes.
   void Start(zone::SnapshotPtr initial);
 
   bool zone_valid() const { return sim_.now() < expiry_; }
   sim::SimTime expiry() const { return expiry_; }
-  const RefreshStats& stats() const { return stats_; }
+  // Snapshot of the registry-backed metrics.
+  RefreshStats stats() const {
+    return RefreshStats{fetch_attempts_.value(), fetch_failures_.value(),
+                        refreshes_.value(), expirations_.value(),
+                        static_cast<sim::SimTime>(stale_time_.value())};
+  }
 
  private:
   void ScheduleNextAttempt(sim::SimTime delay);
@@ -64,7 +73,16 @@ class RefreshDaemon {
   ApplyFn apply_;
   sim::SimTime expiry_ = 0;
   sim::SimTime lapsed_since_ = -1;  // >= 0 while running expired
-  RefreshStats stats_;
+  // Registry handles (module "resolver.refresh"). stale_time is a gauge:
+  // it accumulates simulated microseconds, not a monotone event count.
+  obs::Counter fetch_attempts_;
+  obs::Counter fetch_failures_;
+  obs::Counter refreshes_;
+  obs::Counter expirations_;
+  obs::Gauge stale_time_;
+  // Distribution-lifecycle span: covers attempt → applied (kNoSpan when the
+  // sim has no tracer or the fetch succeeded synchronously between events).
+  obs::SpanId fetch_span_ = obs::kNoSpan;
 };
 
 }  // namespace rootless::resolver

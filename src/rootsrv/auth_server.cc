@@ -13,6 +13,17 @@ AuthServer::AuthServer(sim::Network& network, zone::SnapshotPtr snapshot,
       max_udp_size_(max_udp_size) {
   node_ = network_.AddNode(
       [this](const sim::Datagram& d) { HandleDatagram(d); });
+  obs::Registry& reg = obs::Registry::Default();
+  const obs::Labels labels{reg.NextInstance("rootsrv.auth"), "", ""};
+  c_.queries = reg.counter("rootsrv.auth.queries", labels);
+  c_.answers = reg.counter("rootsrv.auth.answers", labels);
+  c_.referrals = reg.counter("rootsrv.auth.referrals", labels);
+  c_.nxdomain = reg.counter("rootsrv.auth.nxdomain", labels);
+  c_.nodata = reg.counter("rootsrv.auth.nodata", labels);
+  c_.refused = reg.counter("rootsrv.auth.refused", labels);
+  c_.malformed = reg.counter("rootsrv.auth.malformed", labels);
+  c_.bytes_in = reg.counter("rootsrv.auth.bytes_in", labels);
+  c_.bytes_out = reg.counter("rootsrv.auth.bytes_out", labels);
 }
 
 AuthServer::AuthServer(sim::Network& network,
@@ -25,20 +36,20 @@ dns::RCode AuthServer::Classify(LookupDisposition disposition, bool& aa) {
   dns::RCode rcode = dns::RCode::kNoError;
   switch (disposition) {
     case LookupDisposition::kAnswer:
-      ++stats_.answers;
+      c_.answers.Inc();
       break;
     case LookupDisposition::kReferral:
-      ++stats_.referrals;
+      c_.referrals.Inc();
       break;
     case LookupDisposition::kNoData:
-      ++stats_.nodata;
+      c_.nodata.Inc();
       break;
     case LookupDisposition::kNxDomain:
-      ++stats_.nxdomain;
+      c_.nxdomain.Inc();
       rcode = dns::RCode::kNXDomain;
       break;
     case LookupDisposition::kOutOfZone:
-      ++stats_.refused;
+      c_.refused.Inc();
       rcode = dns::RCode::kRefused;
       break;
   }
@@ -49,9 +60,9 @@ dns::RCode AuthServer::Classify(LookupDisposition disposition, bool& aa) {
 }
 
 Message AuthServer::Answer(const Message& query) {
-  ++stats_.queries;
+  c_.queries.Inc();
   if (query.questions.size() != 1) {
-    ++stats_.malformed;
+    c_.malformed.Inc();
     Message response = MakeResponse(query, dns::RCode::kFormErr);
     return response;
   }
@@ -78,9 +89,9 @@ Message AuthServer::Answer(const Message& query) {
 }
 
 util::Bytes AuthServer::AnswerWire(const Message& query) {
-  ++stats_.queries;
+  c_.queries.Inc();
   if (query.questions.size() != 1) {
-    ++stats_.malformed;
+    c_.malformed.Inc();
     return dns::EncodeMessage(MakeResponse(query, dns::RCode::kFormErr),
                               max_udp_size_);
   }
@@ -104,15 +115,15 @@ util::Bytes AuthServer::AnswerWire(const Message& query) {
 }
 
 void AuthServer::HandleDatagram(const sim::Datagram& datagram) {
-  stats_.bytes_in += datagram.payload.size();
+  c_.bytes_in.Inc(datagram.payload.size());
   auto query = dns::DecodeMessage(datagram.payload);
   if (!query.ok() || query->header.qr) {
-    ++stats_.queries;
-    ++stats_.malformed;
+    c_.queries.Inc();
+    c_.malformed.Inc();
     return;  // drop garbage, as real servers do
   }
   auto wire = AnswerWire(*query);
-  stats_.bytes_out += wire.size();
+  c_.bytes_out.Inc(wire.size());
   network_.Send(node_, datagram.src, std::move(wire));
 }
 

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "dns/message.h"
+#include "obs/metrics.h"
 #include "sim/network.h"
 #include "util/bytes.h"
 #include "zone/zone.h"
@@ -21,6 +22,8 @@
 
 namespace rootless::rootsrv {
 
+// Snapshot view of a server's registry-backed counters (module
+// "rootsrv.auth"); assembled by stats().
 struct AuthServerStats {
   std::uint64_t queries = 0;
   std::uint64_t answers = 0;
@@ -44,7 +47,13 @@ class AuthServer {
              bool include_dnssec = false, std::size_t max_udp_size = 1232);
 
   sim::NodeId node() const { return node_; }
-  const AuthServerStats& stats() const { return stats_; }
+  // Snapshot of the registry-backed counters.
+  AuthServerStats stats() const {
+    return AuthServerStats{
+        c_.queries.value(),   c_.answers.value(), c_.referrals.value(),
+        c_.nxdomain.value(),  c_.nodata.value(),  c_.refused.value(),
+        c_.malformed.value(), c_.bytes_in.value(), c_.bytes_out.value()};
+  }
   const zone::SnapshotPtr& snapshot() const { return snapshot_; }
 
   // Swaps in a new zone version (e.g. the daily root zone update) — an
@@ -76,7 +85,20 @@ class AuthServer {
   bool include_dnssec_;
   std::size_t max_udp_size_;
   sim::NodeId node_;
-  AuthServerStats stats_;
+  // Pre-resolved registry handles (module "rootsrv.auth", one instance per
+  // server — a whole anycast fleet's counters aggregate in the exporter).
+  struct Counters {
+    obs::Counter queries;
+    obs::Counter answers;
+    obs::Counter referrals;
+    obs::Counter nxdomain;
+    obs::Counter nodata;
+    obs::Counter refused;
+    obs::Counter malformed;
+    obs::Counter bytes_in;
+    obs::Counter bytes_out;
+  };
+  Counters c_;
   // Per-query scratch (capacity retained across queries).
   zone::LookupView lookup_scratch_;
   dns::MessageView response_scratch_;

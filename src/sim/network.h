@@ -11,6 +11,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "util/bytes.h"
 #include "util/rng.h"
@@ -47,8 +49,19 @@ class Network {
   // Returns the one-way latency between two nodes.
   using LatencyFn = std::function<SimTime(NodeId, NodeId)>;
 
-  Network(Simulator& sim, std::uint64_t seed)
-      : sim_(sim), rng_(seed) {}
+  // Traffic counters live in the metrics registry (module "sim.network",
+  // one instance label per Network) so benches export them uniformly; the
+  // accessors below read the registry slots.
+  Network(Simulator& sim, std::uint64_t seed,
+          obs::Registry* registry = nullptr)
+      : sim_(sim), rng_(seed) {
+    obs::Registry& reg = registry ? *registry : obs::Registry::Default();
+    const obs::Labels labels{reg.NextInstance("sim.network"), "", ""};
+    sent_ = reg.counter("sim.network.datagrams_sent", labels);
+    dropped_ = reg.counter("sim.network.datagrams_dropped", labels);
+    intercepted_ = reg.counter("sim.network.datagrams_intercepted", labels);
+    bytes_ = reg.counter("sim.network.bytes_sent", labels);
+  }
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -75,10 +88,10 @@ class Network {
   }
 
   std::size_t node_count() const { return handlers_.size(); }
-  std::uint64_t datagrams_sent() const { return sent_; }
-  std::uint64_t datagrams_dropped() const { return dropped_; }
-  std::uint64_t datagrams_intercepted() const { return intercepted_; }
-  std::uint64_t bytes_sent() const { return bytes_; }
+  std::uint64_t datagrams_sent() const { return sent_.value(); }
+  std::uint64_t datagrams_dropped() const { return dropped_.value(); }
+  std::uint64_t datagrams_intercepted() const { return intercepted_.value(); }
+  std::uint64_t bytes_sent() const { return bytes_.value(); }
 
   SimTime LatencyBetween(NodeId a, NodeId b) const {
     return latency_fn_ ? latency_fn_(a, b) : 20 * kMillisecond;
@@ -86,10 +99,10 @@ class Network {
 
   // Sends a datagram; delivery is scheduled after the one-way latency.
   void Send(NodeId src, NodeId dst, util::Bytes payload) {
-    ++sent_;
-    bytes_ += payload.size();
+    sent_.Inc();
+    bytes_.Inc(payload.size());
     if (loss_rate_ > 0 && rng_.Chance(loss_rate_)) {
-      ++dropped_;
+      dropped_.Inc();
       return;
     }
     Datagram datagram{src, dst, std::move(payload)};
@@ -99,32 +112,50 @@ class Network {
         case InterceptVerdict::Action::kPass:
           break;
         case InterceptVerdict::Action::kDrop:
-          ++intercepted_;
+          intercepted_.Inc();
           return;
         case InterceptVerdict::Action::kReplace:
-          ++intercepted_;
+          intercepted_.Inc();
           datagram = std::move(verdict.replacement);
           break;
       }
     }
     const SimTime latency = LatencyBetween(datagram.src, datagram.dst);
+    // Traced runs stamp a "net.flight" span per datagram (send → delivery,
+    // i.e. the one-way latency in sim time). The span id rides in a separate
+    // lambda so the common untraced delivery stays within EventFn's inline
+    // capture budget ({this, Datagram} is exactly 40 bytes — adding the id
+    // would push every delivery onto the heap).
+    const obs::SpanId flight =
+        ROOTLESS_SPAN_START(sim_.tracer(), "net.flight", obs::kNoSpan);
+    if (flight != obs::kNoSpan) {
+      sim_.Schedule(latency, [this, datagram = std::move(datagram), flight]() {
+        ROOTLESS_SPAN_END(sim_.tracer(), flight);
+        Deliver(datagram);
+      });
+      return;
+    }
     sim_.Schedule(latency, [this, datagram = std::move(datagram)]() {
-      const auto& handler = handlers_.at(datagram.dst);
-      if (handler) handler(datagram);
+      Deliver(datagram);
     });
   }
 
  private:
+  void Deliver(const Datagram& datagram) {
+    const auto& handler = handlers_.at(datagram.dst);
+    if (handler) handler(datagram);
+  }
+
   Simulator& sim_;
   util::Rng rng_;
   LatencyFn latency_fn_;
   InterceptFn interceptor_;
   double loss_rate_ = 0;
   std::vector<ReceiveHandler> handlers_;
-  std::uint64_t sent_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t intercepted_ = 0;
-  std::uint64_t bytes_ = 0;
+  obs::Counter sent_;
+  obs::Counter dropped_;
+  obs::Counter intercepted_;
+  obs::Counter bytes_;
 };
 
 }  // namespace rootless::sim

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "obs/trace.h"
 #include "sim/event.h"
 #include "sim/event_queue.h"
 #include "util/check.h"
@@ -50,12 +51,24 @@ class Simulator {
 
   bool empty() const { return queue_.empty(); }
   std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+  // --- observability --------------------------------------------------
+  // The event loop is the natural home for the sim-time tracer: every
+  // component reaches its Simulator, and span timestamps must come from
+  // this clock (never the wall clock) to keep traced runs deterministic.
+  // MakeTracer binds a tracer to the clock; SetTracer publishes it to the
+  // components (resolver, network, distribution) that stamp spans.
+  obs::Tracer MakeTracer() const { return obs::Tracer(&now_); }
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
 
   // Runs a single event; returns false if none remain.
   bool Step() {
     if (queue_.empty()) return false;
     Event e = queue_.pop();
     now_ = e.when;
+    ++executed_;
     e.fn();
     return true;
   }
@@ -77,6 +90,8 @@ class Simulator {
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace rootless::sim
