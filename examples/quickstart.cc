@@ -89,9 +89,10 @@ ns1.nic.org. 172800 IN A 192.0.2.20
   zone::SnapshotPtr root_snapshot = zone::ZoneSnapshot::Build(root_zone);
   rootsrv::TldFarm farm(net, registry, *root_snapshot, 2);
 
-  resolver::ResolverConfig config;
-  config.mode = resolver::RootMode::kOnDemandZoneFile;
-  resolver::RecursiveResolver resolver(sim, net, config, {48.85, 2.35});
+  resolver::RecursiveResolver resolver(
+      sim, net,
+      {.config = {.mode = resolver::RootMode::kOnDemandZoneFile},
+       .location = {48.85, 2.35}});
   registry.SetLocation(resolver.node(), {48.85, 2.35});
   resolver.SetTldFarm(&farm);
   resolver.SetLocalZone(root_snapshot);

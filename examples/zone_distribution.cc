@@ -76,7 +76,8 @@ int main() {
     axfr_net.set_loss_rate(0.05);
     auto served = zone::ZoneSnapshot::Build(today);
     distrib::AxfrServer server(axfr_net, [&]() { return served; });
-    distrib::AxfrClient client(axfr_sim, axfr_net);
+    distrib::AxfrClient client(axfr_sim, axfr_net,
+                               distrib::AxfrClient::Options{.window = 8});
     bool exact = false;
     client.Fetch(server.node(), 0,
                  [&](util::Result<zone::SnapshotPtr> result) {
@@ -93,21 +94,25 @@ int main() {
   // 5. Refresh daemon riding through an outage (paper §4 robustness).
   sim::Simulator sim;
   auto provider = zone::ZoneSnapshot::Build(today);
-  distrib::FetchServiceConfig fetch_config;
-  distrib::ZoneFetchService service(sim, fetch_config,
-                                    [&]() { return provider; });
+  distrib::ZoneFetchService service(
+      sim, {.config = {}, .provider = [&]() { return provider; }});
   // A 5-hour outage inside the first refresh window (42h..48h).
   service.AddOutage(42 * sim::kHour, 47 * sim::kHour);
 
   resolver::RefreshDaemon daemon(
-      sim, resolver::RefreshConfig{},
-      [&](std::function<void(resolver::RefreshDaemon::FetchResult)> done) {
-        service.Fetch(std::move(done));
-      },
-      [&](zone::SnapshotPtr z) {
-        std::printf("  [t=%5.1f h] applied zone serial %u\n",
-                    static_cast<double>(sim.now()) / sim::kHour, z->Serial());
-      });
+      sim,
+      {.config = {},
+       .sources = {{"fetch",
+                    [&](std::function<void(
+                            resolver::RefreshDaemon::FetchResult)> done) {
+                      service.Fetch(std::move(done));
+                    }}},
+       .apply =
+           [&](zone::SnapshotPtr z) {
+             std::printf("  [t=%5.1f h] applied zone serial %u\n",
+                         static_cast<double>(sim.now()) / sim::kHour,
+                         z->Serial());
+           }});
   std::printf("refresh daemon with a 42h..47h fetch outage:\n");
   daemon.Start(zone::ZoneSnapshot::Build(yesterday));
   sim.RunUntil(4 * sim::kDay);

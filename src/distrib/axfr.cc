@@ -34,12 +34,12 @@ bool ReadHeader(ByteReader& r, std::uint8_t& tag) {
 // ------------------------------------------------------------------ server
 
 AxfrServer::AxfrServer(sim::Network& network, ZoneProvider provider,
-                       std::size_t chunk_size)
+                       std::size_t chunk_size, obs::Registry* registry)
     : network_(network), provider_(std::move(provider)),
       chunk_size_(chunk_size) {
   node_ = network_.AddNode(
       [this](const sim::Datagram& d) { HandleDatagram(d); });
-  obs::Registry& reg = obs::Registry::Default();
+  obs::Registry& reg = registry ? *registry : obs::Registry::Default();
   const obs::Labels labels{reg.NextInstance("distrib.axfr.server"), "", ""};
   requests_ = reg.counter("distrib.axfr.server.requests", labels);
   uptodate_ = reg.counter("distrib.axfr.server.uptodate", labels);
@@ -103,16 +103,17 @@ void AxfrServer::HandleDatagram(const sim::Datagram& datagram) {
 
 // ------------------------------------------------------------------ client
 
-AxfrClient::AxfrClient(sim::Simulator& sim, sim::Network& network, int window,
-                       sim::SimTime chunk_timeout, int max_chunk_retries)
+AxfrClient::AxfrClient(sim::Simulator& sim, sim::Network& network,
+                       Options options)
     : sim_(sim),
       network_(network),
-      window_(window),
-      chunk_timeout_(chunk_timeout),
-      max_chunk_retries_(max_chunk_retries) {
+      window_(options.window),
+      retry_(options.retry),
+      rng_(options.seed) {
   node_ = network_.AddNode(
       [this](const sim::Datagram& d) { HandleDatagram(d); });
-  obs::Registry& reg = obs::Registry::Default();
+  obs::Registry& reg =
+      options.registry ? *options.registry : obs::Registry::Default();
   const obs::Labels labels{reg.NextInstance("distrib.axfr.client"), "", ""};
   transfers_ = reg.counter("distrib.axfr.client.transfers", labels);
   uptodate_ = reg.counter("distrib.axfr.client.uptodate", labels);
@@ -135,17 +136,29 @@ void AxfrClient::Fetch(sim::NodeId server, std::uint32_t have_serial,
 
 void AxfrClient::ArmMetaTimeout(std::uint32_t have_serial,
                                 std::uint64_t generation) {
-  sim_.Schedule(chunk_timeout_, [this, have_serial, generation]() {
+  sim_.Schedule(retry_.attempt_timeout, [this, have_serial, generation]() {
     if (transfer_ == nullptr || transfer_->meta_received ||
         transfer_->generation != generation)
       return;
-    if (++transfer_->meta_retries > max_chunk_retries_) {
-      FinishError("axfr: no response to transfer request");
+    if (++transfer_->meta_retries >= retry_.max_attempts) {
+      FinishError(ErrorCode::kTimeout, "axfr: no response to transfer request");
       return;
     }
     retransmits_.Inc();
-    SendRequest(have_serial);
-    ArmMetaTimeout(have_serial, generation);
+    const sim::SimTime backoff =
+        sim::JitteredBackoff(retry_, transfer_->meta_retries + 1, rng_);
+    if (backoff == 0) {
+      SendRequest(have_serial);
+      ArmMetaTimeout(have_serial, generation);
+      return;
+    }
+    sim_.Schedule(backoff, [this, have_serial, generation]() {
+      if (transfer_ == nullptr || transfer_->meta_received ||
+          transfer_->generation != generation)
+        return;
+      SendRequest(have_serial);
+      ArmMetaTimeout(have_serial, generation);
+    });
   });
 }
 
@@ -169,33 +182,51 @@ void AxfrClient::RequestMoreChunks() {
 void AxfrClient::RequestChunk(std::uint32_t index) {
   Transfer& t = *transfer_;
   t.retries.try_emplace(index, 0);
+  SendGet(index);
+  ArmChunkTimeout(index, t.generation);
+}
+
+void AxfrClient::SendGet(std::uint32_t index) {
+  Transfer& t = *transfer_;
   ByteWriter w;
   WriteHeader(kGet, w);
   w.WriteU32(t.serial);
   w.WriteU32(index);
   network_.Send(node_, t.server, w.TakeData());
-  ArmChunkTimeout(index, t.generation);
 }
 
 void AxfrClient::ArmChunkTimeout(std::uint32_t index,
                                  std::uint64_t generation) {
-  sim_.Schedule(chunk_timeout_, [this, index, generation]() {
+  sim_.Schedule(retry_.attempt_timeout, [this, index, generation]() {
     if (transfer_ == nullptr || transfer_->generation != generation) return;
     Transfer& t = *transfer_;
     auto it = t.retries.find(index);
     if (it == t.retries.end()) return;  // already received
-    if (++it->second > max_chunk_retries_) {
-      FinishError("axfr: chunk " + std::to_string(index) + " lost");
+    if (++it->second >= retry_.max_attempts) {
+      FinishError(ErrorCode::kTimeout,
+                  "axfr: chunk " + std::to_string(index) + " lost");
       return;
     }
     retransmits_.Inc();
-    ByteWriter w;
-    WriteHeader(kGet, w);
-    w.WriteU32(t.serial);
-    w.WriteU32(index);
-    network_.Send(node_, t.server, w.TakeData());
-    ArmChunkTimeout(index, generation);
+    const sim::SimTime backoff =
+        sim::JitteredBackoff(retry_, it->second + 1, rng_);
+    if (backoff == 0) {
+      RetransmitChunk(index, generation);
+      return;
+    }
+    sim_.Schedule(backoff, [this, index, generation]() {
+      RetransmitChunk(index, generation);
+    });
   });
+}
+
+void AxfrClient::RetransmitChunk(std::uint32_t index,
+                                 std::uint64_t generation) {
+  if (transfer_ == nullptr || transfer_->generation != generation) return;
+  if (transfer_->retries.find(index) == transfer_->retries.end())
+    return;  // received while backing off
+  SendGet(index);
+  ArmChunkTimeout(index, generation);
 }
 
 void AxfrClient::HandleDatagram(const sim::Datagram& datagram) {
@@ -222,7 +253,7 @@ void AxfrClient::HandleDatagram(const sim::Datagram& datagram) {
     t.chunk_size = chunk_size;
     t.meta_received = true;
     if (t.chunk_count == 0) {
-      FinishError("axfr: empty transfer");
+      FinishError(ErrorCode::kProtocol, "axfr: empty transfer");
       return;
     }
     RequestMoreChunks();
@@ -261,17 +292,19 @@ void AxfrClient::FinishSuccess() {
   auto zone = zone::DeserializeSnapshot(snapshot);
   if (!zone.ok()) {
     failures_.Inc();
-    callback(zone.error());
+    callback(util::Error(ErrorCode::kCorrupted,
+                         "axfr: snapshot decode failed: " +
+                             zone.error().message()));
     return;
   }
   callback(std::move(*zone));
 }
 
-void AxfrClient::FinishError(const std::string& message) {
+void AxfrClient::FinishError(ErrorCode code, const std::string& message) {
   failures_.Inc();
   auto callback = std::move(transfer_->callback);
   transfer_.reset();
-  callback(util::Error(message));
+  callback(util::Error(code, message));
 }
 
 }  // namespace rootless::distrib

@@ -19,8 +19,10 @@
 
 #include "obs/metrics.h"
 #include "sim/network.h"
+#include "sim/retry.h"
 #include "sim/simulator.h"
 #include "util/result.h"
+#include "util/rng.h"
 #include "zone/zone_snapshot.h"
 
 namespace rootless::distrib {
@@ -39,7 +41,7 @@ class AxfrServer {
   using ZoneProvider = std::function<zone::SnapshotPtr()>;
 
   AxfrServer(sim::Network& network, ZoneProvider provider,
-             std::size_t chunk_size = 1200);
+             std::size_t chunk_size = 1200, obs::Registry* registry = nullptr);
 
   sim::NodeId node() const { return node_; }
   // Snapshot of the registry-backed counters.
@@ -82,9 +84,30 @@ class AxfrClient {
   using TransferCallback =
       std::function<void(util::Result<zone::SnapshotPtr>)>;
 
+  // Aggregate options (designated-initializer friendly). The retry policy
+  // governs per-chunk (and META) retransmits: attempt_timeout is the
+  // per-chunk response deadline, max_attempts bounds sends of the same
+  // chunk, and the backoff fields space retransmits out (the default of 0
+  // retransmits immediately, the historical behavior).
+  struct Options {
+    int window = 8;
+    sim::RetryPolicy retry{.max_attempts = 6,
+                           .attempt_timeout = 2 * sim::kSecond,
+                           .initial_backoff = 0};
+    std::uint64_t seed = 0xA3F2;  // jitter stream for retransmit backoff
+    obs::Registry* registry = nullptr;
+  };
+
+  AxfrClient(sim::Simulator& sim, sim::Network& network, Options options);
+  // Deprecated positional form; prefer the Options constructor.
   AxfrClient(sim::Simulator& sim, sim::Network& network, int window = 8,
              sim::SimTime chunk_timeout = 2 * sim::kSecond,
-             int max_chunk_retries = 5);
+             int max_chunk_retries = 5)
+      : AxfrClient(sim, network,
+                   Options{.window = window,
+                           .retry{.max_attempts = max_chunk_retries + 1,
+                                  .attempt_timeout = chunk_timeout,
+                                  .initial_backoff = 0}}) {}
 
   sim::NodeId node() const { return node_; }
   // Snapshot of the registry-backed counters.
@@ -117,16 +140,18 @@ class AxfrClient {
   void SendRequest(std::uint32_t have_serial);
   void RequestMoreChunks();
   void RequestChunk(std::uint32_t index);
+  void SendGet(std::uint32_t index);
   void ArmChunkTimeout(std::uint32_t index, std::uint64_t generation);
   void ArmMetaTimeout(std::uint32_t have_serial, std::uint64_t generation);
+  void RetransmitChunk(std::uint32_t index, std::uint64_t generation);
   void FinishSuccess();
-  void FinishError(const std::string& message);
+  void FinishError(ErrorCode code, const std::string& message);
 
   sim::Simulator& sim_;
   sim::Network& network_;
   int window_;
-  sim::SimTime chunk_timeout_;
-  int max_chunk_retries_;
+  sim::RetryPolicy retry_;
+  util::Rng rng_;
   sim::NodeId node_;
   std::unique_ptr<Transfer> transfer_;
   // Registry handles (module "distrib.axfr.client").

@@ -68,7 +68,8 @@ util::Status DiffSubscriber::Apply(const DiffPublisher::Update& update) {
       return util::Status::Ok();
     case DiffPublisher::Update::Kind::kFullZone: {
       auto snapshot = zone::DeserializeSnapshot(update.payload);
-      if (!snapshot.ok()) return Error(snapshot.error().message());
+      if (!snapshot.ok())
+        return Error(ErrorCode::kCorrupted, snapshot.error().message());
       full_bytes_ += update.payload.size();
       snapshot_ = std::move(*snapshot);
       ++applied_;
@@ -77,31 +78,38 @@ util::Status DiffSubscriber::Apply(const DiffPublisher::Update& update) {
     case DiffPublisher::Update::Kind::kDiffs: {
       ByteReader r(update.payload);
       std::uint64_t count = 0;
-      if (!r.ReadVarint(count)) return Error("diffchannel: truncated count");
+      if (!r.ReadVarint(count))
+        return Error(ErrorCode::kTruncated, "diffchannel: truncated count");
       for (std::uint64_t i = 0; i < count; ++i) {
         std::uint32_t from = 0, to = 0;
         std::uint64_t size = 0;
         if (!r.ReadU32(from) || !r.ReadU32(to) || !r.ReadVarint(size))
-          return Error("diffchannel: truncated entry");
+          return Error(ErrorCode::kTruncated, "diffchannel: truncated entry");
         std::span<const std::uint8_t> wire;
-        if (!r.ReadSpan(size, wire)) return Error("diffchannel: truncated diff");
+        if (!r.ReadSpan(size, wire))
+          return Error(ErrorCode::kTruncated, "diffchannel: truncated diff");
         if (from != snapshot_->Serial())
-          return Error("diffchannel: chain does not start at our serial");
+          return Error(ErrorCode::kStale,
+                       "diffchannel: chain does not start at our serial");
         auto diff = zone::DeserializeDiff(wire);
-        if (!diff.ok()) return Error(diff.error().message());
+        if (!diff.ok())
+          return Error(ErrorCode::kCorrupted, diff.error().message());
         auto next = zone::ZoneSnapshot::Apply(snapshot_, *diff);
-        if (!next.ok()) return Error(next.error().message());
+        if (!next.ok())
+          return Error(ErrorCode::kProtocol, next.error().message());
         snapshot_ = std::move(*next);
         diff_bytes_ += size;
         ++applied_;
         if (snapshot_->Serial() != to)
-          return Error("diffchannel: serial mismatch after apply");
+          return Error(ErrorCode::kProtocol,
+                       "diffchannel: serial mismatch after apply");
       }
-      if (!r.at_end()) return Error("diffchannel: trailing bytes");
+      if (!r.at_end())
+        return Error(ErrorCode::kTruncated, "diffchannel: trailing bytes");
       return util::Status::Ok();
     }
   }
-  return Error("diffchannel: unknown update kind");
+  return Error(ErrorCode::kProtocol, "diffchannel: unknown update kind");
 }
 
 }  // namespace rootless::distrib

@@ -1,7 +1,13 @@
 // Simulated zone-fetch service: the out-of-band channel a resolver uses to
 // obtain the root zone (mirror / rsync endpoint). Models transfer time
 // (latency + size/bandwidth), verification (DNSSEC-shaped zone validation),
-// and injectable outage windows for the §4 robustness experiments.
+// injectable outage windows for the §4 robustness experiments, and an
+// optional RetryPolicy that re-attempts outage failures with exponential
+// backoff before reporting an error.
+//
+// All fallible results flow through util::Result with the shared
+// rootless::ErrorCode vocabulary: outage exhaustion is kUnreachable,
+// validation rejection is kVerifyFailed.
 #pragma once
 
 #include <functional>
@@ -11,6 +17,7 @@
 #include "crypto/dnssec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/retry.h"
 #include "sim/simulator.h"
 #include "util/result.h"
 #include "zone/zone_snapshot.h"
@@ -23,6 +30,10 @@ struct FetchServiceConfig {
   // If set, fetched zones are validated against this key before delivery.
   bool verify_signatures = false;
   std::uint32_t validation_now = 0;  // unix seconds for RRSIG windows
+  // Failure handling for outage-window fetches. The default makes a single
+  // attempt (historical behavior); widen it to ride through short outages.
+  sim::RetryPolicy retry = sim::RetryPolicy::None();
+  std::uint64_t seed = 0xF37C;  // jitter stream for the retry backoff
 };
 
 // Snapshot view of the service's registry-backed counters (module
@@ -32,6 +43,7 @@ struct FetchServiceStats {
   std::uint64_t failures = 0;           // outage-window failures
   std::uint64_t validation_failures = 0;
   std::uint64_t bytes_served = 0;
+  std::uint64_t retries = 0;            // backoff re-attempts
 };
 
 class ZoneFetchService {
@@ -40,8 +52,19 @@ class ZoneFetchService {
   using FetchResult = util::Result<zone::SnapshotPtr>;
   using FetchCallback = std::function<void(FetchResult)>;
 
+  // Aggregate options (designated-initializer friendly).
+  struct Options {
+    FetchServiceConfig config;
+    ZoneProvider provider;
+    obs::Registry* registry = nullptr;
+  };
+
+  ZoneFetchService(sim::Simulator& sim, Options options);
+  // Deprecated positional form; prefer the Options constructor.
   ZoneFetchService(sim::Simulator& sim, FetchServiceConfig config,
-                   ZoneProvider provider, obs::Registry* registry = nullptr);
+                   ZoneProvider provider, obs::Registry* registry = nullptr)
+      : ZoneFetchService(sim, Options{std::move(config), std::move(provider),
+                                      registry}) {}
 
   // Fetches fail while sim-time is inside any outage window.
   void AddOutage(sim::SimTime from, sim::SimTime to) {
@@ -54,14 +77,16 @@ class ZoneFetchService {
     store_ = std::move(store);
   }
 
-  // Asynchronous fetch: the callback fires after the simulated transfer.
+  // Asynchronous fetch: the callback fires after the simulated transfer,
+  // or after the retry budget is exhausted (Error kUnreachable) or the
+  // fetched zone fails validation (Error kVerifyFailed).
   void Fetch(FetchCallback callback);
 
   // Snapshot of the registry-backed counters.
   FetchServiceStats stats() const {
     return FetchServiceStats{fetches_.value(), failures_.value(),
                              validation_failures_.value(),
-                             bytes_served_.value()};
+                             bytes_served_.value(), retries_.value()};
   }
 
  private:
@@ -77,17 +102,23 @@ class ZoneFetchService {
     return false;
   }
 
+  // One attempt of an in-flight fetch operation; retries reschedule it.
+  void Attempt(std::shared_ptr<sim::RetrySchedule> schedule,
+               FetchCallback callback, obs::SpanId span);
+
   sim::Simulator& sim_;
   FetchServiceConfig config_;
   ZoneProvider provider_;
   std::vector<Outage> outages_;
   dns::DnskeyData dnskey_;
   crypto::KeyStore store_;
+  util::Rng rng_;
   // Registry handles (module "distrib.fetch").
   obs::Counter fetches_;
   obs::Counter failures_;
   obs::Counter validation_failures_;
   obs::Counter bytes_served_;
+  obs::Counter retries_;
 };
 
 }  // namespace rootless::distrib

@@ -22,19 +22,18 @@ std::string RootModeName(RootMode mode) {
 }
 
 RecursiveResolver::RecursiveResolver(sim::Simulator& sim,
-                                     sim::Network& network,
-                                     ResolverConfig config,
-                                     topo::GeoPoint location)
+                                     sim::Network& network, Options options)
     : sim_(sim),
       network_(network),
-      config_(config),
-      location_(location),
-      cache_(config.cache_capacity),
-      selector_(config.seed ^ 0x5E1EC7),
-      rng_(config.seed) {
+      config_(std::move(options.config)),
+      location_(options.location),
+      cache_(config_.cache_capacity),
+      selector_(config_.seed ^ 0x5E1EC7),
+      rng_(config_.seed) {
   node_ = network_.AddNode(
       [this](const sim::Datagram& d) { HandleDatagram(d); });
-  obs::Registry& reg = obs::Registry::Default();
+  obs::Registry& reg =
+      options.registry ? *options.registry : obs::Registry::Default();
   const obs::Labels labels{reg.NextInstance("resolver"), "", ""};
   c_.resolutions = reg.counter("resolver.resolutions", labels);
   c_.answered_from_cache = reg.counter("resolver.answered_from_cache", labels);
@@ -50,7 +49,10 @@ RecursiveResolver::RecursiveResolver(sim::Simulator& sim,
       reg.counter("resolver.manipulation_detected", labels);
   c_.timeouts = reg.counter("resolver.timeouts", labels);
   c_.failures = reg.counter("resolver.failures", labels);
+  c_.retries = reg.counter("resolver.retries", labels);
   latency_us_ = reg.histogram("resolver.resolution_latency_us", labels);
+  attempts_per_success_ =
+      reg.histogram("resolver.attempts_per_success", labels);
 }
 
 void RecursiveResolver::SetLocalZone(zone::SnapshotPtr root_zone) {
@@ -113,7 +115,8 @@ void RecursiveResolver::Resolve(const Name& qname, RRType qtype,
   pending.qtype = qtype;
   pending.callback = cb;
   pending.start = sim_.now();
-  pending.retries_left = config_.max_retries;
+  pending.retries_left =
+      config_.retry ? config_.retry->max_attempts - 1 : config_.max_retries;
   pending.span = span;
   auto [it, inserted] = pending_.emplace(id, std::move(pending));
   StartResolution(id, it->second);
@@ -165,8 +168,38 @@ void RecursiveResolver::RetryAfterBadResponse(std::uint16_t id) {
     return;
   }
   --pending.retries_left;
+  ReissueAfterBackoff(id);
+}
+
+void RecursiveResolver::ReissueAfterBackoff(std::uint16_t id) {
+  Pending& pending = pending_.at(id);
+  ++pending.attempt;
+  c_.retries.Inc();
+  const sim::SimTime backoff =
+      config_.retry ? sim::JitteredBackoff(*config_.retry, pending.attempt,
+                                           rng_)
+                    : 0;
+  if (backoff == 0) {
+    ReissueNow(id);
+    return;
+  }
+  // Invalidate the expired attempt's timeout while we wait out the backoff;
+  // a late response arriving in the window still completes the resolution
+  // (which erases the Pending node and strands this event).
+  pending.generation = next_generation_++;
+  const std::uint64_t generation = pending.generation;
+  sim_.Schedule(backoff, [this, id, generation]() {
+    auto it = pending_.find(id);
+    if (it == pending_.end() || it->second.generation != generation) return;
+    ReissueNow(id);
+  });
+}
+
+void RecursiveResolver::ReissueNow(std::uint16_t id) {
+  Pending& pending = pending_.at(id);
   if (pending.stage == Pending::Stage::kRoot) {
     if (config_.mode == RootMode::kRootServers) {
+      // Fail over to another letter.
       pending.root_letter = selector_.PickRetryLetter(pending.root_letter);
     }
     AskRoot(id);
@@ -344,7 +377,9 @@ void RecursiveResolver::ArmTimeout(std::uint16_t id) {
   Pending& pending = pending_.at(id);
   pending.generation = next_generation_++;
   const std::uint64_t generation = pending.generation;
-  sim_.Schedule(config_.query_timeout,
+  const sim::SimTime timeout =
+      config_.retry ? config_.retry->attempt_timeout : config_.query_timeout;
+  sim_.Schedule(timeout,
                 [this, id, generation]() { HandleTimeout(id, generation); });
 }
 
@@ -364,15 +399,7 @@ void RecursiveResolver::HandleTimeout(std::uint16_t id,
     return;
   }
   --pending.retries_left;
-  if (pending.stage == Pending::Stage::kRoot) {
-    if (config_.mode == RootMode::kRootServers) {
-      // Fail over to another letter.
-      pending.root_letter = selector_.PickRetryLetter(pending.root_letter);
-    }
-    AskRoot(id);
-  } else {
-    AskTld(id);
-  }
+  ReissueAfterBackoff(id);
 }
 
 void RecursiveResolver::HandleDatagram(const sim::Datagram& datagram) {
@@ -484,6 +511,9 @@ void RecursiveResolver::Finish(std::uint16_t id, dns::RCode rcode,
   result.answers = std::move(answers);
   result.latency = sim_.now() - pending.start;
   latency_us_.Record(static_cast<std::uint64_t>(result.latency));
+  if (!failed) {
+    attempts_per_success_.Record(static_cast<std::uint64_t>(pending.attempt));
+  }
   result.transactions = pending.transactions;
   result.used_root = pending.used_root;
   result.failed = failed;

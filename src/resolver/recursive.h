@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -34,6 +35,7 @@
 #include "rootsrv/fleet.h"
 #include "rootsrv/tld_farm.h"
 #include "sim/network.h"
+#include "sim/retry.h"
 #include "sim/simulator.h"
 #include "topo/geo.h"
 
@@ -73,6 +75,13 @@ struct ResolverConfig {
   bool validate_denials = false;
   std::uint32_t validation_now = 1000;  // unix time for RRSIG windows
   std::uint64_t seed = 1;
+  // Optional shared retry policy (sim/retry.h). When set, it supersedes
+  // query_timeout/max_retries: each attempt gets attempt_timeout, the
+  // attempt budget is max_attempts, and re-asks after a timeout or bad
+  // response wait out the policy's (jittered) exponential backoff instead
+  // of firing immediately. Unset preserves the historical immediate-retry
+  // behavior bit-for-bit.
+  std::optional<sim::RetryPolicy> retry = std::nullopt;
 };
 
 struct ResolutionResult {
@@ -102,14 +111,27 @@ struct ResolverStats {
   std::uint64_t manipulation_detected = 0;  // denials failing validation
   std::uint64_t timeouts = 0;
   std::uint64_t failures = 0;
+  std::uint64_t retries = 0;  // re-asks after timeout/bad response
 };
 
 class RecursiveResolver {
  public:
   using ResolveCallback = std::function<void(const ResolutionResult&)>;
 
+  // Aggregate options (designated-initializer friendly).
+  struct Options {
+    ResolverConfig config;
+    topo::GeoPoint location;
+    obs::Registry* registry = nullptr;
+  };
+
   RecursiveResolver(sim::Simulator& sim, sim::Network& network,
-                    ResolverConfig config, topo::GeoPoint location);
+                    Options options);
+  // Deprecated positional form; prefer the Options constructor.
+  RecursiveResolver(sim::Simulator& sim, sim::Network& network,
+                    ResolverConfig config, topo::GeoPoint location)
+      : RecursiveResolver(sim, network,
+                          Options{std::move(config), location, nullptr}) {}
 
   sim::NodeId node() const { return node_; }
   const topo::GeoPoint& location() const { return location_; }
@@ -153,7 +175,8 @@ class RecursiveResolver {
         c_.tld_transactions.value(),  c_.full_qname_exposures.value(),
         c_.handshakes.value(),        c_.nxdomain.value(),
         c_.negative_hits.value(),     c_.manipulation_detected.value(),
-        c_.timeouts.value(),          c_.failures.value()};
+        c_.timeouts.value(),          c_.failures.value(),
+        c_.retries.value()};
   }
   const RootSelector& root_selector() const { return selector_; }
   const ResolverConfig& config() const { return config_; }
@@ -171,6 +194,7 @@ class RecursiveResolver {
     enum class Stage { kRoot, kTld } stage = Stage::kRoot;
     char root_letter = 0;
     int retries_left = 0;
+    int attempt = 1;  // 1-based attempt number (for backoff + histogram)
     sim::SimTime last_send = 0;
     std::uint64_t generation = 0;  // invalidates stale timeout events
     // Resolution-lifecycle trace spans (kNoSpan when the sim has no tracer):
@@ -207,6 +231,10 @@ class RecursiveResolver {
                      const std::vector<dns::ResourceRecord>& authority);
   // Retry or fail after a bad (unvalidatable) response.
   void RetryAfterBadResponse(std::uint16_t id);
+  // Re-issues the current stage's query: immediately without a retry
+  // policy, after the policy's jittered backoff with one.
+  void ReissueAfterBackoff(std::uint16_t id);
+  void ReissueNow(std::uint16_t id);
   // Sends a query datagram, modelling the encrypted-transport handshake on
   // first contact with a server and any extra pre-send delay.
   void SendDnsQuery(sim::NodeId target, const dns::Message& query,
@@ -253,8 +281,12 @@ class RecursiveResolver {
     obs::Counter manipulation_detected;
     obs::Counter timeouts;
     obs::Counter failures;
+    obs::Counter retries;
   };
   Counters c_;
+  // Attempts consumed by each resolution that completed (cache hits and
+  // other synchronous answers are not recorded).
+  obs::Histogram attempts_per_success_;
   // Latency distribution of resolutions that left the resolver (cache and
   // negative hits complete synchronously at latency 0 and are counted, not
   // recorded, so the fast path stays allocation- and histogram-free).

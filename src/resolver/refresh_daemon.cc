@@ -4,22 +4,30 @@
 
 namespace rootless::resolver {
 
-RefreshDaemon::RefreshDaemon(sim::Simulator& sim, RefreshConfig config,
-                             FetchFn fetch, ApplyFn apply,
-                             obs::Registry* registry)
+RefreshDaemon::RefreshDaemon(sim::Simulator& sim, Options options)
     : sim_(sim),
-      config_(config),
-      fetch_(std::move(fetch)),
-      apply_(std::move(apply)) {
+      config_(options.config),
+      sources_(std::move(options.sources)),
+      apply_(std::move(options.apply)),
+      rng_(config_.seed) {
   ROOTLESS_CHECK(config_.refresh_lead < config_.zone_validity);
   ROOTLESS_CHECK(config_.retry_interval > 0);
-  obs::Registry& reg = registry ? *registry : obs::Registry::Default();
+  ROOTLESS_CHECK(config_.max_staleness >= 0);
+  ROOTLESS_CHECK(!sources_.empty());
+  obs::Registry& reg =
+      options.registry ? *options.registry : obs::Registry::Default();
   const obs::Labels labels{reg.NextInstance("resolver.refresh"), "", ""};
   fetch_attempts_ = reg.counter("resolver.refresh.fetch_attempts", labels);
   fetch_failures_ = reg.counter("resolver.refresh.fetch_failures", labels);
   refreshes_ = reg.counter("resolver.refresh.refreshes", labels);
   expirations_ = reg.counter("resolver.refresh.expirations", labels);
   stale_time_ = reg.gauge("resolver.refresh.stale_time_us", labels);
+  retries_ = reg.counter("resolver.refresh.retries", labels);
+  fallbacks_ = reg.counter("resolver.refresh.fallbacks", labels);
+  hard_expirations_ =
+      reg.counter("resolver.refresh.hard_expirations", labels);
+  attempts_per_refresh_ =
+      reg.histogram("resolver.refresh.attempts_per_refresh", labels);
 }
 
 void RefreshDaemon::Start(zone::SnapshotPtr initial) {
@@ -33,34 +41,57 @@ void RefreshDaemon::ScheduleNextAttempt(sim::SimTime delay) {
 }
 
 void RefreshDaemon::Attempt() {
-  fetch_attempts_.Inc();
+  // A round starts at the top of the ladder with a fresh per-source budget.
+  round_source_ = 0;
+  round_attempts_ = 0;
+  schedule_ = sim::RetrySchedule(config_.retry);
+  (void)schedule_.NextDelay(rng_);  // first attempt starts immediately
   // Distribution lifecycle: one "distrib.refresh" span per attempt chain;
-  // an already-open span (a failed attempt being retried) keeps running
+  // an already-open span (a failed round being retried) keeps running
   // until a fetch finally lands or fails terminally.
   if (fetch_span_ == obs::kNoSpan) {
     fetch_span_ =
         ROOTLESS_SPAN_START(sim_.tracer(), "distrib.refresh", obs::kNoSpan);
   }
-  fetch_([this](FetchResult result) { OnFetched(std::move(result)); });
+  IssueNow();
+}
+
+void RefreshDaemon::IssueNow() {
+  fetch_attempts_.Inc();
+  ++round_attempts_;
+  sources_[round_source_].fetch(
+      [this](FetchResult result) { OnFetched(std::move(result)); });
 }
 
 void RefreshDaemon::OnFetched(FetchResult result) {
   if (!result.ok()) {
     fetch_failures_.Inc();
-    if (sim_.now() >= expiry_ && lapsed_since_ < 0) {
-      // The copy lapsed while we were still failing to refresh: the §4
-      // scenario where the out-of-band process ran out of runway.
-      expirations_.Inc();
-      lapsed_since_ = expiry_;
+    if (schedule_.CanAttempt()) {
+      // Same source, next attempt, spaced by the policy's backoff.
+      retries_.Inc();
+      const sim::SimTime backoff = schedule_.NextDelay(rng_);
+      sim_.Schedule(backoff, [this]() { IssueNow(); });
+      return;
     }
-    ScheduleNextAttempt(config_.retry_interval);
+    if (round_source_ + 1 < sources_.size()) {
+      // Budget exhausted: fall down the ladder to the next source.
+      fallbacks_.Inc();
+      ++round_source_;
+      schedule_ = sim::RetrySchedule(config_.retry);
+      (void)schedule_.NextDelay(rng_);
+      IssueNow();
+      return;
+    }
+    RoundFailed();
     return;
   }
   if (lapsed_since_ >= 0) {
     stale_time_.Add(sim_.now() - lapsed_since_);
     lapsed_since_ = -1;
   }
+  hard_lapsed_ = false;
   refreshes_.Inc();
+  attempts_per_refresh_.Record(static_cast<std::uint64_t>(round_attempts_));
   expiry_ = sim_.now() + config_.zone_validity;
   // The swap is atomic in sim time: mark it as an instant inside the span.
   ROOTLESS_SPAN_INSTANT(sim_.tracer(), "distrib.swap", fetch_span_);
@@ -68,6 +99,21 @@ void RefreshDaemon::OnFetched(FetchResult result) {
   ROOTLESS_SPAN_END(sim_.tracer(), fetch_span_);
   fetch_span_ = obs::kNoSpan;
   ScheduleNextAttempt(config_.zone_validity - config_.refresh_lead);
+}
+
+void RefreshDaemon::RoundFailed() {
+  if (sim_.now() >= expiry_ && lapsed_since_ < 0) {
+    // The copy lapsed while we were still failing to refresh: the §4
+    // scenario where the out-of-band process ran out of runway.
+    expirations_.Inc();
+    lapsed_since_ = expiry_;
+  }
+  if (sim_.now() >= expiry_ + config_.max_staleness && !hard_lapsed_) {
+    // Aged past the serve-stale window too: the copy is now unusable.
+    hard_expirations_.Inc();
+    hard_lapsed_ = true;
+  }
+  ScheduleNextAttempt(config_.retry_interval);
 }
 
 }  // namespace rootless::resolver

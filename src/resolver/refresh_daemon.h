@@ -5,15 +5,28 @@
 // example: try at X+42h, leaving 6 hours of retries before the copy expires
 // and lookups are actually impacted), retrying periodically on failure and
 // recording whether the zone ever lapsed.
+//
+// Graceful degradation (§5.2): each refresh round walks a fallback ladder of
+// sources in order (e.g. diff channel → AXFR → full fetch), giving every
+// source a RetryPolicy budget of backoff-spaced attempts before falling to
+// the next. When the whole ladder fails, the round is rescheduled at the
+// retry cadence and the copy degrades through three states: fresh (within
+// validity), stale (expired but inside the serve-stale window — the paper's
+// observation that a month-old root zone still resolves nearly all names),
+// and expired (past max_staleness; answers must not be served from it).
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/retry.h"
 #include "sim/simulator.h"
 #include "util/result.h"
+#include "util/rng.h"
 #include "zone/zone_snapshot.h"
 
 namespace rootless::resolver {
@@ -23,8 +36,23 @@ struct RefreshConfig {
   sim::SimTime zone_validity = 48 * sim::kHour;
   // Start refreshing this long before expiry.
   sim::SimTime refresh_lead = 6 * sim::kHour;
-  // Retry cadence while a refresh attempt keeps failing.
+  // Retry cadence between rounds while the whole ladder keeps failing.
   sim::SimTime retry_interval = 1 * sim::kHour;
+  // Per-source attempt budget and backoff spacing within a round. The
+  // default makes a single attempt per source per round (historical
+  // behavior).
+  sim::RetryPolicy retry = sim::RetryPolicy::None();
+  // Serve-stale window: an expired copy may still be served this long past
+  // its validity (§5.2: a month-stale root zone misdirects almost nothing).
+  sim::SimTime max_staleness = 30 * sim::kDay;
+  std::uint64_t seed = 0xD4E3;  // jitter stream for in-round backoff
+};
+
+// Freshness of the local copy, for serve-stale decisions.
+enum class ZoneState {
+  kFresh,    // within validity
+  kStale,    // expired, but inside the serve-stale window
+  kExpired,  // past max_staleness; unusable
 };
 
 // Snapshot view of the daemon's registry-backed metrics (module
@@ -35,6 +63,9 @@ struct RefreshStats {
   std::uint64_t refreshes = 0;    // successful applies
   std::uint64_t expirations = 0;  // times the copy lapsed before a refresh
   sim::SimTime stale_time = 0;    // total simulated time spent expired
+  std::uint64_t retries = 0;      // extra same-source attempts within rounds
+  std::uint64_t fallbacks = 0;    // ladder steps to a lower-preference source
+  std::uint64_t hard_expirations = 0;  // copy aged past the serve-stale window
 };
 
 class RefreshDaemon {
@@ -47,32 +78,75 @@ class RefreshDaemon {
   using FetchFn = std::function<void(std::function<void(FetchResult)>)>;
   using ApplyFn = std::function<void(zone::SnapshotPtr)>;
 
+  // One rung of the fallback ladder; rounds try sources in declaration
+  // order. The name labels log/trace output only.
+  struct RefreshSource {
+    std::string name;
+    FetchFn fetch;
+  };
+
+  // Aggregate options (designated-initializer friendly).
+  struct Options {
+    RefreshConfig config;
+    std::vector<RefreshSource> sources;
+    ApplyFn apply;
+    obs::Registry* registry = nullptr;
+  };
+
+  RefreshDaemon(sim::Simulator& sim, Options options);
+  // Deprecated positional form (single source, no ladder); prefer Options.
   RefreshDaemon(sim::Simulator& sim, RefreshConfig config, FetchFn fetch,
-                ApplyFn apply, obs::Registry* registry = nullptr);
+                ApplyFn apply, obs::Registry* registry = nullptr)
+      : RefreshDaemon(sim,
+                      Options{config,
+                              {RefreshSource{"fetch", std::move(fetch)}},
+                              std::move(apply),
+                              registry}) {}
 
   // Installs the initial copy (fetched out of band) and schedules refreshes.
   void Start(zone::SnapshotPtr initial);
 
   bool zone_valid() const { return sim_.now() < expiry_; }
+  // True while the copy may still be served, counting the stale window.
+  bool zone_usable() const {
+    return sim_.now() < expiry_ + config_.max_staleness;
+  }
+  ZoneState state() const {
+    if (zone_valid()) return ZoneState::kFresh;
+    return zone_usable() ? ZoneState::kStale : ZoneState::kExpired;
+  }
   sim::SimTime expiry() const { return expiry_; }
   // Snapshot of the registry-backed metrics.
   RefreshStats stats() const {
-    return RefreshStats{fetch_attempts_.value(), fetch_failures_.value(),
-                        refreshes_.value(), expirations_.value(),
-                        static_cast<sim::SimTime>(stale_time_.value())};
+    return RefreshStats{fetch_attempts_.value(),
+                        fetch_failures_.value(),
+                        refreshes_.value(),
+                        expirations_.value(),
+                        static_cast<sim::SimTime>(stale_time_.value()),
+                        retries_.value(),
+                        fallbacks_.value(),
+                        hard_expirations_.value()};
   }
 
  private:
   void ScheduleNextAttempt(sim::SimTime delay);
-  void Attempt();
+  void Attempt();     // starts a round at ladder rung 0
+  void IssueNow();    // fires one fetch on the current source
   void OnFetched(FetchResult result);
+  void RoundFailed();
 
   sim::Simulator& sim_;
   RefreshConfig config_;
-  FetchFn fetch_;
+  std::vector<RefreshSource> sources_;
   ApplyFn apply_;
+  util::Rng rng_;
   sim::SimTime expiry_ = 0;
   sim::SimTime lapsed_since_ = -1;  // >= 0 while running expired
+  bool hard_lapsed_ = false;        // already counted past the stale window
+  // In-round state (one round in flight at a time).
+  std::size_t round_source_ = 0;
+  int round_attempts_ = 0;
+  sim::RetrySchedule schedule_;
   // Registry handles (module "resolver.refresh"). stale_time is a gauge:
   // it accumulates simulated microseconds, not a monotone event count.
   obs::Counter fetch_attempts_;
@@ -80,6 +154,10 @@ class RefreshDaemon {
   obs::Counter refreshes_;
   obs::Counter expirations_;
   obs::Gauge stale_time_;
+  obs::Counter retries_;
+  obs::Counter fallbacks_;
+  obs::Counter hard_expirations_;
+  obs::Histogram attempts_per_refresh_;
   // Distribution-lifecycle span: covers attempt → applied (kNoSpan when the
   // sim has no tracer or the fetch succeeded synchronously between events).
   obs::SpanId fetch_span_ = obs::kNoSpan;

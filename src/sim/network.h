@@ -13,6 +13,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/faults.h"
 #include "sim/simulator.h"
 #include "util/bytes.h"
 #include "util/rng.h"
@@ -76,6 +77,13 @@ class Network {
   using InterceptFn = std::function<InterceptVerdict(const Datagram&)>;
   void set_interceptor(InterceptFn fn) { interceptor_ = std::move(fn); }
 
+  // Installs a fault injector (sim/faults.h) consulted for every datagram:
+  // it can drop (loss, outages, crashes, partitions), delay (jitter), or
+  // corrupt traffic per its FaultPlan, all from its own seeded RNG stream.
+  // The injector must outlive the network. nullptr uninstalls.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+  FaultInjector* fault_injector() const { return faults_; }
+
   NodeId AddNode(ReceiveHandler handler) {
     handlers_.push_back(std::move(handler));
     return static_cast<NodeId>(handlers_.size() - 1);
@@ -120,7 +128,19 @@ class Network {
           break;
       }
     }
-    const SimTime latency = LatencyBetween(datagram.src, datagram.dst);
+    SimTime extra_latency = 0;
+    if (faults_ != nullptr) {
+      const FaultInjector::Verdict verdict =
+          faults_->OnSend(datagram.src, datagram.dst, sim_.now(),
+                          datagram.payload);
+      if (verdict.drop) {
+        dropped_.Inc();
+        return;
+      }
+      extra_latency = verdict.extra_latency;
+    }
+    const SimTime latency =
+        LatencyBetween(datagram.src, datagram.dst) + extra_latency;
     // Traced runs stamp a "net.flight" span per datagram (send → delivery,
     // i.e. the one-way latency in sim time). The span id rides in a separate
     // lambda so the common untraced delivery stays within EventFn's inline
@@ -150,6 +170,7 @@ class Network {
   util::Rng rng_;
   LatencyFn latency_fn_;
   InterceptFn interceptor_;
+  FaultInjector* faults_ = nullptr;
   double loss_rate_ = 0;
   std::vector<ReceiveHandler> handlers_;
   obs::Counter sent_;

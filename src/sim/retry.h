@@ -1,0 +1,100 @@
+// Shared failure-handling policy: bounded attempts, per-attempt timeouts,
+// and exponential backoff with multiplicative jitter.
+//
+// One policy type serves every consumer that retries over the simulated
+// network or the out-of-band distribution channels — the recursive
+// resolver's root/TLD queries, the zone-fetch service, the AXFR client, and
+// the refresh daemon's degradation ladder — so experiments can sweep a
+// single knob set. Jitter draws come from the caller's seeded Rng, keeping
+// every schedule bit-reproducible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/simulator.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rootless::sim {
+
+struct RetryPolicy {
+  // Total attempts, including the first. 1 = no retries.
+  int max_attempts = 4;
+  // Deadline for each attempt's response (consumers that wait for one).
+  SimTime attempt_timeout = 2 * kSecond;
+  // Backoff before the second attempt; each further attempt multiplies it.
+  SimTime initial_backoff = 500 * kMillisecond;
+  double backoff_multiplier = 2.0;
+  SimTime max_backoff = 60 * kSecond;
+  // Jitter as a fraction of the backoff: the delay is drawn uniformly from
+  // [b*(1-jitter), b*(1+jitter)]. 0 = fully deterministic spacing.
+  double jitter = 0.0;
+
+  // A policy that makes exactly one attempt (the "no retries" baseline).
+  static constexpr RetryPolicy None() { return RetryPolicy{.max_attempts = 1}; }
+
+  // Un-jittered backoff before attempt `attempt` (1-based; the first attempt
+  // never waits). Capped at max_backoff.
+  SimTime BackoffBeforeAttempt(int attempt) const {
+    if (attempt <= 2) return attempt == 2 ? ClampBackoff(initial_backoff) : 0;
+    double b = static_cast<double>(initial_backoff);
+    for (int i = 2; i < attempt; ++i) {
+      b *= backoff_multiplier;
+      if (b >= static_cast<double>(max_backoff)) break;  // saturated
+    }
+    return ClampBackoff(static_cast<SimTime>(b));
+  }
+
+ private:
+  SimTime ClampBackoff(SimTime b) const {
+    return std::clamp<SimTime>(b, 0, max_backoff);
+  }
+};
+
+// Jittered backoff before `attempt` (1-based), drawn from `rng`: uniform in
+// [b*(1-jitter), b*(1+jitter)] around the policy's exponential base b. The
+// jitter span is computed with a single rounding and the draw is integral,
+// so the result is bit-identical across optimization levels (no FP
+// contraction can change it).
+inline SimTime JitteredBackoff(const RetryPolicy& policy, int attempt,
+                               util::Rng& rng) {
+  const SimTime base = policy.BackoffBeforeAttempt(attempt);
+  if (base == 0 || policy.jitter <= 0) return base;
+  const double spread = std::min(policy.jitter, 1.0);
+  const SimTime span =
+      static_cast<SimTime>(static_cast<double>(base) * spread);
+  if (span == 0) return base;
+  return base - span +
+         static_cast<SimTime>(
+             rng.Below(2 * static_cast<std::uint64_t>(span) + 1));
+}
+
+// Per-operation retry state: counts attempts against the budget and deals
+// jittered delays. Copyable value type; consumers keep one per in-flight
+// operation and reset it by assignment.
+class RetrySchedule {
+ public:
+  RetrySchedule() : RetrySchedule(RetryPolicy{}) {}
+  explicit RetrySchedule(const RetryPolicy& policy) : policy_(policy) {}
+
+  const RetryPolicy& policy() const { return policy_; }
+  int attempts_started() const { return attempts_; }
+  // True while the budget allows starting another attempt.
+  bool CanAttempt() const { return attempts_ < policy_.max_attempts; }
+
+  // Consumes one attempt from the budget and returns the delay to wait
+  // before issuing it: 0 for the first attempt, jittered exponential
+  // backoff afterwards. Precondition: CanAttempt().
+  SimTime NextDelay(util::Rng& rng) {
+    ROOTLESS_CHECK(CanAttempt());
+    ++attempts_;
+    return JitteredBackoff(policy_, attempts_, rng);
+  }
+
+ private:
+  RetryPolicy policy_;
+  int attempts_ = 0;
+};
+
+}  // namespace rootless::sim

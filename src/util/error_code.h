@@ -1,0 +1,42 @@
+// The one error vocabulary shared across the stack.
+//
+// Every fallible subsystem (distribution channels, transfer clients, the
+// refresh daemon, the resolver's failure paths) classifies its failures with
+// this enum so that policy code — retry/backoff loops, the degradation
+// ladder, bench scoring — can branch on *what went wrong* without parsing
+// message strings. Messages stay free-form human context; the code is the
+// machine-readable part.
+#pragma once
+
+namespace rootless {
+
+enum class ErrorCode : unsigned char {
+  kUnknown = 0,   // unclassified (legacy Error(message) construction)
+  kTimeout,       // no response within the attempt's deadline
+  kUnreachable,   // endpoint down: outage window, crashed node, partition
+  kVerifyFailed,  // DNSSEC/signature validation rejected the data
+  kTruncated,     // wire data ended before the structure was complete
+  kCorrupted,     // wire data present but failed to parse
+  kStale,         // data is older than (or disjoint from) what we hold
+  kProtocol,      // peer violated the protocol (bad serial, empty transfer)
+  kExhausted,     // retry budget spent without success
+  kUnavailable,   // no configured source could provide the data
+};
+
+constexpr const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnknown:     return "unknown";
+    case ErrorCode::kTimeout:     return "timeout";
+    case ErrorCode::kUnreachable: return "unreachable";
+    case ErrorCode::kVerifyFailed:return "verify-failed";
+    case ErrorCode::kTruncated:   return "truncated";
+    case ErrorCode::kCorrupted:   return "corrupted";
+    case ErrorCode::kStale:       return "stale";
+    case ErrorCode::kProtocol:    return "protocol";
+    case ErrorCode::kExhausted:   return "exhausted";
+    case ErrorCode::kUnavailable: return "unavailable";
+  }
+  return "invalid";
+}
+
+}  // namespace rootless

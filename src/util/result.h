@@ -10,19 +10,28 @@
 #include <utility>
 #include <variant>
 
+#include "util/error_code.h"
+
 namespace rootless::util {
 
-// A failure description. Cheap to move, comparable for tests.
+// A failure description: a machine-readable code (the shared
+// rootless::ErrorCode vocabulary) plus free-form human context. Cheap to
+// move, comparable for tests. Legacy single-argument construction leaves the
+// code at kUnknown.
 class Error {
  public:
   Error() = default;
   explicit Error(std::string message) : message_(std::move(message)) {}
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
 
+  ErrorCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   bool operator==(const Error& other) const = default;
 
  private:
+  ErrorCode code_ = ErrorCode::kUnknown;
   std::string message_;
 };
 
@@ -42,12 +51,13 @@ class Status {
   std::optional<Error> error_;
 };
 
-// Result<T>: a value or an Error.
-template <typename T>
+// Result<T, E>: a value or an error (E defaults to Error, which carries the
+// shared rootless::ErrorCode plus a message).
+template <typename T, typename E = Error>
 class Result {
  public:
-  Result(T value) : value_(std::move(value)) {}      // NOLINT: implicit by design
-  Result(Error error) : value_(std::move(error)) {}  // NOLINT: implicit by design
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(E error) : value_(std::move(error)) {}  // NOLINT: implicit by design
 
   bool ok() const { return std::holds_alternative<T>(value_); }
   explicit operator bool() const { return ok(); }
@@ -63,8 +73,9 @@ class Result {
   const T* operator->() const { return &value(); }
 
   // Precondition: !ok().
-  const Error& error() const { return std::get<Error>(value_); }
+  const E& error() const { return std::get<E>(value_); }
 
+  // Only instantiable when E is Error (the default).
   Status status() const {
     if (ok()) return Status::Ok();
     return Status(error());
@@ -75,15 +86,16 @@ class Result {
   }
 
  private:
-  std::variant<T, Error> value_;
+  std::variant<T, E> value_;
 };
 
 }  // namespace rootless::util
 
-// Propagate an error from an expression yielding Result<T> or Status.
+// Propagate an error from an expression yielding Result<T> or Status,
+// preserving the error code.
 #define ROOTLESS_RETURN_IF_ERROR(expr)                      \
   do {                                                      \
     auto rootless_status_ = (expr);                         \
     if (!rootless_status_.ok())                             \
-      return ::rootless::util::Error(rootless_status_.message()); \
+      return ::rootless::util::Error(rootless_status_.error()); \
   } while (0)
