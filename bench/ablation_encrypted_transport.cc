@@ -54,7 +54,7 @@ Row Run(resolver::RootMode mode, bool encrypted) {
   config.encrypted_transport = encrypted;
   config.seed = 23;
   const topo::GeoPoint where{1.35, 103.82};  // Singapore
-  resolver::RecursiveResolver r(sim, net, config, where);
+  resolver::RecursiveResolver r(sim, net, {config, where});
   registry.SetLocation(r.node(), where);
   r.SetTldFarm(&farm);
   if (mode == resolver::RootMode::kRootServers) {

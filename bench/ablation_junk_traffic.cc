@@ -76,7 +76,7 @@ Row Run(resolver::RootMode mode, bool negative_cache,
   config.seed = 4;
   config.negative_cache = negative_cache;
   const topo::GeoPoint where{52.52, 13.40};  // Berlin
-  resolver::RecursiveResolver r(sim, net, config, where);
+  resolver::RecursiveResolver r(sim, net, {config, where});
   registry.SetLocation(r.node(), where);
   r.SetTldFarm(&farm);
   if (mode == resolver::RootMode::kRootServers) {

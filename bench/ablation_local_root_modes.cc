@@ -55,7 +55,7 @@ Row Run(resolver::RootMode mode, std::size_t capacity) {
   config.seed = 99;
   config.cache_capacity = capacity;
   const topo::GeoPoint where{40.71, -74.0};
-  resolver::RecursiveResolver r(sim, net, config, where);
+  resolver::RecursiveResolver r(sim, net, {config, where});
   registry.SetLocation(r.node(), where);
   r.SetTldFarm(&farm);
   std::unique_ptr<rootsrv::AuthServer> loopback;

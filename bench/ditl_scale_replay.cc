@@ -1,0 +1,234 @@
+// DITL-scale sharded replay bench (traffic/replay.h).
+//
+// Two sweeps over the §2.2 day replayed through full local-root resolver
+// stacks:
+//   * scale sweep — 0.001 → 0.1 of the real 5.7B-query day at a fixed shard
+//     count, checking that the generated mix reproduces the paper's
+//     fractions (61.0% bogus, ~0.5% ideal-cache valid, ~3.3% budget valid)
+//     at every scale;
+//   * thread sweep — 1..8 worker threads at scale 0.01, measuring wall-clock
+//     queries/sec and speedup, and asserting the merged outcome (tallies,
+//     resolver stats, per-instance metrics dump) is bit-identical for every
+//     thread count and across repeated passes.
+//
+// The ≥3x-at-8-threads speedup assertion only fires on machines with at
+// least 8 detected cores (the artifact records cores_detected so numbers
+// from smaller machines are interpretable); the determinism assertions are
+// unconditional.
+//
+// Usage: ditl_scale_replay [--out BENCH_ditl_replay.json] [--quick]
+//   --quick drops the scale-0.1 point (~10x the runtime of the rest).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "sim/parallel.h"
+#include "traffic/replay.h"
+
+namespace {
+
+using namespace rootless;
+
+using Clock = std::chrono::steady_clock;
+
+void Require(bool ok, const char* what) {
+  if (ok) return;
+  std::fprintf(stderr, "FAIL: %s\n", what);
+  std::exit(1);
+}
+
+struct RunRecord {
+  double scale = 0;
+  int threads = 0;
+  double seconds = 0;
+  double qps = 0;
+  traffic::ReplayOutcome outcome;
+};
+
+RunRecord RunOnce(double scale, int shards, int threads) {
+  traffic::ReplayOptions options;
+  options.workload.scale = scale;
+  options.num_shards = shards;
+  options.num_threads = threads;
+  const auto start = Clock::now();
+  RunRecord record;
+  record.outcome = traffic::RunShardedReplay(options);
+  record.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  record.scale = scale;
+  record.threads = threads;
+  record.qps =
+      static_cast<double>(record.outcome.tally.total_queries) / record.seconds;
+  return record;
+}
+
+// Everything that must be bit-identical across thread counts and passes:
+// classification tallies, resolver-side counters, and the merged registry
+// rendered per instance.
+std::string Fingerprint(const traffic::ReplayOutcome& o) {
+  std::string out;
+  const auto add = [&out](std::uint64_t v) {
+    out += std::to_string(v);
+    out += ' ';
+  };
+  add(o.tally.total_queries);
+  add(o.tally.bogus_tld_queries);
+  add(o.tally.cache_spurious_ideal);
+  add(o.tally.valid_ideal);
+  add(o.tally.cache_spurious_budget);
+  add(o.tally.valid_budget);
+  add(o.tally.new_tld_queries);
+  add(o.tally.resolvers_total);
+  add(o.tally.resolvers_bogus_only);
+  add(o.resolver.resolutions);
+  add(o.resolver.answered_from_cache);
+  add(o.resolver.root_transactions);
+  add(o.resolver.local_root_lookups);
+  add(o.resolver.nxdomain);
+  add(o.resolver.negative_hits);
+  add(o.resolver.failures);
+  add(o.replayed);
+  add(o.cache_hits);
+  add(o.cache_lookups);
+  out += '\n';
+  out += obs::RenderMetricsTable(*o.metrics, /*aggregate_instances=*/false);
+  return out;
+}
+
+void CheckMix(const RunRecord& record) {
+  const traffic::TrafficMixReport mix = record.outcome.mix();
+  std::printf(
+      "  mix: bogus=%.3f ideal_valid=%.4f budget_valid=%.4f "
+      "resolvers=%u bogus_only=%u\n",
+      mix.bogus_fraction(), mix.valid_ideal_fraction(),
+      mix.valid_budget_fraction(), mix.resolvers_total,
+      mix.resolvers_bogus_only);
+  // §2.2 targets with room for the sampling noise of small scales.
+  Require(mix.bogus_fraction() > 0.58 && mix.bogus_fraction() < 0.64,
+          "bogus fraction within 61.0% +/- 3pp");
+  Require(mix.valid_ideal_fraction() > 0.003 &&
+              mix.valid_ideal_fraction() < 0.008,
+          "ideal-cache valid fraction ~0.5%");
+  Require(mix.valid_budget_fraction() > 0.025 &&
+              mix.valid_budget_fraction() < 0.042,
+          "budget-model valid fraction ~3.3%");
+  Require(record.outcome.replayed == record.outcome.tally.total_queries,
+          "every generated query replayed to completion");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_ditl_replay.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE.json] [--quick]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  constexpr int kShards = 8;
+  const int cores = sim::DetectCores();
+  const int sweep_threads = cores < kShards ? cores : kShards;
+  obs::RunInfo run_info{"ditl_scale_replay", 77,
+                        "mode=on-demand-zone shards=8 scales=0.001..0.1",
+                        sweep_threads, kShards, cores};
+  std::printf("%s", obs::RunHeader(run_info).c_str());
+
+  // ---- scale sweep ----------------------------------------------------
+  std::vector<double> scales{0.001, 0.01};
+  if (!quick) scales.push_back(0.1);
+  std::vector<RunRecord> scale_runs;
+  for (const double scale : scales) {
+    std::printf("scale %.3f (threads=%d)...\n", scale, sweep_threads);
+    std::fflush(stdout);
+    scale_runs.push_back(RunOnce(scale, kShards, sweep_threads));
+    const RunRecord& record = scale_runs.back();
+    std::printf("  %llu queries in %.2fs = %.0f q/s\n",
+                static_cast<unsigned long long>(
+                    record.outcome.tally.total_queries),
+                record.seconds, record.qps);
+    CheckMix(record);
+  }
+
+  // ---- thread sweep at scale 0.01 ------------------------------------
+  std::vector<RunRecord> thread_runs;
+  std::string reference_fp;
+  for (const int threads : {1, 2, 4, 8}) {
+    std::printf("threads %d (scale 0.01)...\n", threads);
+    std::fflush(stdout);
+    thread_runs.push_back(RunOnce(0.01, kShards, threads));
+    const RunRecord& record = thread_runs.back();
+    std::printf("  %.2fs = %.0f q/s\n", record.seconds, record.qps);
+    const std::string fp = Fingerprint(record.outcome);
+    if (reference_fp.empty()) {
+      reference_fp = fp;
+    } else {
+      Require(fp == reference_fp,
+              "merged stats bit-identical across thread counts");
+    }
+  }
+  // Second pass at the widest thread count: run-to-run determinism.
+  {
+    const RunRecord repeat = RunOnce(0.01, kShards, 8);
+    Require(Fingerprint(repeat.outcome) == reference_fp,
+            "merged stats bit-identical across repeated passes");
+    std::printf("determinism: 2-pass + thread-count invariance OK\n");
+  }
+
+  const double base_qps = thread_runs.front().qps;
+  for (const RunRecord& record : thread_runs) {
+    std::printf("speedup @%d threads: %.2fx\n", record.threads,
+                record.qps / base_qps);
+  }
+  if (cores >= 8) {
+    Require(thread_runs.back().qps / base_qps >= 3.0,
+            "ditl replay speedup >= 3x at 8 threads");
+  } else {
+    std::printf("SKIP speedup assertion: %d core(s) detected (< 8)\n", cores);
+  }
+
+  // ---- artifact -------------------------------------------------------
+  std::ofstream out(out_path);
+  out << "{\n  \"schema\": \"rootless-bench-ditl-replay-v1\",\n";
+  out << "  \"cores_detected\": " << cores << ",\n";
+  out << "  \"shards\": " << kShards << ",\n";
+  out << "  \"scale_sweep\": [\n";
+  for (std::size_t i = 0; i < scale_runs.size(); ++i) {
+    const RunRecord& record = scale_runs[i];
+    const traffic::TrafficMixReport mix = record.outcome.mix();
+    out << "    {\"scale\": " << record.scale
+        << ", \"threads\": " << record.threads
+        << ", \"queries\": " << record.outcome.tally.total_queries
+        << ", \"seconds\": " << record.seconds << ", \"qps\": " << record.qps
+        << ", \"bogus_fraction\": " << mix.bogus_fraction()
+        << ", \"valid_ideal_fraction\": " << mix.valid_ideal_fraction()
+        << ", \"valid_budget_fraction\": " << mix.valid_budget_fraction()
+        << "}" << (i + 1 < scale_runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"thread_sweep\": [\n";
+  for (std::size_t i = 0; i < thread_runs.size(); ++i) {
+    const RunRecord& record = thread_runs[i];
+    out << "    {\"threads\": " << record.threads
+        << ", \"seconds\": " << record.seconds << ", \"qps\": " << record.qps
+        << ", \"speedup\": " << record.qps / base_qps << "}"
+        << (i + 1 < thread_runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"determinism\": {\"thread_invariant\": true, "
+         "\"two_pass_identical\": true}\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Standard obs export of the last thread-sweep run's merged registry.
+  obs::ExportRun(run_info, *thread_runs.back().outcome.metrics);
+  return 0;
+}

@@ -491,7 +491,7 @@ ReplayResult ReplayOnce(const zone::RootZoneModel& zone_model,
   rconfig.mode = resolver::RootMode::kOnDemandZoneFile;
   rconfig.seed = 77;
   const topo::GeoPoint where{48.85, 2.35};
-  resolver::RecursiveResolver r(sim, net, rconfig, where);
+  resolver::RecursiveResolver r(sim, net, {rconfig, where});
   registry.SetLocation(r.node(), where);
   r.SetTldFarm(&farm);
   r.SetLocalZone(root_snapshot);

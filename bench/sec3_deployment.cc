@@ -71,8 +71,8 @@ int main() {
                           : resolver::RootMode::kRootServers;
       config.seed = 100 + i;
       const topo::GeoPoint where = topo::SamplePopulationPoint(rng);
-      auto r = std::make_unique<resolver::RecursiveResolver>(sim, net, config,
-                                                             where);
+      auto r = std::make_unique<resolver::RecursiveResolver>(
+          sim, net, resolver::RecursiveResolver::Options{config, where});
       registry.SetLocation(r->node(), where);
       r->SetTldFarm(&farm);
       if (local) {

@@ -54,7 +54,7 @@ Row Run(resolver::RootMode mode, bool qmin) {
   config.qname_minimization = qmin;
   config.seed = 12;
   const topo::GeoPoint where{51.51, -0.13};  // London
-  resolver::RecursiveResolver r(sim, net, config, where);
+  resolver::RecursiveResolver r(sim, net, {config, where});
   registry.SetLocation(r.node(), where);
   r.SetTldFarm(&farm);
   if (mode == resolver::RootMode::kRootServers) {

@@ -62,7 +62,7 @@ ModeResult RunMode(resolver::RootMode mode, double extra_db_latency_us = 0) {
     config.db_lookup_latency = static_cast<sim::SimTime>(extra_db_latency_us);
   }
   const topo::GeoPoint where{48.85, 2.35};
-  resolver::RecursiveResolver r(sim, net, config, where);
+  resolver::RecursiveResolver r(sim, net, {config, where});
   registry.SetLocation(r.node(), where);
   r.SetTldFarm(&farm);
   std::unique_ptr<rootsrv::AuthServer> loopback;

@@ -88,7 +88,7 @@ Outcome Run(resolver::RootMode mode, bool validate) {
   config.max_retries = 2;
   config.negative_cache = false;  // isolate the attack effect
   const topo::GeoPoint where{35.68, 139.69};  // Tokyo
-  resolver::RecursiveResolver r(sim, net, config, where);
+  resolver::RecursiveResolver r(sim, net, {config, where});
   registry.SetLocation(r.node(), where);
   r.SetTldFarm(&farm);
   if (mode == resolver::RootMode::kRootServers) {

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
     config.mode = mode;
     config.seed = 11;
     const topo::GeoPoint where{37.77, -122.42};  // San Francisco
-    resolver::RecursiveResolver r(sim, net, config, where);
+    resolver::RecursiveResolver r(sim, net, {config, where});
     registry.SetLocation(r.node(), where);
     r.SetTldFarm(&farm);
     std::unique_ptr<rootsrv::AuthServer> loopback;

@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
   config.qname_minimization = qmin;
   config.encrypted_transport = tls;
   const topo::GeoPoint where{48.85, 2.35};
-  resolver::RecursiveResolver r(sim, net, config, where);
+  resolver::RecursiveResolver r(sim, net, {config, where});
   registry.SetLocation(r.node(), where);
   r.SetTldFarm(&farm);
   std::unique_ptr<rootsrv::AuthServer> loopback;

@@ -99,15 +99,6 @@ class AxfrClient {
   };
 
   AxfrClient(sim::Simulator& sim, sim::Network& network, Options options);
-  // Deprecated positional form; prefer the Options constructor.
-  AxfrClient(sim::Simulator& sim, sim::Network& network, int window = 8,
-             sim::SimTime chunk_timeout = 2 * sim::kSecond,
-             int max_chunk_retries = 5)
-      : AxfrClient(sim, network,
-                   Options{.window = window,
-                           .retry{.max_attempts = max_chunk_retries + 1,
-                                  .attempt_timeout = chunk_timeout,
-                                  .initial_backoff = 0}}) {}
 
   sim::NodeId node() const { return node_; }
   // Snapshot of the registry-backed counters.

@@ -60,11 +60,6 @@ class ZoneFetchService {
   };
 
   ZoneFetchService(sim::Simulator& sim, Options options);
-  // Deprecated positional form; prefer the Options constructor.
-  ZoneFetchService(sim::Simulator& sim, FetchServiceConfig config,
-                   ZoneProvider provider, obs::Registry* registry = nullptr)
-      : ZoneFetchService(sim, Options{std::move(config), std::move(provider),
-                                      registry}) {}
 
   // Fetches fail while sim-time is inside any outage window.
   void AddOutage(sim::SimTime from, sim::SimTime to) {

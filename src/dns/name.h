@@ -14,6 +14,7 @@
 // allocates per label, and short names never allocate at all.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -133,10 +134,18 @@ class Name {
   std::string ToString() const;
 
   // Stable case-insensitive hash (for unordered containers). Computed once
-  // per Name and cached; copies carry the cached value.
+  // per Name and cached; copies carry the cached value. The cache slot is a
+  // relaxed atomic so Names inside shared immutable structures (a
+  // zone::ZoneSnapshot replayed by several shard threads) can be hashed
+  // concurrently: racing threads compute the same value, and no ordering
+  // is needed because the buffer itself is immutable after construction.
   std::size_t Hash() const {
-    if (hash_ == 0) hash_ = ComputeHash();
-    return static_cast<std::size_t>(hash_);
+    std::uint64_t h = hash_.load(std::memory_order_relaxed);
+    if (h == 0) {
+      h = ComputeHash();
+      hash_.store(h, std::memory_order_relaxed);
+    }
+    return static_cast<std::size_t>(h);
   }
 
  private:
@@ -154,7 +163,7 @@ class Name {
                    std::size_t label_count) {
     size_ = static_cast<std::uint8_t>(size);
     label_count_ = static_cast<std::uint8_t>(label_count);
-    hash_ = 0;
+    hash_.store(0, std::memory_order_relaxed);
     if (size <= kInlineCapacity) {
       std::memcpy(rep_.inline_buf, flat, size);
     } else {
@@ -166,7 +175,8 @@ class Name {
   void CopyFrom(const Name& other) {
     size_ = other.size_;
     label_count_ = other.label_count_;
-    hash_ = other.hash_;
+    hash_.store(other.hash_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
     if (other.is_inline()) {
       std::memcpy(rep_.inline_buf, other.rep_.inline_buf, other.size_);
     } else {
@@ -178,7 +188,8 @@ class Name {
   void MoveFrom(Name& other) noexcept {
     size_ = other.size_;
     label_count_ = other.label_count_;
-    hash_ = other.hash_;
+    hash_.store(other.hash_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
     if (other.is_inline()) {
       std::memcpy(rep_.inline_buf, other.rep_.inline_buf, other.size_);
     } else {
@@ -186,7 +197,7 @@ class Name {
       // Leave `other` as a valid root name that owns nothing.
       other.size_ = 0;
       other.label_count_ = 0;
-      other.hash_ = 0;
+      other.hash_.store(0, std::memory_order_relaxed);
     }
   }
 
@@ -204,7 +215,9 @@ class Name {
   std::uint8_t label_count_ = 0;  // cached label count
   // Cached case-insensitive hash; 0 = not yet computed (a computed hash of
   // 0 is remapped to 1, costing nothing but a vanishingly rare extra mix).
-  mutable std::uint64_t hash_ = 0;
+  // Relaxed atomic: see Hash(). A relaxed load/store compiles to the same
+  // plain move as the old non-atomic field on x86/ARM.
+  mutable std::atomic<std::uint64_t> hash_{0};
 };
 
 struct NameHash {

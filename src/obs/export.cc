@@ -23,22 +23,6 @@ struct Aggregate {
 
 using AggregateKey = std::tuple<std::string, std::string, std::string>;
 
-void Merge(HistogramData& into, const HistogramData& from) {
-  if (from.count == 0) return;
-  for (int i = 0; i < HistogramData::kBucketCount; ++i) {
-    into.buckets[i] += from.buckets[i];
-  }
-  if (into.count == 0) {
-    into.min = from.min;
-    into.max = from.max;
-  } else {
-    into.min = std::min(into.min, from.min);
-    into.max = std::max(into.max, from.max);
-  }
-  into.count += from.count;
-  into.sum += from.sum;
-}
-
 std::map<AggregateKey, Aggregate> Aggregated(const Registry& registry) {
   std::map<AggregateKey, Aggregate> out;
   for (const Sample& s : registry.Snapshot()) {
@@ -53,7 +37,7 @@ std::map<AggregateKey, Aggregate> Aggregated(const Registry& registry) {
         agg.gauge += s.gauge;
         break;
       case Kind::kHistogram:
-        Merge(agg.hist, *s.hist);
+        agg.hist.MergeFrom(*s.hist);
         break;
     }
   }
@@ -97,6 +81,11 @@ std::string RunHeader(const RunInfo& info) {
   out += std::to_string(info.seed);
   out += " git=";
   out += GitDescribe();
+  if (info.threads > 0) out += " threads=" + std::to_string(info.threads);
+  if (info.shards > 0) out += " shards=" + std::to_string(info.shards);
+  if (info.cores_detected > 0) {
+    out += " cores=" + std::to_string(info.cores_detected);
+  }
   if (!info.config.empty()) {
     out += " config=\"";
     out += info.config;
@@ -169,7 +158,17 @@ std::string MetricsJson(const RunInfo& info, const Registry& registry,
   out += "\",\n  \"seed\": " + std::to_string(info.seed);
   out += ",\n  \"git\": \"";
   AppendJsonEscaped(out, GitDescribe());
-  out += "\",\n  \"config\": \"";
+  out += "\"";
+  if (info.threads > 0) {
+    out += ",\n  \"threads\": " + std::to_string(info.threads);
+  }
+  if (info.shards > 0) {
+    out += ",\n  \"shards\": " + std::to_string(info.shards);
+  }
+  if (info.cores_detected > 0) {
+    out += ",\n  \"cores_detected\": " + std::to_string(info.cores_detected);
+  }
+  out += ",\n  \"config\": \"";
   AppendJsonEscaped(out, info.config);
   out += "\",\n  \"metrics\": [";
 

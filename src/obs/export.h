@@ -11,11 +11,18 @@
 namespace rootless::obs {
 
 // Identifies one bench run. `config` is a free-form "key=value ..." summary
-// of whatever knobs the bench varied.
+// of whatever knobs the bench varied. Parallel runs additionally record the
+// worker-thread count, shard count, and the machine's detected core count
+// (sim::DetectCores()) so BENCH artifacts from different machines stay
+// comparable; zero means "not a parallel run" and the fields are omitted
+// from the header and JSON.
 struct RunInfo {
   std::string bench;
   std::uint64_t seed = 0;
   std::string config;
+  int threads = 0;
+  int shards = 0;
+  int cores_detected = 0;
 };
 
 // The git describe string baked in at configure time ("unknown" outside a

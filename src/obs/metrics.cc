@@ -52,6 +52,20 @@ void HistogramData::Record(std::uint64_t v) {
   sum += v;
 }
 
+void HistogramData::MergeFrom(const HistogramData& other) {
+  if (other.count == 0) return;
+  for (int i = 0; i < kBucketCount; ++i) buckets[i] += other.buckets[i];
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
 std::uint64_t HistogramData::Percentile(double p) const {
   if (count == 0) return 0;
   if (p < 0) p = 0;
@@ -141,7 +155,29 @@ Histogram Registry::histogram(std::string_view name, const Labels& labels) {
 }
 
 std::string Registry::NextInstance(std::string_view module) {
-  return std::to_string(instance_counters_[std::string(module)]++);
+  return instance_namespace_ +
+         std::to_string(instance_counters_[std::string(module)]++);
+}
+
+void Registry::MergeInto(Registry& target) const {
+  for (const Entry& entry : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        target.counter(entry.name, entry.labels).Inc(counters_[entry.slot]);
+        break;
+      case Kind::kGauge:
+        target.gauge(entry.name, entry.labels).Add(gauges_[entry.slot]);
+        break;
+      case Kind::kHistogram: {
+        std::size_t* slot =
+            target.FindOrAdd(entry.name, entry.labels, Kind::kHistogram);
+        if (slot != nullptr) {
+          target.histograms_[*slot].MergeFrom(histograms_[entry.slot]);
+        }
+        break;
+      }
+    }
+  }
 }
 
 void Registry::ResetAll() {

@@ -4,11 +4,17 @@
 //
 // Design constraints, in order:
 //   1. Hot-path cost: a counter bump is one 64-bit add through a pointer
-//      resolved at registration time — no lookup, no branch, no atomic RMW
-//      (the stack is single-threaded by design; determinism depends on it).
+//      resolved at registration time — no lookup, no branch, no atomic RMW.
+//      Parallelism follows the shard-local registry model: each shard of a
+//      parallel run owns one private Registry and one private simulation
+//      stack, every bump stays a plain non-atomic add, and shard registries
+//      are combined after the worker barrier with MergeInto in shard-index
+//      order. No Registry instance is ever touched by two threads.
 //   2. Determinism: instance ids are assigned in construction order and
 //      exports are sorted, so two runs with the same seed produce
-//      byte-identical dumps. Nothing here reads the wall clock.
+//      byte-identical dumps — for any worker-thread count, since merge
+//      order is shard order, not completion order. Nothing here reads the
+//      wall clock.
 //   3. Stability: slots live in deques owned by the registry, so handles
 //      stay valid for the registry's lifetime regardless of how many other
 //      metrics register later.
@@ -95,6 +101,9 @@ struct HistogramData {
   static std::uint64_t BucketUpperBound(int bucket);
 
   void Record(std::uint64_t v);
+  // Accumulates another histogram (bucket-wise add, min/max widen). Used by
+  // instance aggregation in exports and by Registry::MergeInto.
+  void MergeFrom(const HistogramData& other);
   double mean() const {
     return count ? static_cast<double>(sum) / static_cast<double>(count) : 0;
   }
@@ -132,15 +141,18 @@ struct Sample {
 
 // Owns every slot. Handles returned by counter()/gauge()/histogram() remain
 // valid for the registry's lifetime; registering the same (name, labels)
-// twice returns a handle to the same slot. Not thread-safe (see header
-// comment: the simulation stack is single-threaded and deterministic).
+// twice returns a handle to the same slot. A single Registry is not
+// thread-safe; parallel runs give each shard its own instance (see header
+// comment) and combine them with MergeInto after the workers join.
 class Registry {
  public:
   Registry() = default;
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  // The process-wide registry the simulation stack registers into.
+  // The process-wide registry the single-threaded simulation stack registers
+  // into. Shard stacks must never reach it: every component takes an
+  // explicit Registry* precisely so a parallel run can route around this.
   static Registry& Default();
 
   Counter counter(std::string_view name, const Labels& labels = {});
@@ -148,8 +160,26 @@ class Registry {
   Histogram histogram(std::string_view name, const Labels& labels = {});
 
   // Auto-assigned per-module instance label: "0", "1", ... in construction
-  // order (deterministic for a deterministic program).
+  // order (deterministic for a deterministic program), prefixed with the
+  // instance namespace when one is set.
   std::string NextInstance(std::string_view module);
+
+  // Prefixes every subsequently assigned instance label ("s3." → "s3.0",
+  // "s3.1", ...). A shard-local registry sets its shard index here so merged
+  // dumps keep per-shard instances distinct and shard-attributable.
+  void set_instance_namespace(std::string ns) {
+    instance_namespace_ = std::move(ns);
+  }
+  const std::string& instance_namespace() const { return instance_namespace_; }
+
+  // Accumulates every metric of this registry into `target`: counters and
+  // gauges add, histograms merge bucket-wise. Metrics are visited in
+  // registration order and created in `target` on first sight, so merging
+  // shard registries in shard-index order yields the same target contents —
+  // and byte-identical exports — regardless of how many worker threads
+  // executed the shards. Kind conflicts are skipped (same rule as
+  // re-registration).
+  void MergeInto(Registry& target) const;
 
   // Zeroes every slot (counters, gauges, histograms). Registrations are
   // kept, so existing handles stay live.
@@ -179,6 +209,7 @@ class Registry {
   // "name\x1finstance\x1fcls\x1fbucket" -> index into entries_.
   std::unordered_map<std::string, std::size_t> index_;
   std::unordered_map<std::string, std::uint64_t> instance_counters_;
+  std::string instance_namespace_;
 };
 
 }  // namespace rootless::obs

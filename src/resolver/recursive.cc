@@ -27,7 +27,7 @@ RecursiveResolver::RecursiveResolver(sim::Simulator& sim,
       network_(network),
       config_(std::move(options.config)),
       location_(options.location),
-      cache_(config_.cache_capacity),
+      cache_(config_.cache_capacity, options.registry),
       selector_(config_.seed ^ 0x5E1EC7),
       rng_(config_.seed) {
   node_ = network_.AddNode(

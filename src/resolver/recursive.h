@@ -127,11 +127,6 @@ class RecursiveResolver {
 
   RecursiveResolver(sim::Simulator& sim, sim::Network& network,
                     Options options);
-  // Deprecated positional form; prefer the Options constructor.
-  RecursiveResolver(sim::Simulator& sim, sim::Network& network,
-                    ResolverConfig config, topo::GeoPoint location)
-      : RecursiveResolver(sim, network,
-                          Options{std::move(config), location, nullptr}) {}
 
   sim::NodeId node() const { return node_; }
   const topo::GeoPoint& location() const { return location_; }

@@ -94,14 +94,6 @@ class RefreshDaemon {
   };
 
   RefreshDaemon(sim::Simulator& sim, Options options);
-  // Deprecated positional form (single source, no ladder); prefer Options.
-  RefreshDaemon(sim::Simulator& sim, RefreshConfig config, FetchFn fetch,
-                ApplyFn apply, obs::Registry* registry = nullptr)
-      : RefreshDaemon(sim,
-                      Options{config,
-                              {RefreshSource{"fetch", std::move(fetch)}},
-                              std::move(apply),
-                              registry}) {}
 
   // Installs the initial copy (fetched out of band) and schedules refreshes.
   void Start(zone::SnapshotPtr initial);

@@ -1,0 +1,53 @@
+#include "sim/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rootless::sim {
+
+int DetectCores() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void RunShards(int num_shards, int num_threads,
+               const std::function<void(int)>& body) {
+  ROOTLESS_CHECK(num_shards >= 0);
+  if (num_shards == 0) return;
+  if (num_threads <= 0) num_threads = DetectCores();
+  if (num_threads > num_shards) num_threads = num_shards;
+
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(num_shards));
+  std::atomic<int> ticket{0};
+  auto worker = [&] {
+    for (;;) {
+      const int shard = ticket.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= num_shards) return;
+      try {
+        body(shard);
+      } catch (...) {
+        errors[static_cast<std::size_t>(shard)] = std::current_exception();
+      }
+    }
+  };
+
+  if (num_threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace rootless::sim

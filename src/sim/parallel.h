@@ -1,0 +1,35 @@
+// Shard runner for embarrassingly parallel simulation work.
+//
+// The discrete-event Simulator is strictly single-threaded; parallelism in
+// this codebase comes from running *independent* simulations side by side
+// (one per shard, each with its own Simulator, Network, and obs::Registry —
+// see traffic/replay.h). RunShards is the one primitive that touches
+// threads: it executes a shard body for every shard index on a small worker
+// pool and joins before returning.
+//
+// Determinism contract: the body must be a pure function of its shard index
+// (plus read-only shared state). Shards are handed to workers through an
+// atomic ticket counter, so *which* thread runs a shard is scheduling-
+// dependent — any result a caller keeps must be written to a per-shard slot
+// and merged in shard-index order after RunShards returns. Under that
+// discipline the output is bit-identical for every thread count, including 1
+// (num_threads == 1 runs everything inline on the calling thread).
+#pragma once
+
+#include <functional>
+
+namespace rootless::sim {
+
+// Hardware concurrency as reported by the OS; at least 1. Benches record
+// this next to their thread count so speedup numbers are interpretable on
+// machines with fewer cores than shards.
+int DetectCores();
+
+// Runs body(shard) for shard = 0..num_shards-1 using at most num_threads
+// worker threads (num_threads <= 0 means DetectCores()). Blocks until every
+// shard completed. If any body throws, the remaining shards still run and
+// the exception from the lowest-indexed failing shard is rethrown.
+void RunShards(int num_shards, int num_threads,
+               const std::function<void(int)>& body);
+
+}  // namespace rootless::sim

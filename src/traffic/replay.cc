@@ -1,0 +1,189 @@
+#include "traffic/replay.h"
+
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "rootsrv/tld_farm.h"
+#include "sim/network.h"
+#include "sim/parallel.h"
+#include "sim/simulator.h"
+#include "topo/geo_registry.h"
+#include "util/check.h"
+#include "util/civil_time.h"
+#include "zone/evolution.h"
+#include "zone/zone_snapshot.h"
+
+namespace rootless::traffic {
+
+namespace {
+
+// The DITL collection day; fixes the root-zone snapshot the replay serves.
+constexpr util::CivilDate kCollectionDay{2018, 4, 11};
+
+struct ShardOutput {
+  ShardTally tally;
+  resolver::ResolverStats stats;
+  std::uint64_t replayed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_lookups = 0;
+  std::unique_ptr<obs::Registry> registry;
+};
+
+void AddStats(resolver::ResolverStats& into,
+              const resolver::ResolverStats& from) {
+  into.resolutions += from.resolutions;
+  into.answered_from_cache += from.answered_from_cache;
+  into.root_transactions += from.root_transactions;
+  into.local_root_lookups += from.local_root_lookups;
+  into.tld_transactions += from.tld_transactions;
+  into.full_qname_exposures += from.full_qname_exposures;
+  into.handshakes += from.handshakes;
+  into.nxdomain += from.nxdomain;
+  into.negative_hits += from.negative_hits;
+  into.manipulation_detected += from.manipulation_detected;
+  into.timeouts += from.timeouts;
+  into.failures += from.failures;
+  into.retries += from.retries;
+}
+
+// Issues each chunk event at its (compressed) trace timestamp; one sim event
+// per distinct second, like the hotpath bench's ReplayPump.
+struct ChunkPump {
+  sim::Simulator* sim;
+  resolver::RecursiveResolver* r;
+  const std::vector<QueryEvent>* events;
+  const std::vector<dns::Name>* qnames;
+  std::uint32_t compression;
+  std::size_t* next;
+  const resolver::RecursiveResolver::ResolveCallback* on_done;
+
+  void operator()() const {
+    const std::uint32_t now_sec = (*events)[*next].time_sec;
+    while (*next < events->size() && (*events)[*next].time_sec == now_sec) {
+      r->Resolve((*qnames)[(*events)[*next].tld], dns::RRType::kA, *on_done);
+      ++*next;
+    }
+    if (*next < events->size()) {
+      const sim::SimTime when =
+          static_cast<sim::SimTime>((*events)[*next].time_sec) * sim::kSecond /
+          compression;
+      sim->ScheduleAt(when > sim->now() ? when : sim->now(), *this);
+    }
+  }
+};
+
+ShardOutput RunOneShard(const ReplayOptions& options, const ShardPlan& plan,
+                        int shard,
+                        const std::vector<std::string>& real_tlds,
+                        const zone::SnapshotPtr& snapshot) {
+  ShardOutput out;
+  out.registry = std::make_unique<obs::Registry>();
+  out.registry->set_instance_namespace("s" + std::to_string(shard) + ".");
+  obs::Registry& reg = *out.registry;
+
+  // A complete private stack; every seed derives from (stack_seed, shard).
+  const std::uint64_t salt = static_cast<std::uint64_t>(shard) + 1;
+  sim::Simulator sim(sim::QueuePolicy::kCalendar);
+  sim::Network net(sim, options.stack_seed ^ (salt * 0x9E3779B97F4A7C15ULL),
+                   &reg);
+  topo::GeoRegistry geo;
+  net.set_latency_fn(geo.LatencyFn());
+  rootsrv::TldFarm farm(net, geo, *snapshot,
+                        options.stack_seed ^ (salt * 0xC2B2AE3D27D4EB4FULL));
+
+  resolver::ResolverConfig rconfig;
+  rconfig.mode = options.mode;
+  rconfig.seed = options.stack_seed ^ (salt * 0xD6E8FEB86659FD93ULL);
+  const topo::GeoPoint where{48.85, 2.35};
+  resolver::RecursiveResolver r(sim, net,
+                                {rconfig, where, &reg});
+  geo.SetLocation(r.node(), where);
+  r.SetTldFarm(&farm);
+  r.SetLocalZone(snapshot);
+
+  ShardTraceGenerator gen(options.workload, plan, shard, real_tlds);
+  // Per-shard qnames: building them here keeps the hot resolve loop free of
+  // any cross-thread cache-line sharing (dns::Name's lazy hash cache is a
+  // relaxed atomic, so sharing would be safe but contended).
+  std::vector<dns::Name> qnames;
+  qnames.reserve(gen.tlds().size());
+  for (std::size_t id = 0; id < gen.tlds().size(); ++id) {
+    auto n = dns::Name::Parse(
+        "www." + gen.tlds().LabelOf(static_cast<TldId>(id)) + ".");
+    qnames.push_back(n.ok() ? *n : dns::Name());
+  }
+
+  std::uint64_t done = 0;
+  const resolver::RecursiveResolver::ResolveCallback on_done =
+      [&done](const resolver::ResolutionResult&) { ++done; };
+
+  ShardChunk chunk;
+  while (gen.NextChunk(chunk)) {
+    if (chunk.events.empty()) continue;
+    std::size_t next = 0;
+    const sim::SimTime first =
+        static_cast<sim::SimTime>(chunk.events.front().time_sec) *
+        sim::kSecond / options.time_compression;
+    sim.ScheduleAt(first > sim.now() ? first : sim.now(),
+                   ChunkPump{&sim, &r, &chunk.events, &qnames,
+                             options.time_compression, &next, &on_done});
+    sim.Run();
+  }
+
+  out.tally = gen.tally();
+  out.stats = r.stats();
+  out.replayed = done;
+  const resolver::CacheStats cache = r.cache().stats();
+  out.cache_hits = cache.hits;
+  out.cache_lookups = cache.hits + cache.misses + cache.expired;
+  return out;
+}
+
+}  // namespace
+
+ReplayOutcome RunShardedReplay(const ReplayOptions& options) {
+  ROOTLESS_CHECK(options.num_shards >= 1);
+  ROOTLESS_CHECK(options.time_compression >= 1);
+  // Modes needing an AuthServer/RootServerFleet would race on the global
+  // default registry; see the header.
+  ROOTLESS_CHECK(options.mode == resolver::RootMode::kOnDemandZoneFile ||
+                 options.mode == resolver::RootMode::kCachePreload);
+  const int threads = options.num_threads > 0 ? options.num_threads
+                                              : sim::DetectCores();
+
+  // Shared immutable state, built once.
+  const zone::RootZoneModel zone_model;
+  std::vector<std::string> real_tlds;
+  for (const auto* tld : zone_model.ActiveTlds(kCollectionDay)) {
+    real_tlds.push_back(tld->label);
+  }
+  const zone::SnapshotPtr snapshot =
+      zone::ZoneSnapshot::Build(zone_model.Snapshot(kCollectionDay));
+  const ShardPlan plan = MakeShardPlan(options.workload, options.num_shards);
+
+  std::vector<ShardOutput> outputs(
+      static_cast<std::size_t>(options.num_shards));
+  sim::RunShards(options.num_shards, threads, [&](int shard) {
+    outputs[static_cast<std::size_t>(shard)] =
+        RunOneShard(options, plan, shard, real_tlds, snapshot);
+  });
+
+  // Merge strictly in shard-index order: the aggregate is then independent
+  // of which worker ran which shard.
+  ReplayOutcome outcome;
+  outcome.metrics = std::make_unique<obs::Registry>();
+  outcome.shards = options.num_shards;
+  outcome.threads = threads;
+  for (const ShardOutput& o : outputs) {
+    outcome.tally.MergeFrom(o.tally);
+    AddStats(outcome.resolver, o.stats);
+    outcome.replayed += o.replayed;
+    outcome.cache_hits += o.cache_hits;
+    outcome.cache_lookups += o.cache_lookups;
+    o.registry->MergeInto(*outcome.metrics);
+  }
+  return outcome;
+}
+
+}  // namespace rootless::traffic

@@ -1,0 +1,77 @@
+// Sharded parallel DITL replay engine.
+//
+// Replays a §2.2-calibrated day through full resolver stacks, split into K
+// independent shards (traffic/shard.h) executed on a worker-thread pool
+// (sim/parallel.h). Each shard owns a complete private stack — Simulator,
+// Network, GeoRegistry, TldFarm, RecursiveResolver, and its own
+// obs::Registry — so nothing mutable is shared between threads and every
+// stats bump stays a plain non-atomic add. Shards share only immutable
+// state: the root-zone ZoneSnapshot (refcounted, read-only) and the real-TLD
+// label list.
+//
+// Determinism: a shard's entire run is a pure function of (options, shard
+// index). After the pool joins, per-shard tallies and registries are merged
+// in shard-index order, so the aggregate output — classification counts,
+// resolver stats, and the merged metrics dump — is bit-identical for every
+// thread count, including 1. Across different *shard counts* K the
+// generated workload and its classification tallies are invariant too
+// (per-resolver RNG streams); resolver-side stats legitimately vary with K
+// because K stacks mean K caches.
+//
+// Only the local-root modes (kOnDemandZoneFile, kCachePreload) are
+// supported: they need no AuthServer or RootServerFleet, the two components
+// that still register into the global obs::Registry::Default().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "obs/metrics.h"
+#include "resolver/recursive.h"
+#include "traffic/shard.h"
+#include "traffic/workload.h"
+
+namespace rootless::traffic {
+
+struct ReplayOptions {
+  WorkloadConfig workload;
+  int num_shards = 1;
+  int num_threads = 1;  // <= 0: one per detected core
+  resolver::RootMode mode = resolver::RootMode::kOnDemandZoneFile;
+  // Seeds the per-shard resolver/network/farm RNG streams (each shard
+  // derives its own, independent of thread scheduling).
+  std::uint64_t stack_seed = 77;
+  // Sim-time compression relative to the trace's wall clock (600x, like the
+  // hotpath bench: a day replays in ~144 sim-seconds, so cached referrals
+  // and negative entries still expire realistically relative to each other).
+  std::uint32_t time_compression = 600;
+};
+
+struct ReplayOutcome {
+  // Generation-side ground truth + streamed §2.2 classification, summed over
+  // shards (invariant across K and thread count).
+  ShardTally tally;
+  // Resolver-side counters summed over shards (invariant across thread
+  // count at fixed K).
+  resolver::ResolverStats resolver;
+  std::uint64_t replayed = 0;  // resolution callbacks fired
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_lookups = 0;
+  // Every shard's metrics merged in shard-index order (instance labels are
+  // namespaced "s<shard>.", so per-shard series stay distinguishable).
+  std::unique_ptr<obs::Registry> metrics;
+  int shards = 0;
+  int threads = 0;
+
+  TrafficMixReport mix() const { return tally.ToReport(); }
+  double cache_hit_rate() const {
+    return cache_lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(cache_lookups);
+  }
+};
+
+ReplayOutcome RunShardedReplay(const ReplayOptions& options);
+
+}  // namespace rootless::traffic

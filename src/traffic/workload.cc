@@ -99,9 +99,10 @@ Trace GenerateDitlTrace(const WorkloadConfig& config,
   for (std::uint64_t q = 0; q < bogus_target; ++q) {
     QueryEvent e;
     e.time_sec = sample_time();
-    // 35% of bogus volume comes from the bogus-only population, the rest
-    // from regular resolvers (leaked suffixes, misconfigurations).
-    if (bogus_only_count > 0 && rng.Chance(0.35)) {
+    // A fixed share of the bogus volume comes from the bogus-only
+    // population, the rest from regular resolvers (leaked suffixes,
+    // misconfigurations).
+    if (bogus_only_count > 0 && rng.Chance(config.bogus_only_volume_share)) {
       e.resolver_id = static_cast<std::uint32_t>(rng.Below(bogus_only_count));
       const auto& vocab = junk_vocab[e.resolver_id];
       e.tld = vocab[rng.Below(vocab.size())];

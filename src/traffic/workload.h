@@ -34,6 +34,9 @@ struct WorkloadConfig {
   std::uint64_t full_scale_resolvers = 4'100'000ULL;
   double bogus_query_fraction = 0.610;     // §2.2: 61.0% bogus TLDs
   double bogus_only_resolver_fraction = 0.176;  // 723K / 4.1M
+  // Share of the bogus volume emitted by the bogus-only population (the
+  // rest is leaked suffixes / misconfiguration from regular resolvers).
+  double bogus_only_volume_share = 0.35;
 
   // Valid-traffic repetition: mean queries per (resolver,TLD) pair and mean
   // number of distinct 15-minute slots those queries occupy.

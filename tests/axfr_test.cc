@@ -30,7 +30,7 @@ struct Env {
     net.set_latency_fn(registry.LatencyFn());
     current = zone::ZoneSnapshot::Build(model.Snapshot({2019, 6, 7}));
     server = std::make_unique<AxfrServer>(net, [this]() { return current; });
-    client = std::make_unique<AxfrClient>(sim, net);
+    client = std::make_unique<AxfrClient>(sim, net, AxfrClient::Options{});
     registry.SetLocation(server->node(), {40, -74});
     registry.SetLocation(client->node(), {48, 2});
   }

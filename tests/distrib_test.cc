@@ -256,7 +256,7 @@ TEST(FetchService, DeliversZoneAfterTransferTime) {
   const zone::RootZoneModel model;
   auto zone_ptr = zone::ZoneSnapshot::Build(model.Snapshot({2019, 4, 1}));
   FetchServiceConfig config;
-  ZoneFetchService service(sim, config, [&]() { return zone_ptr; });
+  ZoneFetchService service(sim, {config, [&]() { return zone_ptr; }});
 
   bool delivered = false;
   service.Fetch([&](ZoneFetchService::FetchResult result) {
@@ -275,7 +275,7 @@ TEST(FetchService, DeliversZoneAfterTransferTime) {
 TEST(FetchService, OutageWindowFails) {
   sim::Simulator sim;
   auto zone_ptr = zone::ZoneSnapshot::Build(zone::Zone());
-  ZoneFetchService service(sim, {}, [&]() { return zone_ptr; });
+  ZoneFetchService service(sim, {{}, [&]() { return zone_ptr; }});
   service.AddOutage(0, sim::kHour);
 
   bool failed = false;
@@ -288,7 +288,7 @@ TEST(FetchService, OutageWindowFails) {
 
   // After the outage, fetches succeed.
   sim::Simulator sim2;
-  ZoneFetchService service2(sim2, {}, [&]() { return zone_ptr; });
+  ZoneFetchService service2(sim2, {{}, [&]() { return zone_ptr; }});
   service2.AddOutage(sim::kHour, 2 * sim::kHour);
   bool ok = false;
   service2.Fetch(
@@ -323,8 +323,8 @@ TEST(FetchService, ValidatesSignedZone) {
   config.verify_signatures = true;
   config.validation_now = 500;
   ZoneFetchService service(
-      sim, config,
-      [&]() { return zone::ZoneSnapshot::Build(*signed_zone); });
+      sim,
+      {config, [&]() { return zone::ZoneSnapshot::Build(*signed_zone); }});
   service.SetTrust(zsk.dnskey, store);
 
   bool ok = false;

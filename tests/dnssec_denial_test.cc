@@ -203,8 +203,9 @@ struct AttackEnv {
     config.validate_denials = validate;
     config.validation_now = 5000;
     config.max_retries = 2;
-    auto r = std::make_unique<resolver::RecursiveResolver>(sim, net, config,
-                                                           topo::GeoPoint{40, -74});
+    auto r = std::make_unique<resolver::RecursiveResolver>(
+        sim, net,
+        resolver::RecursiveResolver::Options{config, topo::GeoPoint{40, -74}});
     registry.SetLocation(r->node(), {48, 2});
     r->SetTldFarm(farm.get());
     r->SetLoopbackNode(root->node());
@@ -321,8 +322,8 @@ TEST(ResolverValidation, LocalRootModeIsImmuneToOnPathCensor) {
   // censor never gets a shot.
   resolver::ResolverConfig config;
   config.mode = resolver::RootMode::kCachePreload;
-  resolver::RecursiveResolver r(env.sim, env.net, config,
-                                topo::GeoPoint{48, 2});
+  resolver::RecursiveResolver r(env.sim, env.net,
+                                {config, topo::GeoPoint{48, 2}});
   env.registry.SetLocation(r.node(), {48, 2});
   r.SetTldFarm(env.farm.get());
   r.SetLocalZone(env.signed_snapshot);

@@ -519,30 +519,5 @@ TEST(ServeStale, LadderFallsThroughAndServesStale) {
   EXPECT_EQ(stats.hard_expirations, 1u);  // counted once per lapse
 }
 
-TEST(ServeStale, SingleSourceShimKeepsHistoricalBehavior) {
-  // The deprecated positional constructor (single source, None policy) must
-  // behave exactly like the pre-ladder daemon: one attempt per round.
-  sim::Simulator sim;
-  const zone::RootZoneModel model;
-  const zone::SnapshotPtr snapshot =
-      zone::ZoneSnapshot::Build(model.Snapshot({2018, 4, 11}));
-  int calls = 0;
-  resolver::RefreshDaemon daemon(
-      sim, resolver::RefreshConfig{},
-      [&](std::function<void(resolver::RefreshDaemon::FetchResult)> done) {
-        ++calls;
-        done(snapshot);
-      },
-      [](zone::SnapshotPtr) {});
-  daemon.Start(snapshot);
-  sim.RunUntil(5 * sim::kDay);
-  const auto stats = daemon.stats();
-  EXPECT_EQ(stats.retries, 0u);
-  EXPECT_EQ(stats.fallbacks, 0u);
-  EXPECT_EQ(stats.fetch_attempts, static_cast<std::uint64_t>(calls));
-  // Refreshes fire at 42h-cadence leads: two full rounds inside 5 days.
-  EXPECT_GE(stats.refreshes, 2u);
-}
-
 }  // namespace
 }  // namespace rootless

@@ -61,11 +61,11 @@ TEST(Integration, SignedZoneDistributedAndServedLocally) {
   fetch_config.verify_signatures = true;
   fetch_config.validation_now = 1'000'000'000;
   distrib::ZoneFetchService service(
-      sim, fetch_config, [&]() {
-        const auto date = util::AddDays(
-            start_date, sim.now() / sim::kDay);
-        return publish(date);
-      });
+      sim, {fetch_config, [&]() {
+              const auto date = util::AddDays(
+                  start_date, sim.now() / sim::kDay);
+              return publish(date);
+            }});
   service.SetTrust(zsk.dnskey, trust);
 
   // Resolver side.
@@ -75,20 +75,22 @@ TEST(Integration, SignedZoneDistributedAndServedLocally) {
   resolver::ResolverConfig config;
   config.mode = resolver::RootMode::kOnDemandZoneFile;
   config.seed = 1;
-  resolver::RecursiveResolver resolver(sim, net, config,
-                                       topo::GeoPoint{48.85, 2.35});
+  resolver::RecursiveResolver resolver(sim, net,
+                                       {config, topo::GeoPoint{48.85, 2.35}});
   registry.SetLocation(resolver.node(), {48.85, 2.35});
   resolver.SetTldFarm(&farm);
 
   resolver::RefreshDaemon daemon(
-      sim, resolver::RefreshConfig{},
-      [&](std::function<void(resolver::RefreshDaemon::FetchResult)> done) {
-        service.Fetch(std::move(done));
-      },
-      [&](zone::SnapshotPtr z) {
-        resolver.SetLocalZone(z);
-        farm.RefreshAddresses(*z);
-      });
+      sim,
+      {resolver::RefreshConfig{},
+       {{"fetch",
+         [&](std::function<void(resolver::RefreshDaemon::FetchResult)> done) {
+           service.Fetch(std::move(done));
+         }}},
+       [&](zone::SnapshotPtr z) {
+         resolver.SetLocalZone(z);
+         farm.RefreshAddresses(*z);
+       }});
   daemon.Start(initial);
 
   // Drive lookups across ten simulated days; the daemon refreshes the zone
@@ -184,27 +186,29 @@ TEST(Integration, RefreshDaemonOverAxfrTransport) {
   const util::CivilDate start_date{2019, 6, 1};
   auto current = zone::ZoneSnapshot::Build(model.Snapshot(start_date));
   distrib::AxfrServer server(net, [&]() { return current; });
-  distrib::AxfrClient client(sim, net);
+  distrib::AxfrClient client(sim, net, {});
   registry.SetLocation(server.node(), {40, -74});
   registry.SetLocation(client.node(), {48, 2});
 
   std::uint32_t applied_serial = 0;
   resolver::RefreshDaemon daemon(
-      sim, resolver::RefreshConfig{},
-      [&](std::function<void(resolver::RefreshDaemon::FetchResult)> done) {
-        client.Fetch(server.node(), applied_serial,
-                     [done = std::move(done), &current](
-                         util::Result<zone::SnapshotPtr> result) {
-                       if (!result.ok()) {
-                         done(result.error());
-                       } else if (*result == nullptr) {
-                         done(current);  // up to date: keep serving
-                       } else {
-                         done(std::move(*result));
-                       }
-                     });
-      },
-      [&](zone::SnapshotPtr z) { applied_serial = z->Serial(); });
+      sim,
+      {resolver::RefreshConfig{},
+       {{"axfr",
+         [&](std::function<void(resolver::RefreshDaemon::FetchResult)> done) {
+           client.Fetch(server.node(), applied_serial,
+                        [done = std::move(done), &current](
+                            util::Result<zone::SnapshotPtr> result) {
+                          if (!result.ok()) {
+                            done(result.error());
+                          } else if (*result == nullptr) {
+                            done(current);  // up to date: keep serving
+                          } else {
+                            done(std::move(*result));
+                          }
+                        });
+         }}},
+       [&](zone::SnapshotPtr z) { applied_serial = z->Serial(); }});
   daemon.Start(current);
   EXPECT_EQ(applied_serial, current->Serial());
 

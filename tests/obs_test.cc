@@ -229,7 +229,7 @@ TEST(ObsTracer, ResolutionLifecycleSpans) {
   resolver::ResolverConfig rconfig;
   rconfig.mode = resolver::RootMode::kOnDemandZoneFile;
   rconfig.seed = 3;
-  resolver::RecursiveResolver r(sim, net, rconfig, {0, 0});
+  resolver::RecursiveResolver r(sim, net, {rconfig, {0, 0}});
   r.SetTldFarm(&farm);
   r.SetLocalZone(snapshot);
 
@@ -348,15 +348,17 @@ TEST(ObsPorts, RefreshDaemonStatsTransitions) {
   std::uint64_t applies = 0;
   auto zone_ptr = zone::ZoneSnapshot::Build(zone::Zone());
   resolver::RefreshDaemon daemon(
-      sim, config,
-      [&](std::function<void(resolver::RefreshDaemon::FetchResult)> done) {
-        if (fail) {
-          done(util::Error("mirror down"));
-        } else {
-          done(zone_ptr);
-        }
-      },
-      [&](zone::SnapshotPtr) { ++applies; });
+      sim,
+      {config,
+       {{"fetch",
+         [&](std::function<void(resolver::RefreshDaemon::FetchResult)> done) {
+           if (fail) {
+             done(util::Error("mirror down"));
+           } else {
+             done(zone_ptr);
+           }
+         }}},
+       [&](zone::SnapshotPtr) { ++applies; }});
 
   daemon.Start(zone_ptr);
   EXPECT_EQ(applies, 1u);
@@ -415,7 +417,7 @@ TEST(ObsPorts, RefreshDaemonStatsTransitions) {
 TEST(ObsPorts, FetchServiceOutageAccounting) {
   sim::Simulator sim;
   auto zone_ptr = zone::ZoneSnapshot::Build(zone::Zone());
-  distrib::ZoneFetchService service(sim, {}, [&]() { return zone_ptr; });
+  distrib::ZoneFetchService service(sim, {{}, [&]() { return zone_ptr; }});
   service.AddOutage(0, sim::kHour);
 
   int failures = 0, successes = 0;
@@ -458,7 +460,7 @@ TEST(ObsPorts, FetchServiceVerifyFailureAccounting) {
   config.verify_signatures = true;
   config.validation_now = 500;
   distrib::ZoneFetchService service(
-      sim, config, [&]() { return zone::ZoneSnapshot::Build(plain); });
+      sim, {config, [&]() { return zone::ZoneSnapshot::Build(plain); }});
   service.SetTrust(zsk.dnskey, store);
 
   bool ok = true;

@@ -485,15 +485,17 @@ TEST_P(RefreshLeadProperty, OutageShorterThanLeadNeverExpires) {
   const sim::SimTime outage_end =
       outage_start + (lead_hours - 1) * sim::kHour;  // shorter than the lead
   resolver::RefreshDaemon daemon(
-      sim, config,
-      [&](std::function<void(resolver::RefreshDaemon::FetchResult)> done) {
-        if (sim.now() >= outage_start && sim.now() < outage_end) {
-          done(util::Error("outage"));
-        } else {
-          done(zone::ZoneSnapshot::Build(zone::Zone()));
-        }
-      },
-      [](zone::SnapshotPtr) {});
+      sim,
+      {config,
+       {{"fetch",
+         [&](std::function<void(resolver::RefreshDaemon::FetchResult)> done) {
+           if (sim.now() >= outage_start && sim.now() < outage_end) {
+             done(util::Error("outage"));
+           } else {
+             done(zone::ZoneSnapshot::Build(zone::Zone()));
+           }
+         }}},
+       [](zone::SnapshotPtr) {}});
   daemon.Start(zone::ZoneSnapshot::Build(zone::Zone()));
   sim.RunUntil(4 * sim::kDay);
   EXPECT_EQ(daemon.stats().expirations, 0u) << lead_hours;

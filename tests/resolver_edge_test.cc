@@ -65,8 +65,8 @@ struct Env {
     ResolverConfig config;
     config.mode = mode;
     config.seed = 2;
-    auto r = std::make_unique<RecursiveResolver>(sim, net, config,
-                                                 topo::GeoPoint{48, 2});
+    auto r = std::make_unique<RecursiveResolver>(
+        sim, net, RecursiveResolver::Options{config, topo::GeoPoint{48, 2}});
     registry.SetLocation(r->node(), {48, 2});
     r->SetTldFarm(farm.get());
     if (mode == RootMode::kLoopbackAuth) {
@@ -184,7 +184,7 @@ TEST(ResolverEdge, SelectorConvergesOnNearbyLetter) {
   config.mode = RootMode::kRootServers;
   config.seed = 10;
   const topo::GeoPoint where{48.85, 2.35};
-  RecursiveResolver r(sim, net, config, where);
+  RecursiveResolver r(sim, net, {config, where});
   registry.SetLocation(r.node(), where);
   r.SetTldFarm(&farm);
   r.SetRootFleet(&fleet);
@@ -238,7 +238,7 @@ TEST(ResolverEdge, EncryptedTransportPaysHandshakeOnce) {
   config.mode = RootMode::kLoopbackAuth;
   config.encrypted_transport = true;
   config.seed = 3;
-  RecursiveResolver r(env.sim, env.net, config, topo::GeoPoint{48, 2});
+  RecursiveResolver r(env.sim, env.net, {config, topo::GeoPoint{48, 2}});
   env.registry.SetLocation(r.node(), {48, 2});
   r.SetTldFarm(env.farm.get());
   r.SetLoopbackNode(env.root->node());
@@ -270,8 +270,9 @@ TEST(ResolverEdge, EncryptedTransportSlowerThanUdpWhenCold) {
     config.mode = RootMode::kOnDemandZoneFile;
     config.encrypted_transport = encrypted;
     config.seed = 5;
-    auto r = std::make_unique<RecursiveResolver>(env.sim, env.net, config,
-                                                 topo::GeoPoint{48, 2});
+    auto r = std::make_unique<RecursiveResolver>(
+        env.sim, env.net,
+        RecursiveResolver::Options{config, topo::GeoPoint{48, 2}});
     env.registry.SetLocation(r->node(), {48, 2});
     r->SetTldFarm(env.farm.get());
     r->SetLocalZone(env.root_snapshot);

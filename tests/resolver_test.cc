@@ -237,7 +237,8 @@ struct E2E {
     ResolverConfig config;
     config.mode = mode;
     config.seed = 77;
-    auto r = std::make_unique<RecursiveResolver>(sim, net, config, where);
+    auto r = std::make_unique<RecursiveResolver>(
+        sim, net, RecursiveResolver::Options{config, where});
     registry.SetLocation(r->node(), where);
     r->SetTldFarm(farm.get());
     switch (mode) {
@@ -373,7 +374,7 @@ TEST(Recursive, QnameMinimizationSendsOnlyTldToRoot) {
   config.qname_minimization = true;
   config.seed = 3;
   const topo::GeoPoint where{48.85, 2.35};
-  RecursiveResolver r(e2e.sim, e2e.net, config, where);
+  RecursiveResolver r(e2e.sim, e2e.net, {config, where});
   e2e.registry.SetLocation(r.node(), where);
   r.SetTldFarm(e2e.farm.get());
   r.SetRootFleet(e2e.fleet.get());
@@ -399,7 +400,7 @@ TEST(Recursive, TimeoutRetriesAnotherLetter) {
   config.seed = 5;
   config.max_retries = 10;
   const topo::GeoPoint where{48.85, 2.35};
-  RecursiveResolver r(e2e.sim, e2e.net, config, where);
+  RecursiveResolver r(e2e.sim, e2e.net, {config, where});
   e2e.registry.SetLocation(r.node(), where);
   r.SetTldFarm(e2e.farm.get());
   r.SetRootFleet(e2e.fleet.get());
@@ -426,7 +427,7 @@ TEST(Recursive, ExhaustedRetriesFail) {
   config.seed = 5;
   config.max_retries = 2;
   const topo::GeoPoint where{48.85, 2.35};
-  RecursiveResolver r(e2e.sim, e2e.net, config, where);
+  RecursiveResolver r(e2e.sim, e2e.net, {config, where});
   e2e.registry.SetLocation(r.node(), where);
   r.SetTldFarm(e2e.farm.get());
   r.SetRootFleet(e2e.fleet.get());
@@ -451,14 +452,16 @@ TEST(RefreshDaemon, RefreshesBeforeExpiry) {
   sim::Simulator sim;
   int fetches = 0, applies = 0;
   RefreshDaemon daemon(
-      sim, RefreshConfig{},
-      [&](std::function<void(RefreshDaemon::FetchResult)> done) {
-        ++fetches;
-        sim.Schedule(sim::kMinute, [done = std::move(done)]() {
-          done(zone::ZoneSnapshot::Build(zone::Zone()));
-        });
-      },
-      [&](zone::SnapshotPtr) { ++applies; });
+      sim,
+      {RefreshConfig{},
+       {{"fetch",
+         [&](std::function<void(RefreshDaemon::FetchResult)> done) {
+           ++fetches;
+           sim.Schedule(sim::kMinute, [done = std::move(done)]() {
+             done(zone::ZoneSnapshot::Build(zone::Zone()));
+           });
+         }}},
+       [&](zone::SnapshotPtr) { ++applies; }});
   daemon.Start(zone::ZoneSnapshot::Build(zone::Zone()));
   EXPECT_EQ(applies, 1);
   sim.RunUntil(10 * sim::kDay);
@@ -476,15 +479,17 @@ TEST(RefreshDaemon, RetriesDuringOutageWithoutExpiring) {
     return sim.now() >= 40 * sim::kHour && sim.now() < 45 * sim::kHour;
   };
   RefreshDaemon daemon(
-      sim, RefreshConfig{},
-      [&](std::function<void(RefreshDaemon::FetchResult)> done) {
-        if (in_outage()) {
-          done(util::Error("outage"));
-        } else {
-          done(zone::ZoneSnapshot::Build(zone::Zone()));
-        }
-      },
-      [](zone::SnapshotPtr) {});
+      sim,
+      {RefreshConfig{},
+       {{"fetch",
+         [&](std::function<void(RefreshDaemon::FetchResult)> done) {
+           if (in_outage()) {
+             done(util::Error("outage"));
+           } else {
+             done(zone::ZoneSnapshot::Build(zone::Zone()));
+           }
+         }}},
+       [](zone::SnapshotPtr) {}});
   daemon.Start(zone::ZoneSnapshot::Build(zone::Zone()));
   sim.RunUntil(3 * sim::kDay);
   // The paper's point: with a 6h lead there is room to retry through a
@@ -501,15 +506,17 @@ TEST(RefreshDaemon, LongOutageExpiresZone) {
     return sim.now() >= 40 * sim::kHour && sim.now() < 80 * sim::kHour;
   };
   RefreshDaemon daemon(
-      sim, RefreshConfig{},
-      [&](std::function<void(RefreshDaemon::FetchResult)> done) {
-        if (in_outage()) {
-          done(util::Error("outage"));
-        } else {
-          done(zone::ZoneSnapshot::Build(zone::Zone()));
-        }
-      },
-      [](zone::SnapshotPtr) {});
+      sim,
+      {RefreshConfig{},
+       {{"fetch",
+         [&](std::function<void(RefreshDaemon::FetchResult)> done) {
+           if (in_outage()) {
+             done(util::Error("outage"));
+           } else {
+             done(zone::ZoneSnapshot::Build(zone::Zone()));
+           }
+         }}},
+       [](zone::SnapshotPtr) {}});
   daemon.Start(zone::ZoneSnapshot::Build(zone::Zone()));
   sim.RunUntil(48 * sim::kHour - 1);
   EXPECT_TRUE(daemon.zone_valid());
