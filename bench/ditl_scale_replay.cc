@@ -187,9 +187,18 @@ int main(int argc, char** argv) {
   }
 
   const double base_qps = thread_runs.front().qps;
+  const double base_seconds = thread_runs.front().seconds;
+  // seconds·threads / single-thread seconds: total core-time spent relative
+  // to the 1-thread run. 1.0 = perfect scaling (K threads cost exactly K×
+  // one shard's work each, finishing in 1/K the time); values above 1
+  // measure what the extra stacks, contention and scheduling overhead cost.
+  const auto per_thread_overhead = [&](const RunRecord& record) {
+    return record.seconds * record.threads / base_seconds;
+  };
   for (const RunRecord& record : thread_runs) {
-    std::printf("speedup @%d threads: %.2fx\n", record.threads,
-                record.qps / base_qps);
+    std::printf("speedup @%d threads: %.2fx (per-thread overhead %.2fx)\n",
+                record.threads, record.qps / base_qps,
+                per_thread_overhead(record));
   }
   if (cores >= 8) {
     Require(thread_runs.back().qps / base_qps >= 3.0,
@@ -221,7 +230,8 @@ int main(int argc, char** argv) {
     const RunRecord& record = thread_runs[i];
     out << "    {\"threads\": " << record.threads
         << ", \"seconds\": " << record.seconds << ", \"qps\": " << record.qps
-        << ", \"speedup\": " << record.qps / base_qps << "}"
+        << ", \"speedup\": " << record.qps / base_qps
+        << ", \"per_thread_overhead\": " << per_thread_overhead(record) << "}"
         << (i + 1 < thread_runs.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"determinism\": {\"thread_invariant\": true, "

@@ -10,6 +10,7 @@
 // With --baseline the previous run's metrics are embedded under "baseline"
 // and per-metric speedups are computed, so a committed JSON documents both
 // the seed numbers and the current ones.
+#include <cctype>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -183,6 +184,30 @@ double BenchNameHash() {
   });
 }
 
+double BenchNameEqual() {
+  // Full fold-insensitive equality: the pairs differ only by case, so the
+  // cached hashes agree and every comparison runs the label-by-label SIMD
+  // fold-compare (the path ZoneDb lookups and cache probe confirms take).
+  const auto pool = NamePool(256);
+  std::vector<dns::Name> lower;
+  std::vector<dns::Name> upper;
+  lower.reserve(pool.size());
+  upper.reserve(pool.size());
+  for (const auto& s : pool) {
+    std::string u = s;
+    for (char& c : u) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    lower.push_back(*dns::Name::Parse(s));
+    upper.push_back(*dns::Name::Parse(u));
+  }
+  return MeasureNsPerOp([&](std::uint64_t iters) {
+    std::size_t eq = 0;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      eq += lower[i & 255] == upper[i & 255];
+    }
+    if (eq == 1) std::printf("impossible\n");
+  });
+}
+
 double BenchCacheGetHit() {
   resolver::DnsCache cache;
   for (const auto& s : RootZone().AllRRsets()) cache.Put(s, 0);
@@ -200,6 +225,28 @@ double BenchCacheGetHit() {
   });
 }
 
+double BenchCacheProbeMiss() {
+  // The resolver's dominant probe in local-root mode is negative: "is this
+  // TLD's referral cached?" for a name that is not there. Fill the cache
+  // with the root zone, then probe keys that can never hit.
+  resolver::DnsCache cache;
+  for (const auto& s : RootZone().AllRRsets()) cache.Put(s, 0);
+  const auto pool = NamePool(1024);
+  std::vector<dns::RRsetKey> keys;
+  keys.reserve(pool.size());
+  for (const auto& s : pool) {
+    keys.push_back(dns::RRsetKey{*dns::Name::Parse(s), dns::RRType::kA,
+                                 dns::RRClass::kIN});
+  }
+  return MeasureNsPerOp([&](std::uint64_t iters) {
+    std::size_t hits = 0;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      hits += cache.Get(keys[i & 1023], 1) != nullptr;
+    }
+    if (hits != 0) std::printf("impossible\n");
+  });
+}
+
 double BenchCachePut() {
   const auto rrsets = RootZone().AllRRsets();
   resolver::DnsCache cache(8192);
@@ -207,6 +254,29 @@ double BenchCachePut() {
   return MeasureNsPerOp([&](std::uint64_t iters) {
     for (std::uint64_t k = 0; k < iters; ++k) {
       cache.Put(rrsets[i++ % rrsets.size()], 0);
+    }
+  });
+}
+
+double BenchCachePutCold() {
+  // Cold inserts at capacity: a pool 8x the cache size means every Put is a
+  // first-sight key — probe to empty, claim a slot, evict the LRU victim.
+  // This is the steady-state churn path of a bounded resolver cache.
+  constexpr std::size_t kPool = 65536;
+  std::vector<dns::RRset> pool;
+  pool.reserve(kPool);
+  for (std::size_t i = 0; i < kPool; ++i) {
+    dns::RRset set;
+    set.name = *dns::Name::Parse("h" + std::to_string(i) + ".example.com.");
+    set.ttl = 3600;
+    set.rdatas.push_back(dns::AData{});
+    pool.push_back(std::move(set));
+  }
+  resolver::DnsCache cache(8192);
+  std::size_t i = 0;
+  return MeasureNsPerOp([&](std::uint64_t iters) {
+    for (std::uint64_t k = 0; k < iters; ++k) {
+      cache.Put(pool[i++ & (kPool - 1)], 0);
     }
   });
 }
@@ -620,11 +690,21 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   };
   std::printf("%-28s %12s\n", "metric", "value");
+  // The end-to-end replay runs first, on a clean heap: the micro benches
+  // below allocate and free tens of megabytes (zone builds, 64k-RRset put
+  // pools), and on small machines the resulting allocator state costs the
+  // pointer-chasing replay 20-30% — noise that would otherwise swamp the
+  // number this harness exists to track.
+  const ReplayResult replay = BenchTrafficReplay();
+  run("replay_qps", replay.qps);
   run("name_parse_ns", BenchNameParse());
   run("name_decode_wire_ns", BenchNameDecodeWire());
   run("name_hash_ns", BenchNameHash());
+  run("name_equal_ns", BenchNameEqual());
   run("cache_get_hit_ns", BenchCacheGetHit());
+  run("cache_probe_miss_ns", BenchCacheProbeMiss());
   run("cache_put_ns", BenchCachePut());
+  run("cache_put_cold_ns", BenchCachePutCold());
   run("sim_event_churn_ns", BenchSimEventChurn());
   run("sim_queue_500k_ns", BenchSimQueueMillion(sim::QueuePolicy::kBinaryHeap));
   run("sim_queue_500k_cal_ns",
@@ -645,8 +725,6 @@ int main(int argc, char** argv) {
   std::printf("zone_swap: %zu/%zu rrsets in delta page, %zu pages shared "
               "with base\n",
               swap.delta_rrsets, swap.total_rrsets, swap.shared_pages);
-  const ReplayResult replay = BenchTrafficReplay();
-  run("replay_qps", replay.qps);
 
   const auto baseline = LoadBaseline(baseline_path);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/simd.h"
 #include "util/strings.h"
 
 namespace rootless::dns {
@@ -143,13 +144,9 @@ void Name::EncodeWire(util::ByteWriter& writer) const {
 
 util::Bytes Name::CanonicalWire() const {
   util::Bytes out(size_ + std::size_t{1});
-  const std::uint8_t* p = data();
-  // Length octets are <= 63 and thus outside 'A'..'Z': lowering the whole
-  // buffer blindly is safe and branch-light.
-  for (std::size_t i = 0; i < size_; ++i) {
-    out[i] = static_cast<std::uint8_t>(
-        util::AsciiToLower(static_cast<char>(p[i])));
-  }
+  // Length octets are <= 63 and thus outside 'A'..'Z': folding the whole
+  // buffer blindly is safe.
+  util::simd::FoldCopy(out.data(), data(), size_);
   out[size_] = 0;
   return out;
 }
@@ -209,6 +206,28 @@ Name Name::Suffix(std::size_t n) const {
   return Name(p + offset, size_ - offset, n);
 }
 
+NameView Name::SuffixView(std::size_t n) const {
+  if (n >= label_count_) return NameView(*this);
+  const std::uint8_t* p = data();
+  std::size_t offset = 0;
+  for (std::size_t skipped = label_count_ - n; skipped > 0; --skipped) {
+    offset += 1 + p[offset];
+  }
+  return NameView(p + offset, size_ - offset, n);
+}
+
+std::size_t NameView::Hash() const {
+  // Same recurrence and 0 -> 1 remap as Name::ComputeHash, so a view probe
+  // lands on the same hash bucket as the owning entry it is compared to.
+  const std::uint64_t h = util::simd::HashFold(data_, size_);
+  return static_cast<std::size_t>(h == 0 ? 1 : h);
+}
+
+bool operator==(const Name& a, const NameView& b) {
+  if (a.size_ != b.size_ || a.label_count_ != b.label_count_) return false;
+  return util::simd::EqualFold(a.data(), b.data_, a.size_);
+}
+
 Result<Name> Name::Concat(const Name& suffix) const {
   const std::size_t total = size_ + std::size_t{suffix.size_};
   if (total > kMaxFlatBytes) return Error("name: name too long");
@@ -232,29 +251,16 @@ bool Name::IsSubdomainOf(const Name& other) const {
     offset += 1 + p[offset];
   }
   if (size_ - offset != other.size_) return false;
-  const std::uint8_t* q = other.data();
-  for (std::size_t i = 0; i < other.size_; ++i) {
-    if (util::AsciiToLower(static_cast<char>(p[offset + i])) !=
-        util::AsciiToLower(static_cast<char>(q[i]))) {
-      return false;
-    }
-  }
-  return true;
+  return util::simd::EqualFold(p + offset, other.data(), other.size_);
 }
 
 bool Name::operator==(const Name& other) const {
   if (size_ != other.size_ || label_count_ != other.label_count_)
     return false;
-  if (hash_ != 0 && other.hash_ != 0 && hash_ != other.hash_) return false;
-  const std::uint8_t* a = data();
-  const std::uint8_t* b = other.data();
-  for (std::size_t i = 0; i < size_; ++i) {
-    if (util::AsciiToLower(static_cast<char>(a[i])) !=
-        util::AsciiToLower(static_cast<char>(b[i]))) {
-      return false;
-    }
-  }
-  return true;
+  const std::uint64_t ha = hash_.load(std::memory_order_relaxed);
+  const std::uint64_t hb = other.hash_.load(std::memory_order_relaxed);
+  if (ha != 0 && hb != 0 && ha != hb) return false;
+  return util::simd::EqualFold(data(), other.data(), size_);
 }
 
 std::weak_ordering Name::operator<=>(const Name& other) const {
@@ -314,16 +320,12 @@ std::string Name::ToString() const {
 }
 
 std::uint64_t Name::ComputeHash() const {
-  // FNV-1a over the canonical (lowercased) label stream. The flattened
-  // buffer interleaves length octets exactly where the previous
-  // representation mixed in l.size(), so values match the historical ones.
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  const std::uint8_t* p = data();
-  for (std::size_t i = 0; i < size_; ++i) {
-    h ^= static_cast<std::uint8_t>(
-        util::AsciiToLower(static_cast<char>(p[i])));
-    h *= 0x100000001B3ULL;
-  }
+  // Case-folded wide hash over the flattened buffer (length octets included,
+  // so sibling label sequences like (a)(bc) vs (ab)(c) hash apart). A
+  // computed 0 is remapped to 1: 0 means "not yet computed" in the cache
+  // slot. Backends (SSE2/NEON/scalar) produce identical values — see
+  // util/simd.h.
+  const std::uint64_t h = util::simd::HashFold(data(), size_);
   return h == 0 ? 1 : h;
 }
 

@@ -27,6 +27,42 @@
 
 namespace rootless::dns {
 
+class Name;
+
+// Borrowed view of a name: a pointer into some Name's flattened
+// (length, label)* buffer plus its size and label count. Used for suffix
+// probes (Name::SuffixView) where materializing a Name — buffer copy plus a
+// fresh hash computation per probe — is pure overhead. A view never owns and
+// never caches: Hash() recomputes on each call (it equals the Hash() of an
+// equal Name), and the view dangles once the backing Name is destroyed or
+// assigned.
+class NameView {
+ public:
+  NameView() = default;
+  explicit NameView(const Name& name);
+
+  std::size_t label_count() const { return label_count_; }
+  bool is_root() const { return label_count_ == 0; }
+  std::span<const std::uint8_t> flat() const { return {data_, size_}; }
+
+  // Same value as the Hash() of an equal Name (uncached).
+  std::size_t Hash() const;
+
+ private:
+  friend class Name;
+  friend bool operator==(const Name& a, const NameView& b);
+
+  NameView(const std::uint8_t* data, std::size_t size,
+           std::size_t label_count)
+      : data_(data),
+        size_(static_cast<std::uint8_t>(size)),
+        label_count_(static_cast<std::uint8_t>(label_count)) {}
+
+  const std::uint8_t* data_ = nullptr;
+  std::uint8_t size_ = 0;
+  std::uint8_t label_count_ = 0;
+};
+
 class Name {
  public:
   // Longest possible flattened buffer: 255-byte wire form minus the root
@@ -114,6 +150,11 @@ class Name {
   // www.example.com with n=2). n >= label_count() returns a copy.
   Name Suffix(std::size_t n) const;
 
+  // Borrowed equivalent of Suffix(): a NameView over the last `n` labels of
+  // this Name's own buffer — no copy, no allocation, no hash-cache slot.
+  // Valid only while this Name is alive and unmodified.
+  NameView SuffixView(std::size_t n) const;
+
   // Appends `suffix`'s labels after this name's labels
   // ("www" + "example.com" = "www.example.com").
   util::Result<Name> Concat(const Name& suffix) const;
@@ -149,6 +190,9 @@ class Name {
   }
 
  private:
+  friend class NameView;
+  friend bool operator==(const Name& a, const NameView& b);
+
   // Builds a Name from an already-validated flattened buffer.
   Name(const std::uint8_t* flat, std::size_t size, std::size_t label_count) {
     AdoptBuffer(flat, size, label_count);
@@ -219,6 +263,13 @@ class Name {
   // plain move as the old non-atomic field on x86/ARM.
   mutable std::atomic<std::uint64_t> hash_{0};
 };
+
+inline NameView::NameView(const Name& name)
+    : NameView(name.data(), name.size_, name.label_count_) {}
+
+// Case-insensitive equality of an owning Name and a borrowed view.
+bool operator==(const Name& a, const NameView& b);
+inline bool operator==(const NameView& a, const Name& b) { return b == a; }
 
 struct NameHash {
   std::size_t operator()(const Name& n) const { return n.Hash(); }

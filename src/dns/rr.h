@@ -55,18 +55,29 @@ struct RRsetKeyView {
   RRClass rrclass = RRClass::kIN;
 };
 
+// Key whose owner is itself borrowed (a NameView into another name's
+// buffer): lets the resolver probe "is <tld> cached?" straight out of the
+// qname — no Name copy, no per-probe allocation, no hash-cache slot.
+struct RRsetSuffixKey {
+  NameView name;
+  RRType type = RRType::kA;
+  RRClass rrclass = RRClass::kIN;
+};
+
 struct RRsetKeyHash {
   using is_transparent = void;
   std::size_t operator()(const RRsetKey& k) const {
-    return Mix(k.name, k.type, k.rrclass);
+    return Mix(k.name.Hash(), k.type, k.rrclass);
   }
   std::size_t operator()(const RRsetKeyView& k) const {
-    return Mix(*k.name, k.type, k.rrclass);
+    return Mix(k.name->Hash(), k.type, k.rrclass);
+  }
+  std::size_t operator()(const RRsetSuffixKey& k) const {
+    return Mix(k.name.Hash(), k.type, k.rrclass);
   }
 
  private:
-  static std::size_t Mix(const Name& name, RRType type, RRClass rrclass) {
-    std::size_t h = name.Hash();
+  static std::size_t Mix(std::size_t h, RRType type, RRClass rrclass) {
     h ^= static_cast<std::size_t>(type) * 0x9E3779B97F4A7C15ULL;
     h ^= static_cast<std::size_t>(rrclass) * 0xC2B2AE3D27D4EB4FULL;
     return h;

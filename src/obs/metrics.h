@@ -187,6 +187,15 @@ class Registry {
 
   std::size_t metric_count() const { return index_.size(); }
 
+  // Pre-sizes the registration index for about `metrics` metrics. The slot
+  // deques need no reserve (they allocate in blocks and never move); this
+  // avoids rehashing the name index while a large stack (e.g. a TLD farm
+  // with per-server counters) registers itself.
+  void Reserve(std::size_t metrics) {
+    entries_.reserve(metrics);
+    index_.reserve(metrics);
+  }
+
   // All metrics, sorted by (name, labels) for stable diffable output.
   std::vector<Sample> Snapshot() const;
 

@@ -7,13 +7,18 @@ namespace rootless::resolver {
 namespace {
 // Entries examined by the lazy expiry sweep per insertion. Two per Put keeps
 // the steady-state fraction of dead entries bounded while adding a couple of
-// pointer chases to the insert path.
+// slot reads to the insert path.
 constexpr int kSweepPerPut = 2;
 
-// Adapters letting PutImpl treat owning RRsets and borrowed RRsetViews
-// uniformly.
+// Adapters letting the shared bodies treat owning RRsets, borrowed
+// RRsetViews, and both key flavours uniformly.
 inline const dns::Name& OwnerOf(const dns::RRset& s) { return s.name; }
 inline const dns::Name& OwnerOf(const dns::RRsetView& s) { return *s.name; }
+inline const dns::Name& KeyName(const dns::RRsetKey& k) { return k.name; }
+inline const dns::Name& KeyName(const dns::RRsetKeyView& k) { return *k.name; }
+inline const dns::NameView& KeyName(const dns::RRsetSuffixKey& k) {
+  return k.name;
+}
 inline void AssignSet(dns::RRset& dst, const dns::RRset& src) { dst = src; }
 inline void AssignSet(dns::RRset& dst, const dns::RRsetView& src) {
   dst.name = *src.name;
@@ -34,25 +39,40 @@ DnsCache::DnsCache(std::size_t capacity, obs::Registry* registry)
   insertions_ = reg.counter("resolver.cache.insertions", labels);
   evictions_ = reg.counter("resolver.cache.evictions", labels);
   swept_ = reg.counter("resolver.cache.swept", labels);
+  if (capacity_ != 0) {
+    slots_.reserve(capacity_);
+    index_.Reserve(capacity_);
+  }
+}
+
+template <typename KeyLike>
+std::uint32_t DnsCache::FindSlot(std::uint64_t hash,
+                                 const KeyLike& key) const {
+  return index_.Find(hash, [&](std::uint32_t s) {
+    const Slot& slot = slots_[s];
+    return slot.hash == hash && slot.rrset.type == key.type &&
+           slot.rrset.rrclass == key.rrclass &&
+           slot.rrset.name == KeyName(key);
+  });
 }
 
 template <typename KeyLike>
 const dns::RRset* DnsCache::GetImpl(const KeyLike& key, sim::SimTime now) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  const std::uint64_t hash = dns::RRsetKeyHash{}(key);
+  const std::uint32_t s = FindSlot(hash, key);
+  if (s == kNil) {
     misses_.Inc();
     return nullptr;
   }
-  Entry& entry = it->second;
-  if (entry.expiry <= now) {
+  Slot& slot = slots_[s];
+  if (slot.expiry <= now) {
     expired_.Inc();
-    Unlink(entry);
-    entries_.erase(it);
+    EraseSlot(s);
     return nullptr;
   }
   hits_.Inc();
-  MoveToFront(entry);
-  return &entry.rrset;
+  MoveToFront(s);
+  return &slot.rrset;
 }
 
 const dns::RRset* DnsCache::Get(const dns::RRsetKey& key, sim::SimTime now) {
@@ -62,6 +82,11 @@ const dns::RRset* DnsCache::Get(const dns::RRsetKey& key, sim::SimTime now) {
 const dns::RRset* DnsCache::Get(const dns::Name& name, dns::RRType type,
                                 sim::SimTime now) {
   return GetImpl(dns::RRsetKeyView{&name, type, dns::RRClass::kIN}, now);
+}
+
+const dns::RRset* DnsCache::Get(const dns::NameView& name, dns::RRType type,
+                                sim::SimTime now) {
+  return GetImpl(dns::RRsetSuffixKey{name, type, dns::RRClass::kIN}, now);
 }
 
 void DnsCache::Put(const dns::RRset& rrset, sim::SimTime now) {
@@ -88,136 +113,143 @@ template <typename SetLike>
 void DnsCache::PutImpl(const SetLike& rrset, sim::SimTime expiry,
                        sim::SimTime now) {
   const dns::RRsetKeyView probe{&OwnerOf(rrset), rrset.type, rrset.rrclass};
-  auto it = entries_.find(probe);
-  if (it != entries_.end()) {
-    Entry& entry = it->second;
-    AssignSet(entry.rrset, rrset);
-    entry.expiry = expiry;
-    MoveToFront(entry);
+  const std::uint64_t hash = dns::RRsetKeyHash{}(probe);
+  const std::uint32_t found = FindSlot(hash, probe);
+  if (found != kNil) {
+    Slot& slot = slots_[found];
+    AssignSet(slot.rrset, rrset);
+    slot.expiry = expiry;
+    MoveToFront(found);
     return;
   }
   insertions_.Inc();
-  if (capacity_ != 0 && entries_.size() >= capacity_ && lru_tail_ != nullptr) {
-    // At capacity a new key means insert+evict. Salvage the victim's RRset
-    // buffers before erasing, so the new entry reuses its rdata capacity;
-    // the erased node goes on the pool free list and try_emplace takes it
-    // straight back — no heap traffic in steady state. (Deliberately not
-    // extract()/insert(node): libstdc++ < 14 never destroys the allocator
-    // copy a node handle holds once insertion empties it, which leaks the
-    // pool's shared state — GCC PR 114401.)
-    Entry* victim = lru_tail_;
-    Unlink(*victim);
-    dns::RRset recycled = std::move(victim->rrset);
-    entries_.erase(*victim->key);
+  const auto hash_of = [this](std::uint32_t s) { return slots_[s].hash; };
+  if (capacity_ != 0 && index_.size() >= capacity_ && lru_tail_ != kNil) {
+    // At capacity a new key means insert+evict. Reuse the victim's slot in
+    // place: its rdata buffers become the new entry's, so steady-state churn
+    // touches no allocator at all. Only the index changes — a tombstone for
+    // the victim's hash, a fill for the new one.
+    const std::uint32_t victim = lru_tail_;
+    Slot& slot = slots_[victim];
+    Unlink(victim);
+    index_.Erase(slot.hash, [victim](std::uint32_t s) { return s == victim; });
     evictions_.Inc();
-    auto [slot, inserted] = entries_.try_emplace(
-        dns::RRsetKey{OwnerOf(rrset), rrset.type, rrset.rrclass});
-    ROOTLESS_CHECK(inserted);
-    Entry& entry = slot->second;
-    entry.rrset = std::move(recycled);
-    AssignSet(entry.rrset, rrset);
-    entry.expiry = expiry;
-    entry.key = &slot->first;
-    PushFront(entry);
+    AssignSet(slot.rrset, rrset);
+    slot.expiry = expiry;
+    slot.hash = hash;
+    index_.Insert(hash, victim, hash_of);
+    PushFront(victim);
     SweepStep(now);
     return;
   }
-  auto [slot, inserted] = entries_.try_emplace(
-      dns::RRsetKey{OwnerOf(rrset), rrset.type, rrset.rrclass});
-  ROOTLESS_CHECK(inserted);
-  Entry& entry = slot->second;
-  AssignSet(entry.rrset, rrset);
-  entry.expiry = expiry;
-  entry.key = &slot->first;
-  PushFront(entry);
+  std::uint32_t s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+  } else {
+    s = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[s];
+  AssignSet(slot.rrset, rrset);
+  slot.expiry = expiry;
+  slot.hash = hash;
+  slot.live = true;
+  index_.Insert(hash, s, hash_of);
+  PushFront(s);
   EvictIfNeeded();
   SweepStep(now);
 }
 
 std::size_t DnsCache::PurgeExpired(sim::SimTime now) {
   std::size_t removed = 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.expiry <= now) {
-      Unlink(it->second);
-      it = entries_.erase(it);
+  for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].live && slots_[s].expiry <= now) {
+      EraseSlot(s);
       ++removed;
-    } else {
-      ++it;
     }
   }
   return removed;
 }
 
 bool DnsCache::Contains(const dns::RRsetKey& key, sim::SimTime now) const {
-  auto it = entries_.find(key);
-  return it != entries_.end() && it->second.expiry > now;
+  const std::uint32_t s = FindSlot(dns::RRsetKeyHash{}(key), key);
+  return s != kNil && slots_[s].expiry > now;
 }
 
 void DnsCache::Clear() {
-  entries_.clear();
-  lru_head_ = lru_tail_ = sweep_cursor_ = nullptr;
+  slots_.clear();
+  free_.clear();
+  index_.Clear();
+  lru_head_ = lru_tail_ = sweep_cursor_ = kNil;
 }
 
 std::size_t DnsCache::TldRRsetCount() const {
   std::size_t count = 0;
-  for (const auto& [key, entry] : entries_) {
-    if (key.name.label_count() == 1) ++count;
+  for (const Slot& slot : slots_) {
+    if (slot.live && slot.rrset.name.label_count() == 1) ++count;
   }
   return count;
 }
 
-void DnsCache::PushFront(Entry& entry) {
-  entry.lru_prev = nullptr;
-  entry.lru_next = lru_head_;
-  if (lru_head_ != nullptr) lru_head_->lru_prev = &entry;
-  lru_head_ = &entry;
-  if (lru_tail_ == nullptr) lru_tail_ = &entry;
+void DnsCache::PushFront(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.lru_prev = kNil;
+  slot.lru_next = lru_head_;
+  if (lru_head_ != kNil) slots_[lru_head_].lru_prev = s;
+  lru_head_ = s;
+  if (lru_tail_ == kNil) lru_tail_ = s;
 }
 
-void DnsCache::Unlink(Entry& entry) {
-  if (sweep_cursor_ == &entry) sweep_cursor_ = entry.lru_prev;
-  if (entry.lru_prev != nullptr) {
-    entry.lru_prev->lru_next = entry.lru_next;
+void DnsCache::Unlink(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  if (sweep_cursor_ == s) sweep_cursor_ = slot.lru_prev;
+  if (slot.lru_prev != kNil) {
+    slots_[slot.lru_prev].lru_next = slot.lru_next;
   } else {
-    lru_head_ = entry.lru_next;
+    lru_head_ = slot.lru_next;
   }
-  if (entry.lru_next != nullptr) {
-    entry.lru_next->lru_prev = entry.lru_prev;
+  if (slot.lru_next != kNil) {
+    slots_[slot.lru_next].lru_prev = slot.lru_prev;
   } else {
-    lru_tail_ = entry.lru_prev;
+    lru_tail_ = slot.lru_prev;
   }
-  entry.lru_prev = entry.lru_next = nullptr;
+  slot.lru_prev = slot.lru_next = kNil;
 }
 
-void DnsCache::MoveToFront(Entry& entry) {
-  if (lru_head_ == &entry) return;
-  // Unlink hops the sweep cursor to the predecessor if it sat on `entry`,
+void DnsCache::MoveToFront(std::uint32_t s) {
+  if (lru_head_ == s) return;
+  // Unlink hops the sweep cursor to the predecessor if it sat on `s`,
   // preserving the tail-to-head walk.
-  Unlink(entry);
-  PushFront(entry);
+  Unlink(s);
+  PushFront(s);
 }
 
-void DnsCache::EraseEntry(Entry& entry) {
-  const dns::RRsetKey* key = entry.key;
-  Unlink(entry);
-  entries_.erase(*key);
+void DnsCache::EraseSlot(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  Unlink(s);
+  index_.Erase(slot.hash, [s](std::uint32_t cand) { return cand == s; });
+  slot.live = false;
+  // rdata buffers stay in the dead slot; the next insert that pops it off
+  // the free list reuses their capacity.
+  free_.push_back(s);
 }
 
 void DnsCache::EvictIfNeeded() {
-  while (capacity_ != 0 && entries_.size() > capacity_) {
-    EraseEntry(*lru_tail_);
+  while (capacity_ != 0 && index_.size() > capacity_ && lru_tail_ != kNil) {
+    EraseSlot(lru_tail_);
     evictions_.Inc();
   }
 }
 
 void DnsCache::SweepStep(sim::SimTime now) {
   for (int i = 0; i < kSweepPerPut; ++i) {
-    if (sweep_cursor_ == nullptr) sweep_cursor_ = lru_tail_;
-    if (sweep_cursor_ == nullptr) return;
-    Entry* entry = sweep_cursor_;
-    sweep_cursor_ = entry->lru_prev;  // advance toward the head
-    if (entry->expiry <= now) {
-      EraseEntry(*entry);
+    if (sweep_cursor_ == kNil) sweep_cursor_ = lru_tail_;
+    if (sweep_cursor_ == kNil) return;
+    const std::uint32_t s = sweep_cursor_;
+    sweep_cursor_ = slots_[s].lru_prev;  // advance toward the head
+    if (slots_[s].expiry <= now) {
+      EraseSlot(s);
       swept_.Inc();
     }
   }

@@ -2,22 +2,26 @@
 // a capacity bound, and the statistics the paper's cache-capacity argument
 // (§4, §5.1) turns on.
 //
-// The LRU list is intrusive: the prev/next links live inside the map entry,
-// so Get/Put cost a single hash probe and zero allocations beyond the map
-// node itself (the old std::list kept a second heap node per entry and a
-// second key copy). Expired entries are reclaimed lazily: lookups erase what
-// they touch, and every Put advances a small roving sweep over the LRU chain
-// so a quiescent cache cannot pin an unbounded amount of dead data.
+// Storage is a flat-hash layout: entries live in one contiguous slot array
+// (the key is the RRset's own name/type/class — no separate key copy), and a
+// SwissTable-style control-byte index (util/flat_hash.h) maps hashes to slot
+// numbers, probed 16 at a time with SIMD. The LRU chain is index-linked
+// (uint32 prev/next inside the slot), so Get/Put touch no pointers and the
+// whole hot path is a handful of cache lines. Expired entries are reclaimed
+// lazily: lookups erase what they touch, and every Put advances a small
+// roving sweep over the LRU chain so a quiescent cache cannot pin an
+// unbounded amount of dead data. Erased slots go on a free list with their
+// rdata buffers intact; at capacity a Put reuses the evicted victim's slot
+// directly, so steady-state churn performs no allocation at all.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "dns/rr.h"
 #include "obs/metrics.h"
 #include "sim/simulator.h"
-#include "util/pool_allocator.h"
+#include "util/flat_hash.h"
 
 namespace rootless::resolver {
 
@@ -43,7 +47,9 @@ class DnsCache {
  public:
   // capacity = maximum number of RRsets held (0 = unlimited). Counters
   // register in `registry` (default: obs::Registry::Default()) under
-  // "resolver.cache.*" with an auto-assigned instance label.
+  // "resolver.cache.*" with an auto-assigned instance label. A nonzero
+  // capacity pre-sizes both the slot array and the hash index, so a bounded
+  // cache never rehashes for growth.
   explicit DnsCache(std::size_t capacity = 0,
                     obs::Registry* registry = nullptr);
 
@@ -53,12 +59,16 @@ class DnsCache {
   // Heterogeneous probe: same semantics, no RRsetKey (and thus Name) copy.
   const dns::RRset* Get(const dns::Name& name, dns::RRType type,
                         sim::SimTime now);
+  // Borrowed-owner probe (e.g. Name::SuffixView): the negative path of the
+  // resolver's referral check runs with no Name copy at all.
+  const dns::RRset* Get(const dns::NameView& name, dns::RRType type,
+                        sim::SimTime now);
 
   // Inserts or replaces; expiry = now + ttl seconds.
   void Put(const dns::RRset& rrset, sim::SimTime now);
   // Same, from a borrowed view (e.g. a zone::ZoneSnapshot arena): the cache
   // owns its entries, so the view is deep-copied exactly once, straight into
-  // the map node — no intermediate RRset.
+  // the slot — no intermediate RRset.
   void Put(const dns::RRsetView& rrset, sim::SimTime now);
 
   // Inserts with an explicit expiry (used by zone preloading).
@@ -72,7 +82,7 @@ class DnsCache {
 
   bool Contains(const dns::RRsetKey& key, sim::SimTime now) const;
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return index_.size(); }
   std::size_t capacity() const { return capacity_; }
   // Snapshot of the registry-backed counters (cheap: six slot reads).
   CacheStats stats() const {
@@ -95,22 +105,19 @@ class DnsCache {
   std::size_t TldRRsetCount() const;
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Slot {
+    // The entry's key is (rrset.name, rrset.type, rrset.rrclass); `hash` is
+    // its RRsetKeyHash value, kept so index probes confirm candidates with
+    // one integer compare and rehashes never touch the Name.
     dns::RRset rrset;
     sim::SimTime expiry = 0;
-    // Intrusive LRU links (head = most recent) and a pointer back to the
-    // owning map node's key for O(1) eviction. unordered_map nodes are
-    // address-stable, so both stay valid across rehashes.
-    Entry* lru_prev = nullptr;
-    Entry* lru_next = nullptr;
-    const dns::RRsetKey* key = nullptr;
+    std::uint64_t hash = 0;
+    std::uint32_t lru_prev = kNil;  // toward the head (more recent)
+    std::uint32_t lru_next = kNil;  // toward the tail (less recent)
+    bool live = false;
   };
-  // Map nodes come from a pool: at capacity every Put is an insert+erase
-  // pair, which the pool turns from malloc+free into two list operations.
-  // Transparent hash/equal admit RRsetKeyView probes (no Name copy).
-  using Map = std::unordered_map<
-      dns::RRsetKey, Entry, dns::RRsetKeyHash, dns::RRsetKeyEqual,
-      util::PoolAllocator<std::pair<const dns::RRsetKey, Entry>>>;
 
   // Shared lookup body for key and key-view probes (instantiated in the .cc).
   template <typename KeyLike>
@@ -120,20 +127,27 @@ class DnsCache {
   template <typename SetLike>
   void PutImpl(const SetLike& rrset, sim::SimTime expiry, sim::SimTime now);
 
-  void PushFront(Entry& entry);
-  void Unlink(Entry& entry);
-  void MoveToFront(Entry& entry);
-  // Unlinks and erases; invalidates `entry`.
-  void EraseEntry(Entry& entry);
+  // Index probe for `key` hashing to `hash`; kNil if absent.
+  template <typename KeyLike>
+  std::uint32_t FindSlot(std::uint64_t hash, const KeyLike& key) const;
+
+  void PushFront(std::uint32_t s);
+  void Unlink(std::uint32_t s);
+  void MoveToFront(std::uint32_t s);
+  // Unlinks, removes from the index, and free-lists the slot (rdata buffers
+  // are kept for reuse).
+  void EraseSlot(std::uint32_t s);
   void EvictIfNeeded();
   // Advances the roving expiry sweep by a constant number of entries.
   void SweepStep(sim::SimTime now);
 
   std::size_t capacity_;
-  Map entries_;
-  Entry* lru_head_ = nullptr;  // most recent
-  Entry* lru_tail_ = nullptr;  // least recent
-  Entry* sweep_cursor_ = nullptr;
+  util::FlatHashIndex index_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  // dead slot numbers, reused LIFO
+  std::uint32_t lru_head_ = kNil;    // most recent
+  std::uint32_t lru_tail_ = kNil;    // least recent
+  std::uint32_t sweep_cursor_ = kNil;
   // Pre-resolved registry handles: a stats bump on the hot path is one
   // 64-bit add through the handle's pointer.
   obs::Counter hits_;

@@ -210,8 +210,7 @@ void RecursiveResolver::ReissueNow(std::uint16_t id) {
 
 bool RecursiveResolver::ReferralCached(const Name& qname) {
   if (qname.is_root()) return false;
-  const Name tld = qname.Suffix(1);
-  return cache_.Get(tld, RRType::kNS, sim_.now()) != nullptr;
+  return cache_.Get(qname.SuffixView(1), RRType::kNS, sim_.now()) != nullptr;
 }
 
 void RecursiveResolver::AskRoot(std::uint16_t id) {
@@ -308,8 +307,7 @@ bool RecursiveResolver::TldNodeFor(const Name& qname, sim::NodeId& node,
   if (qname.is_root()) return false;
 
   // Prefer a glue address from the cached referral.
-  const Name tld = qname.Suffix(1);
-  const RRset* ns = cache_.Get(tld, RRType::kNS, sim_.now());
+  const RRset* ns = cache_.Get(qname.SuffixView(1), RRType::kNS, sim_.now());
   if (ns != nullptr) {
     for (const auto& rd : ns->rdatas) {
       const Name& host = std::get<dns::NsData>(rd).nameserver;

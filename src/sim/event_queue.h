@@ -62,6 +62,7 @@ class EventHeap {
   bool empty() const { return v_.empty(); }
   std::size_t size() const { return v_.size(); }
   const EventRef& top() const { return v_.front(); }
+  void Reserve(std::size_t n) { v_.reserve(n); }
 
   void push(EventRef e) {
     v_.push_back(e);
@@ -267,6 +268,15 @@ class EventQueue {
   std::size_t size() const {
     return policy_ == QueuePolicy::kBinaryHeap ? heap_.size()
                                                : calendar_->size();
+  }
+
+  // Pre-sizes the callable slot pool (and the heap, under that policy) for
+  // `n` simultaneously pending events, so a replay whose in-flight ceiling
+  // is known up front never grows these vectors mid-run.
+  void Reserve(std::size_t n) {
+    slots_.reserve(n);
+    free_slots_.reserve(n);
+    if (policy_ == QueuePolicy::kBinaryHeap) heap_.Reserve(n);
   }
 
   void push(SimTime when, std::uint64_t seq, EventFn fn) {

@@ -53,6 +53,10 @@ class Simulator {
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t events_executed() const { return executed_; }
 
+  // Pre-sizes the event queue's slot pool for `n` simultaneously pending
+  // events (see EventQueue::Reserve). Purely an allocation hint.
+  void ReserveEvents(std::size_t n) { queue_.Reserve(n); }
+
   // --- observability --------------------------------------------------
   // The event loop is the natural home for the sim-time tracer: every
   // component reaches its Simulator, and span timestamps must come from

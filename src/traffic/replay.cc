@@ -74,17 +74,24 @@ struct ChunkPump {
 };
 
 ShardOutput RunOneShard(const ReplayOptions& options, const ShardPlan& plan,
-                        int shard,
-                        const std::vector<std::string>& real_tlds,
+                        int shard, const ShardLabelSpace& labels,
+                        const std::vector<dns::Name>& qnames,
+                        std::size_t real_tld_count,
                         const zone::SnapshotPtr& snapshot) {
   ShardOutput out;
   out.registry = std::make_unique<obs::Registry>();
   out.registry->set_instance_namespace("s" + std::to_string(shard) + ".");
   obs::Registry& reg = *out.registry;
+  // The TLD farm registers a counter block per authoritative server; size
+  // the name index for that up front instead of rehashing through it.
+  reg.Reserve(16 * real_tld_count + 64);
 
   // A complete private stack; every seed derives from (stack_seed, shard).
   const std::uint64_t salt = static_cast<std::uint64_t>(shard) + 1;
   sim::Simulator sim(sim::QueuePolicy::kCalendar);
+  // In-flight ceiling: one pump event plus the resolutions of one trace
+  // second, each holding at most a timeout + a delivery event.
+  sim.ReserveEvents(4096);
   sim::Network net(sim, options.stack_seed ^ (salt * 0x9E3779B97F4A7C15ULL),
                    &reg);
   topo::GeoRegistry geo;
@@ -102,23 +109,23 @@ ShardOutput RunOneShard(const ReplayOptions& options, const ShardPlan& plan,
   r.SetTldFarm(&farm);
   r.SetLocalZone(snapshot);
 
-  ShardTraceGenerator gen(options.workload, plan, shard, real_tlds);
-  // Per-shard qnames: building them here keeps the hot resolve loop free of
-  // any cross-thread cache-line sharing (dns::Name's lazy hash cache is a
-  // relaxed atomic, so sharing would be safe but contended).
-  std::vector<dns::Name> qnames;
-  qnames.reserve(gen.tlds().size());
-  for (std::size_t id = 0; id < gen.tlds().size(); ++id) {
-    auto n = dns::Name::Parse(
-        "www." + gen.tlds().LabelOf(static_cast<TldId>(id)) + ".");
-    qnames.push_back(n.ok() ? *n : dns::Name());
-  }
+  ShardTraceGenerator gen(options.workload, plan, shard, labels);
 
   std::uint64_t done = 0;
   const resolver::RecursiveResolver::ResolveCallback on_done =
       [&done](const resolver::ResolutionResult&) { ++done; };
 
   ShardChunk chunk;
+  // Chunk buffer sized from the plan: this shard's share of the day's
+  // queries, spread over the chunks, with headroom for the diurnal peak.
+  const auto day_queries = static_cast<double>(
+      static_cast<std::uint64_t>(options.workload.full_scale_queries *
+                                 options.workload.scale));
+  const double shard_share =
+      static_cast<double>(gen.range().size()) /
+      static_cast<double>(plan.resolver_count ? plan.resolver_count : 1);
+  chunk.events.reserve(static_cast<std::size_t>(
+      1.5 * day_queries * shard_share / gen.chunk_count()));
   while (gen.NextChunk(chunk)) {
     if (chunk.events.empty()) continue;
     std::size_t next = 0;
@@ -162,11 +169,27 @@ ReplayOutcome RunShardedReplay(const ReplayOptions& options) {
       zone::ZoneSnapshot::Build(zone_model.Snapshot(kCollectionDay));
   const ShardPlan plan = MakeShardPlan(options.workload, options.num_shards);
 
+  // The label universe and the query names over it are pure functions of
+  // the workload config; build them once and share them read-only across
+  // every shard instead of K identical rebuilds (~33k label interns and
+  // ~33k Name parses each). Hashes are pre-warmed so the shard threads
+  // never write the Names' lazy hash slots — the hot resolve loop then does
+  // relaxed loads only, with no cross-thread cache-line traffic.
+  const ShardLabelSpace labels(options.workload, real_tlds);
+  std::vector<dns::Name> qnames;
+  qnames.reserve(labels.tlds().size());
+  for (std::size_t id = 0; id < labels.tlds().size(); ++id) {
+    auto n = dns::Name::Parse(
+        "www." + labels.tlds().LabelOf(static_cast<TldId>(id)) + ".");
+    qnames.push_back(n.ok() ? *n : dns::Name());
+    qnames.back().Hash();
+  }
+
   std::vector<ShardOutput> outputs(
       static_cast<std::size_t>(options.num_shards));
   sim::RunShards(options.num_shards, threads, [&](int shard) {
-    outputs[static_cast<std::size_t>(shard)] =
-        RunOneShard(options, plan, shard, real_tlds, snapshot);
+    outputs[static_cast<std::size_t>(shard)] = RunOneShard(
+        options, plan, shard, labels, qnames, real_tlds.size(), snapshot);
   });
 
   // Merge strictly in shard-index order: the aggregate is then independent

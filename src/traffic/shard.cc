@@ -97,21 +97,95 @@ TrafficMixReport ShardTally::ToReport() const {
   return report;
 }
 
+ShardLabelSpace::ShardLabelSpace(const WorkloadConfig& config,
+                                 const std::vector<std::string>& real_tlds)
+    : tld_zipf_(1, 0) {
+  ROOTLESS_CHECK(!real_tlds.empty());
+  ROOTLESS_CHECK(config.window_sec % kChunkSec == 0);
+  chunk_count_ = config.window_sec / kChunkSec;
+
+  // Interning order is a pure function of (config, real_tlds), so every
+  // consumer of one config sees the identical table and TLD ids are
+  // comparable across shards (chunks from different shards can be merged
+  // into one Trace).
+  for (const auto& label : real_tlds) {
+    const TldId id = tlds_.Intern(label);
+    if (label == config.new_tld) {
+      new_tld_id_ = id;
+      new_tld_delegated_ = true;
+      continue;  // queried via the adoption stream, not the Zipf draw
+    }
+    real_ids_.push_back(id);
+  }
+  for (const char* label : kCommonJunk) {
+    common_junk_ids_.push_back(tlds_.Intern(label));
+  }
+  // Fixed garbage pool replacing GenerateDitlTrace's unbounded one-off
+  // labels; seeded from config.seed only so all shards agree.
+  util::Rng pool_rng(DeriveSeed(config.seed, kPoolSalt, 0));
+  garbage_pool_.reserve(kGarbagePoolSize);
+  std::string label;
+  for (std::uint32_t i = 0; i < kGarbagePoolSize; ++i) {
+    label.clear();
+    const std::size_t len = 6 + pool_rng.Below(10);
+    for (std::size_t j = 0; j < len; ++j) {
+      label.push_back(static_cast<char>('a' + pool_rng.Below(26)));
+    }
+    garbage_pool_.push_back(tlds_.Intern(label));
+  }
+  if (!config.new_tld.empty() && !new_tld_delegated_) {
+    new_tld_id_ = tlds_.Intern(config.new_tld);
+  }
+  // The stray-set key packs TLD ids into 20 bits, like classify.cc.
+  ROOTLESS_CHECK(tlds_.size() < (1u << 20));
+
+  tld_real_.assign(tlds_.size(), 0);
+  for (const TldId id : real_ids_) tld_real_[id] = 1;
+  if (new_tld_delegated_) tld_real_[new_tld_id_] = 1;
+
+  tld_zipf_ = util::ZipfSampler(real_ids_.size(), config.tld_zipf_s);
+
+  // Diurnal modulation: the same day/night swing GenerateDitlTrace applies
+  // via rejection sampling, discretized per chunk and normalized so the
+  // weights average to exactly 1 (rates stay calibrated).
+  diurnal_.resize(chunk_count_);
+  double sum = 0;
+  for (std::uint32_t c = 0; c < chunk_count_; ++c) {
+    const double phase =
+        6.283185307179586 * (c + 0.5) / static_cast<double>(chunk_count_);
+    diurnal_[c] = 0.75 + 0.25 * std::sin(phase - 1.2);
+    sum += diurnal_[c];
+  }
+  for (double& w : diurnal_) w *= chunk_count_ / sum;
+}
+
 ShardTraceGenerator::ShardTraceGenerator(
     const WorkloadConfig& config, const ShardPlan& plan, int shard_index,
     const std::vector<std::string>& real_tlds)
+    : ShardTraceGenerator(
+          config, plan, shard_index,
+          std::make_unique<ShardLabelSpace>(config, real_tlds)) {}
+
+ShardTraceGenerator::ShardTraceGenerator(
+    const WorkloadConfig& config, const ShardPlan& plan, int shard_index,
+    std::unique_ptr<ShardLabelSpace> owned)
+    : ShardTraceGenerator(config, plan, shard_index, *owned) {
+  owned_labels_ = std::move(owned);
+}
+
+ShardTraceGenerator::ShardTraceGenerator(const WorkloadConfig& config,
+                                         const ShardPlan& plan,
+                                         int shard_index,
+                                         const ShardLabelSpace& labels)
     : config_(config),
-      bogus_only_count_(plan.bogus_only_count),
-      tld_zipf_(1, 0) {
-  ROOTLESS_CHECK(!real_tlds.empty());
+      labels_(&labels),
+      bogus_only_count_(plan.bogus_only_count) {
   ROOTLESS_CHECK(shard_index >= 0 &&
                  static_cast<std::size_t>(shard_index) < plan.shards.size());
   ROOTLESS_CHECK(config.window_sec % kChunkSec == 0);
   range_ = plan.shards[static_cast<std::size_t>(shard_index)];
   chunk_count_ = config.window_sec / kChunkSec;
-
-  BuildLabelSpace(real_tlds);
-  tld_zipf_ = util::ZipfSampler(real_ids_.size(), config.tld_zipf_s);
+  ROOTLESS_CHECK(chunk_count_ == labels.chunk_count());
 
   // ---- calibration ----------------------------------------------------
   // Re-express GenerateDitlTrace's day-level targets as per-resolver,
@@ -153,71 +227,18 @@ ShardTraceGenerator::ShardTraceGenerator(
     new_rate_ = config.new_tld_queries_per_resolver / chunks;
   }
 
-  // Diurnal modulation: the same day/night swing GenerateDitlTrace applies
-  // via rejection sampling, discretized per chunk and normalized so the
-  // weights average to exactly 1 (rates stay calibrated).
-  diurnal_.resize(chunk_count_);
-  double sum = 0;
-  for (std::uint32_t c = 0; c < chunk_count_; ++c) {
-    const double phase =
-        6.283185307179586 * (c + 0.5) / static_cast<double>(chunk_count_);
-    diurnal_[c] = 0.75 + 0.25 * std::sin(phase - 1.2);
-    sum += diurnal_[c];
-  }
-  for (double& w : diurnal_) w *= chunk_count_ / sum;
-
   BuildProfiles();
   pair_seen_ideal_.assign(range_.size(), 0);
   pair_seen_chunk_.assign(range_.size(), 0);
   resolver_bits_.assign(range_.size(), 0);
 }
 
-void ShardTraceGenerator::BuildLabelSpace(
-    const std::vector<std::string>& real_tlds) {
-  // Interning order is a pure function of (config, real_tlds), so every
-  // shard builds the identical table and TLD ids are comparable across
-  // shards (chunks from different shards can be merged into one Trace).
-  for (const auto& label : real_tlds) {
-    const TldId id = tlds_.Intern(label);
-    if (label == config_.new_tld) {
-      new_tld_id_ = id;
-      new_tld_delegated_ = true;
-      continue;  // queried via the adoption stream, not the Zipf draw
-    }
-    real_ids_.push_back(id);
-  }
-  for (const char* label : kCommonJunk) {
-    common_junk_ids_.push_back(tlds_.Intern(label));
-  }
-  // Fixed garbage pool replacing GenerateDitlTrace's unbounded one-off
-  // labels; seeded from config.seed only so all shards agree.
-  util::Rng pool_rng(DeriveSeed(config_.seed, kPoolSalt, 0));
-  garbage_pool_.reserve(kGarbagePoolSize);
-  std::string label;
-  for (std::uint32_t i = 0; i < kGarbagePoolSize; ++i) {
-    label.clear();
-    const std::size_t len = 6 + pool_rng.Below(10);
-    for (std::size_t j = 0; j < len; ++j) {
-      label.push_back(static_cast<char>('a' + pool_rng.Below(26)));
-    }
-    garbage_pool_.push_back(tlds_.Intern(label));
-  }
-  if (!config_.new_tld.empty() && !new_tld_delegated_) {
-    new_tld_id_ = tlds_.Intern(config_.new_tld);
-  }
-  // The stray-set key packs TLD ids into 20 bits, like classify.cc.
-  ROOTLESS_CHECK(tlds_.size() < (1u << 20));
-
-  tld_real_.assign(tlds_.size(), 0);
-  for (const TldId id : real_ids_) tld_real_[id] = 1;
-  if (new_tld_delegated_) tld_real_[new_tld_id_] = 1;
-}
-
 TldId ShardTraceGenerator::SampleJunk(util::Rng& rng) const {
   if (rng.Chance(0.7)) {
-    return common_junk_ids_[rng.Below(common_junk_ids_.size())];
+    return labels_->common_junk_ids_[rng.Below(
+        labels_->common_junk_ids_.size())];
   }
-  return garbage_pool_[rng.Below(garbage_pool_.size())];
+  return labels_->garbage_pool_[rng.Below(labels_->garbage_pool_.size())];
 }
 
 void ShardTraceGenerator::BuildProfiles() {
@@ -243,7 +264,7 @@ void ShardTraceGenerator::BuildProfiles() {
       TldId tld = 0;
       bool ok = false;
       for (int attempt = 0; attempt < 5 && !ok; ++attempt) {
-        tld = real_ids_[tld_zipf_.Sample(rng)];
+        tld = labels_->real_ids_[labels_->tld_zipf_.Sample(rng)];
         ok = std::find(p.pairs.begin(), p.pairs.end(), tld) == p.pairs.end();
       }
       if (ok) p.pairs.push_back(tld);
@@ -253,7 +274,7 @@ void ShardTraceGenerator::BuildProfiles() {
 }
 
 double ShardTraceGenerator::DiurnalWeight(std::uint32_t chunk) const {
-  return diurnal_[chunk];
+  return labels_->diurnal_[chunk];
 }
 
 int ShardTraceGenerator::PairBitOf(std::uint32_t r, TldId tld) const {
@@ -261,15 +282,14 @@ int ShardTraceGenerator::PairBitOf(std::uint32_t r, TldId tld) const {
   for (std::size_t i = 0; i < p.pairs.size(); ++i) {
     if (p.pairs[i] == tld) return static_cast<int>(i);
   }
-  if (p.new_tld_adopter && tld == new_tld_id_) {
+  if (p.new_tld_adopter && tld == labels_->new_tld_id_) {
     return static_cast<int>(kNewTldBit);
   }
   return -1;
 }
 
-void ShardTraceGenerator::ClassifyReal(std::uint32_t r, TldId tld) {
+void ShardTraceGenerator::ClassifyReal(std::uint32_t r, TldId tld, int bit) {
   const std::uint32_t idx = r - range_.begin;
-  const int bit = PairBitOf(r, tld);
   if (bit >= 0) {
     const std::uint64_t mask = 1ULL << bit;
     if ((pair_seen_ideal_[idx] & mask) == 0) {
@@ -308,8 +328,13 @@ void ShardTraceGenerator::EmitResolverChunk(std::uint32_t r,
   util::Rng rng(DeriveSeed(config_.seed, r, kChunkSalt + chunk));
   const std::uint32_t base = chunk * kChunkSec;
   std::uint8_t& bits = resolver_bits_[r - range_.begin];
+  const std::vector<std::uint8_t>& tld_real = labels_->tld_real_;
 
-  auto emit = [&](TldId tld) {
+  // `bit_hint` is the (resolver, tld) pair bit when the emitting stream
+  // already knows it, kUnknownBit when only a PairBitOf scan can tell (junk
+  // that happens to collide with a delegated label).
+  constexpr int kUnknownBit = -2;
+  auto emit = [&](TldId tld, int bit_hint) {
     QueryEvent e;
     e.time_sec = base + static_cast<std::uint32_t>(rng.Below(kChunkSec));
     e.resolver_id = r;
@@ -317,39 +342,45 @@ void ShardTraceGenerator::EmitResolverChunk(std::uint32_t r,
     out.push_back(e);
     ++tally_.total_queries;
     bits |= 1;
-    if (tld_real_[tld] == 0) {
+    if (tld_real[tld] == 0) {
       ++tally_.bogus_tld_queries;
     } else {
       bits |= 2;
-      ClassifyReal(r, tld);
+      ClassifyReal(r, tld,
+                   bit_hint == kUnknownBit ? PairBitOf(r, tld) : bit_hint);
     }
   };
 
   if (p.bogus_only) {
     const std::uint64_t n = rng.Poisson(rate_bogus_only_ * weight);
     for (std::uint64_t i = 0; i < n; ++i) {
-      emit(p.junk_vocab[rng.Below(p.junk_vocab.size())]);
+      emit(p.junk_vocab[rng.Below(p.junk_vocab.size())], kUnknownBit);
     }
     return;
   }
 
   // One-off junk leakage (misconfiguration, chromium-style probes).
   const std::uint64_t junk = rng.Poisson(rate_regular_bogus_ * weight);
-  for (std::uint64_t i = 0; i < junk; ++i) emit(SampleJunk(rng));
+  for (std::uint64_t i = 0; i < junk; ++i) emit(SampleJunk(rng), kUnknownBit);
 
   // Valid pairs: each pair independently active this chunk, with a burst.
-  for (const TldId tld : p.pairs) {
+  // Pairs are distinct, so pair i's first match in PairBitOf is i itself —
+  // pass it down and the classifier does no scanning on this stream.
+  for (std::size_t i = 0; i < p.pairs.size(); ++i) {
     if (!rng.Chance(slot_prob_ * weight)) continue;
     const std::uint64_t queries =
         1 + static_cast<std::uint64_t>(rng.Exponential(extra_mean_));
-    for (std::uint64_t q = 0; q < queries; ++q) emit(tld);
+    for (std::uint64_t q = 0; q < queries; ++q) {
+      emit(p.pairs[i], static_cast<int>(i));
+    }
   }
 
-  // §5.3 new-TLD adoption stream.
+  // §5.3 new-TLD adoption stream. The adopter's bit is kNewTldBit (the
+  // pairs never contain the new TLD: it is excluded from the Zipf universe).
   if (p.new_tld_adopter) {
     const std::uint64_t n = rng.Poisson(new_rate_ * weight);
     for (std::uint64_t i = 0; i < n; ++i) {
-      emit(new_tld_id_);
+      emit(labels_->new_tld_id_, static_cast<int>(kNewTldBit));
       ++tally_.new_tld_queries;
     }
   }

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -93,19 +94,62 @@ struct ShardChunk {
   std::vector<QueryEvent> events;
 };
 
-// Streams one shard's day. Not thread-safe; parallel runs construct one
-// generator per shard (each builds its own TLD table and Zipf sampler, so
-// generators share nothing mutable).
-class ShardTraceGenerator {
+// The label universe of a replay day, shared read-only by every shard's
+// generator: the interned TLD table (real TLDs + vendor junk suffixes + the
+// fixed garbage pool), the per-TLD reality bits, the Zipf sampler over the
+// delegated set, and the per-chunk diurnal weights. All of it is a pure
+// function of (config, real_tlds) — it was previously rebuilt identically
+// inside every generator, ~33k label interns per shard — so a parallel run
+// builds one instance and hands it to all K shards. Immutable after
+// construction; safe to share across threads.
+class ShardLabelSpace {
  public:
   // The chunk length doubles as the budget-model window; keep in sync with
   // ClassifyOptions::budget_window_sec.
   static constexpr std::uint32_t kChunkSec = 900;
   // Size of the fixed bogus-garbage label pool (seeded from config.seed
-  // only, so every shard builds the identical pool and TLD ids stay
-  // comparable across shards).
+  // only, so TLD ids are identical for every consumer of one config).
   static constexpr std::uint32_t kGarbagePoolSize = 32768;
 
+  ShardLabelSpace(const WorkloadConfig& config,
+                  const std::vector<std::string>& real_tlds);
+
+  const TldTable& tlds() const { return tlds_; }
+  bool IsRealTld(TldId id) const { return tld_real_[id] != 0; }
+  std::uint32_t chunk_count() const { return chunk_count_; }
+
+ private:
+  friend class ShardTraceGenerator;
+
+  TldTable tlds_;
+  std::vector<std::uint8_t> tld_real_;  // parallel to tlds_
+  std::vector<TldId> real_ids_;         // real TLDs excluding the new TLD
+  std::vector<TldId> common_junk_ids_;
+  std::vector<TldId> garbage_pool_;
+  TldId new_tld_id_ = 0;
+  bool new_tld_delegated_ = false;
+  util::ZipfSampler tld_zipf_;
+  std::vector<double> diurnal_;  // per-chunk rate weight, mean exactly 1
+  std::uint32_t chunk_count_ = 0;
+};
+
+// Streams one shard's day. Not thread-safe; parallel runs construct one
+// generator per shard over one shared ShardLabelSpace (everything the
+// generators share is immutable).
+class ShardTraceGenerator {
+ public:
+  static constexpr std::uint32_t kChunkSec = ShardLabelSpace::kChunkSec;
+  static constexpr std::uint32_t kGarbagePoolSize =
+      ShardLabelSpace::kGarbagePoolSize;
+
+  // Shares `labels` (which must outlive the generator and have been built
+  // from an identical WorkloadConfig).
+  ShardTraceGenerator(const WorkloadConfig& config, const ShardPlan& plan,
+                      int shard_index, const ShardLabelSpace& labels);
+
+  // Convenience for single-shard/test use: builds and owns a private label
+  // space. Parallel runs should build one ShardLabelSpace and use the
+  // overload above.
   ShardTraceGenerator(const WorkloadConfig& config, const ShardPlan& plan,
                       int shard_index,
                       const std::vector<std::string>& real_tlds);
@@ -116,9 +160,9 @@ class ShardTraceGenerator {
   bool NextChunk(ShardChunk& out);
 
   std::uint32_t chunk_count() const { return chunk_count_; }
-  // Fully built at construction; never grows during generation.
-  const TldTable& tlds() const { return tlds_; }
-  bool IsRealTld(TldId id) const { return tld_real_[id] != 0; }
+  // Fully built before generation starts; never grows during it.
+  const TldTable& tlds() const { return labels_->tlds(); }
+  bool IsRealTld(TldId id) const { return labels_->IsRealTld(id); }
   const ShardRange& range() const { return range_; }
   // Tallies over everything generated so far; final after the last chunk.
   const ShardTally& tally() const { return tally_; }
@@ -136,17 +180,26 @@ class ShardTraceGenerator {
   static constexpr std::size_t kMaxPairs = 60;
   static constexpr std::uint64_t kNewTldBit = 63;
 
-  void BuildLabelSpace(const std::vector<std::string>& real_tlds);
+  // Delegation target of the legacy constructor: adopts the private label
+  // space after the shared-reference constructor has run.
+  ShardTraceGenerator(const WorkloadConfig& config, const ShardPlan& plan,
+                      int shard_index, std::unique_ptr<ShardLabelSpace> owned);
+
   void BuildProfiles();
   double DiurnalWeight(std::uint32_t chunk) const;
   TldId SampleJunk(util::Rng& rng) const;
   void EmitResolverChunk(std::uint32_t r, std::uint32_t chunk, double weight,
                          std::vector<QueryEvent>& out);
-  // Classification helpers (exact ClassifyTrace semantics, streamed).
-  void ClassifyReal(std::uint32_t r, TldId tld);
+  // Classification helpers (exact ClassifyTrace semantics, streamed). `bit`
+  // is the (resolver, tld) pair bit when the emitter already knows it — the
+  // valid-pair and adoption streams do, which skips the PairBitOf scan on
+  // the ~97% of real queries that come from them.
+  void ClassifyReal(std::uint32_t r, TldId tld, int bit);
   int PairBitOf(std::uint32_t r, TldId tld) const;  // -1 when not a pair TLD
 
   WorkloadConfig config_;
+  const ShardLabelSpace* labels_ = nullptr;
+  std::unique_ptr<ShardLabelSpace> owned_labels_;  // legacy ctor only
   ShardRange range_;
   std::uint32_t bogus_only_count_ = 0;
 
@@ -158,16 +211,6 @@ class ShardTraceGenerator {
   double extra_mean_ = 0;          // extra queries per active (pair, chunk)
   double adopter_prob_ = 0;        // new-TLD adopters among regulars
   double new_rate_ = 0;            // new-TLD queries / chunk for adopters
-
-  TldTable tlds_;
-  std::vector<std::uint8_t> tld_real_;  // parallel to tlds_
-  std::vector<TldId> real_ids_;         // real TLDs excluding the new TLD
-  std::vector<TldId> common_junk_ids_;
-  std::vector<TldId> garbage_pool_;
-  TldId new_tld_id_ = 0;
-  bool new_tld_delegated_ = false;
-  util::ZipfSampler tld_zipf_;
-  std::vector<double> diurnal_;  // per-chunk rate weight, mean exactly 1
 
   std::vector<ResolverProfile> profiles_;  // indexed by r - range_.begin
 

@@ -1,0 +1,287 @@
+// Open-addressing hash index in the SwissTable style: a flat array of
+// control bytes probed a 16-slot group at a time, mapping 64-bit hashes to
+// caller-owned slot indices.
+//
+// This is an *index*, not a map: it stores no keys and no values, only
+// `uint32_t` slot numbers chosen by the caller (who keeps the real entries in
+// a contiguous array it owns). That split is what the resolver cache needs —
+// its entries carry LRU links and RRset buffers that must stay put while the
+// index rehashes — and it keeps this header small and dependency-free.
+//
+// Layout: `ctrl_` holds one byte per slot position. A position is either
+//   kEmpty   (0x80)  never used on this probe chain,
+//   kDeleted (0xFE)  tombstone: was full, keeps probe chains intact,
+//   full     (0..0x7F) the low 7 bits of the entry's hash ("H2").
+// The other 57 bits ("H1") pick the starting group; probing walks groups in
+// the triangular sequence g, g+1, g+3, g+6, ... which visits every group
+// exactly once when the group count is a power of two. Within a group all 16
+// control bytes are tested at once — SSE2/NEON when ROOTLESS_SIMD is on,
+// 8-byte SWAR otherwise. Backends can differ in *speed* only: the probe
+// sequence and the chosen positions are identical, and candidate false
+// positives (possible in the SWAR byte-match) are filtered by the caller's
+// equality callback, which every backend invokes in the same order.
+//
+// Growth: the table rehashes when full+tombstone occupancy would exceed 7/8
+// of capacity — doubling if genuinely full, or rehashing in place at the same
+// capacity to drop tombstones when churn (insert/erase cycles at a capacity
+// bound) is what filled it. Erase always writes a tombstone; the in-place
+// rehash is what keeps a churning table's probe chains short.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "util/check.h"
+#include "util/simd.h"
+
+namespace rootless::util {
+
+class FlatHashIndex {
+ public:
+  static constexpr std::uint32_t kNpos = 0xFFFFFFFFu;
+  static constexpr std::size_t kGroupWidth = 16;
+
+  FlatHashIndex() = default;
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+
+  // Pre-sizes the table so `n` live entries fit without growing. Callable on
+  // an empty index only (the resolver cache sizes it once, from its capacity
+  // bound or the shard plan, before the first insert).
+  void Reserve(std::size_t n) {
+    ROOTLESS_CHECK(size_ == 0);
+    if (n == 0) return;
+    Rehash(NormalizeCapacity(n), [](std::uint32_t) -> std::uint64_t {
+      ROOTLESS_CHECK(false);  // empty: nothing to re-place
+      return 0;
+    });
+  }
+
+  // Returns the slot stored under `hash` for which eq(slot) is true, or
+  // kNpos. `eq` must be transitive with the hash: equal keys hash equal.
+  template <typename Eq>
+  std::uint32_t Find(std::uint64_t hash, Eq&& eq) const {
+    if (capacity_ == 0) return kNpos;
+    const std::uint8_t h2 = H2(hash);
+    std::size_t group = H1(hash) & group_mask_;
+    for (std::size_t step = 0;; group = (group + ++step) & group_mask_) {
+      const std::uint8_t* g = ctrl_.get() + group * kGroupWidth;
+      for (std::uint32_t m = MatchByte(g, h2); m != 0; m &= m - 1) {
+        const std::size_t pos =
+            group * kGroupWidth + static_cast<std::size_t>(CountTrailing(m));
+        if (eq(slots_[pos])) return slots_[pos];
+      }
+      if (MatchEmpty(g) != 0) return kNpos;
+      ROOTLESS_CHECK(step <= group_mask_);  // load bound guarantees an empty
+    }
+  }
+
+  // Inserts `slot` under `hash`. The key must not already be present (the
+  // caller probes with Find first). `hash_of(slot)` recomputes any live
+  // slot's hash; it is only consulted when the insert triggers a rehash.
+  template <typename HashOf>
+  void Insert(std::uint64_t hash, std::uint32_t slot, HashOf&& hash_of) {
+    if (capacity_ == 0 || (size_ + tombstones_ + 1) * 8 > capacity_ * 7) {
+      // Tombstone-heavy tables rehash in place (same capacity); genuinely
+      // full ones double. "Genuinely full" = live entries alone would cross
+      // half the 7/8 threshold.
+      const std::size_t grown = capacity_ == 0 ? kGroupWidth : capacity_ * 2;
+      const bool in_place =
+          capacity_ != 0 && (size_ + 1) * 16 <= capacity_ * 7;
+      Rehash(in_place ? capacity_ : NormalizeCapacity(grown / 2 + 1),
+             hash_of);
+    }
+    const std::size_t pos = FindInsertPosition(hash);
+    if (ctrl_[pos] != kEmpty) {
+      // Filling a tombstone reuses occupancy already counted.
+      ROOTLESS_CHECK(ctrl_[pos] == kDeleted);
+      --tombstones_;
+    }
+    ctrl_[pos] = H2(hash);
+    slots_[pos] = slot;
+    ++size_;
+  }
+
+  // Removes the position holding `slot` under `hash` (must exist).
+  template <typename Eq>
+  void Erase(std::uint64_t hash, Eq&& eq) {
+    ROOTLESS_CHECK(capacity_ != 0);
+    const std::uint8_t h2 = H2(hash);
+    std::size_t group = H1(hash) & group_mask_;
+    for (std::size_t step = 0;; group = (group + ++step) & group_mask_) {
+      const std::uint8_t* g = ctrl_.get() + group * kGroupWidth;
+      for (std::uint32_t m = MatchByte(g, h2); m != 0; m &= m - 1) {
+        const std::size_t pos =
+            group * kGroupWidth + static_cast<std::size_t>(CountTrailing(m));
+        if (eq(slots_[pos])) {
+          ctrl_[pos] = kDeleted;
+          --size_;
+          ++tombstones_;
+          return;
+        }
+      }
+      ROOTLESS_CHECK(MatchEmpty(g) == 0);  // erasing a missing key is a bug
+    }
+  }
+
+  // Empties the index, keeping its allocation (and thus its capacity).
+  void Clear() {
+    if (capacity_ != 0) {
+      std::memset(ctrl_.get(), kEmpty, capacity_);
+    }
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0x80;
+  static constexpr std::uint8_t kDeleted = 0xFE;
+
+  static std::uint64_t H1(std::uint64_t hash) { return hash >> 7; }
+  static std::uint8_t H2(std::uint64_t hash) {
+    return static_cast<std::uint8_t>(hash & 0x7F);
+  }
+
+  // Smallest power-of-two capacity (multiple of the group width) whose 7/8
+  // load bound admits n live entries.
+  static std::size_t NormalizeCapacity(std::size_t n) {
+    std::size_t c = kGroupWidth;
+    while (c * 7 < n * 8) c *= 2;
+    return c;
+  }
+
+  static int CountTrailing(std::uint32_t m) { return __builtin_ctz(m); }
+
+  // ---- group probes: 16 control bytes at a time ----------------------
+  // Each returns a 16-bit mask, bit i = control byte i. MatchEmpty and
+  // MatchEmptyOrDeleted are exact; MatchByte may have false positives in the
+  // SWAR backend (classic zero-byte-test artifact), which the equality
+  // callback filters.
+#if defined(ROOTLESS_SIMD_SSE2)
+  static std::uint32_t MatchByte(const std::uint8_t* g, std::uint8_t b) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(g));
+    return static_cast<std::uint32_t>(_mm_movemask_epi8(
+        _mm_cmpeq_epi8(v, _mm_set1_epi8(static_cast<char>(b)))));
+  }
+  static std::uint32_t MatchEmpty(const std::uint8_t* g) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(g));
+    return static_cast<std::uint32_t>(_mm_movemask_epi8(
+        _mm_cmpeq_epi8(v, _mm_set1_epi8(static_cast<char>(kEmpty)))));
+  }
+  static std::uint32_t MatchEmptyOrDeleted(const std::uint8_t* g) {
+    // Empty and deleted are the only bytes with the top bit set.
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(g));
+    return static_cast<std::uint32_t>(_mm_movemask_epi8(v));
+  }
+#elif defined(ROOTLESS_SIMD_NEON) && defined(__aarch64__)
+  static std::uint32_t Movemask16(uint8x16_t v) {
+    // Gather one bit per 0xFF/0x00 lane via per-lane bit weights + adds.
+    const uint8x16_t weights = {1, 2, 4, 8, 16, 32, 64, 128,
+                                1, 2, 4, 8, 16, 32, 64, 128};
+    const uint8x16_t masked = vandq_u8(v, weights);
+    return static_cast<std::uint32_t>(vaddv_u8(vget_low_u8(masked))) |
+           (static_cast<std::uint32_t>(vaddv_u8(vget_high_u8(masked))) << 8);
+  }
+  static std::uint32_t MatchByte(const std::uint8_t* g, std::uint8_t b) {
+    return Movemask16(vceqq_u8(vld1q_u8(g), vdupq_n_u8(b)));
+  }
+  static std::uint32_t MatchEmpty(const std::uint8_t* g) {
+    return Movemask16(vceqq_u8(vld1q_u8(g), vdupq_n_u8(kEmpty)));
+  }
+  static std::uint32_t MatchEmptyOrDeleted(const std::uint8_t* g) {
+    return Movemask16(vcgeq_u8(vld1q_u8(g), vdupq_n_u8(0x80)));
+  }
+#else
+  // SWAR over two 8-byte halves; bit gathering moves each byte's flag (left
+  // in its high bit) to a packed 8-bit mask.
+  static std::uint64_t Load8(const std::uint8_t* p) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    return w;
+  }
+  static std::uint32_t GatherHighBits(std::uint64_t flags) {
+    // flags has one flag bit per byte, in the high-bit lane. After >>7 the
+    // flag of byte i sits at bit 8i; the multiplier has bits at 7, 14, ...,
+    // 56 (7k, k=1..8), which maps bit 8i to bit 56+i with no two (byte,
+    // multiplier-bit) pairs colliding — 8a = 7b has no solution in range —
+    // so the top byte of the product is the packed mask, carry-free.
+    return static_cast<std::uint32_t>(((flags >> 7) * 0x0102040810204080ULL) >>
+                                      56) &
+           0xFFu;
+  }
+  static std::uint32_t MatchByte8(std::uint64_t w, std::uint8_t b) {
+    const std::uint64_t kOnes = 0x0101010101010101ULL;
+    const std::uint64_t kHigh = 0x8080808080808080ULL;
+    const std::uint64_t x = w ^ (kOnes * b);
+    return GatherHighBits((x - kOnes) & ~x & kHigh);
+  }
+  static std::uint32_t MatchByte(const std::uint8_t* g, std::uint8_t b) {
+    return MatchByte8(Load8(g), b) | (MatchByte8(Load8(g + 8), b) << 8);
+  }
+  static std::uint32_t MatchEmpty8(std::uint64_t w) {
+    // Empty = 0x80: high bit set, bit 1 clear (deleted has it set). Shifting
+    // bit 1 up to the high-bit lane keeps the test exact (see abseil's
+    // portable group for the same trick).
+    const std::uint64_t kHigh = 0x8080808080808080ULL;
+    return GatherHighBits(w & ~(w << 6) & kHigh);
+  }
+  static std::uint32_t MatchEmpty(const std::uint8_t* g) {
+    return MatchEmpty8(Load8(g)) | (MatchEmpty8(Load8(g + 8)) << 8);
+  }
+  static std::uint32_t MatchEmptyOrDeleted(const std::uint8_t* g) {
+    const std::uint64_t kHigh = 0x8080808080808080ULL;
+    return GatherHighBits(Load8(g) & kHigh) |
+           (GatherHighBits(Load8(g + 8) & kHigh) << 8);
+  }
+#endif
+
+  // First empty-or-tombstone position on `hash`'s probe sequence. The load
+  // bound guarantees one exists.
+  std::size_t FindInsertPosition(std::uint64_t hash) const {
+    std::size_t group = H1(hash) & group_mask_;
+    for (std::size_t step = 0;; group = (group + ++step) & group_mask_) {
+      const std::uint32_t m =
+          MatchEmptyOrDeleted(ctrl_.get() + group * kGroupWidth);
+      if (m != 0) {
+        return group * kGroupWidth +
+               static_cast<std::size_t>(CountTrailing(m));
+      }
+      ROOTLESS_CHECK(step <= group_mask_);
+    }
+  }
+
+  template <typename HashOf>
+  void Rehash(std::size_t new_capacity, HashOf&& hash_of) {
+    auto old_ctrl = std::move(ctrl_);
+    auto old_slots = std::move(slots_);
+    const std::size_t old_capacity = capacity_;
+
+    ctrl_ = std::make_unique<std::uint8_t[]>(new_capacity);
+    std::memset(ctrl_.get(), kEmpty, new_capacity);
+    slots_ = std::make_unique<std::uint32_t[]>(new_capacity);
+    capacity_ = new_capacity;
+    group_mask_ = new_capacity / kGroupWidth - 1;
+    tombstones_ = 0;
+
+    for (std::size_t pos = 0; pos < old_capacity; ++pos) {
+      if (old_ctrl[pos] & 0x80) continue;  // empty or tombstone
+      const std::uint32_t slot = old_slots[pos];
+      const std::uint64_t hash = hash_of(slot);
+      const std::size_t target = FindInsertPosition(hash);
+      ctrl_[target] = H2(hash);
+      slots_[target] = slot;
+    }
+  }
+
+  std::unique_ptr<std::uint8_t[]> ctrl_;
+  std::unique_ptr<std::uint32_t[]> slots_;
+  std::size_t capacity_ = 0;   // positions; power of two multiple of 16
+  std::size_t group_mask_ = 0;
+  std::size_t size_ = 0;       // live entries
+  std::size_t tombstones_ = 0;
+};
+
+}  // namespace rootless::util

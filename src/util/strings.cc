@@ -13,10 +13,9 @@ std::string ToLower(std::string_view s) {
 
 bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
   if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (AsciiToLower(a[i]) != AsciiToLower(b[i])) return false;
-  }
-  return true;
+  return simd::EqualFold(reinterpret_cast<const std::uint8_t*>(a.data()),
+                         reinterpret_cast<const std::uint8_t*>(b.data()),
+                         a.size());
 }
 
 std::vector<std::string_view> Split(std::string_view s, char sep) {

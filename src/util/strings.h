@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/result.h"
+#include "util/simd.h"
 
 namespace rootless::util {
 
@@ -39,13 +40,8 @@ struct TransparentStringEqual {
 struct CaseInsensitiveHash {
   using is_transparent = void;
   std::size_t operator()(std::string_view s) const {
-    // FNV-1a over the lowered bytes.
-    std::uint64_t h = 0xCBF29CE484222325ULL;
-    for (char c : s) {
-      h ^= static_cast<std::uint8_t>(AsciiToLower(c));
-      h *= 0x100000001B3ULL;
-    }
-    return static_cast<std::size_t>(h);
+    return static_cast<std::size_t>(simd::HashFold(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
   }
 };
 struct CaseInsensitiveEqual {

@@ -6,6 +6,8 @@
 
 #include <array>
 #include <cctype>
+#include <cstring>
+#include <iterator>
 #include <list>
 #include <memory>
 #include <string>
@@ -20,6 +22,7 @@
 #include "sim/simulator.h"
 #include "util/bytes.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace rootless {
 namespace {
@@ -287,6 +290,385 @@ TEST(CacheHotPath, MatchesReferenceModelUnderStress) {
   ASSERT_EQ(cache.size(), model.pos.size());
   for (const auto& key : model.lru) {
     EXPECT_TRUE(cache.Contains(key, 0));
+  }
+}
+
+// ------------------------------------------------------------ SIMD kernels
+
+// Byte-at-a-time reference for the util/simd.h contract. Whatever backend a
+// build compiled in (SSE2, NEON, or the SWAR scalar) must reproduce these
+// values bit for bit — that equivalence is what makes a ROOTLESS_SIMD=OFF
+// replay byte-identical to a vectorized one.
+std::uint8_t RefFold(std::uint8_t c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<std::uint8_t>(c | 0x20) : c;
+}
+
+std::uint64_t RefMix(std::uint64_t a, std::uint64_t b) {
+  const unsigned __int128 r =
+      static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+  return static_cast<std::uint64_t>(r) ^ static_cast<std::uint64_t>(r >> 64);
+}
+
+std::uint64_t RefHashFold(const std::uint8_t* p, std::size_t n,
+                          std::uint64_t seed = 0) {
+  constexpr std::uint64_t k0 = 0x2D358DCCAA6C78A5ULL;
+  constexpr std::uint64_t k1 = 0x8BB84B93962EACC9ULL;
+  constexpr std::uint64_t k2 = 0x4B33A62ED433D4A3ULL;
+  constexpr std::uint64_t k3 = 0x4D5A2DA51DE1AA47ULL;
+  constexpr std::uint64_t k4 = 0xA0761D6478BD642FULL;
+  std::vector<std::uint8_t> folded(n);
+  for (std::size_t i = 0; i < n; ++i) folded[i] = RefFold(p[i]);
+  std::uint64_t h = seed ^ RefMix(static_cast<std::uint64_t>(n) + k0, k1);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, folded.data() + i, 8);
+    h = RefMix(h ^ w, k2);
+  }
+  if (i < n) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, folded.data() + i, n - i);
+    h = RefMix(h ^ w, k3);
+  }
+  return RefMix(h, k4);
+}
+
+// Bytes picked to sit on every interesting boundary of the fold: the letters
+// themselves, their neighbours ('@' = 'A'-1, '[' = 'Z'+1, '`' = 'a'-1,
+// '{' = 'z'+1), NUL, DEL, and high bytes whose low 7 bits alias the letter
+// range (0xC1 = 0x80|'A' must NOT fold).
+constexpr std::uint8_t kAdversarialBytes[] = {
+    0x00, '@',  'A',  'M',  'Z',  '[',  '`',  'a',  'm',  'z',
+    '{',  0x7F, 0x80, 0xC1, 0xDA, 0xE1, 0xFA, 0xFF, '0',  '-'};
+
+TEST(SimdKernels, FoldAndHashMatchBytewiseReference) {
+  util::Rng rng(515);
+  // Lengths crossing the 16-byte vector and 8-byte word boundaries, the
+  // 63-byte label limit, the 254-byte name limit, and the 256-byte internal
+  // block size of HashFold.
+  std::vector<std::size_t> lengths;
+  for (std::size_t n = 0; n <= 70; ++n) lengths.push_back(n);
+  for (std::size_t n : {127u, 128u, 254u, 255u, 256u, 300u}) {
+    lengths.push_back(n);
+  }
+  for (const std::size_t n : lengths) {
+    std::vector<std::uint8_t> src(n + 1, 0xA5);  // +1: never a zero-size buf
+    for (std::size_t i = 0; i < n; ++i) {
+      src[i] = kAdversarialBytes[rng.Below(sizeof(kAdversarialBytes))];
+    }
+    // FoldCopy == bytewise fold.
+    std::vector<std::uint8_t> folded(n + 1, 0xEE);
+    util::simd::FoldCopy(folded.data(), src.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(folded[i], RefFold(src[i])) << "n=" << n << " i=" << i;
+    }
+    // HashFold == reference recurrence, with and without a seed.
+    ASSERT_EQ(util::simd::HashFold(src.data(), n),
+              RefHashFold(src.data(), n)) << "n=" << n;
+    ASSERT_EQ(util::simd::HashFold(src.data(), n, 0x1234),
+              RefHashFold(src.data(), n, 0x1234)) << "n=" << n;
+    // EqualFold: true for a case-flipped copy, false when any single byte
+    // changes to something that folds differently.
+    std::vector<std::uint8_t> flipped(src);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t c = flipped[i];
+      if (c >= 'A' && c <= 'Z') flipped[i] = static_cast<std::uint8_t>(c | 0x20);
+      else if (c >= 'a' && c <= 'z') flipped[i] = static_cast<std::uint8_t>(c & ~0x20);
+    }
+    ASSERT_TRUE(util::simd::EqualFold(src.data(), flipped.data(), n));
+    ASSERT_EQ(util::simd::HashFold(flipped.data(), n),
+              util::simd::HashFold(src.data(), n));
+    if (n > 0) {
+      for (const std::size_t at :
+           {std::size_t{0}, n / 2, n - 1}) {
+        std::vector<std::uint8_t> diff(src);
+        diff[at] ^= 0x04;  // never a pure case flip
+        ASSERT_FALSE(util::simd::EqualFold(src.data(), diff.data(), n))
+            << "n=" << n << " at=" << at;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, NonLetterCaseBitNeverFolds) {
+  // '@'/'`' and '['/'{' differ only in the 0x20 bit but are distinct bytes
+  // in DNS labels; same for high bytes aliasing letters (0xC1/0xE1). A fold
+  // that tests the range sloppily equates them.
+  const std::uint8_t pairs[][2] = {
+      {'@', '`'}, {'[', '{'}, {0xC1, 0xE1}, {0xDA, 0xFA}, {0x00, 0x20}};
+  for (const auto& p : pairs) {
+    ASSERT_FALSE(util::simd::EqualFold(&p[0], &p[1], 1))
+        << std::hex << int(p[0]) << " vs " << int(p[1]);
+    ASSERT_NE(util::simd::HashFold(&p[0], 1), util::simd::HashFold(&p[1], 1));
+  }
+}
+
+TEST(NameHotPath, AdversarialLabelEqualityAndViews) {
+  // 63-byte labels at the 255-byte wire limit, differing only by case.
+  const std::string l63u(63, 'A');
+  const std::string l63l(63, 'a');
+  const Name big_u =
+      *Name::FromLabels({std::string(61, 'A'), l63u, l63u, l63u});
+  const Name big_l =
+      *Name::FromLabels({std::string(61, 'a'), l63l, l63l, l63l});
+  EXPECT_EQ(big_u, big_l);
+  EXPECT_EQ(big_u.Hash(), big_l.Hash());
+
+  // Embedded NULs pass through the fold untouched.
+  const Name z1 = *Name::FromLabels({std::string("a\0B", 3), "example"});
+  const Name z2 = *Name::FromLabels({std::string("a\0b", 3), "example"});
+  const Name z3 = *Name::FromLabels({std::string("a\0c", 3), "example"});
+  EXPECT_EQ(z1, z2);
+  EXPECT_EQ(z1.Hash(), z2.Hash());
+  EXPECT_NE(z1, z3);
+
+  // NameView/SuffixView agree with the owned slow path on equality and hash.
+  const Name qname = N("WWW.Example.COM");
+  const dns::NameView tld = qname.SuffixView(1);
+  EXPECT_EQ(tld.label_count(), 1u);
+  EXPECT_TRUE(N("com") == tld);
+  EXPECT_TRUE(N("CoM") == tld);
+  EXPECT_FALSE(N("net") == tld);
+  EXPECT_EQ(tld.Hash(), N("com").Hash());
+  EXPECT_EQ(qname.SuffixView(2).Hash(), N("example.com").Hash());
+  EXPECT_TRUE(qname == qname.SuffixView(99));  // clamped to the whole name
+  EXPECT_TRUE(qname.SuffixView(0).is_root());
+  EXPECT_EQ(dns::NameView(qname).Hash(), qname.Hash());
+}
+
+TEST(CacheHotPath, SuffixViewProbeHitsSameEntry) {
+  resolver::DnsCache cache;
+  RRset ns;
+  ns.name = N("com");
+  ns.type = RRType::kNS;
+  ns.ttl = 3600;
+  ns.rdatas.push_back(dns::NsData{N("a.gtld-servers.net")});
+  cache.Put(ns, 0);
+
+  const Name qname = N("www.example.COM");
+  const dns::RRset* via_view = cache.Get(qname.SuffixView(1), RRType::kNS, 0);
+  ASSERT_NE(via_view, nullptr);
+  EXPECT_EQ(via_view, cache.Get(ns.key(), 0));
+  // A different suffix depth misses.
+  EXPECT_EQ(cache.Get(qname.SuffixView(2), RRType::kNS, 0), nullptr);
+}
+
+// ----------------------------------------------- cache differential models
+
+// Exact mirror of the cache's LRU + lazy-sweep mechanics (including the
+// roving cursor), driven with expiring entries and capacity churn: every
+// probe outcome and all six stats counters must match step for step. This is
+// the tombstone workout for the flat-hash index — at capacity each insert is
+// erase+insert (a tombstone plus a fill), and in-place rehashes must never
+// lose an entry.
+TEST(CacheHotPath, MatchesReferenceModelWithExpiryAndTombstoneChurn) {
+  constexpr std::size_t kCapacity = 48;
+  constexpr int kSweepPerPut = 2;  // mirrors cache.cc
+  resolver::DnsCache cache(kCapacity);
+
+  struct Entry {
+    dns::RRsetKey key;
+    sim::SimTime expiry;
+  };
+  struct Model {
+    using List = std::list<Entry>;
+    List lru;  // front = most recent
+    std::unordered_map<dns::RRsetKey, List::iterator, dns::RRsetKeyHash> pos;
+    List::iterator cursor;
+    bool cursor_set = false;
+    std::uint64_t hits = 0, misses = 0, expired = 0;
+    std::uint64_t insertions = 0, evictions = 0, swept = 0;
+
+    // cursor = lru_prev(it): one step toward the head; kNil at the head.
+    void CursorHop(List::iterator it) {
+      if (!cursor_set || cursor != it) return;
+      if (it == lru.begin()) {
+        cursor_set = false;
+      } else {
+        cursor = std::prev(it);
+      }
+    }
+    void Erase(List::iterator it) {
+      CursorHop(it);
+      pos.erase(it->key);
+      lru.erase(it);
+    }
+    void Touch(List::iterator it) {
+      if (it == lru.begin()) return;
+      CursorHop(it);  // MoveToFront unlinks first, hopping the cursor
+      lru.splice(lru.begin(), lru, it);
+    }
+    void SweepStep(sim::SimTime now) {
+      for (int i = 0; i < kSweepPerPut; ++i) {
+        if (!cursor_set) {
+          if (lru.empty()) return;
+          cursor = std::prev(lru.end());  // restart at the tail
+          cursor_set = true;
+        }
+        const List::iterator s = cursor;
+        if (s == lru.begin()) {
+          cursor_set = false;
+        } else {
+          cursor = std::prev(s);
+        }
+        if (s->expiry <= now) {
+          // Erase without the hop: the cursor has already advanced past s.
+          pos.erase(s->key);
+          lru.erase(s);
+          ++swept;
+        }
+      }
+    }
+    bool Get(const dns::RRsetKey& key, sim::SimTime now) {
+      const auto it = pos.find(key);
+      if (it == pos.end()) {
+        ++misses;
+        return false;
+      }
+      if (it->second->expiry <= now) {
+        ++expired;
+        Erase(it->second);
+        return false;
+      }
+      ++hits;
+      Touch(it->second);
+      return true;
+    }
+    void Put(const dns::RRsetKey& key, sim::SimTime expiry, sim::SimTime now) {
+      if (const auto it = pos.find(key); it != pos.end()) {
+        it->second->expiry = expiry;  // replace: no counter bumps
+        Touch(it->second);
+        return;
+      }
+      ++insertions;
+      if (pos.size() >= kCapacity && !lru.empty()) {
+        ++evictions;
+        Erase(std::prev(lru.end()));
+      }
+      lru.push_front(Entry{key, expiry});
+      pos[key] = lru.begin();
+      SweepStep(now);
+    }
+    bool Contains(const dns::RRsetKey& key, sim::SimTime now) const {
+      const auto it = pos.find(key);
+      return it != pos.end() && it->second->expiry > now;
+    }
+    std::size_t Purge(sim::SimTime now) {
+      std::size_t removed = 0;
+      for (auto it = lru.begin(); it != lru.end();) {
+        const auto next = std::next(it);
+        if (it->expiry <= now) {
+          Erase(it);
+          ++removed;
+        }
+        it = next;
+      }
+      return removed;
+    }
+  } model;
+
+  // Key universe ~3x capacity across two RR types, with case-variant owners
+  // and 63-byte labels so index confirms run long fold compares.
+  std::vector<RRset> pool;
+  for (int i = 0; i < 72; ++i) {
+    const std::string owner = (i % 3 == 0)
+                                  ? std::string(63, static_cast<char>('A' + i % 26)) + ".test"
+                                  : "k" + std::to_string(i) + ".Test";
+    pool.push_back(MakeA(owner, 3600, static_cast<std::uint32_t>(i)));
+    RRset ns;
+    ns.name = N(owner);
+    ns.type = RRType::kNS;
+    ns.ttl = 3600;
+    ns.rdatas.push_back(dns::NsData{N("ns." + std::to_string(i) + ".test")});
+    pool.push_back(ns);
+  }
+
+  util::Rng rng(4242);
+  sim::SimTime now = 0;
+  for (int step = 0; step < 30000; ++step) {
+    now += static_cast<sim::SimTime>(rng.Below(200)) * sim::kMillisecond;
+    RRset r = pool[rng.Below(pool.size())];
+    switch (rng.Below(4)) {
+      case 0:
+      case 1: {  // Put, short-lived or long-lived (0 = born expired)
+        r.ttl = rng.Below(2) ? 3600 : rng.Below(3);
+        cache.Put(r, now);
+        model.Put(r.key(),
+                  now + static_cast<sim::SimTime>(r.ttl) * sim::kSecond, now);
+        break;
+      }
+      case 2: {
+        const bool hit = cache.Get(r.key(), now) != nullptr;
+        ASSERT_EQ(hit, model.Get(r.key(), now)) << "step " << step;
+        break;
+      }
+      case 3: {
+        ASSERT_EQ(cache.Contains(r.key(), now), model.Contains(r.key(), now))
+            << "step " << step;
+        break;
+      }
+    }
+    if ((step & 0x7FF) == 0x7FF) {
+      ASSERT_EQ(cache.PurgeExpired(now), model.Purge(now)) << "step " << step;
+    }
+    ASSERT_EQ(cache.size(), model.pos.size()) << "step " << step;
+  }
+
+  const resolver::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, model.hits);
+  EXPECT_EQ(stats.misses, model.misses);
+  EXPECT_EQ(stats.expired, model.expired);
+  EXPECT_EQ(stats.insertions, model.insertions);
+  EXPECT_EQ(stats.evictions, model.evictions);
+  EXPECT_EQ(stats.swept, model.swept);
+  for (const auto& e : model.lru) {
+    EXPECT_TRUE(cache.Contains(e.key, e.expiry - 1));
+  }
+}
+
+// Long-running erase/insert churn at capacity: tombstones accumulate in the
+// control-byte index and periodically force in-place rehashes. A set of
+// pinned, regularly touched entries must survive the whole run, and the
+// lifecycle counters must account for every inserted entry.
+TEST(CacheHotPath, TombstoneChurnKeepsIndexExact) {
+  constexpr std::size_t kCapacity = 64;
+  resolver::DnsCache cache(kCapacity);
+
+  std::vector<RRset> pinned;
+  for (int i = 0; i < 32; ++i) {
+    pinned.push_back(MakeA("pin" + std::to_string(i) + ".test", 0, 1));
+  }
+  sim::SimTime now = 0;
+  std::size_t purged = 0;
+  const auto touch_pinned = [&] {
+    for (const RRset& p : pinned) {
+      RRset fresh = p;
+      fresh.ttl = 7200;  // re-put: refreshes expiry, no insertion counted
+      cache.Put(fresh, now);
+    }
+  };
+  touch_pinned();
+  util::Rng rng(31337);
+  for (int step = 0; step < 20000; ++step) {
+    now += sim::kMillisecond * static_cast<sim::SimTime>(rng.Below(50));
+    RRset churn = MakeA("c" + std::to_string(step) + ".churn.test",
+                        rng.Below(2), 2);  // ttl 0 or 1s: dies near-instantly
+    cache.Put(churn, now);
+    if (step % 16 == 15) touch_pinned();
+    if (step % 1024 == 1023) purged += cache.PurgeExpired(now);
+    if (step % 128 == 0) {
+      for (const RRset& p : pinned) {
+        ASSERT_TRUE(cache.Contains(p.key(), now)) << "step " << step;
+      }
+    }
+    ASSERT_LE(cache.size(), kCapacity);
+  }
+  // Every inserted entry is resident or left by exactly one exit path.
+  const resolver::CacheStats stats = cache.stats();
+  EXPECT_EQ(cache.size(), stats.insertions - stats.evictions - stats.swept -
+                              stats.expired - purged);
+  for (const RRset& p : pinned) {
+    EXPECT_TRUE(cache.Contains(p.key(), now));
   }
 }
 
