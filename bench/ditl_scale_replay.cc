@@ -199,6 +199,16 @@ int main(int argc, char** argv) {
     std::printf("speedup @%d threads: %.2fx (per-thread overhead %.2fx)\n",
                 record.threads, record.qps / base_qps,
                 per_thread_overhead(record));
+    // Advisory only (never a gate): on a machine with enough cores to
+    // actually run the sweep in parallel, overhead creeping past 1.5x means
+    // the shard stacks stopped being independent — look for new shared
+    // state, allocation contention, or false sharing before it gets worse.
+    if (cores >= record.threads && record.threads > 1 &&
+        per_thread_overhead(record) > 1.5) {
+      std::printf("WARNING: per-thread overhead %.2fx at %d threads exceeds "
+                  "1.5x — shards may be contending (see EXPERIMENTS.md)\n",
+                  per_thread_overhead(record), record.threads);
+    }
   }
   if (cores >= 8) {
     Require(thread_runs.back().qps / base_qps >= 3.0,

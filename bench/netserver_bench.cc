@@ -1,0 +1,308 @@
+// Socket front-end throughput: loopback UDP qps through the epoll +
+// recvmmsg/sendmmsg server (net::DnsFrontend) over the signed model root
+// zone, single worker and a multi-worker SO_REUSEPORT fleet, plus one
+// AXFR-over-TCP transfer timing. The replay qps from BENCH_hotpath.json is
+// read back as the no-sockets reference, so the report shows what fraction
+// of the in-process AnswerWire rate survives a real kernel round trip.
+//
+// The client runs in-process on a connected non-blocking UDP socket,
+// pipelining a window of pre-encoded queries with sendmmsg and draining
+// responses with recvmmsg — on a single-core container, client and server
+// share the CPU, so the printed qps is a conservative lower bound.
+//
+// Usage: netserver_bench [--out FILE.json] [--baseline OLD.json]
+//                        [--duration MS] [--workers N]
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <arpa/inet.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "crypto/dnssec.h"
+#include "dns/message.h"
+#include "net/axfr_client.h"
+#include "net/frontend.h"
+#include "obs/export.h"
+#include "util/rng.h"
+#include "zone/evolution.h"
+#include "zone/sign.h"
+#include "zone/zone_snapshot.h"
+
+using namespace rootless;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct BlastResult {
+  double qps = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+};
+
+// Pipelined loopback query storm against `port` for `duration_ms`.
+BlastResult Blast(std::uint16_t port, const std::vector<util::Bytes>& queries,
+                  int duration_ms) {
+  constexpr std::size_t kBatch = 64;
+  constexpr std::size_t kWindow = 256;
+  BlastResult result;
+
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return result;
+  const int bufsize = 1 << 20;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bufsize, sizeof(bufsize));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bufsize, sizeof(bufsize));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return result;
+  }
+
+  std::vector<mmsghdr> tx_msgs(kBatch), rx_msgs(kBatch);
+  std::vector<iovec> tx_iovs(kBatch), rx_iovs(kBatch);
+  std::vector<std::uint8_t> rx_buffers(kBatch * 4096);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    rx_iovs[i].iov_base = rx_buffers.data() + i * 4096;
+    rx_iovs[i].iov_len = 4096;
+    std::memset(&rx_msgs[i], 0, sizeof(rx_msgs[i]));
+    rx_msgs[i].msg_hdr.msg_iov = &rx_iovs[i];
+    rx_msgs[i].msg_hdr.msg_iovlen = 1;
+  }
+
+  std::size_t next_query = 0;
+  std::size_t inflight = 0;
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::milliseconds(duration_ms);
+  while (Clock::now() < deadline) {
+    while (inflight < kWindow) {
+      const std::size_t want =
+          std::min(kBatch, kWindow - inflight);
+      for (std::size_t i = 0; i < want; ++i) {
+        const util::Bytes& q = queries[next_query];
+        next_query = (next_query + 1) % queries.size();
+        tx_iovs[i].iov_base = const_cast<std::uint8_t*>(q.data());
+        tx_iovs[i].iov_len = q.size();
+        std::memset(&tx_msgs[i], 0, sizeof(tx_msgs[i]));
+        tx_msgs[i].msg_hdr.msg_iov = &tx_iovs[i];
+        tx_msgs[i].msg_hdr.msg_iovlen = 1;
+      }
+      const int sent =
+          ::sendmmsg(fd, tx_msgs.data(), static_cast<unsigned>(want), 0);
+      if (sent <= 0) break;  // socket buffer full: drain first
+      result.sent += static_cast<std::uint64_t>(sent);
+      inflight += static_cast<std::size_t>(sent);
+      if (static_cast<std::size_t>(sent) < want) break;
+    }
+    const int got = ::recvmmsg(fd, rx_msgs.data(),
+                               static_cast<unsigned>(kBatch), 0, nullptr);
+    if (got > 0) {
+      result.received += static_cast<std::uint64_t>(got);
+      inflight -= std::min(inflight, static_cast<std::size_t>(got));
+    } else if (inflight > 0) {
+      pollfd pfd{fd, POLLIN, 0};
+      if (::poll(&pfd, 1, 10) == 0) {
+        // Window presumed lost (kernel buffer overflow); resync.
+        inflight = 0;
+      }
+    }
+  }
+  const double elapsed = SecondsSince(start);
+  ::close(fd);
+  result.qps = elapsed > 0 ? static_cast<double>(result.received) / elapsed : 0;
+  return result;
+}
+
+// One throughput measurement against a fresh frontend with `workers` UDP
+// workers.
+BlastResult MeasureUdp(const zone::SnapshotPtr& snapshot,
+                       const std::vector<util::Bytes>& queries, int workers,
+                       int duration_ms) {
+  net::SnapshotSource source(snapshot);
+  net::FrontendOptions options;
+  options.udp_workers = workers;
+  options.enable_tcp = false;
+  net::DnsFrontend frontend(source, options);
+  if (!frontend.Start().ok()) return {};
+  BlastResult result = Blast(frontend.udp_port(), queries, duration_ms);
+  frontend.Stop();
+  return result;
+}
+
+// `"key": number` scanner (same shape as the other bench harnesses); keeps
+// the first occurrence, which is the "metrics" block.
+std::map<std::string, double> LoadJsonNumbers(const std::string& path) {
+  std::map<std::string, double> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  std::size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    const std::size_t end = text.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    const std::string key = text.substr(pos + 1, end - pos - 1);
+    std::size_t p = end + 1;
+    while (p < text.size() && (text[p] == ':' || text[p] == ' ')) ++p;
+    if (p < text.size() && p > end + 1 &&
+        (std::isdigit(static_cast<unsigned char>(text[p])) ||
+         text[p] == '-')) {
+      out.emplace(key, std::strtod(text.c_str() + p, nullptr));
+    }
+    pos = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_netserver.json";
+  std::string baseline_path;
+  std::string hotpath_path = "BENCH_hotpath.json";
+  int duration_ms = 2000;
+  int multi_workers = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--out") out_path = next();
+    else if (arg == "--baseline") baseline_path = next();
+    else if (arg == "--hotpath") hotpath_path = next();
+    else if (arg == "--duration") duration_ms = std::atoi(next());
+    else if (arg == "--workers") multi_workers = std::atoi(next());
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--out FILE.json] [--baseline OLD.json] "
+                   "[--hotpath HOTPATH.json] [--duration MS] [--workers N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const obs::RunInfo run_info{
+      "netserver_bench", 0,
+      "loopback udp, signed root zone, duration_ms=" +
+          std::to_string(duration_ms)};
+  std::printf("%s", obs::RunHeader(run_info).c_str());
+
+  // Same zone and date as the hotpath replay, so the reference qps is
+  // apples-to-apples.
+  const zone::RootZoneModel model;
+  zone::Zone root = model.Snapshot({2018, 4, 11});
+  util::Rng keyrng(0xD15EC);
+  const crypto::SigningKey zsk = crypto::GenerateKey(crypto::kZskFlags, keyrng);
+  root = zone::SignZone(root, zsk, {0, 0xFFFFFFFF});
+  const zone::SnapshotPtr snapshot = zone::ZoneSnapshot::Build(root);
+
+  // Replay-shaped queries: www.<tld>. A across the full TLD population,
+  // EDNS-less (the referral answer fits 512 unsigned; the signed referral
+  // gets truncated exactly as a real 512-limited client would see).
+  std::vector<util::Bytes> queries;
+  std::uint16_t id = 1;
+  for (const auto* tld : model.ActiveTlds({2018, 4, 11})) {
+    auto qname = dns::Name::Parse("www." + tld->label + ".");
+    if (!qname.ok()) continue;
+    queries.push_back(
+        dns::EncodeMessage(dns::MakeQuery(id++, *qname, dns::RRType::kA)));
+  }
+  std::printf("%-28s %12zu\n", "distinct_queries", queries.size());
+
+  std::vector<std::pair<std::string, double>> metrics;
+  auto record = [&](const std::string& name, double value) {
+    metrics.emplace_back(name, value);
+    std::printf("%-28s %12.1f\n", name.c_str(), value);
+    std::fflush(stdout);
+  };
+
+  const BlastResult single = MeasureUdp(snapshot, queries, 1, duration_ms);
+  record("udp_qps_1worker", single.qps);
+  record("udp_sent_1worker", static_cast<double>(single.sent));
+  record("udp_received_1worker", static_cast<double>(single.received));
+
+  const BlastResult multi =
+      MeasureUdp(snapshot, queries, multi_workers, duration_ms);
+  record("udp_workers_multi", multi_workers);
+  record("udp_qps_multiworker", multi.qps);
+
+  // TCP path: one full AXFR transfer of the signed zone.
+  {
+    net::SnapshotSource source(snapshot);
+    net::DnsFrontend frontend(source, {});
+    if (frontend.Start().ok()) {
+      const auto start = Clock::now();
+      auto fetched = net::FetchZoneTcp("127.0.0.1", frontend.tcp_port(), {});
+      const double ms = SecondsSince(start) * 1e3;
+      frontend.Stop();
+      if (fetched.ok() && *fetched && (*fetched)->SameContent(*snapshot)) {
+        record("axfr_fetch_ms", ms);
+        record("axfr_rrsets", static_cast<double>((*fetched)->rrset_count()));
+      } else {
+        std::fprintf(stderr, "netserver_bench: AXFR fetch failed\n");
+      }
+    }
+  }
+
+  const auto hotpath = LoadJsonNumbers(hotpath_path);
+  const double replay_qps =
+      hotpath.count("replay_qps") ? hotpath.at("replay_qps") : 0;
+  if (replay_qps > 0) {
+    record("replay_qps_reference", replay_qps);
+    record("socket_vs_replay_ratio", single.qps / replay_qps);
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"schema\": \"rootless-bench-netserver-v1\",\n");
+  std::fprintf(out, "  \"config\": {\"duration_ms\": %d, \"queries\": %zu},\n",
+               duration_ms, queries.size());
+  std::fprintf(out, "  \"metrics\": {\n");
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(out, "    \"%s\": %g%s\n", metrics[i].first.c_str(),
+                 metrics[i].second, i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(out, "  }");
+  if (!baseline_path.empty()) {
+    const auto baseline = LoadJsonNumbers(baseline_path);
+    std::fprintf(out, ",\n  \"baseline\": {\n");
+    bool first = true;
+    for (const auto& [name, value] : metrics) {
+      auto it = baseline.find(name);
+      if (it == baseline.end()) continue;
+      std::fprintf(out, "%s    \"%s\": %g", first ? "" : ",\n", name.c_str(),
+                   it->second);
+      first = false;
+    }
+    std::fprintf(out, "\n  }");
+    if (baseline.count("udp_qps_1worker") &&
+        baseline.at("udp_qps_1worker") > 0) {
+      std::fprintf(out, ",\n  \"speedup\": {\"udp_qps_1worker\": %g}",
+                   single.qps / baseline.at("udp_qps_1worker"));
+    }
+  }
+  std::fprintf(out, "\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -33,7 +33,7 @@ bool ReadHeader(ByteReader& r, std::uint8_t& tag) {
 
 // ------------------------------------------------------------------ server
 
-AxfrServer::AxfrServer(sim::Network& network, ZoneProvider provider,
+AxfrServer::AxfrServer(net::Transport& network, ZoneProvider provider,
                        std::size_t chunk_size, obs::Registry* registry)
     : network_(network), provider_(std::move(provider)),
       chunk_size_(chunk_size) {
@@ -103,7 +103,7 @@ void AxfrServer::HandleDatagram(const sim::Datagram& datagram) {
 
 // ------------------------------------------------------------------ client
 
-AxfrClient::AxfrClient(sim::Simulator& sim, sim::Network& network,
+AxfrClient::AxfrClient(sim::Simulator& sim, net::Transport& network,
                        Options options)
     : sim_(sim),
       network_(network),

@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "sim/network.h"
 #include "sim/retry.h"
@@ -40,7 +41,9 @@ class AxfrServer {
  public:
   using ZoneProvider = std::function<zone::SnapshotPtr()>;
 
-  AxfrServer(sim::Network& network, ZoneProvider provider,
+  // Works over any transport implementation: the simulated network in
+  // replays, or (wrapped by the socket front-end) a real UDP server.
+  AxfrServer(net::Transport& network, ZoneProvider provider,
              std::size_t chunk_size = 1200, obs::Registry* registry = nullptr);
 
   sim::NodeId node() const { return node_; }
@@ -53,7 +56,7 @@ class AxfrServer {
  private:
   void HandleDatagram(const sim::Datagram& datagram);
 
-  sim::Network& network_;
+  net::Transport& network_;
   ZoneProvider provider_;
   std::size_t chunk_size_;
   sim::NodeId node_;
@@ -98,7 +101,9 @@ class AxfrClient {
     obs::Registry* registry = nullptr;
   };
 
-  AxfrClient(sim::Simulator& sim, sim::Network& network, Options options);
+  // Timers (per-chunk timeouts) come from the simulator; the datagrams
+  // travel over any transport implementation.
+  AxfrClient(sim::Simulator& sim, net::Transport& network, Options options);
 
   sim::NodeId node() const { return node_; }
   // Snapshot of the registry-backed counters.
@@ -139,7 +144,7 @@ class AxfrClient {
   void FinishError(ErrorCode code, const std::string& message);
 
   sim::Simulator& sim_;
-  sim::Network& network_;
+  net::Transport& network_;
   int window_;
   sim::RetryPolicy retry_;
   util::Rng rng_;

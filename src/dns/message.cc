@@ -251,7 +251,7 @@ Result<Message> DecodeMessage(std::span<const std::uint8_t> wire) {
   std::uint16_t flags = 0, qd = 0, an = 0, ns = 0, ar = 0;
   if (!r.ReadU16(m.header.id) || !r.ReadU16(flags) || !r.ReadU16(qd) ||
       !r.ReadU16(an) || !r.ReadU16(ns) || !r.ReadU16(ar))
-    return Error("message: truncated header");
+    return Error(ErrorCode::kTruncated, "message: truncated header");
   m.header.qr = flags & 0x8000;
   m.header.opcode = static_cast<Opcode>((flags >> 11) & 0xF);
   m.header.aa = flags & 0x0400;
@@ -267,7 +267,7 @@ Result<Message> DecodeMessage(std::span<const std::uint8_t> wire) {
     q.name = std::move(*name);
     std::uint16_t type = 0, cls = 0;
     if (!r.ReadU16(type) || !r.ReadU16(cls))
-      return Error("message: truncated question");
+      return Error(ErrorCode::kTruncated, "message: truncated question");
     q.type = static_cast<RRType>(type);
     q.rrclass = static_cast<RRClass>(cls);
     m.questions.push_back(std::move(q));
@@ -278,16 +278,16 @@ Result<Message> DecodeMessage(std::span<const std::uint8_t> wire) {
     for (int i = 0; i < count; ++i) {
       ResourceRecord rr;
       auto name = Name::DecodeWire(r);
-      if (!name.ok()) return Error(name.error().message());
+      if (!name.ok()) return name.error();
       rr.name = std::move(*name);
       std::uint16_t type = 0, cls = 0, rdlength = 0;
       if (!r.ReadU16(type) || !r.ReadU16(cls) || !r.ReadU32(rr.ttl) ||
           !r.ReadU16(rdlength))
-        return Error("message: truncated record header");
+        return Error(ErrorCode::kTruncated, "message: truncated record header");
       rr.type = static_cast<RRType>(type);
       rr.rrclass = static_cast<RRClass>(cls);
       auto rdata = DecodeRdata(rr.type, rdlength, r);
-      if (!rdata.ok()) return Error(rdata.error().message());
+      if (!rdata.ok()) return rdata.error();
       rr.rdata = std::move(*rdata);
       out.push_back(std::move(rr));
     }
@@ -298,7 +298,7 @@ Result<Message> DecodeMessage(std::span<const std::uint8_t> wire) {
   ROOTLESS_RETURN_IF_ERROR(read_records(ns, m.authority));
   ROOTLESS_RETURN_IF_ERROR(read_records(ar, m.additional));
 
-  if (!r.at_end()) return Error("message: trailing bytes");
+  if (!r.at_end()) return Error(ErrorCode::kCorrupted, "message: trailing bytes");
   return m;
 }
 

@@ -100,13 +100,13 @@ Result<Name> Name::DecodeWire(util::ByteReader& reader) {
   // and the loop terminates.
   for (;;) {
     std::uint8_t len = 0;
-    if (!reader.PeekAt(position, len)) return Error("name: truncated");
+    if (!reader.PeekAt(position, len)) return Error(ErrorCode::kTruncated, "name: truncated");
     if ((len & 0xC0) == 0xC0) {
       std::uint8_t low = 0;
-      if (!reader.PeekAt(position + 1, low)) return Error("name: truncated pointer");
+      if (!reader.PeekAt(position + 1, low)) return Error(ErrorCode::kTruncated, "name: truncated pointer");
       const std::size_t target =
           (static_cast<std::size_t>(len & 0x3F) << 8) | low;
-      if (target >= position) return Error("name: forward compression pointer");
+      if (target >= position) return Error(ErrorCode::kCorrupted, "name: forward compression pointer");
       if (!followed_pointer) {
         followed_pointer = true;
         resume_offset = position + 2;
@@ -114,18 +114,20 @@ Result<Name> Name::DecodeWire(util::ByteReader& reader) {
       position = target;
       continue;
     }
-    if ((len & 0xC0) != 0) return Error("name: reserved label type");
+    if ((len & 0xC0) != 0) return Error(ErrorCode::kCorrupted, "name: reserved label type");
     if (len == 0) {
       position += 1;
       break;
     }
-    if (b.size + 1 + len > kMaxFlatBytes) return Error("name: name too long");
-    if (b.labels >= kMaxLabels) return Error("name: name too long");
+    if (b.size + 1 + len > kMaxFlatBytes)
+      return Error(ErrorCode::kCorrupted, "name: name too long");
+    if (b.labels >= kMaxLabels)
+      return Error(ErrorCode::kCorrupted, "name: name too long");
     b.bytes[b.size] = len;
     for (std::size_t i = 0; i < len; ++i) {
       std::uint8_t byte = 0;
       if (!reader.PeekAt(position + 1 + i, byte))
-        return Error("name: truncated label");
+        return Error(ErrorCode::kTruncated, "name: truncated label");
       b.bytes[b.size + 1 + i] = byte;
     }
     b.size += 1 + len;
@@ -133,7 +135,7 @@ Result<Name> Name::DecodeWire(util::ByteReader& reader) {
     position += 1 + len;
   }
   const std::size_t end = followed_pointer ? resume_offset : position;
-  if (!reader.Seek(end)) return Error("name: seek failed");
+  if (!reader.Seek(end)) return Error(ErrorCode::kCorrupted, "name: seek failed");
   return Name(b.bytes, b.size, b.labels);
 }
 

@@ -151,11 +151,14 @@ Result<std::vector<RRType>> DecodeTypeBitmap(util::ByteReader& r,
   std::vector<RRType> out;
   while (r.offset() < end_offset) {
     std::uint8_t window = 0, len = 0;
-    if (!r.ReadU8(window) || !r.ReadU8(len)) return Error("nsec: truncated bitmap");
-    if (len == 0 || len > 32) return Error("nsec: bad bitmap length");
+    if (!r.ReadU8(window) || !r.ReadU8(len))
+      return Error(ErrorCode::kTruncated, "nsec: truncated bitmap");
+    if (len == 0 || len > 32)
+      return Error(ErrorCode::kCorrupted, "nsec: bad bitmap length");
     for (int b = 0; b < len; ++b) {
       std::uint8_t byte = 0;
-      if (!r.ReadU8(byte)) return Error("nsec: truncated bitmap");
+      if (!r.ReadU8(byte))
+        return Error(ErrorCode::kTruncated, "nsec: truncated bitmap");
       for (int bit = 0; bit < 8; ++bit) {
         if (byte & (0x80 >> bit)) {
           out.push_back(static_cast<RRType>(window << 8 | (b * 8 + bit)));
@@ -231,24 +234,27 @@ void EncodeRdata(const Rdata& rdata, util::ByteWriter& writer) {
 Result<Rdata> DecodeRdata(RRType type, std::size_t rdlength,
                           util::ByteReader& r) {
   const std::size_t end = r.offset() + rdlength;
-  if (end > r.size()) return Error("rdata: truncated");
+  if (end > r.size()) return Error(ErrorCode::kTruncated, "rdata: truncated");
 
   auto finish = [&](Rdata d) -> Result<Rdata> {
-    if (r.offset() != end) return Error("rdata: trailing bytes");
+    if (r.offset() != end)
+      return Error(ErrorCode::kCorrupted, "rdata: trailing bytes");
     return d;
   };
 
   switch (type) {
     case RRType::kA: {
       std::uint32_t v = 0;
-      if (rdlength != 4 || !r.ReadU32(v)) return Error("a: bad length");
+      if (rdlength != 4 || !r.ReadU32(v))
+        return Error(ErrorCode::kCorrupted, "a: bad length");
       return finish(AData{Ipv4{v}});
     }
     case RRType::kAAAA: {
-      if (rdlength != 16) return Error("aaaa: bad length");
+      if (rdlength != 16) return Error(ErrorCode::kCorrupted, "aaaa: bad length");
       AaaaData d;
       std::span<const std::uint8_t> view;
-      if (!r.ReadSpan(16, view)) return Error("aaaa: truncated");
+      if (!r.ReadSpan(16, view))
+        return Error(ErrorCode::kTruncated, "aaaa: truncated");
       std::copy(view.begin(), view.end(), d.address.addr.begin());
       return finish(std::move(d));
     }
@@ -273,12 +279,13 @@ Result<Rdata> DecodeRdata(RRType type, std::size_t rdlength,
       d.rname = std::move(*rname);
       if (!r.ReadU32(d.serial) || !r.ReadU32(d.refresh) || !r.ReadU32(d.retry) ||
           !r.ReadU32(d.expire) || !r.ReadU32(d.minimum))
-        return Error("soa: truncated");
+        return Error(ErrorCode::kTruncated, "soa: truncated");
       return finish(std::move(d));
     }
     case RRType::kMX: {
       MxData d;
-      if (!r.ReadU16(d.preference)) return Error("mx: truncated");
+      if (!r.ReadU16(d.preference))
+        return Error(ErrorCode::kTruncated, "mx: truncated");
       auto n = Name::DecodeWire(r);
       if (!n.ok()) return n.error();
       d.exchange = std::move(*n);
@@ -290,7 +297,7 @@ Result<Rdata> DecodeRdata(RRType type, std::size_t rdlength,
         std::uint8_t len = 0;
         std::string s;
         if (!r.ReadU8(len) || !r.ReadString(len, s))
-          return Error("txt: truncated");
+          return Error(ErrorCode::kTruncated, "txt: truncated");
         d.strings.push_back(std::move(s));
       }
       return finish(std::move(d));
@@ -299,16 +306,17 @@ Result<Rdata> DecodeRdata(RRType type, std::size_t rdlength,
       DsData d;
       if (!r.ReadU16(d.key_tag) || !r.ReadU8(d.algorithm) ||
           !r.ReadU8(d.digest_type))
-        return Error("ds: truncated");
-      if (!r.ReadBytes(end - r.offset(), d.digest)) return Error("ds: truncated");
+        return Error(ErrorCode::kTruncated, "ds: truncated");
+      if (!r.ReadBytes(end - r.offset(), d.digest))
+        return Error(ErrorCode::kTruncated, "ds: truncated");
       return finish(std::move(d));
     }
     case RRType::kDNSKEY: {
       DnskeyData d;
       if (!r.ReadU16(d.flags) || !r.ReadU8(d.protocol) || !r.ReadU8(d.algorithm))
-        return Error("dnskey: truncated");
+        return Error(ErrorCode::kTruncated, "dnskey: truncated");
       if (!r.ReadBytes(end - r.offset(), d.public_key))
-        return Error("dnskey: truncated");
+        return Error(ErrorCode::kTruncated, "dnskey: truncated");
       return finish(std::move(d));
     }
     case RRType::kRRSIG: {
@@ -317,14 +325,14 @@ Result<Rdata> DecodeRdata(RRType type, std::size_t rdlength,
       if (!r.ReadU16(covered) || !r.ReadU8(d.algorithm) || !r.ReadU8(d.labels) ||
           !r.ReadU32(d.original_ttl) || !r.ReadU32(d.expiration) ||
           !r.ReadU32(d.inception) || !r.ReadU16(d.key_tag))
-        return Error("rrsig: truncated");
+        return Error(ErrorCode::kTruncated, "rrsig: truncated");
       d.type_covered = static_cast<RRType>(covered);
       auto n = Name::DecodeWire(r);
       if (!n.ok()) return n.error();
       d.signer = std::move(*n);
-      if (r.offset() > end) return Error("rrsig: overflow");
+      if (r.offset() > end) return Error(ErrorCode::kCorrupted, "rrsig: overflow");
       if (!r.ReadBytes(end - r.offset(), d.signature))
-        return Error("rrsig: truncated");
+        return Error(ErrorCode::kTruncated, "rrsig: truncated");
       return finish(std::move(d));
     }
     case RRType::kNSEC: {
@@ -332,7 +340,7 @@ Result<Rdata> DecodeRdata(RRType type, std::size_t rdlength,
       auto n = Name::DecodeWire(r);
       if (!n.ok()) return n.error();
       d.next = std::move(*n);
-      if (r.offset() > end) return Error("nsec: overflow");
+      if (r.offset() > end) return Error(ErrorCode::kCorrupted, "nsec: overflow");
       auto types = DecodeTypeBitmap(r, end);
       if (!types.ok()) return types.error();
       d.types = std::move(*types);
@@ -340,7 +348,8 @@ Result<Rdata> DecodeRdata(RRType type, std::size_t rdlength,
     }
     default: {
       RawData d;
-      if (!r.ReadBytes(rdlength, d.bytes)) return Error("raw: truncated");
+      if (!r.ReadBytes(rdlength, d.bytes))
+        return Error(ErrorCode::kTruncated, "raw: truncated");
       return finish(std::move(d));
     }
   }

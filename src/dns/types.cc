@@ -15,7 +15,8 @@ constexpr std::pair<RRType, std::string_view> kTypeNames[] = {
     {RRType::kTXT, "TXT"},     {RRType::kAAAA, "AAAA"},
     {RRType::kOPT, "OPT"},     {RRType::kDS, "DS"},
     {RRType::kRRSIG, "RRSIG"}, {RRType::kNSEC, "NSEC"},
-    {RRType::kDNSKEY, "DNSKEY"}, {RRType::kANY, "ANY"},
+    {RRType::kDNSKEY, "DNSKEY"}, {RRType::kIXFR, "IXFR"},
+    {RRType::kAXFR, "AXFR"},     {RRType::kANY, "ANY"},
 };
 
 constexpr std::pair<RRClass, std::string_view> kClassNames[] = {

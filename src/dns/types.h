@@ -23,6 +23,8 @@ enum class RRType : std::uint16_t {
   kRRSIG = 46,
   kNSEC = 47,
   kDNSKEY = 48,
+  kIXFR = 251,  // QTYPE only
+  kAXFR = 252,  // QTYPE only (RFC 5936)
   kANY = 255,
 };
 

@@ -1,0 +1,35 @@
+// Blocking AXFR-over-TCP client: the socket-backed variant of the zone
+// distribution channel (the simulator's loss-tolerant UDP variant is
+// distrib::AxfrClient).
+//
+// FetchZoneTcp first asks the server for its SOA; if the serial matches
+// `have_serial` the fetch returns a null SnapshotPtr (the caller keeps its
+// copy — the cheap steady-state poll). Otherwise it issues an AXFR query and
+// assembles the streamed messages into a fresh snapshot
+// (distrib::AssembleAxfrStream validates the SOA bracket).
+//
+// Blocking by design: refresh runs on its own cadence (minutes), not on the
+// serving loop. Error codes follow the shared vocabulary: kUnreachable
+// (connect), kTimeout (deadline), kCorrupted/kProtocol (stream).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "zone/zone_snapshot.h"
+
+namespace rootless::net {
+
+struct AxfrFetchOptions {
+  std::uint32_t have_serial = 0;  // 0 = always transfer
+  int timeout_ms = 5000;          // per-socket-operation deadline
+};
+
+// Returns the transferred snapshot, or a null SnapshotPtr when the server's
+// serial equals `options.have_serial`.
+util::Result<zone::SnapshotPtr> FetchZoneTcp(const std::string& host,
+                                             std::uint16_t port,
+                                             const AxfrFetchOptions& options);
+
+}  // namespace rootless::net

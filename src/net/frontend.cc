@@ -1,0 +1,177 @@
+#include "net/frontend.h"
+
+#include <utility>
+
+#include "distrib/axfr_stream.h"
+#include "dns/message.h"
+
+namespace rootless::net {
+
+DnsFrontend::DnsFrontend(SnapshotSource& source, FrontendOptions options)
+    : source_(source), options_(std::move(options)) {}
+
+DnsFrontend::~DnsFrontend() { Stop(); }
+
+util::Status DnsFrontend::Start() {
+  if (!workers_.empty()) {
+    return util::Error(ErrorCode::kProtocol, "frontend: already started");
+  }
+  zone::SnapshotPtr snapshot = source_.Get();
+  if (!snapshot) {
+    return util::Error(ErrorCode::kUnavailable,
+                       "frontend: snapshot source is empty");
+  }
+  const std::uint64_t generation = source_.generation();
+  const int worker_count = options_.udp_workers < 1 ? 1 : options_.udp_workers;
+
+  rootsrv::AuthServer::Options auth_options;
+  auth_options.include_dnssec = options_.include_dnssec;
+  auth_options.edns = options_.edns;
+  // Real wire: answer garbage with FORMERR (the sim default stays drop).
+  auth_options.respond_formerr_to_garbage = true;
+
+  // Bind everything up front (ports are known before any thread runs), then
+  // start the threads.
+  for (int i = 0; i < worker_count; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->registry = std::make_unique<obs::Registry>();
+    worker->registry->set_instance_namespace("w" + std::to_string(i) + ".");
+    worker->loop = std::make_unique<EventLoop>();
+    if (!worker->loop->ok()) {
+      return util::Error(ErrorCode::kUnavailable, "frontend: epoll failed");
+    }
+
+    UdpServer::Options udp_options;
+    udp_options.bind_address = options_.bind_address;
+    // Worker 0 establishes the port; the rest join it via SO_REUSEPORT.
+    udp_options.port = i == 0 ? options_.port : udp_port_;
+    udp_options.reuse_port = worker_count > 1;
+    udp_options.batch = options_.batch;
+    udp_options.registry = worker->registry.get();
+    auto udp = UdpServer::Bind(*worker->loop, udp_options);
+    if (!udp.ok()) return udp.error();
+    worker->udp = std::move(*udp);
+    if (i == 0) udp_port_ = worker->udp->port();
+
+    auth_options.registry = worker->registry.get();
+    worker->auth = std::make_unique<rootsrv::AuthServer>(
+        worker->udp.get(), snapshot, auth_options);
+
+    if (i == 0 && options_.enable_tcp) {
+      TcpServer::Options tcp_options;
+      tcp_options.bind_address = options_.bind_address;
+      tcp_options.port = options_.port;  // 0 = its own ephemeral port
+      tcp_options.registry = worker->registry.get();
+      auto tcp = TcpServer::Listen(*worker->loop, tcp_options);
+      if (!tcp.ok()) return tcp.error();
+      worker->tcp = std::move(*tcp);
+      tcp_port_ = worker->tcp->port();
+
+      worker->tcp_auth = std::make_unique<rootsrv::AuthServer>(
+          worker->tcp.get(), snapshot, auth_options);
+      // Interpose on the TCP message path: AXFR queries answer with a
+      // message stream; everything else goes to the AuthServer in kTcp mode
+      // (64KB limit, no TC truncation).
+      Worker* w = worker.get();
+      worker->tcp->SetHandler(worker->tcp_auth->node(),
+                              [this, w](const Packet& packet) {
+                                HandleTcpPacket(*w, packet);
+                              });
+      const obs::Labels labels{
+          worker->registry->NextInstance("net.frontend"), "", ""};
+      axfr_transfers_ = worker->registry->counter(
+          "net.frontend.axfr_transfers", labels);
+    }
+
+    worker->seen_generation = generation;
+    workers_.push_back(std::move(worker));
+  }
+
+  stop_.store(false, std::memory_order_relaxed);
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] { RunWorker(*w); });
+  }
+  return util::Status::Ok();
+}
+
+void DnsFrontend::RunWorker(Worker& worker) {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    worker.loop->PollOnce(20);
+    // Zone refresh: swap between epoll batches, on this thread, so no query
+    // ever sees a half-switched zone and old snapshots drain by refcount.
+    const std::uint64_t generation = source_.generation();
+    if (generation != worker.seen_generation) {
+      worker.seen_generation = generation;
+      zone::SnapshotPtr snapshot = source_.Get();
+      if (snapshot) {
+        worker.auth->SetZone(snapshot);
+        if (worker.tcp_auth) worker.tcp_auth->SetZone(std::move(snapshot));
+      }
+    }
+  }
+}
+
+void DnsFrontend::HandleTcpPacket(Worker& worker, const Packet& packet) {
+  auto query = dns::DecodeMessage(packet.payload);
+  if (query.ok() && !query->header.qr && query->questions.size() == 1 &&
+      query->questions.front().type == dns::RRType::kAXFR) {
+    auto stream = distrib::BuildAxfrStream(*worker.tcp_auth->snapshot(),
+                                           *query,
+                                           options_.axfr_records_per_message);
+    if (stream.empty()) {
+      worker.tcp->Send(0, packet.src,
+                       dns::EncodeMessage(
+                           dns::MakeResponse(*query, dns::RCode::kServFail)));
+      return;
+    }
+    axfr_transfers_.Inc();
+    for (auto& message : stream) {
+      worker.tcp->Send(0, packet.src, std::move(message));
+    }
+    return;
+  }
+  worker.tcp_auth->HandleDatagram(packet, rootsrv::Channel::kTcp);
+}
+
+void DnsFrontend::Stop() {
+  if (!stop_.exchange(true, std::memory_order_relaxed)) {
+    for (auto& worker : workers_) worker->loop->Stop();
+    for (auto& worker : workers_) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
+  }
+  if (!merged_ && !workers_.empty()) {
+    merged_ = true;
+    obs::Registry& target =
+        options_.registry ? *options_.registry : obs::Registry::Default();
+    // Worker order keeps merged dumps deterministic (same rule as the
+    // parallel replay engine's shard merge).
+    for (auto& worker : workers_) worker->registry->MergeInto(target);
+  }
+}
+
+rootsrv::AuthServerStats DnsFrontend::stats() const {
+  rootsrv::AuthServerStats total;
+  for (const auto& worker : workers_) {
+    for (const rootsrv::AuthServer* auth :
+         {worker->auth.get(), worker->tcp_auth.get()}) {
+      if (auth == nullptr) continue;
+      const rootsrv::AuthServerStats s = auth->stats();
+      total.queries += s.queries;
+      total.answers += s.answers;
+      total.referrals += s.referrals;
+      total.nxdomain += s.nxdomain;
+      total.nodata += s.nodata;
+      total.refused += s.refused;
+      total.malformed += s.malformed;
+      total.truncated += s.truncated;
+      total.edns_queries += s.edns_queries;
+      total.cache_hits += s.cache_hits;
+      total.bytes_in += s.bytes_in;
+      total.bytes_out += s.bytes_out;
+    }
+  }
+  return total;
+}
+
+}  // namespace rootless::net

@@ -1,0 +1,68 @@
+// The transport seam: one send/receive contract with two families of
+// implementations — the simulated datagram network (sim::Network) and the
+// real socket servers (net::UdpServer, net::TcpServer).
+//
+// A Transport hosts endpoints. Local endpoints are registered with AddNode()
+// and receive every packet addressed to them; Send() emits a packet from one
+// endpoint to another. How a packet travels is the implementation's
+// business: the simulator schedules a latency-delayed delivery event, the
+// UDP server resolves the destination to a peer socket address and batches
+// it into a sendmmsg ring, the TCP server frames it onto a connection.
+//
+// Because rootsrv::AuthServer and the distrib AXFR channel are written
+// against this interface only, the exact same server object — same decode
+// path, same FORMERR policy, same truncation logic, same counters — answers
+// simulated replay traffic and hostile datagrams from a real NIC. The
+// loopback parity test (tests/netserver_test.cc) holds the two
+// implementations byte-identical.
+//
+// This header is intentionally dependency-free (util only) so that sim can
+// include it without linking the socket module: sim sits *below* net in the
+// link graph, and only the compiled socket servers live in rootless_net.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/bytes.h"
+
+namespace rootless::net {
+
+// Endpoint identity within one Transport. Socket transports tag remote
+// peers with kRemoteEndpointBit; the simulated network never does.
+using EndpointId = std::uint32_t;
+
+// Set on ids that name a remote socket peer (a reply address slot) rather
+// than a locally registered endpoint.
+inline constexpr EndpointId kRemoteEndpointBit = 0x8000'0000u;
+
+// One unit of delivery: a datagram on UDP / the simulator, one
+// length-prefixed DNS message on TCP.
+struct Packet {
+  EndpointId src = 0;
+  EndpointId dst = 0;
+  util::Bytes payload;
+};
+
+class Transport {
+ public:
+  using ReceiveHandler = std::function<void(const Packet&)>;
+
+  virtual ~Transport() = default;
+
+  // Registers a local endpoint; the handler is invoked for every packet
+  // addressed to it. Returns the endpoint's id.
+  virtual EndpointId AddNode(ReceiveHandler handler) = 0;
+
+  // Replaces an endpoint's handler (wiring objects constructed after their
+  // endpoint id is needed).
+  virtual void SetHandler(EndpointId endpoint, ReceiveHandler handler) = 0;
+
+  // Sends a packet from `src` to `dst`. Delivery semantics (latency, loss,
+  // batching, framing) belong to the implementation. Implementations accept
+  // Send() from within a receive handler — that is the universal
+  // request/response shape.
+  virtual void Send(EndpointId src, EndpointId dst, util::Bytes payload) = 0;
+};
+
+}  // namespace rootless::net

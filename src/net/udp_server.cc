@@ -1,0 +1,225 @@
+#include "net/udp_server.h"
+
+#include <arpa/inet.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rootless::net {
+
+namespace {
+
+util::Error Errno(const char* what) {
+  return util::Error(ErrorCode::kUnavailable,
+                     std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+util::Result<std::unique_ptr<UdpServer>> UdpServer::Bind(EventLoop& loop,
+                                                         Options options) {
+  if (options.batch == 0) options.batch = 1;
+  std::unique_ptr<UdpServer> server(new UdpServer(loop, options));
+
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (fd < 0) return Errno("udp socket");
+  server->fd_ = fd;
+
+  if (options.reuse_port) {
+    const int one = 1;
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      return Errno("udp SO_REUSEPORT");
+    }
+  }
+  // Bigger kernel buffers absorb bursts while the loop is in a batch; best
+  // effort, the default is fine functionally.
+  const int bufsize = 1 << 20;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bufsize, sizeof(bufsize));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bufsize, sizeof(bufsize));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return util::Error(ErrorCode::kUnavailable,
+                       "udp bind: bad address " + options.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("udp bind");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return Errno("udp getsockname");
+  }
+  server->port_ = ntohs(bound.sin_port);
+
+  auto status = loop.Add(
+      fd, EPOLLIN, [s = server.get()](std::uint32_t ev) { s->HandleEvents(ev); });
+  if (!status.ok()) return status.error();
+  return server;
+}
+
+UdpServer::UdpServer(EventLoop& loop, Options options)
+    : loop_(loop), options_(options) {
+  const std::size_t batch = options_.batch;
+  peers_.resize(kPeerSlots);
+  rx_msgs_.resize(batch);
+  rx_iovs_.resize(batch);
+  rx_addrs_.resize(batch);
+  rx_buffers_.resize(batch * options_.rx_buffer);
+  for (std::size_t i = 0; i < batch; ++i) {
+    rx_iovs_[i].iov_base = rx_buffers_.data() + i * options_.rx_buffer;
+    rx_iovs_[i].iov_len = options_.rx_buffer;
+    auto& hdr = rx_msgs_[i].msg_hdr;
+    std::memset(&rx_msgs_[i], 0, sizeof(rx_msgs_[i]));
+    hdr.msg_iov = &rx_iovs_[i];
+    hdr.msg_iovlen = 1;
+    hdr.msg_name = &rx_addrs_[i];
+    hdr.msg_namelen = sizeof(sockaddr_in);
+  }
+  tx_msgs_.resize(batch);
+  tx_iovs_.resize(batch);
+  tx_queue_.reserve(batch * 2);
+
+  obs::Registry& reg =
+      options_.registry ? *options_.registry : obs::Registry::Default();
+  const obs::Labels labels{reg.NextInstance("net.udp"), "", ""};
+  c_.rx_datagrams = reg.counter("net.udp.rx_datagrams", labels);
+  c_.tx_datagrams = reg.counter("net.udp.tx_datagrams", labels);
+  c_.rx_batches = reg.counter("net.udp.rx_batches", labels);
+  c_.tx_batches = reg.counter("net.udp.tx_batches", labels);
+  c_.bytes_in = reg.counter("net.udp.bytes_in", labels);
+  c_.bytes_out = reg.counter("net.udp.bytes_out", labels);
+  c_.dropped = reg.counter("net.udp.dropped", labels);
+  c_.batch_size = reg.histogram("net.udp.rx_batch_size", labels);
+}
+
+UdpServer::~UdpServer() {
+  if (fd_ >= 0) {
+    loop_.Remove(fd_);
+    ::close(fd_);
+  }
+}
+
+EndpointId UdpServer::AddNode(ReceiveHandler handler) {
+  // One serving endpoint per socket; all received datagrams address it.
+  handler_ = std::move(handler);
+  handler_set_ = true;
+  return 0;
+}
+
+void UdpServer::SetHandler(EndpointId endpoint, ReceiveHandler handler) {
+  (void)endpoint;
+  handler_ = std::move(handler);
+  handler_set_ = true;
+}
+
+void UdpServer::HandleEvents(std::uint32_t events) {
+  if (events & EPOLLOUT) OnWritable();
+  if (events & EPOLLIN) OnReadable();
+}
+
+void UdpServer::OnReadable() {
+  for (;;) {
+    const int n = ::recvmmsg(fd_, rx_msgs_.data(),
+                             static_cast<unsigned>(rx_msgs_.size()), 0,
+                             nullptr);
+    if (n <= 0) break;  // EAGAIN (or error): level-triggered epoll re-arms
+    c_.rx_batches.Inc();
+    c_.rx_datagrams.Inc(static_cast<std::uint64_t>(n));
+    c_.batch_size.Record(static_cast<std::uint64_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const std::size_t got = rx_msgs_[i].msg_len;
+      c_.bytes_in.Inc(got);
+      // Datagrams larger than the receive buffer arrive truncated and would
+      // parse as garbage; that is the desired hostile-input behaviour.
+      const std::size_t slot = next_peer_;
+      next_peer_ = (next_peer_ + 1) & (kPeerSlots - 1);
+      peers_[slot] = rx_addrs_[i];
+      rx_packet_.src = kRemoteEndpointBit | static_cast<EndpointId>(slot);
+      rx_packet_.dst = 0;
+      const auto* base = static_cast<const std::uint8_t*>(rx_iovs_[i].iov_base);
+      rx_packet_.payload.assign(base, base + got);
+      if (handler_set_ && handler_) handler_(rx_packet_);
+      // Reset namelen clobbered by the kernel for the next batch.
+      rx_msgs_[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    }
+    // One response batch per request batch.
+    FlushTx();
+    if (static_cast<std::size_t>(n) < rx_msgs_.size()) break;
+  }
+}
+
+void UdpServer::Send(EndpointId src, EndpointId dst, util::Bytes payload) {
+  (void)src;
+  if (!(dst & kRemoteEndpointBit)) return;  // only remote peers are sendable
+  if (tx_queue_.size() - tx_head_ >= kMaxTxQueue) {
+    c_.dropped.Inc();
+    return;
+  }
+  const std::size_t slot = (dst & ~kRemoteEndpointBit) & (kPeerSlots - 1);
+  tx_queue_.push_back(TxEntry{peers_[slot], std::move(payload)});
+  if (tx_queue_.size() - tx_head_ >= options_.batch) FlushTx();
+}
+
+void UdpServer::Flush() { FlushTx(); }
+
+void UdpServer::OnWritable() { FlushTx(); }
+
+void UdpServer::FlushTx() {
+  while (tx_head_ < tx_queue_.size()) {
+    const std::size_t pending = tx_queue_.size() - tx_head_;
+    const std::size_t count = std::min(pending, options_.batch);
+    for (std::size_t i = 0; i < count; ++i) {
+      TxEntry& e = tx_queue_[tx_head_ + i];
+      tx_iovs_[i].iov_base = e.payload.data();
+      tx_iovs_[i].iov_len = e.payload.size();
+      std::memset(&tx_msgs_[i], 0, sizeof(tx_msgs_[i]));
+      tx_msgs_[i].msg_hdr.msg_iov = &tx_iovs_[i];
+      tx_msgs_[i].msg_hdr.msg_iovlen = 1;
+      tx_msgs_[i].msg_hdr.msg_name = &e.addr;
+      tx_msgs_[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    }
+    const int sent = ::sendmmsg(fd_, tx_msgs_.data(),
+                                static_cast<unsigned>(count), 0);
+    if (sent < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        UpdateInterest(true);
+        return;
+      }
+      // Hard error (e.g. ICMP-reported unreachable peer): drop the head
+      // datagram and keep going.
+      c_.dropped.Inc();
+      ++tx_head_;
+      continue;
+    }
+    c_.tx_batches.Inc();
+    c_.tx_datagrams.Inc(static_cast<std::uint64_t>(sent));
+    for (int i = 0; i < sent; ++i) {
+      c_.bytes_out.Inc(tx_queue_[tx_head_ + i].payload.size());
+    }
+    tx_head_ += static_cast<std::size_t>(sent);
+    if (static_cast<std::size_t>(sent) < count) {
+      UpdateInterest(true);
+      return;
+    }
+  }
+  tx_queue_.clear();
+  tx_head_ = 0;
+  UpdateInterest(false);
+}
+
+void UdpServer::UpdateInterest(bool want_writable) {
+  if (want_writable == want_writable_) return;
+  want_writable_ = want_writable;
+  loop_.Modify(fd_, want_writable ? (EPOLLIN | EPOLLOUT) : EPOLLIN);
+}
+
+}  // namespace rootless::net

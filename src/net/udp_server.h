@@ -1,0 +1,128 @@
+// Batched UDP datagram server: one non-blocking IPv4 socket on an EventLoop,
+// draining with recvmmsg and answering with sendmmsg.
+//
+// Buffer ownership: all receive storage (mmsghdr/iovec arrays, one
+// contiguous datagram buffer block, the source-address array) is allocated
+// once at Bind() and reused for every batch — the steady-state receive path
+// performs no allocation beyond copying each datagram into the Packet handed
+// to the endpoint handler. Responses queue in a transmit ring and leave in
+// sendmmsg batches: at batch-size boundaries, at the end of each receive
+// batch (so a request batch's responses depart as one syscall), and on
+// EPOLLOUT once the socket signals backpressure.
+//
+// As a Transport: the server hosts ONE local endpoint (id 0) — the DNS
+// server object — and manufactures remote endpoint ids (kRemoteEndpointBit
+// set) for datagram sources. A remote id names a slot in a rotating
+// source-address ring and stays valid until the ring wraps (kPeerSlots
+// further datagrams), which the synchronous request/response pattern never
+// outlives. Several UdpServers may Bind() the same port with
+// `reuse_port` — the kernel then spreads flows across them (multi-worker
+// SO_REUSEPORT serving).
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+struct mmsghdr;  // <sys/socket.h>
+
+namespace rootless::net {
+
+class UdpServer final : public Transport {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = kernel-assigned ephemeral port
+    // Allow multiple sockets on the port (SO_REUSEPORT worker fleets).
+    bool reuse_port = false;
+    std::size_t batch = 64;        // datagrams per recvmmsg/sendmmsg
+    std::size_t rx_buffer = 4096;  // per-datagram receive capacity
+    obs::Registry* registry = nullptr;  // nullptr = process default
+  };
+
+  // Creates the socket, binds, registers on the loop. The loop must outlive
+  // the server.
+  static util::Result<std::unique_ptr<UdpServer>> Bind(EventLoop& loop,
+                                                       Options options);
+  ~UdpServer() override;
+
+  std::uint16_t port() const { return port_; }
+  int fd() const { return fd_; }
+
+  // Transport: the first AddNode registers the serving endpoint (id 0);
+  // every received datagram is delivered to it.
+  EndpointId AddNode(ReceiveHandler handler) override;
+  void SetHandler(EndpointId endpoint, ReceiveHandler handler) override;
+  // `dst` must be a remote endpoint id previously seen as a packet source.
+  void Send(EndpointId src, EndpointId dst, util::Bytes payload) override;
+
+  // Force out any queued responses (normally automatic).
+  void Flush();
+
+ private:
+  UdpServer(EventLoop& loop, Options options);
+
+  void OnReadable();
+  void OnWritable();
+  void HandleEvents(std::uint32_t events);
+  // Sends as much of the tx queue as the socket accepts; arms/disarms
+  // EPOLLOUT as needed.
+  void FlushTx();
+  void UpdateInterest(bool want_writable);
+
+  EventLoop& loop_;
+  Options options_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  ReceiveHandler handler_;
+  bool handler_set_ = false;
+
+  // Rotating source-address ring backing remote endpoint ids.
+  static constexpr std::size_t kPeerSlots = 1024;  // power of two
+  std::vector<sockaddr_in> peers_;
+  std::size_t next_peer_ = 0;
+
+  // Receive rings (sized options_.batch at Bind).
+  std::vector<struct ::mmsghdr> rx_msgs_;
+  std::vector<struct ::iovec> rx_iovs_;
+  std::vector<sockaddr_in> rx_addrs_;
+  util::Bytes rx_buffers_;  // batch × rx_buffer contiguous block
+  Packet rx_packet_;        // reused delivery packet (payload reassigned)
+
+  // Transmit queue + scatter arrays for sendmmsg.
+  struct TxEntry {
+    sockaddr_in addr;
+    util::Bytes payload;
+  };
+  std::vector<TxEntry> tx_queue_;
+  std::size_t tx_head_ = 0;  // already-sent prefix
+  std::vector<struct ::mmsghdr> tx_msgs_;
+  std::vector<struct ::iovec> tx_iovs_;
+  bool want_writable_ = false;
+  // Backpressure bound: beyond this many queued responses, new ones drop
+  // (counted) — a full socket buffer must not grow the heap without bound.
+  static constexpr std::size_t kMaxTxQueue = 4096;
+
+  struct Counters {
+    obs::Counter rx_datagrams;
+    obs::Counter tx_datagrams;
+    obs::Counter rx_batches;
+    obs::Counter tx_batches;
+    obs::Counter bytes_in;
+    obs::Counter bytes_out;
+    obs::Counter dropped;
+    obs::Histogram batch_size;
+  };
+  Counters c_;
+};
+
+}  // namespace rootless::net

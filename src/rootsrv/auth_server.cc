@@ -1,19 +1,39 @@
 #include "rootsrv/auth_server.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace rootless::rootsrv {
 
 using dns::Message;
 using zone::LookupDisposition;
 
-AuthServer::AuthServer(sim::Network& network, zone::SnapshotPtr snapshot,
-                       bool include_dnssec, std::size_t max_udp_size)
-    : network_(network),
+namespace {
+
+// TCP DNS messages are bounded by the 2-byte length prefix, not EDNS.
+constexpr std::size_t kMaxTcpMessage = 0xFFFF;
+
+AuthServer::Options LegacyOptions(bool include_dnssec,
+                                  std::size_t max_udp_size) {
+  AuthServer::Options options;
+  options.include_dnssec = include_dnssec;
+  options.edns.default_udp_payload = max_udp_size;
+  return options;
+}
+
+}  // namespace
+
+AuthServer::AuthServer(net::Transport* transport, zone::SnapshotPtr snapshot,
+                       Options options)
+    : transport_(transport),
       snapshot_(std::move(snapshot)),
-      include_dnssec_(include_dnssec),
-      max_udp_size_(max_udp_size) {
-  node_ = network_.AddNode(
-      [this](const sim::Datagram& d) { HandleDatagram(d); });
-  obs::Registry& reg = obs::Registry::Default();
+      options_(options) {
+  if (transport_ != nullptr) {
+    node_ = transport_->AddNode(
+        [this](const net::Packet& packet) { HandleDatagram(packet); });
+  }
+  obs::Registry& reg =
+      options_.registry ? *options_.registry : obs::Registry::Default();
   const obs::Labels labels{reg.NextInstance("rootsrv.auth"), "", ""};
   c_.queries = reg.counter("rootsrv.auth.queries", labels);
   c_.answers = reg.counter("rootsrv.auth.answers", labels);
@@ -22,18 +42,76 @@ AuthServer::AuthServer(sim::Network& network, zone::SnapshotPtr snapshot,
   c_.nodata = reg.counter("rootsrv.auth.nodata", labels);
   c_.refused = reg.counter("rootsrv.auth.refused", labels);
   c_.malformed = reg.counter("rootsrv.auth.malformed", labels);
+  c_.truncated = reg.counter("rootsrv.auth.truncated", labels);
+  c_.edns_queries = reg.counter("rootsrv.auth.edns_queries", labels);
+  c_.cache_hits = reg.counter("rootsrv.auth.cache_hits", labels);
   c_.bytes_in = reg.counter("rootsrv.auth.bytes_in", labels);
   c_.bytes_out = reg.counter("rootsrv.auth.bytes_out", labels);
 }
 
-AuthServer::AuthServer(sim::Network& network,
+AuthServer::AuthServer(net::Transport& transport, zone::SnapshotPtr snapshot,
+                       bool include_dnssec, std::size_t max_udp_size)
+    : AuthServer(&transport, std::move(snapshot),
+                 LegacyOptions(include_dnssec, max_udp_size)) {}
+
+AuthServer::AuthServer(net::Transport& transport,
                        std::shared_ptr<const zone::Zone> zone,
                        bool include_dnssec, std::size_t max_udp_size)
-    : AuthServer(network, zone::ZoneSnapshot::Build(*zone), include_dnssec,
-                 max_udp_size) {}
+    : AuthServer(&transport, zone::ZoneSnapshot::Build(*zone),
+                 LegacyOptions(include_dnssec, max_udp_size)) {}
 
-dns::RCode AuthServer::Classify(LookupDisposition disposition, bool& aa) {
-  dns::RCode rcode = dns::RCode::kNoError;
+bool AuthServer::Preflight(const Message& query, Channel channel,
+                           dns::RCode& rcode, std::size_t& payload_limit,
+                           bool& echo_opt) {
+  const EdnsConfig& edns = options_.edns;
+  payload_limit = edns.default_udp_payload;
+  echo_opt = false;
+
+  // EDNS0 (RFC 6891): the OPT pseudo-record's CLASS field carries the
+  // requestor's maximum UDP payload size.
+  int opt_count = 0;
+  std::size_t requestor_payload = 0;
+  for (const auto& rr : query.additional) {
+    if (rr.type == dns::RRType::kOPT) {
+      ++opt_count;
+      requestor_payload = static_cast<std::uint16_t>(rr.rrclass);
+    }
+  }
+  if (opt_count > 0) {
+    c_.edns_queries.Inc();
+    echo_opt = edns.echo_opt;
+    payload_limit = std::clamp(requestor_payload, edns.min_udp_payload,
+                               edns.max_udp_payload);
+  }
+  if (channel == Channel::kTcp) payload_limit = kMaxTcpMessage;
+
+  // More than one OPT is a protocol violation (RFC 6891 §6.1.1).
+  if (query.questions.size() != 1 || opt_count > 1) {
+    c_.malformed.Inc();
+    rcode = dns::RCode::kFormErr;
+    return true;
+  }
+  if (query.header.opcode != dns::Opcode::kQuery) {
+    c_.refused.Inc();
+    rcode = dns::RCode::kNotImp;
+    return true;
+  }
+  const dns::Question& q = query.questions.front();
+  if (q.rrclass != dns::RRClass::kIN) {
+    c_.refused.Inc();
+    rcode = dns::RCode::kRefused;
+    return true;
+  }
+  // Zone transfers only over TCP (and only via the AXFR front-end glue).
+  if (q.type == dns::RRType::kAXFR && channel == Channel::kUdp) {
+    c_.refused.Inc();
+    rcode = dns::RCode::kRefused;
+    return true;
+  }
+  return false;
+}
+
+void AuthServer::CountDisposition(LookupDisposition disposition) {
   switch (disposition) {
     case LookupDisposition::kAnswer:
       c_.answers.Inc();
@@ -46,12 +124,20 @@ dns::RCode AuthServer::Classify(LookupDisposition disposition, bool& aa) {
       break;
     case LookupDisposition::kNxDomain:
       c_.nxdomain.Inc();
-      rcode = dns::RCode::kNXDomain;
       break;
     case LookupDisposition::kOutOfZone:
       c_.refused.Inc();
-      rcode = dns::RCode::kRefused;
       break;
+  }
+}
+
+dns::RCode AuthServer::Classify(LookupDisposition disposition, bool& aa) {
+  CountDisposition(disposition);
+  dns::RCode rcode = dns::RCode::kNoError;
+  if (disposition == LookupDisposition::kNxDomain) {
+    rcode = dns::RCode::kNXDomain;
+  } else if (disposition == LookupDisposition::kOutOfZone) {
+    rcode = dns::RCode::kRefused;
   }
   aa = disposition == LookupDisposition::kAnswer ||
        disposition == LookupDisposition::kNoData ||
@@ -61,13 +147,21 @@ dns::RCode AuthServer::Classify(LookupDisposition disposition, bool& aa) {
 
 Message AuthServer::Answer(const Message& query) {
   c_.queries.Inc();
-  if (query.questions.size() != 1) {
-    c_.malformed.Inc();
-    Message response = MakeResponse(query, dns::RCode::kFormErr);
+  dns::RCode preflight_rcode = dns::RCode::kNoError;
+  std::size_t payload_limit = 0;
+  bool echo_opt = false;
+  const dns::ResourceRecord opt_record{
+      opt_owner_, dns::RRType::kOPT,
+      static_cast<dns::RRClass>(options_.edns.advertise_udp_payload), 0,
+      opt_rdata_};
+  if (Preflight(query, Channel::kUdp, preflight_rcode, payload_limit,
+                echo_opt)) {
+    Message response = MakeResponse(query, preflight_rcode);
+    if (echo_opt) response.additional.push_back(opt_record);
     return response;
   }
   const dns::Question& q = query.questions.front();
-  snapshot_->Lookup(q.name, q.type, include_dnssec_, lookup_scratch_);
+  snapshot_->Lookup(q.name, q.type, options_.include_dnssec, lookup_scratch_);
 
   bool aa = false;
   const dns::RCode rcode = Classify(lookup_scratch_.disposition, aa);
@@ -85,18 +179,67 @@ Message AuthServer::Answer(const Message& query) {
   append(lookup_scratch_.answers, response.answers);
   append(lookup_scratch_.authority, response.authority);
   append(lookup_scratch_.additional, response.additional);
+  if (echo_opt) response.additional.push_back(opt_record);
   return response;
 }
 
-util::Bytes AuthServer::AnswerWire(const Message& query) {
+util::Bytes AuthServer::AnswerWire(const Message& query, Channel channel) {
   c_.queries.Inc();
-  if (query.questions.size() != 1) {
-    c_.malformed.Inc();
-    return dns::EncodeMessage(MakeResponse(query, dns::RCode::kFormErr),
-                              max_udp_size_);
+  dns::RCode preflight_rcode = dns::RCode::kNoError;
+  std::size_t payload_limit = 0;
+  bool echo_opt = false;
+  if (Preflight(query, channel, preflight_rcode, payload_limit, echo_opt)) {
+    Message response = MakeResponse(query, preflight_rcode);
+    if (echo_opt) {
+      response.additional.push_back(dns::ResourceRecord{
+          opt_owner_, dns::RRType::kOPT,
+          static_cast<dns::RRClass>(options_.edns.advertise_udp_payload), 0,
+          opt_rdata_});
+    }
+    return dns::EncodeMessage(response, payload_limit);
   }
   const dns::Question& q = query.questions.front();
-  snapshot_->Lookup(q.name, q.type, include_dnssec_, lookup_scratch_);
+
+  // Answer packet cache probe. The key covers every query property that can
+  // shape the response bytes other than the id: the exact-case qname (the
+  // question echo preserves case), qtype, the header flag bits copied into
+  // the response (tc, rd — opcode and class are pinned by Preflight), the
+  // effective payload limit (which also folds in the channel and the EDNS
+  // clamp), and whether an OPT record is echoed. Name::Hash() is
+  // case-folded, so different-case spellings share a hash and are split by
+  // the exact-byte equality check below.
+  const bool cache_on = options_.answer_cache_entries > 0;
+  const std::uint8_t flags = static_cast<std::uint8_t>(
+      (query.header.tc ? 2 : 0) | (query.header.rd ? 1 : 0));
+  std::uint64_t key_hash = 0;
+  if (cache_on) {
+    const std::uint64_t salt =
+        (static_cast<std::uint64_t>(q.type) << 32) |
+        (static_cast<std::uint64_t>(payload_limit) << 8) |
+        (static_cast<std::uint64_t>(flags) << 1) | (echo_opt ? 1 : 0);
+    key_hash = q.name.Hash() ^ (salt * 0x9E3779B97F4A7C15ULL);
+    const std::span<const std::uint8_t> qname = q.name.flat();
+    const std::uint32_t slot =
+        answer_index_.Find(key_hash, [&](std::uint32_t s) {
+          const CachedAnswer& e = answer_cache_[s];
+          return e.hash == key_hash && e.type == q.type && e.flags == flags &&
+                 e.echo_opt == echo_opt && e.payload_limit == payload_limit &&
+                 e.name.size() == qname.size() &&
+                 std::memcmp(e.name.data(), qname.data(), qname.size()) == 0;
+        });
+    if (slot != util::FlatHashIndex::kNpos) {
+      const CachedAnswer& e = answer_cache_[slot];
+      CountDisposition(e.disposition);
+      if (e.truncated) c_.truncated.Inc();
+      c_.cache_hits.Inc();
+      util::Bytes wire = e.wire;
+      wire[0] = static_cast<std::uint8_t>(query.header.id >> 8);
+      wire[1] = static_cast<std::uint8_t>(query.header.id);
+      return wire;
+    }
+  }
+
+  snapshot_->Lookup(q.name, q.type, options_.include_dnssec, lookup_scratch_);
 
   bool aa = false;
   const dns::RCode rcode = Classify(lookup_scratch_.disposition, aa);
@@ -111,20 +254,82 @@ util::Bytes AuthServer::AnswerWire(const Message& query) {
   response.answers = lookup_scratch_.answers;
   response.authority = lookup_scratch_.authority;
   response.additional = lookup_scratch_.additional;
-  return dns::EncodeMessage(response, max_udp_size_);
+  if (echo_opt) {
+    // The OPT echo rides last in additional, so under truncation it is the
+    // first record dropped — whole-record truncation keeps the encoder
+    // byte-identical to the owning-Message path.
+    response.additional.push_back(dns::RRsetView{
+        &opt_owner_, dns::RRType::kOPT,
+        static_cast<dns::RRClass>(options_.edns.advertise_udp_payload), 0,
+        std::span<const dns::Rdata>(&opt_rdata_, 1)});
+  }
+  util::Bytes wire = dns::EncodeMessage(response, payload_limit);
+  const bool truncated = wire.size() > 2 && (wire[2] & 0x02);
+  if (truncated) c_.truncated.Inc();
+
+  if (cache_on && answer_cache_.size() < options_.answer_cache_entries) {
+    const std::span<const std::uint8_t> qname = q.name.flat();
+    CachedAnswer entry;
+    entry.hash = key_hash;
+    entry.name.assign(qname.begin(), qname.end());
+    entry.type = q.type;
+    entry.flags = flags;
+    entry.echo_opt = echo_opt;
+    entry.payload_limit = static_cast<std::uint32_t>(payload_limit);
+    entry.disposition = lookup_scratch_.disposition;
+    entry.truncated = truncated;
+    entry.wire = wire;
+    entry.wire[0] = 0;
+    entry.wire[1] = 0;
+    const auto slot = static_cast<std::uint32_t>(answer_cache_.size());
+    answer_cache_.push_back(std::move(entry));
+    answer_index_.Insert(key_hash, slot, [this](std::uint32_t s) {
+      return answer_cache_[s].hash;
+    });
+  }
+  return wire;
 }
 
-void AuthServer::HandleDatagram(const sim::Datagram& datagram) {
-  c_.bytes_in.Inc(datagram.payload.size());
-  auto query = dns::DecodeMessage(datagram.payload);
-  if (!query.ok() || query->header.qr) {
+util::Bytes AuthServer::GarbageResponse(
+    std::span<const std::uint8_t> payload) const {
+  // Need a readable header to know who to answer; and never answer
+  // something that claims to be a response (loop protection).
+  if (payload.size() < 12 || (payload[2] & 0x80)) return {};
+  Message response;
+  response.header.id =
+      static_cast<std::uint16_t>(payload[0]) << 8 | payload[1];
+  response.header.qr = true;
+  response.header.opcode = static_cast<dns::Opcode>((payload[2] >> 3) & 0xF);
+  response.header.rcode = dns::RCode::kFormErr;
+  return dns::EncodeMessage(response);
+}
+
+void AuthServer::HandleDatagram(const net::Packet& packet, Channel channel) {
+  c_.bytes_in.Inc(packet.payload.size());
+  auto query = dns::DecodeMessage(packet.payload);
+  if (!query.ok()) {
     c_.queries.Inc();
     c_.malformed.Inc();
-    return;  // drop garbage, as real servers do
+    if (options_.respond_formerr_to_garbage && transport_ != nullptr) {
+      util::Bytes wire = GarbageResponse(packet.payload);
+      if (!wire.empty()) {
+        c_.bytes_out.Inc(wire.size());
+        transport_->Send(node_, packet.src, std::move(wire));
+      }
+    }
+    return;
   }
-  auto wire = AnswerWire(*query);
+  if (query->header.qr) {
+    // A response aimed at a server: drop silently, never reply (loops).
+    c_.queries.Inc();
+    c_.malformed.Inc();
+    return;
+  }
+  auto wire = AnswerWire(*query, channel);
   c_.bytes_out.Inc(wire.size());
-  network_.Send(node_, datagram.src, std::move(wire));
+  if (transport_ != nullptr) {
+    transport_->Send(node_, packet.src, std::move(wire));
+  }
 }
 
 }  // namespace rootless::rootsrv

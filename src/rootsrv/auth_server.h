@@ -1,22 +1,35 @@
 // Authoritative DNS server bound to an immutable zone snapshot, attached to
-// the simulated network. Decodes queries, applies the zone's lookup logic,
-// and answers with referrals / answers / NXDOMAIN exactly as a root or TLD
-// server would.
+// any net::Transport — the simulated network during replays, a socket server
+// (net::UdpServer / net::TcpServer) when serving real resolvers. Decodes
+// queries, applies the zone's lookup logic, and answers with referrals /
+// answers / NXDOMAIN exactly as a root or TLD server would.
 //
 // The serving path is zero-copy: a query is answered by assembling borrowed
 // RRset views out of the shared zone::ZoneSnapshot arena and encoding them
 // straight to the wire (AnswerWire), reusing per-server scratch buffers — no
 // RRset is copied per query. Anycast instances share one SnapshotPtr, so a
 // fleet costs one zone copy total, and a zone update is a pointer swap.
+//
+// Real packets are hostile, so the wire-facing behaviour is explicit:
+//   * malformed input decodes to a coded util::Result (kTruncated /
+//     kCorrupted), never an assert; with respond_formerr_to_garbage set the
+//     server answers FORMERR whenever a 12-byte header is readable;
+//   * non-Query opcodes get NOTIMP, non-IN classes REFUSED, AXFR over UDP
+//     REFUSED;
+//   * responses are truncated whole-record with the TC bit at the EDNS0
+//     requestor payload size (clamped to [min, max]) when the query carries
+//     an OPT record, or at `default_udp_payload` when it does not — the
+//     latter preserves the simulator's historical 1232-byte behaviour.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 
 #include "dns/message.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
-#include "sim/network.h"
 #include "util/bytes.h"
+#include "util/flat_hash.h"
 #include "zone/zone.h"
 #include "zone/zone_snapshot.h"
 
@@ -32,36 +45,99 @@ struct AuthServerStats {
   std::uint64_t nodata = 0;
   std::uint64_t refused = 0;
   std::uint64_t malformed = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t edns_queries = 0;
+  std::uint64_t cache_hits = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
 };
 
+// EDNS0 (RFC 6891) response-size policy.
+struct EdnsConfig {
+  // Truncation limit for queries WITHOUT an OPT record. RFC 1035 says 512;
+  // the simulator has always used the server's configured maximum (1232 by
+  // default), and replay determinism depends on that, so the default stays.
+  // Wire front-ends set 512.
+  std::size_t default_udp_payload = 1232;
+  // Clamp bounds for the requestor's advertised payload size.
+  std::size_t min_udp_payload = 512;
+  std::size_t max_udp_payload = 4096;
+  // Payload size advertised in the OPT record echoed on EDNS responses.
+  std::size_t advertise_udp_payload = 1232;
+  // Echo an OPT record in responses to EDNS queries.
+  bool echo_opt = true;
+};
+
+// Which transport the response will travel over: UDP truncates at the EDNS
+// limit; TCP never truncates (64KB message ceiling) and refuses nothing
+// extra.
+enum class Channel { kUdp, kTcp };
+
 class AuthServer {
  public:
+  struct Options {
+    bool include_dnssec = false;
+    EdnsConfig edns;
+    // Answer FORMERR (id echoed, empty question section) when a query fails
+    // to decode but a 12-byte header is readable. Off by default: the
+    // simulator's historical behaviour is to drop garbage, and the fault
+    // benches' corruption baselines depend on it. Wire front-ends enable it.
+    bool respond_formerr_to_garbage = false;
+    // Answer packet cache: AnswerWire responses are memoized per snapshot,
+    // keyed on everything that shapes the wire besides the message id
+    // (exact-case qname bytes, qtype, echoed header flags, payload limit,
+    // OPT echo) — a hit is a hash probe + memcpy + id patch instead of a
+    // zone lookup + encode. Sound because the snapshot is immutable; the
+    // cache is dropped on SetZone. Bounded: once this many entries exist,
+    // misses (e.g. a random-qname NXDOMAIN storm) stop inserting. 0
+    // disables.
+    std::size_t answer_cache_entries = 16384;
+    // Metrics registry; nullptr = process default.
+    obs::Registry* registry = nullptr;
+  };
+
   // The snapshot is shared between anycast instances (refcounted).
-  AuthServer(sim::Network& network, zone::SnapshotPtr snapshot,
+  // `transport` may be null for a detached server: Answer()/AnswerWire()
+  // work normally, but there is no endpoint (node() is meaningless) — used
+  // by front-ends that drive the server directly (e.g. the TCP query path)
+  // and by parity tests.
+  AuthServer(net::Transport* transport, zone::SnapshotPtr snapshot,
+             Options options);
+
+  // Legacy convenience constructors; `max_udp_size` becomes
+  // edns.default_udp_payload (the historical truncation behaviour).
+  AuthServer(net::Transport& transport, zone::SnapshotPtr snapshot,
              bool include_dnssec = false, std::size_t max_udp_size = 1232);
   // Convenience for hand-built zones (tests, single-server setups):
   // snapshots the zone first. Fleets should build one snapshot and share it.
-  AuthServer(sim::Network& network, std::shared_ptr<const zone::Zone> zone,
+  AuthServer(net::Transport& transport, std::shared_ptr<const zone::Zone> zone,
              bool include_dnssec = false, std::size_t max_udp_size = 1232);
 
-  sim::NodeId node() const { return node_; }
+  net::EndpointId node() const { return node_; }
   // Snapshot of the registry-backed counters.
   AuthServerStats stats() const {
-    return AuthServerStats{
-        c_.queries.value(),   c_.answers.value(), c_.referrals.value(),
-        c_.nxdomain.value(),  c_.nodata.value(),  c_.refused.value(),
-        c_.malformed.value(), c_.bytes_in.value(), c_.bytes_out.value()};
+    return AuthServerStats{c_.queries.value(),   c_.answers.value(),
+                           c_.referrals.value(), c_.nxdomain.value(),
+                           c_.nodata.value(),    c_.refused.value(),
+                           c_.malformed.value(), c_.truncated.value(),
+                           c_.edns_queries.value(), c_.cache_hits.value(),
+                           c_.bytes_in.value(),  c_.bytes_out.value()};
   }
   const zone::SnapshotPtr& snapshot() const { return snapshot_; }
+  const EdnsConfig& edns() const { return options_.edns; }
 
-  // Swaps in a new zone version (e.g. the daily root zone update) — an
-  // atomic pointer swap; in-flight views into the old snapshot stay valid
-  // as long as someone holds its refcount.
-  void SetZone(zone::SnapshotPtr snapshot) { snapshot_ = std::move(snapshot); }
+  // Swaps in a new zone version (e.g. the daily root zone update) — a
+  // pointer swap; in-flight views into the old snapshot stay valid as long
+  // as someone holds its refcount. Must be called from the thread serving
+  // this instance (a wire front-end swaps at batch boundaries; see
+  // net::SnapshotSource).
+  void SetZone(zone::SnapshotPtr snapshot) {
+    snapshot_ = std::move(snapshot);
+    DropAnswerCache();
+  }
   void SetZone(std::shared_ptr<const zone::Zone> zone) {
     snapshot_ = zone::ZoneSnapshot::Build(*zone);
+    DropAnswerCache();
   }
 
   // Builds the response message for a query (exposed for tests and for the
@@ -70,21 +146,44 @@ class AuthServer {
   dns::Message Answer(const dns::Message& query);
 
   // Zero-copy serving path: lookup → borrowed views → wire bytes, with TC
-  // truncation at max_udp_size. Byte-identical to encoding Answer()'s
-  // message; reuses this server's scratch buffers (not reentrant).
-  util::Bytes AnswerWire(const dns::Message& query);
+  // truncation at the channel's payload limit. Byte-identical to encoding
+  // Answer()'s message; reuses this server's scratch buffers (not
+  // reentrant).
+  util::Bytes AnswerWire(const dns::Message& query,
+                         Channel channel = Channel::kUdp);
+
+  // The full datagram path (decode → answer → respond), exposed so socket
+  // front-ends and parity tests can drive exactly what the transport
+  // delivers. Responses (if any) go back through the transport; detached
+  // servers drop them. `channel` selects the truncation regime (a TCP
+  // front-end passes kTcp).
+  void HandleDatagram(const net::Packet& packet,
+                      Channel channel = Channel::kUdp);
 
  private:
-  void HandleDatagram(const sim::Datagram& datagram);
+  // Header-level screening shared by Answer and AnswerWire. Returns true if
+  // the query was diverted to an error rcode (written to `rcode`); also
+  // reports the effective UDP payload limit and whether an OPT echo is due.
+  bool Preflight(const dns::Message& query, Channel channel, dns::RCode& rcode,
+                 std::size_t& payload_limit, bool& echo_opt);
   // Updates per-disposition stats; returns the response rcode and whether
   // the answer is authoritative.
   dns::RCode Classify(zone::LookupDisposition disposition, bool& aa);
+  // The stats side of Classify alone — the answer-cache hit path replays it
+  // so cached and uncached serving produce identical counters.
+  void CountDisposition(zone::LookupDisposition disposition);
+  void DropAnswerCache() {
+    answer_cache_.clear();
+    answer_index_.Clear();
+  }
+  // FORMERR wire response for an undecodable datagram (empty when even the
+  // header is unreadable — those stay dropped).
+  util::Bytes GarbageResponse(std::span<const std::uint8_t> payload) const;
 
-  sim::Network& network_;
+  net::Transport* transport_;
   zone::SnapshotPtr snapshot_;
-  bool include_dnssec_;
-  std::size_t max_udp_size_;
-  sim::NodeId node_;
+  Options options_;
+  net::EndpointId node_ = 0;
   // Pre-resolved registry handles (module "rootsrv.auth", one instance per
   // server — a whole anycast fleet's counters aggregate in the exporter).
   struct Counters {
@@ -95,13 +194,37 @@ class AuthServer {
     obs::Counter nodata;
     obs::Counter refused;
     obs::Counter malformed;
+    obs::Counter truncated;
+    obs::Counter edns_queries;
+    obs::Counter cache_hits;
     obs::Counter bytes_in;
     obs::Counter bytes_out;
   };
   Counters c_;
+  // Answer packet cache (see Options::answer_cache_entries). The wire is
+  // stored with the id bytes zeroed; a hit copies it and patches the
+  // requesting id in. `disposition`/`truncated` replay the stats a live
+  // lookup would have counted.
+  struct CachedAnswer {
+    std::uint64_t hash = 0;
+    util::Bytes name;  // exact-case qname wire bytes (the echo must match)
+    dns::RRType type = dns::RRType::kA;
+    std::uint8_t flags = 0;  // echoed header bits: tc<<1 | rd
+    bool echo_opt = false;
+    std::uint32_t payload_limit = 0;
+    zone::LookupDisposition disposition = zone::LookupDisposition::kAnswer;
+    bool truncated = false;
+    util::Bytes wire;
+  };
+  std::vector<CachedAnswer> answer_cache_;
+  util::FlatHashIndex answer_index_;
   // Per-query scratch (capacity retained across queries).
   zone::LookupView lookup_scratch_;
   dns::MessageView response_scratch_;
+  // Storage backing the OPT record echoed on EDNS responses (the response
+  // scratch borrows views; these members are what they point at).
+  dns::Name opt_owner_;                      // root
+  dns::Rdata opt_rdata_ = dns::RawData{};    // empty RDATA
 };
 
 }  // namespace rootless::rootsrv

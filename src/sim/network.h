@@ -4,6 +4,10 @@
 // payload after a latency chosen by the installed latency function, or drops
 // it with the configured loss probability — modelling the UDP transport DNS
 // mostly runs over (the paper: 96.2% of root queries were UDP).
+//
+// Network is one implementation of the net::Transport seam; the socket
+// servers in src/net/ are the other. Servers written against the seam
+// (rootsrv::AuthServer, the AXFR channel) run unchanged on either side.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/faults.h"
@@ -20,13 +25,10 @@
 
 namespace rootless::sim {
 
-using NodeId = std::uint32_t;
-
-struct Datagram {
-  NodeId src = 0;
-  NodeId dst = 0;
-  util::Bytes payload;
-};
+// Simulated node ids / datagrams are the transport seam's endpoint ids /
+// packets: the historical names remain as aliases.
+using NodeId = net::EndpointId;
+using Datagram = net::Packet;
 
 // On-path interceptor verdict: pass the datagram unchanged, drop it, or
 // substitute a different datagram (e.g. a spoofed response) — the model for
@@ -44,9 +46,11 @@ struct InterceptVerdict {
   }
 };
 
-class Network {
+// `final` so calls through a concrete Network& (the sim hot path)
+// devirtualize; only callers holding the net::Transport& seam pay dispatch.
+class Network final : public net::Transport {
  public:
-  using ReceiveHandler = std::function<void(const Datagram&)>;
+  using ReceiveHandler = net::Transport::ReceiveHandler;
   // Returns the one-way latency between two nodes.
   using LatencyFn = std::function<SimTime(NodeId, NodeId)>;
 
@@ -84,14 +88,14 @@ class Network {
   void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
   FaultInjector* fault_injector() const { return faults_; }
 
-  NodeId AddNode(ReceiveHandler handler) {
+  NodeId AddNode(ReceiveHandler handler) override {
     handlers_.push_back(std::move(handler));
     return static_cast<NodeId>(handlers_.size() - 1);
   }
 
   // Replaces a node's handler (used when wiring objects constructed after
   // their node id is needed).
-  void SetHandler(NodeId node, ReceiveHandler handler) {
+  void SetHandler(NodeId node, ReceiveHandler handler) override {
     handlers_.at(node) = std::move(handler);
   }
 
@@ -106,7 +110,7 @@ class Network {
   }
 
   // Sends a datagram; delivery is scheduled after the one-way latency.
-  void Send(NodeId src, NodeId dst, util::Bytes payload) {
+  void Send(NodeId src, NodeId dst, util::Bytes payload) override {
     sent_.Inc();
     bytes_.Inc(payload.size());
     if (loss_rate_ > 0 && rng_.Chance(loss_rate_)) {

@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include "distrib/diff_channel.h"
+#include "rootsrv/auth_server.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
 #include "distrib/rsync.h"
 #include "dns/message.h"
 #include "util/rng.h"
@@ -11,6 +14,7 @@
 #include "zone/master_file.h"
 #include "zone/rzc.h"
 #include "zone/snapshot.h"
+#include "zone/zone_snapshot.h"
 #include "zone/zone_diff.h"
 
 namespace rootless {
@@ -156,6 +160,92 @@ TEST(Fuzz, DiffChannelApplyNeverCrashes) {
     distrib::DiffSubscriber subscriber(model.Snapshot({2019, 4, 1}));
     (void)subscriber.Apply(mutated);
   }
+}
+
+TEST(Fuzz, MessageDecodeErrorsAreCoded) {
+  // Every decode failure must carry a structured code: kTruncated when the
+  // wire ran out mid-structure, kCorrupted when bytes were present but
+  // unparseable — wire front-ends branch on this to answer FORMERR.
+  dns::Message m = dns::MakeQuery(9, *dns::Name::Parse("www.example.com."),
+                                  dns::RRType::kA);
+  m.answers.push_back({*dns::Name::Parse("www.example.com."), dns::RRType::kA,
+                       dns::RRClass::kIN, 300,
+                       dns::AData{*dns::Ipv4::Parse("192.0.2.1")}});
+  const auto valid = dns::EncodeMessage(m);
+  // Every strict prefix is a truncation.
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    auto result = dns::DecodeMessage({valid.data(), len});
+    ASSERT_FALSE(result.ok()) << len;
+    EXPECT_EQ(result.error().code(), ErrorCode::kTruncated) << len;
+  }
+  // Trailing garbage is corruption, not truncation.
+  auto padded = valid;
+  padded.push_back(0xAB);
+  auto trailing = dns::DecodeMessage(padded);
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_EQ(trailing.error().code(), ErrorCode::kCorrupted);
+  // A forward compression pointer is corruption.
+  auto forward = valid;
+  forward[12] = 0xC0;  // qname becomes a pointer...
+  forward[13] = 0xFF;  // ...aimed past the current offset
+  auto fwd = dns::DecodeMessage(forward);
+  ASSERT_FALSE(fwd.ok());
+  EXPECT_EQ(fwd.error().code(), ErrorCode::kCorrupted);
+  // And whatever a mutation produces, the code is always one of the two.
+  util::Rng rng(137);
+  for (int i = 0; i < 3000; ++i) {
+    auto result = dns::DecodeMessage(Mutate(valid, rng));
+    if (result.ok()) continue;
+    const auto code = result.error().code();
+    EXPECT_TRUE(code == ErrorCode::kTruncated ||
+                code == ErrorCode::kCorrupted)
+        << ErrorCodeName(code);
+  }
+}
+
+TEST(Fuzz, AuthServerSurvivesHostileDatagrams) {
+  // The full wire path: arbitrary bytes through HandleDatagram with the
+  // front-end configuration (FORMERR for garbage). Every response must
+  // decode, have qr set, and echo the id of its query; sub-header garbage
+  // must draw no response at all.
+  sim::Simulator sim;
+  sim::Network net(sim, 5);
+  auto zone = std::make_shared<zone::Zone>();
+  dns::SoaData soa;
+  soa.mname = *dns::Name::Parse("a.root-servers.net.");
+  soa.serial = 1;
+  ASSERT_TRUE(zone->AddRecord({dns::Name(), dns::RRType::kSOA,
+                               dns::RRClass::kIN, 86400, soa})
+                  .ok());
+  rootsrv::AuthServer::Options options;
+  options.respond_formerr_to_garbage = true;
+  rootsrv::AuthServer server(&net, zone::ZoneSnapshot::Build(*zone), options);
+
+  std::size_t responses = 0;
+  const sim::NodeId client = net.AddNode([&](const sim::Datagram& d) {
+    auto decoded = dns::DecodeMessage(d.payload);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(decoded->header.qr);
+    ++responses;
+  });
+
+  util::Rng rng(139);
+  const auto valid = dns::EncodeMessage(
+      dns::MakeQuery(7, *dns::Name::Parse("anything.example."),
+                     dns::RRType::kA));
+  std::size_t sub_header = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto payload = i % 2 == 0 ? RandomBytes(rng, 80) : Mutate(valid, rng);
+    if (payload.size() < 12 || (payload.size() > 2 && (payload[2] & 0x80))) {
+      ++sub_header;  // headerless or response-flagged: must stay silent
+    }
+    net.Send(client, server.node(), std::move(payload));
+  }
+  sim.Run();
+  EXPECT_EQ(server.stats().queries, 2000u);
+  // Everything with a readable non-response header was answered (FORMERR or
+  // a real answer), everything else dropped.
+  EXPECT_EQ(responses, 2000u - sub_header);
 }
 
 TEST(Fuzz, NameDecoderHandlesAdversarialPointers) {

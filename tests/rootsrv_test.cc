@@ -1,7 +1,9 @@
 // Tests for the authoritative server, root fleet, and TLD farm.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
 
 #include "rootsrv/auth_server.h"
 #include "rootsrv/fleet.h"
@@ -117,6 +119,226 @@ TEST(AuthServer, ZoneSwapTakesEffect) {
   EXPECT_EQ(server.Answer(dns::MakeQuery(2, N("a.dev."), RRType::kA))
                 .header.rcode,
             dns::RCode::kNoError);
+}
+
+// ---- EDNS0 / truncation / preflight / answer cache --------------------
+
+// A query carrying an OPT pseudo-record advertising `payload` bytes.
+dns::Message WithOpt(dns::Message query, std::uint16_t payload) {
+  query.additional.push_back({Name(), RRType::kOPT,
+                              static_cast<dns::RRClass>(payload), 0,
+                              dns::RawData{}});
+  return query;
+}
+
+// A zone whose referral for *.big. encodes to more than 4096 bytes (100 NS
+// records plus glue), so every UDP payload tier truncates.
+zone::SnapshotPtr BigReferralSnapshot() {
+  zone::Zone zone;
+  dns::SoaData soa;
+  soa.mname = N("a.root-servers.net.");
+  soa.serial = 1;
+  EXPECT_TRUE(
+      zone.AddRecord({Name(), RRType::kSOA, dns::RRClass::kIN, 86400, soa})
+          .ok());
+  for (int i = 0; i < 100; ++i) {
+    const Name ns = N("ns" + std::to_string(i) + ".big.");
+    EXPECT_TRUE(zone.AddRecord({N("big."), RRType::kNS, dns::RRClass::kIN,
+                                172800, dns::NsData{ns}})
+                    .ok());
+    EXPECT_TRUE(zone.AddRecord({ns, RRType::kA, dns::RRClass::kIN, 172800,
+                                dns::AData{*dns::Ipv4::Parse("192.0.2.7")}})
+                    .ok());
+  }
+  return zone::ZoneSnapshot::Build(zone);
+}
+
+bool TcBit(const util::Bytes& wire) {
+  return wire.size() > 2 && (wire[2] & 0x02);
+}
+
+TEST(AuthServerEdns, TruncatesAt512WithoutOpt) {
+  AuthServer::Options options;
+  options.edns.default_udp_payload = 512;  // wire front-end configuration
+  AuthServer server(nullptr, BigReferralSnapshot(), options);
+  const auto wire =
+      server.AnswerWire(dns::MakeQuery(1, N("www.big."), RRType::kA));
+  EXPECT_LE(wire.size(), 512u);
+  EXPECT_TRUE(TcBit(wire));
+  EXPECT_EQ(server.stats().truncated, 1u);
+  EXPECT_EQ(server.stats().edns_queries, 0u);
+}
+
+TEST(AuthServerEdns, HonorsRequestorPayloadTiers) {
+  AuthServer::Options options;
+  options.edns.default_udp_payload = 512;
+  AuthServer server(nullptr, BigReferralSnapshot(), options);
+  std::size_t previous = 0;
+  for (const std::uint16_t payload : {std::uint16_t{512}, std::uint16_t{1232},
+                                      std::uint16_t{4096}}) {
+    const auto wire = server.AnswerWire(
+        WithOpt(dns::MakeQuery(payload, N("www.big."), RRType::kA), payload));
+    EXPECT_LE(wire.size(), payload) << payload;
+    EXPECT_TRUE(TcBit(wire)) << payload;  // full referral is > 4096
+    EXPECT_GT(wire.size(), previous) << payload;  // more room, more records
+    previous = wire.size();
+  }
+  EXPECT_EQ(server.stats().edns_queries, 3u);
+}
+
+TEST(AuthServerEdns, EchoesOptWhenResponseFits) {
+  Fixture f;
+  AuthServer server(f.net, f.root_zone);
+  const auto wire = server.AnswerWire(
+      WithOpt(dns::MakeQuery(1, N("www.com."), RRType::kA), 1232));
+  EXPECT_FALSE(TcBit(wire));
+  auto decoded = dns::DecodeMessage(wire);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_FALSE(decoded->additional.empty());
+  const auto& opt = decoded->additional.back();
+  EXPECT_EQ(opt.type, RRType::kOPT);
+  EXPECT_EQ(static_cast<std::size_t>(opt.rrclass),
+            server.edns().advertise_udp_payload);
+  // Under truncation the OPT rides last and is the first record dropped —
+  // the truncated wire signals TC alone (the big-referral tests above).
+}
+
+TEST(AuthServerEdns, ClampsAdvertisedPayload) {
+  AuthServer::Options options;
+  options.edns.default_udp_payload = 512;
+  AuthServer server(nullptr, BigReferralSnapshot(), options);
+  // A tiny advertisement clamps up to the 512 floor...
+  const auto small = server.AnswerWire(
+      WithOpt(dns::MakeQuery(1, N("www.big."), RRType::kA), 100));
+  EXPECT_LE(small.size(), 512u);
+  // ...and a giant one clamps down to the 4096 ceiling.
+  const auto large = server.AnswerWire(
+      WithOpt(dns::MakeQuery(2, N("www.big."), RRType::kA), 65535));
+  EXPECT_LE(large.size(), 4096u);
+  EXPECT_GT(large.size(), 512u);
+  EXPECT_TRUE(TcBit(large));
+}
+
+TEST(AuthServerEdns, TcpNeverTruncates) {
+  AuthServer server(nullptr, BigReferralSnapshot(), {});
+  const auto wire = server.AnswerWire(
+      dns::MakeQuery(1, N("www.big."), RRType::kA), Channel::kTcp);
+  EXPECT_GT(wire.size(), 4096u);
+  EXPECT_FALSE(TcBit(wire));
+  EXPECT_EQ(server.stats().truncated, 0u);
+}
+
+TEST(AuthServerPreflight, ScreensProtocolViolations) {
+  Fixture f;
+  AuthServer server(f.net, f.root_zone);
+
+  // Two questions: FORMERR.
+  auto two_questions = dns::MakeQuery(1, N("a.com."), RRType::kA);
+  two_questions.questions.push_back({N("b.com."), RRType::kA,
+                                     dns::RRClass::kIN});
+  EXPECT_EQ(server.Answer(two_questions).header.rcode, dns::RCode::kFormErr);
+
+  // Two OPT records: FORMERR (RFC 6891 §6.1.1).
+  const auto two_opts =
+      WithOpt(WithOpt(dns::MakeQuery(2, N("a.com."), RRType::kA), 1232), 1232);
+  EXPECT_EQ(server.Answer(two_opts).header.rcode, dns::RCode::kFormErr);
+
+  // Non-query opcode: NOTIMP.
+  auto notify = dns::MakeQuery(3, N("a.com."), RRType::kA);
+  notify.header.opcode = dns::Opcode::kNotify;
+  EXPECT_EQ(server.Answer(notify).header.rcode, dns::RCode::kNotImp);
+
+  // Non-IN class: REFUSED.
+  auto chaos = dns::MakeQuery(4, N("version.bind."), RRType::kTXT);
+  chaos.questions.front().rrclass = dns::RRClass::kCH;
+  EXPECT_EQ(server.Answer(chaos).header.rcode, dns::RCode::kRefused);
+
+  // AXFR over UDP: REFUSED (TCP front-ends divert AXFR before the server).
+  const auto axfr = dns::MakeQuery(5, Name(), RRType::kAXFR);
+  const auto axfr_answer = server.Answer(axfr);
+  EXPECT_EQ(axfr_answer.header.rcode, dns::RCode::kRefused);
+  EXPECT_EQ(server.AnswerWire(axfr, Channel::kUdp),
+            dns::EncodeMessage(axfr_answer));
+
+  EXPECT_EQ(server.stats().malformed, 2u);
+  EXPECT_EQ(server.stats().refused, 4u);  // notimp + chaos + 2x axfr
+}
+
+TEST(AuthServerCache, HitsAreByteIdenticalModuloId) {
+  Fixture f;
+  AuthServer server(f.net, f.root_zone);
+  const auto first =
+      server.AnswerWire(dns::MakeQuery(0x1111, N("www.x.com."), RRType::kA));
+  const auto second =
+      server.AnswerWire(dns::MakeQuery(0x2222, N("www.x.com."), RRType::kA));
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(second[0], 0x22);
+  EXPECT_EQ(second[1], 0x22);
+  EXPECT_TRUE(std::equal(first.begin() + 2, first.end(), second.begin() + 2));
+  EXPECT_EQ(server.stats().cache_hits, 1u);
+  EXPECT_EQ(server.stats().referrals, 2u);  // counters replay on hits
+}
+
+TEST(AuthServerCache, DistinguishesEveryKeyDimension) {
+  AuthServer::Options options;
+  options.edns.default_udp_payload = 512;
+  AuthServer server(nullptr, BigReferralSnapshot(), options);
+  const auto base = dns::MakeQuery(1, N("www.big."), RRType::kA);
+  const auto plain = server.AnswerWire(base);
+  // Different qtype, different payload limit, different channel, and an rd
+  // flag flip must all miss the cache and produce different bytes.
+  const auto aaaa =
+      server.AnswerWire(dns::MakeQuery(1, N("www.big."), RRType::kAAAA));
+  const auto edns = server.AnswerWire(WithOpt(base, 4096));
+  const auto tcp = server.AnswerWire(base, Channel::kTcp);
+  auto rd = base;
+  rd.header.rd = true;
+  const auto rd_wire = server.AnswerWire(rd);
+  EXPECT_EQ(server.stats().cache_hits, 0u);
+  EXPECT_NE(plain, edns);
+  EXPECT_NE(plain, tcp);
+  EXPECT_NE(plain, rd_wire);
+  EXPECT_NE(plain, aaaa);
+  // And the exact-case question echo is preserved per spelling.
+  const auto upper =
+      server.AnswerWire(dns::MakeQuery(1, N("WWW.BIG."), RRType::kA));
+  EXPECT_EQ(server.stats().cache_hits, 0u);
+  auto decoded = dns::DecodeMessage(upper);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->questions.front().name.ToString(), "WWW.BIG.");
+}
+
+TEST(AuthServerCache, SetZoneInvalidates) {
+  Fixture f;
+  AuthServer server(f.net, f.root_zone);
+  EXPECT_EQ(server.AnswerWire(dns::MakeQuery(1, N("a.dev."), RRType::kA))[3] &
+                0x0F,
+            static_cast<int>(dns::RCode::kNXDomain));
+  auto new_zone = std::make_shared<zone::Zone>(*f.root_zone);
+  ASSERT_TRUE(new_zone
+                  ->AddRecord({N("dev."), RRType::kNS, dns::RRClass::kIN,
+                               172800, dns::NsData{N("ns.nic.dev.")}})
+                  .ok());
+  server.SetZone(new_zone);
+  EXPECT_EQ(server.AnswerWire(dns::MakeQuery(2, N("a.dev."), RRType::kA))[3] &
+                0x0F,
+            static_cast<int>(dns::RCode::kNoError));
+  EXPECT_EQ(server.stats().cache_hits, 0u);
+}
+
+TEST(AuthServerCache, DisabledServerStillAnswersIdentically) {
+  Fixture f;
+  AuthServer::Options options;
+  options.answer_cache_entries = 0;
+  AuthServer cached(f.net, f.root_zone);
+  AuthServer plain(nullptr, zone::ZoneSnapshot::Build(*f.root_zone), options);
+  for (int i = 0; i < 3; ++i) {
+    const auto query =
+        dns::MakeQuery(static_cast<std::uint16_t>(i), N("go.com."), RRType::kA);
+    EXPECT_EQ(cached.AnswerWire(query), plain.AnswerWire(query));
+  }
+  EXPECT_EQ(cached.stats().cache_hits, 2u);
+  EXPECT_EQ(plain.stats().cache_hits, 0u);
 }
 
 TEST(Fleet, InstanceCountMatchesDeployment) {
