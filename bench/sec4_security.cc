@@ -77,7 +77,8 @@ Outcome Run(resolver::RootMode mode, bool validate) {
     dns::Message spoof = MakeResponse(*query, dns::RCode::kNXDomain);
     spoof.header.aa = true;
     return sim::InterceptVerdict::Replace(
-        sim::Datagram{d.dst, d.src, dns::EncodeMessage(spoof)});
+        sim::Datagram{
+            .src = d.dst, .dst = d.src, .payload = dns::EncodeMessage(spoof)});
   });
 
   resolver::ResolverConfig config;

@@ -10,12 +10,16 @@
 //   $ dig @127.0.0.1 -p 5300 . AXFR +tcp
 //
 // Usage: rootlessd [--port N] [--workers N] [--no-dnssec] [--duration SECS]
-//                  [--selfcheck]
+//                  [--rrl RATE] [--quota BURST] [--selfcheck]
 //   --port 0 (default) picks an ephemeral port and prints it.
 //   --duration 0 (default) serves until SIGINT/SIGTERM.
+//   --rrl RATE enables per-client response rate limiting (RATE UDP
+//     responses per second per client; one limiter shared across workers).
+//   --quota BURST sets the RRL bucket depth (default 2x the rate).
 //   --selfcheck starts the server, issues a UDP query and a full AXFR
-//     transfer against it through real sockets, verifies both, and exits —
-//     the CI smoke mode.
+//     transfer against it through real sockets, verifies both, then floods
+//     the UDP port from one source to prove the rate limiter trips
+//     (TC|REFUSED slips + silent drops), and exits — the CI smoke mode.
 
 #include <arpa/inet.h>
 #include <csignal>
@@ -77,6 +81,51 @@ bool UdpSelfQuery(std::uint16_t port) {
          !response->authority.empty();
 }
 
+// Flood probe for the RRL selfcheck: blast `count` queries from ONE socket
+// (one client identity), then drain responses. With the limiter armed the
+// server must answer fewer than it was asked, at least one reply must be
+// the slip signature (TC + REFUSED), and the silent remainder is the drop
+// half. Returns false if the limiter never tripped.
+bool UdpFloodProbe(std::uint16_t port, int count) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return false;
+  timeval tv{0, 200'000};  // 200 ms drain window per recv
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+
+  auto name = dns::Name::Parse("com.");
+  if (!name.ok()) return false;
+  for (int i = 0; i < count; ++i) {
+    const util::Bytes query = dns::EncodeMessage(dns::MakeQuery(
+        static_cast<std::uint16_t>(i), *name, dns::RRType::kNS));
+    ::sendto(fd, query.data(), query.size(), 0,
+             reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  }
+  int answered = 0, slipped = 0;
+  std::uint8_t buffer[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (got <= 0) break;  // drained: the rest were dropped
+    auto response =
+        dns::DecodeMessage({buffer, static_cast<std::size_t>(got)});
+    if (!response.ok()) continue;
+    if (response->header.tc &&
+        response->header.rcode == dns::RCode::kRefused) {
+      ++slipped;
+    } else {
+      ++answered;
+    }
+  }
+  ::close(fd);
+  std::printf("rootlessd: flood probe sent=%d answered=%d slipped=%d "
+              "dropped>=%d\n",
+              count, answered, slipped, count - answered - slipped);
+  return answered < count && slipped > 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -85,6 +134,8 @@ int main(int argc, char** argv) {
   bool dnssec = true;
   int duration_s = 0;
   bool selfcheck = false;
+  std::uint32_t rrl_rate = 0;
+  std::uint32_t rrl_burst = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
@@ -92,6 +143,8 @@ int main(int argc, char** argv) {
     else if (arg == "--workers") workers = std::atoi(next());
     else if (arg == "--no-dnssec") dnssec = false;
     else if (arg == "--duration") duration_s = std::atoi(next());
+    else if (arg == "--rrl") rrl_rate = static_cast<std::uint32_t>(std::atoi(next()));
+    else if (arg == "--quota") rrl_burst = static_cast<std::uint32_t>(std::atoi(next()));
     else if (arg == "--selfcheck") selfcheck = true;
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -110,10 +163,18 @@ int main(int argc, char** argv) {
   }
   net::SnapshotSource source(zone::ZoneSnapshot::Build(root));
 
+  // Selfcheck arms a tight limiter even without --rrl so the flood probe
+  // exercises the defense stage end-to-end through real sockets.
+  if (selfcheck && rrl_rate == 0) rrl_rate = 25;
+
   net::FrontendOptions options;
   options.port = port;
   options.udp_workers = workers;
   options.include_dnssec = dnssec;
+  if (rrl_rate > 0) {
+    options.rrl = {.enabled = true, .rate = rrl_rate, .burst = rrl_burst,
+                   .slip = 2, .buckets = 4096};
+  }
   net::DnsFrontend frontend(source, options);
   if (auto status = frontend.Start(); !status.ok()) {
     std::fprintf(stderr, "rootlessd: %s\n", status.message().c_str());
@@ -126,6 +187,11 @@ int main(int argc, char** argv) {
               frontend.udp_port(), frontend.tcp_port(), workers);
   std::printf("rootlessd: try  dig @127.0.0.1 -p %u com NS\n",
               frontend.udp_port());
+  if (rrl_rate > 0) {
+    std::printf("rootlessd: rrl %u responses/s per client (burst %u)\n",
+                rrl_rate, rrl_rate == 0 ? 0
+                          : (rrl_burst ? rrl_burst : 2 * rrl_rate));
+  }
   std::fflush(stdout);
 
   if (selfcheck) {
@@ -140,12 +206,30 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "rootlessd: AXFR selfcheck content mismatch\n");
       ok = false;
     }
+    // Flood probe: well past rate+burst from a single client identity, so
+    // the limiter must slip (TC|REFUSED) and drop part of the batch.
+    if (!UdpFloodProbe(frontend.udp_port(), 200)) {
+      std::fprintf(stderr, "rootlessd: RRL flood selfcheck failed "
+                           "(limiter never tripped)\n");
+      ok = false;
+    }
     frontend.Stop();
     const auto stats = frontend.stats();
-    std::printf("rootlessd: selfcheck %s (queries=%lu answers+referrals=%lu)\n",
+    const auto pstats = frontend.pipeline_stats();
+    if (pstats.rrl_dropped == 0) {
+      std::fprintf(stderr, "rootlessd: RRL selfcheck saw no drops\n");
+      ok = false;
+    }
+    std::printf("rootlessd: selfcheck %s (queries=%lu answers+referrals=%lu "
+                "rrl allowed=%lu slipped=%lu dropped=%lu)\n",
                 ok ? "passed" : "FAILED",
                 static_cast<unsigned long>(stats.queries),
-                static_cast<unsigned long>(stats.answers + stats.referrals));
+                static_cast<unsigned long>(stats.answers + stats.referrals),
+                static_cast<unsigned long>(pstats.rrl_checked -
+                                           pstats.rrl_slipped -
+                                           pstats.rrl_dropped),
+                static_cast<unsigned long>(pstats.rrl_slipped),
+                static_cast<unsigned long>(pstats.rrl_dropped));
     return ok ? 0 : 1;
   }
 

@@ -29,6 +29,12 @@ util::Status DnsFrontend::Start() {
   auth_options.edns = options_.edns;
   // Real wire: answer garbage with FORMERR (the sim default stays drop).
   auth_options.respond_formerr_to_garbage = true;
+  if (options_.rrl.enabled) {
+    rrl_ = std::make_unique<rootsrv::ResponseRateLimiter>(options_.rrl);
+    // Shared across workers; the pipeline's rate-limit stage only charges
+    // UDP queries, so handing it to the TCP AuthServer too is harmless.
+    auth_options.shared_rrl = rrl_.get();
+  }
 
   // Bind everything up front (ports are known before any thread runs), then
   // start the threads.
@@ -169,6 +175,26 @@ rootsrv::AuthServerStats DnsFrontend::stats() const {
       total.cache_hits += s.cache_hits;
       total.bytes_in += s.bytes_in;
       total.bytes_out += s.bytes_out;
+    }
+  }
+  return total;
+}
+
+rootsrv::PipelineStats DnsFrontend::pipeline_stats() const {
+  rootsrv::PipelineStats total;
+  for (const auto& worker : workers_) {
+    for (const rootsrv::AuthServer* auth :
+         {worker->auth.get(), worker->tcp_auth.get()}) {
+      if (auth == nullptr) continue;
+      const rootsrv::PipelineStats s = auth->pipeline_stats();
+      total.screen_diverted += s.screen_diverted;
+      total.rrl_checked += s.rrl_checked;
+      total.rrl_dropped += s.rrl_dropped;
+      total.rrl_slipped += s.rrl_slipped;
+      total.cache_probes += s.cache_probes;
+      total.cache_insertions += s.cache_insertions;
+      total.cache_evictions += s.cache_evictions;
+      total.snapshot_answers += s.snapshot_answers;
     }
   }
   return total;

@@ -84,6 +84,12 @@ struct FrontendOptions {
   rootsrv::EdnsConfig edns{.default_udp_payload = 512};
   std::size_t batch = 64;  // recvmmsg/sendmmsg batch size
   std::size_t axfr_records_per_message = 100;
+  // Response rate limiting: when enabled, the frontend owns ONE limiter
+  // shared by every SO_REUSEPORT UDP worker (per-client budgets hold across
+  // workers — the kernel hashes a flooding source onto one worker, but a
+  // multi-homed attacker must not get per-worker budgets). TCP is exempt by
+  // design: slipped clients retry there.
+  rootsrv::RrlConfig rrl;
   obs::Registry* registry = nullptr;  // merge target at Stop (default: global)
 };
 
@@ -107,6 +113,11 @@ class DnsFrontend {
   // Aggregated server-side stats (sums the workers' AuthServers; callable
   // only after Stop()).
   rootsrv::AuthServerStats stats() const;
+  // Aggregated per-stage pipeline stats (same caveat as stats()).
+  rootsrv::PipelineStats pipeline_stats() const;
+  // The shared rate limiter, nullptr when RRL is off. Its decision totals
+  // are safe to read while serving (atomics).
+  const rootsrv::ResponseRateLimiter* rrl() const { return rrl_.get(); }
 
  private:
   struct Worker {
@@ -127,6 +138,8 @@ class DnsFrontend {
 
   SnapshotSource& source_;
   FrontendOptions options_;
+  // One limiter across all UDP workers (see FrontendOptions::rrl).
+  std::unique_ptr<rootsrv::ResponseRateLimiter> rrl_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stop_{true};
   bool merged_ = false;

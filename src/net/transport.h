@@ -39,8 +39,16 @@ inline constexpr EndpointId kRemoteEndpointBit = 0x8000'0000u;
 // One unit of delivery: a datagram on UDP / the simulator, one
 // length-prefixed DNS message on TCP.
 struct Packet {
+  // Unset `client` — the receiver falls back to `src`, which the simulator
+  // keeps stable per sender.
+  static constexpr std::uint64_t kNoClient = ~0ULL;
+
   EndpointId src = 0;
   EndpointId dst = 0;
+  // Stable identity of the sending client for defense accounting (response
+  // rate limiting). The UDP socket server sets it from the peer address,
+  // because there `src` only names a rotating reply slot.
+  std::uint64_t client = kNoClient;
   util::Bytes payload;
 };
 

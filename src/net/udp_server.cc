@@ -145,6 +145,11 @@ void UdpServer::OnReadable() {
       peers_[slot] = rx_addrs_[i];
       rx_packet_.src = kRemoteEndpointBit | static_cast<EndpointId>(slot);
       rx_packet_.dst = 0;
+      // The slot rotates per datagram; the rate limiter needs the actual
+      // peer identity (address + port, so NATed resolvers stay distinct).
+      rx_packet_.client =
+          (static_cast<std::uint64_t>(rx_addrs_[i].sin_addr.s_addr) << 16) |
+          rx_addrs_[i].sin_port;
       const auto* base = static_cast<const std::uint8_t*>(rx_iovs_[i].iov_base);
       rx_packet_.payload.assign(base, base + got);
       if (handler_set_ && handler_) handler_(rx_packet_);

@@ -50,6 +50,9 @@ RecursiveResolver::RecursiveResolver(sim::Simulator& sim,
   c_.timeouts = reg.counter("resolver.timeouts", labels);
   c_.failures = reg.counter("resolver.failures", labels);
   c_.retries = reg.counter("resolver.retries", labels);
+  c_.glueless_referrals =
+      reg.counter("resolver.glueless_referrals", labels);
+  c_.chase_queries = reg.counter("resolver.chase_queries", labels);
   latency_us_ = reg.histogram("resolver.resolution_latency_us", labels);
   attempts_per_success_ =
       reg.histogram("resolver.attempts_per_success", labels);
@@ -66,6 +69,11 @@ void RecursiveResolver::SetLocalZone(zone::SnapshotPtr root_zone) {
 
 void RecursiveResolver::Resolve(const Name& qname, RRType qtype,
                                 const ResolveCallback& cb) {
+  ResolveImpl(qname, qtype, cb, /*is_chase=*/false);
+}
+
+void RecursiveResolver::ResolveImpl(const Name& qname, RRType qtype,
+                                    const ResolveCallback& cb, bool is_chase) {
   c_.resolutions.Inc();
   // Lifecycle span: query → answer. Synchronous paths (cache hit, negative
   // hit) close it immediately; async paths park it in the Pending node.
@@ -117,6 +125,7 @@ void RecursiveResolver::Resolve(const Name& qname, RRType qtype,
   pending.start = sim_.now();
   pending.retries_left =
       config_.retry ? config_.retry->max_attempts - 1 : config_.max_retries;
+  pending.is_chase = is_chase;
   pending.span = span;
   auto [it, inserted] = pending_.emplace(id, std::move(pending));
   StartResolution(id, it->second);
@@ -479,8 +488,32 @@ void RecursiveResolver::HandleTldResponse(std::uint16_t id, Pending& pending,
   }
   if (response.header.rcode != dns::RCode::kNoError ||
       response.answers.empty()) {
+    // NXNSAttack surface: a NOERROR answer with nothing but glueless NS
+    // authority is a referral we cannot follow directly. With chasing
+    // enabled, issue fire-and-forget A lookups for the NS targets — each
+    // one a fresh root (or local-root) transaction, which is exactly the
+    // amplification the attack monetizes. Chases never chase (is_chase).
+    std::vector<Name> chase;
+    if (config_.max_glueless_chase > 0 && !pending.is_chase &&
+        response.header.rcode == dns::RCode::kNoError) {
+      for (const auto& rr : response.authority) {
+        if (rr.type != RRType::kNS) continue;
+        if (chase.size() >=
+            static_cast<std::size_t>(config_.max_glueless_chase)) {
+          break;
+        }
+        chase.push_back(std::get<dns::NsData>(rr.rdata).nameserver);
+      }
+      if (!chase.empty()) c_.glueless_referrals.Inc();
+    }
     c_.failures.Inc();
+    // Finish erases the Pending node (invalidating `pending`); the chases
+    // are issued after it, as fresh resolutions.
     Finish(id, dns::RCode::kServFail, {}, true);
+    for (const auto& host : chase) {
+      c_.chase_queries.Inc();
+      ResolveImpl(host, RRType::kA, nullptr, /*is_chase=*/true);
+    }
     return;
   }
   CacheRecords(response.answers);

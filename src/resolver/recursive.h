@@ -75,6 +75,14 @@ struct ResolverConfig {
   bool validate_denials = false;
   std::uint32_t validation_now = 1000;  // unix time for RRSIG windows
   std::uint64_t seed = 1;
+  // NXNSAttack surface (Afek et al., PAPERS.md): when a TLD answer is an
+  // unusable glueless referral (NOERROR, no answers, NS authority without
+  // glue), chase up to this many of the referral's NS target names with
+  // fire-and-forget A lookups — the behaviour that lets one malicious
+  // delegation fan a single query into `fanout` fresh root lookups. 0
+  // (default) keeps the historical behaviour bit-for-bit: the referral is
+  // just a SERVFAIL.
+  int max_glueless_chase = 0;
   // Optional shared retry policy (sim/retry.h). When set, it supersedes
   // query_timeout/max_retries: each attempt gets attempt_timeout, the
   // attempt budget is max_attempts, and re-asks after a timeout or bad
@@ -112,6 +120,10 @@ struct ResolverStats {
   std::uint64_t timeouts = 0;
   std::uint64_t failures = 0;
   std::uint64_t retries = 0;  // re-asks after timeout/bad response
+  // NXNS accounting: unusable glueless referrals seen, and the NS-target
+  // chase lookups they spawned (see ResolverConfig::max_glueless_chase).
+  std::uint64_t glueless_referrals = 0;
+  std::uint64_t chase_queries = 0;
 };
 
 class RecursiveResolver {
@@ -171,7 +183,8 @@ class RecursiveResolver {
         c_.handshakes.value(),        c_.nxdomain.value(),
         c_.negative_hits.value(),     c_.manipulation_detected.value(),
         c_.timeouts.value(),          c_.failures.value(),
-        c_.retries.value()};
+        c_.retries.value(),           c_.glueless_referrals.value(),
+        c_.chase_queries.value()};
   }
   const RootSelector& root_selector() const { return selector_; }
   const ResolverConfig& config() const { return config_; }
@@ -185,6 +198,9 @@ class RecursiveResolver {
     sim::SimTime start = 0;
     int transactions = 0;
     bool used_root = false;
+    // Spawned by a glueless-referral chase; never chases further (the loop
+    // guard that keeps NXNS amplification one level deep on our side).
+    bool is_chase = false;
     // In-flight transaction bookkeeping.
     enum class Stage { kRoot, kTld } stage = Stage::kRoot;
     char root_letter = 0;
@@ -198,6 +214,9 @@ class RecursiveResolver {
     obs::SpanId stage_span = obs::kNoSpan;
   };
 
+  // Resolve() body; `is_chase` marks fire-and-forget NS-target lookups.
+  void ResolveImpl(const dns::Name& qname, dns::RRType qtype,
+                   const ResolveCallback& cb, bool is_chase);
   void StartResolution(std::uint16_t id, Pending& pending);
   // Consults the configured root source for the TLD referral.
   void AskRoot(std::uint16_t id);
@@ -277,6 +296,8 @@ class RecursiveResolver {
     obs::Counter timeouts;
     obs::Counter failures;
     obs::Counter retries;
+    obs::Counter glueless_referrals;
+    obs::Counter chase_queries;
   };
   Counters c_;
   // Attempts consumed by each resolution that completed (cache hits and

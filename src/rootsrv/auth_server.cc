@@ -1,17 +1,13 @@
 #include "rootsrv/auth_server.h"
 
-#include <algorithm>
-#include <cstring>
+#include <chrono>
+#include <utility>
 
 namespace rootless::rootsrv {
 
 using dns::Message;
-using zone::LookupDisposition;
 
 namespace {
-
-// TCP DNS messages are bounded by the 2-byte length prefix, not EDNS.
-constexpr std::size_t kMaxTcpMessage = 0xFFFF;
 
 AuthServer::Options LegacyOptions(bool include_dnssec,
                                   std::size_t max_udp_size) {
@@ -21,32 +17,49 @@ AuthServer::Options LegacyOptions(bool include_dnssec,
   return options;
 }
 
+std::uint64_t SteadyNowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 AuthServer::AuthServer(net::Transport* transport, zone::SnapshotPtr snapshot,
                        Options options)
     : transport_(transport),
       snapshot_(std::move(snapshot)),
-      options_(options) {
+      options_(std::move(options)),
+      screen_stage_(options_.edns, c_, pc_),
+      rrl_stage_(c_, pc_),
+      cache_stage_(options_.answer_cache_entries, c_, pc_),
+      answer_stage_(&snapshot_, options_.include_dnssec, c_, pc_) {
   if (transport_ != nullptr) {
     node_ = transport_->AddNode(
         [this](const net::Packet& packet) { HandleDatagram(packet); });
   }
   obs::Registry& reg =
       options_.registry ? *options_.registry : obs::Registry::Default();
-  const obs::Labels labels{reg.NextInstance("rootsrv.auth"), "", ""};
-  c_.queries = reg.counter("rootsrv.auth.queries", labels);
-  c_.answers = reg.counter("rootsrv.auth.answers", labels);
-  c_.referrals = reg.counter("rootsrv.auth.referrals", labels);
-  c_.nxdomain = reg.counter("rootsrv.auth.nxdomain", labels);
-  c_.nodata = reg.counter("rootsrv.auth.nodata", labels);
-  c_.refused = reg.counter("rootsrv.auth.refused", labels);
-  c_.malformed = reg.counter("rootsrv.auth.malformed", labels);
-  c_.truncated = reg.counter("rootsrv.auth.truncated", labels);
-  c_.edns_queries = reg.counter("rootsrv.auth.edns_queries", labels);
-  c_.cache_hits = reg.counter("rootsrv.auth.cache_hits", labels);
-  c_.bytes_in = reg.counter("rootsrv.auth.bytes_in", labels);
-  c_.bytes_out = reg.counter("rootsrv.auth.bytes_out", labels);
+  c_.Register(reg);
+  pc_.Register(reg);
+
+  if (options_.shared_rrl != nullptr) {
+    rrl_stage_.SetLimiter(options_.shared_rrl);
+    rrl_view_ = options_.shared_rrl;
+  } else if (options_.rrl.enabled) {
+    owned_rrl_ = std::make_unique<ResponseRateLimiter>(options_.rrl);
+    rrl_stage_.SetLimiter(owned_rrl_.get());
+    rrl_view_ = owned_rrl_.get();
+  }
+  if (rrl_stage_.active() && !options_.clock) {
+    options_.clock = SteadyNowMicros;
+  }
+
+  pipeline_.Append(&screen_stage_);
+  pipeline_.Append(&rrl_stage_);
+  pipeline_.Append(&cache_stage_);
+  pipeline_.Append(&answer_stage_);
 }
 
 AuthServer::AuthServer(net::Transport& transport, zone::SnapshotPtr snapshot,
@@ -60,113 +73,25 @@ AuthServer::AuthServer(net::Transport& transport,
     : AuthServer(&transport, zone::ZoneSnapshot::Build(*zone),
                  LegacyOptions(include_dnssec, max_udp_size)) {}
 
-bool AuthServer::Preflight(const Message& query, Channel channel,
-                           dns::RCode& rcode, std::size_t& payload_limit,
-                           bool& echo_opt) {
-  const EdnsConfig& edns = options_.edns;
-  payload_limit = edns.default_udp_payload;
-  echo_opt = false;
-
-  // EDNS0 (RFC 6891): the OPT pseudo-record's CLASS field carries the
-  // requestor's maximum UDP payload size.
-  int opt_count = 0;
-  std::size_t requestor_payload = 0;
-  for (const auto& rr : query.additional) {
-    if (rr.type == dns::RRType::kOPT) {
-      ++opt_count;
-      requestor_payload = static_cast<std::uint16_t>(rr.rrclass);
-    }
-  }
-  if (opt_count > 0) {
-    c_.edns_queries.Inc();
-    echo_opt = edns.echo_opt;
-    payload_limit = std::clamp(requestor_payload, edns.min_udp_payload,
-                               edns.max_udp_payload);
-  }
-  if (channel == Channel::kTcp) payload_limit = kMaxTcpMessage;
-
-  // More than one OPT is a protocol violation (RFC 6891 §6.1.1).
-  if (query.questions.size() != 1 || opt_count > 1) {
-    c_.malformed.Inc();
-    rcode = dns::RCode::kFormErr;
-    return true;
-  }
-  if (query.header.opcode != dns::Opcode::kQuery) {
-    c_.refused.Inc();
-    rcode = dns::RCode::kNotImp;
-    return true;
-  }
-  const dns::Question& q = query.questions.front();
-  if (q.rrclass != dns::RRClass::kIN) {
-    c_.refused.Inc();
-    rcode = dns::RCode::kRefused;
-    return true;
-  }
-  // Zone transfers only over TCP (and only via the AXFR front-end glue).
-  if (q.type == dns::RRType::kAXFR && channel == Channel::kUdp) {
-    c_.refused.Inc();
-    rcode = dns::RCode::kRefused;
-    return true;
-  }
-  return false;
-}
-
-void AuthServer::CountDisposition(LookupDisposition disposition) {
-  switch (disposition) {
-    case LookupDisposition::kAnswer:
-      c_.answers.Inc();
-      break;
-    case LookupDisposition::kReferral:
-      c_.referrals.Inc();
-      break;
-    case LookupDisposition::kNoData:
-      c_.nodata.Inc();
-      break;
-    case LookupDisposition::kNxDomain:
-      c_.nxdomain.Inc();
-      break;
-    case LookupDisposition::kOutOfZone:
-      c_.refused.Inc();
-      break;
-  }
-}
-
-dns::RCode AuthServer::Classify(LookupDisposition disposition, bool& aa) {
-  CountDisposition(disposition);
-  dns::RCode rcode = dns::RCode::kNoError;
-  if (disposition == LookupDisposition::kNxDomain) {
-    rcode = dns::RCode::kNXDomain;
-  } else if (disposition == LookupDisposition::kOutOfZone) {
-    rcode = dns::RCode::kRefused;
-  }
-  aa = disposition == LookupDisposition::kAnswer ||
-       disposition == LookupDisposition::kNoData ||
-       disposition == LookupDisposition::kNxDomain;
-  return rcode;
-}
-
 Message AuthServer::Answer(const Message& query) {
   c_.queries.Inc();
-  dns::RCode preflight_rcode = dns::RCode::kNoError;
-  std::size_t payload_limit = 0;
-  bool echo_opt = false;
+  QueryContext ctx;
+  ctx.query = &query;
+  ctx.channel = Channel::kUdp;
+  ctx.wire_path = false;
+  pipeline_.Admit(ctx);  // unattributed: the chain cannot drop this query
+
   const dns::ResourceRecord opt_record{
       opt_owner_, dns::RRType::kOPT,
       static_cast<dns::RRClass>(options_.edns.advertise_udp_payload), 0,
       opt_rdata_};
-  if (Preflight(query, Channel::kUdp, preflight_rcode, payload_limit,
-                echo_opt)) {
-    Message response = MakeResponse(query, preflight_rcode);
-    if (echo_opt) response.additional.push_back(opt_record);
+  if (ctx.screened) {
+    Message response = MakeResponse(query, ctx.screen_rcode);
+    if (ctx.echo_opt) response.additional.push_back(opt_record);
     return response;
   }
-  const dns::Question& q = query.questions.front();
-  snapshot_->Lookup(q.name, q.type, options_.include_dnssec, lookup_scratch_);
-
-  bool aa = false;
-  const dns::RCode rcode = Classify(lookup_scratch_.disposition, aa);
-  Message response = MakeResponse(query, rcode);
-  response.header.aa = aa;
+  Message response = MakeResponse(query, ctx.rcode);
+  response.header.aa = ctx.aa;
   auto append = [](const std::vector<dns::RRsetView>& sets,
                    std::vector<dns::ResourceRecord>& out) {
     for (const auto& s : sets) {
@@ -176,85 +101,63 @@ Message AuthServer::Answer(const Message& query) {
       }
     }
   };
-  append(lookup_scratch_.answers, response.answers);
-  append(lookup_scratch_.authority, response.authority);
-  append(lookup_scratch_.additional, response.additional);
-  if (echo_opt) response.additional.push_back(opt_record);
+  append(ctx.lookup->answers, response.answers);
+  append(ctx.lookup->authority, response.authority);
+  append(ctx.lookup->additional, response.additional);
+  if (ctx.echo_opt) response.additional.push_back(opt_record);
   return response;
 }
 
-util::Bytes AuthServer::AnswerWire(const Message& query, Channel channel) {
+util::Bytes AuthServer::AnswerWireFrom(const Message& query, Channel channel,
+                                       std::uint64_t client) {
   c_.queries.Inc();
-  dns::RCode preflight_rcode = dns::RCode::kNoError;
-  std::size_t payload_limit = 0;
-  bool echo_opt = false;
-  if (Preflight(query, channel, preflight_rcode, payload_limit, echo_opt)) {
-    Message response = MakeResponse(query, preflight_rcode);
-    if (echo_opt) {
+  QueryContext ctx;
+  ctx.query = &query;
+  ctx.channel = channel;
+  ctx.client = client;
+  ctx.wire_path = true;
+  if (rrl_stage_.active() && client != QueryContext::kUnattributed &&
+      options_.clock) {
+    ctx.now_us = options_.clock();
+  }
+  const StageVerdict verdict = pipeline_.Admit(ctx);
+  if (verdict == StageVerdict::kDrop) return {};
+
+  if (ctx.screened) {
+    Message response = MakeResponse(query, ctx.screen_rcode);
+    if (ctx.echo_opt) {
       response.additional.push_back(dns::ResourceRecord{
           opt_owner_, dns::RRType::kOPT,
           static_cast<dns::RRClass>(options_.edns.advertise_udp_payload), 0,
           opt_rdata_});
     }
-    return dns::EncodeMessage(response, payload_limit);
+    return dns::EncodeMessage(response, ctx.payload_limit);
   }
+  if (ctx.rrl_slip) {
+    // Minimal TC|REFUSED: an honest client behind the limited address
+    // retries over TCP; a spoofed-source flood reflects 12 bytes, not an
+    // amplified answer. Never cached.
+    Message response = MakeResponse(query, dns::RCode::kRefused);
+    util::Bytes wire = dns::EncodeMessage(response, ctx.payload_limit);
+    // EncodeMessage derives TC from size alone; a slip is forced truncation.
+    if (wire.size() > 2) wire[2] |= 0x02;
+    return wire;
+  }
+  if (ctx.cache_hit) return std::move(ctx.cached_wire);
+
   const dns::Question& q = query.questions.front();
-
-  // Answer packet cache probe. The key covers every query property that can
-  // shape the response bytes other than the id: the exact-case qname (the
-  // question echo preserves case), qtype, the header flag bits copied into
-  // the response (tc, rd — opcode and class are pinned by Preflight), the
-  // effective payload limit (which also folds in the channel and the EDNS
-  // clamp), and whether an OPT record is echoed. Name::Hash() is
-  // case-folded, so different-case spellings share a hash and are split by
-  // the exact-byte equality check below.
-  const bool cache_on = options_.answer_cache_entries > 0;
-  const std::uint8_t flags = static_cast<std::uint8_t>(
-      (query.header.tc ? 2 : 0) | (query.header.rd ? 1 : 0));
-  std::uint64_t key_hash = 0;
-  if (cache_on) {
-    const std::uint64_t salt =
-        (static_cast<std::uint64_t>(q.type) << 32) |
-        (static_cast<std::uint64_t>(payload_limit) << 8) |
-        (static_cast<std::uint64_t>(flags) << 1) | (echo_opt ? 1 : 0);
-    key_hash = q.name.Hash() ^ (salt * 0x9E3779B97F4A7C15ULL);
-    const std::span<const std::uint8_t> qname = q.name.flat();
-    const std::uint32_t slot =
-        answer_index_.Find(key_hash, [&](std::uint32_t s) {
-          const CachedAnswer& e = answer_cache_[s];
-          return e.hash == key_hash && e.type == q.type && e.flags == flags &&
-                 e.echo_opt == echo_opt && e.payload_limit == payload_limit &&
-                 e.name.size() == qname.size() &&
-                 std::memcmp(e.name.data(), qname.data(), qname.size()) == 0;
-        });
-    if (slot != util::FlatHashIndex::kNpos) {
-      const CachedAnswer& e = answer_cache_[slot];
-      CountDisposition(e.disposition);
-      if (e.truncated) c_.truncated.Inc();
-      c_.cache_hits.Inc();
-      util::Bytes wire = e.wire;
-      wire[0] = static_cast<std::uint8_t>(query.header.id >> 8);
-      wire[1] = static_cast<std::uint8_t>(query.header.id);
-      return wire;
-    }
-  }
-
-  snapshot_->Lookup(q.name, q.type, options_.include_dnssec, lookup_scratch_);
-
-  bool aa = false;
-  const dns::RCode rcode = Classify(lookup_scratch_.disposition, aa);
   dns::MessageView& response = response_scratch_;
   response.clear();
   response.header = query.header;
   response.header.qr = true;
   response.header.ra = false;
-  response.header.rcode = rcode;
-  response.header.aa = aa;
+  response.header.rcode = ctx.rcode;
+  response.header.aa = ctx.aa;
   response.questions.push_back(q);
-  response.answers = lookup_scratch_.answers;
-  response.authority = lookup_scratch_.authority;
-  response.additional = lookup_scratch_.additional;
-  if (echo_opt) {
+  response.answers = ctx.lookup->answers;
+  response.authority = ctx.lookup->authority;
+  response.additional = ctx.lookup->additional;
+  if (ctx.echo_opt) {
     // The OPT echo rides last in additional, so under truncation it is the
     // first record dropped — whole-record truncation keeps the encoder
     // byte-identical to the owning-Message path.
@@ -263,30 +166,10 @@ util::Bytes AuthServer::AnswerWire(const Message& query, Channel channel) {
         static_cast<dns::RRClass>(options_.edns.advertise_udp_payload), 0,
         std::span<const dns::Rdata>(&opt_rdata_, 1)});
   }
-  util::Bytes wire = dns::EncodeMessage(response, payload_limit);
+  util::Bytes wire = dns::EncodeMessage(response, ctx.payload_limit);
   const bool truncated = wire.size() > 2 && (wire[2] & 0x02);
   if (truncated) c_.truncated.Inc();
-
-  if (cache_on && answer_cache_.size() < options_.answer_cache_entries) {
-    const std::span<const std::uint8_t> qname = q.name.flat();
-    CachedAnswer entry;
-    entry.hash = key_hash;
-    entry.name.assign(qname.begin(), qname.end());
-    entry.type = q.type;
-    entry.flags = flags;
-    entry.echo_opt = echo_opt;
-    entry.payload_limit = static_cast<std::uint32_t>(payload_limit);
-    entry.disposition = lookup_scratch_.disposition;
-    entry.truncated = truncated;
-    entry.wire = wire;
-    entry.wire[0] = 0;
-    entry.wire[1] = 0;
-    const auto slot = static_cast<std::uint32_t>(answer_cache_.size());
-    answer_cache_.push_back(std::move(entry));
-    answer_index_.Insert(key_hash, slot, [this](std::uint32_t s) {
-      return answer_cache_[s].hash;
-    });
-  }
+  pipeline_.OnResponse(ctx, wire, truncated);
   return wire;
 }
 
@@ -325,7 +208,11 @@ void AuthServer::HandleDatagram(const net::Packet& packet, Channel channel) {
     c_.malformed.Inc();
     return;
   }
-  auto wire = AnswerWire(*query, channel);
+  const std::uint64_t client = packet.client != net::Packet::kNoClient
+                                   ? packet.client
+                                   : static_cast<std::uint64_t>(packet.src);
+  auto wire = AnswerWireFrom(*query, channel, client);
+  if (wire.empty()) return;  // the rate limiter decided on silence
   c_.bytes_out.Inc(wire.size());
   if (transport_ != nullptr) {
     transport_->Send(node_, packet.src, std::move(wire));

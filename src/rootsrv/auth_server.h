@@ -4,6 +4,14 @@
 // queries, applies the zone's lookup logic, and answers with referrals /
 // answers / NXDOMAIN exactly as a root or TLD server would.
 //
+// All serving paths — Answer (owning Message, sim/local-root), AnswerWire
+// (zero-copy wire), HandleDatagram (full UDP/TCP datagram path) — drive the
+// same rootsrv::QueryPipeline stage chain (see pipeline.h): Screen →
+// RateLimit → AnswerCache → SnapshotAnswer. The server owns the stages and
+// renders whatever the chain decides; there is exactly one EDNS-clamp /
+// truncation implementation, one FORMERR/NOTIMP/REFUSED policy, one cache
+// probe, and one defense hook across both transports.
+//
 // The serving path is zero-copy: a query is answered by assembling borrowed
 // RRset views out of the shared zone::ZoneSnapshot arena and encoding them
 // straight to the wire (AnswerWire), reusing per-server scratch buffers — no
@@ -19,17 +27,21 @@
 //   * responses are truncated whole-record with the TC bit at the EDNS0
 //     requestor payload size (clamped to [min, max]) when the query carries
 //     an OPT record, or at `default_udp_payload` when it does not — the
-//     latter preserves the simulator's historical 1232-byte behaviour.
+//     latter preserves the simulator's historical 1232-byte behaviour;
+//   * with RRL enabled, over-limit UDP clients are dropped or slipped a
+//     TC|REFUSED (rootsrv/rrl.h) before any lookup work happens.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "dns/message.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
+#include "rootsrv/pipeline.h"
+#include "rootsrv/rrl.h"
 #include "util/bytes.h"
-#include "util/flat_hash.h"
 #include "zone/zone.h"
 #include "zone/zone_snapshot.h"
 
@@ -52,27 +64,6 @@ struct AuthServerStats {
   std::uint64_t bytes_out = 0;
 };
 
-// EDNS0 (RFC 6891) response-size policy.
-struct EdnsConfig {
-  // Truncation limit for queries WITHOUT an OPT record. RFC 1035 says 512;
-  // the simulator has always used the server's configured maximum (1232 by
-  // default), and replay determinism depends on that, so the default stays.
-  // Wire front-ends set 512.
-  std::size_t default_udp_payload = 1232;
-  // Clamp bounds for the requestor's advertised payload size.
-  std::size_t min_udp_payload = 512;
-  std::size_t max_udp_payload = 4096;
-  // Payload size advertised in the OPT record echoed on EDNS responses.
-  std::size_t advertise_udp_payload = 1232;
-  // Echo an OPT record in responses to EDNS queries.
-  bool echo_opt = true;
-};
-
-// Which transport the response will travel over: UDP truncates at the EDNS
-// limit; TCP never truncates (64KB message ceiling) and refuses nothing
-// extra.
-enum class Channel { kUdp, kTcp };
-
 class AuthServer {
  public:
   struct Options {
@@ -83,15 +74,21 @@ class AuthServer {
     // simulator's historical behaviour is to drop garbage, and the fault
     // benches' corruption baselines depend on it. Wire front-ends enable it.
     bool respond_formerr_to_garbage = false;
-    // Answer packet cache: AnswerWire responses are memoized per snapshot,
-    // keyed on everything that shapes the wire besides the message id
-    // (exact-case qname bytes, qtype, echoed header flags, payload limit,
-    // OPT echo) — a hit is a hash probe + memcpy + id patch instead of a
-    // zone lookup + encode. Sound because the snapshot is immutable; the
-    // cache is dropped on SetZone. Bounded: once this many entries exist,
-    // misses (e.g. a random-qname NXDOMAIN storm) stop inserting. 0
-    // disables.
+    // Answer packet cache capacity (see AnswerCacheStage in pipeline.h).
+    // Bounded with FIFO eviction at capacity; 0 disables.
     std::size_t answer_cache_entries = 16384;
+    // Response rate limiting (defense stage). Either enable a private
+    // limiter here, or point shared_rrl at one shared across servers (the
+    // socket front-end shares one limiter over all SO_REUSEPORT UDP
+    // workers; shared_rrl wins when both are set). Disabled by default —
+    // the serving path is then byte-identical to a server without the
+    // stage.
+    RrlConfig rrl;
+    ResponseRateLimiter* shared_rrl = nullptr;
+    // Microsecond clock sampled per attributed wire query while RRL is
+    // active. Defaults to std::chrono::steady_clock; the simulator passes
+    // sim time so attack replays stay deterministic.
+    std::function<std::uint64_t()> clock;
     // Metrics registry; nullptr = process default.
     obs::Registry* registry = nullptr;
   };
@@ -123,8 +120,19 @@ class AuthServer {
                            c_.edns_queries.value(), c_.cache_hits.value(),
                            c_.bytes_in.value(),  c_.bytes_out.value()};
   }
+  // Snapshot of the per-stage pipeline counters.
+  PipelineStats pipeline_stats() const {
+    return PipelineStats{
+        pc_.screen_diverted.value(),  pc_.rrl_checked.value(),
+        pc_.rrl_dropped.value(),      pc_.rrl_slipped.value(),
+        pc_.cache_probes.value(),     pc_.cache_insertions.value(),
+        pc_.cache_evictions.value(),  pc_.snapshot_answers.value()};
+  }
   const zone::SnapshotPtr& snapshot() const { return snapshot_; }
   const EdnsConfig& edns() const { return options_.edns; }
+  // The active rate limiter (shared or private), nullptr when RRL is off.
+  const ResponseRateLimiter* rrl() const { return rrl_view_; }
+  std::size_t answer_cache_size() const { return cache_stage_.size(); }
 
   // Swaps in a new zone version (e.g. the daily root zone update) — a
   // pointer swap; in-flight views into the old snapshot stay valid as long
@@ -133,11 +141,11 @@ class AuthServer {
   // net::SnapshotSource).
   void SetZone(zone::SnapshotPtr snapshot) {
     snapshot_ = std::move(snapshot);
-    DropAnswerCache();
+    cache_stage_.Drop();
   }
   void SetZone(std::shared_ptr<const zone::Zone> zone) {
     snapshot_ = zone::ZoneSnapshot::Build(*zone);
-    DropAnswerCache();
+    cache_stage_.Drop();
   }
 
   // Builds the response message for a query (exposed for tests and for the
@@ -148,9 +156,17 @@ class AuthServer {
   // Zero-copy serving path: lookup → borrowed views → wire bytes, with TC
   // truncation at the channel's payload limit. Byte-identical to encoding
   // Answer()'s message; reuses this server's scratch buffers (not
-  // reentrant).
+  // reentrant). No client attribution → the rate limiter never drops it.
   util::Bytes AnswerWire(const dns::Message& query,
-                         Channel channel = Channel::kUdp);
+                         Channel channel = Channel::kUdp) {
+    return AnswerWireFrom(query, channel, QueryContext::kUnattributed);
+  }
+
+  // AnswerWire with transport attribution: `client` feeds the rate-limit
+  // stage, which may decide to answer nothing at all — the only case in
+  // which the returned wire is empty.
+  util::Bytes AnswerWireFrom(const dns::Message& query, Channel channel,
+                             std::uint64_t client);
 
   // The full datagram path (decode → answer → respond), exposed so socket
   // front-ends and parity tests can drive exactly what the transport
@@ -161,21 +177,6 @@ class AuthServer {
                       Channel channel = Channel::kUdp);
 
  private:
-  // Header-level screening shared by Answer and AnswerWire. Returns true if
-  // the query was diverted to an error rcode (written to `rcode`); also
-  // reports the effective UDP payload limit and whether an OPT echo is due.
-  bool Preflight(const dns::Message& query, Channel channel, dns::RCode& rcode,
-                 std::size_t& payload_limit, bool& echo_opt);
-  // Updates per-disposition stats; returns the response rcode and whether
-  // the answer is authoritative.
-  dns::RCode Classify(zone::LookupDisposition disposition, bool& aa);
-  // The stats side of Classify alone — the answer-cache hit path replays it
-  // so cached and uncached serving produce identical counters.
-  void CountDisposition(zone::LookupDisposition disposition);
-  void DropAnswerCache() {
-    answer_cache_.clear();
-    answer_index_.Clear();
-  }
   // FORMERR wire response for an undecodable datagram (empty when even the
   // header is unreadable — those stay dropped).
   util::Bytes GarbageResponse(std::span<const std::uint8_t> payload) const;
@@ -184,42 +185,21 @@ class AuthServer {
   zone::SnapshotPtr snapshot_;
   Options options_;
   net::EndpointId node_ = 0;
-  // Pre-resolved registry handles (module "rootsrv.auth", one instance per
-  // server — a whole anycast fleet's counters aggregate in the exporter).
-  struct Counters {
-    obs::Counter queries;
-    obs::Counter answers;
-    obs::Counter referrals;
-    obs::Counter nxdomain;
-    obs::Counter nodata;
-    obs::Counter refused;
-    obs::Counter malformed;
-    obs::Counter truncated;
-    obs::Counter edns_queries;
-    obs::Counter cache_hits;
-    obs::Counter bytes_in;
-    obs::Counter bytes_out;
-  };
-  Counters c_;
-  // Answer packet cache (see Options::answer_cache_entries). The wire is
-  // stored with the id bytes zeroed; a hit copies it and patches the
-  // requesting id in. `disposition`/`truncated` replay the stats a live
-  // lookup would have counted.
-  struct CachedAnswer {
-    std::uint64_t hash = 0;
-    util::Bytes name;  // exact-case qname wire bytes (the echo must match)
-    dns::RRType type = dns::RRType::kA;
-    std::uint8_t flags = 0;  // echoed header bits: tc<<1 | rd
-    bool echo_opt = false;
-    std::uint32_t payload_limit = 0;
-    zone::LookupDisposition disposition = zone::LookupDisposition::kAnswer;
-    bool truncated = false;
-    util::Bytes wire;
-  };
-  std::vector<CachedAnswer> answer_cache_;
-  util::FlatHashIndex answer_index_;
+  // Pre-resolved registry handles; stages bump these through references, so
+  // they are declared (and registered) before the stages below.
+  AuthCounters c_;
+  PipelineCounters pc_;
+  // Privately-owned limiter when Options::rrl.enabled without shared_rrl.
+  std::unique_ptr<ResponseRateLimiter> owned_rrl_;
+  const ResponseRateLimiter* rrl_view_ = nullptr;
+  // The stage chain, in admission order. The server owns the stages; the
+  // pipeline holds the order.
+  ScreenStage screen_stage_;
+  RateLimitStage rrl_stage_;
+  AnswerCacheStage cache_stage_;
+  SnapshotAnswerStage answer_stage_;
+  QueryPipeline pipeline_;
   // Per-query scratch (capacity retained across queries).
-  zone::LookupView lookup_scratch_;
   dns::MessageView response_scratch_;
   // Storage backing the OPT record echoed on EDNS responses (the response
   // scratch borrows views; these members are what they point at).

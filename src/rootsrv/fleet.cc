@@ -25,6 +25,23 @@ RootServerFleet::RootServerFleet(sim::Network& network,
                                  topo::GeoRegistry& registry,
                                  const topo::DeploymentModel& deployment,
                                  const util::CivilDate& date,
+                                 zone::SnapshotPtr root_zone,
+                                 const AuthServer::Options& options) {
+  for (const auto& instance : deployment.AllInstancesOn(date)) {
+    auto server =
+        std::make_unique<AuthServer>(&network, root_zone, options);
+    registry.SetLocation(server->node(), instance.location);
+    by_letter_[topo::IndexForLetter(instance.letter)].push_back(
+        instances_.size());
+    instances_.push_back(
+        InstanceInfo{instance.letter, instance.location, std::move(server)});
+  }
+}
+
+RootServerFleet::RootServerFleet(sim::Network& network,
+                                 topo::GeoRegistry& registry,
+                                 const topo::DeploymentModel& deployment,
+                                 const util::CivilDate& date,
                                  std::shared_ptr<const zone::Zone> root_zone,
                                  bool include_dnssec)
     : RootServerFleet(network, registry, deployment, date,

@@ -26,6 +26,13 @@ class RootServerFleet {
                   const topo::DeploymentModel& deployment,
                   const util::CivilDate& date, zone::SnapshotPtr root_zone,
                   bool include_dnssec = false);
+  // Full-options variant: every instance is built with `options` (snapshot
+  // taken from `root_zone`) — this is how the attack benches arm the fleet
+  // with a shared response-rate limiter and a sim-time clock.
+  RootServerFleet(sim::Network& network, topo::GeoRegistry& registry,
+                  const topo::DeploymentModel& deployment,
+                  const util::CivilDate& date, zone::SnapshotPtr root_zone,
+                  const AuthServer::Options& options);
   // Convenience: snapshots the zone once, then shares it as above.
   RootServerFleet(sim::Network& network, topo::GeoRegistry& registry,
                   const topo::DeploymentModel& deployment,

@@ -1,0 +1,80 @@
+#include "rootsrv/rrl.h"
+
+#include "util/rng.h"
+
+namespace rootless::rootsrv {
+
+namespace {
+
+std::uint32_t RoundUpPow2(std::uint32_t n) {
+  std::uint32_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ResponseRateLimiter::ResponseRateLimiter(RrlConfig config) : config_(config) {
+  const std::uint32_t count = RoundUpPow2(config_.buckets == 0
+                                              ? 1
+                                              : config_.buckets);
+  mask_ = count - 1;
+  burst_ = config_.burst != 0 ? config_.burst : 2 * config_.rate;
+  if (burst_ > kTokenMask) burst_ = static_cast<std::uint32_t>(kTokenMask);
+  buckets_ = std::make_unique<Bucket[]>(count);
+}
+
+ResponseRateLimiter::Decision ResponseRateLimiter::Admit(
+    std::uint64_t client, std::uint64_t now_us) {
+  std::uint64_t h = client;
+  Bucket& bucket = buckets_[util::SplitMix64(h) & mask_];
+
+  std::uint64_t state = bucket.state.load(std::memory_order_relaxed);
+  for (;;) {
+    std::uint64_t last_us;
+    std::uint64_t tokens;
+    if (state == kUninit) {
+      last_us = now_us & kTimeMask;
+      tokens = burst_;
+    } else {
+      last_us = state >> kTokenBits;
+      tokens = state & kTokenMask;
+      if (config_.rate > 0) {
+        // Exact integer refill: grant whole tokens for the elapsed time and
+        // advance last_us only by the time those tokens cost, so fractional
+        // progress is never lost across calls.
+        const std::uint64_t delta = ((now_us & kTimeMask) - last_us) &
+                                    kTimeMask;
+        const std::uint64_t add = delta * config_.rate / 1'000'000;
+        if (add > 0) {
+          tokens = tokens + add > burst_ ? burst_ : tokens + add;
+          last_us = (last_us + add * 1'000'000 / config_.rate) & kTimeMask;
+        }
+      }
+    }
+    if (tokens == 0) {
+      // Dry: persist any refill-clock advance, then slip or drop.
+      const std::uint64_t next = Pack(last_us, 0);
+      if (state != next &&
+          !bucket.state.compare_exchange_weak(state, next,
+                                              std::memory_order_relaxed)) {
+        continue;  // lost a race; re-evaluate with the fresh state
+      }
+      const std::uint32_t nth =
+          bucket.limited.fetch_add(1, std::memory_order_relaxed);
+      if (config_.slip != 0 && nth % config_.slip == 0) {
+        slipped_.fetch_add(1, std::memory_order_relaxed);
+        return Decision::kSlip;
+      }
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return Decision::kDrop;
+    }
+    if (bucket.state.compare_exchange_weak(state, Pack(last_us, tokens - 1),
+                                           std::memory_order_relaxed)) {
+      allowed_.fetch_add(1, std::memory_order_relaxed);
+      return Decision::kAllow;
+    }
+  }
+}
+
+}  // namespace rootless::rootsrv

@@ -1,0 +1,93 @@
+// Response rate limiting (BIND RRL-style) for the auth-server pipeline.
+//
+// A ResponseRateLimiter maps each client (transport endpoint) to a token
+// bucket: every admitted UDP response consumes one token, tokens refill at
+// `rate` per second up to `burst`, and once a bucket runs dry the limiter
+// alternates between *slipping* (answering a minimal TC|REFUSED so honest
+// clients behind the limited address can retry over TCP) and *dropping*
+// (silence, so a spoofed-source amplification flood gets nothing back).
+// Every `slip`-th limited query slips; the rest drop.
+//
+// Concurrency: one limiter is shared by every SO_REUSEPORT UDP worker of a
+// DnsFrontend, so Admit is thread-safe and lock-free — each bucket packs
+// (last-refill-time, tokens) into one atomic 64-bit word updated by CAS,
+// and the slip cadence is its own atomic counter. Under the single-threaded
+// simulator the same code runs with a deterministic injected clock, making
+// attack benches bit-reproducible.
+//
+// Clients hash onto a fixed power-of-two bucket array; colliding clients
+// share a budget (the usual RRL approximation — a flood can at worst steal
+// budget from whoever shares its slot, never disable the limiter).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace rootless::rootsrv {
+
+struct RrlConfig {
+  bool enabled = false;
+  // Responses per second granted to each client slot. 0 with enabled=true
+  // means "no responses at all" (every query slips or drops).
+  std::uint32_t rate = 0;
+  // Bucket depth (burst allowance). 0 = 2*rate.
+  std::uint32_t burst = 0;
+  // Every slip-th limited query is answered TC|REFUSED instead of dropped;
+  // 0 = never slip (pure drop).
+  std::uint32_t slip = 2;
+  // Client hash slots; rounded up to a power of two.
+  std::uint32_t buckets = 1024;
+};
+
+class ResponseRateLimiter {
+ public:
+  enum class Decision { kAllow, kSlip, kDrop };
+
+  explicit ResponseRateLimiter(RrlConfig config);
+
+  // Charges one response for `client` at time `now_us` (microseconds on any
+  // monotonic clock — sim time or steady_clock; streams from different
+  // clocks must not share a limiter). Thread-safe.
+  Decision Admit(std::uint64_t client, std::uint64_t now_us);
+
+  const RrlConfig& config() const { return config_; }
+  std::uint64_t allowed() const {
+    return allowed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t slipped() const {
+    return slipped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Bucket word: [ last_us : 40 | tokens : 24 ]. 2^40 us ~ 12.7 days; the
+  // refill delta is computed modulo 2^40, so a wrap at worst refills one
+  // bucket to full once per wrap period. kUninit marks a never-seen bucket
+  // (first contact starts full).
+  static constexpr std::uint64_t kUninit = ~0ULL;
+  static constexpr std::uint64_t kTokenBits = 24;
+  static constexpr std::uint64_t kTokenMask = (1ULL << kTokenBits) - 1;
+  static constexpr std::uint64_t kTimeMask = (1ULL << 40) - 1;
+
+  struct alignas(64) Bucket {
+    std::atomic<std::uint64_t> state{kUninit};
+    std::atomic<std::uint32_t> limited{0};  // slip cadence counter
+  };
+
+  static std::uint64_t Pack(std::uint64_t last_us, std::uint64_t tokens) {
+    return ((last_us & kTimeMask) << kTokenBits) | (tokens & kTokenMask);
+  }
+
+  RrlConfig config_;
+  std::uint32_t mask_ = 0;  // buckets - 1 (power of two)
+  std::uint32_t burst_ = 0;
+  std::unique_ptr<Bucket[]> buckets_;
+  std::atomic<std::uint64_t> allowed_{0};
+  std::atomic<std::uint64_t> slipped_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace rootless::rootsrv

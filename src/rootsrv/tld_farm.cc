@@ -1,5 +1,7 @@
 #include "rootsrv/tld_farm.h"
 
+#include <cstdio>
+
 #include "util/strings.h"
 
 namespace rootless::rootsrv {
@@ -92,12 +94,44 @@ bool TldFarm::FindByAddress(const dns::Ipv4& address,
   return true;
 }
 
+void TldFarm::SetMaliciousDelegation(const std::string& tld, int fanout) {
+  if (fanout <= 0) {
+    malicious_.erase(tld);
+  } else {
+    malicious_[tld] = fanout;
+  }
+}
+
 void TldFarm::HandleQuery(sim::NodeId node, const std::string& tld,
                           const sim::Datagram& datagram) {
   ++*queries_;
   auto query = dns::DecodeMessage(datagram.payload);
   if (!query.ok() || query->header.qr || query->questions.size() != 1) return;
   const dns::Question& q = query->questions.front();
+
+  if (q.name.tld() == tld) {
+    if (auto mal = malicious_.find(tld); mal != malicious_.end()) {
+      // NXNSAttack referral: delegate the queried name to `fanout` glueless
+      // nameservers under a fresh garbage TLD. aa=false, no answers, no
+      // additional glue — the resolver must go back to the root for every
+      // NS target.
+      Message referral = MakeResponse(*query, dns::RCode::kNoError);
+      referral.header.aa = false;
+      char zone_label[32];
+      std::snprintf(zone_label, sizeof zone_label, "nx%llx.",
+                    static_cast<unsigned long long>(mal_serial_++));
+      for (int i = 0; i < mal->second; ++i) {
+        char ns_host[48];
+        std::snprintf(ns_host, sizeof ns_host, "ns%d.%s", i, zone_label);
+        referral.authority.push_back(
+            {q.name, RRType::kNS, dns::RRClass::kIN, 300,
+             dns::NsData{*Name::Parse(ns_host)}});
+      }
+      ++mal_referrals_;
+      network_.Send(node, datagram.src, dns::EncodeMessage(referral, 1232));
+      return;
+    }
+  }
 
   Message response = MakeResponse(*query, dns::RCode::kNoError);
   response.header.aa = true;

@@ -52,6 +52,16 @@ class TldFarm {
   void RefreshAddresses(const zone::Zone& root_zone);
   void RefreshAddresses(const zone::ZoneSnapshot& root_zone);
 
+  // Turns `tld`'s server hostile (NXNSAttack, Afek et al.): every in-domain
+  // query is answered with a glueless referral delegating the queried name
+  // to `fanout` nameservers under a garbage TLD that is unique per response
+  // — the resolver learns nothing it can cache, and each victim NS name it
+  // chases costs a fresh root (or local-root) lookup that ends NXDOMAIN.
+  // fanout <= 0 restores honest behaviour.
+  void SetMaliciousDelegation(const std::string& tld, int fanout);
+  // Referral responses produced by malicious servers so far.
+  std::uint64_t malicious_referrals() const { return mal_referrals_; }
+
  private:
   void HandleQuery(sim::NodeId node, const std::string& tld,
                    const sim::Datagram& datagram);
@@ -66,6 +76,13 @@ class TldFarm {
       by_tld_;
   std::unordered_map<std::uint32_t, sim::NodeId> by_address_;
   std::shared_ptr<std::uint64_t> queries_ = std::make_shared<std::uint64_t>(0);
+  // TLD → delegation fan-out for servers turned hostile; serial numbers the
+  // garbage NS target zones so every referral is cache-bypassing.
+  std::unordered_map<std::string, int, util::CaseInsensitiveHash,
+                     util::CaseInsensitiveEqual>
+      malicious_;
+  std::uint64_t mal_serial_ = 0;
+  std::uint64_t mal_referrals_ = 0;
 };
 
 }  // namespace rootless::rootsrv

@@ -117,7 +117,7 @@ class Network final : public net::Transport {
       dropped_.Inc();
       return;
     }
-    Datagram datagram{src, dst, std::move(payload)};
+    Datagram datagram{.src = src, .dst = dst, .payload = std::move(payload)};
     if (interceptor_) {
       InterceptVerdict verdict = interceptor_(datagram);
       switch (verdict.action) {

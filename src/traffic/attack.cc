@@ -1,0 +1,17 @@
+#include "traffic/attack.h"
+
+namespace rootless::traffic {
+
+const char* AttackKindName(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kNone:
+      return "none";
+    case AttackKind::kWaterTorture:
+      return "water-torture";
+    case AttackKind::kNxns:
+      return "nxns";
+  }
+  return "unknown";
+}
+
+}  // namespace rootless::traffic

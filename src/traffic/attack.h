@@ -1,0 +1,74 @@
+// Adversarial traffic: the attack vocabulary shared by the sharded replay
+// engine and the attack ablation bench.
+//
+// Two attacks from the literature (PAPERS.md) are modeled:
+//
+//   kWaterTorture — random-subdomain / random-TLD floods: attacker-controlled
+//     resolvers emit queries for never-delegated garbage labels, each one
+//     bypassing every cache (positive, negative, answer-packet) and landing
+//     on the root. This is the junk-dominated reality of the B-Root query
+//     composition study turned hostile.
+//
+//   kNxns — NXNSAttack delegation amplification (Afek et al.): a malicious
+//     TLD server answers with glueless referrals to `fanout` garbage
+//     nameservers, so every attack query fans into `fanout` fresh root
+//     lookups on a chasing resolver. The farm side is
+//     rootsrv::TldFarm::SetMaliciousDelegation; the resolver side is
+//     resolver::ResolverConfig::max_glueless_chase. The sharded replay
+//     engine models the flood half (the attacker's query stream); the full
+//     chase amplification runs in bench/ablation_attack_suite's sim harness
+//     where a fleet and chasing resolvers exist.
+//
+// Scheduling reuses sim/faults.h's FaultPlan::Window vocabulary so an attack
+// window can be declared next to (and overlapping) an outage window — the
+// determinism suite replays exactly that composition. In an AttackPlan the
+// window's from/to are TRACE SECONDS (QueryEvent::time_sec units) and the
+// node field is ignored.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/faults.h"
+
+namespace rootless::traffic {
+
+enum class AttackKind {
+  kNone,
+  kWaterTorture,
+  kNxns,
+};
+
+const char* AttackKindName(AttackKind kind);
+
+struct AttackPlan {
+  AttackKind kind = AttackKind::kNone;
+  // Attacker-controlled resolvers: ids [0, attackers) of the population
+  // (deterministic across shard and thread counts — contiguous ranges mean
+  // each shard owns a contiguous slice of the attackers, if any).
+  std::uint32_t attackers = 0;
+  // Attack queries per attacker per 900-second chunk (pre-window-thinning);
+  // Poisson-drawn per (attacker, chunk) like every other stream.
+  double rate = 0;
+  // Active windows in trace seconds (Window::node ignored). Empty = the
+  // whole day.
+  std::vector<sim::FaultPlan::Window> windows;
+  // kNxns: the malicious delegation's NS fan-out.
+  int fanout = 8;
+
+  bool active() const {
+    return kind != AttackKind::kNone && attackers > 0 && rate > 0;
+  }
+  bool ActiveAt(std::uint32_t time_sec) const {
+    if (windows.empty()) return true;
+    for (const auto& w : windows) {
+      if (time_sec >= static_cast<std::uint64_t>(w.from) &&
+          time_sec < static_cast<std::uint64_t>(w.to)) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace rootless::traffic

@@ -5,6 +5,7 @@
 
 #include "dns/name.h"
 #include "rootsrv/tld_farm.h"
+#include "sim/faults.h"
 #include "sim/network.h"
 #include "sim/parallel.h"
 #include "sim/simulator.h"
@@ -45,6 +46,8 @@ void AddStats(resolver::ResolverStats& into,
   into.timeouts += from.timeouts;
   into.failures += from.failures;
   into.retries += from.retries;
+  into.glueless_referrals += from.glueless_referrals;
+  into.chase_queries += from.chase_queries;
 }
 
 // Issues each chunk event at its (compressed) trace timestamp; one sim event
@@ -96,6 +99,14 @@ ShardOutput RunOneShard(const ReplayOptions& options, const ShardPlan& plan,
                    &reg);
   topo::GeoRegistry geo;
   net.set_latency_fn(geo.LatencyFn());
+  // Faults attach before any traffic flows; per-shard injector, per-shard
+  // counters. The plan's node ids refer to this stack's deterministic
+  // creation order (TLD farm servers first, resolver after).
+  std::unique_ptr<sim::FaultInjector> faults;
+  if (!options.fault_plan.empty()) {
+    faults = std::make_unique<sim::FaultInjector>(options.fault_plan, &reg);
+    net.set_fault_injector(faults.get());
+  }
   rootsrv::TldFarm farm(net, geo, *snapshot,
                         options.stack_seed ^ (salt * 0xC2B2AE3D27D4EB4FULL));
 
@@ -110,6 +121,7 @@ ShardOutput RunOneShard(const ReplayOptions& options, const ShardPlan& plan,
   r.SetLocalZone(snapshot);
 
   ShardTraceGenerator gen(options.workload, plan, shard, labels);
+  if (options.attack.active()) gen.SetAttackPlan(&options.attack);
 
   std::uint64_t done = 0;
   const resolver::RecursiveResolver::ResolveCallback on_done =
@@ -202,6 +214,7 @@ ReplayOutcome RunShardedReplay(const ReplayOptions& options) {
     outcome.tally.MergeFrom(o.tally);
     AddStats(outcome.resolver, o.stats);
     outcome.replayed += o.replayed;
+    outcome.attack_queries = outcome.tally.attack_queries;
     outcome.cache_hits += o.cache_hits;
     outcome.cache_lookups += o.cache_lookups;
     o.registry->MergeInto(*outcome.metrics);

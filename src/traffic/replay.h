@@ -28,6 +28,8 @@
 
 #include "obs/metrics.h"
 #include "resolver/recursive.h"
+#include "sim/faults.h"
+#include "traffic/attack.h"
 #include "traffic/shard.h"
 #include "traffic/workload.h"
 
@@ -45,6 +47,15 @@ struct ReplayOptions {
   // hotpath bench: a day replays in ~144 sim-seconds, so cached referrals
   // and negative entries still expire realistically relative to each other).
   std::uint32_t time_compression = 600;
+  // Adversarial stream (traffic/attack.h): attacker resolvers additionally
+  // emit the plan's queries. Window-scheduled attacks stay deterministic
+  // across shard and thread counts like the benign trace. kNone = off.
+  AttackPlan attack;
+  // Fault schedule installed into every shard's private network (windows in
+  // sim time, which runs `time_compression`x faster than trace seconds).
+  // Node ids are per-shard-stack ids: the farm's TLD servers are created
+  // first (ids 0..tld_count-1), then the resolver. Empty = no faults.
+  sim::FaultPlan fault_plan;
 };
 
 struct ReplayOutcome {
@@ -55,6 +66,7 @@ struct ReplayOutcome {
   // count at fixed K).
   resolver::ResolverStats resolver;
   std::uint64_t replayed = 0;  // resolution callbacks fired
+  std::uint64_t attack_queries = 0;  // adversarial share of the replay
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_lookups = 0;
   // Every shard's metrics merged in shard-index order (instance labels are

@@ -28,6 +28,7 @@ std::uint64_t DeriveSeed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
 constexpr std::uint64_t kProfileSalt = 0x50524F46ULL;  // per-resolver profile
 constexpr std::uint64_t kChunkSalt = 0x4348554EULL;    // per-(resolver,chunk)
 constexpr std::uint64_t kPoolSalt = 0x504F4F4CULL;     // shared garbage pool
+constexpr std::uint64_t kAttackSalt = 0x41545443ULL;   // adversarial stream
 
 // Mirrors SampleBogusTld's label pool (same vendor-default suffixes).
 constexpr const char* kCommonJunk[] = {
@@ -80,6 +81,7 @@ void ShardTally::MergeFrom(const ShardTally& other) {
   cache_spurious_budget += other.cache_spurious_budget;
   valid_budget += other.valid_budget;
   new_tld_queries += other.new_tld_queries;
+  attack_queries += other.attack_queries;
   resolvers_total += other.resolvers_total;
   resolvers_bogus_only += other.resolvers_bogus_only;
 }
@@ -386,6 +388,36 @@ void ShardTraceGenerator::EmitResolverChunk(std::uint32_t r,
   }
 }
 
+void ShardTraceGenerator::EmitAttackChunk(std::uint32_t r,
+                                          std::uint32_t chunk,
+                                          std::vector<QueryEvent>& out) {
+  util::Rng rng(DeriveSeed(config_.seed, r, kAttackSalt + chunk));
+  const std::uint32_t base = chunk * kChunkSec;
+  std::uint8_t& bits = resolver_bits_[r - range_.begin];
+  const std::vector<std::uint8_t>& tld_real = labels_->tld_real_;
+  const std::uint64_t n = rng.Poisson(attack_->rate);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // Draw the full event before window-thinning it, so the RNG stream (and
+    // everything after it) is invariant to the window list.
+    const auto t = base + static_cast<std::uint32_t>(rng.Below(kChunkSec));
+    const TldId tld =
+        labels_->garbage_pool_[rng.Below(labels_->garbage_pool_.size())];
+    if (!attack_->ActiveAt(t)) continue;
+    out.push_back(QueryEvent{t, r, tld});
+    ++tally_.total_queries;
+    ++tally_.attack_queries;
+    bits |= 1;
+    if (tld_real[tld] == 0) {
+      ++tally_.bogus_tld_queries;
+    } else {
+      // Pool label colliding with a delegated TLD: classified exactly like
+      // the benign junk stream would classify it.
+      bits |= 2;
+      ClassifyReal(r, tld, PairBitOf(r, tld));
+    }
+  }
+}
+
 bool ShardTraceGenerator::NextChunk(ShardChunk& out) {
   if (next_chunk_ >= chunk_count_) return false;
   const std::uint32_t chunk = next_chunk_++;
@@ -399,6 +431,13 @@ bool ShardTraceGenerator::NextChunk(ShardChunk& out) {
   const double weight = DiurnalWeight(chunk);
   for (std::uint32_t r = range_.begin; r < range_.end; ++r) {
     EmitResolverChunk(r, chunk, weight, out.events);
+  }
+  if (attack_ != nullptr && attack_->active()) {
+    const std::uint32_t attack_end =
+        std::min<std::uint32_t>(range_.end, attack_->attackers);
+    for (std::uint32_t r = range_.begin; r < attack_end; ++r) {
+      EmitAttackChunk(r, chunk, out.events);
+    }
   }
   std::sort(out.events.begin(), out.events.end(),
             [](const QueryEvent& a, const QueryEvent& b) {

@@ -35,6 +35,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "traffic/attack.h"
 #include "traffic/classify.h"
 #include "traffic/trace.h"
 #include "traffic/workload.h"
@@ -79,6 +80,9 @@ struct ShardTally {
   std::uint64_t cache_spurious_budget = 0;
   std::uint64_t valid_budget = 0;
   std::uint64_t new_tld_queries = 0;
+  // Queries emitted by the adversarial stream (see traffic/attack.h); they
+  // also count in total_queries / bogus_tld_queries like any other query.
+  std::uint64_t attack_queries = 0;
   std::uint32_t resolvers_total = 0;
   std::uint32_t resolvers_bogus_only = 0;
 
@@ -159,6 +163,13 @@ class ShardTraceGenerator {
   // exhausted (`out` is then untouched).
   bool NextChunk(ShardChunk& out);
 
+  // Arms the adversarial stream: attacker resolvers owned by this shard
+  // additionally emit `plan`'s queries (appended to each chunk before the
+  // canonical sort, so ordering stays deterministic). The plan must outlive
+  // the generator; nullptr or an inactive plan leaves the benign trace
+  // bit-identical.
+  void SetAttackPlan(const AttackPlan* plan) { attack_ = plan; }
+
   std::uint32_t chunk_count() const { return chunk_count_; }
   // Fully built before generation starts; never grows during it.
   const TldTable& tlds() const { return labels_->tlds(); }
@@ -190,6 +201,10 @@ class ShardTraceGenerator {
   TldId SampleJunk(util::Rng& rng) const;
   void EmitResolverChunk(std::uint32_t r, std::uint32_t chunk, double weight,
                          std::vector<QueryEvent>& out);
+  // Adversarial stream for attacker resolver `r` (its own RNG stream under
+  // kAttackSalt, so the benign draws are untouched).
+  void EmitAttackChunk(std::uint32_t r, std::uint32_t chunk,
+                       std::vector<QueryEvent>& out);
   // Classification helpers (exact ClassifyTrace semantics, streamed). `bit`
   // is the (resolver, tld) pair bit when the emitter already knows it — the
   // valid-pair and adoption streams do, which skips the PairBitOf scan on
@@ -199,6 +214,7 @@ class ShardTraceGenerator {
 
   WorkloadConfig config_;
   const ShardLabelSpace* labels_ = nullptr;
+  const AttackPlan* attack_ = nullptr;
   std::unique_ptr<ShardLabelSpace> owned_labels_;  // legacy ctor only
   ShardRange range_;
   std::uint32_t bogus_only_count_ = 0;

@@ -1,0 +1,341 @@
+// Attack-layer tests: the response-rate-limiter (unit, stage, and
+// concurrency), answer-cache behaviour under water-torture churn, NXNS
+// glueless-referral chasing, and bit-identical sharded replay of a
+// window-scheduled attack overlapping a fault outage.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "resolver/recursive.h"
+#include "rootsrv/auth_server.h"
+#include "rootsrv/rrl.h"
+#include "rootsrv/tld_farm.h"
+#include "sim/faults.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "topo/geo_registry.h"
+#include "traffic/attack.h"
+#include "traffic/replay.h"
+#include "zone/zone_snapshot.h"
+
+namespace rootless {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+using rootsrv::ResponseRateLimiter;
+using rootsrv::RrlConfig;
+
+Name N(std::string_view s) { return *Name::Parse(s); }
+
+// Minimal root zone: SOA + one delegation with glue.
+std::shared_ptr<zone::Zone> TestZone() {
+  auto z = std::make_shared<zone::Zone>();
+  dns::SoaData soa;
+  soa.mname = N("a.root-servers.net.");
+  soa.serial = 2019060700;
+  EXPECT_TRUE(
+      z->AddRecord({Name(), RRType::kSOA, dns::RRClass::kIN, 86400, soa})
+          .ok());
+  EXPECT_TRUE(z->AddRecord({N("com."), RRType::kNS, dns::RRClass::kIN, 172800,
+                            dns::NsData{N("ns.nic.com.")}})
+                  .ok());
+  EXPECT_TRUE(z->AddRecord({N("ns.nic.com."), RRType::kA, dns::RRClass::kIN,
+                            172800,
+                            dns::AData{*dns::Ipv4::Parse("192.0.2.1")}})
+                  .ok());
+  return z;
+}
+
+// ------------------------------------------------------------ limiter unit
+
+TEST(RrlLimiter, BucketStartsFullThenSlipsAndDrops) {
+  ResponseRateLimiter limiter({.enabled = true, .rate = 10, .burst = 3,
+                               .slip = 2, .buckets = 16});
+  using D = ResponseRateLimiter::Decision;
+  // First contact grants the full burst, all at the same instant.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(limiter.Admit(42, 0), D::kAllow);
+  // Dry bucket: every slip-th limited query slips, the rest drop.
+  EXPECT_EQ(limiter.Admit(42, 0), D::kSlip);
+  EXPECT_EQ(limiter.Admit(42, 0), D::kDrop);
+  EXPECT_EQ(limiter.Admit(42, 0), D::kSlip);
+  EXPECT_EQ(limiter.Admit(42, 0), D::kDrop);
+  EXPECT_EQ(limiter.allowed(), 3u);
+  EXPECT_EQ(limiter.slipped(), 2u);
+  EXPECT_EQ(limiter.dropped(), 2u);
+  // A different client has its own budget.
+  EXPECT_EQ(limiter.Admit(7, 0), D::kAllow);
+}
+
+TEST(RrlLimiter, RefillsAtExactIntegerRate) {
+  ResponseRateLimiter limiter({.enabled = true, .rate = 10, .burst = 2,
+                               .slip = 0, .buckets = 16});
+  using D = ResponseRateLimiter::Decision;
+  EXPECT_EQ(limiter.Admit(1, 0), D::kAllow);
+  EXPECT_EQ(limiter.Admit(1, 0), D::kAllow);
+  EXPECT_EQ(limiter.Admit(1, 0), D::kDrop);  // slip=0: pure drop
+  // 10/s: 99 ms buys nothing, 100 ms buys exactly one token.
+  EXPECT_EQ(limiter.Admit(1, 99'000), D::kDrop);
+  EXPECT_EQ(limiter.Admit(1, 100'000), D::kAllow);
+  EXPECT_EQ(limiter.Admit(1, 100'000), D::kDrop);
+  // Refill is capped at the burst: a long quiet period grants 2, not 10.
+  EXPECT_EQ(limiter.Admit(1, 1'100'000), D::kAllow);
+  EXPECT_EQ(limiter.Admit(1, 1'100'000), D::kAllow);
+  EXPECT_EQ(limiter.Admit(1, 1'100'000), D::kDrop);
+}
+
+TEST(RrlLimiter, ZeroRateAnswersNothing) {
+  ResponseRateLimiter limiter({.enabled = true, .rate = 0, .slip = 1,
+                               .buckets = 16});
+  using D = ResponseRateLimiter::Decision;
+  // slip=1: every limited query slips (pure-truncation mode).
+  EXPECT_EQ(limiter.Admit(9, 0), D::kSlip);
+  EXPECT_EQ(limiter.Admit(9, 1'000'000), D::kSlip);
+  EXPECT_EQ(limiter.allowed(), 0u);
+}
+
+// ------------------------------------------------------- limiter under TSan
+
+TEST(RrlConcurrency, SharedBucketsStayExactUnderContention) {
+  // Every thread hammers the SAME client — one atomic bucket word under
+  // maximal contention — with the clock pinned at 0 so there is no refill:
+  // the CAS loop must hand out *exactly* the 100-token burst, never more,
+  // never fewer, and every admit must be accounted exactly once.
+  ResponseRateLimiter limiter({.enabled = true, .rate = 1000, .burst = 100,
+                               .slip = 2, .buckets = 64});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&limiter]() {
+      for (int i = 0; i < kPerThread; ++i) limiter.Admit(42, 0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(limiter.allowed(), 100u);
+  EXPECT_EQ(limiter.allowed() + limiter.slipped() + limiter.dropped(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ------------------------------------------------------------- stage level
+
+TEST(RrlStage, UdpFloodSlipsTruncatedRefusedThenDrops) {
+  rootsrv::AuthServer::Options options;
+  options.rrl = {.enabled = true, .rate = 1, .burst = 2, .slip = 2,
+                 .buckets = 16};
+  options.clock = []() { return std::uint64_t{0}; };  // frozen: no refill
+  rootsrv::AuthServer server(nullptr, zone::ZoneSnapshot::Build(*TestZone()),
+                             options);
+  const auto query = dns::MakeQuery(0x77, N("www.example.com."), RRType::kA);
+
+  const auto first =
+      server.AnswerWireFrom(query, rootsrv::Channel::kUdp, /*client=*/5);
+  const auto second =
+      server.AnswerWireFrom(query, rootsrv::Channel::kUdp, /*client=*/5);
+  ASSERT_GE(first.size(), 12u);
+  EXPECT_EQ(first, second);  // burst: both answered normally
+
+  // Third query trips the limit and slips: minimal REFUSED with TC set so
+  // an honest client retries over TCP.
+  const auto slip =
+      server.AnswerWireFrom(query, rootsrv::Channel::kUdp, /*client=*/5);
+  ASSERT_GE(slip.size(), 12u);
+  EXPECT_TRUE(slip[2] & 0x02);  // TC
+  EXPECT_EQ(slip[3] & 0x0F, static_cast<int>(dns::RCode::kRefused));
+  // Fourth drops: silence.
+  const auto drop =
+      server.AnswerWireFrom(query, rootsrv::Channel::kUdp, /*client=*/5);
+  EXPECT_TRUE(drop.empty());
+
+  const auto ps = server.pipeline_stats();
+  EXPECT_EQ(ps.rrl_checked, 4u);
+  EXPECT_EQ(ps.rrl_slipped, 1u);
+  EXPECT_EQ(ps.rrl_dropped, 1u);
+
+  // Another client is untouched; TCP is exempt even for the limited one.
+  EXPECT_FALSE(
+      server.AnswerWireFrom(query, rootsrv::Channel::kUdp, /*client=*/6)
+          .empty());
+  EXPECT_FALSE(
+      server.AnswerWireFrom(query, rootsrv::Channel::kTcp, /*client=*/5)
+          .empty());
+}
+
+TEST(RrlStage, DisabledLimiterIsByteIdenticalToNoLimiter) {
+  const auto snapshot = zone::ZoneSnapshot::Build(*TestZone());
+  rootsrv::AuthServer plain(nullptr, snapshot, {});
+  rootsrv::AuthServer::Options options;
+  options.rrl.enabled = false;  // the default; spelled out for the parity
+  rootsrv::AuthServer configured(nullptr, snapshot, options);
+  for (int i = 0; i < 32; ++i) {
+    const auto query = dns::MakeQuery(
+        static_cast<std::uint16_t>(i),
+        N("h" + std::to_string(i) + ".example.com."), RRType::kA);
+    EXPECT_EQ(plain.AnswerWireFrom(query, rootsrv::Channel::kUdp, 99),
+              configured.AnswerWireFrom(query, rootsrv::Channel::kUdp, 99));
+  }
+  EXPECT_EQ(configured.rrl(), nullptr);
+  EXPECT_EQ(configured.pipeline_stats().rrl_checked, 0u);
+}
+
+// ------------------------------------------- answer cache under water-torture
+
+TEST(AttackCacheChurn, BoundedEvictingAndLegitHitsSurvive) {
+  rootsrv::AuthServer::Options options;
+  options.answer_cache_entries = 64;
+  rootsrv::AuthServer server(nullptr, zone::ZoneSnapshot::Build(*TestZone()),
+                             options);
+  const auto legit = dns::MakeQuery(1, N("www.example.com."), RRType::kA);
+
+  // 1000 churn queries, every 8th interleaved with the same legit query: the
+  // random-subdomain flood inserts a unique NXDOMAIN packet every time, the
+  // legit entry gets evicted roughly every 64 insertions and re-cached on
+  // the following miss.
+  std::uint64_t legit_sent = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (i % 8 == 0) {
+      ++legit_sent;
+      EXPECT_FALSE(
+          server.AnswerWire(legit, rootsrv::Channel::kUdp).empty());
+    }
+    const auto flood = dns::MakeQuery(
+        static_cast<std::uint16_t>(i),
+        N("f" + std::to_string(i) + ".junk" + std::to_string(i) + "."),
+        RRType::kA);
+    EXPECT_FALSE(server.AnswerWire(flood, rootsrv::Channel::kUdp).empty());
+    ASSERT_LE(server.answer_cache_size(), 64u);  // never exceeds capacity
+  }
+
+  const auto ps = server.pipeline_stats();
+  const auto stats = server.stats();
+  EXPECT_EQ(server.answer_cache_size(), 64u);
+  EXPECT_GT(ps.cache_evictions, 0u);
+  EXPECT_EQ(ps.cache_insertions - ps.cache_evictions, 64u);
+  // Unique flood names never hit, so every cache hit is the legit query's;
+  // FIFO eviction costs it roughly one miss in nine.
+  EXPECT_EQ(stats.cache_hits, ps.cache_probes - ps.cache_insertions);
+  EXPECT_GE(stats.cache_hits, legit_sent / 2);
+  EXPECT_LT(stats.cache_hits, legit_sent);
+}
+
+// ------------------------------------------------------------- nxns chase
+
+TEST(AttackNxnsChase, MaliciousDelegationAmplifiesRootLookups) {
+  for (const int chase : {0, 4}) {
+    sim::Simulator sim;
+    sim::Network net(sim, 3);
+    topo::GeoRegistry geo;
+    net.set_latency_fn(geo.LatencyFn());
+    auto zone = TestZone();
+    const auto snapshot = zone::ZoneSnapshot::Build(*zone);
+    rootsrv::TldFarm farm(net, geo, *snapshot, 5);
+    farm.SetMaliciousDelegation("com", 4);
+
+    resolver::ResolverConfig config;
+    config.mode = resolver::RootMode::kOnDemandZoneFile;
+    config.seed = 9;
+    config.max_glueless_chase = chase;
+    resolver::RecursiveResolver r(sim, net, {config, {48.85, 2.35}});
+    geo.SetLocation(r.node(), {48.85, 2.35});
+    r.SetTldFarm(&farm);
+    r.SetLocalZone(snapshot);
+
+    resolver::ResolutionResult result;
+    r.Resolve(N("victim.example.com."), RRType::kA,
+              [&result](const resolver::ResolutionResult& rr) {
+                result = rr;
+              });
+    sim.Run();
+
+    // Both arms fail the lookup (the referral is unusable either way)...
+    EXPECT_EQ(result.rcode, dns::RCode::kServFail);
+    EXPECT_GE(farm.malicious_referrals(), 1u);
+    const auto stats = r.stats();
+    if (chase == 0) {
+      // ...but the hardened default chases nothing: one local-root lookup.
+      EXPECT_EQ(stats.glueless_referrals, 0u);
+      EXPECT_EQ(stats.chase_queries, 0u);
+      EXPECT_EQ(stats.local_root_lookups, 1u);
+    } else {
+      // The vulnerable resolver fans one query into `fanout` extra root-side
+      // lookups — the NXNS amplification factor.
+      EXPECT_EQ(stats.glueless_referrals, 1u);
+      EXPECT_EQ(stats.chase_queries, 4u);
+      EXPECT_EQ(stats.local_root_lookups, 1u + 4u);
+    }
+  }
+}
+
+// --------------------------------------------- sharded replay determinism
+
+std::string Fingerprint(const traffic::ReplayOutcome& o) {
+  std::ostringstream out;
+  const auto& t = o.tally;
+  out << t.total_queries << '|' << t.bogus_tld_queries << '|'
+      << t.attack_queries << '|' << t.valid_ideal << '|'
+      << t.cache_spurious_ideal << '|' << t.new_tld_queries << '\n';
+  const auto& r = o.resolver;
+  out << r.resolutions << '|' << r.root_transactions << '|'
+      << r.local_root_lookups << '|' << r.nxdomain << '|' << r.timeouts
+      << '|' << r.failures << '|' << r.retries << '|'
+      << r.glueless_referrals << '|' << r.chase_queries << '\n';
+  out << o.replayed << '|' << o.attack_queries << '|' << o.cache_hits << '|'
+      << o.cache_lookups << '\n';
+  out << obs::RenderMetricsTable(*o.metrics, /*aggregate_instances=*/false);
+  return out.str();
+}
+
+TEST(AttackReplayDeterminism, WindowedFloodOverOutageBitIdentical) {
+  traffic::ReplayOptions options;
+  options.workload.seed = 4242;
+  options.workload.scale = 0.00005;
+  options.num_shards = 4;
+  options.num_threads = 1;
+
+  // A water-torture window in trace seconds (hours 1-4 of the day)...
+  options.attack.kind = traffic::AttackKind::kWaterTorture;
+  options.attack.attackers = 12;
+  options.attack.rate = 40;
+  options.attack.windows.push_back({.node = 0, .from = 3600, .to = 14400});
+  // ...overlapping a burst outage of every shard's first farm node in sim
+  // time (trace seconds / time_compression; 6s..12s covers trace 3600..7200).
+  options.fault_plan.Outage(0, 6 * sim::kSecond, 12 * sim::kSecond);
+
+  const traffic::ReplayOutcome serial = traffic::RunShardedReplay(options);
+  ASSERT_GT(serial.tally.attack_queries, 0u);
+  EXPECT_EQ(serial.attack_queries, serial.tally.attack_queries);
+  // Attack queries ride inside the replayed total, not beside it.
+  EXPECT_EQ(serial.replayed, serial.tally.total_queries);
+  EXPECT_GT(serial.tally.total_queries, serial.tally.attack_queries);
+
+  // Two more passes: multi-threaded, then multi-threaded again — every
+  // merged number and metrics row must be bit-identical.
+  const std::string reference = Fingerprint(serial);
+  options.num_threads = 4;
+  EXPECT_EQ(Fingerprint(traffic::RunShardedReplay(options)), reference);
+  EXPECT_EQ(Fingerprint(traffic::RunShardedReplay(options)), reference);
+}
+
+TEST(AttackReplayDeterminism, InactivePlanMatchesBenignReplay) {
+  traffic::ReplayOptions benign;
+  benign.workload.seed = 777;
+  benign.workload.scale = 0.00002;
+  benign.num_shards = 2;
+  benign.num_threads = 2;
+
+  traffic::ReplayOptions inert = benign;
+  inert.attack.kind = traffic::AttackKind::kWaterTorture;
+  inert.attack.attackers = 0;  // inactive: must change nothing
+  const auto a = traffic::RunShardedReplay(benign);
+  const auto b = traffic::RunShardedReplay(inert);
+  EXPECT_EQ(a.tally.attack_queries, 0u);
+  EXPECT_EQ(Fingerprint(a), Fingerprint(b));
+}
+
+}  // namespace
+}  // namespace rootless

@@ -281,7 +281,7 @@ TEST(ResolverValidation, DetectsSpoofedDenial) {
     dns::Message spoof = MakeResponse(*query, dns::RCode::kNXDomain);
     spoof.header.aa = true;
     return sim::InterceptVerdict::Replace(
-        sim::Datagram{d.dst, d.src, dns::EncodeMessage(spoof)});
+        sim::Datagram{.src = d.dst, .dst = d.src, .payload = dns::EncodeMessage(spoof)});
   });
 
   // Without validation: the resolver believes the censor.

@@ -103,7 +103,7 @@ TEST(InterceptorEdge, DropAndReplaceAreCounted) {
     if (d.payload[0] == 1) return sim::InterceptVerdict::Drop();
     if (d.payload[0] == 2) {
       return sim::InterceptVerdict::Replace(
-          sim::Datagram{d.src, d.dst, util::Bytes{99}});
+          sim::Datagram{.src = d.src, .dst = d.dst, .payload = util::Bytes{99}});
     }
     return sim::InterceptVerdict::Pass();
   });
