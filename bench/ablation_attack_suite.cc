@@ -35,8 +35,7 @@
 #include "rootsrv/fleet.h"
 #include "rootsrv/rrl.h"
 #include "rootsrv/tld_farm.h"
-#include "topo/deployment.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "traffic/attack.h"
 #include "util/zipf.h"
 #include "zone/evolution.h"
@@ -61,8 +60,8 @@ ArmResult RunArm(traffic::AttackKind attack, bool rrl_on, bool local_root) {
   obs::Registry reg;
   sim::Simulator sim;
   sim::Network net(sim, kSeed);
-  topo::GeoRegistry registry;
-  net.set_latency_fn(registry.LatencyFn());
+  topo::Topology topology({.date = {2019, 6, 7}});
+  net.set_latency_fn(topology.LatencyFn());
 
   const zone::RootZoneModel zone_model;
   auto root_zone =
@@ -86,12 +85,10 @@ ArmResult RunArm(traffic::AttackKind attack, bool rrl_on, bool local_root) {
       options.shared_rrl = &limiter;
       options.clock = [&sim]() { return static_cast<std::uint64_t>(sim.now()); };
     }
-    const topo::DeploymentModel deployment;
-    fleet = std::make_unique<rootsrv::RootServerFleet>(
-        net, registry, deployment, util::CivilDate{2019, 6, 7}, snapshot,
-        options);
+    fleet = std::make_unique<rootsrv::RootServerFleet>(net, topology,
+                                                       snapshot, options);
   }
-  rootsrv::TldFarm farm(net, registry, *snapshot, 5);
+  rootsrv::TldFarm farm(net, topology, *snapshot, 5);
   if (attack == traffic::AttackKind::kNxns) {
     farm.SetMaliciousDelegation("com", kFanout);
   }
@@ -104,8 +101,8 @@ ArmResult RunArm(traffic::AttackKind attack, bool rrl_on, bool local_root) {
     config.seed = seed;
     config.max_glueless_chase = chase;
     auto r = std::make_unique<resolver::RecursiveResolver>(
-        sim, net, resolver::RecursiveResolver::Options{config, where, &reg});
-    registry.SetLocation(r->node(), where);
+        sim, net,
+        resolver::RecursiveResolver::Options{config, where, &reg, &topology});
     r->SetTldFarm(&farm);
     if (local_root) {
       r->SetLocalZone(snapshot);

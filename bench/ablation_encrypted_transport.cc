@@ -17,7 +17,7 @@
 #include "rootsrv/fleet.h"
 #include "rootsrv/tld_farm.h"
 #include "topo/deployment.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "util/strings.h"
 #include "util/zipf.h"
 #include "zone/evolution.h"
@@ -38,24 +38,21 @@ struct Row {
 Row Run(resolver::RootMode mode, bool encrypted) {
   sim::Simulator sim;
   sim::Network net(sim, 6);
-  topo::GeoRegistry registry;
-  net.set_latency_fn(registry.LatencyFn());
+  topo::Topology topology({.date = {2019, 6, 7}});
+  net.set_latency_fn(topology.LatencyFn());
   const zone::RootZoneModel zone_model;
   auto root_zone =
       std::make_shared<zone::Zone>(zone_model.Snapshot({2019, 6, 7}));
   const zone::SnapshotPtr root_snapshot = zone::ZoneSnapshot::Build(*root_zone);
-  const topo::DeploymentModel deployment;
-  rootsrv::RootServerFleet fleet(net, registry, deployment, {2019, 6, 7},
-                                 root_snapshot);
-  rootsrv::TldFarm farm(net, registry, *root_snapshot, 5);
+  rootsrv::RootServerFleet fleet(net, topology, root_snapshot);
+  rootsrv::TldFarm farm(net, topology, *root_snapshot, 5);
 
   resolver::ResolverConfig config;
   config.mode = mode;
   config.encrypted_transport = encrypted;
   config.seed = 23;
   const topo::GeoPoint where{1.35, 103.82};  // Singapore
-  resolver::RecursiveResolver r(sim, net, {config, where});
-  registry.SetLocation(r.node(), where);
+  resolver::RecursiveResolver r(sim, net, {config, where, nullptr, &topology});
   r.SetTldFarm(&farm);
   if (mode == resolver::RootMode::kRootServers) {
     r.SetRootFleet(&fleet);

@@ -40,8 +40,7 @@
 #include "rootsrv/tld_farm.h"
 #include "sim/faults.h"
 #include "sim/retry.h"
-#include "topo/deployment.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "util/zipf.h"
 #include "zone/evolution.h"
 
@@ -61,8 +60,8 @@ struct LossPoint {
 LossPoint RunLossPoint(double loss, bool with_policy) {
   sim::Simulator sim;
   sim::Network net(sim, kSeed);
-  topo::GeoRegistry registry;
-  net.set_latency_fn(registry.LatencyFn());
+  topo::Topology topology;
+  net.set_latency_fn(topology.LatencyFn());
 
   // The injected impairment: symmetric loss plus up to 5 ms of jitter on
   // every link, from the injector's own seeded stream.
@@ -77,10 +76,8 @@ LossPoint RunLossPoint(double loss, bool with_policy) {
       std::make_shared<zone::Zone>(zone_model.Snapshot({2018, 4, 11}));
   const zone::SnapshotPtr root_snapshot =
       zone::ZoneSnapshot::Build(*root_zone);
-  const topo::DeploymentModel deployment;
-  rootsrv::RootServerFleet fleet(net, registry, deployment, {2018, 4, 11},
-                                 root_snapshot);
-  rootsrv::TldFarm farm(net, registry, *root_snapshot, 5);
+  rootsrv::RootServerFleet fleet(net, topology, root_snapshot);
+  rootsrv::TldFarm farm(net, topology, *root_snapshot, 5);
 
   resolver::ResolverConfig config;
   config.mode = resolver::RootMode::kRootServers;
@@ -96,8 +93,7 @@ LossPoint RunLossPoint(double loss, bool with_policy) {
     config.max_retries = 0;  // single attempt per leg: the no-policy arm
   }
   const topo::GeoPoint where{40.71, -74.0};
-  resolver::RecursiveResolver r(sim, net, {config, where});
-  registry.SetLocation(r.node(), where);
+  resolver::RecursiveResolver r(sim, net, {config, where, nullptr, &topology});
   r.SetRootFleet(&fleet);
   r.SetTldFarm(&farm);
 

@@ -16,8 +16,7 @@
 #include "resolver/recursive.h"
 #include "rootsrv/fleet.h"
 #include "rootsrv/tld_farm.h"
-#include "topo/deployment.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "traffic/workload.h"
 #include "util/strings.h"
 #include "util/zipf.h"
@@ -64,20 +63,17 @@ Row Run(resolver::RootMode mode, bool negative_cache,
         zone::SnapshotPtr root_zone) {
   sim::Simulator sim;
   sim::Network net(sim, 9);
-  topo::GeoRegistry registry;
-  net.set_latency_fn(registry.LatencyFn());
-  const topo::DeploymentModel deployment;
-  rootsrv::RootServerFleet fleet(net, registry, deployment, {2018, 4, 11},
-                                 root_zone);
-  rootsrv::TldFarm farm(net, registry, *root_zone, 5);
+  topo::Topology topology;
+  net.set_latency_fn(topology.LatencyFn());
+  rootsrv::RootServerFleet fleet(net, topology, root_zone);
+  rootsrv::TldFarm farm(net, topology, *root_zone, 5);
 
   resolver::ResolverConfig config;
   config.mode = mode;
   config.seed = 4;
   config.negative_cache = negative_cache;
   const topo::GeoPoint where{52.52, 13.40};  // Berlin
-  resolver::RecursiveResolver r(sim, net, {config, where});
-  registry.SetLocation(r.node(), where);
+  resolver::RecursiveResolver r(sim, net, {config, where, nullptr, &topology});
   r.SetTldFarm(&farm);
   if (mode == resolver::RootMode::kRootServers) {
     r.SetRootFleet(&fleet);

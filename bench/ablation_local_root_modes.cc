@@ -15,8 +15,7 @@
 #include "resolver/recursive.h"
 #include "rootsrv/fleet.h"
 #include "rootsrv/tld_farm.h"
-#include "topo/deployment.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "util/strings.h"
 #include "util/zipf.h"
 #include "zone/evolution.h"
@@ -38,32 +37,29 @@ struct Row {
 Row Run(resolver::RootMode mode, std::size_t capacity) {
   sim::Simulator sim;
   sim::Network net(sim, 1);
-  topo::GeoRegistry registry;
-  net.set_latency_fn(registry.LatencyFn());
+  topo::Topology topology;
+  net.set_latency_fn(topology.LatencyFn());
 
   const zone::RootZoneModel zone_model;
   auto root_zone =
       std::make_shared<zone::Zone>(zone_model.Snapshot({2018, 4, 11}));
   const zone::SnapshotPtr root_snapshot = zone::ZoneSnapshot::Build(*root_zone);
-  const topo::DeploymentModel deployment;
-  rootsrv::RootServerFleet fleet(net, registry, deployment, {2018, 4, 11},
-                                 root_snapshot);
-  rootsrv::TldFarm farm(net, registry, *root_snapshot, 5);
+  rootsrv::RootServerFleet fleet(net, topology, root_snapshot);
+  rootsrv::TldFarm farm(net, topology, *root_snapshot, 5);
 
   resolver::ResolverConfig config;
   config.mode = mode;
   config.seed = 99;
   config.cache_capacity = capacity;
   const topo::GeoPoint where{40.71, -74.0};
-  resolver::RecursiveResolver r(sim, net, {config, where});
-  registry.SetLocation(r.node(), where);
+  resolver::RecursiveResolver r(sim, net, {config, where, nullptr, &topology});
   r.SetTldFarm(&farm);
   std::unique_ptr<rootsrv::AuthServer> loopback;
   if (mode == resolver::RootMode::kRootServers) {
     r.SetRootFleet(&fleet);
   } else if (mode == resolver::RootMode::kLoopbackAuth) {
     loopback = std::make_unique<rootsrv::AuthServer>(net, root_snapshot);
-    registry.SetLocation(loopback->node(), where);
+    topology.PlaceNode(loopback->node(), where);
     r.SetLoopbackNode(loopback->node());
     r.SetLocalZone(root_snapshot);
   } else {

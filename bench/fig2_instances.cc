@@ -9,7 +9,7 @@
 
 #include "analysis/report.h"
 #include "analysis/stats.h"
-#include "topo/deployment.h"
+#include "topo/topology.h"
 #include "obs/export.h"
 
 int main() {
@@ -22,7 +22,8 @@ int main() {
                                        "model=DeploymentModel 1998-2019"};
   std::printf("%s", rootless::obs::RunHeader(run_info).c_str());
 
-  const topo::DeploymentModel model;
+  const topo::Topology topology;
+  const topo::DeploymentModel& model = topology.deployment();
   analysis::TimeSeries series;
   for (util::CivilDate date{2015, 1, 15}; date < util::CivilDate{2019, 8, 1};
        date = util::AddMonths(date, 1)) {

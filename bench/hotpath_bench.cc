@@ -551,18 +551,17 @@ ReplayResult ReplayOnce(const zone::RootZoneModel& zone_model,
                         const std::vector<dns::Name>& qnames) {
   sim::Simulator sim(sim::QueuePolicy::kCalendar);
   sim::Network net(sim, 21);
-  topo::GeoRegistry registry;
-  net.set_latency_fn(registry.LatencyFn());
+  topo::Topology topology;
+  net.set_latency_fn(topology.LatencyFn());
   const zone::SnapshotPtr root_snapshot =
       zone::ZoneSnapshot::Build(zone_model.Snapshot({2018, 4, 11}));
-  rootsrv::TldFarm farm(net, registry, *root_snapshot, 5);
+  rootsrv::TldFarm farm(net, topology, *root_snapshot, 5);
 
   resolver::ResolverConfig rconfig;
   rconfig.mode = resolver::RootMode::kOnDemandZoneFile;
   rconfig.seed = 77;
   const topo::GeoPoint where{48.85, 2.35};
-  resolver::RecursiveResolver r(sim, net, {rconfig, where});
-  registry.SetLocation(r.node(), where);
+  resolver::RecursiveResolver r(sim, net, {rconfig, where, nullptr, &topology});
   r.SetTldFarm(&farm);
   r.SetLocalZone(root_snapshot);
 

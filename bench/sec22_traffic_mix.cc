@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "analysis/report.h"
-#include "topo/deployment.h"
+#include "topo/topology.h"
 #include "traffic/classify.h"
 #include "traffic/workload.h"
 #include "util/strings.h"
@@ -87,8 +87,8 @@ int main() {
   std::printf("%s\n", table.Render().c_str());
 
   // Per-instance load: spread the day across j-root's anycast catchment.
-  const topo::DeploymentModel deployment;
-  const auto j_sites = deployment.SitesOn('j', {2018, 4, 11});
+  const topo::Topology topology;  // defaults to the DITL collection day
+  const auto j_sites = topology.deployment().SitesOn('j', topology.date());
   std::vector<std::uint64_t> per_instance(j_sites.size(), 0);
   util::Rng rng(17);
   // One location per resolver; its whole query volume lands on one site.

@@ -19,8 +19,7 @@
 #include "resolver/recursive.h"
 #include "rootsrv/fleet.h"
 #include "rootsrv/tld_farm.h"
-#include "topo/deployment.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "util/strings.h"
 #include "zone/evolution.h"
 #include "zone/sign.h"
@@ -42,8 +41,8 @@ struct Outcome {
 Outcome Run(resolver::RootMode mode, bool validate) {
   sim::Simulator sim;
   sim::Network net(sim, 33);
-  topo::GeoRegistry registry;
-  net.set_latency_fn(registry.LatencyFn());
+  topo::Topology topology({.date = {2019, 6, 7}});
+  net.set_latency_fn(topology.LatencyFn());
 
   // Signed root zone with NSEC chain.
   const zone::RootZoneModel zone_model;
@@ -55,10 +54,9 @@ Outcome Run(resolver::RootMode mode, bool validate) {
       zone_model.Snapshot({2019, 6, 7}), zsk, {0, 2'000'000'000}));
 
   const zone::SnapshotPtr root_snapshot = zone::ZoneSnapshot::Build(*root_zone);
-  const topo::DeploymentModel deployment;
-  rootsrv::RootServerFleet fleet(net, registry, deployment, {2019, 6, 7},
-                                 root_snapshot, /*include_dnssec=*/true);
-  rootsrv::TldFarm farm(net, registry, *root_snapshot, 5);
+  rootsrv::RootServerFleet fleet(net, topology, root_snapshot,
+                                 /*include_dnssec=*/true);
+  rootsrv::TldFarm farm(net, topology, *root_snapshot, 5);
 
   // The censor: spoof NXDOMAIN for any root-bound query about .com.
   std::unordered_set<sim::NodeId> root_nodes;
@@ -89,8 +87,7 @@ Outcome Run(resolver::RootMode mode, bool validate) {
   config.max_retries = 2;
   config.negative_cache = false;  // isolate the attack effect
   const topo::GeoPoint where{35.68, 139.69};  // Tokyo
-  resolver::RecursiveResolver r(sim, net, {config, where});
-  registry.SetLocation(r.node(), where);
+  resolver::RecursiveResolver r(sim, net, {config, where, nullptr, &topology});
   r.SetTldFarm(&farm);
   if (mode == resolver::RootMode::kRootServers) {
     r.SetRootFleet(&fleet);

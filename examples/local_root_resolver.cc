@@ -12,8 +12,7 @@
 #include "resolver/recursive.h"
 #include "rootsrv/fleet.h"
 #include "rootsrv/tld_farm.h"
-#include "topo/deployment.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "util/zipf.h"
 #include "zone/evolution.h"
 
@@ -28,12 +27,12 @@ int main(int argc, char** argv) {
   // One immutable snapshot shared (zero-copy) by the fleet, the farm, the
   // loopback servers, and the local-root resolvers.
   const zone::SnapshotPtr root_snapshot = zone::ZoneSnapshot::Build(*root_zone);
-  const topo::DeploymentModel deployment;
+  topo::Topology topology({.date = {2019, 6, 7}});
 
   std::printf("root zone %s: %zu records, %zu TLDs; fleet of %d instances\n\n",
               "2019-06-07", root_zone->record_count(),
               root_zone->DelegatedChildren().size(),
-              deployment.TotalInstancesOn({2019, 6, 7}));
+              topology.deployment().TotalInstancesOn({2019, 6, 7}));
 
   for (const auto mode :
        {resolver::RootMode::kRootServers, resolver::RootMode::kCachePreload,
@@ -41,25 +40,23 @@ int main(int argc, char** argv) {
         resolver::RootMode::kLoopbackAuth}) {
     sim::Simulator sim;
     sim::Network net(sim, 1);
-    topo::GeoRegistry registry;
-    net.set_latency_fn(registry.LatencyFn());
-    rootsrv::RootServerFleet fleet(net, registry, deployment, {2019, 6, 7},
-                                   root_snapshot);
-    rootsrv::TldFarm farm(net, registry, *root_snapshot, 5);
+    net.set_latency_fn(topology.LatencyFn());
+    rootsrv::RootServerFleet fleet(net, topology, root_snapshot);
+    rootsrv::TldFarm farm(net, topology, *root_snapshot, 5);
 
     resolver::ResolverConfig config;
     config.mode = mode;
     config.seed = 11;
     const topo::GeoPoint where{37.77, -122.42};  // San Francisco
-    resolver::RecursiveResolver r(sim, net, {config, where});
-    registry.SetLocation(r.node(), where);
+    resolver::RecursiveResolver r(sim, net,
+                                  {config, where, nullptr, &topology});
     r.SetTldFarm(&farm);
     std::unique_ptr<rootsrv::AuthServer> loopback;
     if (mode == resolver::RootMode::kRootServers) {
       r.SetRootFleet(&fleet);
     } else if (mode == resolver::RootMode::kLoopbackAuth) {
       loopback = std::make_unique<rootsrv::AuthServer>(net, root_snapshot);
-      registry.SetLocation(loopback->node(), where);
+      topology.PlaceNode(loopback->node(), where);
       r.SetLoopbackNode(loopback->node());
       r.SetLocalZone(root_snapshot);
     } else {

@@ -13,7 +13,7 @@
 #include "obs/export.h"
 #include "resolver/recursive.h"
 #include "rootsrv/tld_farm.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "util/base64.h"
 #include "zone/master_file.h"
 #include "zone/zone.h"
@@ -82,18 +82,18 @@ ns1.nic.org. 172800 IN A 192.0.2.20
   //    (the paper's proposal: no root nameservers involved).
   sim::Simulator sim;
   sim::Network net(sim, 1);
-  topo::GeoRegistry registry;
-  net.set_latency_fn(registry.LatencyFn());
+  topo::Topology topology;
+  net.set_latency_fn(topology.LatencyFn());
   // Freeze the zone into an immutable snapshot: every consumer below shares
   // this one arena-backed copy by refcounted pointer.
   zone::SnapshotPtr root_snapshot = zone::ZoneSnapshot::Build(root_zone);
-  rootsrv::TldFarm farm(net, registry, *root_snapshot, 2);
+  rootsrv::TldFarm farm(net, topology, *root_snapshot, 2);
 
   resolver::RecursiveResolver resolver(
       sim, net,
       {.config = {.mode = resolver::RootMode::kOnDemandZoneFile},
-       .location = {48.85, 2.35}});
-  registry.SetLocation(resolver.node(), {48.85, 2.35});
+       .location = {48.85, 2.35},
+       .topology = &topology});
   resolver.SetTldFarm(&farm);
   resolver.SetLocalZone(root_snapshot);
 

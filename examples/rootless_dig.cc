@@ -15,8 +15,7 @@
 #include "resolver/recursive.h"
 #include "rootsrv/fleet.h"
 #include "rootsrv/tld_farm.h"
-#include "topo/deployment.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "util/strings.h"
 #include "zone/evolution.h"
 
@@ -78,31 +77,29 @@ int main(int argc, char** argv) {
   // Build the world.
   sim::Simulator sim;
   sim::Network net(sim, 1);
-  topo::GeoRegistry registry;
-  net.set_latency_fn(registry.LatencyFn());
+  topo::Topology topology({.date = date});
+  net.set_latency_fn(topology.LatencyFn());
   const zone::RootZoneModel model;
   auto root_zone = std::make_shared<zone::Zone>(model.Snapshot(date));
   const zone::SnapshotPtr root_snapshot = zone::ZoneSnapshot::Build(*root_zone);
-  const topo::DeploymentModel deployment;
   std::unique_ptr<rootsrv::RootServerFleet> fleet;
-  rootsrv::TldFarm farm(net, registry, *root_snapshot, 2);
+  rootsrv::TldFarm farm(net, topology, *root_snapshot, 2);
 
   resolver::ResolverConfig config;
   config.mode = mode;
   config.qname_minimization = qmin;
   config.encrypted_transport = tls;
   const topo::GeoPoint where{48.85, 2.35};
-  resolver::RecursiveResolver r(sim, net, {config, where});
-  registry.SetLocation(r.node(), where);
+  resolver::RecursiveResolver r(sim, net, {config, where, nullptr, &topology});
   r.SetTldFarm(&farm);
   std::unique_ptr<rootsrv::AuthServer> loopback;
   if (mode == resolver::RootMode::kRootServers) {
-    fleet = std::make_unique<rootsrv::RootServerFleet>(
-        net, registry, deployment, date, root_snapshot);
+    fleet = std::make_unique<rootsrv::RootServerFleet>(net, topology,
+                                                       root_snapshot);
     r.SetRootFleet(fleet.get());
   } else if (mode == resolver::RootMode::kLoopbackAuth) {
     loopback = std::make_unique<rootsrv::AuthServer>(net, root_snapshot);
-    registry.SetLocation(loopback->node(), where);
+    topology.PlaceNode(loopback->node(), where);
     r.SetLoopbackNode(loopback->node());
     r.SetLocalZone(root_snapshot);
   } else {
@@ -114,7 +111,7 @@ int main(int argc, char** argv) {
               name_text.c_str(), type_text.c_str(),
               resolver::RootModeName(mode).c_str(), qmin, tls,
               util::FormatDate(date).c_str(), root_zone->record_count(),
-              deployment.TotalInstancesOn(date));
+              topology.deployment().TotalInstancesOn(date));
 
   int exit_code = 1;
   r.Resolve(*qname, *qtype, [&](const resolver::ResolutionResult& result) {

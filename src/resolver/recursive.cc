@@ -32,6 +32,9 @@ RecursiveResolver::RecursiveResolver(sim::Simulator& sim,
       rng_(config_.seed) {
   node_ = network_.AddNode(
       [this](const sim::Datagram& d) { HandleDatagram(d); });
+  if (options.topology != nullptr) {
+    options.topology->PlaceNode(node_, location_);
+  }
   obs::Registry& reg =
       options.registry ? *options.registry : obs::Registry::Default();
   const obs::Labels labels{reg.NextInstance("resolver"), "", ""};
@@ -250,7 +253,10 @@ void RecursiveResolver::AskRootServers(std::uint16_t id) {
   } else {
     ROOTLESS_CHECK(fleet_ != nullptr);
     pending.root_letter = selector_.PickLetter();
-    target = fleet_->InstanceFor(pending.root_letter, location_);
+    // BGP decides which instance of the letter this resolver reaches — the
+    // topology's catchment model, keyed by our seed, not ideal-nearest.
+    target = fleet_->CatchmentInstanceFor(pending.root_letter, location_,
+                                          config_.seed);
   }
 
   // QNAME minimization sends only the TLD (as an NS query) to the root.

@@ -38,6 +38,7 @@
 #include "sim/retry.h"
 #include "sim/simulator.h"
 #include "topo/geo.h"
+#include "topo/topology.h"
 
 namespace rootless::resolver {
 
@@ -135,6 +136,10 @@ class RecursiveResolver {
     ResolverConfig config;
     topo::GeoPoint location;
     obs::Registry* registry = nullptr;
+    // When set, the resolver registers its own node at `location` in the
+    // topology (replacing the old external SetLocation call) — the same
+    // facade whose catchment model routes its classic root queries.
+    topo::Topology* topology = nullptr;
   };
 
   RecursiveResolver(sim::Simulator& sim, sim::Network& network,

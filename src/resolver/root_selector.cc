@@ -1,5 +1,8 @@
 #include "resolver/root_selector.h"
 
+#include <algorithm>
+#include <limits>
+
 namespace rootless::resolver {
 
 char RootSelector::PickLetter() {
@@ -47,8 +50,13 @@ void RootSelector::ReportRtt(char letter, sim::SimTime rtt) {
 void RootSelector::ReportTimeout(char letter) {
   const int i = topo::IndexForLetter(letter);
   probed_[i] = true;
-  // Penalize heavily so failover sticks until a success re-lowers it.
-  srtt_[i] = srtt_[i] * 2 + 500 * sim::kMillisecond;
+  // Penalize heavily so failover sticks until a success re-lowers it, but
+  // saturate: a letter that times out on every query (an attack window, or
+  // an unreachable catchment) would otherwise double srtt_ past overflow.
+  // The cap leaves headroom for ReportRtt's ×3 EWMA term.
+  constexpr sim::SimTime kPenaltyCap =
+      std::numeric_limits<sim::SimTime>::max() / 16;
+  srtt_[i] = std::min(srtt_[i], kPenaltyCap) * 2 + 500 * sim::kMillisecond;
 }
 
 char RootSelector::BestLetter() const {

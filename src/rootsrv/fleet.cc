@@ -5,15 +5,14 @@
 namespace rootless::rootsrv {
 
 RootServerFleet::RootServerFleet(sim::Network& network,
-                                 topo::GeoRegistry& registry,
-                                 const topo::DeploymentModel& deployment,
-                                 const util::CivilDate& date,
+                                 topo::Topology& topology,
                                  zone::SnapshotPtr root_zone,
-                                 bool include_dnssec) {
-  for (const auto& instance : deployment.AllInstancesOn(date)) {
+                                 bool include_dnssec)
+    : topology_(&topology) {
+  for (const auto& instance : topology.instances()) {
     auto server = std::make_unique<AuthServer>(network, root_zone,
                                                include_dnssec);
-    registry.SetLocation(server->node(), instance.location);
+    topology.PlaceNode(server->node(), instance.location);
     by_letter_[topo::IndexForLetter(instance.letter)].push_back(
         instances_.size());
     instances_.push_back(
@@ -22,15 +21,14 @@ RootServerFleet::RootServerFleet(sim::Network& network,
 }
 
 RootServerFleet::RootServerFleet(sim::Network& network,
-                                 topo::GeoRegistry& registry,
-                                 const topo::DeploymentModel& deployment,
-                                 const util::CivilDate& date,
+                                 topo::Topology& topology,
                                  zone::SnapshotPtr root_zone,
-                                 const AuthServer::Options& options) {
-  for (const auto& instance : deployment.AllInstancesOn(date)) {
+                                 const AuthServer::Options& options)
+    : topology_(&topology) {
+  for (const auto& instance : topology.instances()) {
     auto server =
         std::make_unique<AuthServer>(&network, root_zone, options);
-    registry.SetLocation(server->node(), instance.location);
+    topology.PlaceNode(server->node(), instance.location);
     by_letter_[topo::IndexForLetter(instance.letter)].push_back(
         instances_.size());
     instances_.push_back(
@@ -39,12 +37,10 @@ RootServerFleet::RootServerFleet(sim::Network& network,
 }
 
 RootServerFleet::RootServerFleet(sim::Network& network,
-                                 topo::GeoRegistry& registry,
-                                 const topo::DeploymentModel& deployment,
-                                 const util::CivilDate& date,
+                                 topo::Topology& topology,
                                  std::shared_ptr<const zone::Zone> root_zone,
                                  bool include_dnssec)
-    : RootServerFleet(network, registry, deployment, date,
+    : RootServerFleet(network, topology,
                       zone::ZoneSnapshot::Build(*root_zone), include_dnssec) {}
 
 sim::NodeId RootServerFleet::InstanceFor(char letter,
@@ -62,6 +58,16 @@ sim::NodeId RootServerFleet::InstanceFor(char letter,
     }
   }
   return instances_[best].server->node();
+}
+
+sim::NodeId RootServerFleet::CatchmentInstanceFor(
+    char letter, const topo::GeoPoint& location,
+    std::uint64_t client_id) const {
+  const topo::Topology::Catchment c =
+      topology_->CatchmentAt(location, client_id, letter);
+  // instances_ is built in topology_->instances() order, so the catchment's
+  // instance index addresses our server table directly.
+  return instances_[c.instance].server->node();
 }
 
 void RootServerFleet::SetZone(zone::SnapshotPtr root_zone) {

@@ -1,5 +1,5 @@
 // The root nameserver fleet: 13 letters, each replicated via anycast across
-// the sites the deployment model places for a given date. All instances of
+// the sites the topology's deployment places for its date. All instances of
 // all letters serve the same (shared) root zone.
 #pragma once
 
@@ -9,42 +9,43 @@
 
 #include "rootsrv/auth_server.h"
 #include "sim/network.h"
-#include "topo/deployment.h"
-#include "topo/geo_registry.h"
-#include "util/civil_time.h"
+#include "topo/topology.h"
 #include "zone/zone.h"
 
 namespace rootless::rootsrv {
 
 class RootServerFleet {
  public:
-  // Creates one AuthServer node per instance the deployment model reports
-  // for `date`, registering each node's location in `registry`. Every
-  // instance serves the same refcounted snapshot — the whole fleet holds one
-  // zone copy regardless of its size.
-  RootServerFleet(sim::Network& network, topo::GeoRegistry& registry,
-                  const topo::DeploymentModel& deployment,
-                  const util::CivilDate& date, zone::SnapshotPtr root_zone,
-                  bool include_dnssec = false);
+  // Creates one AuthServer node per instance `topology` reports for its
+  // deployment date, placing each node at its site. Every instance serves
+  // the same refcounted snapshot — the whole fleet holds one zone copy
+  // regardless of its size. The topology must outlive the fleet (catchment
+  // queries route through it).
+  RootServerFleet(sim::Network& network, topo::Topology& topology,
+                  zone::SnapshotPtr root_zone, bool include_dnssec = false);
   // Full-options variant: every instance is built with `options` (snapshot
   // taken from `root_zone`) — this is how the attack benches arm the fleet
   // with a shared response-rate limiter and a sim-time clock.
-  RootServerFleet(sim::Network& network, topo::GeoRegistry& registry,
-                  const topo::DeploymentModel& deployment,
-                  const util::CivilDate& date, zone::SnapshotPtr root_zone,
+  RootServerFleet(sim::Network& network, topo::Topology& topology,
+                  zone::SnapshotPtr root_zone,
                   const AuthServer::Options& options);
   // Convenience: snapshots the zone once, then shares it as above.
-  RootServerFleet(sim::Network& network, topo::GeoRegistry& registry,
-                  const topo::DeploymentModel& deployment,
-                  const util::CivilDate& date,
+  RootServerFleet(sim::Network& network, topo::Topology& topology,
                   std::shared_ptr<const zone::Zone> root_zone,
                   bool include_dnssec = false);
 
   std::size_t instance_count() const { return instances_.size(); }
 
-  // Anycast: the node a client at `location` reaches when querying `letter`
-  // (the nearest instance of that letter).
+  // Ideal anycast: the geographically nearest instance of `letter` to a
+  // client at `location` — the routing a perfectly tuned BGP would give.
   sim::NodeId InstanceFor(char letter, const topo::GeoPoint& location) const;
+
+  // Realistic anycast: the instance the topology's BGP-perturbed catchment
+  // model delivers a client to. `client_id` identifies the client (its
+  // resolver seed): distinct clients at one location can land in different
+  // catchments, as measured in the wild.
+  sim::NodeId CatchmentInstanceFor(char letter, const topo::GeoPoint& location,
+                                   std::uint64_t client_id) const;
 
   // Instance servers (for stats aggregation).
   struct InstanceInfo {
@@ -66,8 +67,10 @@ class RootServerFleet {
   AuthServerStats LetterStats(char letter) const;
 
  private:
+  const topo::Topology* topology_ = nullptr;
+  // Aligned with topology_->instances(): instances_[i] serves instance i.
   std::vector<InstanceInfo> instances_;
-  // Per-letter index into instances_ for the catchment search.
+  // Per-letter index into instances_ for the nearest-instance search.
   std::array<std::vector<std::size_t>, topo::kRootLetterCount> by_letter_;
 };
 

@@ -10,18 +10,18 @@ using dns::Message;
 using dns::Name;
 using dns::RRType;
 
-TldFarm::TldFarm(sim::Network& network, topo::GeoRegistry& registry,
+TldFarm::TldFarm(sim::Network& network, topo::Topology& topology,
                  const zone::Zone& root_zone, std::uint64_t seed)
-    : network_(network), registry_(registry), placement_rng_(seed) {
+    : network_(network), topology_(topology), placement_rng_(seed) {
   for (const auto& child : root_zone.DelegatedChildren()) {
     EnsureTld(child.tld());
   }
   RefreshAddresses(root_zone);
 }
 
-TldFarm::TldFarm(sim::Network& network, topo::GeoRegistry& registry,
+TldFarm::TldFarm(sim::Network& network, topo::Topology& topology,
                  const zone::ZoneSnapshot& root_zone, std::uint64_t seed)
-    : network_(network), registry_(registry), placement_rng_(seed) {
+    : network_(network), topology_(topology), placement_rng_(seed) {
   for (const auto& child : root_zone.DelegatedChildren()) {
     EnsureTld(child.tld());
   }
@@ -35,7 +35,7 @@ void TldFarm::EnsureTld(const std::string& tld) {
   network_.SetHandler(node, [this, node, tld](const sim::Datagram& d) {
     HandleQuery(node, tld, d);
   });
-  registry_.SetLocation(node, topo::SamplePopulationPoint(placement_rng_));
+  topology_.PlaceNode(node, topo::SamplePopulationPoint(placement_rng_));
   by_tld_.emplace(tld, node);
 }
 

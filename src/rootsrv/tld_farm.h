@@ -16,7 +16,7 @@
 
 #include "dns/message.h"
 #include "sim/network.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "zone/zone.h"
@@ -28,11 +28,11 @@ class TldFarm {
  public:
   // Builds one server node per TLD delegated in `root_zone`, registers the
   // TLD's glue addresses to that node, and places it at a population-
-  // weighted location.
-  TldFarm(sim::Network& network, topo::GeoRegistry& registry,
+  // weighted location in `topology` (which must outlive the farm).
+  TldFarm(sim::Network& network, topo::Topology& topology,
           const zone::Zone& root_zone, std::uint64_t seed);
   // Same, reading delegations/glue out of an immutable snapshot.
-  TldFarm(sim::Network& network, topo::GeoRegistry& registry,
+  TldFarm(sim::Network& network, topo::Topology& topology,
           const zone::ZoneSnapshot& root_zone, std::uint64_t seed);
 
   // Node serving a TLD ("" lookups fail; matching is case-insensitive).
@@ -69,7 +69,7 @@ class TldFarm {
   void EnsureTld(const std::string& tld);
 
   sim::Network& network_;
-  topo::GeoRegistry& registry_;
+  topo::Topology& topology_;
   util::Rng placement_rng_;
   std::unordered_map<std::string, sim::NodeId, util::CaseInsensitiveHash,
                      util::CaseInsensitiveEqual>

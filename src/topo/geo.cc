@@ -41,6 +41,16 @@ double GreatCircleKm(const GeoPoint& a, const GeoPoint& b) {
   return 2 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
 }
 
+bool SameSite(const GeoPoint& a, const GeoPoint& b) {
+  // ~1e-3 deg is ~110 m of latitude; generous enough to absorb FP noise,
+  // far below the kilometres that separate distinct sampled sites.
+  constexpr double kEpsilonDeg = 1e-3;
+  const double dlat = std::fabs(a.latitude_deg - b.latitude_deg);
+  double dlon = std::fabs(a.longitude_deg - b.longitude_deg);
+  if (dlon > 180.0) dlon = 360.0 - dlon;  // antimeridian wrap
+  return dlat < kEpsilonDeg && dlon < kEpsilonDeg;
+}
+
 sim::SimTime LatencyForDistanceKm(double km) {
   // ~5 us/km through fiber (2/3 c), x1.5 routing inflation, +2 ms base.
   const double one_way_us = 2000.0 + km * 5.0 * 1.5;

@@ -19,6 +19,12 @@ struct GeoPoint {
 // Great-circle distance (haversine), kilometres.
 double GreatCircleKm(const GeoPoint& a, const GeoPoint& b);
 
+// True when two points are the same physical site for latency purposes:
+// within ~100 m of each other (RFC 7706 loopback / same-rack co-location).
+// Explicit epsilon predicate — co-location checks must not hinge on exact
+// floating-point identity of coordinates that went through arithmetic.
+bool SameSite(const GeoPoint& a, const GeoPoint& b);
+
 // One-way network latency for a path of the given great-circle distance:
 // base processing/last-mile delay plus distance at ~2/3 c with a routing
 // inflation factor.

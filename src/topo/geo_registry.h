@@ -1,44 +1,45 @@
-// Maps simulated network nodes to geographic locations and derives pairwise
-// latency — install its Latency() as the sim::Network latency function.
+// DEPRECATED adapter — new code should construct and share a topo::Topology
+// (topo/topology.h) directly.
+//
+// GeoRegistry used to own the node→location table and the pairwise latency
+// function; both now live in the Topology facade. This shim keeps the old
+// spelling working for one release by forwarding onto a privately owned
+// Topology, so out-of-tree call sites migrate on their own schedule.
 #pragma once
-
-#include <vector>
 
 #include "sim/network.h"
 #include "topo/geo.h"
+#include "topo/topology.h"
 
 namespace rootless::topo {
 
-class GeoRegistry {
+class [[deprecated("use topo::Topology")]] GeoRegistry {
  public:
   // Loopback latency for co-located endpoints (RFC 7706's "on loopback").
-  static constexpr sim::SimTime kLoopbackLatency = 150;  // 150 us
+  static constexpr sim::SimTime kLoopbackLatency = Topology::kLoopbackLatency;
 
   void SetLocation(sim::NodeId node, const GeoPoint& location) {
-    if (locations_.size() <= node) locations_.resize(node + 1);
-    locations_[node] = location;
+    topology_.PlaceNode(node, location);
   }
 
   GeoPoint LocationOf(sim::NodeId node) const {
-    return node < locations_.size() ? locations_[node] : GeoPoint{};
+    return topology_.LocationOf(node);
   }
 
   sim::SimTime Latency(sim::NodeId a, sim::NodeId b) const {
-    if (a == b) return kLoopbackLatency;
-    const GeoPoint pa = LocationOf(a);
-    const GeoPoint pb = LocationOf(b);
-    if (pa == pb) return kLoopbackLatency;
-    return LatencyForDistanceKm(GreatCircleKm(pa, pb));
+    return topology_.Latency(a, b);
   }
 
   // Convenience: a latency function bound to this registry. The registry
   // must outlive the network.
-  sim::Network::LatencyFn LatencyFn() const {
-    return [this](sim::NodeId a, sim::NodeId b) { return Latency(a, b); };
-  }
+  sim::Network::LatencyFn LatencyFn() const { return topology_.LatencyFn(); }
+
+  // The facade this adapter fronts (migration escape hatch).
+  Topology& topology() { return topology_; }
+  const Topology& topology() const { return topology_; }
 
  private:
-  std::vector<GeoPoint> locations_;
+  Topology topology_;
 };
 
 }  // namespace rootless::topo

@@ -9,7 +9,7 @@
 #include "sim/network.h"
 #include "sim/parallel.h"
 #include "sim/simulator.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "util/check.h"
 #include "util/civil_time.h"
 #include "zone/evolution.h"
@@ -97,7 +97,8 @@ ShardOutput RunOneShard(const ReplayOptions& options, const ShardPlan& plan,
   sim.ReserveEvents(4096);
   sim::Network net(sim, options.stack_seed ^ (salt * 0x9E3779B97F4A7C15ULL),
                    &reg);
-  topo::GeoRegistry geo;
+  topo::Topology geo(options.topology ? *options.topology
+                                      : topo::TopologyOptions{});
   net.set_latency_fn(geo.LatencyFn());
   // Faults attach before any traffic flows; per-shard injector, per-shard
   // counters. The plan's node ids refer to this stack's deterministic
@@ -113,10 +114,16 @@ ShardOutput RunOneShard(const ReplayOptions& options, const ShardPlan& plan,
   resolver::ResolverConfig rconfig;
   rconfig.mode = options.mode;
   rconfig.seed = options.stack_seed ^ (salt * 0xD6E8FEB86659FD93ULL);
-  const topo::GeoPoint where{48.85, 2.35};
-  resolver::RecursiveResolver r(sim, net,
-                                {rconfig, where, &reg});
-  geo.SetLocation(r.node(), where);
+  // Legacy default: the fixed Paris vantage every committed baseline was
+  // recorded with. With a topology option, the shard's resolver sits at the
+  // population-weighted site of its first owned resolver id instead.
+  topo::GeoPoint where{48.85, 2.35};
+  if (options.topology) {
+    where = geo.PlaceResolver(plan.shards[static_cast<std::size_t>(shard)]
+                                  .begin)
+                .location;
+  }
+  resolver::RecursiveResolver r(sim, net, {rconfig, where, &reg, &geo});
   r.SetTldFarm(&farm);
   r.SetLocalZone(snapshot);
 

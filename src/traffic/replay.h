@@ -3,7 +3,7 @@
 // Replays a §2.2-calibrated day through full resolver stacks, split into K
 // independent shards (traffic/shard.h) executed on a worker-thread pool
 // (sim/parallel.h). Each shard owns a complete private stack — Simulator,
-// Network, GeoRegistry, TldFarm, RecursiveResolver, and its own
+// Network, topo::Topology, TldFarm, RecursiveResolver, and its own
 // obs::Registry — so nothing mutable is shared between threads and every
 // stats bump stays a plain non-atomic add. Shards share only immutable
 // state: the root-zone ZoneSnapshot (refcounted, read-only) and the real-TLD
@@ -25,10 +25,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "obs/metrics.h"
 #include "resolver/recursive.h"
 #include "sim/faults.h"
+#include "topo/topology.h"
 #include "traffic/attack.h"
 #include "traffic/shard.h"
 #include "traffic/workload.h"
@@ -56,6 +58,13 @@ struct ReplayOptions {
   // Node ids are per-shard-stack ids: the farm's TLD servers are created
   // first (ids 0..tld_count-1), then the resolver. Empty = no faults.
   sim::FaultPlan fault_plan;
+  // Geo model. When set, each shard builds its private topo::Topology from
+  // these options and places its resolver at the population-weighted site
+  // of the shard's first resolver id — a pure function of (topology seed,
+  // shard range), so per-region latency is modeled and the merged outcome
+  // stays bit-identical for every thread count. Unset preserves the legacy
+  // fixed-Paris placement bit-for-bit.
+  std::optional<topo::TopologyOptions> topology;
 };
 
 struct ReplayOutcome {

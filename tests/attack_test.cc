@@ -18,7 +18,7 @@
 #include "sim/faults.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "traffic/attack.h"
 #include "traffic/replay.h"
 #include "zone/zone_snapshot.h"
@@ -229,7 +229,7 @@ TEST(AttackNxnsChase, MaliciousDelegationAmplifiesRootLookups) {
   for (const int chase : {0, 4}) {
     sim::Simulator sim;
     sim::Network net(sim, 3);
-    topo::GeoRegistry geo;
+    topo::Topology geo;
     net.set_latency_fn(geo.LatencyFn());
     auto zone = TestZone();
     const auto snapshot = zone::ZoneSnapshot::Build(*zone);
@@ -241,7 +241,7 @@ TEST(AttackNxnsChase, MaliciousDelegationAmplifiesRootLookups) {
     config.seed = 9;
     config.max_glueless_chase = chase;
     resolver::RecursiveResolver r(sim, net, {config, {48.85, 2.35}});
-    geo.SetLocation(r.node(), {48.85, 2.35});
+    geo.PlaceNode(r.node(), {48.85, 2.35});
     r.SetTldFarm(&farm);
     r.SetLocalZone(snapshot);
 

@@ -5,7 +5,7 @@
 #include <memory>
 
 #include "distrib/axfr.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "zone/evolution.h"
 
 namespace rootless::distrib {
@@ -14,7 +14,7 @@ namespace {
 struct Env {
   sim::Simulator sim;
   sim::Network net{sim, 55};
-  topo::GeoRegistry registry;
+  topo::Topology registry;
   zone::RootZoneModel model{[] {
     zone::EvolutionConfig config;
     config.seed = 8;
@@ -31,8 +31,8 @@ struct Env {
     current = zone::ZoneSnapshot::Build(model.Snapshot({2019, 6, 7}));
     server = std::make_unique<AxfrServer>(net, [this]() { return current; });
     client = std::make_unique<AxfrClient>(sim, net, AxfrClient::Options{});
-    registry.SetLocation(server->node(), {40, -74});
-    registry.SetLocation(client->node(), {48, 2});
+    registry.PlaceNode(server->node(), {40, -74});
+    registry.PlaceNode(client->node(), {48, 2});
   }
 
   util::Result<zone::SnapshotPtr> FetchSync(std::uint32_t have_serial) {

@@ -9,7 +9,7 @@
 #include "resolver/recursive.h"
 #include "rootsrv/auth_server.h"
 #include "rootsrv/tld_farm.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "zone/evolution.h"
 #include "zone/sign.h"
 
@@ -179,7 +179,7 @@ TEST(ValidateDenial, RejectsSpoofedNxdomain) {
 struct AttackEnv {
   sim::Simulator sim;
   sim::Network net{sim, 5};
-  topo::GeoRegistry registry;
+  topo::Topology registry;
   SignedEnv keys;
   std::shared_ptr<zone::Zone> signed_zone;
   zone::SnapshotPtr signed_snapshot;
@@ -192,7 +192,7 @@ struct AttackEnv {
     signed_snapshot = zone::ZoneSnapshot::Build(*signed_zone);
     root = std::make_unique<rootsrv::AuthServer>(net, signed_snapshot,
                                                  /*include_dnssec=*/true);
-    registry.SetLocation(root->node(), {40, -74});
+    registry.PlaceNode(root->node(), {40, -74});
     farm = std::make_unique<rootsrv::TldFarm>(net, registry, *signed_snapshot,
                                               9);
   }
@@ -206,7 +206,7 @@ struct AttackEnv {
     auto r = std::make_unique<resolver::RecursiveResolver>(
         sim, net,
         resolver::RecursiveResolver::Options{config, topo::GeoPoint{40, -74}});
-    registry.SetLocation(r->node(), {48, 2});
+    registry.PlaceNode(r->node(), {48, 2});
     r->SetTldFarm(farm.get());
     r->SetLoopbackNode(root->node());
     r->SetLocalZone(signed_snapshot);
@@ -324,7 +324,7 @@ TEST(ResolverValidation, LocalRootModeIsImmuneToOnPathCensor) {
   config.mode = resolver::RootMode::kCachePreload;
   resolver::RecursiveResolver r(env.sim, env.net,
                                 {config, topo::GeoPoint{48, 2}});
-  env.registry.SetLocation(r.node(), {48, 2});
+  env.registry.PlaceNode(r.node(), {48, 2});
   r.SetTldFarm(env.farm.get());
   r.SetLocalZone(env.signed_snapshot);
 

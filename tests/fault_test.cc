@@ -20,7 +20,7 @@
 #include "sim/retry.h"
 #include "sim/simulator.h"
 #include "topo/deployment.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "zone/evolution.h"
@@ -273,7 +273,7 @@ struct LossyRunOutcome {
 LossyRunOutcome RunLossyResolverScenario() {
   sim::Simulator sim;
   sim::Network net(sim, 99);
-  topo::GeoRegistry registry;
+  topo::Topology registry;
   net.set_latency_fn(registry.LatencyFn());
 
   sim::FaultPlan plan;
@@ -286,9 +286,7 @@ LossyRunOutcome RunLossyResolverScenario() {
   auto root_zone =
       std::make_shared<zone::Zone>(zone_model.Snapshot({2018, 4, 11}));
   const zone::SnapshotPtr snapshot = zone::ZoneSnapshot::Build(*root_zone);
-  const topo::DeploymentModel deployment;
-  rootsrv::RootServerFleet fleet(net, registry, deployment, {2018, 4, 11},
-                                 snapshot);
+  rootsrv::RootServerFleet fleet(net, registry, snapshot);
   rootsrv::TldFarm farm(net, registry, *snapshot, 3);
 
   resolver::ResolverConfig config;
@@ -301,8 +299,7 @@ LossyRunOutcome RunLossyResolverScenario() {
                                   .max_backoff = 5 * sim::kSecond,
                                   .jitter = 0.3};
   const topo::GeoPoint where{40.71, -74.0};
-  resolver::RecursiveResolver r(sim, net, {config, where});
-  registry.SetLocation(r.node(), where);
+  resolver::RecursiveResolver r(sim, net, {config, where, nullptr, &registry});
   r.SetRootFleet(&fleet);
   r.SetTldFarm(&farm);
 

@@ -12,7 +12,7 @@
 #include "resolver/recursive.h"
 #include "resolver/refresh_daemon.h"
 #include "rootsrv/tld_farm.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "util/civil_time.h"
 #include "zone/evolution.h"
 #include "zone/sign.h"
@@ -46,7 +46,7 @@ TEST(Integration, SignedZoneDistributedAndServedLocally) {
 
   sim::Simulator sim;
   sim::Network net(sim, 8);
-  topo::GeoRegistry registry;
+  topo::Topology registry;
   net.set_latency_fn(registry.LatencyFn());
 
   // Publisher side: signs the daily snapshot on demand. Simulation starts at
@@ -75,9 +75,8 @@ TEST(Integration, SignedZoneDistributedAndServedLocally) {
   resolver::ResolverConfig config;
   config.mode = resolver::RootMode::kOnDemandZoneFile;
   config.seed = 1;
-  resolver::RecursiveResolver resolver(sim, net,
-                                       {config, topo::GeoPoint{48.85, 2.35}});
-  registry.SetLocation(resolver.node(), {48.85, 2.35});
+  resolver::RecursiveResolver resolver(
+      sim, net, {config, topo::GeoPoint{48.85, 2.35}, nullptr, &registry});
   resolver.SetTldFarm(&farm);
 
   resolver::RefreshDaemon daemon(
@@ -179,7 +178,7 @@ TEST(Integration, RefreshDaemonOverAxfrTransport) {
   const zone::RootZoneModel model(SmallModel());
   sim::Simulator sim;
   sim::Network net(sim, 44);
-  topo::GeoRegistry registry;
+  topo::Topology registry;
   net.set_latency_fn(registry.LatencyFn());
   net.set_loss_rate(0.05);
 
@@ -187,8 +186,8 @@ TEST(Integration, RefreshDaemonOverAxfrTransport) {
   auto current = zone::ZoneSnapshot::Build(model.Snapshot(start_date));
   distrib::AxfrServer server(net, [&]() { return current; });
   distrib::AxfrClient client(sim, net, {});
-  registry.SetLocation(server.node(), {40, -74});
-  registry.SetLocation(client.node(), {48, 2});
+  registry.PlaceNode(server.node(), {40, -74});
+  registry.PlaceNode(client.node(), {48, 2});
 
   std::uint32_t applied_serial = 0;
   resolver::RefreshDaemon daemon(

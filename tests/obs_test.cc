@@ -19,7 +19,7 @@
 #include "rootsrv/tld_farm.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "util/result.h"
 #include "zone/evolution.h"
 #include "zone/zone_snapshot.h"
@@ -212,7 +212,7 @@ TEST(ObsTracer, ResolutionLifecycleSpans) {
   sim::Simulator sim;
   obs::Registry& reg = obs::Registry::Default();
   sim::Network net(sim, 5, &reg);
-  topo::GeoRegistry geo;
+  topo::Topology geo;
   net.set_latency_fn(geo.LatencyFn());
   obs::Tracer tracer = sim.MakeTracer();
   tracer.set_enabled(true);

@@ -298,6 +298,33 @@ TEST(ParallelReplay, MergedOutputBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelReplay, TopologyPlacementKeepsThreadInvariance) {
+  // With the geo model enabled, each shard's resolver is placed at the
+  // population-weighted site of its first owned resolver id — a pure
+  // function of (topology seed, shard range) — so the merged outcome must
+  // stay bit-identical across thread counts, exactly like the legacy
+  // fixed-Paris path.
+  ReplayOptions options;
+  options.workload = SmallConfig();
+  options.num_shards = 4;
+  options.num_threads = 1;
+  options.topology = topo::TopologyOptions{};
+  const ReplayOutcome serial = RunShardedReplay(options);
+  ASSERT_GT(serial.tally.total_queries, 0u);
+  const std::string reference = Fingerprint(serial);
+  for (const int threads : {2, 8}) {
+    ReplayOptions parallel_options = options;
+    parallel_options.num_threads = threads;
+    EXPECT_EQ(Fingerprint(RunShardedReplay(parallel_options)), reference)
+        << threads << " threads";
+  }
+  // Generation-side classification is independent of where resolvers sit.
+  ReplayOptions legacy = options;
+  legacy.topology.reset();
+  const ReplayOutcome paris = RunShardedReplay(legacy);
+  ExpectTalliesEqual(serial.tally, paris.tally);
+}
+
 TEST(ParallelReplay, ClassificationTallyInvariantAcrossShardCounts) {
   // Resolver-side stats legitimately change with K (K caches), but the
   // generated workload and its §2.2 classification must not.

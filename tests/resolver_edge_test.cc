@@ -8,7 +8,7 @@
 #include "rootsrv/fleet.h"
 #include "rootsrv/tld_farm.h"
 #include "topo/deployment.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "zone/evolution.h"
 
 namespace rootless::resolver {
@@ -47,7 +47,7 @@ std::shared_ptr<zone::Zone> TinyRoot() {
 struct Env {
   sim::Simulator sim;
   sim::Network net{sim, 77};
-  topo::GeoRegistry registry;
+  topo::Topology registry;
   std::shared_ptr<zone::Zone> root_zone = TinyRoot();
   zone::SnapshotPtr root_snapshot = zone::ZoneSnapshot::Build(*root_zone);
   std::unique_ptr<rootsrv::AuthServer> root;
@@ -56,7 +56,7 @@ struct Env {
   Env() {
     net.set_latency_fn(registry.LatencyFn());
     root = std::make_unique<rootsrv::AuthServer>(net, root_snapshot);
-    registry.SetLocation(root->node(), {40, -74});
+    registry.PlaceNode(root->node(), {40, -74});
     farm = std::make_unique<rootsrv::TldFarm>(net, registry, *root_snapshot,
                                               3);
   }
@@ -66,8 +66,9 @@ struct Env {
     config.mode = mode;
     config.seed = 2;
     auto r = std::make_unique<RecursiveResolver>(
-        sim, net, RecursiveResolver::Options{config, topo::GeoPoint{48, 2}});
-    registry.SetLocation(r->node(), {48, 2});
+        sim, net,
+        RecursiveResolver::Options{config, topo::GeoPoint{48, 2}, nullptr,
+                                   &registry});
     r->SetTldFarm(farm.get());
     if (mode == RootMode::kLoopbackAuth) {
       r->SetLoopbackNode(root->node());
@@ -170,22 +171,19 @@ TEST(ResolverEdge, LoopbackNxdomainPath) {
 TEST(ResolverEdge, SelectorConvergesOnNearbyLetter) {
   sim::Simulator sim;
   sim::Network net(sim, 7);
-  topo::GeoRegistry registry;
+  topo::Topology registry;
   net.set_latency_fn(registry.LatencyFn());
   const zone::RootZoneModel model;
   auto root_zone =
       std::make_shared<zone::Zone>(model.Snapshot({2018, 4, 11}));
-  const topo::DeploymentModel deployment;
-  rootsrv::RootServerFleet fleet(net, registry, deployment, {2018, 4, 11},
-                                 root_zone);
+  rootsrv::RootServerFleet fleet(net, registry, root_zone);
   rootsrv::TldFarm farm(net, registry, *root_zone, 3);
 
   ResolverConfig config;
   config.mode = RootMode::kRootServers;
   config.seed = 10;
   const topo::GeoPoint where{48.85, 2.35};
-  RecursiveResolver r(sim, net, {config, where});
-  registry.SetLocation(r.node(), where);
+  RecursiveResolver r(sim, net, {config, where, nullptr, &registry});
   r.SetTldFarm(&farm);
   r.SetRootFleet(&fleet);
 
@@ -238,8 +236,8 @@ TEST(ResolverEdge, EncryptedTransportPaysHandshakeOnce) {
   config.mode = RootMode::kLoopbackAuth;
   config.encrypted_transport = true;
   config.seed = 3;
-  RecursiveResolver r(env.sim, env.net, {config, topo::GeoPoint{48, 2}});
-  env.registry.SetLocation(r.node(), {48, 2});
+  RecursiveResolver r(env.sim, env.net,
+                      {config, topo::GeoPoint{48, 2}, nullptr, &env.registry});
   r.SetTldFarm(env.farm.get());
   r.SetLoopbackNode(env.root->node());
   r.SetLocalZone(env.root_snapshot);
@@ -272,8 +270,8 @@ TEST(ResolverEdge, EncryptedTransportSlowerThanUdpWhenCold) {
     config.seed = 5;
     auto r = std::make_unique<RecursiveResolver>(
         env.sim, env.net,
-        RecursiveResolver::Options{config, topo::GeoPoint{48, 2}});
-    env.registry.SetLocation(r->node(), {48, 2});
+        RecursiveResolver::Options{config, topo::GeoPoint{48, 2}, nullptr,
+                                   &env.registry});
     r->SetTldFarm(env.farm.get());
     r->SetLocalZone(env.root_snapshot);
     return r;

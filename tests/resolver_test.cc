@@ -208,11 +208,10 @@ TEST(ZoneDb, UnknownTldIsLocalNxDomain) {
 struct E2E {
   sim::Simulator sim;
   sim::Network net{sim, 21};
-  topo::GeoRegistry registry;
+  topo::Topology registry;
   zone::RootZoneModel model;
   std::shared_ptr<zone::Zone> root_zone;
   zone::SnapshotPtr root_snapshot;
-  topo::DeploymentModel deployment;
   std::unique_ptr<rootsrv::RootServerFleet> fleet;
   std::unique_ptr<rootsrv::TldFarm> farm;
   std::unique_ptr<rootsrv::AuthServer> loopback;
@@ -224,9 +223,8 @@ struct E2E {
     // One immutable snapshot serves the fleet, the TLD farm, the loopback
     // server, and every local-root resolver in the fixture.
     root_snapshot = zone::ZoneSnapshot::Build(*root_zone);
-    fleet = std::make_unique<rootsrv::RootServerFleet>(
-        net, registry, deployment, util::CivilDate{2018, 4, 11},
-        root_snapshot);
+    fleet = std::make_unique<rootsrv::RootServerFleet>(net, registry,
+                                                       root_snapshot);
     farm = std::make_unique<rootsrv::TldFarm>(net, registry, *root_snapshot,
                                               5);
   }
@@ -238,8 +236,8 @@ struct E2E {
     config.mode = mode;
     config.seed = 77;
     auto r = std::make_unique<RecursiveResolver>(
-        sim, net, RecursiveResolver::Options{config, where});
-    registry.SetLocation(r->node(), where);
+        sim, net,
+        RecursiveResolver::Options{config, where, nullptr, &registry});
     r->SetTldFarm(farm.get());
     switch (mode) {
       case RootMode::kRootServers:
@@ -251,7 +249,7 @@ struct E2E {
         break;
       case RootMode::kLoopbackAuth:
         loopback = std::make_unique<rootsrv::AuthServer>(net, root_snapshot);
-        registry.SetLocation(loopback->node(), where);
+        registry.PlaceNode(loopback->node(), where);
         r->SetLoopbackNode(loopback->node());
         r->SetLocalZone(root_snapshot);  // loopback operators hold a copy
         break;
@@ -375,7 +373,7 @@ TEST(Recursive, QnameMinimizationSendsOnlyTldToRoot) {
   config.seed = 3;
   const topo::GeoPoint where{48.85, 2.35};
   RecursiveResolver r(e2e.sim, e2e.net, {config, where});
-  e2e.registry.SetLocation(r.node(), where);
+  e2e.registry.PlaceNode(r.node(), where);
   r.SetTldFarm(e2e.farm.get());
   r.SetRootFleet(e2e.fleet.get());
 
@@ -401,7 +399,7 @@ TEST(Recursive, TimeoutRetriesAnotherLetter) {
   config.max_retries = 10;
   const topo::GeoPoint where{48.85, 2.35};
   RecursiveResolver r(e2e.sim, e2e.net, {config, where});
-  e2e.registry.SetLocation(r.node(), where);
+  e2e.registry.PlaceNode(r.node(), where);
   r.SetTldFarm(e2e.farm.get());
   r.SetRootFleet(e2e.fleet.get());
 
@@ -428,7 +426,7 @@ TEST(Recursive, ExhaustedRetriesFail) {
   config.max_retries = 2;
   const topo::GeoPoint where{48.85, 2.35};
   RecursiveResolver r(e2e.sim, e2e.net, {config, where});
-  e2e.registry.SetLocation(r.node(), where);
+  e2e.registry.PlaceNode(r.node(), where);
   r.SetTldFarm(e2e.farm.get());
   r.SetRootFleet(e2e.fleet.get());
 

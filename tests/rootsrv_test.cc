@@ -11,7 +11,7 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "topo/deployment.h"
-#include "topo/geo_registry.h"
+#include "topo/topology.h"
 #include "zone/evolution.h"
 
 namespace rootless::rootsrv {
@@ -25,7 +25,7 @@ Name N(std::string_view s) { return *Name::Parse(s); }
 struct Fixture {
   sim::Simulator sim;
   sim::Network net{sim, 11};
-  topo::GeoRegistry registry;
+  topo::Topology registry;
   std::shared_ptr<zone::Zone> root_zone = std::make_shared<zone::Zone>();
 
   Fixture() {
@@ -83,8 +83,8 @@ TEST(AuthServer, RespondsOverNetwork) {
     ASSERT_TRUE(m.ok());
     got = *m;
   });
-  f.registry.SetLocation(client, {40, -74});
-  f.registry.SetLocation(server.node(), {51, 0});
+  f.registry.PlaceNode(client, {40, -74});
+  f.registry.PlaceNode(server.node(), {51, 0});
   f.net.Send(client, server.node(),
              dns::EncodeMessage(dns::MakeQuery(9, N("x.com."), RRType::kA)));
   f.sim.Run();
@@ -344,8 +344,7 @@ TEST(AuthServerCache, DisabledServerStillAnswersIdentically) {
 TEST(Fleet, InstanceCountMatchesDeployment) {
   Fixture f;
   topo::DeploymentModel deployment;
-  RootServerFleet fleet(f.net, f.registry, deployment, {2018, 4, 11},
-                        f.root_zone);
+  RootServerFleet fleet(f.net, f.registry, f.root_zone);
   EXPECT_EQ(fleet.instance_count(),
             static_cast<std::size_t>(
                 deployment.TotalInstancesOn({2018, 4, 11})));
@@ -353,9 +352,7 @@ TEST(Fleet, InstanceCountMatchesDeployment) {
 
 TEST(Fleet, AnycastPrefersNearbyInstance) {
   Fixture f;
-  topo::DeploymentModel deployment;
-  RootServerFleet fleet(f.net, f.registry, deployment, {2018, 4, 11},
-                        f.root_zone);
+  RootServerFleet fleet(f.net, f.registry, f.root_zone);
   // Large letters (many instances) should land closer than small ones on
   // average; at minimum the chosen instance must be the nearest of its
   // letter.
@@ -374,11 +371,9 @@ TEST(Fleet, AnycastPrefersNearbyInstance) {
 
 TEST(Fleet, StatsAggregate) {
   Fixture f;
-  topo::DeploymentModel deployment;
-  RootServerFleet fleet(f.net, f.registry, deployment, {2018, 4, 11},
-                        f.root_zone);
+  RootServerFleet fleet(f.net, f.registry, f.root_zone);
   const sim::NodeId client = f.net.AddNode(nullptr);
-  f.registry.SetLocation(client, {40, -74});
+  f.registry.PlaceNode(client, {40, -74});
   for (int i = 0; i < 5; ++i) {
     f.net.Send(client, fleet.InstanceFor('j', {40, -74}),
                dns::EncodeMessage(
@@ -395,7 +390,7 @@ TEST(Fleet, StatsAggregate) {
 TEST(TldFarm, BuildsFromRootZoneAndAnswers) {
   sim::Simulator sim;
   sim::Network net(sim, 3);
-  topo::GeoRegistry registry;
+  topo::Topology registry;
   net.set_latency_fn(registry.LatencyFn());
 
   const zone::RootZoneModel model;
@@ -434,7 +429,7 @@ TEST(TldFarm, BuildsFromRootZoneAndAnswers) {
 TEST(TldFarm, FindsNodeByGlueAddress) {
   sim::Simulator sim;
   sim::Network net(sim, 3);
-  topo::GeoRegistry registry;
+  topo::Topology registry;
   const zone::RootZoneModel model;
   const zone::Zone root_zone = model.Snapshot({2018, 4, 11});
   TldFarm farm(net, registry, root_zone, 99);
@@ -460,7 +455,7 @@ TEST(TldFarm, FindsNodeByGlueAddress) {
 TEST(TldFarm, RefusesOutOfDomainQuery) {
   sim::Simulator sim;
   sim::Network net(sim, 3);
-  topo::GeoRegistry registry;
+  topo::Topology registry;
   const zone::RootZoneModel model;
   const zone::Zone root_zone = model.Snapshot({2018, 4, 11});
   TldFarm farm(net, registry, root_zone, 99);
