@@ -5,10 +5,20 @@
 // read back as the no-sockets reference, so the report shows what fraction
 // of the in-process AnswerWire rate survives a real kernel round trip.
 //
-// The client runs in-process on a connected non-blocking UDP socket,
-// pipelining a window of pre-encoded queries with sendmmsg and draining
-// responses with recvmmsg — on a single-core container, client and server
-// share the CPU, so the printed qps is a conservative lower bound.
+// The client runs in-process on a connected non-blocking UDP socket. When
+// the kernel supports UDP GSO/GRO (Linux >= 4.18) it pipelines pre-built
+// trains of equal-size queries — one sendmsg with a UDP_SEGMENT cmsg per
+// train, one recvmsg per coalesced response train — matching the offload
+// the server side uses; otherwise it degrades to one datagram per send.
+// On a single-core container, client and server share the CPU, so the
+// printed qps is a conservative lower bound.
+//
+// Per-query latency is sampled by stamping each DNS id at send time and
+// matching ids on receive (ids are unique across the query set, and the
+// in-flight window stays below the set size, so an id is never reused
+// while outstanding). The p50/p99 include client-side queueing across the
+// pipelining window — they measure the served system, not a single lonely
+// round trip.
 //
 // Usage: netserver_bench [--out FILE.json] [--baseline OLD.json]
 //                        [--duration MS] [--workers N]
@@ -16,6 +26,7 @@
 #include <poll.h>
 #include <sys/socket.h>
 #include <netinet/in.h>
+#include <netinet/udp.h>
 #include <arpa/inet.h>
 #include <unistd.h>
 
@@ -34,10 +45,18 @@
 #include "net/axfr_client.h"
 #include "net/frontend.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "zone/evolution.h"
 #include "zone/sign.h"
 #include "zone/zone_snapshot.h"
+
+#ifndef UDP_SEGMENT
+#define UDP_SEGMENT 103
+#endif
+#ifndef UDP_GRO
+#define UDP_GRO 104
+#endif
 
 using namespace rootless;
 using Clock = std::chrono::steady_clock;
@@ -52,13 +71,48 @@ struct BlastResult {
   double qps = 0;
   std::uint64_t sent = 0;
   std::uint64_t received = 0;
+  std::uint64_t dropped = 0;  // sent datagrams that never came back
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
 };
+
+// A pre-built GSO send: `count` equal-size queries concatenated, leaving the
+// socket as one syscall and `count` wire datagrams.
+struct Train {
+  util::Bytes wire;
+  std::uint16_t seg = 0;
+  std::vector<std::uint16_t> ids;
+};
+
+std::vector<Train> BuildTrains(const std::vector<util::Bytes>& queries,
+                               std::size_t max_segments) {
+  std::map<std::size_t, std::vector<const util::Bytes*>> by_size;
+  for (const auto& q : queries) by_size[q.size()].push_back(&q);
+  std::vector<Train> trains;
+  for (const auto& [size, group] : by_size) {
+    for (std::size_t i = 0; i < group.size();) {
+      const std::size_t n = std::min(max_segments, group.size() - i);
+      Train t;
+      t.seg = static_cast<std::uint16_t>(size);
+      t.wire.reserve(size * n);
+      for (std::size_t k = 0; k < n; ++k) {
+        const util::Bytes& q = *group[i + k];
+        t.wire.insert(t.wire.end(), q.begin(), q.end());
+        t.ids.push_back(static_cast<std::uint16_t>((q[0] << 8) | q[1]));
+      }
+      trains.push_back(std::move(t));
+      i += n;
+    }
+  }
+  return trains;
+}
 
 // Pipelined loopback query storm against `port` for `duration_ms`.
 BlastResult Blast(std::uint16_t port, const std::vector<util::Bytes>& queries,
                   int duration_ms) {
-  constexpr std::size_t kBatch = 64;
-  constexpr std::size_t kWindow = 256;
+  constexpr std::size_t kWindow = 1400;  // in-flight datagrams (< query count)
+  constexpr std::size_t kRxBatch = 8;
+  constexpr std::size_t kRxBuffer = 65536;  // GRO trains are up to 64KB
   BlastResult result;
 
   const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
@@ -66,6 +120,11 @@ BlastResult Blast(std::uint16_t port, const std::vector<util::Bytes>& queries,
   const int bufsize = 1 << 20;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bufsize, sizeof(bufsize));
   ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bufsize, sizeof(bufsize));
+  const int zero = 0;
+  const bool gso_on =
+      ::setsockopt(fd, SOL_UDP, UDP_SEGMENT, &zero, sizeof(zero)) == 0;
+  const int one = 1;
+  const bool gro_on = ::setsockopt(fd, SOL_UDP, UDP_GRO, &one, sizeof(one)) == 0;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -76,47 +135,94 @@ BlastResult Blast(std::uint16_t port, const std::vector<util::Bytes>& queries,
     return result;
   }
 
-  std::vector<mmsghdr> tx_msgs(kBatch), rx_msgs(kBatch);
-  std::vector<iovec> tx_iovs(kBatch), rx_iovs(kBatch);
-  std::vector<std::uint8_t> rx_buffers(kBatch * 4096);
-  for (std::size_t i = 0; i < kBatch; ++i) {
-    rx_iovs[i].iov_base = rx_buffers.data() + i * 4096;
-    rx_iovs[i].iov_len = 4096;
+  // Without GSO every "train" must be a single datagram (a concatenated
+  // train would leave the socket as one oversized datagram).
+  const std::vector<Train> trains =
+      BuildTrains(queries, gso_on ? std::size_t{64} : std::size_t{1});
+
+  std::vector<mmsghdr> rx_msgs(kRxBatch);
+  std::vector<iovec> rx_iovs(kRxBatch);
+  std::vector<std::uint8_t> rx_buffers(kRxBatch * kRxBuffer);
+  std::vector<std::uint8_t> rx_ctrl(kRxBatch * 64);
+  for (std::size_t i = 0; i < kRxBatch; ++i) {
+    rx_iovs[i].iov_base = rx_buffers.data() + i * kRxBuffer;
+    rx_iovs[i].iov_len = kRxBuffer;
     std::memset(&rx_msgs[i], 0, sizeof(rx_msgs[i]));
     rx_msgs[i].msg_hdr.msg_iov = &rx_iovs[i];
     rx_msgs[i].msg_hdr.msg_iovlen = 1;
   }
 
-  std::size_t next_query = 0;
+  std::vector<Clock::time_point> send_ts(65536);
+  obs::HistogramData latency;
+  std::size_t next_train = 0;
   std::size_t inflight = 0;
   const auto start = Clock::now();
-  const auto deadline =
-      start + std::chrono::milliseconds(duration_ms);
+  const auto deadline = start + std::chrono::milliseconds(duration_ms);
   while (Clock::now() < deadline) {
-    while (inflight < kWindow) {
-      const std::size_t want =
-          std::min(kBatch, kWindow - inflight);
-      for (std::size_t i = 0; i < want; ++i) {
-        const util::Bytes& q = queries[next_query];
-        next_query = (next_query + 1) % queries.size();
-        tx_iovs[i].iov_base = const_cast<std::uint8_t*>(q.data());
-        tx_iovs[i].iov_len = q.size();
-        std::memset(&tx_msgs[i], 0, sizeof(tx_msgs[i]));
-        tx_msgs[i].msg_hdr.msg_iov = &tx_iovs[i];
-        tx_msgs[i].msg_hdr.msg_iovlen = 1;
+    // Fill the window train by train.
+    while (inflight + trains[next_train].ids.size() <= kWindow) {
+      const Train& t = trains[next_train];
+      msghdr mh{};
+      iovec iov{const_cast<std::uint8_t*>(t.wire.data()), t.wire.size()};
+      mh.msg_iov = &iov;
+      mh.msg_iovlen = 1;
+      alignas(cmsghdr) char ctrl[CMSG_SPACE(sizeof(std::uint16_t))] = {};
+      if (t.ids.size() > 1) {
+        mh.msg_control = ctrl;
+        mh.msg_controllen = sizeof(ctrl);
+        cmsghdr* cm = CMSG_FIRSTHDR(&mh);
+        cm->cmsg_level = SOL_UDP;
+        cm->cmsg_type = UDP_SEGMENT;
+        cm->cmsg_len = CMSG_LEN(sizeof(std::uint16_t));
+        std::memcpy(CMSG_DATA(cm), &t.seg, sizeof(t.seg));
       }
-      const int sent =
-          ::sendmmsg(fd, tx_msgs.data(), static_cast<unsigned>(want), 0);
-      if (sent <= 0) break;  // socket buffer full: drain first
-      result.sent += static_cast<std::uint64_t>(sent);
-      inflight += static_cast<std::size_t>(sent);
-      if (static_cast<std::size_t>(sent) < want) break;
+      if (::sendmsg(fd, &mh, 0) < 0) break;  // socket buffer full: drain
+      const auto now = Clock::now();
+      for (const std::uint16_t id : t.ids) send_ts[id] = now;
+      result.sent += t.ids.size();
+      inflight += t.ids.size();
+      next_train = (next_train + 1) % trains.size();
+    }
+    for (std::size_t i = 0; i < kRxBatch; ++i) {
+      rx_msgs[i].msg_hdr.msg_control = rx_ctrl.data() + i * 64;
+      rx_msgs[i].msg_hdr.msg_controllen = 64;
+      rx_msgs[i].msg_hdr.msg_flags = 0;
     }
     const int got = ::recvmmsg(fd, rx_msgs.data(),
-                               static_cast<unsigned>(kBatch), 0, nullptr);
+                               static_cast<unsigned>(kRxBatch), 0, nullptr);
     if (got > 0) {
-      result.received += static_cast<std::uint64_t>(got);
-      inflight -= std::min(inflight, static_cast<std::size_t>(got));
+      const auto now = Clock::now();
+      for (int i = 0; i < got; ++i) {
+        const std::size_t bytes = rx_msgs[i].msg_len;
+        std::size_t segment = bytes;
+        if (gro_on) {
+          for (cmsghdr* c = CMSG_FIRSTHDR(&rx_msgs[i].msg_hdr); c != nullptr;
+               c = CMSG_NXTHDR(&rx_msgs[i].msg_hdr, c)) {
+            if (c->cmsg_level == SOL_UDP && c->cmsg_type == UDP_GRO) {
+              int s = 0;
+              std::memcpy(&s, CMSG_DATA(c), sizeof(s));
+              if (s > 0) segment = static_cast<std::size_t>(s);
+            }
+          }
+        }
+        if (segment == 0) segment = 1;
+        const auto* base = static_cast<const std::uint8_t*>(rx_iovs[i].iov_base);
+        for (std::size_t off = 0; off < bytes; off += segment) {
+          if (bytes - off >= 2) {
+            const std::uint16_t id =
+                static_cast<std::uint16_t>((base[off] << 8) | base[off + 1]);
+            if (send_ts[id] != Clock::time_point{}) {
+              latency.Record(static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      now - send_ts[id])
+                      .count()));
+              send_ts[id] = Clock::time_point{};
+            }
+          }
+          ++result.received;
+          if (inflight > 0) --inflight;
+        }
+      }
     } else if (inflight > 0) {
       pollfd pfd{fd, POLLIN, 0};
       if (::poll(&pfd, 1, 10) == 0) {
@@ -128,23 +234,34 @@ BlastResult Blast(std::uint16_t port, const std::vector<util::Bytes>& queries,
   const double elapsed = SecondsSince(start);
   ::close(fd);
   result.qps = elapsed > 0 ? static_cast<double>(result.received) / elapsed : 0;
+  result.dropped = result.sent - std::min(result.sent, result.received);
+  result.p50_us = latency.Percentile(50);
+  result.p99_us = latency.Percentile(99);
   return result;
 }
 
+struct UdpRun {
+  BlastResult blast;
+  rootsrv::FastLaneStats fast_lane;
+};
+
 // One throughput measurement against a fresh frontend with `workers` UDP
 // workers.
-BlastResult MeasureUdp(const zone::SnapshotPtr& snapshot,
-                       const std::vector<util::Bytes>& queries, int workers,
-                       int duration_ms) {
+UdpRun MeasureUdp(const zone::SnapshotPtr& snapshot,
+                  const std::vector<util::Bytes>& queries, int workers,
+                  int duration_ms, bool fast_lane) {
   net::SnapshotSource source(snapshot);
   net::FrontendOptions options;
   options.udp_workers = workers;
   options.enable_tcp = false;
+  options.fast_lane = fast_lane;
   net::DnsFrontend frontend(source, options);
   if (!frontend.Start().ok()) return {};
-  BlastResult result = Blast(frontend.udp_port(), queries, duration_ms);
+  UdpRun run;
+  run.blast = Blast(frontend.udp_port(), queries, duration_ms);
   frontend.Stop();
-  return result;
+  run.fast_lane = frontend.fast_lane_stats();
+  return run;
 }
 
 // `"key": number` scanner (same shape as the other bench harnesses); keeps
@@ -233,15 +350,35 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   };
 
-  const BlastResult single = MeasureUdp(snapshot, queries, 1, duration_ms);
-  record("udp_qps_1worker", single.qps);
-  record("udp_sent_1worker", static_cast<double>(single.sent));
-  record("udp_received_1worker", static_cast<double>(single.received));
+  const UdpRun single = MeasureUdp(snapshot, queries, 1, duration_ms, true);
+  record("udp_qps_1worker", single.blast.qps);
+  record("udp_sent_1worker", static_cast<double>(single.blast.sent));
+  record("udp_received_1worker", static_cast<double>(single.blast.received));
+  record("udp_dropped_1worker", static_cast<double>(single.blast.dropped));
+  record("udp_latency_p50_us", static_cast<double>(single.blast.p50_us));
+  record("udp_latency_p99_us", static_cast<double>(single.blast.p99_us));
+  {
+    const rootsrv::FastLaneStats& fl = single.fast_lane;
+    const double handled =
+        static_cast<double>(fl.hits + fl.slips + fl.drops);
+    const double attempts =
+        handled + static_cast<double>(fl.parse_fallbacks + fl.cache_misses);
+    record("fast_lane_hit_ratio", attempts > 0 ? handled / attempts : 0);
+  }
 
-  const BlastResult multi =
-      MeasureUdp(snapshot, queries, multi_workers, duration_ms);
+  if (std::getenv("NETSERVER_BENCH_DEBUG") != nullptr) {
+    std::printf("%s", obs::RenderMetricsTable().c_str());
+  }
+
+  // Ablation: the same storm with the fast lane off — every datagram pays
+  // the Packet copy + full pipeline.
+  const UdpRun ablation = MeasureUdp(snapshot, queries, 1, duration_ms, false);
+  record("udp_qps_1worker_nofastlane", ablation.blast.qps);
+
+  const UdpRun multi =
+      MeasureUdp(snapshot, queries, multi_workers, duration_ms, true);
   record("udp_workers_multi", multi_workers);
-  record("udp_qps_multiworker", multi.qps);
+  record("udp_qps_multiworker", multi.blast.qps);
 
   // TCP path: one full AXFR transfer of the signed zone.
   {
@@ -266,7 +403,7 @@ int main(int argc, char** argv) {
       hotpath.count("replay_qps") ? hotpath.at("replay_qps") : 0;
   if (replay_qps > 0) {
     record("replay_qps_reference", replay_qps);
-    record("socket_vs_replay_ratio", single.qps / replay_qps);
+    record("socket_vs_replay_ratio", single.blast.qps / replay_qps);
   }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -298,7 +435,7 @@ int main(int argc, char** argv) {
     if (baseline.count("udp_qps_1worker") &&
         baseline.at("udp_qps_1worker") > 0) {
       std::fprintf(out, ",\n  \"speedup\": {\"udp_qps_1worker\": %g}",
-                   single.qps / baseline.at("udp_qps_1worker"));
+                   single.blast.qps / baseline.at("udp_qps_1worker"));
     }
   }
   std::fprintf(out, "\n}\n");

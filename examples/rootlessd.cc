@@ -9,16 +9,21 @@
 //   $ dig @127.0.0.1 -p 5300 . DNSKEY +bufsize=1232
 //   $ dig @127.0.0.1 -p 5300 . AXFR +tcp
 //
-// Usage: rootlessd [--port N] [--workers N] [--no-dnssec] [--duration SECS]
-//                  [--rrl RATE] [--quota BURST] [--selfcheck]
+// Usage: rootlessd [--port N] [--workers N] [--batch N] [--no-dnssec]
+//                  [--duration SECS] [--rrl RATE] [--quota BURST]
+//                  [--fast-lane=on|off] [--selfcheck]
 //   --port 0 (default) picks an ephemeral port and prints it.
+//   --batch N sets the recvmmsg/sendmmsg batch size (default 64).
+//   --fast-lane=off disables the zero-copy UDP answer lane (default on);
+//     misses and off both serve through the full pipeline.
 //   --duration 0 (default) serves until SIGINT/SIGTERM.
 //   --rrl RATE enables per-client response rate limiting (RATE UDP
 //     responses per second per client; one limiter shared across workers).
 //   --quota BURST sets the RRL bucket depth (default 2x the rate).
 //   --selfcheck starts the server, issues a UDP query and a full AXFR
-//     transfer against it through real sockets, verifies both, then floods
-//     the UDP port from one source to prove the rate limiter trips
+//     transfer against it through real sockets, verifies both, asserts the
+//     fast lane and the full pipeline serve byte-identical answers, then
+//     floods the UDP port from one source to prove the rate limiter trips
 //     (TC|REFUSED slips + silent drops), and exits — the CI smoke mode.
 
 #include <arpa/inet.h>
@@ -34,7 +39,9 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <vector>
 
 #include "crypto/dnssec.h"
 #include "dns/message.h"
@@ -126,11 +133,95 @@ bool UdpFloodProbe(std::uint16_t port, int count) {
   return answered < count && slipped > 0;
 }
 
+// One blocking round trip of a raw wire query; empty on timeout.
+util::Bytes UdpExchange(std::uint16_t port, const util::Bytes& query) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return {};
+  timeval tv{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ::sendto(fd, query.data(), query.size(), 0,
+           reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  std::uint8_t buffer[8192];
+  const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+  ::close(fd);
+  if (got <= 0) return {};
+  return util::Bytes(buffer, buffer + got);
+}
+
+// Selfcheck stage: two fresh single-worker frontends over the same zone,
+// fast lane on vs off, must serve byte-identical answers for a spread of
+// query shapes — each asked twice, so the second round hits the fast lane's
+// cached path on the "on" side.
+bool FastLaneParityCheck(net::SnapshotSource& source, bool dnssec) {
+  net::FrontendOptions base;
+  base.enable_tcp = false;
+  base.include_dnssec = dnssec;
+  net::FrontendOptions fast_options = base;
+  fast_options.fast_lane = true;
+  net::FrontendOptions slow_options = base;
+  slow_options.fast_lane = false;
+  net::DnsFrontend fast(source, fast_options);
+  net::DnsFrontend slow(source, slow_options);
+  if (!fast.Start().ok() || !slow.Start().ok()) return false;
+
+  std::vector<util::Bytes> corpus;
+  std::uint16_t id = 0x4000;
+  auto add = [&](std::string_view qname, dns::RRType type,
+                 std::uint16_t edns_payload) {
+    auto name = dns::Name::Parse(qname);
+    if (!name.ok()) return;
+    auto query = dns::MakeQuery(id++, *name, type);
+    if (edns_payload > 0) {
+      query.additional.push_back({dns::Name(), dns::RRType::kOPT,
+                                  static_cast<dns::RRClass>(edns_payload), 0,
+                                  dns::RawData{}});
+    }
+    corpus.push_back(dns::EncodeMessage(query));
+  };
+  add(".", dns::RRType::kNS, 1232);     // priming
+  add(".", dns::RRType::kDNSKEY, 4096); // apex key material
+  add(".", dns::RRType::kSOA, 0);
+  add("com.", dns::RRType::kNS, 0);     // >512 signed referral: TC
+  add("com.", dns::RRType::kNS, 1232);
+  add("www.org.", dns::RRType::kA, 0);
+  add("www.no-such-tld-zz.", dns::RRType::kA, 512);  // NXDOMAIN
+  add(".", dns::RRType::kAXFR, 0);      // REFUSED over UDP
+
+  bool ok = true;
+  for (int round = 0; round < 2 && ok; ++round) {
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      const util::Bytes from_fast = UdpExchange(fast.udp_port(), corpus[i]);
+      const util::Bytes from_slow = UdpExchange(slow.udp_port(), corpus[i]);
+      if (from_fast.empty() || from_fast != from_slow) {
+        std::fprintf(stderr,
+                     "rootlessd: fast/slow parity mismatch on query %zu "
+                     "round %d (%zu vs %zu bytes)\n",
+                     i, round, from_fast.size(), from_slow.size());
+        ok = false;
+      }
+    }
+  }
+  fast.Stop();
+  slow.Stop();
+  if (ok && fast.fast_lane_stats().hits == 0) {
+    std::fprintf(stderr,
+                 "rootlessd: parity check never hit the fast lane\n");
+    ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint16_t port = 0;
   int workers = 1;
+  int batch = 0;  // 0 = frontend default
+  bool fast_lane = true;
   bool dnssec = true;
   int duration_s = 0;
   bool selfcheck = false;
@@ -141,6 +232,18 @@ int main(int argc, char** argv) {
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
     if (arg == "--port") port = static_cast<std::uint16_t>(std::atoi(next()));
     else if (arg == "--workers") workers = std::atoi(next());
+    else if (arg == "--batch") batch = std::atoi(next());
+    else if (arg == "--fast-lane" || arg.rfind("--fast-lane=", 0) == 0) {
+      const std::string value =
+          arg == "--fast-lane" ? next() : arg.substr(std::strlen("--fast-lane="));
+      if (value == "on") fast_lane = true;
+      else if (value == "off") fast_lane = false;
+      else {
+        std::fprintf(stderr, "bad --fast-lane value: %s (want on|off)\n",
+                     value.c_str());
+        return 2;
+      }
+    }
     else if (arg == "--no-dnssec") dnssec = false;
     else if (arg == "--duration") duration_s = std::atoi(next());
     else if (arg == "--rrl") rrl_rate = static_cast<std::uint32_t>(std::atoi(next()));
@@ -171,6 +274,8 @@ int main(int argc, char** argv) {
   options.port = port;
   options.udp_workers = workers;
   options.include_dnssec = dnssec;
+  options.fast_lane = fast_lane;
+  if (batch > 0) options.batch = static_cast<std::size_t>(batch);
   if (rrl_rate > 0) {
     options.rrl = {.enabled = true, .rate = rrl_rate, .burst = rrl_burst,
                    .slip = 2, .buckets = 4096};
@@ -183,8 +288,10 @@ int main(int argc, char** argv) {
   std::printf("rootlessd: serving %s root zone (serial %u, %zu RRsets)\n",
               dnssec ? "signed" : "unsigned", root.Serial(),
               root.rrset_count());
-  std::printf("rootlessd: udp 127.0.0.1:%u  tcp 127.0.0.1:%u  workers %d\n",
-              frontend.udp_port(), frontend.tcp_port(), workers);
+  std::printf("rootlessd: udp 127.0.0.1:%u  tcp 127.0.0.1:%u  workers %d  "
+              "batch %zu  fast-lane %s\n",
+              frontend.udp_port(), frontend.tcp_port(), workers,
+              options.batch, fast_lane ? "on" : "off");
   std::printf("rootlessd: try  dig @127.0.0.1 -p %u com NS\n",
               frontend.udp_port());
   if (rrl_rate > 0) {
@@ -204,6 +311,12 @@ int main(int argc, char** argv) {
       ok = false;
     } else if (!(*fetched)->SameContent(*source.Get())) {
       std::fprintf(stderr, "rootlessd: AXFR selfcheck content mismatch\n");
+      ok = false;
+    }
+    // Fast/slow parity: the zero-copy lane must be answer-indistinguishable
+    // from the full pipeline, through real sockets.
+    if (!FastLaneParityCheck(source, dnssec)) {
+      std::fprintf(stderr, "rootlessd: fast-lane parity selfcheck failed\n");
       ok = false;
     }
     // Flood probe: well past rate+burst from a single client identity, so

@@ -219,10 +219,9 @@ NameView Name::SuffixView(std::size_t n) const {
 }
 
 std::size_t NameView::Hash() const {
-  // Same recurrence and 0 -> 1 remap as Name::ComputeHash, so a view probe
-  // lands on the same hash bucket as the owning entry it is compared to.
-  const std::uint64_t h = util::simd::HashFold(data_, size_);
-  return static_cast<std::size_t>(h == 0 ? 1 : h);
+  // Shared definition (util::simd::NameHash) with Name::ComputeHash, so a
+  // view probe lands on the same hash bucket as the owning entry.
+  return static_cast<std::size_t>(util::simd::NameHash(data_, size_));
 }
 
 bool operator==(const Name& a, const NameView& b) {
@@ -323,12 +322,11 @@ std::string Name::ToString() const {
 
 std::uint64_t Name::ComputeHash() const {
   // Case-folded wide hash over the flattened buffer (length octets included,
-  // so sibling label sequences like (a)(bc) vs (ab)(c) hash apart). A
-  // computed 0 is remapped to 1: 0 means "not yet computed" in the cache
-  // slot. Backends (SSE2/NEON/scalar) produce identical values — see
-  // util/simd.h.
-  const std::uint64_t h = util::simd::HashFold(data(), size_);
-  return h == 0 ? 1 : h;
+  // so sibling label sequences like (a)(bc) vs (ab)(c) hash apart), with the
+  // 0 -> 1 remap: 0 means "not yet computed" in the cache slot. The shared
+  // definition lives in util::simd::NameHash — backends (SSE2/NEON/scalar)
+  // and raw-wire probes all produce identical values.
+  return util::simd::NameHash(data(), size_);
 }
 
 }  // namespace rootless::dns

@@ -1,0 +1,106 @@
+// Shallow wire probe for the UDP answer fast lane.
+//
+// ShallowParseQuery() proves — without constructing a dns::Message — that a
+// raw datagram is a query the answer cache could have memoized: header says
+// plain QUERY (qr=0, opcode=0), exactly one question, no answer/authority
+// records, at most one additional record which must be a minimal OPT (root
+// owner, RDLEN 0), qclass IN, an uncompressed qname within DNS length
+// limits, and no trailing bytes (DecodeMessage treats trailing garbage as
+// corruption, so accepting it here would answer what the pipeline FORMERRs).
+// Anything else returns false and the caller falls back to the full
+// Screen -> RRL -> AnswerCache -> SnapshotAnswer pipeline; the contract is
+// deliberately conservative — a false "no" only costs speed, a false "yes"
+// would break byte-parity with the slow path.
+//
+// The parse borrows spans straight out of the receive ring: `qname` is the
+// flat (length,label)* run exactly as dns::Name::flat() stores it (no
+// trailing root octet, original case preserved), so
+// util::simd::NameHash(qname) equals the owning Name::Hash() and the
+// question bytes can be echoed verbatim into a response.
+//
+// Fields the parse deliberately ignores, because the pipeline ignores them
+// too: header byte 3 (ra/z/ad/cd/rcode — responses overwrite all of them)
+// and the OPT TTL (extended-rcode/version/DO — nothing downstream reads it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "dns/types.h"
+
+namespace rootless::dns {
+
+struct WireProbe {
+  std::uint16_t id = 0;
+  std::uint8_t flags_hi = 0;  // raw header byte 2: qr|opcode|aa|tc|rd
+  bool tc = false;
+  bool rd = false;
+  std::span<const std::uint8_t> qname;     // flat labels, no trailing root
+  std::span<const std::uint8_t> question;  // qname + root + qtype + qclass
+  RRType qtype = RRType::kA;
+  bool has_opt = false;
+  std::uint16_t opt_payload = 0;  // OPT CLASS field (requestor UDP size)
+};
+
+// True iff `d` satisfies the fast-lane contract above; `out` is then filled
+// with borrowed views into `d` (valid only while the datagram buffer is).
+inline bool ShallowParseQuery(std::span<const std::uint8_t> d,
+                              WireProbe& out) {
+  // Header + root qname + qtype + qclass is the shortest parseable query.
+  if (d.size() < 12 + 1 + 4) return false;
+  const std::uint8_t flags_hi = d[2];
+  if (flags_hi & 0x80) return false;  // qr set: a response, never answered
+  if (flags_hi & 0x78) return false;  // opcode != QUERY (screen says NOTIMP)
+  const auto u16 = [&d](std::size_t i) {
+    return static_cast<std::uint16_t>((d[i] << 8) | d[i + 1]);
+  };
+  if (u16(4) != 1) return false;                 // qdcount
+  if (u16(6) != 0 || u16(8) != 0) return false;  // ancount / nscount
+  const std::uint16_t arcount = u16(10);
+  if (arcount > 1) return false;
+
+  // qname: plain labels only — a compression pointer or extended label type
+  // (top bits of the length octet) punts to the full decoder.
+  std::size_t pos = 12;
+  const std::size_t qname_start = pos;
+  for (;;) {
+    if (pos >= d.size()) return false;
+    const std::uint8_t len = d[pos];
+    if (len == 0) break;
+    if (len & 0xC0) return false;
+    pos += 1 + len;
+    if (pos - qname_start > 254) return false;  // Name::kMaxFlatBytes
+  }
+  out.qname = d.subspan(qname_start, pos - qname_start);
+  ++pos;  // the root octet
+  if (pos + 4 > d.size()) return false;
+  out.qtype = static_cast<RRType>(u16(pos));
+  if (u16(pos + 2) != 1) return false;  // qclass != IN (screen says REFUSED)
+  pos += 4;
+  out.question = d.subspan(qname_start, pos - qname_start);
+
+  out.has_opt = false;
+  out.opt_payload = 0;
+  if (arcount == 1) {
+    // The single additional record must be a minimal OPT: root owner, type
+    // 41, RDLEN 0. Non-empty RDATA (EDNS options — cookies, NSID) or any
+    // other record type could shape the response, so those fall back.
+    if (pos + 11 > d.size()) return false;
+    if (d[pos] != 0) return false;                      // owner must be root
+    if (u16(pos + 1) != 41) return false;               // type OPT
+    out.opt_payload = u16(pos + 3);                     // CLASS = payload
+    if (u16(pos + 9) != 0) return false;                // RDLEN
+    pos += 11;
+    out.has_opt = true;
+  }
+  if (pos != d.size()) return false;  // trailing bytes: pipeline FORMERRs
+
+  out.id = u16(0);
+  out.flags_hi = flags_hi;
+  out.tc = (flags_hi & 0x02) != 0;
+  out.rd = (flags_hi & 0x01) != 0;
+  return true;
+}
+
+}  // namespace rootless::dns

@@ -1,19 +1,28 @@
-// Minimal non-blocking epoll event loop.
+// Minimal non-blocking event loop behind one seam, two backends.
 //
 // One loop per serving thread: fds register a handler for readiness events,
-// PollOnce() waits and dispatches one epoll batch, Run() loops until Stop().
-// Stop() is the only cross-thread entry point (it writes an eventfd to wake
-// a blocked epoll_wait); everything else — Add/Modify/Remove, the handlers —
-// runs on the polling thread, which is what keeps the servers lock-free.
+// PollOnce() waits and dispatches one batch, Run() loops until Stop().
+// Stop() is the only cross-thread entry point (it wakes a blocked wait via
+// an eventfd); everything else — Add/Modify/Remove, the handlers — runs on
+// the polling thread, which is what keeps the servers lock-free.
 //
 // Handlers may Add/Remove fds (including their own) during dispatch: the
 // loop re-checks registration per event, so a handler that tears down a
 // sibling fd mid-batch just causes the sibling's stale event to be skipped.
+//
+// Backends:
+//   * EpollLoop — epoll_wait, level-triggered. The default, CI-verified.
+//   * io_uring  — oneshot POLL_ADD readiness (compiled only with
+//     -DROOTLESS_IOURING; see event_loop_uring.cc). Same handler contract:
+//     a oneshot poll re-armed after dispatch behaves level-triggered.
+// Create() picks a backend and falls back to epoll when the requested one
+// is unavailable (not compiled in, or the kernel refuses io_uring_setup).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -25,46 +34,92 @@ namespace rootless::net {
 
 class EventLoop {
  public:
-  // `events` is the epoll event mask (EPOLLIN | EPOLLOUT | ...).
+  // `events` is the epoll event mask (EPOLLIN | EPOLLOUT | ...). The
+  // io_uring backend translates it to the equivalent poll mask (the bits
+  // coincide for IN/OUT/ERR/HUP).
   using FdHandler = std::function<void(std::uint32_t events)>;
 
-  EventLoop();
-  ~EventLoop();
+  enum class Backend { kEpoll, kUring };
+
+  virtual ~EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
-  // False if epoll/eventfd creation failed (construction error state).
-  bool ok() const { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
+  // False if backend resource creation failed (construction error state).
+  virtual bool ok() const = 0;
+  virtual Backend backend() const = 0;
 
   // Registers `fd` for `events`; the handler fires with the ready mask.
   // The caller keeps ownership of the fd.
-  util::Status Add(int fd, std::uint32_t events, FdHandler handler);
+  virtual util::Status Add(int fd, std::uint32_t events, FdHandler handler) = 0;
   // Changes the interest mask of a registered fd.
-  util::Status Modify(int fd, std::uint32_t events);
+  virtual util::Status Modify(int fd, std::uint32_t events) = 0;
   // Unregisters; pending events for the fd in the current batch are skipped.
-  void Remove(int fd);
+  virtual void Remove(int fd) = 0;
 
   // Waits up to `timeout_ms` (-1 = forever) and dispatches one batch.
   // Returns the number of events dispatched (0 on timeout), -1 on error.
-  int PollOnce(int timeout_ms);
+  virtual int PollOnce(int timeout_ms) = 0;
+
+  virtual std::size_t fd_count() const = 0;
 
   // Dispatches until Stop(). Equivalent to `while (!stopped) PollOnce(-1)`.
-  void Run();
+  void Run() {
+    stop_.store(false, std::memory_order_relaxed);
+    while (!stop_.load(std::memory_order_relaxed)) {
+      if (PollOnce(-1) < 0) break;
+    }
+  }
 
   // Thread-safe: wakes a blocked PollOnce and makes Run() return. The next
   // Run() call serves again (the flag resets on entry).
-  void Stop();
+  void Stop() {
+    stop_.store(true, std::memory_order_relaxed);
+    Wake();
+  }
 
-  std::size_t fd_count() const { return handlers_.size(); }
+  // Backend factory. kUring silently degrades to epoll when the uring
+  // backend is not compiled in or its setup fails — callers get a working
+  // loop either way and can inspect backend() to see what they got.
+  static std::unique_ptr<EventLoop> Create(Backend backend = Backend::kEpoll);
+
+ protected:
+  EventLoop() = default;
+
+  // Cross-thread wakeup primitive for Stop() (both backends use an eventfd).
+  virtual void Wake() = 0;
+
+  std::atomic<bool> stop_{false};
+};
+
+// The epoll backend — the default and the reference behaviour.
+class EpollLoop final : public EventLoop {
+ public:
+  EpollLoop();
+  ~EpollLoop() override;
+
+  bool ok() const override { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
+  Backend backend() const override { return Backend::kEpoll; }
+
+  util::Status Add(int fd, std::uint32_t events, FdHandler handler) override;
+  util::Status Modify(int fd, std::uint32_t events) override;
+  void Remove(int fd) override;
+  int PollOnce(int timeout_ms) override;
+  std::size_t fd_count() const override { return handlers_.size(); }
 
  private:
+  void Wake() override;
   void DrainWake();
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
-  std::atomic<bool> stop_{false};
   std::unordered_map<int, FdHandler> handlers_;
   std::vector<struct ::epoll_event> events_;  // dispatch scratch
 };
+
+#if defined(ROOTLESS_IOURING) && ROOTLESS_IOURING
+// Defined in event_loop_uring.cc; nullptr if io_uring_setup fails.
+std::unique_ptr<EventLoop> MakeUringLoop();
+#endif
 
 }  // namespace rootless::net

@@ -1,0 +1,331 @@
+// io_uring backend for net::EventLoop (opt-in: -DROOTLESS_IOURING).
+//
+// Readiness model, not completion model: each registered fd keeps a oneshot
+// IORING_OP_POLL_ADD in flight; when it completes, the handler runs with the
+// ready mask and the poll is re-armed — behaviourally level-triggered, like
+// the epoll backend. No liburing: the SQ/CQ rings are mmap()ed and driven
+// with raw io_uring_setup/io_uring_enter syscalls, so the backend builds on
+// the container's stock kernel headers alone.
+//
+// Registration changes race with in-flight polls, so every registration
+// carries a generation: user_data = (gen << 32) | fd. Modify/Remove bump the
+// generation and queue a POLL_REMOVE for the old one; a completion whose
+// generation no longer matches the table is stale and is skipped. The
+// Stop() wakeup is an eventfd under a permanently re-armed poll, same as
+// epoll's.
+#if defined(ROOTLESS_IOURING) && ROOTLESS_IOURING
+
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+#include <sys/eventfd.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "net/event_loop.h"
+
+namespace rootless::net {
+
+namespace {
+
+int UringSetup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int UringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+               unsigned flags, const void* arg, std::size_t argsz) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, arg, argsz));
+}
+
+constexpr unsigned kSqEntries = 256;
+// user_data of fire-and-forget POLL_REMOVE sqes; their completions carry no
+// registration and are dropped.
+constexpr std::uint64_t kCancelUserData = ~0ULL;
+
+class UringLoop final : public EventLoop {
+ public:
+  UringLoop() {
+    io_uring_params params{};
+    ring_fd_ = UringSetup(kSqEntries, &params);
+    if (ring_fd_ < 0) return;
+
+    sq_size_ = params.sq_off.array + params.sq_entries * sizeof(std::uint32_t);
+    cq_size_ = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap && cq_size_ > sq_size_) sq_size_ = cq_size_;
+    sq_ptr_ = ::mmap(nullptr, sq_size_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ptr_ == MAP_FAILED) {
+      sq_ptr_ = nullptr;
+      return;
+    }
+    if (single_mmap) {
+      cq_ptr_ = sq_ptr_;
+    } else {
+      cq_ptr_ = ::mmap(nullptr, cq_size_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+      if (cq_ptr_ == MAP_FAILED) {
+        cq_ptr_ = nullptr;
+        return;
+      }
+    }
+    sqes_size_ = params.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, sqes_size_, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      sqes_ = nullptr;
+      return;
+    }
+
+    auto* sq_base = static_cast<std::uint8_t*>(sq_ptr_);
+    sq_khead_ = reinterpret_cast<std::atomic<std::uint32_t>*>(
+        sq_base + params.sq_off.head);
+    sq_ktail_ = reinterpret_cast<std::atomic<std::uint32_t>*>(
+        sq_base + params.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<std::uint32_t*>(sq_base + params.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<std::uint32_t*>(sq_base + params.sq_off.array);
+    sq_entries_ = params.sq_entries;
+
+    auto* cq_base = static_cast<std::uint8_t*>(cq_ptr_);
+    cq_khead_ = reinterpret_cast<std::atomic<std::uint32_t>*>(
+        cq_base + params.cq_off.head);
+    cq_ktail_ = reinterpret_cast<std::atomic<std::uint32_t>*>(
+        cq_base + params.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<std::uint32_t*>(cq_base + params.cq_off.ring_mask);
+    cqes_ring_ = reinterpret_cast<io_uring_cqe*>(cq_base + params.cq_off.cqes);
+
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd_ < 0) return;
+    mapped_ = true;
+    ArmPoll(wake_fd_, /*events=*/0x001 /*POLLIN*/, /*gen=*/0);
+    SubmitPending();
+  }
+
+  ~UringLoop() override {
+    if (sqes_ != nullptr) ::munmap(sqes_, sqes_size_);
+    if (cq_ptr_ != nullptr && cq_ptr_ != sq_ptr_) ::munmap(cq_ptr_, cq_size_);
+    if (sq_ptr_ != nullptr) ::munmap(sq_ptr_, sq_size_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  bool ok() const override { return ring_fd_ >= 0 && wake_fd_ >= 0 && mapped_; }
+  Backend backend() const override { return Backend::kUring; }
+
+  util::Status Add(int fd, std::uint32_t events, FdHandler handler) override {
+    Registration& reg = regs_[fd];
+    reg.handler = std::move(handler);
+    reg.events = events;
+    reg.gen = ++gen_counter_;
+    if (!ArmPoll(fd, events, reg.gen)) {
+      regs_.erase(fd);
+      return util::Error(ErrorCode::kUnavailable, "io_uring: sq full on add");
+    }
+    SubmitPending();
+    return util::Status::Ok();
+  }
+
+  util::Status Modify(int fd, std::uint32_t events) override {
+    auto it = regs_.find(fd);
+    if (it == regs_.end()) {
+      return util::Error(ErrorCode::kUnavailable, "io_uring mod: unknown fd");
+    }
+    QueueCancel(UserData(fd, it->second.gen));
+    it->second.events = events;
+    it->second.gen = ++gen_counter_;
+    if (!ArmPoll(fd, events, it->second.gen)) {
+      return util::Error(ErrorCode::kUnavailable, "io_uring: sq full on mod");
+    }
+    SubmitPending();
+    return util::Status::Ok();
+  }
+
+  void Remove(int fd) override {
+    auto it = regs_.find(fd);
+    if (it == regs_.end()) return;
+    QueueCancel(UserData(fd, it->second.gen));
+    regs_.erase(it);
+    SubmitPending();
+  }
+
+  int PollOnce(int timeout_ms) override {
+    SubmitPending();
+    if (CqReady() == 0 && timeout_ms != 0) {
+      unsigned flags = IORING_ENTER_GETEVENTS;
+      io_uring_getevents_arg arg{};
+      __kernel_timespec ts{};
+      const void* argp = nullptr;
+      std::size_t argsz = 0;
+      if (timeout_ms > 0) {
+        ts.tv_sec = timeout_ms / 1000;
+        ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000;
+        arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+        argp = &arg;
+        argsz = sizeof(arg);
+        flags |= IORING_ENTER_EXT_ARG;
+      }
+      const int r = UringEnter(ring_fd_, 0, 1, flags, argp, argsz);
+      if (r < 0 && errno != ETIME && errno != EINTR && errno != EAGAIN &&
+          errno != EBUSY) {
+        return -1;
+      }
+    }
+    int dispatched = 0;
+    std::uint32_t head = cq_khead_->load(std::memory_order_relaxed);
+    const std::uint32_t tail = cq_ktail_->load(std::memory_order_acquire);
+    while (head != tail) {
+      const io_uring_cqe& cqe = cqes_ring_[head & cq_mask_];
+      const std::uint64_t user_data = cqe.user_data;
+      const int res = cqe.res;
+      ++head;
+      // Release the CQ slot before dispatch: the handler's re-arms may need
+      // the kernel to post again.
+      cq_khead_->store(head, std::memory_order_release);
+      dispatched += Dispatch(user_data, res);
+    }
+    SubmitPending();  // re-arms and cancels queued during dispatch
+    return dispatched;
+  }
+
+  std::size_t fd_count() const override { return regs_.size(); }
+
+ private:
+  struct Registration {
+    FdHandler handler;
+    std::uint32_t events = 0;
+    std::uint32_t gen = 0;
+  };
+
+  static std::uint64_t UserData(int fd, std::uint32_t gen) {
+    return (static_cast<std::uint64_t>(gen) << 32) |
+           static_cast<std::uint32_t>(fd);
+  }
+
+  void Wake() override {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+
+  std::uint32_t CqReady() const {
+    return cq_ktail_->load(std::memory_order_acquire) -
+           cq_khead_->load(std::memory_order_relaxed);
+  }
+
+  io_uring_sqe* GetSqe() {
+    if (pending_tail_ - sq_khead_->load(std::memory_order_acquire) >=
+        sq_entries_) {
+      SubmitPending();
+      if (pending_tail_ - sq_khead_->load(std::memory_order_acquire) >=
+          sq_entries_) {
+        return nullptr;
+      }
+    }
+    const std::uint32_t idx = pending_tail_ & sq_mask_;
+    io_uring_sqe* sqe = &sqes_[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sq_array_[idx] = idx;
+    ++pending_tail_;
+    return sqe;
+  }
+
+  void SubmitPending() {
+    if (pending_tail_ == submitted_) return;
+    sq_ktail_->store(pending_tail_, std::memory_order_release);
+    const unsigned n = pending_tail_ - submitted_;
+    const int r = UringEnter(ring_fd_, n, 0, 0, nullptr, 0);
+    submitted_ += r > 0 ? static_cast<unsigned>(r) : n;
+  }
+
+  bool ArmPoll(int fd, std::uint32_t events, std::uint32_t gen) {
+    io_uring_sqe* sqe = GetSqe();
+    if (sqe == nullptr) return false;
+    sqe->opcode = IORING_OP_POLL_ADD;
+    sqe->fd = fd;
+    // epoll and poll share the IN/OUT/ERR/HUP bit values, so the mask
+    // passes through.
+    sqe->poll32_events = events;
+    sqe->user_data = UserData(fd, gen);
+    return true;
+  }
+
+  void QueueCancel(std::uint64_t user_data) {
+    io_uring_sqe* sqe = GetSqe();
+    if (sqe == nullptr) return;  // worst case: a stale completion, skipped
+    sqe->opcode = IORING_OP_POLL_REMOVE;
+    sqe->addr = user_data;
+    sqe->user_data = kCancelUserData;
+  }
+
+  // Returns 1 when a user handler ran (PollOnce's dispatch count).
+  int Dispatch(std::uint64_t user_data, int res) {
+    if (user_data == kCancelUserData) return 0;
+    const int fd = static_cast<int>(user_data & 0xFFFFFFFFu);
+    const auto gen = static_cast<std::uint32_t>(user_data >> 32);
+    if (fd == wake_fd_) {
+      std::uint64_t value = 0;
+      while (::read(wake_fd_, &value, sizeof(value)) > 0) {
+      }
+      ArmPoll(wake_fd_, 0x001 /*POLLIN*/, 0);
+      return 0;
+    }
+    auto it = regs_.find(fd);
+    if (it == regs_.end() || it->second.gen != gen) return 0;  // stale
+    if (res < 0) {
+      // Spurious poll error (ECANCELED from an unmatched remove, transient
+      // kernel refusal): keep the registration alive.
+      ArmPoll(fd, it->second.events, gen);
+      return 0;
+    }
+    it->second.handler(static_cast<std::uint32_t>(res));
+    // The handler may have modified or removed its own registration.
+    auto again = regs_.find(fd);
+    if (again != regs_.end() && again->second.gen == gen) {
+      ArmPoll(fd, again->second.events, gen);
+    }
+    return 1;
+  }
+
+  int ring_fd_ = -1;
+  int wake_fd_ = -1;
+  bool mapped_ = false;
+  void* sq_ptr_ = nullptr;
+  void* cq_ptr_ = nullptr;
+  std::size_t sq_size_ = 0;
+  std::size_t cq_size_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sqes_size_ = 0;
+
+  std::atomic<std::uint32_t>* sq_khead_ = nullptr;
+  std::atomic<std::uint32_t>* sq_ktail_ = nullptr;
+  std::uint32_t sq_mask_ = 0;
+  std::uint32_t sq_entries_ = 0;
+  std::uint32_t* sq_array_ = nullptr;
+  std::uint32_t pending_tail_ = 0;  // local tail: queued but maybe unsubmitted
+  std::uint32_t submitted_ = 0;
+
+  std::atomic<std::uint32_t>* cq_khead_ = nullptr;
+  std::atomic<std::uint32_t>* cq_ktail_ = nullptr;
+  std::uint32_t cq_mask_ = 0;
+  io_uring_cqe* cqes_ring_ = nullptr;
+
+  std::uint32_t gen_counter_ = 0;
+  std::unordered_map<int, Registration> regs_;
+};
+
+}  // namespace
+
+std::unique_ptr<EventLoop> MakeUringLoop() {
+  auto loop = std::make_unique<UringLoop>();
+  if (!loop->ok()) return nullptr;
+  return loop;
+}
+
+}  // namespace rootless::net
+
+#endif  // ROOTLESS_IOURING

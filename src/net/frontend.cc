@@ -42,9 +42,10 @@ util::Status DnsFrontend::Start() {
     auto worker = std::make_unique<Worker>();
     worker->registry = std::make_unique<obs::Registry>();
     worker->registry->set_instance_namespace("w" + std::to_string(i) + ".");
-    worker->loop = std::make_unique<EventLoop>();
+    worker->loop = EventLoop::Create(options_.loop_backend);
     if (!worker->loop->ok()) {
-      return util::Error(ErrorCode::kUnavailable, "frontend: epoll failed");
+      return util::Error(ErrorCode::kUnavailable,
+                         "frontend: event loop setup failed");
     }
 
     UdpServer::Options udp_options;
@@ -53,6 +54,7 @@ util::Status DnsFrontend::Start() {
     udp_options.port = i == 0 ? options_.port : udp_port_;
     udp_options.reuse_port = worker_count > 1;
     udp_options.batch = options_.batch;
+    udp_options.segmentation_offload = options_.segmentation_offload;
     udp_options.registry = worker->registry.get();
     auto udp = UdpServer::Bind(*worker->loop, udp_options);
     if (!udp.ok()) return udp.error();
@@ -62,6 +64,18 @@ util::Status DnsFrontend::Start() {
     auth_options.registry = worker->registry.get();
     worker->auth = std::make_unique<rootsrv::AuthServer>(
         worker->udp.get(), snapshot, auth_options);
+    if (options_.fast_lane) {
+      // The zero-copy lane: the UdpServer offers each raw datagram to the
+      // AuthServer before paying the Packet copy; only misses take the
+      // handler registered above.
+      rootsrv::AuthServer* auth = worker->auth.get();
+      worker->udp->SetFastLane(
+          [auth](std::span<const std::uint8_t> datagram, std::uint64_t client,
+                 std::uint8_t* out, std::size_t capacity,
+                 std::size_t& out_size) {
+            return auth->TryFastLane(datagram, client, out, capacity, out_size);
+          });
+    }
 
     if (i == 0 && options_.enable_tcp) {
       TcpServer::Options tcp_options;
@@ -176,6 +190,20 @@ rootsrv::AuthServerStats DnsFrontend::stats() const {
       total.bytes_in += s.bytes_in;
       total.bytes_out += s.bytes_out;
     }
+  }
+  return total;
+}
+
+rootsrv::FastLaneStats DnsFrontend::fast_lane_stats() const {
+  rootsrv::FastLaneStats total;
+  for (const auto& worker : workers_) {
+    if (worker->auth == nullptr) continue;
+    const rootsrv::FastLaneStats s = worker->auth->fast_lane_stats();
+    total.hits += s.hits;
+    total.parse_fallbacks += s.parse_fallbacks;
+    total.cache_misses += s.cache_misses;
+    total.slips += s.slips;
+    total.drops += s.drops;
   }
   return total;
 }

@@ -90,6 +90,19 @@ struct FrontendOptions {
   // multi-homed attacker must not get per-worker budgets). TCP is exempt by
   // design: slipped clients retry there.
   rootsrv::RrlConfig rrl;
+  // Zero-copy UDP fast lane (AuthServer::TryFastLane wired into each
+  // worker's UdpServer): answer-cache hits are served straight from the
+  // receive ring into the transmit ring, misses fall back to the full
+  // pipeline byte-identically. On by default; off = the pipeline serves
+  // everything (the parity baseline).
+  bool fast_lane = true;
+  // UDP GSO/GRO on the worker sockets (see UdpServer::Options). Off forces
+  // plain per-datagram syscalls AND strict FIFO response order — the fuzz
+  // parity tests rely on that ordering to pair responses with probes.
+  bool segmentation_offload = true;
+  // Event-loop backend per worker. kUring degrades to epoll when not
+  // compiled in (see EventLoop::Create).
+  EventLoop::Backend loop_backend = EventLoop::Backend::kEpoll;
   obs::Registry* registry = nullptr;  // merge target at Stop (default: global)
 };
 
@@ -118,6 +131,9 @@ class DnsFrontend {
   // The shared rate limiter, nullptr when RRL is off. Its decision totals
   // are safe to read while serving (atomics).
   const rootsrv::ResponseRateLimiter* rrl() const { return rrl_.get(); }
+  // Aggregated fast-lane stats (sums the UDP workers; same caveat as
+  // stats()). All zero when the fast lane is disabled.
+  rootsrv::FastLaneStats fast_lane_stats() const;
 
  private:
   struct Worker {

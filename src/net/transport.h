@@ -36,6 +36,16 @@ using EndpointId = std::uint32_t;
 // than a locally registered endpoint.
 inline constexpr EndpointId kRemoteEndpointBit = 0x8000'0000u;
 
+// Outcome of a fast-lane attempt on one raw datagram (see
+// UdpServer::SetFastLane / rootsrv::AuthServer::TryFastLane). kMiss means
+// the attempt had no side effects and the datagram must take the normal
+// handler path; the other two are final.
+enum class FastVerdict {
+  kMiss,       // not provably servable: fall back to the full pipeline
+  kResponded,  // response written into the caller's buffer
+  kDropped,    // deliberate silence (rate-limit drop)
+};
+
 // One unit of delivery: a datagram on UDP / the simulator, one
 // length-prefixed DNS message on TCP.
 struct Packet {

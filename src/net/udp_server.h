@@ -23,7 +23,9 @@
 #include <netinet/in.h>
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,10 +46,29 @@ class UdpServer final : public Transport {
     std::uint16_t port = 0;  // 0 = kernel-assigned ephemeral port
     // Allow multiple sockets on the port (SO_REUSEPORT worker fleets).
     bool reuse_port = false;
-    std::size_t batch = 64;        // datagrams per recvmmsg/sendmmsg
+    std::size_t batch = 64;        // datagrams per recvmmsg/sendmmsg (max)
     std::size_t rx_buffer = 4096;  // per-datagram receive capacity
+    // UDP GSO/GRO (Linux ≥4.18): receive coalesced same-size datagram
+    // trains in one ring entry (UDP_GRO) and transmit same-destination,
+    // same-size response runs as one segmented send (UDP_SEGMENT cmsg) —
+    // one kernel traversal per train instead of per datagram, which is
+    // where a single-core loopback serving path spends ~90% of its cycles.
+    // Probed at Bind(); silently degrades to plain datagrams when the
+    // kernel refuses the socket options. Wire-transparent either way: the
+    // peer sees ordinary UDP datagrams.
+    bool segmentation_offload = true;
     obs::Registry* registry = nullptr;  // nullptr = process default
   };
+
+  // Fast-lane hook, tried on each raw datagram before the Packet handler:
+  // the callee may write a response straight into `out` (a preallocated
+  // transmit-ring slot of `capacity` bytes) and return kResponded, decide
+  // on silence (kDropped), or return kMiss with no side effects — the
+  // datagram then takes the normal copy-into-Packet handler path. See
+  // rootsrv::AuthServer::TryFastLane for the serving implementation.
+  using FastHandler = std::function<FastVerdict(
+      std::span<const std::uint8_t> datagram, std::uint64_t client,
+      std::uint8_t* out, std::size_t capacity, std::size_t& out_size)>;
 
   // Creates the socket, binds, registers on the loop. The loop must outlive
   // the server.
@@ -65,11 +86,26 @@ class UdpServer final : public Transport {
   // `dst` must be a remote endpoint id previously seen as a packet source.
   void Send(EndpointId src, EndpointId dst, util::Bytes payload) override;
 
+  // Installs (or clears, with nullptr) the zero-copy fast lane. When set,
+  // each datagram is offered to the handler first; only misses pay the
+  // Packet copy + full handler. Skipped automatically while the transmit
+  // ring is out of slots or the queue is at its backpressure bound — the
+  // slow path then provides the (counted) drop behaviour.
+  void SetFastLane(FastHandler handler) { fast_handler_ = std::move(handler); }
+
   // Force out any queued responses (normally automatic).
   void Flush();
 
+  // Current adaptive receive batch size (grows toward Options::batch under
+  // sustained load, shrinks when the socket drains); exposed for tests.
+  std::size_t rx_batch_now() const { return rx_batch_now_; }
+
  private:
   UdpServer(EventLoop& loop, Options options);
+
+  // Sizes every ring; called from Bind() after the GSO/GRO socket-option
+  // probe (GRO entries need 64KB buffers, plain ones only rx_buffer).
+  void InitRings();
 
   void OnReadable();
   void OnWritable();
@@ -79,12 +115,23 @@ class UdpServer final : public Transport {
   void FlushTx();
   void UpdateInterest(bool want_writable);
 
+  // Hands out the next free transmit-ring slot (nullptr when the ring or
+  // the tx queue is full); CommitTxSlot turns it into a queued response.
+  std::uint8_t* AcquireTxSlot();
+  void CommitTxSlot(const sockaddr_in& addr, std::size_t size);
+
   EventLoop& loop_;
   Options options_;
   int fd_ = -1;
   std::uint16_t port_ = 0;
   ReceiveHandler handler_;
   bool handler_set_ = false;
+  FastHandler fast_handler_;
+
+  // Feeds one wire datagram (either a whole ring entry or one GRO segment)
+  // through the fast lane and, on a miss, the Packet handler.
+  void DeliverDatagram(const std::uint8_t* data, std::size_t size,
+                       const sockaddr_in& src);
 
   // Rotating source-address ring backing remote endpoint ids.
   static constexpr std::size_t kPeerSlots = 1024;  // power of two
@@ -96,18 +143,54 @@ class UdpServer final : public Transport {
   std::vector<struct ::iovec> rx_iovs_;
   std::vector<sockaddr_in> rx_addrs_;
   util::Bytes rx_buffers_;  // batch × rx_buffer contiguous block
+  util::Bytes rx_ctrl_;     // batch × kCtrlBytes cmsg space (UDP_GRO size)
   Packet rx_packet_;        // reused delivery packet (payload reassigned)
+  bool gro_on_ = false;     // UDP_GRO accepted at Bind
+  bool gso_on_ = false;     // UDP_SEGMENT accepted at Bind
+  static constexpr std::size_t kCtrlBytes = 64;
+  // Adaptive receive batch: recvmmsg asks for this many (≤ options_.batch).
+  // Doubles when a batch comes back full, halves when one comes back nearly
+  // empty — light load keeps the per-batch bookkeeping proportional to the
+  // traffic, floods get the full ring.
+  std::size_t rx_batch_now_ = 0;
+  static constexpr std::size_t kMinRxBatch = 8;
 
-  // Transmit queue + scatter arrays for sendmmsg.
+  // Transmit queue + scatter arrays for sendmmsg. An entry either owns its
+  // payload (slow path) or borrows a transmit-ring slot the fast lane wrote
+  // in place (slot != kNoTxSlot; the ring byte block is tx_slots_).
   struct TxEntry {
     sockaddr_in addr;
     util::Bytes payload;
+    std::uint32_t slot = kNoTxSlot;
+    std::uint32_t len = 0;
+    const std::uint8_t* data(const util::Bytes& ring_bytes,
+                             std::size_t slot_bytes) const {
+      return slot == kNoTxSlot ? payload.data()
+                               : ring_bytes.data() + slot * slot_bytes;
+    }
+    std::size_t size() const { return slot == kNoTxSlot ? payload.size() : len; }
   };
+  static constexpr std::uint32_t kNoTxSlot = 0xFFFFFFFFu;
+  // Queued responses per sendmmsg flush. batch without GSO; deeper with it,
+  // because the size sort inside FlushTx builds longer trains from a larger
+  // pending window (the whole window still leaves in one syscall round).
+  std::size_t flush_threshold_ = 0;
   std::vector<TxEntry> tx_queue_;
   std::size_t tx_head_ = 0;  // already-sent prefix
   std::vector<struct ::mmsghdr> tx_msgs_;
   std::vector<struct ::iovec> tx_iovs_;
   bool want_writable_ = false;
+  // Per-train control space for the UDP_SEGMENT cmsg (batch trains max).
+  util::Bytes tx_ctrl_;
+  // Entry count of each train built by the current FlushTx round.
+  std::vector<std::uint32_t> train_sizes_;
+  // Fast-lane transmit ring: tx_slot_count_ preallocated response buffers of
+  // rx_buffer bytes each, managed as a free-list stack — the GSO flush path
+  // reorders entries within a batch, so release order is arbitrary.
+  util::Bytes tx_slots_;
+  std::size_t tx_slot_count_ = 0;
+  std::size_t tx_slot_bytes_ = 0;
+  std::vector<std::uint32_t> tx_free_slots_;
   // Backpressure bound: beyond this many queued responses, new ones drop
   // (counted) — a full socket buffer must not grow the heap without bound.
   static constexpr std::size_t kMaxTxQueue = 4096;

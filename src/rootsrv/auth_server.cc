@@ -1,11 +1,25 @@
 #include "rootsrv/auth_server.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <utility>
+
+#include "dns/wire_probe.h"
+#include "util/simd.h"
 
 namespace rootless::rootsrv {
 
 using dns::Message;
+
+void FastLaneCounters::Register(obs::Registry& reg) {
+  const obs::Labels labels{reg.NextInstance("rootsrv.fastlane"), "", ""};
+  hits = reg.counter("rootsrv.fastlane.hits", labels);
+  parse_fallbacks = reg.counter("rootsrv.fastlane.parse_fallbacks", labels);
+  cache_misses = reg.counter("rootsrv.fastlane.cache_misses", labels);
+  slips = reg.counter("rootsrv.fastlane.slips", labels);
+  drops = reg.counter("rootsrv.fastlane.drops", labels);
+}
 
 namespace {
 
@@ -43,6 +57,7 @@ AuthServer::AuthServer(net::Transport* transport, zone::SnapshotPtr snapshot,
       options_.registry ? *options_.registry : obs::Registry::Default();
   c_.Register(reg);
   pc_.Register(reg);
+  flc_.Register(reg);
 
   if (options_.shared_rrl != nullptr) {
     rrl_stage_.SetLimiter(options_.shared_rrl);
@@ -187,36 +202,127 @@ util::Bytes AuthServer::GarbageResponse(
   return dns::EncodeMessage(response);
 }
 
-void AuthServer::HandleDatagram(const net::Packet& packet, Channel channel) {
-  c_.bytes_in.Inc(packet.payload.size());
-  auto query = dns::DecodeMessage(packet.payload);
+util::Bytes AuthServer::AnswerDatagram(std::span<const std::uint8_t> payload,
+                                       std::uint64_t client, Channel channel) {
+  c_.bytes_in.Inc(payload.size());
+  auto query = dns::DecodeMessage(payload);
   if (!query.ok()) {
     c_.queries.Inc();
     c_.malformed.Inc();
-    if (options_.respond_formerr_to_garbage && transport_ != nullptr) {
-      util::Bytes wire = GarbageResponse(packet.payload);
-      if (!wire.empty()) {
-        c_.bytes_out.Inc(wire.size());
-        transport_->Send(node_, packet.src, std::move(wire));
-      }
-    }
-    return;
+    if (options_.respond_formerr_to_garbage) return GarbageResponse(payload);
+    return {};
   }
   if (query->header.qr) {
     // A response aimed at a server: drop silently, never reply (loops).
     c_.queries.Inc();
     c_.malformed.Inc();
-    return;
+    return {};
   }
+  return AnswerWireFrom(*query, channel, client);
+}
+
+void AuthServer::HandleDatagram(const net::Packet& packet, Channel channel) {
   const std::uint64_t client = packet.client != net::Packet::kNoClient
                                    ? packet.client
                                    : static_cast<std::uint64_t>(packet.src);
-  auto wire = AnswerWireFrom(*query, channel, client);
-  if (wire.empty()) return;  // the rate limiter decided on silence
+  util::Bytes wire = AnswerDatagram(packet.payload, client, channel);
+  if (wire.empty()) return;  // silence: RRL drop or unanswerable garbage
   c_.bytes_out.Inc(wire.size());
   if (transport_ != nullptr) {
     transport_->Send(node_, packet.src, std::move(wire));
   }
+}
+
+net::FastVerdict AuthServer::TryFastLane(std::span<const std::uint8_t> dgram,
+                                         std::uint64_t client,
+                                         std::uint8_t* out,
+                                         std::size_t capacity,
+                                         std::size_t& out_size) {
+  out_size = 0;
+  dns::WireProbe probe;
+  if (!dns::ShallowParseQuery(dgram, probe)) {
+    flc_.parse_fallbacks.Inc();
+    return net::FastVerdict::kMiss;
+  }
+  // Effective EDNS policy — what ScreenStage would compute from the decoded
+  // message (the shallow parse pinned everything else screen checks, so a
+  // cache hit below implies the pipeline would have passed screen too).
+  std::size_t payload_limit = options_.edns.default_udp_payload;
+  bool echo_opt = false;
+  if (probe.has_opt) {
+    payload_limit =
+        std::clamp<std::size_t>(probe.opt_payload, options_.edns.min_udp_payload,
+                                options_.edns.max_udp_payload);
+    echo_opt = options_.edns.echo_opt;
+  }
+  AnswerCacheStage::WireKey key;
+  key.qname = probe.qname;
+  key.name_hash = util::simd::NameHash(probe.qname.data(), probe.qname.size());
+  key.type = probe.qtype;
+  key.flags =
+      static_cast<std::uint8_t>((probe.tc ? 2 : 0) | (probe.rd ? 1 : 0));
+  key.echo_opt = echo_opt;
+  key.payload_limit = payload_limit;
+  AnswerCacheStage::FastHit hit;
+  if (!cache_stage_.Probe(key, AnswerCacheStage::KeyHash(key), hit) ||
+      hit.size > capacity) {
+    flc_.cache_misses.Inc();
+    return net::FastVerdict::kMiss;
+  }
+
+  // Committed: from here every counter bump and the limiter charge mirror
+  // the slow path exactly (bytes_in → queries → edns → RRL → disposition →
+  // bytes_out). The probe above was side-effect free, so a kMiss return
+  // never happens past this point — falling back now would double-charge.
+  c_.bytes_in.Inc(dgram.size());
+  c_.queries.Inc();
+  if (probe.has_opt) c_.edns_queries.Inc();
+  StageVerdict verdict = StageVerdict::kPass;
+  if (rrl_stage_.active()) {
+    std::uint64_t now_us = 0;
+    if (client != QueryContext::kUnattributed && options_.clock) {
+      now_us = options_.clock();
+    }
+    verdict = rrl_stage_.AdmitFast(client, now_us);
+  }
+  if (verdict == StageVerdict::kDrop) {
+    flc_.drops.Inc();
+    return net::FastVerdict::kDropped;
+  }
+  if (verdict == StageVerdict::kRespond) {
+    // RRL slip: TC|REFUSED echoing the question — byte-identical to the
+    // pipeline's EncodeMessage(MakeResponse(query, kRefused), limit) with
+    // the TC bit forced: id/aa/rd copied from the query (opcode is known
+    // zero), qr+tc set, ra/z/ad/cd cleared, rcode REFUSED, the question
+    // section echoed verbatim from the datagram (uncompressed, exact case —
+    // exactly how the encoder writes a first name).
+    const std::size_t size = 12 + probe.question.size();
+    if (size > capacity) return net::FastVerdict::kDropped;  // unreachable
+    out[0] = dgram[0];
+    out[1] = dgram[1];
+    out[2] = static_cast<std::uint8_t>(0x80 | 0x02 | (probe.flags_hi & 0x05));
+    out[3] = 0x05;  // rcode REFUSED
+    out[4] = 0;
+    out[5] = 1;  // qdcount 1
+    std::memset(out + 6, 0, 6);
+    std::memcpy(out + 12, probe.question.data(), probe.question.size());
+    out_size = size;
+    flc_.slips.Inc();
+    c_.bytes_out.Inc(size);
+    return net::FastVerdict::kResponded;
+  }
+  // Cache hit: memcpy the cached wire into the transmit ring, patch the id.
+  pc_.cache_probes.Inc();
+  CountDisposition(c_, hit.disposition);
+  if (hit.truncated) c_.truncated.Inc();
+  c_.cache_hits.Inc();
+  std::memcpy(out, hit.wire, hit.size);
+  out[0] = dgram[0];
+  out[1] = dgram[1];
+  out_size = hit.size;
+  flc_.hits.Inc();
+  c_.bytes_out.Inc(hit.size);
+  return net::FastVerdict::kResponded;
 }
 
 }  // namespace rootless::rootsrv

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "dns/message.h"
 #include "net/transport.h"
@@ -46,6 +47,30 @@
 #include "zone/zone_snapshot.h"
 
 namespace rootless::rootsrv {
+
+// Fast-lane activity (module "rootsrv.fastlane"). These live in their own
+// module so the "rootsrv.auth" / "rootsrv.pipeline" counter deltas stay
+// byte-identical between a fast-lane and a pipeline-only run — the parity
+// suites compare those two modules, and observability of the lane itself
+// must not perturb them.
+struct FastLaneCounters {
+  obs::Counter hits;             // answered straight from the cache probe
+  obs::Counter parse_fallbacks;  // shallow parser punted to the pipeline
+  obs::Counter cache_misses;     // parsed fine, answer not memoized yet
+  obs::Counter slips;            // RRL slip rendered in the fast lane
+  obs::Counter drops;            // RRL drop decided in the fast lane
+
+  void Register(obs::Registry& registry);
+};
+
+// Snapshot view of FastLaneCounters (assembled by fast_lane_stats()).
+struct FastLaneStats {
+  std::uint64_t hits = 0;
+  std::uint64_t parse_fallbacks = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t slips = 0;
+  std::uint64_t drops = 0;
+};
 
 // Snapshot view of a server's registry-backed counters (module
 // "rootsrv.auth"); assembled by stats().
@@ -176,6 +201,35 @@ class AuthServer {
   void HandleDatagram(const net::Packet& packet,
                       Channel channel = Channel::kUdp);
 
+  // The slow path minus the transport: decode one raw datagram (malformed
+  // handling included) and return the response wire, empty when the verdict
+  // is silence. HandleDatagram is this plus the Send; the fast-lane parity
+  // suite drives it directly to compare byte-for-byte against TryFastLane.
+  util::Bytes AnswerDatagram(std::span<const std::uint8_t> payload,
+                             std::uint64_t client,
+                             Channel channel = Channel::kUdp);
+
+  // The zero-copy UDP fast lane: shallow-parse `datagram` straight off the
+  // receive ring (dns/wire_probe.h), probe the answer cache, and on a hit
+  // write the response into `out` (cached wire memcpy + id patch) — no
+  // dns::Message, no intermediate buffer. Returns kMiss with NO side
+  // effects (no counters, no limiter charge) when the datagram is not
+  // provably servable or the answer is not memoized; the caller must then
+  // run the normal path, which re-counts from scratch — the probe-first
+  // ordering is what keeps fast and slow runs counter-identical. On a hit
+  // the committed sequence mirrors the pipeline exactly: RRL charge (slip
+  // rendered in place, drop silent), disposition counters, bytes in/out.
+  net::FastVerdict TryFastLane(std::span<const std::uint8_t> datagram,
+                               std::uint64_t client, std::uint8_t* out,
+                               std::size_t capacity, std::size_t& out_size);
+
+  // Snapshot of the fast-lane counters (module "rootsrv.fastlane").
+  FastLaneStats fast_lane_stats() const {
+    return FastLaneStats{flc_.hits.value(), flc_.parse_fallbacks.value(),
+                         flc_.cache_misses.value(), flc_.slips.value(),
+                         flc_.drops.value()};
+  }
+
  private:
   // FORMERR wire response for an undecodable datagram (empty when even the
   // header is unreadable — those stay dropped).
@@ -189,6 +243,7 @@ class AuthServer {
   // they are declared (and registered) before the stages below.
   AuthCounters c_;
   PipelineCounters pc_;
+  FastLaneCounters flc_;
   // Privately-owned limiter when Options::rrl.enabled without shared_rrl.
   std::unique_ptr<ResponseRateLimiter> owned_rrl_;
   const ResponseRateLimiter* rrl_view_ = nullptr;

@@ -136,20 +136,29 @@ StageVerdict RateLimitStage::Admit(QueryContext& ctx) {
   return StageVerdict::kDrop;
 }
 
-std::uint32_t AnswerCacheStage::FindSlot(const QueryContext& ctx,
+std::uint32_t AnswerCacheStage::FindSlot(const WireKey& key,
                                          std::uint64_t key_hash) const {
-  const dns::Question& q = ctx.query->questions.front();
-  const std::uint8_t flags = static_cast<std::uint8_t>(
-      (ctx.query->header.tc ? 2 : 0) | (ctx.query->header.rd ? 1 : 0));
-  const std::span<const std::uint8_t> qname = q.name.flat();
   return index_.Find(key_hash, [&](std::uint32_t s) {
     const CachedAnswer& e = entries_[s];
-    return e.hash == key_hash && e.type == q.type && e.flags == flags &&
-           e.echo_opt == ctx.echo_opt &&
-           e.payload_limit == ctx.payload_limit &&
-           e.name.size() == qname.size() &&
-           std::memcmp(e.name.data(), qname.data(), qname.size()) == 0;
+    return e.hash == key_hash && e.type == key.type && e.flags == key.flags &&
+           e.echo_opt == key.echo_opt &&
+           e.payload_limit == key.payload_limit &&
+           e.name.size() == key.qname.size() &&
+           std::memcmp(e.name.data(), key.qname.data(), key.qname.size()) == 0;
   });
+}
+
+bool AnswerCacheStage::Probe(const WireKey& key, std::uint64_t key_hash,
+                             FastHit& hit) const {
+  if (capacity_ == 0 || entries_.empty()) return false;
+  const std::uint32_t slot = FindSlot(key, key_hash);
+  if (slot == util::FlatHashIndex::kNpos) return false;
+  const CachedAnswer& e = entries_[slot];
+  hit.wire = e.wire.data();
+  hit.size = e.wire.size();
+  hit.disposition = e.disposition;
+  hit.truncated = e.truncated;
+  return true;
 }
 
 StageVerdict AnswerCacheStage::Admit(QueryContext& ctx) {
@@ -165,17 +174,19 @@ StageVerdict AnswerCacheStage::Admit(QueryContext& ctx) {
   // limit (which also folds in the channel and the EDNS clamp), and whether
   // an OPT record is echoed. Name::Hash() is case-folded, so different-case
   // spellings share a hash and are split by the exact-byte equality check.
-  const std::uint8_t flags = static_cast<std::uint8_t>(
+  WireKey key;
+  key.qname = q.name.flat();
+  key.name_hash = q.name.Hash();
+  key.type = q.type;
+  key.flags = static_cast<std::uint8_t>(
       (ctx.query->header.tc ? 2 : 0) | (ctx.query->header.rd ? 1 : 0));
-  const std::uint64_t salt =
-      (static_cast<std::uint64_t>(q.type) << 32) |
-      (static_cast<std::uint64_t>(ctx.payload_limit) << 8) |
-      (static_cast<std::uint64_t>(flags) << 1) | (ctx.echo_opt ? 1 : 0);
-  ctx.cache_key_hash = q.name.Hash() ^ (salt * 0x9E3779B97F4A7C15ULL);
+  key.echo_opt = ctx.echo_opt;
+  key.payload_limit = ctx.payload_limit;
+  ctx.cache_key_hash = KeyHash(key);
   ctx.cache_probed = true;
   pc_.cache_probes.Inc();
 
-  const std::uint32_t slot = FindSlot(ctx, ctx.cache_key_hash);
+  const std::uint32_t slot = FindSlot(key, ctx.cache_key_hash);
   if (slot == util::FlatHashIndex::kNpos) return StageVerdict::kPass;
 
   const CachedAnswer& e = entries_[slot];

@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dns/message.h"
@@ -215,6 +216,31 @@ class RateLimitStage : public QueryStage {
   const char* name() const override { return "rate_limit"; }
   StageVerdict Admit(QueryContext& ctx) override;
 
+  // Fast-lane twin of Admit(): the same limiter charge and the same counter
+  // bumps, driven from shallow-parsed fields instead of a QueryContext
+  // (always a UDP query). kRespond means "slip a TC|REFUSED". The charge is
+  // stateful — the caller must already hold a committed outcome (a cache
+  // hit), because charging here and then falling back to the pipeline would
+  // bill the client twice for one query.
+  StageVerdict AdmitFast(std::uint64_t client, std::uint64_t now_us) {
+    if (limiter_ == nullptr || client == QueryContext::kUnattributed) {
+      return StageVerdict::kPass;
+    }
+    pc_.rrl_checked.Inc();
+    switch (limiter_->Admit(client, now_us)) {
+      case ResponseRateLimiter::Decision::kAllow:
+        return StageVerdict::kPass;
+      case ResponseRateLimiter::Decision::kSlip:
+        pc_.rrl_slipped.Inc();
+        c_.refused.Inc();
+        return StageVerdict::kRespond;
+      case ResponseRateLimiter::Decision::kDrop:
+        break;
+    }
+    pc_.rrl_dropped.Inc();
+    return StageVerdict::kDrop;
+  }
+
  private:
   ResponseRateLimiter* limiter_ = nullptr;
   AuthCounters& c_;
@@ -231,12 +257,47 @@ class RateLimitStage : public QueryStage {
 // first fill forever, and the eviction counter makes the churn observable.
 class AnswerCacheStage : public QueryStage {
  public:
+  // The full cache key, assembled either from a decoded Message (Admit) or
+  // straight from raw datagram bytes by the UDP fast lane (wire_probe.h).
+  // `name_hash` must equal dns::Name::Hash() of the qname — compute it with
+  // util::simd::NameHash over the flat label bytes.
+  struct WireKey {
+    std::span<const std::uint8_t> qname;  // flat, exact case, no root octet
+    std::uint64_t name_hash = 0;
+    dns::RRType type = dns::RRType::kA;
+    std::uint8_t flags = 0;  // echoed header bits: tc<<1 | rd
+    bool echo_opt = false;
+    std::size_t payload_limit = 0;
+  };
+  // Borrowed view of a cached hit; valid until the next insert or Drop().
+  struct FastHit {
+    const std::uint8_t* wire = nullptr;  // id bytes zeroed
+    std::size_t size = 0;
+    zone::LookupDisposition disposition = zone::LookupDisposition::kAnswer;
+    bool truncated = false;
+  };
+  // One key-hash formula for Admit and the fast lane: the name hash salted
+  // with every other response-shaping property.
+  static std::uint64_t KeyHash(const WireKey& key) {
+    const std::uint64_t salt =
+        (static_cast<std::uint64_t>(key.type) << 32) |
+        (static_cast<std::uint64_t>(key.payload_limit) << 8) |
+        (static_cast<std::uint64_t>(key.flags) << 1) | (key.echo_opt ? 1 : 0);
+    return key.name_hash ^ (salt * 0x9E3779B97F4A7C15ULL);
+  }
+
   AnswerCacheStage(std::size_t capacity, AuthCounters& c, PipelineCounters& pc)
       : capacity_(capacity), c_(c), pc_(pc) {}
   const char* name() const override { return "answer_cache"; }
   StageVerdict Admit(QueryContext& ctx) override;
   void OnResponse(QueryContext& ctx, const util::Bytes& wire,
                   bool truncated) override;
+
+  // Side-effect-free lookup for the fast lane: no counters, no context —
+  // the caller only commits to serving (and counting) after a hit, so a
+  // miss leaves the pipeline's state exactly as the fallback path expects.
+  bool Probe(const WireKey& key, std::uint64_t key_hash, FastHit& hit) const;
+
   void Drop() {
     entries_.clear();
     index_.Clear();
@@ -257,8 +318,7 @@ class AnswerCacheStage : public QueryStage {
     util::Bytes wire;  // stored with the id bytes zeroed
   };
 
-  std::uint32_t FindSlot(const QueryContext& ctx,
-                         std::uint64_t key_hash) const;
+  std::uint32_t FindSlot(const WireKey& key, std::uint64_t key_hash) const;
 
   std::size_t capacity_;
   AuthCounters& c_;

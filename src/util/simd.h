@@ -214,4 +214,15 @@ inline std::uint64_t HashFold(const std::uint8_t* p, std::size_t n,
   return internal::Mix(h, k4);
 }
 
+// THE name hash: HashFold over a name's flat (length,label)* bytes with the
+// cache-sentinel remap (a computed 0 becomes 1, because 0 means "not yet
+// computed" in dns::Name's cached-hash slot). Name::Hash(), NameView::Hash()
+// and the UDP wire fast lane (dns/wire_probe.h) all funnel through this one
+// definition, which is the contract that lets a probe hash computed straight
+// from raw datagram bytes land on the same cache bucket as the owning Name.
+inline std::uint64_t NameHash(const std::uint8_t* p, std::size_t n) {
+  const std::uint64_t h = HashFold(p, n);
+  return h == 0 ? 1 : h;
+}
+
 }  // namespace rootless::util::simd
